@@ -1,0 +1,318 @@
+// Package pramemu's root benchmark harness: one benchmark per
+// experiment in DESIGN.md's index (E1-E12), regenerating the series
+// behind every claim of the paper. Custom metrics report the
+// normalized quantities the theorems bound (rounds/ℓ, rounds/n,
+// cost/diameter, ...) so `go test -bench=.` output reads directly
+// against the paper: Theorem 2.1 predicts a flat rounds/l column,
+// Theorem 3.1 a rounds/n near 2, Theorem 3.2 a cost/n near 4, etc.
+package pramemu
+
+import (
+	"fmt"
+	"testing"
+
+	"pramemu/internal/emul"
+	"pramemu/internal/hashing"
+	"pramemu/internal/hypercube"
+	"pramemu/internal/leveled"
+	"pramemu/internal/mesh"
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/shuffle"
+	"pramemu/internal/simnet"
+	"pramemu/internal/star"
+	"pramemu/internal/workload"
+)
+
+const benchSeed = 1991
+
+// BenchmarkE1LeveledPermutation — Theorem 2.1: permutation routing on
+// leveled networks in Õ(ℓ) with Õ(ℓ) FIFO queues.
+func BenchmarkE1LeveledPermutation(b *testing.B) {
+	specs := []leveled.Spec{
+		leveled.NewButterfly(8),
+		leveled.NewButterfly(12),
+		leveled.NewDAry(4, 5),
+		leveled.NewDAry(6, 7),
+	}
+	for _, spec := range specs {
+		b.Run(spec.Name(), func(b *testing.B) {
+			var rounds, maxQ int
+			for i := 0; i < b.N; i++ {
+				pkts := workload.Permutation(spec.Width(), packet.Transit, benchSeed+uint64(i))
+				s := leveled.Route(spec, pkts, leveled.Options{Seed: uint64(i) * 31})
+				rounds += s.Rounds
+				if s.MaxQueue > maxQ {
+					maxQ = s.MaxQueue
+				}
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N)/float64(spec.Levels()), "rounds/l")
+			b.ReportMetric(float64(maxQ), "maxQ")
+		})
+	}
+}
+
+// BenchmarkE2StarRouting — Theorem 2.2 / Corollary 2.1: n-star
+// permutation and n-relation routing in Õ(n).
+func BenchmarkE2StarRouting(b *testing.B) {
+	for _, n := range []int{5, 6, 7} {
+		g := star.New(n)
+		b.Run(fmt.Sprintf("perm/n=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				pkts := workload.Permutation(g.Nodes(), packet.Transit, benchSeed+uint64(i))
+				s := simnet.Route(g, pkts, simnet.Options{Seed: uint64(i) * 17})
+				rounds += s.Rounds
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N)/float64(g.Diameter()), "rounds/diam")
+		})
+		b.Run(fmt.Sprintf("relation/n=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				pkts := workload.Relation(g.Nodes(), n, packet.Transit, benchSeed+uint64(i))
+				s := simnet.Route(g, pkts, simnet.Options{Seed: uint64(i) * 17})
+				rounds += s.Rounds
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N)/float64(g.Diameter()), "rounds/diam")
+		})
+	}
+}
+
+// BenchmarkE3ShuffleRouting — Theorem 2.3 / Corollary 2.2: n-way
+// shuffle routing in Õ(n) via Algorithm 2.3.
+func BenchmarkE3ShuffleRouting(b *testing.B) {
+	for _, n := range []int{3, 4, 5} {
+		g := shuffle.NewNWay(n)
+		spec := g.AsLeveled()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				pkts := workload.Permutation(g.Nodes(), packet.Transit, benchSeed+uint64(i))
+				s := leveled.Route(spec, pkts, leveled.Options{Seed: uint64(i) * 13})
+				rounds += s.Rounds
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N)/float64(n), "rounds/n")
+		})
+	}
+}
+
+// BenchmarkE4HashLoad — Lemma 2.2: max module load of one step's
+// addresses under the Karlin-Upfal class, degree S = cL (star n=7:
+// N = 5040 modules, L = 9).
+func BenchmarkE4HashLoad(b *testing.B) {
+	for _, degree := range []int{9, 18, 36} {
+		b.Run(fmt.Sprintf("S=%d", degree), func(b *testing.B) {
+			maxLoad := 0
+			for i := 0; i < b.N; i++ {
+				if load := benchHashLoadOnce(5040, degree, benchSeed+uint64(i)); load > maxLoad {
+					maxLoad = load
+				}
+			}
+			b.ReportMetric(float64(maxLoad), "maxload")
+		})
+	}
+}
+
+// benchHashLoadOnce draws one hash function and maps n random
+// addresses onto n modules, returning the max module load.
+func benchHashLoadOnce(n, degree int, seed uint64) int {
+	src := prng.New(seed)
+	f := hashing.NewClass(1<<30, n, degree).Draw(src)
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = src.Uint64n(1 << 30)
+	}
+	return f.MaxLoad(addrs)
+}
+
+// BenchmarkE5PRAMStepLeveled — Theorems 2.5/2.6: EREW and CRCW step
+// emulation on star and shuffle in Õ(diameter).
+func BenchmarkE5PRAMStepLeveled(b *testing.B) {
+	nets := map[string]emul.Network{}
+	sg := star.New(6)
+	nets["star6"] = &emul.LeveledNetwork{Spec: sg.AsLeveled(), Diam: sg.Diameter()}
+	sh := shuffle.NewNWay(4)
+	nets["shuffle4"] = &emul.LeveledNetwork{Spec: sh.AsLeveled(), Diam: sh.Diameter()}
+	for name, net := range nets {
+		b.Run(name+"/erew", func(b *testing.B) {
+			cost := 0
+			for i := 0; i < b.N; i++ {
+				e := emul.New(net, emul.Config{Memory: 1 << 24, Seed: benchSeed + uint64(i)})
+				_, c := e.RouteRequests(workload.RandomStep(net.Nodes(), 1<<24, false, uint64(i)*7))
+				cost += c
+			}
+			b.ReportMetric(float64(cost)/float64(b.N)/float64(net.Diameter()), "cost/diam")
+		})
+		b.Run(name+"/crcw-combining", func(b *testing.B) {
+			cost := 0
+			for i := 0; i < b.N; i++ {
+				e := emul.New(net, emul.Config{Memory: 1 << 24, Seed: benchSeed + uint64(i), Combine: true})
+				_, c := e.RouteRequests(workload.CRCWStep(net.Nodes(), 12345))
+				cost += c
+			}
+			b.ReportMetric(float64(cost)/float64(b.N)/float64(net.Diameter()), "cost/diam")
+		})
+	}
+}
+
+// BenchmarkE6StarVsHypercube — the introduction's claim: emulation
+// cost tracks diameter, so the star graph (sub-logarithmic diameter)
+// beats the hypercube (logarithmic) at comparable sizes.
+func BenchmarkE6StarVsHypercube(b *testing.B) {
+	configs := []struct {
+		name string
+		net  emul.Network
+	}{
+		{"star6-720", &emul.DirectNetwork{Topo: star.New(6)}},
+		{"cube10-1024", &emul.DirectNetwork{Topo: hypercube.New(10)}},
+		{"star7-5040", &emul.DirectNetwork{Topo: star.New(7)}},
+		{"cube12-4096", &emul.DirectNetwork{Topo: hypercube.New(12)}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			cost := 0
+			for i := 0; i < b.N; i++ {
+				e := emul.New(cfg.net, emul.Config{Memory: 1 << 24, Seed: benchSeed + uint64(i)})
+				_, c := e.RouteRequests(workload.RandomStep(cfg.net.Nodes(), 1<<24, false, uint64(i)*3))
+				cost += c
+			}
+			b.ReportMetric(float64(cost)/float64(b.N), "cost")
+			b.ReportMetric(float64(cost)/float64(b.N)/float64(cfg.net.Diameter()), "cost/diam")
+		})
+	}
+}
+
+// BenchmarkE7MeshRouting — Theorem 3.1: three-stage mesh routing at
+// 2n + o(n) vs Valiant-Brebner at 3n + o(n).
+func BenchmarkE7MeshRouting(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		g := mesh.New(n)
+		for _, alg := range []struct {
+			name string
+			a    mesh.Algorithm
+		}{{"threestage", mesh.ThreeStage}, {"valiant-brebner", mesh.ValiantBrebner}} {
+			b.Run(fmt.Sprintf("%s/n=%d", alg.name, n), func(b *testing.B) {
+				rounds := 0
+				for i := 0; i < b.N; i++ {
+					pkts := workload.Permutation(g.Nodes(), packet.Transit, benchSeed+uint64(i))
+					s := mesh.Route(g, pkts, mesh.Options{Seed: uint64(i) * 7, Algorithm: alg.a})
+					rounds += s.Rounds
+				}
+				b.ReportMetric(float64(rounds)/float64(b.N)/float64(n), "rounds/n")
+			})
+		}
+	}
+}
+
+// BenchmarkE8MeshEmulation — Theorem 3.2: EREW PRAM step on the mesh,
+// two-phase (4n + o(n)) vs Karlin-Upfal four-phase (~8n).
+func BenchmarkE8MeshEmulation(b *testing.B) {
+	for _, n := range []int{32, 64} {
+		g := mesh.New(n)
+		for _, scheme := range []struct {
+			name string
+			s    emul.MeshScheme
+		}{{"twophase", emul.TwoPhase}, {"ku4phase", emul.KarlinUpfal4Phase}} {
+			b.Run(fmt.Sprintf("%s/n=%d", scheme.name, n), func(b *testing.B) {
+				cost := 0
+				for i := 0; i < b.N; i++ {
+					net := &emul.MeshNetwork{G: g, Scheme: scheme.s}
+					e := emul.New(net, emul.Config{Memory: 1 << 26, Seed: benchSeed + uint64(i)})
+					_, c := e.RouteRequests(workload.RandomStep(g.Nodes(), 1<<26, false, uint64(i)*5))
+					cost += c
+				}
+				b.ReportMetric(float64(cost)/float64(b.N)/float64(n), "cost/n")
+			})
+		}
+	}
+}
+
+// BenchmarkE9MeshLocality — Theorem 3.3: distance-d-local requests
+// complete in O(d), within 6d + o(d).
+func BenchmarkE9MeshLocality(b *testing.B) {
+	g := mesh.New(128)
+	for _, d := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				pkts := workload.MeshLocal(g, d, benchSeed+uint64(i))
+				s := mesh.Route(g, pkts, mesh.Options{
+					Seed:          uint64(i) * 3,
+					LocalityBound: d,
+					SliceRows:     maxi(1, d/4),
+				})
+				rounds += s.Rounds
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N)/float64(d), "rounds/d")
+		})
+	}
+}
+
+// BenchmarkE10QueueSizes — §3.4 queue discipline ablation.
+func BenchmarkE10QueueSizes(b *testing.B) {
+	g := mesh.New(64)
+	for _, disc := range []struct {
+		name string
+		d    mesh.Discipline
+	}{{"furthest-first", mesh.FurthestFirst}, {"fifo", mesh.FIFODiscipline}} {
+		b.Run(disc.name, func(b *testing.B) {
+			maxQ, rounds := 0, 0
+			for i := 0; i < b.N; i++ {
+				pkts := workload.Permutation(g.Nodes(), packet.Transit, benchSeed+uint64(i))
+				s := mesh.Route(g, pkts, mesh.Options{Seed: uint64(i) * 19, Discipline: disc.d})
+				rounds += s.Rounds
+				if s.MaxQueue > maxQ {
+					maxQ = s.MaxQueue
+				}
+			}
+			b.ReportMetric(float64(maxQ), "maxQ")
+			b.ReportMetric(float64(rounds)/float64(b.N), "rounds")
+		})
+	}
+}
+
+// BenchmarkE11Rehash — §2.1: rehash frequency across emulated steps
+// (expected: zero on healthy configurations).
+func BenchmarkE11Rehash(b *testing.B) {
+	g := star.New(5)
+	net := &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
+	b.Run("star5", func(b *testing.B) {
+		e := emul.New(net, emul.Config{Memory: 1 << 22, Seed: benchSeed})
+		for i := 0; i < b.N; i++ {
+			e.RouteRequests(workload.RandomStep(net.Nodes(), 1<<22, i%2 == 0, uint64(i)))
+		}
+		b.ReportMetric(float64(e.Rehashes()), "rehashes")
+	})
+}
+
+// BenchmarkE12SortVsRoute — §2.2.1: sorting-based deterministic
+// routing vs the randomized three-stage algorithm.
+func BenchmarkE12SortVsRoute(b *testing.B) {
+	for _, n := range []int{32, 64} {
+		g := mesh.New(n)
+		b.Run(fmt.Sprintf("shearsort/n=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				pkts := workload.Permutation(g.Nodes(), packet.Transit, benchSeed+uint64(i))
+				rounds += mesh.SortRoute(g, pkts)
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N)/float64(n), "rounds/n")
+		})
+		b.Run(fmt.Sprintf("threestage/n=%d", n), func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				pkts := workload.Permutation(g.Nodes(), packet.Transit, benchSeed+uint64(i))
+				s := mesh.Route(g, pkts, mesh.Options{Seed: uint64(i)})
+				rounds += s.Rounds
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N)/float64(n), "rounds/n")
+		})
+	}
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,191 @@
+// Command pramemu runs a PRAM algorithm from the library on a chosen
+// emulated network and reports the PRAM step count, the emulated
+// network time, and the slowdown per step — the quantity the paper's
+// emulation theorems bound by the network diameter.
+//
+// Examples:
+//
+//	pramemu -alg prefixsum -net star -n 5
+//	pramemu -alg sort -net shuffle -n 3
+//	pramemu -alg maxcrcw -net star -n 5 -combine
+//	pramemu -alg matmul -net mesh -n 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pramemu/internal/algorithms"
+	"pramemu/internal/emul"
+	"pramemu/internal/hypercube"
+	"pramemu/internal/mesh"
+	"pramemu/internal/pram"
+	"pramemu/internal/prng"
+	"pramemu/internal/shuffle"
+	"pramemu/internal/star"
+)
+
+func main() {
+	algName := flag.String("alg", "prefixsum", "algorithm: prefixsum, sort, listrank, maxcrcw, matmul, broadcast")
+	netName := flag.String("net", "star", "network: star, shuffle, hypercube, mesh, ideal")
+	n := flag.Int("n", 5, "network size parameter")
+	seed := flag.Uint64("seed", 1991, "random seed")
+	combine := flag.Bool("combine", false, "enable CRCW combining in the network")
+	flag.Parse()
+
+	net := buildNetwork(*netName, *n)
+	procs := 0
+	if net != nil {
+		procs = net.Nodes()
+	}
+
+	variant, run := buildAlgorithm(*algName, &procs, *seed)
+	if net != nil && procs > net.Nodes() {
+		fmt.Fprintf(os.Stderr, "pramemu: %s needs %d processors, %s has %d nodes\n",
+			*algName, procs, net.Name(), net.Nodes())
+		os.Exit(1)
+	}
+
+	var exec pram.StepExecutor = pram.Unit{}
+	netLabel := "ideal PRAM"
+	diam := 1
+	var e *emul.Emulator
+	if net != nil {
+		e = emul.New(net, emul.Config{Memory: 1 << 24, Seed: *seed, Combine: *combine})
+		exec = e
+		netLabel = net.Name()
+		diam = net.Diameter()
+	}
+	m := pram.New(pram.Config{
+		Procs:    procs,
+		Memory:   1 << 24,
+		Variant:  variant,
+		Executor: exec,
+	})
+	run(m)
+
+	fmt.Printf("algorithm    : %s (%s)\n", *algName, variant)
+	fmt.Printf("network      : %s (%d processors, diameter %d)\n", netLabel, procs, diam)
+	fmt.Printf("PRAM steps   : %d\n", m.Steps())
+	fmt.Printf("emulated time: %d\n", m.Time())
+	if m.Steps() > 0 {
+		perStep := float64(m.Time()) / float64(m.Steps())
+		fmt.Printf("per step     : %.1f network rounds (%.2f x diameter)\n",
+			perStep, perStep/float64(diam))
+	}
+	if e != nil {
+		fmt.Printf("rehashes     : %d (hash description: %d bits)\n", e.Rehashes(), e.HashBits())
+	}
+}
+
+// buildNetwork returns nil for the ideal machine.
+func buildNetwork(name string, n int) emul.Network {
+	switch name {
+	case "ideal":
+		return nil
+	case "star":
+		g := star.New(n)
+		return &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
+	case "shuffle":
+		g := shuffle.NewNWay(n)
+		return &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
+	case "hypercube":
+		return &emul.DirectNetwork{Topo: hypercube.New(n)}
+	case "mesh":
+		return &emul.MeshNetwork{G: mesh.New(n)}
+	default:
+		fmt.Fprintf(os.Stderr, "pramemu: unknown network %q\n", name)
+		os.Exit(1)
+		return nil
+	}
+}
+
+// buildAlgorithm returns the machine variant and a closure running the
+// algorithm with verified results. procs is adjusted to the
+// algorithm's requirement (power of two for sorting, squares for
+// matmul) while staying within the provided node budget.
+func buildAlgorithm(name string, procs *int, seed uint64) (pram.Variant, func(*pram.Machine)) {
+	switch name {
+	case "prefixsum":
+		n := *procs
+		return pram.EREW, func(m *pram.Machine) {
+			for i := 0; i < n; i++ {
+				m.Store(uint64(i), 1)
+			}
+			algorithms.PrefixSums(m, 0, n)
+			for i := 0; i < n; i++ {
+				if m.Load(uint64(i)) != int64(i+1) {
+					panic("prefix sum incorrect")
+				}
+			}
+		}
+	case "broadcast":
+		n := *procs
+		return pram.EREW, func(m *pram.Machine) {
+			m.Store(0, 42)
+			algorithms.Broadcast(m, 0, 1, n)
+		}
+	case "sort":
+		n := 1
+		for n*2 <= *procs {
+			n *= 2
+		}
+		*procs = n
+		return pram.EREW, func(m *pram.Machine) {
+			src := prng.New(seed)
+			for i := 0; i < n; i++ {
+				m.Store(uint64(i), int64(src.Intn(1<<20)))
+			}
+			algorithms.OddEvenMergeSort(m, 0, n)
+			prev := int64(-1)
+			for i := 0; i < n; i++ {
+				v := m.Load(uint64(i))
+				if v < prev {
+					panic("sort incorrect")
+				}
+				prev = v
+			}
+		}
+	case "listrank":
+		n := *procs
+		return pram.CREW, func(m *pram.Machine) {
+			order := prng.New(seed).Perm(n)
+			for pos, node := range order {
+				next := int64(-1)
+				if pos+1 < n {
+					next = int64(order[pos+1])
+				}
+				m.Store(uint64(node), next)
+			}
+			algorithms.ListRank(m, 0, uint64(n), n)
+		}
+	case "maxcrcw":
+		n := *procs
+		return pram.CRCWMax, func(m *pram.Machine) {
+			src := prng.New(seed)
+			for i := 0; i < n; i++ {
+				m.Store(uint64(i), int64(src.Intn(1<<20)))
+			}
+			algorithms.MaxConcurrent(m, 0, n, uint64(n))
+		}
+	case "matmul":
+		side := 1
+		for (side+1)*(side+1) <= *procs {
+			side++
+		}
+		*procs = side * side
+		return pram.CREW, func(m *pram.Machine) {
+			src := prng.New(seed)
+			nn := uint64(side * side)
+			for i := uint64(0); i < 2*nn; i++ {
+				m.Store(i, int64(src.Intn(7)-3))
+			}
+			algorithms.MatMul(m, 0, nn, 2*nn, side)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "pramemu: unknown algorithm %q\n", name)
+		os.Exit(1)
+		return pram.EREW, nil
+	}
+}

@@ -1,0 +1,168 @@
+// Command routebench runs a single routing experiment with explicit
+// parameters and prints one line of statistics — the interactive
+// companion to cmd/tables for exploring the routing algorithms.
+//
+// Examples:
+//
+//	routebench -net star -n 6 -workload perm
+//	routebench -net mesh -n 128 -workload transpose -alg greedy
+//	routebench -net shuffle -n 5 -workload relation -trials 10
+//	routebench -net butterfly -n 12 -workload bitrev -skipphase1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pramemu/internal/hypercube"
+	"pramemu/internal/leveled"
+	"pramemu/internal/mathx"
+	"pramemu/internal/mesh"
+	"pramemu/internal/packet"
+	"pramemu/internal/shuffle"
+	"pramemu/internal/simnet"
+	"pramemu/internal/star"
+	"pramemu/internal/workload"
+)
+
+func main() {
+	netName := flag.String("net", "star", "network: star, shuffle, butterfly, hypercube, mesh")
+	n := flag.Int("n", 5, "network size parameter (star n, shuffle n, butterfly/hypercube dimension, mesh side)")
+	wl := flag.String("workload", "perm", "workload: perm, relation, bitrev, transpose, local, hotspot")
+	alg := flag.String("alg", "threestage", "mesh algorithm: threestage, vb, greedy")
+	disc := flag.String("disc", "furthest", "mesh discipline: furthest, fifo")
+	locality := flag.Int("d", 8, "locality distance for -workload local")
+	trials := flag.Int("trials", 5, "number of seeded trials")
+	seed := flag.Uint64("seed", 1991, "base seed")
+	skipPhase1 := flag.Bool("skipphase1", false, "disable the randomizing phase (ablation)")
+	flag.Parse()
+
+	switch *netName {
+	case "mesh":
+		runMesh(*n, *wl, *alg, *disc, *locality, *trials, *seed)
+	case "star", "shuffle", "butterfly", "hypercube":
+		runPointToPoint(*netName, *n, *wl, *trials, *seed, *skipPhase1)
+	default:
+		fmt.Fprintf(os.Stderr, "routebench: unknown network %q\n", *netName)
+		os.Exit(1)
+	}
+}
+
+func runMesh(n int, wl, alg, disc string, locality, trials int, seed uint64) {
+	g := mesh.New(n)
+	opts := mesh.Options{}
+	switch alg {
+	case "threestage":
+		opts.Algorithm = mesh.ThreeStage
+	case "vb":
+		opts.Algorithm = mesh.ValiantBrebner
+	case "greedy":
+		opts.Algorithm = mesh.Greedy
+	default:
+		fmt.Fprintf(os.Stderr, "routebench: unknown mesh algorithm %q\n", alg)
+		os.Exit(1)
+	}
+	if disc == "fifo" {
+		opts.Discipline = mesh.FIFODiscipline
+	}
+	rounds := make([]int, 0, trials)
+	maxQ := 0
+	for trial := 0; trial < trials; trial++ {
+		s := seed + uint64(trial)
+		var pkts []*packet.Packet
+		switch wl {
+		case "perm":
+			pkts = workload.Permutation(g.Nodes(), packet.Transit, s)
+		case "transpose":
+			pkts = workload.Transpose(g)
+		case "local":
+			pkts = workload.MeshLocal(g, locality, s)
+			opts.LocalityBound = locality
+			opts.SliceRows = max(1, locality/4)
+		default:
+			fmt.Fprintf(os.Stderr, "routebench: workload %q unsupported on mesh\n", wl)
+			os.Exit(1)
+		}
+		opts.Seed = s * 31
+		st := mesh.Route(g, pkts, opts)
+		rounds = append(rounds, st.Rounds)
+		if st.MaxQueue > maxQ {
+			maxQ = st.MaxQueue
+		}
+	}
+	fmt.Printf("%s %s alg=%s: rounds mean=%.1f max=%d (rounds/n=%.2f) maxQ=%d\n",
+		g.Name(), wl, alg, mathx.MeanInts(rounds), mathx.MaxInts(rounds),
+		mathx.MeanInts(rounds)/float64(n), maxQ)
+}
+
+func runPointToPoint(netName string, n int, wl string, trials int, seed uint64, skip bool) {
+	var topo simnet.Topology
+	var spec leveled.Spec
+	switch netName {
+	case "star":
+		g := star.New(n)
+		topo = g
+		spec = g.AsLeveled()
+	case "shuffle":
+		g := shuffle.NewNWay(n)
+		topo = g
+		spec = g.AsLeveled()
+	case "butterfly":
+		spec = leveled.NewButterfly(n)
+	case "hypercube":
+		topo = hypercube.New(n)
+	}
+	nodes := 0
+	if spec != nil {
+		nodes = spec.Width()
+	} else {
+		nodes = topo.Nodes()
+	}
+	rounds := make([]int, 0, trials)
+	maxQ := 0
+	for trial := 0; trial < trials; trial++ {
+		s := seed + uint64(trial)
+		var pkts []*packet.Packet
+		switch wl {
+		case "perm":
+			pkts = workload.Permutation(nodes, packet.Transit, s)
+		case "relation":
+			pkts = workload.Relation(nodes, max(2, n), packet.Transit, s)
+		case "bitrev":
+			pkts = workload.BitReversal(nodes, packet.Transit)
+		case "hotspot":
+			pkts = workload.HotSpot(nodes, 0.5, 0, s)
+		default:
+			fmt.Fprintf(os.Stderr, "routebench: unknown workload %q\n", wl)
+			os.Exit(1)
+		}
+		var r, q int
+		if spec != nil {
+			st := leveled.Route(spec, pkts, leveled.Options{Seed: s * 31, SkipPhase1: skip})
+			r, q = st.Rounds, st.MaxQueue
+		} else {
+			st := simnet.Route(topo, pkts, simnet.Options{Seed: s * 31, SkipPhase1: skip})
+			r, q = st.Rounds, st.MaxQueue
+		}
+		rounds = append(rounds, r)
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	name := netName
+	if spec != nil {
+		name = spec.Name()
+	} else {
+		name = topo.Name()
+	}
+	fmt.Printf("%s %s: rounds mean=%.1f max=%d maxQ=%d (N=%d)\n",
+		name, wl, mathx.MeanInts(rounds), mathx.MaxInts(rounds), maxQ, nodes)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,65 @@
+// Command tables regenerates every experiment table of the paper
+// reproduction (the E1-E12 index in DESIGN.md) and prints them to
+// stdout in the format recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	tables [-quick] [-trials N] [-seed S] [-only E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pramemu/internal/experiments"
+	"pramemu/internal/metrics"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced configurations")
+	trials := flag.Int("trials", 5, "seeded repetitions per configuration")
+	seed := flag.Uint64("seed", 1991, "base random seed")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E7,E8)")
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick, Trials: *trials, Seed: *seed}
+	type exp struct {
+		id  string
+		run func(experiments.Options) *metrics.Table
+	}
+	all := []exp{
+		{"E1", experiments.E1LeveledPermutation},
+		{"E2", experiments.E2StarRouting},
+		{"E3", experiments.E3ShuffleRouting},
+		{"E4", experiments.E4HashLoad},
+		{"E5", experiments.E5PRAMStepLeveled},
+		{"E6", experiments.E6StarVsHypercube},
+		{"E7", experiments.E7MeshRouting},
+		{"E8", experiments.E8MeshEmulation},
+		{"E9", experiments.E9MeshLocality},
+		{"E10", experiments.E10QueueSizes},
+		{"E11", experiments.E11Rehash},
+		{"E12", experiments.E12SortVsRoute},
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	ran := 0
+	for _, e := range all {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		e.run(o).Fprint(os.Stdout)
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "tables: no experiment matched %q\n", *only)
+		os.Exit(1)
+	}
+}

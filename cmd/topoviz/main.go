@@ -1,0 +1,131 @@
+// Command topoviz renders the paper's five figures as ASCII:
+//
+//	fig1 — a leveled network of ℓ levels with degree d (§2.3.1)
+//	fig2 — the 3-star graph and 4-star adjacency summary (§2.3.4)
+//	fig3 — the logical leveled network of the 3-star (Algorithm 2.2)
+//	fig4 — the 2-way shuffle with n = 2 (§2.3.5)
+//	fig5 — the sliced partitioning of the mesh (§3.4)
+//
+// Usage: topoviz [fig1|fig2|fig3|fig4|fig5|all]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"pramemu/internal/leveled"
+	"pramemu/internal/mesh"
+	"pramemu/internal/shuffle"
+	"pramemu/internal/star"
+)
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	figs := map[string]func(){
+		"fig1": fig1, "fig2": fig2, "fig3": fig3, "fig4": fig4, "fig5": fig5,
+	}
+	if which == "all" {
+		for _, name := range []string{"fig1", "fig2", "fig3", "fig4", "fig5"} {
+			figs[name]()
+			fmt.Println()
+		}
+		return
+	}
+	f, ok := figs[which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "topoviz: unknown figure %q (want fig1..fig5 or all)\n", which)
+		os.Exit(1)
+	}
+	f()
+}
+
+func fig1() {
+	fmt.Println("Figure 1: a leveled network (ℓ levels, width N, degree d)")
+	fmt.Println("  shown: d-ary butterfly d=2, ℓ=4 (binary butterfly, 8 rows)")
+	spec := leveled.NewButterfly(3)
+	for node := 0; node < spec.Width(); node++ {
+		var b strings.Builder
+		fmt.Fprintf(&b, "  node %d: ", node)
+		for level := 0; level < spec.Levels()-1; level++ {
+			fmt.Fprintf(&b, "L%d->{", level)
+			for slot := 0; slot < spec.OutDegree(level, node); slot++ {
+				if slot > 0 {
+					b.WriteString(",")
+				}
+				fmt.Fprintf(&b, "%d", spec.Out(level, node, slot))
+			}
+			b.WriteString("} ")
+		}
+		fmt.Println(b.String())
+	}
+}
+
+func fig2() {
+	fmt.Println("Figure 2(a): the 3-star graph (6 nodes, a 6-cycle of SWAP2/SWAP3 edges)")
+	g := star.New(3)
+	perm := make([]int, 3)
+	label := func(u int) string {
+		g.Perm(u, perm)
+		letters := []rune{'A', 'B', 'C'}
+		var b strings.Builder
+		for _, s := range perm {
+			b.WriteRune(letters[s])
+		}
+		return b.String()
+	}
+	for u := 0; u < g.Nodes(); u++ {
+		fmt.Printf("  %s --SWAP2--> %s   --SWAP3--> %s\n",
+			label(u), label(g.Neighbor(u, 0)), label(g.Neighbor(u, 1)))
+	}
+	fmt.Println("Figure 2(b): 4-star adjacency summary")
+	g4 := star.New(4)
+	fmt.Printf("  nodes=%d degree=%d diameter=%d (4 interconnected 3-stars)\n",
+		g4.Nodes(), g4.Degree(0), g4.Diameter())
+}
+
+func fig3() {
+	fmt.Println("Figure 3: logical leveled network of the 3-star")
+	g := star.New(3)
+	spec := g.AsLeveled()
+	fmt.Printf("  %d columns x %d nodes, degree %d (n-1 SWAP links + 1 stay link)\n",
+		spec.Levels(), spec.Width(), spec.Degree())
+	fmt.Println("  unique greedy path example: node 5 (CBA) -> node 0 (ABC):")
+	node, dst := g.Nodes()-1, 0
+	perm := make([]int, 3)
+	for level := 0; level < spec.Levels()-1; level++ {
+		g.Perm(node, perm)
+		next := spec.Out(level, node, spec.NextHop(level, node, dst))
+		fmt.Printf("    column %d: node %d %v\n", level, node, perm)
+		node = next
+	}
+	g.Perm(node, perm)
+	fmt.Printf("    column %d: node %d %v (destination)\n", spec.Levels()-1, node, perm)
+}
+
+func fig4() {
+	fmt.Println("Figure 4: the 2-way shuffle with n=2 (4 nodes)")
+	g := shuffle.New(2, 2)
+	for node := 0; node < g.Nodes(); node++ {
+		fmt.Printf("  %02b -> {%02b, %02b}\n", node, g.Neighbor(node, 0), g.Neighbor(node, 1))
+	}
+}
+
+func fig5() {
+	fmt.Println("Figure 5: partitioning of the mesh into horizontal slices (ε = 1/log n)")
+	const n = 16
+	g := mesh.New(n)
+	slice := 4 // n / log2(n) = 16/4
+	fmt.Printf("  %dx%d mesh, slice height %d:\n", n, n, slice)
+	for r := 0; r < n; r++ {
+		if r%slice == 0 {
+			fmt.Println("  +" + strings.Repeat("-", 2*n-1) + "+")
+		}
+		fmt.Println("  |" + strings.TrimRight(strings.Repeat("o ", n), " ") + "|")
+	}
+	fmt.Println("  +" + strings.Repeat("-", 2*n-1) + "+")
+	_ = g
+}

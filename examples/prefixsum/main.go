@@ -1,0 +1,54 @@
+// Prefixsum: run the same EREW prefix-sums program on the ideal PRAM,
+// on the 5-star graph, on the 4-way shuffle and on a hypercube of
+// comparable size — the portability the emulation theorems promise —
+// and compare the per-step emulation cost against each diameter.
+package main
+
+import (
+	"fmt"
+
+	"pramemu/internal/algorithms"
+	"pramemu/internal/emul"
+	"pramemu/internal/hypercube"
+	"pramemu/internal/pram"
+	"pramemu/internal/shuffle"
+	"pramemu/internal/star"
+)
+
+func run(name string, net emul.Network, procs, diam int) {
+	var exec pram.StepExecutor = pram.Unit{}
+	if net != nil {
+		exec = emul.New(net, emul.Config{Memory: 1 << 20, Seed: 5})
+	}
+	m := pram.New(pram.Config{Procs: procs, Memory: 1 << 20, Variant: pram.EREW, Executor: exec})
+	for i := 0; i < procs; i++ {
+		m.Store(uint64(i), int64(i))
+	}
+	algorithms.PrefixSums(m, 0, procs)
+	// Verify: prefix sums of 0..procs-1.
+	for i := 0; i < procs; i++ {
+		if m.Load(uint64(i)) != int64(i*(i+1)/2) {
+			panic("prefix sums incorrect on " + name)
+		}
+	}
+	perStep := float64(m.Time()) / float64(m.Steps())
+	fmt.Printf("%-22s procs=%-5d steps=%-3d time=%-6d per-step=%6.1f  (diam %d, %.2fx)\n",
+		name, procs, m.Steps(), m.Time(), perStep, diam, perStep/float64(diam))
+}
+
+func main() {
+	fmt.Println("EREW prefix sums, same program on four machines:")
+	run("ideal PRAM", nil, 120, 1)
+
+	sg := star.New(5) // 120 nodes, diameter 6
+	run(sg.Name(), &emul.LeveledNetwork{Spec: sg.AsLeveled(), Diam: sg.Diameter()}, sg.Nodes(), sg.Diameter())
+
+	sh := shuffle.NewNWay(3) // 27 nodes, diameter 3
+	run(sh.Name(), &emul.LeveledNetwork{Spec: sh.AsLeveled(), Diam: sh.Diameter()}, sh.Nodes(), sh.Diameter())
+
+	hc := hypercube.New(7) // 128 nodes, diameter 7
+	run(hc.Name(), &emul.DirectNetwork{Topo: hc}, hc.Nodes(), hc.Diameter())
+
+	fmt.Println("\nthe emulated cost per PRAM step tracks each network's diameter,")
+	fmt.Println("which for the star graph is sub-logarithmic in the node count.")
+}

@@ -1,0 +1,236 @@
+// Package algorithms is a library of classic PRAM programs — the
+// "sorting, graph and matrix problems" the paper's introduction cites
+// as the PRAM's raison d'être [5]. Every algorithm is written against
+// the pram.Proc API and therefore runs unchanged on the ideal
+// unit-cost machine or through any network emulator, which is exactly
+// the portability the emulation theorems promise.
+//
+// Each function documents its required machine variant, processor
+// count and PRAM step complexity; all panic if the machine is
+// mis-sized rather than silently computing garbage.
+package algorithms
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pramemu/internal/pram"
+)
+
+func requireProcs(m *pram.Machine, n int, name string) {
+	if m.Procs() != n {
+		panic(fmt.Sprintf("algorithms: %s needs exactly %d processors, machine has %d",
+			name, n, m.Procs()))
+	}
+}
+
+// ceilLog2 returns ⌈log2 n⌉ for n >= 1.
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// PrefixSums replaces x[i] (stored at base+i, 0 <= i < n) with
+// x[0]+...+x[i] using the Hillis–Steele doubling scheme.
+// Variant: EREW. Processors: n. Steps: 3⌈log2 n⌉.
+func PrefixSums(m *pram.Machine, base uint64, n int) {
+	requireProcs(m, n, "PrefixSums")
+	m.Run(func(p *pram.Proc) {
+		i := p.ID()
+		for stride := 1; stride < n; stride *= 2 {
+			var add int64
+			if i >= stride {
+				add = p.Read(base + uint64(i-stride))
+			} else {
+				p.Step()
+			}
+			cur := p.Read(base + uint64(i))
+			p.Write(base+uint64(i), cur+add)
+		}
+	})
+}
+
+// Broadcast copies the value at src into dst+i for every i < n by
+// recursive doubling. Variant: EREW. Processors: n.
+// Steps: 2(⌈log2 n⌉+1).
+func Broadcast(m *pram.Machine, src, dst uint64, n int) {
+	requireProcs(m, n, "Broadcast")
+	m.Run(func(p *pram.Proc) {
+		i := p.ID()
+		if i == 0 {
+			v := p.Read(src)
+			p.Write(dst, v)
+		} else {
+			p.Step()
+			p.Step()
+		}
+		for stride := 1; stride < n; stride *= 2 {
+			if i >= stride && i < 2*stride {
+				v := p.Read(dst + uint64(i-stride))
+				p.Write(dst+uint64(i), v)
+			} else {
+				p.Step()
+				p.Step()
+			}
+		}
+	})
+}
+
+// MaxTournament writes max(x[0..n-1]) (x at base) to out via a
+// binary reduction tree. Variant: EREW. Processors: n.
+// Steps: 1 + 2⌈log2 n⌉ + 1. The input array is left intact; scratch
+// space at base+n..base+2n-1 is used for the tree.
+func MaxTournament(m *pram.Machine, base uint64, n int, out uint64) {
+	requireProcs(m, n, "MaxTournament")
+	scratch := base + uint64(n)
+	m.Run(func(p *pram.Proc) {
+		i := p.ID()
+		v := p.Read(base + uint64(i))
+		p.Write(scratch+uint64(i), v)
+		for stride := 1; stride < n; stride *= 2 {
+			active := i%(2*stride) == 0 && i+stride < n
+			if active {
+				other := p.Read(scratch + uint64(i+stride))
+				if other > v {
+					v = other
+				}
+				p.Write(scratch+uint64(i), v)
+			} else {
+				p.Step()
+				p.Step()
+			}
+		}
+		if i == 0 {
+			p.Write(out, v)
+		} else {
+			p.Step()
+		}
+	})
+}
+
+// MaxConcurrent writes max(x[0..n-1]) to out in a single PRAM step
+// using the combining power of a concurrent-write machine — the
+// constant-time operation that motivates CRCW emulation (Thm 2.6).
+// Variant: CRCWMax. Processors: n. Steps: 2.
+func MaxConcurrent(m *pram.Machine, base uint64, n int, out uint64) {
+	requireProcs(m, n, "MaxConcurrent")
+	if m.Variant() != pram.CRCWMax {
+		panic("algorithms: MaxConcurrent needs a CRCW-max machine")
+	}
+	m.Run(func(p *pram.Proc) {
+		v := p.Read(base + uint64(p.ID()))
+		p.Write(out, v)
+	})
+}
+
+// CountTrue writes the number of nonzero flags among flag[0..n-1]
+// (at base) to out in two steps using sum-combining concurrent
+// writes. Variant: CRCWSum. Processors: n. Steps: 2.
+func CountTrue(m *pram.Machine, base uint64, n int, out uint64) {
+	requireProcs(m, n, "CountTrue")
+	if m.Variant() != pram.CRCWSum {
+		panic("algorithms: CountTrue needs a CRCW-sum machine")
+	}
+	m.Run(func(p *pram.Proc) {
+		v := p.Read(base + uint64(p.ID()))
+		if v != 0 {
+			p.Write(out, 1)
+		} else {
+			p.Step()
+		}
+	})
+}
+
+// ListRank computes, for every element of a linked list, its distance
+// to the end of the list, by pointer jumping. next[i] (at next+i)
+// holds the successor index or -1; on return rank[i] (at rank+i)
+// holds the number of links from i to the terminal element.
+// Variant: CREW (pointer jumping reads shared successors).
+// Processors: n. Steps: 6⌈log2 n⌉.
+func ListRank(m *pram.Machine, next, rank uint64, n int) {
+	requireProcs(m, n, "ListRank")
+	if m.Variant() == pram.EREW {
+		panic("algorithms: ListRank needs at least CREW")
+	}
+	m.Run(func(p *pram.Proc) {
+		i := p.ID()
+		ni := p.Read(next + uint64(i))
+		if ni >= 0 {
+			p.Write(rank+uint64(i), 1)
+		} else {
+			p.Write(rank+uint64(i), 0)
+		}
+		for it := 0; it < ceilLog2(n); it++ {
+			ni = p.Read(next + uint64(i))
+			if ni >= 0 {
+				rn := p.Read(rank + uint64(ni))
+				nn := p.Read(next + uint64(ni))
+				ri := p.Read(rank + uint64(i))
+				p.Write(rank+uint64(i), ri+rn)
+				p.Write(next+uint64(i), nn)
+			} else {
+				for s := 0; s < 5; s++ {
+					p.Step()
+				}
+			}
+		}
+	})
+}
+
+// OddEvenMergeSort sorts x[0..n-1] (at base) ascending with Batcher's
+// odd-even merge network; n must be a power of two.
+// Variant: EREW (partner reads pair up disjointly each step).
+// Processors: n. Steps: O(log^2 n).
+func OddEvenMergeSort(m *pram.Machine, base uint64, n int) {
+	requireProcs(m, n, "OddEvenMergeSort")
+	if n&(n-1) != 0 {
+		panic("algorithms: OddEvenMergeSort needs a power-of-two size")
+	}
+	m.Run(func(p *pram.Proc) {
+		i := p.ID()
+		for k := 2; k <= n; k *= 2 {
+			for j := k / 2; j >= 1; j /= 2 {
+				partner := i ^ j
+				mine := p.Read(base + uint64(i))
+				theirs := p.Read(base + uint64(partner))
+				ascending := i&k == 0
+				keepMin := (i < partner) == ascending
+				out := mine
+				if keepMin {
+					if theirs < out {
+						out = theirs
+					}
+				} else {
+					if theirs > out {
+						out = theirs
+					}
+				}
+				p.Write(base+uint64(i), out)
+			}
+		}
+	})
+}
+
+// MatMul computes the n x n product C = A * B with one processor per
+// output cell. A at a+i*n+k, B at b+k*n+j, C at c+i*n+j.
+// Variant: CREW (row/column values are read concurrently).
+// Processors: n*n. Steps: 2n+1.
+func MatMul(m *pram.Machine, a, b, c uint64, n int) {
+	requireProcs(m, n*n, "MatMul")
+	if m.Variant() == pram.EREW {
+		panic("algorithms: MatMul needs at least CREW")
+	}
+	m.Run(func(p *pram.Proc) {
+		i := p.ID() / n
+		j := p.ID() % n
+		var sum int64
+		for k := 0; k < n; k++ {
+			av := p.Read(a + uint64(i*n+k))
+			bv := p.Read(b + uint64(k*n+j))
+			sum += av * bv
+		}
+		p.Write(c+uint64(i*n+j), sum)
+	})
+}

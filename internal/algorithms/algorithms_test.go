@@ -1,0 +1,238 @@
+package algorithms
+
+import (
+	"sort"
+	"testing"
+
+	"pramemu/internal/emul"
+	"pramemu/internal/pram"
+	"pramemu/internal/prng"
+	"pramemu/internal/star"
+)
+
+func TestPrefixSums(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16, 33} {
+		m := pram.New(pram.Config{Procs: n, Memory: uint64(n) + 1, Variant: pram.EREW})
+		src := prng.New(uint64(n))
+		want := make([]int64, n)
+		acc := int64(0)
+		for i := 0; i < n; i++ {
+			v := int64(src.Intn(100) - 50)
+			m.Store(uint64(i), v)
+			acc += v
+			want[i] = acc
+		}
+		PrefixSums(m, 0, n)
+		for i := 0; i < n; i++ {
+			if got := m.Load(uint64(i)); got != want[i] {
+				t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 31} {
+		m := pram.New(pram.Config{Procs: n, Memory: uint64(n) + 1, Variant: pram.EREW})
+		m.Store(0, 77)
+		Broadcast(m, 0, 1, n)
+		for i := 0; i < n; i++ {
+			if got := m.Load(1 + uint64(i)); got != 77 {
+				t.Fatalf("n=%d: dst[%d] = %d", n, i, got)
+			}
+		}
+	}
+}
+
+func TestMaxTournament(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 21} {
+		m := pram.New(pram.Config{Procs: n, Memory: uint64(2*n) + 2, Variant: pram.EREW})
+		src := prng.New(uint64(n) + 5)
+		want := int64(-1 << 40)
+		for i := 0; i < n; i++ {
+			v := int64(src.Intn(1000) - 500)
+			m.Store(uint64(i), v)
+			if v > want {
+				want = v
+			}
+		}
+		out := uint64(2*n + 1)
+		MaxTournament(m, 0, n, out)
+		if got := m.Load(out); got != want {
+			t.Fatalf("n=%d: max = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMaxConcurrentSingleStep(t *testing.T) {
+	const n = 64
+	m := pram.New(pram.Config{Procs: n, Memory: n + 1, Variant: pram.CRCWMax})
+	src := prng.New(3)
+	want := int64(-1)
+	for i := 0; i < n; i++ {
+		v := int64(src.Intn(10000))
+		m.Store(uint64(i), v)
+		if v > want {
+			want = v
+		}
+	}
+	MaxConcurrent(m, 0, n, n)
+	if got := m.Load(n); got != want {
+		t.Fatalf("max = %d, want %d", got, want)
+	}
+	if m.Steps() != 2 {
+		t.Fatalf("CRCW max took %d steps, want 2", m.Steps())
+	}
+}
+
+func TestMaxConcurrentNeedsCRCWMax(t *testing.T) {
+	m := pram.New(pram.Config{Procs: 4, Memory: 8, Variant: pram.EREW})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want variant panic")
+		}
+	}()
+	MaxConcurrent(m, 0, 4, 5)
+}
+
+func TestCountTrue(t *testing.T) {
+	const n = 40
+	m := pram.New(pram.Config{Procs: n, Memory: n + 1, Variant: pram.CRCWSum})
+	want := int64(0)
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			m.Store(uint64(i), 1)
+			want++
+		}
+	}
+	CountTrue(m, 0, n, n)
+	if got := m.Load(n); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}
+
+func TestListRank(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 30} {
+		m := pram.New(pram.Config{Procs: n, Memory: uint64(2 * n), Variant: pram.CREW})
+		// Build a random list: permutation order defines successor.
+		order := prng.New(uint64(n) + 9).Perm(n)
+		next := make([]int64, n)
+		for pos, node := range order {
+			if pos+1 < n {
+				next[node] = int64(order[pos+1])
+			} else {
+				next[node] = -1
+			}
+		}
+		for i, v := range next {
+			m.Store(uint64(i), v)
+		}
+		ListRank(m, 0, uint64(n), n)
+		for pos, node := range order {
+			want := int64(n - 1 - pos)
+			if got := m.Load(uint64(n + node)); got != want {
+				t.Fatalf("n=%d: rank[%d] = %d, want %d", n, node, got, want)
+			}
+		}
+	}
+}
+
+func TestListRankNeedsCREW(t *testing.T) {
+	m := pram.New(pram.Config{Procs: 4, Memory: 8, Variant: pram.EREW})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want variant panic")
+		}
+	}()
+	ListRank(m, 0, 4, 4)
+}
+
+func TestOddEvenMergeSort(t *testing.T) {
+	for _, n := range []int{2, 4, 16, 64} {
+		m := pram.New(pram.Config{Procs: n, Memory: uint64(n), Variant: pram.EREW})
+		src := prng.New(uint64(n) + 1)
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(src.Intn(1000) - 500)
+			m.Store(uint64(i), vals[i])
+		}
+		OddEvenMergeSort(m, 0, n)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for i, want := range vals {
+			if got := m.Load(uint64(i)); got != want {
+				t.Fatalf("n=%d: sorted[%d] = %d, want %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+func TestOddEvenMergeSortPanicsNonPowerOfTwo(t *testing.T) {
+	m := pram.New(pram.Config{Procs: 6, Memory: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want power-of-two panic")
+		}
+	}()
+	OddEvenMergeSort(m, 0, 6)
+}
+
+func TestMatMul(t *testing.T) {
+	const n = 5
+	m := pram.New(pram.Config{Procs: n * n, Memory: 3 * n * n, Variant: pram.CREW})
+	src := prng.New(17)
+	var a, b [n][n]int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a[i][j] = int64(src.Intn(10) - 5)
+			b[i][j] = int64(src.Intn(10) - 5)
+			m.Store(uint64(i*n+j), a[i][j])
+			m.Store(uint64(n*n+i*n+j), b[i][j])
+		}
+	}
+	MatMul(m, 0, n*n, 2*n*n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want int64
+			for k := 0; k < n; k++ {
+				want += a[i][k] * b[k][j]
+			}
+			if got := m.Load(uint64(2*n*n + i*n + j)); got != want {
+				t.Fatalf("C[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestWrongProcCountPanics(t *testing.T) {
+	m := pram.New(pram.Config{Procs: 3, Memory: 16})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want processor-count panic")
+		}
+	}()
+	PrefixSums(m, 0, 4)
+}
+
+// TestPrefixSumsThroughStarEmulation is the end-to-end check of the
+// paper's promise: the same EREW program, run through the star-graph
+// emulator, computes the same answer, and each PRAM step costs Õ(n)
+// network rounds rather than 1.
+func TestPrefixSumsThroughStarEmulation(t *testing.T) {
+	const n = 24 // star n=4 has 24 nodes
+	g := star.New(4)
+	net := &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
+	e := emul.New(net, emul.Config{Memory: 64, Seed: 12})
+	m := pram.New(pram.Config{Procs: n, Memory: 64, Variant: pram.EREW, Executor: e})
+	for i := 0; i < n; i++ {
+		m.Store(uint64(i), 1)
+	}
+	PrefixSums(m, 0, n)
+	for i := 0; i < n; i++ {
+		if got := m.Load(uint64(i)); got != int64(i+1) {
+			t.Fatalf("prefix[%d] = %d through emulation", i, got)
+		}
+	}
+	if m.Time() <= int64(m.Steps()) {
+		t.Fatalf("emulated time %d should exceed step count %d", m.Time(), m.Steps())
+	}
+}

@@ -1,0 +1,61 @@
+package algorithms
+
+import "pramemu/internal/pram"
+
+// Compact stably moves the values val[i] (at val+i) whose flags
+// flag[i] (at flag+i) are nonzero to the front of out (at out+i), and
+// writes the surviving count to countAddr. It composes three phases:
+// flag copy, parallel prefix sums over the flags (computing each
+// survivor's output rank), and a scatter — the canonical PRAM stream
+// compaction. scratch must point at n unused words.
+// Variant: EREW. Processors: n. Steps: 2 + 3⌈log2 n⌉ + 4.
+func Compact(m *pram.Machine, val, flag, scratch, out, countAddr uint64, n int) {
+	requireProcs(m, n, "Compact")
+	// Phase 1: copy flags (normalized to 0/1) into scratch.
+	m.Run(func(p *pram.Proc) {
+		i := uint64(p.ID())
+		f := p.Read(flag + i)
+		if f != 0 {
+			p.Write(scratch+i, 1)
+		} else {
+			p.Write(scratch+i, 0)
+		}
+	})
+	// Phase 2: exclusive ranks via inclusive prefix sums.
+	PrefixSums(m, scratch, n)
+	// Phase 3: scatter survivors to their ranks; the last processor
+	// also publishes the total count.
+	m.Run(func(p *pram.Proc) {
+		i := uint64(p.ID())
+		f := p.Read(flag + i)
+		v := p.Read(val + i)
+		rank := p.Read(scratch + i) // inclusive: position+1 for survivors
+		if f != 0 {
+			p.Write(out+uint64(rank-1), v)
+		} else {
+			p.Step()
+		}
+		if int(i) == n-1 {
+			p.Write(countAddr, rank)
+		} else {
+			p.Step()
+		}
+	})
+}
+
+// InnerProduct writes Σ a[i]*b[i] to out in three steps using
+// sum-combining concurrent writes — the kind of constant-time
+// primitive that makes the CRCW PRAM strictly stronger and motivates
+// emulating it (Theorem 2.6). Variant: CRCWSum. Processors: n.
+func InnerProduct(m *pram.Machine, a, b, out uint64, n int) {
+	requireProcs(m, n, "InnerProduct")
+	if m.Variant() != pram.CRCWSum {
+		panic("algorithms: InnerProduct needs a CRCW-sum machine")
+	}
+	m.Run(func(p *pram.Proc) {
+		i := uint64(p.ID())
+		av := p.Read(a + i)
+		bv := p.Read(b + i)
+		p.Write(out, av*bv)
+	})
+}

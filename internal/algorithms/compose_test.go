@@ -1,0 +1,97 @@
+package algorithms
+
+import (
+	"testing"
+
+	"pramemu/internal/pram"
+	"pramemu/internal/prng"
+)
+
+func TestCompact(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 20, 33} {
+		m := pram.New(pram.Config{Procs: n, Memory: uint64(4*n) + 2, Variant: pram.EREW})
+		val := uint64(0)
+		flag := uint64(n)
+		scratch := uint64(2 * n)
+		out := uint64(3 * n)
+		countAddr := uint64(4 * n)
+		src := prng.New(uint64(n) + 3)
+		var want []int64
+		for i := 0; i < n; i++ {
+			v := int64(src.Intn(100))
+			m.Store(val+uint64(i), v)
+			if src.Intn(2) == 1 {
+				m.Store(flag+uint64(i), 1)
+				want = append(want, v)
+			}
+		}
+		Compact(m, val, flag, scratch, out, countAddr, n)
+		if got := m.Load(countAddr); got != int64(len(want)) {
+			t.Fatalf("n=%d: count = %d, want %d", n, got, len(want))
+		}
+		for i, w := range want {
+			if got := m.Load(out + uint64(i)); got != w {
+				t.Fatalf("n=%d: out[%d] = %d, want %d", n, i, got, w)
+			}
+		}
+	}
+}
+
+func TestCompactAllAndNone(t *testing.T) {
+	const n = 10
+	for _, all := range []bool{true, false} {
+		m := pram.New(pram.Config{Procs: n, Memory: 4*n + 2, Variant: pram.EREW})
+		for i := 0; i < n; i++ {
+			m.Store(uint64(i), int64(i))
+			if all {
+				m.Store(uint64(n+i), 7) // any nonzero flag counts
+			}
+		}
+		Compact(m, 0, n, 2*n, 3*n, 4*n, n)
+		wantCount := int64(0)
+		if all {
+			wantCount = n
+		}
+		if got := m.Load(4 * n); got != wantCount {
+			t.Fatalf("all=%v: count = %d", all, got)
+		}
+		if all {
+			for i := 0; i < n; i++ {
+				if m.Load(uint64(3*n+i)) != int64(i) {
+					t.Fatalf("identity compaction broke order at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestInnerProduct(t *testing.T) {
+	const n = 32
+	m := pram.New(pram.Config{Procs: n, Memory: 2*n + 1, Variant: pram.CRCWSum})
+	src := prng.New(5)
+	var want int64
+	for i := 0; i < n; i++ {
+		a := int64(src.Intn(20) - 10)
+		b := int64(src.Intn(20) - 10)
+		m.Store(uint64(i), a)
+		m.Store(uint64(n+i), b)
+		want += a * b
+	}
+	InnerProduct(m, 0, n, 2*n, n)
+	if got := m.Load(2 * n); got != want {
+		t.Fatalf("inner product = %d, want %d", got, want)
+	}
+	if m.Steps() != 3 {
+		t.Fatalf("steps = %d, want 3", m.Steps())
+	}
+}
+
+func TestInnerProductNeedsCRCWSum(t *testing.T) {
+	m := pram.New(pram.Config{Procs: 4, Memory: 16, Variant: pram.CREW})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want variant panic")
+		}
+	}()
+	InnerProduct(m, 0, 4, 8, 4)
+}

@@ -1,0 +1,248 @@
+// Package emul binds the PRAM to an interconnection network: it is
+// the paper's emulation recipe (§2.1, §2.4, §3.3). The shared address
+// space is scattered over the network's memory modules by a hash
+// function drawn from the Karlin–Upfal class H; each PRAM instruction
+// becomes one batch of read/write request packets routed from every
+// processor to the module holding its address "and back in case of a
+// read instruction"; CRCW steps additionally combine packets with the
+// same destination address en route (Theorem 2.6). If a step's
+// address placement overloads some module beyond the allotted cℓ
+// budget, a new hash function is chosen and the whole memory is
+// remapped — the rehashing protocol whose cost is charged explicitly
+// and whose frequency experiment E11 shows to be negligible.
+//
+// The Emulator implements pram.StepExecutor, so any PRAM program runs
+// unchanged on any emulated network; memory semantics are enforced by
+// the pram.Machine while the network run prices the step.
+package emul
+
+import (
+	"fmt"
+
+	"pramemu/internal/hashing"
+	"pramemu/internal/packet"
+	"pramemu/internal/pram"
+)
+
+// RouteStats is the network-independent summary of routing one
+// emulated PRAM step.
+type RouteStats struct {
+	// Rounds is the step's cost in network time (request delivery
+	// plus reply return).
+	Rounds int
+	// MaxQueue is the largest link-queue occupancy observed.
+	MaxQueue int
+	// Merges counts CRCW combining events (Theorem 2.6).
+	Merges int
+	// MaxModuleLoad is the largest number of requests delivered to
+	// one memory module.
+	MaxModuleLoad int
+	// Requests and Replies count delivered forward packets and
+	// returned read replies.
+	Requests, Replies int
+}
+
+// Network is an interconnection network that can route one emulated
+// PRAM step: deliver every request packet from its Src processor to
+// its Dst module and return a reply for every read.
+type Network interface {
+	// Name identifies the network in reports.
+	Name() string
+	// Nodes returns the number of processor/memory-module nodes.
+	Nodes() int
+	// Diameter returns the network diameter, the L in the paper's
+	// bounds (emulation is optimal when a step costs O(L)).
+	Diameter() int
+	// Route routes the request packets (with replies for reads),
+	// combining same-address requests when combine is set.
+	Route(pkts []*packet.Packet, combine bool, seed uint64) RouteStats
+}
+
+// Config parameterizes an Emulator.
+type Config struct {
+	// Memory is the PRAM address-space size M.
+	Memory uint64
+	// HashDegree is the polynomial degree S = cL of the hash class;
+	// 0 means 2 * Diameter (c = 2).
+	HashDegree int
+	// OverloadFactor c sets the rehash trigger: a step whose max
+	// module load exceeds c * Diameter forces a rehash. 0 means 4.
+	OverloadFactor int
+	// Combine enables CRCW en-route message combining.
+	Combine bool
+	// Seed drives hashing and routing randomness.
+	Seed uint64
+}
+
+// Emulator prices PRAM steps by routing them over a Network.
+type Emulator struct {
+	net       Network
+	cfg       Config
+	hash      *hashing.Manager
+	steps     []RouteStats
+	rehashes  int
+	seedCtr   uint64
+	threshold int
+}
+
+// New builds an emulator for the given network. It panics on
+// degenerate configuration.
+func New(net Network, cfg Config) *Emulator {
+	if cfg.Memory == 0 {
+		panic("emul: address space must be non-empty")
+	}
+	if uint64(net.Nodes()) > cfg.Memory {
+		panic("emul: fewer addresses than processors makes EREW steps impossible")
+	}
+	degree := cfg.HashDegree
+	if degree == 0 {
+		degree = 2 * net.Diameter()
+	}
+	factor := cfg.OverloadFactor
+	if factor == 0 {
+		factor = 4
+	}
+	class := hashing.NewClass(cfg.Memory, net.Nodes(), degree)
+	return &Emulator{
+		net:       net,
+		cfg:       cfg,
+		hash:      hashing.NewManager(class, cfg.Seed),
+		threshold: factor * net.Diameter(),
+	}
+}
+
+// Network returns the emulated network.
+func (e *Emulator) Network() Network { return e.net }
+
+// Rehashes returns how many rehash events have occurred.
+func (e *Emulator) Rehashes() int { return e.rehashes }
+
+// StepStats returns the per-step routing statistics recorded so far.
+func (e *Emulator) StepStats() []RouteStats { return append([]RouteStats(nil), e.steps...) }
+
+// HashBits returns the description size of the current hash function
+// in bits (the O(L log M) of §2.1).
+func (e *Emulator) HashBits() int { return e.hash.Current().Bits() }
+
+// ExecuteStep implements pram.StepExecutor: one PRAM instruction is
+// emulated by hashing each touched address to its module, routing the
+// request packets and read replies, and charging the routing time.
+func (e *Emulator) ExecuteStep(step int, reqs []pram.Request) int {
+	stats, cost := e.routeRequests(reqs)
+	e.steps = append(e.steps, stats)
+	return cost
+}
+
+// RouteRequests emulates a single synthetic step outside any PRAM
+// program (used by the benchmark harness) and returns its stats and
+// total cost including any rehash penalty.
+func (e *Emulator) RouteRequests(reqs []pram.Request) (RouteStats, int) {
+	return e.routeRequests(reqs)
+}
+
+func (e *Emulator) routeRequests(reqs []pram.Request) (RouteStats, int) {
+	cost := 0
+	for attempt := 0; ; attempt++ {
+		pkts, reads := e.buildPackets(reqs)
+		if len(pkts) == 0 {
+			// A compute-only step still costs one unit of time.
+			return RouteStats{}, cost + 1
+		}
+		if load := e.maxAddrLoad(reqs); load > e.threshold {
+			// Lemma 2.2's bad event: some module drew more than cL of
+			// the step's addresses. Draw a new hash function and remap
+			// the whole memory (charged below), then retry.
+			e.rehash()
+			cost += e.rehashCost()
+			if attempt > 64 {
+				panic("emul: persistent overload after 64 rehashes (degenerate workload)")
+			}
+			continue
+		}
+		stats := e.net.Route(pkts, e.cfg.Combine, e.nextSeed())
+		if stats.Requests != len(pkts) {
+			panic(fmt.Sprintf("emul: %s delivered %d/%d requests",
+				e.net.Name(), stats.Requests, len(pkts)))
+		}
+		if stats.Replies != reads {
+			panic(fmt.Sprintf("emul: %s returned %d/%d read replies",
+				e.net.Name(), stats.Replies, reads))
+		}
+		return stats, cost + stats.Rounds
+	}
+}
+
+// buildPackets turns a request vector into routable packets. Requests
+// from processor p originate at node p; the destination is the hashed
+// module of the address.
+func (e *Emulator) buildPackets(reqs []pram.Request) (pkts []*packet.Packet, reads int) {
+	h := e.hash.Current()
+	id := 0
+	for _, req := range reqs {
+		if req.Op == pram.OpNone {
+			continue
+		}
+		if req.Proc < 0 || req.Proc >= e.net.Nodes() {
+			panic(fmt.Sprintf("emul: processor %d has no node on %s", req.Proc, e.net.Name()))
+		}
+		kind := packet.ReadRequest
+		if req.Op == pram.OpWrite {
+			kind = packet.WriteRequest
+		} else {
+			reads++
+		}
+		p := packet.New(id, req.Proc, h.Hash(req.Addr), kind)
+		p.Addr = req.Addr
+		p.Value = req.Value
+		p.Proc = req.Proc
+		pkts = append(pkts, p)
+		id++
+	}
+	return pkts, reads
+}
+
+// maxAddrLoad returns the largest number of distinct step addresses
+// hashed to one module — the quantity Lemma 2.2 bounds.
+func (e *Emulator) maxAddrLoad(reqs []pram.Request) int {
+	h := e.hash.Current()
+	perModule := make(map[int]map[uint64]struct{})
+	max := 0
+	for _, req := range reqs {
+		if req.Op == pram.OpNone {
+			continue
+		}
+		mod := h.Hash(req.Addr)
+		set := perModule[mod]
+		if set == nil {
+			set = make(map[uint64]struct{})
+			perModule[mod] = set
+		}
+		set[req.Addr] = struct{}{}
+		if len(set) > max {
+			max = len(set)
+		}
+	}
+	return max
+}
+
+func (e *Emulator) rehash() {
+	e.hash.Rehash()
+	e.rehashes++
+}
+
+// rehashCost charges the memory redistribution: every module relocates
+// its ~M/N locations, pipelined through the network in batches that
+// each take a two-phase routing (~2 * diameter). This is the
+// "rehashing is very expensive" of §2.1, made concrete.
+func (e *Emulator) rehashCost() int {
+	perModule := int(e.cfg.Memory / uint64(e.net.Nodes()))
+	if perModule < 1 {
+		perModule = 1
+	}
+	return perModule * 2 * e.net.Diameter()
+}
+
+func (e *Emulator) nextSeed() uint64 {
+	e.seedCtr++
+	return e.cfg.Seed ^ (e.seedCtr * 0x9e3779b97f4a7c15)
+}

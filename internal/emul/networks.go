@@ -1,0 +1,237 @@
+package emul
+
+import (
+	"fmt"
+
+	"pramemu/internal/leveled"
+	"pramemu/internal/mesh"
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/ranade"
+	"pramemu/internal/simnet"
+)
+
+// LeveledNetwork adapts a leveled.Spec (star logical network, d-way
+// shuffle, butterfly, ...) to the emulator: requests traverse the
+// two-phase Algorithm 2.1 pipeline, replies retrace reversed paths
+// with Theorem 2.6 direction bits, combining optional.
+type LeveledNetwork struct {
+	Spec leveled.Spec
+	// Diam is the physical network diameter reported to the emulator
+	// (the leveled unrolling may be longer than the diameter).
+	Diam int
+	// Workers enables goroutine-parallel simulation when > 1.
+	Workers int
+}
+
+// Name implements Network.
+func (n *LeveledNetwork) Name() string { return n.Spec.Name() }
+
+// Nodes implements Network: one processor/module pair per column node.
+func (n *LeveledNetwork) Nodes() int { return n.Spec.Width() }
+
+// Diameter implements Network.
+func (n *LeveledNetwork) Diameter() int {
+	if n.Diam > 0 {
+		return n.Diam
+	}
+	return n.Spec.Levels() - 1
+}
+
+// Route implements Network.
+func (n *LeveledNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64) RouteStats {
+	s := leveled.Route(n.Spec, pkts, leveled.Options{
+		Seed:    seed,
+		Replies: true,
+		Combine: combine,
+		Workers: n.Workers,
+	})
+	return RouteStats{
+		Rounds:        s.Rounds,
+		MaxQueue:      s.MaxQueue,
+		Merges:        s.Merges,
+		MaxModuleLoad: s.MaxModuleLoad,
+		Requests:      s.DeliveredRequests,
+		Replies:       s.DeliveredReplies,
+	}
+}
+
+// DirectNetwork adapts a simnet.Topology (star graph, hypercube,
+// shuffle) to the emulator using Algorithm 2.2-style two-phase
+// routing with a random intermediate node.
+type DirectNetwork struct {
+	Topo simnet.Topology
+}
+
+// Name implements Network.
+func (n *DirectNetwork) Name() string { return n.Topo.Name() }
+
+// Nodes implements Network.
+func (n *DirectNetwork) Nodes() int { return n.Topo.Nodes() }
+
+// Diameter implements Network.
+func (n *DirectNetwork) Diameter() int { return n.Topo.Diameter() }
+
+// Route implements Network.
+func (n *DirectNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64) RouteStats {
+	s := simnet.Route(n.Topo, pkts, simnet.Options{
+		Seed:    seed,
+		Replies: true,
+		Combine: combine,
+	})
+	return RouteStats{
+		Rounds:        s.Rounds,
+		MaxQueue:      s.MaxQueue,
+		Merges:        s.Merges,
+		MaxModuleLoad: s.MaxModuleLoad,
+		Requests:      s.DeliveredRequests,
+		Replies:       s.DeliveredReplies,
+	}
+}
+
+// RanadeNetwork adapts Ranade's butterfly emulation [13] — the prior
+// work whose O(log N) time (and constant) the paper's leveled-network
+// results improve upon. Combining is always available (it is integral
+// to Ranade's sorted-stream protocol); the combine flag gates it for
+// ablations.
+type RanadeNetwork struct {
+	Net *ranade.Network
+}
+
+// Name implements Network.
+func (n *RanadeNetwork) Name() string { return n.Net.Name() }
+
+// Nodes implements Network.
+func (n *RanadeNetwork) Nodes() int { return n.Net.Nodes() }
+
+// Diameter implements Network.
+func (n *RanadeNetwork) Diameter() int { return n.Net.Diameter() }
+
+// Route implements Network.
+func (n *RanadeNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64) RouteStats {
+	s := n.Net.Route(pkts, combine, seed)
+	return RouteStats{
+		Rounds:        s.Rounds,
+		MaxQueue:      s.MaxQueue,
+		Merges:        s.Merges,
+		MaxModuleLoad: 0, // per-module loads are not tracked by this pass
+		Requests:      s.DeliveredRequests,
+		Replies:       s.DeliveredReplies,
+	}
+}
+
+// MeshNetwork adapts the n x n mesh. Scheme selects between the
+// paper's two-phase emulation (§3.3: request routing then reply
+// routing, 4n + o(n)) and the Karlin–Upfal four-phase scheme the
+// paper improves upon (requests detour via a random node in each
+// direction, ~8n).
+type MeshNetwork struct {
+	G      *mesh.Grid
+	Scheme MeshScheme
+	// Opts carries the routing algorithm/discipline for each phase.
+	Opts mesh.Options
+}
+
+// MeshScheme selects the emulation structure on the mesh.
+type MeshScheme int
+
+const (
+	// TwoPhase is the paper's algorithm: request, then reply.
+	TwoPhase MeshScheme = iota
+	// KarlinUpfal4Phase detours both the request and the reply
+	// through a uniformly random node (phases 1-4 of §3.3's summary
+	// of [4]).
+	KarlinUpfal4Phase
+)
+
+// Name implements Network.
+func (n *MeshNetwork) Name() string {
+	if n.Scheme == KarlinUpfal4Phase {
+		return n.G.Name() + "-ku4"
+	}
+	return n.G.Name()
+}
+
+// Nodes implements Network.
+func (n *MeshNetwork) Nodes() int { return n.G.Nodes() }
+
+// Diameter implements Network.
+func (n *MeshNetwork) Diameter() int { return n.G.Diameter() }
+
+// Route implements Network. The mesh router has no reply-retrace
+// machinery (and the paper's mesh algorithm does not retrace): the
+// reply phase is an independent routing task from module back to
+// processor. CRCW combining is a leveled-network mechanism (Thm 2.6);
+// the mesh emulation is the EREW algorithm of Theorem 3.2, so combine
+// is ignored here.
+func (n *MeshNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64) RouteStats {
+	_ = combine
+	src := prng.New(seed)
+	legs := n.buildLegs(pkts, src)
+	out := RouteStats{}
+	for i, leg := range legs {
+		if len(leg) == 0 {
+			continue
+		}
+		opts := n.Opts
+		opts.Seed = seed ^ uint64(i+1)*0x9e3779b97f4a7c15
+		s := mesh.Route(n.G, leg, opts)
+		if s.DeliveredRequests != len(leg) {
+			panic(fmt.Sprintf("emul: mesh leg %d delivered %d/%d", i, s.DeliveredRequests, len(leg)))
+		}
+		out.Rounds += s.Rounds
+		if s.MaxQueue > out.MaxQueue {
+			out.MaxQueue = s.MaxQueue
+		}
+	}
+	out.Requests = len(pkts)
+	for _, p := range pkts {
+		if p.Kind == packet.ReadRequest {
+			out.Replies++
+		}
+	}
+	// Module load: delivered requests per destination node.
+	loads := make(map[int]int)
+	for _, p := range pkts {
+		loads[p.Dst]++
+		if loads[p.Dst] > out.MaxModuleLoad {
+			out.MaxModuleLoad = loads[p.Dst]
+		}
+	}
+	return out
+}
+
+// buildLegs expands the request packets into the routing legs of the
+// chosen scheme. Each leg gets fresh packet clones (the mesh router
+// mutates routing state).
+func (n *MeshNetwork) buildLegs(pkts []*packet.Packet, src *prng.Source) [][]*packet.Packet {
+	clone := func(id, from, to int, kind packet.Kind) *packet.Packet {
+		return packet.New(id, from, to, kind)
+	}
+	switch n.Scheme {
+	case KarlinUpfal4Phase:
+		// Request: processor -> random node k -> module.
+		// Reply (reads): module -> random node k' -> processor.
+		var leg1, leg2, leg3, leg4 []*packet.Packet
+		for i, p := range pkts {
+			k := src.Intn(n.G.Nodes())
+			leg1 = append(leg1, clone(i, p.Src, k, packet.Transit))
+			leg2 = append(leg2, clone(i, k, p.Dst, packet.Transit))
+			if p.Kind == packet.ReadRequest {
+				k2 := src.Intn(n.G.Nodes())
+				leg3 = append(leg3, clone(i, p.Dst, k2, packet.Transit))
+				leg4 = append(leg4, clone(i, k2, p.Src, packet.Transit))
+			}
+		}
+		return [][]*packet.Packet{leg1, leg2, leg3, leg4}
+	default: // TwoPhase
+		var req, rep []*packet.Packet
+		for i, p := range pkts {
+			req = append(req, clone(i, p.Src, p.Dst, packet.Transit))
+			if p.Kind == packet.ReadRequest {
+				rep = append(rep, clone(i, p.Dst, p.Src, packet.Transit))
+			}
+		}
+		return [][]*packet.Packet{req, rep}
+	}
+}

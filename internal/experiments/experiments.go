@@ -1,0 +1,626 @@
+// Package experiments regenerates every evaluation result of the
+// paper. Each exported function is one experiment from the index in
+// DESIGN.md (E1-E12): it runs the relevant workloads over the
+// relevant networks and returns a metrics.Table whose rows are what
+// EXPERIMENTS.md records. The benchmark harness (bench_test.go) and
+// the cmd/tables binary both drive these functions; benchmarks use
+// reduced trial counts, cmd/tables the defaults.
+package experiments
+
+import (
+	"fmt"
+
+	"pramemu/internal/emul"
+	"pramemu/internal/hashing"
+	"pramemu/internal/hypercube"
+	"pramemu/internal/leveled"
+	"pramemu/internal/mathx"
+	"pramemu/internal/mesh"
+	"pramemu/internal/metrics"
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/ranade"
+	"pramemu/internal/shuffle"
+	"pramemu/internal/simnet"
+	"pramemu/internal/star"
+	"pramemu/internal/workload"
+)
+
+// Options tunes experiment size; the zero value picks full defaults.
+type Options struct {
+	// Trials is the number of seeded repetitions per configuration
+	// (default 5).
+	Trials int
+	// Quick shrinks the largest configurations for use in unit tests
+	// and benchmarks.
+	Quick bool
+	// Seed is the base seed (default 1991, the paper's year).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trials == 0 {
+		o.Trials = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1991
+	}
+	return o
+}
+
+// fmtF formats a float with two decimals.
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// E1LeveledPermutation reproduces Theorem 2.1: permutation routing on
+// leveled networks completes in Õ(ℓ) with FIFO queues of size Õ(ℓ).
+// Two sweeps: binary butterflies of growing depth (fixed d, growing
+// ℓ) and d-ary butterflies with ℓ = d+1 (the ℓ = O(d) regime the
+// emulation needs).
+func E1LeveledPermutation(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E1 (Thm 2.1) permutation routing on leveled networks",
+		"network", "d", "levels", "N", "rounds(mean)", "rounds(max)", "rounds/l", "maxQ", "queue/l")
+	butterflies := []int{6, 8, 10, 12, 14}
+	if o.Quick {
+		butterflies = []int{6, 8}
+	}
+	for _, k := range butterflies {
+		spec := leveled.NewButterfly(k)
+		addRow(t, spec, o)
+	}
+	ds := []int{2, 3, 4, 5, 6}
+	if o.Quick {
+		ds = []int{2, 3, 4}
+	}
+	for _, d := range ds {
+		spec := leveled.NewDAry(d, d+1)
+		addRow(t, spec, o)
+	}
+	return t
+}
+
+func addRow(t *metrics.Table, spec leveled.Spec, o Options) {
+	rounds := make([]int, 0, o.Trials)
+	maxQ := 0
+	for trial := 0; trial < o.Trials; trial++ {
+		seed := o.Seed + uint64(trial)
+		pkts := workload.Permutation(spec.Width(), packet.Transit, seed)
+		s := leveled.Route(spec, pkts, leveled.Options{Seed: seed * 31})
+		rounds = append(rounds, s.Rounds)
+		if s.MaxQueue > maxQ {
+			maxQ = s.MaxQueue
+		}
+	}
+	l := float64(spec.Levels())
+	t.AddRow(spec.Name(),
+		fmt.Sprintf("%d", spec.Degree()),
+		fmt.Sprintf("%d", spec.Levels()),
+		fmt.Sprintf("%d", spec.Width()),
+		fmtF(mathx.MeanInts(rounds)),
+		fmt.Sprintf("%d", mathx.MaxInts(rounds)),
+		fmtF(mathx.MeanInts(rounds)/l),
+		fmt.Sprintf("%d", maxQ),
+		fmtF(float64(maxQ)/l))
+}
+
+// E2StarRouting reproduces Theorem 2.2 and Corollary 2.1: permutation
+// and partial n-relation routing on the n-star graph in Õ(n) steps,
+// on both the physical network (Algorithm 2.2, random intermediate
+// node) and the logical leveled unrolling (Algorithm 2.1, random link
+// per level).
+func E2StarRouting(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E2 (Thm 2.2, Cor 2.1) n-star routing",
+		"n", "N=n!", "diam", "workload", "algorithm", "rounds(mean)", "rounds(max)", "rounds/diam", "maxQ")
+	ns := []int{4, 5, 6, 7}
+	if o.Quick {
+		ns = []int{4, 5}
+	}
+	for _, n := range ns {
+		g := star.New(n)
+		runStarRow(t, g, "perm", "direct(2.2)", o, func(seed uint64) (int, int) {
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			s := simnet.Route(g, pkts, simnet.Options{Seed: seed * 17})
+			return s.Rounds, s.MaxQueue
+		})
+		runStarRow(t, g, "perm", "leveled(2.1)", o, func(seed uint64) (int, int) {
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			s := leveled.Route(g.AsLeveled(), pkts, leveled.Options{Seed: seed * 17})
+			return s.Rounds, s.MaxQueue
+		})
+		runStarRow(t, g, "n-relation", "direct(2.2)", o, func(seed uint64) (int, int) {
+			pkts := workload.Relation(g.Nodes(), n, packet.Transit, seed)
+			s := simnet.Route(g, pkts, simnet.Options{Seed: seed * 17})
+			return s.Rounds, s.MaxQueue
+		})
+	}
+	return t
+}
+
+func runStarRow(t *metrics.Table, g *star.Graph, wl, alg string, o Options,
+	run func(seed uint64) (rounds, maxQ int)) {
+	rounds := make([]int, 0, o.Trials)
+	maxQ := 0
+	for trial := 0; trial < o.Trials; trial++ {
+		r, q := run(o.Seed + uint64(trial))
+		rounds = append(rounds, r)
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	t.AddRow(fmt.Sprintf("%d", g.N()),
+		fmt.Sprintf("%d", g.Nodes()),
+		fmt.Sprintf("%d", g.Diameter()),
+		wl, alg,
+		fmtF(mathx.MeanInts(rounds)),
+		fmt.Sprintf("%d", mathx.MaxInts(rounds)),
+		fmtF(mathx.MeanInts(rounds)/float64(g.Diameter())),
+		fmt.Sprintf("%d", maxQ))
+}
+
+// E3ShuffleRouting reproduces Theorem 2.3 and Corollary 2.2:
+// permutation and partial n-relation routing on the n-way shuffle in
+// Õ(n), via Algorithm 2.3 on the leveled view.
+func E3ShuffleRouting(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E3 (Thm 2.3, Cor 2.2) n-way shuffle routing",
+		"n", "N=n^n", "workload", "rounds(mean)", "rounds(max)", "rounds/n", "maxQ")
+	ns := []int{2, 3, 4, 5}
+	if !o.Quick {
+		ns = append(ns, 6)
+	}
+	for _, n := range ns {
+		g := shuffle.NewNWay(n)
+		for _, wl := range []string{"perm", "n-relation"} {
+			rounds := make([]int, 0, o.Trials)
+			maxQ := 0
+			for trial := 0; trial < o.Trials; trial++ {
+				seed := o.Seed + uint64(trial)
+				var pkts []*packet.Packet
+				if wl == "perm" {
+					pkts = workload.Permutation(g.Nodes(), packet.Transit, seed)
+				} else {
+					pkts = workload.Relation(g.Nodes(), n, packet.Transit, seed)
+				}
+				s := leveled.Route(g.AsLeveled(), pkts, leveled.Options{Seed: seed * 13})
+				rounds = append(rounds, s.Rounds)
+				if s.MaxQueue > maxQ {
+					maxQ = s.MaxQueue
+				}
+			}
+			t.AddRow(fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", g.Nodes()),
+				wl,
+				fmtF(mathx.MeanInts(rounds)),
+				fmt.Sprintf("%d", mathx.MaxInts(rounds)),
+				fmtF(mathx.MeanInts(rounds)/float64(n)),
+				fmt.Sprintf("%d", maxQ))
+		}
+	}
+	return t
+}
+
+// E4HashLoad reproduces Lemma 2.2 and Corollaries 3.1-3.2: with
+// degree S = cL, the maximum number of one step's addresses mapped to
+// a single module stays below cL w.h.p.; a degree sweep shows the
+// polynomial degree buying down the tail, and N-into-N hashing shows
+// the log/loglog balls-in-bins shape.
+func E4HashLoad(o Options) *metrics.Table {
+	o = o.withDefaults()
+	trials := o.Trials * 4
+	t := metrics.NewTable("E4 (Lemma 2.2, Cor 3.1) hash max module load",
+		"network", "N", "L", "degree S", "maxload(mean)", "maxload(max)", "bound cL", "hash bits")
+	type cfg struct {
+		name string
+		n, l int
+	}
+	cfgs := []cfg{
+		{"star n=6", 720, 7},
+		{"star n=7", 5040, 9},
+		{"shuffle n=4", 256, 4},
+		{"shuffle n=5", 3125, 5},
+	}
+	if o.Quick {
+		cfgs = cfgs[:2]
+	}
+	src := prng.New(o.Seed)
+	for _, c := range cfgs {
+		for _, mult := range []int{1, 2, 4} {
+			degree := mult * c.l
+			class := hashing.NewClass(1<<30, c.n, degree)
+			loads := make([]int, 0, trials)
+			bits := 0
+			for trial := 0; trial < trials; trial++ {
+				f := class.Draw(src)
+				bits = f.Bits()
+				addrs := make([]uint64, c.n)
+				for i := range addrs {
+					addrs[i] = src.Uint64n(1 << 30)
+				}
+				loads = append(loads, f.MaxLoad(addrs))
+			}
+			t.AddRow(c.name,
+				fmt.Sprintf("%d", c.n),
+				fmt.Sprintf("%d", c.l),
+				fmt.Sprintf("%d", degree),
+				fmtF(mathx.MeanInts(loads)),
+				fmt.Sprintf("%d", mathx.MaxInts(loads)),
+				fmt.Sprintf("%d", 2*c.l),
+				fmt.Sprintf("%d", bits))
+		}
+	}
+	return t
+}
+
+// E5PRAMStepLeveled reproduces Theorems 2.5 and 2.6 with Corollaries
+// 2.3-2.6: one EREW or CRCW PRAM step emulated on the star graph and
+// the n-way shuffle costs Õ(diameter) network rounds, with combining
+// keeping the CRCW hot spot at the same scale.
+func E5PRAMStepLeveled(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E5 (Thm 2.5/2.6) PRAM step emulation on leveled networks",
+		"network", "N", "diam", "step", "combine", "cost(mean)", "cost(max)", "cost/diam", "merges")
+	type netCfg struct {
+		name string
+		net  emul.Network
+	}
+	var nets []netCfg
+	starNs := []int{4, 5, 6}
+	shuffleNs := []int{3, 4}
+	if o.Quick {
+		starNs = []int{4, 5}
+		shuffleNs = []int{3}
+	}
+	for _, n := range starNs {
+		g := star.New(n)
+		nets = append(nets, netCfg{g.Name(), &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}})
+	}
+	for _, n := range shuffleNs {
+		g := shuffle.NewNWay(n)
+		nets = append(nets, netCfg{g.Name(), &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}})
+	}
+	for _, nc := range nets {
+		for _, mode := range []struct {
+			step    string
+			combine bool
+		}{
+			{"EREW random", false},
+			{"CRCW hotspot", true},
+			{"CRCW hotspot", false},
+		} {
+			costs := make([]int, 0, o.Trials)
+			merges := 0
+			for trial := 0; trial < o.Trials; trial++ {
+				seed := o.Seed + uint64(trial)
+				e := emul.New(nc.net, emul.Config{
+					Memory:  1 << 24,
+					Seed:    seed,
+					Combine: mode.combine,
+				})
+				var stats emul.RouteStats
+				var cost int
+				if mode.step == "EREW random" {
+					stats, cost = e.RouteRequests(workload.RandomStep(nc.net.Nodes(), 1<<24, false, seed*7))
+				} else {
+					stats, cost = e.RouteRequests(workload.CRCWStep(nc.net.Nodes(), 12345))
+				}
+				costs = append(costs, cost)
+				merges += stats.Merges
+			}
+			t.AddRow(nc.name,
+				fmt.Sprintf("%d", nc.net.Nodes()),
+				fmt.Sprintf("%d", nc.net.Diameter()),
+				mode.step,
+				fmt.Sprintf("%v", mode.combine),
+				fmtF(mathx.MeanInts(costs)),
+				fmt.Sprintf("%d", mathx.MaxInts(costs)),
+				fmtF(mathx.MeanInts(costs)/float64(nc.net.Diameter())),
+				fmt.Sprintf("%d", merges/o.Trials))
+		}
+	}
+	return t
+}
+
+// E6StarVsHypercube reproduces the introduction's comparison: the
+// star graph's degree and diameter grow more slowly than the
+// hypercube's as a function of network size, and PRAM-step emulation
+// time (∝ diameter) is accordingly sub-logarithmic vs logarithmic.
+func E6StarVsHypercube(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E6 (intro, §2.3.4) star vs hypercube",
+		"network", "N", "degree", "diameter", "EREW step cost", "cost/log2(N)")
+	type pair struct {
+		starN, cubeK int
+	}
+	pairs := []pair{{4, 5}, {5, 7}, {6, 10}}
+	if !o.Quick {
+		pairs = append(pairs, pair{7, 12})
+	}
+	for _, pr := range pairs {
+		sg := star.New(pr.starN)
+		cg := hypercube.New(pr.cubeK)
+		rb := ranade.New(pr.cubeK)
+		for _, side := range []struct {
+			name     string
+			net      emul.Network
+			degree   int
+			diameter int
+		}{
+			{sg.Name(), &emul.DirectNetwork{Topo: sg}, pr.starN - 1, sg.Diameter()},
+			{cg.Name(), &emul.DirectNetwork{Topo: cg}, pr.cubeK, cg.Diameter()},
+			{rb.Name(), &emul.RanadeNetwork{Net: rb}, 2, rb.Diameter()},
+		} {
+			costs := make([]int, 0, o.Trials)
+			for trial := 0; trial < o.Trials; trial++ {
+				seed := o.Seed + uint64(trial)
+				e := emul.New(side.net, emul.Config{Memory: 1 << 24, Seed: seed})
+				_, cost := e.RouteRequests(workload.RandomStep(side.net.Nodes(), 1<<24, false, seed*3))
+				costs = append(costs, cost)
+			}
+			logN := 0.0
+			for v := side.net.Nodes(); v > 1; v /= 2 {
+				logN++
+			}
+			t.AddRow(side.name,
+				fmt.Sprintf("%d", side.net.Nodes()),
+				fmt.Sprintf("%d", side.degree),
+				fmt.Sprintf("%d", side.diameter),
+				fmtF(mathx.MeanInts(costs)),
+				fmtF(mathx.MeanInts(costs)/logN))
+		}
+	}
+	return t
+}
+
+// E7MeshRouting reproduces Theorem 3.1: the three-stage mesh routing
+// algorithm finishes a random permutation in 2n + o(n) rounds with
+// modest queues, against the Valiant-Brebner 3n baseline.
+func E7MeshRouting(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E7 (Thm 3.1) mesh permutation routing, three-stage vs Valiant-Brebner",
+		"n", "N", "algorithm", "rounds(mean)", "rounds(max)", "rounds/n", "maxQ")
+	ns := []int{16, 32, 64, 128}
+	if !o.Quick {
+		ns = append(ns, 256)
+	}
+	for _, n := range ns {
+		g := mesh.New(n)
+		for _, alg := range []struct {
+			name string
+			a    mesh.Algorithm
+		}{{"three-stage", mesh.ThreeStage}, {"valiant-brebner", mesh.ValiantBrebner}} {
+			rounds := make([]int, 0, o.Trials)
+			maxQ := 0
+			for trial := 0; trial < o.Trials; trial++ {
+				seed := o.Seed + uint64(trial)
+				pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+				s := mesh.Route(g, pkts, mesh.Options{Seed: seed * 7, Algorithm: alg.a})
+				rounds = append(rounds, s.Rounds)
+				if s.MaxQueue > maxQ {
+					maxQ = s.MaxQueue
+				}
+			}
+			t.AddRow(fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", g.Nodes()),
+				alg.name,
+				fmtF(mathx.MeanInts(rounds)),
+				fmt.Sprintf("%d", mathx.MaxInts(rounds)),
+				fmtF(mathx.MeanInts(rounds)/float64(n)),
+				fmt.Sprintf("%d", maxQ))
+		}
+	}
+	return t
+}
+
+// E8MeshEmulation reproduces Theorem 3.2: one EREW PRAM step on the
+// n x n mesh costs 4n + o(n) with the paper's two-phase scheme,
+// against the Karlin-Upfal four-phase scheme (~8n).
+func E8MeshEmulation(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E8 (Thm 3.2) EREW PRAM step on the mesh",
+		"n", "scheme", "cost(mean)", "cost(max)", "cost/n")
+	ns := []int{16, 32, 64}
+	if !o.Quick {
+		ns = append(ns, 128)
+	}
+	for _, n := range ns {
+		g := mesh.New(n)
+		for _, scheme := range []struct {
+			name string
+			s    emul.MeshScheme
+		}{{"two-phase (ours)", emul.TwoPhase}, {"karlin-upfal 4-phase", emul.KarlinUpfal4Phase}} {
+			costs := make([]int, 0, o.Trials)
+			for trial := 0; trial < o.Trials; trial++ {
+				seed := o.Seed + uint64(trial)
+				net := &emul.MeshNetwork{G: g, Scheme: scheme.s}
+				e := emul.New(net, emul.Config{Memory: 1 << 26, Seed: seed})
+				_, cost := e.RouteRequests(workload.RandomStep(g.Nodes(), 1<<26, false, seed*5))
+				costs = append(costs, cost)
+			}
+			t.AddRow(fmt.Sprintf("%d", n), scheme.name,
+				fmtF(mathx.MeanInts(costs)),
+				fmt.Sprintf("%d", mathx.MaxInts(costs)),
+				fmtF(mathx.MeanInts(costs)/float64(n)))
+		}
+	}
+	return t
+}
+
+// E9MeshLocality reproduces Theorem 3.3: requests originating within
+// L1 distance d of their memory finish in O(d) — ~2d per routing
+// phase, ~4d for the emulated request+reply step, within the 6d+o(d)
+// bound.
+func E9MeshLocality(o Options) *metrics.Table {
+	o = o.withDefaults()
+	n := 128
+	if o.Quick {
+		n = 64
+	}
+	g := mesh.New(n)
+	t := metrics.NewTable(
+		fmt.Sprintf("E9 (Thm 3.3) locality on the %dx%d mesh", n, n),
+		"d", "phase rounds(mean)", "phase/d", "step cost(mean)", "step/d", "bound 6d")
+	ds := []int{4, 8, 16, 32}
+	if !o.Quick {
+		ds = append(ds, 64)
+	}
+	for _, d := range ds {
+		phase := make([]int, 0, o.Trials)
+		step := make([]int, 0, o.Trials)
+		for trial := 0; trial < o.Trials; trial++ {
+			seed := o.Seed + uint64(trial)
+			pkts := workload.MeshLocal(g, d, seed)
+			opts := mesh.Options{Seed: seed * 3, LocalityBound: d, SliceRows: maxInt(1, d/4)}
+			s := mesh.Route(g, pkts, opts)
+			phase = append(phase, s.Rounds)
+			// Emulated step: request leg + reply leg.
+			reply := make([]*packet.Packet, len(pkts))
+			for i, p := range pkts {
+				reply[i] = packet.New(i, p.Dst, p.Src, packet.Transit)
+			}
+			opts.Seed = seed * 11
+			s2 := mesh.Route(g, reply, opts)
+			step = append(step, s.Rounds+s2.Rounds)
+		}
+		t.AddRow(fmt.Sprintf("%d", d),
+			fmtF(mathx.MeanInts(phase)),
+			fmtF(mathx.MeanInts(phase)/float64(d)),
+			fmtF(mathx.MeanInts(step)),
+			fmtF(mathx.MeanInts(step)/float64(d)),
+			fmt.Sprintf("%d", 6*d))
+	}
+	return t
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// E10QueueSizes ablates the queueing discipline (§3.4): furthest-
+// destination-first vs FIFO on random permutations, reporting max
+// queue occupancy and completion time.
+func E10QueueSizes(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E10 (§3.4) queue discipline ablation on the mesh",
+		"n", "discipline", "rounds(mean)", "maxQ(mean)", "maxQ(max)")
+	ns := []int{32, 64, 128}
+	if o.Quick {
+		ns = []int{32, 64}
+	}
+	for _, n := range ns {
+		g := mesh.New(n)
+		for _, disc := range []struct {
+			name string
+			d    mesh.Discipline
+		}{{"furthest-first", mesh.FurthestFirst}, {"fifo", mesh.FIFODiscipline}} {
+			rounds := make([]int, 0, o.Trials)
+			queues := make([]int, 0, o.Trials)
+			for trial := 0; trial < o.Trials; trial++ {
+				seed := o.Seed + uint64(trial)
+				pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+				s := mesh.Route(g, pkts, mesh.Options{Seed: seed * 19, Discipline: disc.d})
+				rounds = append(rounds, s.Rounds)
+				queues = append(queues, s.MaxQueue)
+			}
+			t.AddRow(fmt.Sprintf("%d", n), disc.name,
+				fmtF(mathx.MeanInts(rounds)),
+				fmtF(mathx.MeanInts(queues)),
+				fmt.Sprintf("%d", mathx.MaxInts(queues)))
+		}
+	}
+	return t
+}
+
+// E11Rehash reproduces §2.1's rehashing claims: with the proper
+// degree S = cL the rehash never fires across hundreds of steps on a
+// healthy network, while a deliberately tiny network with a tight
+// threshold shows the machinery working and its cost being charged.
+func E11Rehash(o Options) *metrics.Table {
+	o = o.withDefaults()
+	steps := 200
+	if o.Quick {
+		steps = 40
+	}
+	t := metrics.NewTable("E11 (§2.1) rehash frequency",
+		"network", "threshold cL", "steps", "rehashes", "hash bits")
+	for _, cfg := range []struct {
+		name   string
+		net    emul.Network
+		factor int
+	}{
+		{"star n=5 (healthy)", starLeveledNet(5), 4},
+		{"star n=6 (healthy)", starLeveledNet(6), 4},
+		{"star n=3 (tight threshold)", starLeveledNet(3), 1},
+	} {
+		e := emul.New(cfg.net, emul.Config{
+			Memory:         1 << 22,
+			Seed:           o.Seed,
+			OverloadFactor: cfg.factor,
+		})
+		for s := 0; s < steps; s++ {
+			e.RouteRequests(workload.RandomStep(cfg.net.Nodes(), 1<<22, s%2 == 0, o.Seed+uint64(s)))
+		}
+		t.AddRow(cfg.name,
+			fmt.Sprintf("%d", cfg.factor*cfg.net.Diameter()),
+			fmt.Sprintf("%d", steps),
+			fmt.Sprintf("%d", e.Rehashes()),
+			fmt.Sprintf("%d", e.HashBits()))
+	}
+	return t
+}
+
+func starLeveledNet(n int) emul.Network {
+	g := star.New(n)
+	return &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
+}
+
+// E12SortVsRoute reproduces §2.2.1's remark that sorting-based
+// (Batcher-style) routing costs many times the network diameter:
+// shearsort permutation routing vs the three-stage randomized
+// algorithm.
+func E12SortVsRoute(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E12 (§2.2.1) deterministic sorting-based routing vs randomized",
+		"n", "shearsort rounds", "three-stage rounds(mean)", "ratio")
+	ns := []int{16, 32, 64, 128}
+	if o.Quick {
+		ns = []int{16, 32}
+	}
+	for _, n := range ns {
+		g := mesh.New(n)
+		sortRounds := mesh.SortRoute(g, workload.Permutation(g.Nodes(), packet.Transit, o.Seed))
+		rounds := make([]int, 0, o.Trials)
+		for trial := 0; trial < o.Trials; trial++ {
+			seed := o.Seed + uint64(trial)
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			s := mesh.Route(g, pkts, mesh.Options{Seed: seed})
+			rounds = append(rounds, s.Rounds)
+		}
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", sortRounds),
+			fmtF(mathx.MeanInts(rounds)),
+			fmtF(float64(sortRounds)/mathx.MeanInts(rounds)))
+	}
+	return t
+}
+
+// All runs every experiment and returns the tables in order.
+func All(o Options) []*metrics.Table {
+	return []*metrics.Table{
+		E1LeveledPermutation(o),
+		E2StarRouting(o),
+		E3ShuffleRouting(o),
+		E4HashLoad(o),
+		E5PRAMStepLeveled(o),
+		E6StarVsHypercube(o),
+		E7MeshRouting(o),
+		E8MeshEmulation(o),
+		E9MeshLocality(o),
+		E10QueueSizes(o),
+		E11Rehash(o),
+		E12SortVsRoute(o),
+	}
+}

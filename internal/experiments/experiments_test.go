@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Quick: true, Trials: 2, Seed: 7} }
+
+func TestAllExperimentsProduceRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tables := All(quick())
+	if len(tables) != 12 {
+		t.Fatalf("expected 12 experiment tables, got %d", len(tables))
+	}
+	for i, tb := range tables {
+		if tb.Rows() == 0 {
+			t.Fatalf("experiment %d produced no rows:\n%s", i+1, tb)
+		}
+		if !strings.Contains(tb.String(), "E") {
+			t.Fatalf("experiment %d lacks a title", i+1)
+		}
+	}
+}
+
+// lastFloat extracts the float in the given column of the last row of
+// a rendered table — crude but sufficient for shape assertions.
+func cellFloat(t *testing.T, line string, col int) float64 {
+	fields := strings.Fields(line)
+	if col >= len(fields) {
+		t.Fatalf("line %q has %d fields", line, len(fields))
+	}
+	v, err := strconv.ParseFloat(fields[col], 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", fields[col], err)
+	}
+	return v
+}
+
+func dataLines(s string) []string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "-") {
+			continue
+		}
+		out = append(out, trimmed)
+	}
+	// Drop title and header.
+	return out[2:]
+}
+
+func TestE7ThreeStageBeatsValiantBrebner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tb := E7MeshRouting(quick())
+	lines := dataLines(tb.String())
+	// Rows alternate three-stage / valiant-brebner per n; compare the
+	// rounds/n column (index 5 after splitting: n N alg mean max
+	// rounds/n maxQ — "three-stage" is one field).
+	for i := 0; i+1 < len(lines); i += 2 {
+		three := cellFloat(t, lines[i], 5)
+		vb := cellFloat(t, lines[i+1], 5)
+		if three >= vb {
+			t.Fatalf("three-stage %.2f not below valiant-brebner %.2f\n%s", three, vb, tb)
+		}
+	}
+}
+
+func TestE8TwoPhaseBeatsKU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tb := E8MeshEmulation(quick())
+	lines := dataLines(tb.String())
+	for i := 0; i+1 < len(lines); i += 2 {
+		// columns: n scheme... cost(mean) cost(max) cost/n; scheme
+		// names contain spaces, so index from the end.
+		f1 := strings.Fields(lines[i])
+		f2 := strings.Fields(lines[i+1])
+		two, err1 := strconv.ParseFloat(f1[len(f1)-1], 64)
+		ku, err2 := strconv.ParseFloat(f2[len(f2)-1], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("parse failure on:\n%s", tb)
+		}
+		if two >= ku {
+			t.Fatalf("two-phase %.2f not below KU %.2f\n%s", two, ku, tb)
+		}
+	}
+}
+
+func TestE12SortingMuchSlower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tb := E12SortVsRoute(quick())
+	lines := dataLines(tb.String())
+	for _, line := range lines {
+		f := strings.Fields(line)
+		ratio, err := strconv.ParseFloat(f[len(f)-1], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if ratio < 2 {
+			t.Fatalf("sorting/routing ratio %.2f below 2\n%s", ratio, tb)
+		}
+	}
+}
+
+func TestE11NoRehashOnHealthyNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tb := E11Rehash(quick())
+	lines := dataLines(tb.String())
+	for _, line := range lines {
+		if !strings.Contains(line, "healthy") {
+			continue
+		}
+		f := strings.Fields(line)
+		// columns: name... threshold steps rehashes bits
+		rehashes, err := strconv.Atoi(f[len(f)-2])
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if rehashes != 0 {
+			t.Fatalf("healthy network rehashed %d times:\n%s", rehashes, tb)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package hypercube implements the binary n-cube, the logarithmic-
+// diameter reference network of the paper's introduction: Ranade's
+// emulation achieves O(log N) per PRAM step on it, which the star
+// graph and n-way shuffle beat with their sub-logarithmic diameters.
+// Deterministic paths follow e-cube (dimension-order) routing, and
+// Valiant-Brebner two-phase randomized routing is obtained by running
+// the shared simnet simulator over this topology.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Graph is a binary hypercube of dimension k with 2^k nodes.
+type Graph struct {
+	k     int
+	nodes int
+}
+
+// New constructs a k-dimensional hypercube. It panics unless
+// 1 <= k <= 24 (the simulator's node-id key space).
+func New(k int) *Graph {
+	if k < 1 || k > 24 {
+		panic("hypercube: dimension must be in [1, 24]")
+	}
+	return &Graph{k: k, nodes: 1 << k}
+}
+
+// K returns the dimension.
+func (g *Graph) K() int { return g.k }
+
+// Name implements simnet.Topology.
+func (g *Graph) Name() string { return fmt.Sprintf("hypercube(k=%d)", g.k) }
+
+// Nodes implements simnet.Topology: 2^k.
+func (g *Graph) Nodes() int { return g.nodes }
+
+// Degree implements simnet.Topology: k links per node.
+func (g *Graph) Degree(node int) int { return g.k }
+
+// Neighbor implements simnet.Topology: flip bit `slot`.
+func (g *Graph) Neighbor(node, slot int) int { return node ^ (1 << slot) }
+
+// Diameter implements simnet.Topology: k.
+func (g *Graph) Diameter() int { return g.k }
+
+// NextHop implements simnet.Topology with e-cube routing: correct the
+// lowest-order differing bit first. The path from node to dst is the
+// unique dimension-ordered path of length popcount(node^dst).
+func (g *Graph) NextHop(node, dst, taken int) (slot int, done bool) {
+	diff := node ^ dst
+	if diff == 0 {
+		return 0, true
+	}
+	return bits.TrailingZeros(uint(diff)), false
+}
+
+// Distance returns the Hamming distance between node labels.
+func (g *Graph) Distance(u, v int) int { return bits.OnesCount(uint(u ^ v)) }

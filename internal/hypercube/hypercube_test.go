@@ -1,0 +1,102 @@
+package hypercube
+
+import (
+	"testing"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/simnet"
+)
+
+func TestDimensions(t *testing.T) {
+	g := New(5)
+	if g.Nodes() != 32 || g.Degree(0) != 5 || g.Diameter() != 5 || g.K() != 5 {
+		t.Fatalf("cube(5): nodes=%d degree=%d diam=%d", g.Nodes(), g.Degree(0), g.Diameter())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, k := range []int{0, 25} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", k)
+				}
+			}()
+			New(k)
+		}()
+	}
+}
+
+func TestNeighborInvolution(t *testing.T) {
+	g := New(6)
+	for node := 0; node < g.Nodes(); node++ {
+		for slot := 0; slot < g.k; slot++ {
+			v := g.Neighbor(node, slot)
+			if g.Distance(node, v) != 1 {
+				t.Fatalf("neighbor at Hamming distance %d", g.Distance(node, v))
+			}
+			if g.Neighbor(v, slot) != node {
+				t.Fatal("neighbor relation is not an involution")
+			}
+		}
+	}
+}
+
+func TestECubePathLengthIsHamming(t *testing.T) {
+	g := New(7)
+	for src := 0; src < g.Nodes(); src += 5 {
+		for dst := 0; dst < g.Nodes(); dst += 3 {
+			node, hops := src, 0
+			for {
+				slot, done := g.NextHop(node, dst, hops)
+				if done {
+					break
+				}
+				node = g.Neighbor(node, slot)
+				hops++
+				if hops > g.k {
+					t.Fatal("e-cube routing did not terminate")
+				}
+			}
+			if node != dst || hops != g.Distance(src, dst) {
+				t.Fatalf("path %d->%d: ended %d after %d hops, want dist %d",
+					src, dst, node, hops, g.Distance(src, dst))
+			}
+		}
+	}
+}
+
+func TestECubeIsDimensionOrdered(t *testing.T) {
+	g := New(8)
+	src, dst := 0b10110100, 0b00011001
+	node, last := src, -1
+	for {
+		slot, done := g.NextHop(node, dst, 0)
+		if done {
+			break
+		}
+		if slot <= last {
+			t.Fatalf("dimensions corrected out of order: %d after %d", slot, last)
+		}
+		last = slot
+		node = g.Neighbor(node, slot)
+	}
+}
+
+func TestValiantPermutationRouting(t *testing.T) {
+	g := New(9) // 512 nodes
+	perm := prng.New(12).Perm(g.Nodes())
+	pkts := make([]*packet.Packet, len(perm))
+	for i, dst := range perm {
+		pkts[i] = packet.New(i, i, dst, packet.Transit)
+	}
+	stats := simnet.Route(g, pkts, simnet.Options{Seed: 7})
+	if stats.DeliveredRequests != g.Nodes() {
+		t.Fatalf("delivered %d/%d", stats.DeliveredRequests, g.Nodes())
+	}
+	// Õ(log N): generously under 10k for k=9.
+	if stats.Rounds > 10*g.k {
+		t.Fatalf("rounds %d not Õ(k)", stats.Rounds)
+	}
+}

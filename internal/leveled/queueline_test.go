@@ -1,0 +1,118 @@
+package leveled
+
+import (
+	"testing"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+)
+
+// pathLinks returns the set of directed logical links of a recorded
+// path, keyed by (level, from, to).
+func pathLinks(p *packet.Packet) map[[3]int32]bool {
+	links := make(map[[3]int32]bool, len(p.Path)-1)
+	for j := 0; j+1 < len(p.Path); j++ {
+		links[[3]int32{int32(j), p.Path[j], p.Path[j+1]}] = true
+	}
+	return links
+}
+
+// TestQueueLineLemma validates Fact 2.1 empirically: in a nonrepeating
+// routing scheme, the number of steps a packet is delayed is at most
+// the number of packets whose paths overlap (share a link with) its
+// path. A single deterministic traversal is nonrepeating (divergence
+// at level l fixes digit l for good), so we check the lemma there,
+// under the heavy contention of the bit-reversal permutation.
+func TestQueueLineLemma(t *testing.T) {
+	spec := NewDAry(2, 8)
+	perm := make([]int, spec.Width())
+	for i := range perm {
+		rev := 0
+		for b := 0; b < 7; b++ {
+			rev = rev<<1 | (i >> b & 1)
+		}
+		perm[i] = rev
+	}
+	pkts := permPackets(perm, packet.Transit)
+	Route(spec, pkts, Options{Seed: 6, RecordPaths: true, SkipPhase1: true})
+
+	links := make([]map[[3]int32]bool, len(pkts))
+	for i, p := range pkts {
+		links[i] = pathLinks(p)
+	}
+	for i, p := range pkts {
+		overlapping := 0
+		for j, q := range pkts {
+			if i == j {
+				continue
+			}
+			for l := range links[j] {
+				if links[i][l] {
+					overlapping++
+					break
+				}
+			}
+			_ = q
+		}
+		if p.Delay > overlapping {
+			t.Fatalf("packet %d delayed %d rounds but only %d packets overlap its path",
+				p.ID, p.Delay, overlapping)
+		}
+	}
+}
+
+// TestNonrepeatingProperty validates Definition 2.1 for a single
+// leveled traversal: if two paths share a link and then diverge, they
+// never share a link again (divergence at level l means the labels
+// differ in digit l, which later levels never touch). This is the
+// property that licenses the queue-line lemma in the proofs of
+// Theorems 2.1 and 2.4; each phase of the two-phase algorithm is one
+// such traversal.
+func TestNonrepeatingProperty(t *testing.T) {
+	spec := NewDAry(3, 5)
+	perm := prng.New(8).Perm(spec.Width())
+	pkts := permPackets(perm, packet.Transit)
+	Route(spec, pkts, Options{Seed: 12, RecordPaths: true, SkipPhase1: true})
+
+	for i := 0; i < len(pkts); i++ {
+		for j := i + 1; j < len(pkts); j++ {
+			a, b := pkts[i].Path, pkts[j].Path
+			if len(a) != len(b) {
+				t.Fatal("leveled paths must have equal length")
+			}
+			shared, diverged, rejoined := false, false, false
+			for l := 0; l+1 < len(a); l++ {
+				same := a[l] == b[l] && a[l+1] == b[l+1]
+				switch {
+				case same && !shared:
+					shared = true
+				case !same && shared:
+					diverged = true
+					shared = false
+				case same && diverged:
+					rejoined = true
+				}
+			}
+			if rejoined {
+				t.Fatalf("packets %d and %d diverged and re-shared a link:\n%v\n%v",
+					pkts[i].ID, pkts[j].ID, a, b)
+			}
+		}
+	}
+}
+
+// TestDelayAccountingMatchesArrival cross-checks the simulator's
+// cost model: arrival round == injection + hops + delay for every
+// packet (the "number of steps" identity of §2.2.1).
+func TestDelayAccountingMatchesArrival(t *testing.T) {
+	spec := NewDAry(2, 9)
+	perm := prng.New(10).Perm(spec.Width())
+	pkts := permPackets(perm, packet.Transit)
+	Route(spec, pkts, Options{Seed: 3})
+	for _, p := range pkts {
+		if p.Arrived != p.Injected+p.Hops+p.Delay {
+			t.Fatalf("packet %d: arrived %d != injected %d + hops %d + delay %d",
+				p.ID, p.Arrived, p.Injected, p.Hops, p.Delay)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+package leveled
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/queue"
+)
+
+// Options configures a routing run.
+type Options struct {
+	// Seed drives every random choice; equal seeds give identical runs.
+	Seed uint64
+	// SkipPhase1 disables the randomizing first traversal and routes
+	// every packet directly along its unique path. This is the
+	// ablation showing why Valiant's phase 1 is needed: adversarial
+	// permutations then congest single links.
+	SkipPhase1 bool
+	// Replies makes every delivered request retrace its recorded path
+	// in reverse as a reply (ReadReply / WriteAck), per the direction
+	// bits of Theorem 2.6. Rounds then counts until all replies are
+	// home.
+	Replies bool
+	// Combine merges same-kind requests for the same address and
+	// module that meet in a queue during the deterministic traversal
+	// (Theorem 2.6's message combining). Implies path recording.
+	Combine bool
+	// RecordPaths forces path recording even without Replies/Combine
+	// (used by path-property tests).
+	RecordPaths bool
+	// Workers > 1 enables goroutine-parallel round processing. The
+	// result is identical to the sequential simulation.
+	Workers int
+}
+
+// Stats reports the outcome of one routing run.
+type Stats struct {
+	// Rounds is the total routing time in link steps, including the
+	// reply traffic when Options.Replies is set.
+	Rounds int
+	// RequestRounds is the round by which every forward packet had
+	// been delivered to its destination.
+	RequestRounds int
+	// MaxQueue is the largest queue occupancy observed on any link.
+	MaxQueue int
+	// TotalDelay sums every packet's time spent waiting in queues.
+	TotalDelay int64
+	// MaxPacketSteps is the largest hops+delay over all packets.
+	MaxPacketSteps int
+	// DeliveredRequests counts original requests that reached their
+	// module (combined packets count once per constituent).
+	DeliveredRequests int
+	// DeliveredReplies counts original requesters that received a
+	// reply.
+	DeliveredReplies int
+	// Merges counts combining events (Theorem 2.6).
+	Merges int
+	// MaxModuleLoad is the largest number of (un-combined) requests
+	// delivered to a single last-column node.
+	MaxModuleLoad int
+}
+
+const reverseBit = uint64(1) << 63
+
+func forwardKey(level, node, slot int) uint64 {
+	return uint64(level)<<48 | uint64(node)<<24 | uint64(slot)
+}
+
+func reverseKey(level, from, to int) uint64 {
+	return reverseBit | uint64(level)<<48 | uint64(from)<<24 | uint64(to)
+}
+
+// router holds the per-run state of the synchronous simulation.
+type router struct {
+	spec    Spec
+	opts    Options
+	levels  int // ℓ
+	logical int // logical columns: 2ℓ-1 (or ℓ when SkipPhase1)
+	edges   map[uint64]*queue.FIFO
+	free    []*queue.FIFO
+	stats   Stats
+	loads   map[int]int // forward deliveries per module
+	record  bool
+}
+
+type arrival struct {
+	key uint64
+	p   *packet.Packet
+}
+
+// Route routes pkts through the leveled network described by spec
+// using the universal two-phase randomized algorithm (Algorithm 2.1).
+// Each packet travels from its Src in the first column to its Dst in
+// the last column. Packets must have unique IDs. Route mutates the
+// packets (hop/delay/path bookkeeping) and returns aggregate Stats.
+func Route(spec Spec, pkts []*packet.Packet, opts Options) Stats {
+	if spec.Levels() < 2 {
+		panic("leveled: network needs at least 2 levels")
+	}
+	if spec.Width() > 1<<24 || spec.Degree() > 1<<24 {
+		panic("leveled: width or degree exceeds the 24-bit key space")
+	}
+	r := &router{
+		spec:    spec,
+		opts:    opts,
+		levels:  spec.Levels(),
+		logical: 2*spec.Levels() - 1,
+		edges:   make(map[uint64]*queue.FIFO),
+		loads:   make(map[int]int),
+		record:  opts.Replies || opts.Combine || opts.RecordPaths,
+	}
+	if opts.SkipPhase1 {
+		r.logical = spec.Levels()
+	}
+	root := prng.New(opts.Seed)
+	seen := make(map[int]bool, len(pkts))
+	var injections []arrival
+	for _, p := range pkts {
+		if seen[p.ID] {
+			panic(fmt.Sprintf("leveled: duplicate packet ID %d", p.ID))
+		}
+		seen[p.ID] = true
+		if p.Src < 0 || p.Src >= spec.Width() || p.Dst < 0 || p.Dst >= spec.Width() {
+			panic(fmt.Sprintf("leveled: packet %d endpoints out of range", p.ID))
+		}
+		p.Rand = root.Split(uint64(p.ID))
+		p.Injected = 0
+		p.EnqueuedAt = 0
+		p.Arrived = -1
+		if r.record {
+			p.Path = append(p.Path[:0], int32(p.Src))
+		}
+		slot := r.chooseSlot(p, 0, p.Src)
+		injections = append(injections, arrival{forwardKey(0, p.Src, slot), p})
+	}
+	r.pushAll(injections, 0)
+
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	for round := 1; len(r.edges) > 0; round++ {
+		popped := r.popPhase(round, workers)
+		arrivals := r.handlePhase(popped, round)
+		r.pushAll(arrivals, round)
+	}
+	return r.stats
+}
+
+// chooseSlot picks the outgoing link slot for a packet sitting at the
+// given logical column: a random link during the first traversal, the
+// unique-path link during the second.
+func (r *router) chooseSlot(p *packet.Packet, logicalCol, node int) int {
+	physical := logicalCol
+	random := true
+	if r.opts.SkipPhase1 {
+		random = false
+	} else if logicalCol >= r.levels-1 {
+		physical = logicalCol - (r.levels - 1)
+		random = false
+	}
+	if random {
+		return p.Rand.Intn(r.spec.OutDegree(physical, node))
+	}
+	return r.spec.NextHop(physical, node, p.Dst)
+}
+
+// physLevel maps a logical edge level to the Spec level it uses.
+func (r *router) physLevel(logicalEdge int) int {
+	if r.opts.SkipPhase1 || logicalEdge < r.levels-1 {
+		return logicalEdge
+	}
+	return logicalEdge - (r.levels - 1)
+}
+
+// popPhase pops the head of every non-empty link queue (one packet
+// crosses each link per round) and returns the popped packets with
+// the key of the edge they crossed. Emptied queues are recycled.
+func (r *router) popPhase(round, workers int) []arrival {
+	if workers <= 1 || len(r.edges) < 256 {
+		popped := make([]arrival, 0, len(r.edges))
+		for key, q := range r.edges {
+			p := q.Pop()
+			p.Delay += round - p.EnqueuedAt - 1
+			popped = append(popped, arrival{key, p})
+			if q.Len() == 0 {
+				delete(r.edges, key)
+				r.free = append(r.free, q)
+			}
+		}
+		return popped
+	}
+	keys := make([]uint64, 0, len(r.edges))
+	for key := range r.edges {
+		keys = append(keys, key)
+	}
+	popped := make([]arrival, len(keys))
+	var wg sync.WaitGroup
+	chunk := (len(keys) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(keys) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				q := r.edges[keys[i]]
+				p := q.Pop()
+				p.Delay += round - p.EnqueuedAt - 1
+				popped[i] = arrival{keys[i], p}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for _, key := range keys {
+		if q := r.edges[key]; q.Len() == 0 {
+			delete(r.edges, key)
+			r.free = append(r.free, q)
+		}
+	}
+	return popped
+}
+
+// handlePhase advances every popped packet one column and produces
+// the next round's queue insertions.
+func (r *router) handlePhase(popped []arrival, round int) []arrival {
+	arrivals := make([]arrival, 0, len(popped))
+	for _, a := range popped {
+		p := a.p
+		p.Hops++
+		if a.key&reverseBit != 0 {
+			arrivals = r.handleReplyArrival(arrivals, p, round)
+			continue
+		}
+		level := int(a.key >> 48)
+		fromNode := int(a.key >> 24 & 0xffffff)
+		slot := int(a.key & 0xffffff)
+		node := r.spec.Out(r.physLevel(level), fromNode, slot)
+		col := level + 1
+		if r.record {
+			p.RecordPath(node)
+		}
+		if col == r.logical-1 {
+			r.deliverForward(p, node, round, &arrivals)
+			continue
+		}
+		next := r.chooseSlot(p, col, node)
+		arrivals = append(arrivals, arrival{forwardKey(col, node, next), p})
+	}
+	// Sort so that queue insertion order is independent of map
+	// iteration order: parallel and sequential runs stay identical.
+	sort.Slice(arrivals, func(i, j int) bool {
+		if arrivals[i].key != arrivals[j].key {
+			return arrivals[i].key < arrivals[j].key
+		}
+		return arrivals[i].p.ID < arrivals[j].p.ID
+	})
+	return arrivals
+}
+
+// deliverForward completes a request's forward journey at the module
+// node and, if configured, spawns its reply.
+func (r *router) deliverForward(p *packet.Packet, node, round int, arrivals *[]arrival) {
+	if node != p.Dst {
+		panic(fmt.Sprintf("leveled: packet %d delivered to %d, want %d", p.ID, node, p.Dst))
+	}
+	p.Arrived = round
+	if round > r.stats.RequestRounds {
+		r.stats.RequestRounds = round
+	}
+	wantReply := r.opts.Replies && p.Kind == packet.ReadRequest
+	if !wantReply {
+		// The packet's journey ends here: writes are fire-and-forget
+		// ("back in case of a read instruction", §2.1).
+		r.noteFinished(p)
+	}
+	n := p.TotalCombined()
+	r.stats.DeliveredRequests += n
+	r.loads[node] += n
+	if r.loads[node] > r.stats.MaxModuleLoad {
+		r.stats.MaxModuleLoad = r.loads[node]
+	}
+	if !wantReply {
+		return
+	}
+	r.makeReply(p)
+	p.Stage = r.logical - 1 // current column index while retracing
+	*arrivals = append(*arrivals, r.replyArrival(p))
+}
+
+// makeReply flips a delivered request into its reply kind in place.
+func (r *router) makeReply(p *packet.Packet) {
+	switch p.Kind {
+	case packet.ReadRequest:
+		p.Kind = packet.ReadReply
+	case packet.WriteRequest:
+		p.Kind = packet.WriteAck
+	default:
+		p.Kind = packet.ReadReply
+	}
+}
+
+// replyArrival builds the queue insertion for a reply at column
+// p.Stage about to traverse the reverse link toward column p.Stage-1.
+func (r *router) replyArrival(p *packet.Packet) arrival {
+	from := int(p.Path[p.Stage])
+	to := int(p.Path[p.Stage-1])
+	return arrival{reverseKey(p.Stage-1, from, to), p}
+}
+
+// handleReplyArrival advances a retracing reply one column toward its
+// requester, fanning out combined children where they merged.
+func (r *router) handleReplyArrival(arrivals []arrival, p *packet.Packet, round int) []arrival {
+	p.Stage--
+	col := p.Stage
+	// Fan out any children that were combined into p at this column.
+	for i, at := range p.CombinedAt {
+		if at != col {
+			continue
+		}
+		child := p.Children[i]
+		r.makeReply(child)
+		if child.Kind == packet.ReadReply {
+			child.Value = p.Value
+		}
+		child.Stage = col
+		if col == 0 {
+			r.finishReply(child, round)
+		} else {
+			arrivals = append(arrivals, r.replyArrival(child))
+		}
+	}
+	if col == 0 {
+		r.finishReply(p, round)
+		return arrivals
+	}
+	return append(arrivals, r.replyArrival(p))
+}
+
+func (r *router) finishReply(p *packet.Packet, round int) {
+	if int(p.Path[0]) != p.Src {
+		panic(fmt.Sprintf("leveled: reply %d retraced to %d, want %d", p.ID, p.Path[0], p.Src))
+	}
+	p.Arrived = round
+	r.stats.DeliveredReplies++
+	r.noteFinished(p)
+}
+
+// noteFinished folds a finished packet's cost into the aggregates.
+func (r *router) noteFinished(p *packet.Packet) {
+	r.stats.TotalDelay += int64(p.Delay)
+	if s := p.Steps(); s > r.stats.MaxPacketSteps {
+		r.stats.MaxPacketSteps = s
+	}
+	if p.Arrived > r.stats.Rounds {
+		r.stats.Rounds = p.Arrived
+	}
+}
+
+// pushAll inserts the (already sorted) arrivals into their queues,
+// applying Theorem 2.6 combining where enabled.
+func (r *router) pushAll(arrivals []arrival, round int) {
+	for _, a := range arrivals {
+		p := a.p
+		if r.opts.Combine && a.key&reverseBit == 0 && r.onDeterministicPath(a.key) {
+			if r.tryCombine(a.key, p) {
+				continue
+			}
+		}
+		q := r.edges[a.key]
+		if q == nil {
+			if n := len(r.free); n > 0 {
+				q = r.free[n-1]
+				r.free = r.free[:n-1]
+			} else {
+				q = queue.NewFIFO(4)
+			}
+			r.edges[a.key] = q
+		}
+		p.EnqueuedAt = round
+		q.Push(p)
+		if q.Len() > r.stats.MaxQueue {
+			r.stats.MaxQueue = q.Len()
+		}
+	}
+}
+
+// onDeterministicPath reports whether a forward edge key belongs to
+// the second (unique-path) traversal, where two packets for the same
+// address and module are guaranteed to share their remaining route
+// and may therefore combine.
+func (r *router) onDeterministicPath(key uint64) bool {
+	level := int(key >> 48)
+	return r.opts.SkipPhase1 || level >= r.levels-1
+}
+
+// tryCombine merges p into a queued request with the same kind,
+// address and module, if one exists. Returns true if merged.
+func (r *router) tryCombine(key uint64, p *packet.Packet) bool {
+	q := r.edges[key]
+	if q == nil {
+		return false
+	}
+	var host *packet.Packet
+	q.Each(func(c *packet.Packet) bool {
+		if c.Kind == p.Kind && c.Addr == p.Addr && c.Dst == p.Dst {
+			host = c
+			return false
+		}
+		return true
+	})
+	if host == nil {
+		return false
+	}
+	// Both packets have arrived at the same column; that column index
+	// is len(Path)-1 for each.
+	host.Combine(p, len(p.Path)-1)
+	r.stats.Merges++
+	return true
+}

@@ -1,0 +1,112 @@
+// Package leveled implements the paper's central abstraction (§2.3.1):
+// a leveled network of ℓ columns of N nodes each, with links only
+// between adjacent columns, at most d outgoing links per node, and a
+// unique path of length ℓ-1 from every first-column node to every
+// last-column node. It provides the universal two-phase randomized
+// routing algorithm (Algorithm 2.1) with FIFO queues, the partial
+// ℓ-relation extension used by Theorem 2.4, reverse-path replies, and
+// the en-route message combining of Theorem 2.6.
+//
+// Phase 1 walks the network once, choosing a uniformly random outgoing
+// link at every level ("flipping a d-sided coin"), so each packet
+// lands on a random last-column node. Phase 2 walks the network a
+// second time following the unique path to the true destination. For
+// recirculating networks such as the n-star graph and the d-way
+// shuffle — the networks the paper targets, where the first and last
+// columns are the same physical nodes — the second walk is literal
+// recirculation; for a butterfly it is the standard unrolled
+// double-traversal. The simulator therefore runs a single pipeline of
+// 2ℓ-1 logical columns, the first ℓ with random hops and the rest
+// with deterministic hops, which is exactly the structure the proofs
+// of Theorems 2.1 and 2.4 analyze.
+package leveled
+
+import "fmt"
+
+// Spec describes a leveled network topology. Implementations must be
+// stateless and safe for concurrent use: the simulator calls Out and
+// NextHop from multiple goroutines.
+type Spec interface {
+	// Name identifies the topology in reports.
+	Name() string
+	// Levels returns ℓ, the number of columns.
+	Levels() int
+	// Width returns N, the number of nodes per column.
+	Width() int
+	// Degree returns d, the maximum out-degree of any node.
+	Degree() int
+	// OutDegree returns the number of outgoing links of node at the
+	// given level (0 <= level < Levels()-1).
+	OutDegree(level, node int) int
+	// Out returns the node in column level+1 reached via link slot k.
+	Out(level, node, slot int) int
+	// NextHop returns the link slot that the unique path from node
+	// (at the given level) to last-column node dst uses.
+	NextHop(level, node, dst int) int
+}
+
+// DAry is a generalized d-ary butterfly: width d^(levels-1), and the
+// link slots at level i set the i-th base-d digit of the node label.
+// DAry(2, k+1) is the classic butterfly on 2^k rows. DAry(d, d+1) is
+// the family with ℓ = O(d) used to exercise Theorem 2.1's regime.
+type DAry struct {
+	d      int
+	levels int
+	width  int
+	pow    []int // pow[i] = d^i
+}
+
+// NewDAry returns a d-ary butterfly with the given number of columns.
+// It panics if d < 2, levels < 2, or the width d^(levels-1) overflows
+// a practical simulation size (2^31).
+func NewDAry(d, levels int) *DAry {
+	if d < 2 {
+		panic("leveled: DAry degree must be >= 2")
+	}
+	if levels < 2 {
+		panic("leveled: DAry needs at least 2 levels")
+	}
+	width := 1
+	pow := make([]int, levels)
+	for i := 0; i < levels; i++ {
+		pow[i] = width
+		if i < levels-1 {
+			if width > (1<<31)/d {
+				panic("leveled: DAry width overflows practical size")
+			}
+			width *= d
+		}
+	}
+	return &DAry{d: d, levels: levels, width: width, pow: pow}
+}
+
+// Name implements Spec.
+func (b *DAry) Name() string { return fmt.Sprintf("dary(d=%d,l=%d)", b.d, b.levels) }
+
+// Levels implements Spec.
+func (b *DAry) Levels() int { return b.levels }
+
+// Width implements Spec.
+func (b *DAry) Width() int { return b.width }
+
+// Degree implements Spec.
+func (b *DAry) Degree() int { return b.d }
+
+// OutDegree implements Spec.
+func (b *DAry) OutDegree(level, node int) int { return b.d }
+
+// Out implements Spec: replace base-d digit `level` of node with slot.
+func (b *DAry) Out(level, node, slot int) int {
+	digit := node / b.pow[level] % b.d
+	return node + (slot-digit)*b.pow[level]
+}
+
+// NextHop implements Spec: the unique path to dst fixes digit `level`
+// of the label to dst's digit at that position.
+func (b *DAry) NextHop(level, node, dst int) int {
+	return dst / b.pow[level] % b.d
+}
+
+// NewButterfly returns the classic binary butterfly with 2^k rows and
+// k+1 columns.
+func NewButterfly(k int) *DAry { return NewDAry(2, k+1) }

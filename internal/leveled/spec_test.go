@@ -1,0 +1,102 @@
+package leveled
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDAryDimensions(t *testing.T) {
+	b := NewDAry(3, 5)
+	if b.Width() != 81 || b.Levels() != 5 || b.Degree() != 3 {
+		t.Fatalf("DAry(3,5): width=%d levels=%d degree=%d", b.Width(), b.Levels(), b.Degree())
+	}
+	bf := NewButterfly(3)
+	if bf.Width() != 8 || bf.Levels() != 4 || bf.Degree() != 2 {
+		t.Fatalf("Butterfly(3): width=%d levels=%d", bf.Width(), bf.Levels())
+	}
+	if bf.Name() == "" || b.Name() == "" {
+		t.Fatal("specs must have names")
+	}
+}
+
+func TestDAryPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"degree 1":  func() { NewDAry(1, 3) },
+		"levels 1":  func() { NewDAry(2, 1) },
+		"too large": func() { NewDAry(2, 40) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDAry %s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDAryOutSetsDigit(t *testing.T) {
+	b := NewDAry(3, 4) // width 27, digits 0..2 at levels 0..2
+	// Node 14 = 112 base 3 (digit0=2, digit1=1, digit2=1).
+	if got := b.Out(0, 14, 0); got != 12 { // set digit0 to 0: 110_3 = 12
+		t.Fatalf("Out(0,14,0) = %d, want 12", got)
+	}
+	if got := b.Out(1, 14, 2); got != 17 { // set digit1 to 2: 122_3 = 17
+		t.Fatalf("Out(1,14,2) = %d, want 17", got)
+	}
+	if got := b.Out(2, 14, 0); got != 5 { // set digit2 to 0: 012_3 = 5
+		t.Fatalf("Out(2,14,0) = %d, want 5", got)
+	}
+}
+
+func TestDAryOutSelfWhenDigitMatches(t *testing.T) {
+	b := NewDAry(2, 4)
+	for node := 0; node < b.Width(); node++ {
+		for level := 0; level < b.Levels()-1; level++ {
+			digit := node >> level & 1
+			if got := b.Out(level, node, digit); got != node {
+				t.Fatalf("Out(%d,%d,%d) = %d, want self", level, node, digit, got)
+			}
+		}
+	}
+}
+
+// TestDAryUniquePath verifies the defining property of a leveled
+// network (§2.3.1): following NextHop from any first-column node
+// reaches any chosen last-column node in exactly ℓ-1 hops.
+func TestDAryUniquePath(t *testing.T) {
+	for _, cfg := range []struct{ d, levels int }{{2, 5}, {3, 4}, {4, 3}, {5, 4}} {
+		b := NewDAry(cfg.d, cfg.levels)
+		for src := 0; src < b.Width(); src += 7 {
+			for dst := 0; dst < b.Width(); dst += 5 {
+				node := src
+				for level := 0; level < b.Levels()-1; level++ {
+					slot := b.NextHop(level, node, dst)
+					if slot < 0 || slot >= b.OutDegree(level, node) {
+						t.Fatalf("NextHop out of range: %d", slot)
+					}
+					node = b.Out(level, node, slot)
+				}
+				if node != dst {
+					t.Fatalf("d=%d l=%d: path from %d aimed at %d ended at %d",
+						cfg.d, cfg.levels, src, dst, node)
+				}
+			}
+		}
+	}
+}
+
+func TestDAryOutInRange(t *testing.T) {
+	b := NewDAry(4, 4)
+	check := func(nodeRaw, levelRaw, slotRaw uint16) bool {
+		node := int(nodeRaw) % b.Width()
+		level := int(levelRaw) % (b.Levels() - 1)
+		slot := int(slotRaw) % b.Degree()
+		out := b.Out(level, node, slot)
+		return out >= 0 && out < b.Width()
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

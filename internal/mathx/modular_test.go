@@ -1,0 +1,89 @@
+package mathx
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulModSmall(t *testing.T) {
+	cases := []struct{ a, b, m, want uint64 }{
+		{0, 0, 1, 0},
+		{7, 8, 5, 1},
+		{123456789, 987654321, 1000000007, 259106859},
+		{1 << 63, 2, 3, (1 << 63 % 3) * 2 % 3},
+	}
+	for _, c := range cases {
+		if got := MulMod(c.a, c.b, c.m); got != c.want {
+			t.Errorf("MulMod(%d, %d, %d) = %d, want %d", c.a, c.b, c.m, got, c.want)
+		}
+	}
+}
+
+func TestMulModMatchesWideProduct(t *testing.T) {
+	check := func(a, b, m uint64) bool {
+		if m == 0 {
+			m = 1
+		}
+		hi, lo := bits.Mul64(a, b)
+		_, want := bits.Div64(hi%m, lo, m)
+		return MulMod(a, b, m) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulModPanicsOnZeroModulus(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulMod with m=0 should panic")
+		}
+	}()
+	MulMod(1, 1, 0)
+}
+
+func TestAddMod(t *testing.T) {
+	check := func(a, b uint64, mRaw uint64) bool {
+		m := mRaw%1000003 + 1
+		want := (a%m + b%m) % m
+		return AddMod(a, b, m) == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Overflow-prone case: a, b near 2^64.
+	const big = ^uint64(0) - 1
+	if got := AddMod(big, big, ^uint64(0)); got != big-1 {
+		t.Fatalf("AddMod near overflow = %d", got)
+	}
+}
+
+func TestPowMod(t *testing.T) {
+	cases := []struct{ b, e, m, want uint64 }{
+		{2, 10, 1000, 24},
+		{3, 0, 7, 1},
+		{5, 3, 13, 8},
+		{10, 18, 1000000007, PowMod(10, 18, 1000000007)},
+		{2, 64, 97, 61}, // 2^64 mod 97
+	}
+	for _, c := range cases {
+		if got := PowMod(c.b, c.e, c.m); got != c.want {
+			t.Errorf("PowMod(%d, %d, %d) = %d, want %d", c.b, c.e, c.m, got, c.want)
+		}
+	}
+	if got := PowMod(12345, 67890, 1); got != 0 {
+		t.Errorf("PowMod mod 1 = %d, want 0", got)
+	}
+}
+
+func TestPowModFermat(t *testing.T) {
+	// Fermat's little theorem: a^(p-1) = 1 mod p for prime p, a not
+	// divisible by p.
+	const p = 1000000007
+	for a := uint64(2); a < 50; a++ {
+		if got := PowMod(a, p-1, p); got != 1 {
+			t.Fatalf("a^(p-1) mod p = %d for a=%d, want 1", got, a)
+		}
+	}
+}

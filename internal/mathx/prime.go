@@ -1,0 +1,64 @@
+package mathx
+
+// IsPrime reports whether n is prime. It is a deterministic
+// Miller–Rabin test: the witness set {2, 3, 5, 7, 11, 13, 17, 19, 23,
+// 29, 31, 37} is known to be correct for every n < 2^64.
+func IsPrime(n uint64) bool {
+	switch {
+	case n < 2:
+		return false
+	case n < 4:
+		return true
+	case n%2 == 0:
+		return false
+	}
+	// Write n-1 = d * 2^r with d odd.
+	d := n - 1
+	r := 0
+	for d%2 == 0 {
+		d /= 2
+		r++
+	}
+	witnesses := [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+	for _, a := range witnesses {
+		if a%n == 0 {
+			continue
+		}
+		x := PowMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = MulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime >= n. It panics if no prime
+// >= n fits in a uint64 (n > 18446744073709551557, the largest 64-bit
+// prime).
+func NextPrime(n uint64) uint64 {
+	const largest64BitPrime = 18446744073709551557
+	if n > largest64BitPrime {
+		panic("mathx: NextPrime argument exceeds the largest 64-bit prime")
+	}
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !IsPrime(n) {
+		n += 2
+	}
+	return n
+}

@@ -1,0 +1,95 @@
+package mathx
+
+import "testing"
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{
+		0: false, 1: false, 2: true, 3: true, 4: false, 5: true,
+		6: false, 7: true, 9: false, 11: true, 15: false, 17: true,
+		25: false, 97: true, 91: false, // 91 = 7*13
+		561:  false, // Carmichael number
+		1729: false, // Carmichael number
+	}
+	for n, want := range primes {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimeSieveAgreement(t *testing.T) {
+	const limit = 10000
+	sieve := make([]bool, limit)
+	for i := range sieve {
+		sieve[i] = i >= 2
+	}
+	for i := 2; i*i < limit; i++ {
+		if sieve[i] {
+			for j := i * i; j < limit; j += i {
+				sieve[j] = false
+			}
+		}
+	}
+	for n := 0; n < limit; n++ {
+		if IsPrime(uint64(n)) != sieve[n] {
+			t.Fatalf("IsPrime(%d) disagrees with sieve", n)
+		}
+	}
+}
+
+func TestIsPrimeLarge(t *testing.T) {
+	cases := map[uint64]bool{
+		1000000007:           true,
+		1000000009:           true,
+		1000000011:           false,
+		2147483647:           true,  // 2^31 - 1, Mersenne prime
+		4294967297:           false, // F5 = 641 * 6700417
+		18446744073709551557: true,  // largest 64-bit prime
+		18446744073709551615: false, // 2^64 - 1
+		3825123056546413051:  false, // strong pseudoprime to bases 2..23
+	}
+	for n, want := range cases {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	cases := map[uint64]uint64{
+		0: 2, 1: 2, 2: 2, 3: 3, 4: 5, 8: 11, 9: 11,
+		90: 97, 97: 97, 98: 101,
+		1000000000: 1000000007,
+	}
+	for n, want := range cases {
+		if got := NextPrime(n); got != want {
+			t.Errorf("NextPrime(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestNextPrimeIsPrimeAndMinimal(t *testing.T) {
+	for n := uint64(0); n < 2000; n++ {
+		p := NextPrime(n)
+		if p < n {
+			t.Fatalf("NextPrime(%d) = %d < n", n, p)
+		}
+		if !IsPrime(p) {
+			t.Fatalf("NextPrime(%d) = %d is not prime", n, p)
+		}
+		for q := n; q < p; q++ {
+			if IsPrime(q) {
+				t.Fatalf("NextPrime(%d) = %d skipped prime %d", n, p, q)
+			}
+		}
+	}
+}
+
+func TestNextPrimePanicsBeyondLargest(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NextPrime beyond the largest 64-bit prime should panic")
+		}
+	}()
+	NextPrime(18446744073709551558)
+}

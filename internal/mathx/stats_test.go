@@ -1,0 +1,158 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Fatalf("unexpected summary: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-12 {
+		t.Fatalf("StdDev = %v, want sqrt(2)", s.StdDev)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.StdDev != 0 || s.P99 != 7 {
+		t.Fatalf("unexpected summary of singleton: %+v", s)
+	}
+}
+
+func TestSummarizePanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Summarize(nil) should panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if Percentile(sorted, 0) != 10 || Percentile(sorted, 1) != 40 {
+		t.Fatal("percentile endpoints wrong")
+	}
+	if got := Percentile(sorted, 0.5); got != 25 {
+		t.Fatalf("P50 of 10..40 = %v, want 25", got)
+	}
+	if Percentile(sorted, -0.5) != 10 || Percentile(sorted, 1.5) != 40 {
+		t.Fatal("out-of-range p must clamp")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{5, 7, 9, 11} // y = 2x + 3
+	a, b, r2 := LinearFit(x, y)
+	if math.Abs(a-2) > 1e-12 || math.Abs(b-3) > 1e-12 || math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("LinearFit = (%v, %v, %v), want (2, 3, 1)", a, b, r2)
+	}
+}
+
+func TestLinearFitRecoversSlope(t *testing.T) {
+	check := func(slopeRaw, interceptRaw int8) bool {
+		slope := float64(slopeRaw)
+		intercept := float64(interceptRaw)
+		var x, y []float64
+		for i := 1; i <= 10; i++ {
+			x = append(x, float64(i))
+			y = append(y, slope*float64(i)+intercept)
+		}
+		a, b, _ := LinearFit(x, y)
+		return math.Abs(a-slope) < 1e-9 && math.Abs(b-intercept) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	a, b, r2 := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if a != 0 || b != 4 || r2 != 1 {
+		t.Fatalf("constant-y fit = (%v, %v, %v)", a, b, r2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"mismatch":   func() { LinearFit([]float64{1}, []float64{1, 2}) },
+		"too short":  func() { LinearFit([]float64{1}, []float64{1}) },
+		"constant x": func() { LinearFit([]float64{2, 2}, []float64{1, 3}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("LinearFit %s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeanMaxInts(t *testing.T) {
+	if got := MeanInts([]int{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("MeanInts = %v", got)
+	}
+	if got := MaxInts([]int{3, 9, 2}); got != 9 {
+		t.Fatalf("MaxInts = %v", got)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120},
+		{5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Binomial(%d, %d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialTail(t *testing.T) {
+	// For fair-coin n=4: P[X >= 2] = 11/16.
+	if got := BinomialTail(2, 4, 0.5); math.Abs(got-11.0/16) > 1e-12 {
+		t.Fatalf("BinomialTail(2,4,0.5) = %v, want 11/16", got)
+	}
+	if BinomialTail(0, 10, 0.3) != 1 {
+		t.Fatal("P[X >= 0] must be 1")
+	}
+	if BinomialTail(11, 10, 0.3) != 0 {
+		t.Fatal("P[X >= n+1] must be 0")
+	}
+}
+
+func TestChernoffUpperDominatesExactTail(t *testing.T) {
+	// The Chernoff bound must upper-bound the exact binomial tail.
+	n, p := 100, 0.1
+	mu := float64(n) * p
+	for _, delta := range []float64{0.5, 1, 2, 3} {
+		m := int(math.Ceil((1 + delta) * mu))
+		exact := BinomialTail(m, n, p)
+		bound := ChernoffUpper(mu, delta)
+		if exact > bound+1e-12 {
+			t.Fatalf("Chernoff bound %v below exact tail %v at delta=%v", bound, exact, delta)
+		}
+	}
+	if ChernoffUpper(10, 0) != 1 || ChernoffUpper(10, -1) != 1 {
+		t.Fatal("non-positive delta must give the trivial bound 1")
+	}
+}

@@ -1,0 +1,442 @@
+// Package mesh implements the n x n mesh-connected computer of §3 and
+// the paper's three-stage randomized routing algorithm (§3.4), the
+// building block of the 4n + o(n) EREW PRAM emulation of Theorem 3.2.
+//
+// The model (§3.1) is the MIMD mesh: an n x n grid of processors with
+// bidirectional links; in a single step a processor can communicate
+// with all four neighbors, so each directed link moves at most one
+// packet per step. Contention is resolved by the furthest-destination-
+// first queueing discipline.
+//
+// The routing algorithm partitions the mesh into horizontal slices of
+// εn rows (Figure 5). A packet from (i, j) headed to (k, l):
+//
+//	stage 1: moves along column j to a random row i' within the
+//	         slice of its origin;
+//	stage 2: moves along row i' to column l;
+//	stage 3: moves along column l to row k.
+//
+// With ε = 1/log n, stage 1 takes o(n) and stages 2 and 3 take
+// n + o(n) each, giving Theorem 3.1's 2n + o(n). The same algorithm
+// run with request/reply phases yields the 4n + o(n) emulation, and on
+// distance-d-local workloads it terminates in 6d + o(d) (Theorem 3.3).
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/queue"
+)
+
+// Grid is an n x n mesh. Node (r, c) has identifier r*n + c.
+type Grid struct {
+	n int
+}
+
+// New constructs an n x n mesh. It panics unless 2 <= n <= 4096.
+func New(n int) *Grid {
+	if n < 2 || n > 4096 {
+		panic("mesh: side must be in [2, 4096]")
+	}
+	return &Grid{n: n}
+}
+
+// Side returns n.
+func (g *Grid) Side() int { return g.n }
+
+// Name identifies the grid in reports.
+func (g *Grid) Name() string { return fmt.Sprintf("mesh(%dx%d)", g.n, g.n) }
+
+// Nodes returns n*n.
+func (g *Grid) Nodes() int { return g.n * g.n }
+
+// Diameter returns 2n-2.
+func (g *Grid) Diameter() int { return 2*g.n - 2 }
+
+// RowCol splits a node identifier into row and column.
+func (g *Grid) RowCol(node int) (row, col int) { return node / g.n, node % g.n }
+
+// Node builds a node identifier from row and column.
+func (g *Grid) Node(row, col int) int { return row*g.n + col }
+
+// L1 returns the mesh (Manhattan) distance between two nodes.
+func (g *Grid) L1(a, b int) int {
+	ar, ac := g.RowCol(a)
+	br, bc := g.RowCol(b)
+	return abs(ar-br) + abs(ac-bc)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Discipline selects the queueing discipline for contention.
+type Discipline int
+
+const (
+	// FurthestFirst is the paper's discipline: the packet with the
+	// greatest remaining distance to its destination wins the link.
+	FurthestFirst Discipline = iota
+	// FIFODiscipline serves packets in arrival order; the ablation of
+	// experiment E10.
+	FIFODiscipline
+)
+
+// Algorithm selects which routing algorithm a run uses.
+type Algorithm int
+
+const (
+	// ThreeStage is the paper's §3.4 algorithm (slice-randomized
+	// column offset, then row, then column), 2n + o(n).
+	ThreeStage Algorithm = iota
+	// ValiantBrebner routes to a uniformly random row in the full
+	// column first (no slices) — the 3n + o(n) baseline of [19].
+	ValiantBrebner
+	// Greedy is dimension-ordered row-then-column routing with no
+	// randomization at all; fine for random loads, terrible against
+	// adversarial ones.
+	Greedy
+)
+
+// Options configures one routing run.
+type Options struct {
+	Seed       uint64
+	Algorithm  Algorithm
+	Discipline Discipline
+	// SliceRows overrides the stage-1 slice height εn; 0 means the
+	// paper's ε = 1/log n, i.e. height n/log2(n).
+	SliceRows int
+	// LocalityBound restricts the stage-1 random row to within the
+	// packet's origin-destination distance, preserving Theorem 3.3's
+	// locality; 0 means no restriction.
+	LocalityBound int
+	// Workers > 1 processes the per-round queue pops with a goroutine
+	// pool. The result is identical to the sequential simulation
+	// (arrivals are sorted before insertion either way).
+	Workers int
+}
+
+// Stats aggregates one routing run.
+type Stats struct {
+	Rounds            int
+	MaxQueue          int
+	TotalDelay        int64
+	MaxPacketSteps    int
+	DeliveredRequests int
+	// StageRounds records when each stage drained: StageRounds[s] is
+	// the last round at which any packet was still in stage s.
+	StageRounds [3]int
+}
+
+// directions
+const (
+	dirNorth = iota // row-1
+	dirSouth        // row+1
+	dirEast         // col+1
+	dirWest         // col-1
+	numDirs
+)
+
+type router struct {
+	g    *Grid
+	opts Options
+	// queues[node*4+dir] is the queue of the outgoing link of node in
+	// direction dir; nil when empty and unallocated.
+	queues []queue.Discipline
+	active map[int]struct{} // indexes into queues with Len() > 0
+	free   []queue.Discipline
+	stats  Stats
+	slice  int
+}
+
+// Route routes pkts on the grid. Each packet travels Src -> Dst; the
+// stage-1 random row is chosen per packet from its own substream.
+// Packets need unique IDs. Returns aggregate stats.
+func Route(g *Grid, pkts []*packet.Packet, opts Options) Stats {
+	r := &router{
+		g:      g,
+		opts:   opts,
+		queues: make([]queue.Discipline, g.Nodes()*numDirs),
+		active: make(map[int]struct{}),
+	}
+	r.slice = opts.SliceRows
+	if r.slice <= 0 {
+		r.slice = int(float64(g.n) / math.Log2(float64(g.n)))
+	}
+	if r.slice < 1 {
+		r.slice = 1
+	}
+	root := prng.New(opts.Seed)
+	seen := make(map[int]bool, len(pkts))
+	var injections []injection
+	for _, p := range pkts {
+		if seen[p.ID] {
+			panic(fmt.Sprintf("mesh: duplicate packet ID %d", p.ID))
+		}
+		seen[p.ID] = true
+		if p.Src < 0 || p.Src >= g.Nodes() || p.Dst < 0 || p.Dst >= g.Nodes() {
+			panic(fmt.Sprintf("mesh: packet %d endpoints out of range", p.ID))
+		}
+		p.Rand = root.Split(uint64(p.ID))
+		p.Injected = 0
+		p.Arrived = -1
+		p.At = p.Src
+		r.initStages(p)
+		if dir, done := r.nextDir(p, p.Src); done {
+			p.Arrived = 0
+			r.stats.DeliveredRequests++
+		} else {
+			injections = append(injections, injection{p.Src*numDirs + dir, p})
+		}
+	}
+	r.pushAll(injections, 0)
+	for round := 1; len(r.active) > 0; round++ {
+		popped := r.popPhase(round)
+		arrivals := r.handlePhase(popped, round)
+		r.pushAll(arrivals, round)
+	}
+	return r.stats
+}
+
+type injection struct {
+	qIdx int
+	p    *packet.Packet
+}
+
+// initStages picks the packet's stage-1 target row. Stage numbering:
+// 0 = column move to the random row, 1 = row move to the destination
+// column, 2 = column move to the destination row.
+func (r *router) initStages(p *packet.Packet) {
+	srcRow, _ := r.g.RowCol(p.Src)
+	base := srcRow - srcRow%r.slice
+	height := r.slice
+	if base+height > r.g.n {
+		height = r.g.n - base
+	}
+	lo, hi := base, base+height // [lo, hi)
+	if d := r.opts.LocalityBound; d > 0 {
+		// Theorem 3.3: stay within distance d of the origin row so
+		// stage 1 never takes the packet far from local traffic.
+		if srcRow-d > lo {
+			lo = srcRow - d
+		}
+		if srcRow+d+1 < hi {
+			hi = srcRow + d + 1
+		}
+	}
+	p.Row2 = lo + p.Rand.Intn(hi-lo)
+	if r.opts.Algorithm == ValiantBrebner {
+		p.Row2 = p.Rand.Intn(r.g.n)
+	}
+	if r.opts.Algorithm == Greedy {
+		p.Row2 = srcRow // no stage-1 displacement
+	}
+	p.Stage = 0
+}
+
+// nextDir returns the direction the packet takes from node, advancing
+// its stage as intermediate targets are reached; done means delivered.
+func (r *router) nextDir(p *packet.Packet, node int) (dir int, done bool) {
+	row, col := r.g.RowCol(node)
+	dstRow, dstCol := r.g.RowCol(p.Dst)
+	for {
+		switch p.Stage {
+		case 0: // column move to the random row
+			if row == p.Row2 {
+				p.Stage = 1
+				continue
+			}
+			if row > p.Row2 {
+				return dirNorth, false
+			}
+			return dirSouth, false
+		case 1: // row move to the destination column
+			if col == dstCol {
+				p.Stage = 2
+				continue
+			}
+			if col < dstCol {
+				return dirEast, false
+			}
+			return dirWest, false
+		default: // column move to the destination row
+			if row == dstRow {
+				return 0, true
+			}
+			if row > dstRow {
+				return dirNorth, false
+			}
+			return dirSouth, false
+		}
+	}
+}
+
+func (r *router) neighbor(node, dir int) int {
+	switch dir {
+	case dirNorth:
+		return node - r.g.n
+	case dirSouth:
+		return node + r.g.n
+	case dirEast:
+		return node + 1
+	default:
+		return node - 1
+	}
+}
+
+func (r *router) newQueue() queue.Discipline {
+	if n := len(r.free); n > 0 {
+		q := r.free[n-1]
+		r.free = r.free[:n-1]
+		return q
+	}
+	if r.opts.Discipline == FIFODiscipline {
+		return queue.NewFIFO(4)
+	}
+	g := r.g
+	return queue.NewPriority(func(a, b *packet.Packet) bool {
+		da, db := g.L1Remaining(a), g.L1Remaining(b)
+		if da != db {
+			return da > db // furthest destination first
+		}
+		return a.ID < b.ID
+	})
+}
+
+// L1Remaining returns the packet's remaining travel distance through
+// its staged route: |row - Row2 or dstRow| depending on stage, plus
+// the untraveled row/column legs. Used as the furthest-first priority.
+func (g *Grid) L1Remaining(p *packet.Packet) int {
+	row, col := g.RowCol(p.At)
+	dstRow, dstCol := g.RowCol(p.Dst)
+	switch p.Stage {
+	case 0:
+		return abs(row-p.Row2) + abs(col-dstCol) + abs(p.Row2-dstRow)
+	case 1:
+		return abs(col-dstCol) + abs(row-dstRow)
+	default:
+		return abs(row - dstRow)
+	}
+}
+
+func (r *router) popPhase(round int) []injection {
+	if r.opts.Workers > 1 && len(r.active) >= 256 {
+		return r.popPhaseParallel(round)
+	}
+	popped := make([]injection, 0, len(r.active))
+	for qIdx := range r.active {
+		q := r.queues[qIdx]
+		p := q.Pop()
+		p.Delay += round - p.EnqueuedAt - 1
+		popped = append(popped, injection{qIdx, p})
+		if q.Len() == 0 {
+			delete(r.active, qIdx)
+			r.queues[qIdx] = nil
+			r.free = append(r.free, q)
+		}
+	}
+	return popped
+}
+
+// popPhaseParallel shards the active queues over a goroutine pool.
+// Distinct queue indices touch distinct queues, so pops are
+// independent; emptied queues are recycled afterwards.
+func (r *router) popPhaseParallel(round int) []injection {
+	idxs := make([]int, 0, len(r.active))
+	for qIdx := range r.active {
+		idxs = append(idxs, qIdx)
+	}
+	popped := make([]injection, len(idxs))
+	var wg sync.WaitGroup
+	chunk := (len(idxs) + r.opts.Workers - 1) / r.opts.Workers
+	for w := 0; w < r.opts.Workers; w++ {
+		lo := w * chunk
+		if lo >= len(idxs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				q := r.queues[idxs[i]]
+				p := q.Pop()
+				p.Delay += round - p.EnqueuedAt - 1
+				popped[i] = injection{idxs[i], p}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for _, qIdx := range idxs {
+		if q := r.queues[qIdx]; q.Len() == 0 {
+			delete(r.active, qIdx)
+			r.queues[qIdx] = nil
+			r.free = append(r.free, q)
+		}
+	}
+	return popped
+}
+
+func (r *router) handlePhase(popped []injection, round int) []injection {
+	arrivals := make([]injection, 0, len(popped))
+	for _, a := range popped {
+		p := a.p
+		p.Hops++
+		node := r.neighbor(a.qIdx/numDirs, a.qIdx%numDirs)
+		p.At = node
+		stageBefore := p.Stage
+		dir, done := r.nextDir(p, node)
+		if p.Stage != stageBefore || done {
+			if round > r.stats.StageRounds[stageBefore] {
+				r.stats.StageRounds[stageBefore] = round
+			}
+		}
+		if done {
+			p.Arrived = round
+			r.stats.DeliveredRequests++
+			r.stats.TotalDelay += int64(p.Delay)
+			if s := p.Steps(); s > r.stats.MaxPacketSteps {
+				r.stats.MaxPacketSteps = s
+			}
+			if round > r.stats.Rounds {
+				r.stats.Rounds = round
+			}
+			continue
+		}
+		arrivals = append(arrivals, injection{node*numDirs + dir, p})
+	}
+	sort.Slice(arrivals, func(i, j int) bool {
+		if arrivals[i].qIdx != arrivals[j].qIdx {
+			return arrivals[i].qIdx < arrivals[j].qIdx
+		}
+		return arrivals[i].p.ID < arrivals[j].p.ID
+	})
+	return arrivals
+}
+
+func (r *router) pushAll(arrivals []injection, round int) {
+	for _, a := range arrivals {
+		q := r.queues[a.qIdx]
+		if q == nil {
+			q = r.newQueue()
+			r.queues[a.qIdx] = q
+			r.active[a.qIdx] = struct{}{}
+		}
+		a.p.EnqueuedAt = round
+		q.Push(a.p)
+		if q.Len() > r.stats.MaxQueue {
+			r.stats.MaxQueue = q.Len()
+		}
+	}
+}

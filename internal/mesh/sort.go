@@ -1,0 +1,110 @@
+package mesh
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pramemu/internal/packet"
+)
+
+// SortRoute routes a full permutation (exactly one packet per node,
+// destinations a permutation) deterministically by sorting: packets
+// are shearsorted into snake order keyed by the snake index of their
+// destination, which lands every packet exactly on its destination.
+// This is the sorting-based routing the paper contrasts with
+// randomized algorithms in §2.2.1 ("Batcher's sorting algorithms ...
+// require 7n routing time for the n x n mesh-connected arrays"):
+// shearsort costs (2⌈log n⌉+1)·n compare-exchange rounds, far above
+// the 2n + o(n) of the three-stage algorithm, with the one advantage
+// that no queues are needed (queue size 1). Experiment E12.
+//
+// It returns the number of rounds consumed. It panics if the packets
+// do not form a permutation.
+func SortRoute(g *Grid, pkts []*packet.Packet) int {
+	n := g.Side()
+	if len(pkts) != g.Nodes() {
+		panic("mesh: SortRoute needs exactly one packet per node")
+	}
+	// grid[node] = packet currently held by node.
+	grid := make([]*packet.Packet, g.Nodes())
+	seenDst := make([]bool, g.Nodes())
+	for _, p := range pkts {
+		if grid[p.Src] != nil {
+			panic("mesh: SortRoute with multiple packets at one source")
+		}
+		if seenDst[p.Dst] {
+			panic("mesh: SortRoute destinations must form a permutation")
+		}
+		grid[p.Src] = p
+		seenDst[p.Dst] = true
+	}
+	key := func(p *packet.Packet) int { return g.snakeIndex(p.Dst) }
+
+	rounds := 0
+	phases := bits.Len(uint(n - 1)) // ⌈log2 n⌉
+	for phase := 0; phase < phases; phase++ {
+		rounds += g.sortRowsSnake(grid, key)
+		rounds += g.sortColumns(grid, key)
+	}
+	rounds += g.sortRowsSnake(grid, key)
+
+	for node, p := range grid {
+		if p.Dst != node {
+			panic(fmt.Sprintf("mesh: shearsort left packet for %d at %d", p.Dst, node))
+		}
+		p.Arrived = rounds
+	}
+	return rounds
+}
+
+// snakeIndex maps a node to its boustrophedon rank: even rows run
+// left-to-right, odd rows right-to-left.
+func (g *Grid) snakeIndex(node int) int {
+	r, c := g.RowCol(node)
+	if r%2 == 1 {
+		c = g.n - 1 - c
+	}
+	return r*g.n + c
+}
+
+// sortRowsSnake sorts every row by key with odd-even transposition —
+// even rows ascending, odd rows descending — in n rounds.
+func (g *Grid) sortRowsSnake(grid []*packet.Packet, key func(*packet.Packet) int) int {
+	n := g.n
+	for round := 0; round < n; round++ {
+		start := round % 2
+		for r := 0; r < n; r++ {
+			asc := r%2 == 0
+			for c := start; c+1 < n; c += 2 {
+				a, b := g.Node(r, c), g.Node(r, c+1)
+				ka, kb := key(grid[a]), key(grid[b])
+				if (asc && ka > kb) || (!asc && ka < kb) {
+					grid[a], grid[b] = grid[b], grid[a]
+					grid[a].Hops++
+					grid[b].Hops++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// sortColumns sorts every column ascending by key with odd-even
+// transposition in n rounds.
+func (g *Grid) sortColumns(grid []*packet.Packet, key func(*packet.Packet) int) int {
+	n := g.n
+	for round := 0; round < n; round++ {
+		start := round % 2
+		for c := 0; c < n; c++ {
+			for r := start; r+1 < n; r += 2 {
+				a, b := g.Node(r, c), g.Node(r+1, c)
+				if key(grid[a]) > key(grid[b]) {
+					grid[a], grid[b] = grid[b], grid[a]
+					grid[a].Hops++
+					grid[b].Hops++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package mesh
+
+import (
+	"math/bits"
+	"testing"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+)
+
+func TestSortRouteDeliversPermutation(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 17, 32} {
+		g := New(n)
+		perm := prng.New(uint64(n)).Perm(g.Nodes())
+		pkts := permPackets(g, perm)
+		rounds := SortRoute(g, pkts)
+		want := (2*bits.Len(uint(n-1)) + 1) * n
+		if rounds != want {
+			t.Fatalf("n=%d: rounds = %d, want %d", n, rounds, want)
+		}
+		for _, p := range pkts {
+			if p.Arrived != rounds {
+				t.Fatalf("packet %d not stamped", p.ID)
+			}
+		}
+	}
+}
+
+func TestSortRouteIdentity(t *testing.T) {
+	g := New(8)
+	pkts := make([]*packet.Packet, g.Nodes())
+	for i := range pkts {
+		pkts[i] = packet.New(i, i, i, packet.Transit)
+	}
+	SortRoute(g, pkts) // must not panic: already sorted
+}
+
+func TestSortRouteReverse(t *testing.T) {
+	// Worst-case-ish input: everything reversed.
+	g := New(16)
+	pkts := make([]*packet.Packet, g.Nodes())
+	for i := range pkts {
+		pkts[i] = packet.New(i, i, g.Nodes()-1-i, packet.Transit)
+	}
+	SortRoute(g, pkts)
+}
+
+func TestSortRoutePanics(t *testing.T) {
+	g := New(4)
+	for name, build := range map[string]func() []*packet.Packet{
+		"wrong count": func() []*packet.Packet {
+			return []*packet.Packet{packet.New(0, 0, 1, packet.Transit)}
+		},
+		"dup source": func() []*packet.Packet {
+			pkts := permPackets(g, prng.New(1).Perm(g.Nodes()))
+			pkts[1].Src = 0
+			return pkts
+		},
+		"dup destination": func() []*packet.Packet {
+			pkts := permPackets(g, prng.New(1).Perm(g.Nodes()))
+			pkts[1].Dst = pkts[0].Dst
+			return pkts
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			SortRoute(g, build())
+		}()
+	}
+}
+
+// TestSortRouteMuchSlowerThanThreeStage pins experiment E12's shape:
+// deterministic sorting-based routing costs several times the
+// randomized three-stage algorithm.
+func TestSortRouteMuchSlowerThanThreeStage(t *testing.T) {
+	g := New(64)
+	perm := prng.New(5).Perm(g.Nodes())
+	sortRounds := SortRoute(g, permPackets(g, perm))
+	threeStage := Route(g, permPackets(g, perm), Options{Seed: 2})
+	if sortRounds < 3*threeStage.Rounds {
+		t.Fatalf("sorting %d rounds vs three-stage %d: expected >= 3x gap",
+			sortRounds, threeStage.Rounds)
+	}
+}
+
+func TestSnakeIndex(t *testing.T) {
+	g := New(4)
+	want := map[int]int{
+		0: 0, 1: 1, 2: 2, 3: 3, // row 0 left-to-right
+		4: 7, 5: 6, 6: 5, 7: 4, // row 1 right-to-left
+		8: 8, 11: 11,
+		12: 15, 15: 12,
+	}
+	for node, idx := range want {
+		if got := g.snakeIndex(node); got != idx {
+			t.Fatalf("snakeIndex(%d) = %d, want %d", node, got, idx)
+		}
+	}
+}

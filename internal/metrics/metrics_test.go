@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E7: mesh routing", "n", "rounds", "rounds/n")
+	tb.AddRow("16", "38", "2.38")
+	tb.AddRow("256", "530", "2.07")
+	out := tb.String()
+	for _, want := range []string{"E7: mesh routing", "rounds/n", "256", "2.07", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRowf("%d|%.2f", 3, 1.5)
+	if !strings.Contains(tb.String(), "1.50") {
+		t.Fatal("AddRowf formatting lost")
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no columns": func() { NewTable("x") },
+		"bad row":    func() { NewTable("x", "a", "b").AddRow("1") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{1, 1, 2, 3, 3, 3, 9} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 || h.Count(3) != 3 || h.Max() != 9 {
+		t.Fatalf("histogram stats wrong: total=%d count3=%d max=%d", h.Total(), h.Count(3), h.Max())
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("median = %d, want 2", q)
+	}
+	if q := h.Quantile(1.0); q != 9 {
+		t.Fatalf("q100 = %d, want 9", q)
+	}
+	if q := h.Quantile(0.0); q != 1 {
+		t.Fatalf("q0 = %d, want 1", q)
+	}
+	if !strings.Contains(h.String(), "3: 3") {
+		t.Fatalf("histogram string:\n%s", h.String())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Max() != 0 || h.Total() != 0 {
+		t.Fatal("empty histogram stats")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("quantile of empty histogram should panic")
+		}
+	}()
+	h.Quantile(0.5)
+}
+
+func TestSeriesFit(t *testing.T) {
+	s := NewSeries("mesh")
+	for n := 1; n <= 8; n++ {
+		s.Add(float64(n), 2*float64(n)+5)
+	}
+	slope, intercept, r2 := s.Fit()
+	if math.Abs(slope-2) > 1e-9 || math.Abs(intercept-5) > 1e-9 || r2 < 0.999 {
+		t.Fatalf("fit = %v %v %v", slope, intercept, r2)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSeriesRatioSummary(t *testing.T) {
+	s := NewSeries("r")
+	s.Add(10, 20)
+	s.Add(20, 60)
+	sum := s.RatioSummary()
+	if sum.Min != 2 || sum.Max != 3 || sum.Mean != 2.5 {
+		t.Fatalf("ratio summary %+v", sum)
+	}
+}

@@ -1,0 +1,446 @@
+// Package pram implements the parallel random-access machine that the
+// networks of this repository emulate: an arbitrary number of
+// processors sharing a global memory, advancing in synchronous steps,
+// with each shared-memory access costing unit time on the ideal
+// machine (§1 of the paper).
+//
+// Programs are ordinary Go functions, one goroutine per PRAM
+// processor, that call Read/Write/Step on their Proc handle; every
+// call is one synchronous PRAM step (all processors act in lockstep,
+// reads observe pre-step memory, write conflicts resolve by the
+// machine's Variant). The same program runs unchanged on the ideal
+// unit-cost executor or on any network emulator: a StepExecutor is
+// consulted once per step with the full request vector and returns
+// that step's cost in network time, which is where the emulation
+// theorems (2.5, 2.6, 3.2) attach.
+package pram
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Variant selects the PRAM's concurrent-access semantics.
+type Variant int
+
+const (
+	// EREW forbids any two processors from touching the same address
+	// in one step.
+	EREW Variant = iota
+	// CREW allows concurrent reads but exclusive writes.
+	CREW
+	// CRCWCommon allows concurrent writes only if all written values
+	// are equal.
+	CRCWCommon
+	// CRCWArbitrary lets an arbitrary writer win; this implementation
+	// deterministically picks the lowest processor id.
+	CRCWArbitrary
+	// CRCWPriority lets the lowest-numbered processor win.
+	CRCWPriority
+	// CRCWMax resolves concurrent writes to the maximum value.
+	CRCWMax
+	// CRCWSum resolves concurrent writes to the sum of values.
+	CRCWSum
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case EREW:
+		return "EREW"
+	case CREW:
+		return "CREW"
+	case CRCWCommon:
+		return "CRCW-common"
+	case CRCWArbitrary:
+		return "CRCW-arbitrary"
+	case CRCWPriority:
+		return "CRCW-priority"
+	case CRCWMax:
+		return "CRCW-max"
+	case CRCWSum:
+		return "CRCW-sum"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Concurrent reports whether the variant permits concurrent writes.
+func (v Variant) Concurrent() bool { return v >= CRCWCommon }
+
+// Op is the kind of memory operation a processor issues in a step.
+type Op uint8
+
+const (
+	// OpNone marks a step in which the processor only computes.
+	OpNone Op = iota
+	// OpRead requests the value at Addr.
+	OpRead
+	// OpWrite stores Value at Addr.
+	OpWrite
+)
+
+// Request is one processor's memory operation for one step.
+type Request struct {
+	Proc  int
+	Op    Op
+	Addr  uint64
+	Value int64
+}
+
+// StepExecutor prices one emulated PRAM step. The ideal machine
+// charges 1; network executors route the requests and charge the
+// routing time.
+type StepExecutor interface {
+	// ExecuteStep receives the step index and the request vector
+	// (one entry per processor; Op may be OpNone) and returns the
+	// step's cost in time units.
+	ExecuteStep(step int, reqs []Request) int
+}
+
+// Unit is the ideal PRAM executor: every step costs one unit.
+type Unit struct{}
+
+// ExecuteStep implements StepExecutor.
+func (Unit) ExecuteStep(step int, reqs []Request) int { return 1 }
+
+// Machine is a PRAM instance: shared memory plus synchronization.
+type Machine struct {
+	variant Variant
+	nprocs  int
+	memSize uint64
+	exec    StepExecutor
+	strict  bool
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	mem        map[uint64]int64
+	reqs       []Request
+	results    []int64
+	exited     []bool
+	waiting    int
+	active     int
+	gen        uint64
+	steps      int
+	time       int64
+	violations []string
+	// fault holds a panic value raised during a step (an access-rule
+	// violation in strict mode, or an executor panic). It must be
+	// delivered through the barrier — panicking inside runStep while
+	// peers wait on the condition variable would deadlock them — so
+	// every processor re-panics it after release and the whole Run
+	// unwinds. Machine state is undefined after a fault.
+	fault interface{}
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Procs is the number of PRAM processors (goroutines).
+	Procs int
+	// Memory is the shared address-space size M; addresses must be
+	// < Memory.
+	Memory uint64
+	// Variant selects concurrency semantics (default EREW).
+	Variant Variant
+	// Executor prices each step (default Unit{}).
+	Executor StepExecutor
+	// Strict panics on EREW/CREW/Common violations instead of
+	// recording them (default true; set Lenient to disable).
+	Lenient bool
+}
+
+// New constructs a Machine.
+func New(cfg Config) *Machine {
+	if cfg.Procs < 1 {
+		panic("pram: need at least one processor")
+	}
+	if cfg.Memory == 0 {
+		panic("pram: need a non-empty shared memory")
+	}
+	exec := cfg.Executor
+	if exec == nil {
+		exec = Unit{}
+	}
+	m := &Machine{
+		variant: cfg.Variant,
+		nprocs:  cfg.Procs,
+		memSize: cfg.Memory,
+		exec:    exec,
+		strict:  !cfg.Lenient,
+		mem:     make(map[uint64]int64),
+		reqs:    make([]Request, cfg.Procs),
+		results: make([]int64, cfg.Procs),
+		exited:  make([]bool, cfg.Procs),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Procs returns the processor count.
+func (m *Machine) Procs() int { return m.nprocs }
+
+// Variant returns the machine's concurrency semantics.
+func (m *Machine) Variant() Variant { return m.variant }
+
+// Steps returns the number of PRAM steps executed.
+func (m *Machine) Steps() int { return m.steps }
+
+// Time returns the accumulated cost charged by the executor — the
+// emulation time the paper's theorems bound.
+func (m *Machine) Time() int64 { return m.time }
+
+// Violations returns the access-rule violations recorded in lenient
+// mode.
+func (m *Machine) Violations() []string { return append([]string(nil), m.violations...) }
+
+// Load returns the current contents of addr (0 if never written).
+// Call only when no program is running.
+func (m *Machine) Load(addr uint64) int64 {
+	m.checkAddr(addr)
+	return m.mem[addr]
+}
+
+// Store initializes addr before (or inspects state between) runs.
+func (m *Machine) Store(addr uint64, v int64) {
+	m.checkAddr(addr)
+	m.mem[addr] = v
+}
+
+func (m *Machine) checkAddr(addr uint64) {
+	if addr >= m.memSize {
+		panic(fmt.Sprintf("pram: address %d outside memory of size %d", addr, m.memSize))
+	}
+}
+
+// Proc is a processor handle passed to program bodies.
+type Proc struct {
+	m  *Machine
+	id int
+}
+
+// ID returns the processor index in [0, Procs()).
+func (p *Proc) ID() int { return p.id }
+
+// N returns the machine's processor count.
+func (p *Proc) N() int { return p.m.nprocs }
+
+// Read performs one synchronous PRAM step reading addr.
+func (p *Proc) Read(addr uint64) int64 {
+	p.m.checkAddr(addr)
+	return p.m.step(p.id, Request{Proc: p.id, Op: OpRead, Addr: addr})
+}
+
+// Write performs one synchronous PRAM step writing v to addr.
+func (p *Proc) Write(addr uint64, v int64) {
+	p.m.checkAddr(addr)
+	p.m.step(p.id, Request{Proc: p.id, Op: OpWrite, Addr: addr, Value: v})
+}
+
+// Step performs one synchronous PRAM step with no memory operation,
+// keeping this processor in lockstep with the others.
+func (p *Proc) Step() {
+	p.m.step(p.id, Request{Proc: p.id, Op: OpNone})
+}
+
+// Run executes body on every processor as a goroutine and returns
+// when all have finished. Programs must keep processors in lockstep
+// (every processor issues the same number of steps along each joint
+// code path) — the usual PRAM convention. Run panics with the body's
+// panic value if any processor panics.
+func (m *Machine) Run(body func(p *Proc)) {
+	var wg sync.WaitGroup
+	panics := make(chan interface{}, m.nprocs)
+	m.mu.Lock()
+	m.active = m.nprocs
+	m.waiting = 0
+	m.fault = nil
+	for i := range m.exited {
+		m.exited[i] = false
+	}
+	m.mu.Unlock()
+	for id := 0; id < m.nprocs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+				m.exit(id)
+			}()
+			body(&Proc{m: m, id: id})
+		}(id)
+	}
+	wg.Wait()
+	select {
+	case r := <-panics:
+		panic(r)
+	default:
+	}
+}
+
+// step submits a request and blocks until the step completes; it
+// returns this processor's read result (0 for non-reads).
+func (m *Machine) step(pid int, req Request) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reqs[pid] = req
+	m.waiting++
+	if m.waiting == m.active {
+		m.runStep()
+	} else {
+		gen := m.gen
+		for gen == m.gen {
+			m.cond.Wait()
+		}
+	}
+	if m.fault != nil {
+		// A strict-mode violation or executor panic occurred during
+		// this step; unwind every processor (the deferred unlock in
+		// step's caller chain releases m.mu).
+		panic(m.fault)
+	}
+	return m.results[pid]
+}
+
+// exit removes a finished processor from the barrier; if it was the
+// last straggler of the current step, the step fires.
+func (m *Machine) exit(pid int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.exited[pid] {
+		return
+	}
+	m.exited[pid] = true
+	m.reqs[pid] = Request{Proc: pid, Op: OpNone}
+	m.active--
+	if m.active > 0 && m.waiting == m.active {
+		m.runStep()
+	}
+}
+
+// runStep applies one synchronous step: all reads observe pre-step
+// memory, write conflicts resolve per the variant, and the executor
+// prices the step. Called with m.mu held by the last arriver.
+func (m *Machine) runStep() {
+	reqs := make([]Request, 0, m.active)
+	for pid, req := range m.reqs {
+		if m.exited[pid] {
+			continue
+		}
+		reqs = append(reqs, req)
+	}
+	// Reads first: pre-step snapshot semantics.
+	for _, req := range reqs {
+		if req.Op == OpRead {
+			m.results[req.Proc] = m.mem[req.Addr]
+		} else {
+			m.results[req.Proc] = 0
+		}
+	}
+	m.checkExclusivity(reqs)
+	if m.fault == nil {
+		m.applyWrites(reqs)
+	}
+	m.steps++
+	if m.fault == nil {
+		// The executor may panic (e.g. a network invariant trips);
+		// capture it as a fault so waiting processors are released
+		// rather than deadlocked.
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					m.fault = r
+				}
+			}()
+			m.time += int64(m.exec.ExecuteStep(m.steps-1, reqs))
+		}()
+	}
+	m.waiting = 0
+	m.gen++
+	m.cond.Broadcast()
+}
+
+// applyWrites resolves all writes of the step per the variant.
+func (m *Machine) applyWrites(reqs []Request) {
+	writes := make(map[uint64][]Request)
+	for _, req := range reqs {
+		if req.Op == OpWrite {
+			writes[req.Addr] = append(writes[req.Addr], req)
+		}
+	}
+	for addr, ws := range writes {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Proc < ws[j].Proc })
+		switch m.variant {
+		case CRCWCommon:
+			for _, w := range ws[1:] {
+				if w.Value != ws[0].Value {
+					m.violate(fmt.Sprintf(
+						"common CRCW write conflict at %d: %d vs %d", addr, ws[0].Value, w.Value))
+				}
+			}
+			m.mem[addr] = ws[0].Value
+		case CRCWMax:
+			max := ws[0].Value
+			for _, w := range ws[1:] {
+				if w.Value > max {
+					max = w.Value
+				}
+			}
+			m.mem[addr] = max
+		case CRCWSum:
+			sum := int64(0)
+			for _, w := range ws {
+				sum += w.Value
+			}
+			m.mem[addr] = sum
+		default:
+			// EREW/CREW (violations reported separately), Arbitrary
+			// and Priority: lowest processor id wins.
+			m.mem[addr] = ws[0].Value
+		}
+	}
+}
+
+// checkExclusivity enforces the exclusive-access rules of EREW/CREW.
+func (m *Machine) checkExclusivity(reqs []Request) {
+	if m.variant.Concurrent() {
+		return
+	}
+	type access struct{ reads, writes int }
+	touched := make(map[uint64]access)
+	for _, req := range reqs {
+		if req.Op == OpNone {
+			continue
+		}
+		a := touched[req.Addr]
+		if req.Op == OpRead {
+			a.reads++
+		} else {
+			a.writes++
+		}
+		touched[req.Addr] = a
+	}
+	for addr, a := range touched {
+		switch {
+		case m.variant == EREW && a.reads+a.writes > 1:
+			m.violate(fmt.Sprintf("EREW violation at address %d: %d readers, %d writers",
+				addr, a.reads, a.writes))
+		case m.variant == CREW && a.writes > 1:
+			m.violate(fmt.Sprintf("CREW violation at address %d: %d writers", addr, a.writes))
+		case m.variant == CREW && a.writes == 1 && a.reads > 0:
+			m.violate(fmt.Sprintf("CREW violation at address %d: concurrent read and write", addr))
+		}
+	}
+}
+
+func (m *Machine) violate(msg string) {
+	if m.strict {
+		if m.fault == nil {
+			m.fault = "pram: " + msg
+		}
+		return
+	}
+	m.violations = append(m.violations, msg)
+}

@@ -1,0 +1,299 @@
+package pram
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVariantStrings(t *testing.T) {
+	for v, want := range map[Variant]string{
+		EREW: "EREW", CREW: "CREW", CRCWCommon: "common",
+		CRCWArbitrary: "arbitrary", CRCWPriority: "priority",
+		CRCWMax: "max", CRCWSum: "sum", Variant(99): "99",
+	} {
+		if !strings.Contains(v.String(), want) {
+			t.Errorf("%d.String() = %q, want contains %q", v, v.String(), want)
+		}
+	}
+	if EREW.Concurrent() || CREW.Concurrent() || !CRCWMax.Concurrent() {
+		t.Fatal("Concurrent predicate wrong")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no procs":  {Procs: 0, Memory: 10},
+		"no memory": {Procs: 1, Memory: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%s) should panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(Config{Procs: 4, Memory: 100})
+	m.Run(func(p *Proc) {
+		p.Write(uint64(p.ID()), int64(p.ID())*10)
+		got := p.Read(uint64(p.ID()))
+		if got != int64(p.ID())*10 {
+			panic("read back wrong value")
+		}
+	})
+	if m.Steps() != 2 {
+		t.Fatalf("steps = %d, want 2", m.Steps())
+	}
+	if m.Time() != 2 {
+		t.Fatalf("unit time = %d, want 2", m.Time())
+	}
+	for i := uint64(0); i < 4; i++ {
+		if m.Load(i) != int64(i)*10 {
+			t.Fatalf("mem[%d] = %d", i, m.Load(i))
+		}
+	}
+}
+
+func TestReadsSeePreStepMemoryLenient(t *testing.T) {
+	// In one synchronous step, processor 0 writes addr 5 while
+	// processor 1 reads it: the read must observe the pre-step value.
+	// Reader+writer on one address violates EREW, so a lenient
+	// machine records the violation while still exposing the
+	// snapshot semantics.
+	m := New(Config{Procs: 2, Memory: 10, Variant: EREW, Lenient: true})
+	m.Store(5, 42)
+	var seen int64
+	m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Write(5, 99)
+		} else {
+			seen = p.Read(5)
+		}
+	})
+	if seen != 42 {
+		t.Fatalf("concurrent read saw %d, want pre-step 42", seen)
+	}
+	if m.Load(5) != 99 {
+		t.Fatalf("write lost: mem[5] = %d", m.Load(5))
+	}
+	if len(m.Violations()) == 0 {
+		t.Fatal("EREW violation not recorded")
+	}
+}
+
+func TestEREWViolationPanics(t *testing.T) {
+	m := New(Config{Procs: 2, Memory: 10, Variant: EREW})
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "EREW violation") {
+			t.Fatalf("want EREW violation panic, got %v", r)
+		}
+	}()
+	m.Run(func(p *Proc) {
+		p.Read(3) // both processors read address 3
+	})
+}
+
+func TestCREWAllowsConcurrentReads(t *testing.T) {
+	m := New(Config{Procs: 8, Memory: 10, Variant: CREW})
+	m.Store(3, 7)
+	m.Run(func(p *Proc) {
+		if v := p.Read(3); v != 7 {
+			panic("bad read")
+		}
+	})
+	if len(m.Violations()) != 0 {
+		t.Fatalf("violations: %v", m.Violations())
+	}
+}
+
+func TestCREWRejectsConcurrentWrites(t *testing.T) {
+	m := New(Config{Procs: 2, Memory: 10, Variant: CREW})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want CREW violation panic")
+		}
+	}()
+	m.Run(func(p *Proc) {
+		p.Write(3, int64(p.ID()))
+	})
+}
+
+func TestCRCWCommonAgreementOK(t *testing.T) {
+	m := New(Config{Procs: 8, Memory: 10, Variant: CRCWCommon})
+	m.Run(func(p *Proc) {
+		p.Write(0, 5) // all write the same value: legal
+	})
+	if m.Load(0) != 5 {
+		t.Fatalf("mem[0] = %d", m.Load(0))
+	}
+}
+
+func TestCRCWCommonDisagreementPanics(t *testing.T) {
+	m := New(Config{Procs: 2, Memory: 10, Variant: CRCWCommon})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want common-CRCW violation panic")
+		}
+	}()
+	m.Run(func(p *Proc) {
+		p.Write(0, int64(p.ID()))
+	})
+}
+
+func TestCRCWArbitraryAndPriorityLowestWins(t *testing.T) {
+	for _, v := range []Variant{CRCWArbitrary, CRCWPriority} {
+		m := New(Config{Procs: 8, Memory: 4, Variant: v})
+		m.Run(func(p *Proc) {
+			p.Write(1, int64(100+p.ID()))
+		})
+		if m.Load(1) != 100 {
+			t.Fatalf("%v: mem[1] = %d, want 100 (lowest proc)", v, m.Load(1))
+		}
+	}
+}
+
+func TestCRCWMax(t *testing.T) {
+	m := New(Config{Procs: 16, Memory: 4, Variant: CRCWMax})
+	m.Run(func(p *Proc) {
+		p.Write(2, int64(p.ID()*3%17)) // arbitrary spread
+	})
+	want := int64(0)
+	for id := 0; id < 16; id++ {
+		if v := int64(id * 3 % 17); v > want {
+			want = v
+		}
+	}
+	if m.Load(2) != want {
+		t.Fatalf("max-CRCW got %d, want %d", m.Load(2), want)
+	}
+}
+
+func TestCRCWSum(t *testing.T) {
+	m := New(Config{Procs: 10, Memory: 4, Variant: CRCWSum})
+	m.Run(func(p *Proc) {
+		p.Write(0, 1)
+	})
+	if m.Load(0) != 10 {
+		t.Fatalf("sum-CRCW got %d, want 10", m.Load(0))
+	}
+}
+
+func TestIdleStepKeepsLockstep(t *testing.T) {
+	// Processor 0 writes while others idle; then everyone reads.
+	m := New(Config{Procs: 4, Memory: 10, Variant: CREW})
+	vals := make([]int64, 4)
+	m.Run(func(p *Proc) {
+		if p.ID() == 0 {
+			p.Write(7, 123)
+		} else {
+			p.Step()
+		}
+		vals[p.ID()] = p.Read(7)
+	})
+	for i, v := range vals {
+		if v != 123 {
+			t.Fatalf("proc %d read %d", i, v)
+		}
+	}
+	if m.Steps() != 2 {
+		t.Fatalf("steps = %d", m.Steps())
+	}
+}
+
+func TestEarlyExitDoesNotDeadlock(t *testing.T) {
+	// Half the processors exit immediately; the rest run 5 steps.
+	m := New(Config{Procs: 8, Memory: 10, Variant: CREW})
+	m.Run(func(p *Proc) {
+		if p.ID()%2 == 0 {
+			return
+		}
+		for i := 0; i < 5; i++ {
+			p.Read(uint64(p.ID()))
+		}
+	})
+	if m.Steps() != 5 {
+		t.Fatalf("steps = %d, want 5", m.Steps())
+	}
+}
+
+func TestBodyPanicPropagates(t *testing.T) {
+	m := New(Config{Procs: 2, Memory: 4})
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("want body panic, got %v", r)
+		}
+	}()
+	m.Run(func(p *Proc) {
+		if p.ID() == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestAddressBoundsPanic(t *testing.T) {
+	m := New(Config{Procs: 1, Memory: 10})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range address should panic")
+		}
+	}()
+	m.Run(func(p *Proc) {
+		p.Read(10)
+	})
+}
+
+type countingExec struct{ calls, procsSeen int }
+
+func (c *countingExec) ExecuteStep(step int, reqs []Request) int {
+	c.calls++
+	c.procsSeen = len(reqs)
+	return 7
+}
+
+func TestCustomExecutorPricesSteps(t *testing.T) {
+	exec := &countingExec{}
+	m := New(Config{Procs: 3, Memory: 10, Executor: exec, Variant: CREW})
+	m.Run(func(p *Proc) {
+		p.Read(0)
+		p.Read(1)
+	})
+	if exec.calls != 2 || exec.procsSeen != 3 {
+		t.Fatalf("executor saw %d calls, %d procs", exec.calls, exec.procsSeen)
+	}
+	if m.Time() != 14 {
+		t.Fatalf("time = %d, want 14", m.Time())
+	}
+}
+
+func TestPrefixSumEREW(t *testing.T) {
+	// Classic O(log n) EREW prefix sum over 16 processors, as a
+	// whole-machine integration test. Memory layout: x[i] at i.
+	const n = 16
+	m := New(Config{Procs: n, Memory: 2 * n, Variant: EREW})
+	for i := uint64(0); i < n; i++ {
+		m.Store(i, int64(i+1))
+	}
+	m.Run(func(p *Proc) {
+		for stride := 1; stride < n; stride *= 2 {
+			var add int64
+			if p.ID() >= stride {
+				add = p.Read(uint64(p.ID() - stride))
+			} else {
+				p.Step()
+			}
+			cur := p.Read(uint64(p.ID()))
+			p.Write(uint64(p.ID()), cur+add)
+		}
+	})
+	for i := 0; i < n; i++ {
+		want := int64((i + 1) * (i + 2) / 2)
+		if got := m.Load(uint64(i)); got != want {
+			t.Fatalf("prefix[%d] = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package pram
+
+import "fmt"
+
+// StepTrace is the recorded request vector of one PRAM step.
+type StepTrace struct {
+	Step int
+	Reqs []Request
+}
+
+// TraceExecutor wraps another StepExecutor and records every step's
+// request vector. The recorded trace can be replayed against a
+// different executor — e.g. record a program once on the ideal
+// machine, then price the identical instruction stream on several
+// networks without re-running the goroutines.
+type TraceExecutor struct {
+	// Inner prices the steps (Unit{} if nil).
+	Inner StepExecutor
+	trace []StepTrace
+}
+
+// ExecuteStep implements StepExecutor.
+func (t *TraceExecutor) ExecuteStep(step int, reqs []Request) int {
+	t.trace = append(t.trace, StepTrace{Step: step, Reqs: append([]Request(nil), reqs...)})
+	inner := t.Inner
+	if inner == nil {
+		inner = Unit{}
+	}
+	return inner.ExecuteStep(step, reqs)
+}
+
+// Trace returns the recorded steps.
+func (t *TraceExecutor) Trace() []StepTrace { return t.trace }
+
+// Reset clears the recording.
+func (t *TraceExecutor) Reset() { t.trace = nil }
+
+// Replay prices a recorded trace on exec and returns the total cost —
+// the emulation time the trace would incur there. It panics on an
+// empty trace to catch accidental misuse.
+func Replay(trace []StepTrace, exec StepExecutor) int64 {
+	if len(trace) == 0 {
+		panic("pram: Replay of empty trace")
+	}
+	total := int64(0)
+	for _, st := range trace {
+		total += int64(exec.ExecuteStep(st.Step, st.Reqs))
+	}
+	return total
+}
+
+// Validate checks a trace for internal consistency: steps numbered
+// consecutively from 0 and at most one request per processor per
+// step. It returns an error describing the first violation.
+func Validate(trace []StepTrace) error {
+	for i, st := range trace {
+		if st.Step != i {
+			return fmt.Errorf("pram: trace step %d has index %d", i, st.Step)
+		}
+		seen := make(map[int]bool, len(st.Reqs))
+		for _, r := range st.Reqs {
+			if seen[r.Proc] {
+				return fmt.Errorf("pram: step %d has two requests from processor %d", i, r.Proc)
+			}
+			seen[r.Proc] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package pram
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsSteps(t *testing.T) {
+	tr := &TraceExecutor{}
+	m := New(Config{Procs: 3, Memory: 16, Variant: CREW, Executor: tr})
+	m.Run(func(p *Proc) {
+		p.Write(uint64(p.ID()), int64(p.ID()))
+		p.Read(uint64(p.ID()))
+	})
+	trace := tr.Trace()
+	if len(trace) != 2 {
+		t.Fatalf("trace has %d steps", len(trace))
+	}
+	if err := Validate(trace); err != nil {
+		t.Fatal(err)
+	}
+	if trace[0].Reqs[0].Op != OpWrite || trace[1].Reqs[0].Op != OpRead {
+		t.Fatalf("ops wrong: %+v", trace)
+	}
+	// Unit pricing through the wrapper.
+	if m.Time() != 2 {
+		t.Fatalf("time = %d", m.Time())
+	}
+}
+
+type flatPricer struct{ price int }
+
+func (f flatPricer) ExecuteStep(step int, reqs []Request) int { return f.price }
+
+func TestTraceInnerPricing(t *testing.T) {
+	tr := &TraceExecutor{Inner: flatPricer{5}}
+	m := New(Config{Procs: 2, Memory: 4, Executor: tr, Variant: CREW})
+	m.Run(func(p *Proc) {
+		p.Read(uint64(p.ID()))
+	})
+	if m.Time() != 5 {
+		t.Fatalf("time = %d, want 5", m.Time())
+	}
+}
+
+func TestReplay(t *testing.T) {
+	tr := &TraceExecutor{}
+	m := New(Config{Procs: 4, Memory: 16, Variant: CREW, Executor: tr})
+	m.Run(func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Read(uint64(p.ID()))
+		}
+	})
+	if got := Replay(tr.Trace(), flatPricer{7}); got != 21 {
+		t.Fatalf("replay cost = %d, want 21", got)
+	}
+	tr.Reset()
+	if len(tr.Trace()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestReplayEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Replay(nil) should panic")
+		}
+	}()
+	Replay(nil, Unit{})
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	bad := []StepTrace{{Step: 1}}
+	if err := Validate(bad); err == nil || !strings.Contains(err.Error(), "index") {
+		t.Fatalf("want index error, got %v", err)
+	}
+	dup := []StepTrace{{Step: 0, Reqs: []Request{{Proc: 2}, {Proc: 2}}}}
+	if err := Validate(dup); err == nil || !strings.Contains(err.Error(), "two requests") {
+		t.Fatalf("want duplicate error, got %v", err)
+	}
+	good := []StepTrace{{Step: 0, Reqs: []Request{{Proc: 0}, {Proc: 1}}}}
+	if err := Validate(good); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package queue implements the two queueing disciplines the paper
+// uses — plain FIFO (leveled networks, §2.2.1: "a first-in first-out
+// (FIFO) is a simpler queueing strategy ... and is thus preferable")
+// and furthest-destination-first (the mesh algorithm of §3.4) — with
+// occupancy instrumentation for the paper's queue-size claims.
+package queue
+
+import "pramemu/internal/packet"
+
+// Discipline is a queue of packets attached to one directed link.
+type Discipline interface {
+	// Push enqueues p.
+	Push(p *packet.Packet)
+	// Pop removes and returns the next packet to traverse the link,
+	// or nil if the queue is empty.
+	Pop() *packet.Packet
+	// Len returns the current occupancy.
+	Len() int
+	// MaxLen returns the largest occupancy ever observed; this is the
+	// "queue size" of a routing scheme (§2.2.1).
+	MaxLen() int
+}
+
+// FIFO is a first-in first-out discipline backed by a growable ring
+// buffer. The zero value is ready to use.
+type FIFO struct {
+	buf        []*packet.Packet
+	head, tail int // tail is one past the last element (mod len(buf))
+	n          int
+	maxLen     int
+}
+
+// NewFIFO returns an empty FIFO with room for capacity packets before
+// the first reallocation.
+func NewFIFO(capacity int) *FIFO {
+	if capacity < 4 {
+		capacity = 4
+	}
+	return &FIFO{buf: make([]*packet.Packet, capacity)}
+}
+
+// Push implements Discipline.
+func (q *FIFO) Push(p *packet.Packet) {
+	if q.buf == nil {
+		q.buf = make([]*packet.Packet, 4)
+	}
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[q.tail] = p
+	q.tail = (q.tail + 1) % len(q.buf)
+	q.n++
+	if q.n > q.maxLen {
+		q.maxLen = q.n
+	}
+}
+
+func (q *FIFO) grow() {
+	next := make([]*packet.Packet, 2*len(q.buf))
+	for i := 0; i < q.n; i++ {
+		next[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = next
+	q.head = 0
+	q.tail = q.n
+}
+
+// Pop implements Discipline.
+func (q *FIFO) Pop() *packet.Packet {
+	if q.n == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
+// Len implements Discipline.
+func (q *FIFO) Len() int { return q.n }
+
+// MaxLen implements Discipline.
+func (q *FIFO) MaxLen() int { return q.maxLen }
+
+// Each calls f on every queued packet in FIFO order, used by the
+// combining simulators to find a mergeable packet already in queue.
+func (q *FIFO) Each(f func(p *packet.Packet) bool) {
+	for i := 0; i < q.n; i++ {
+		if !f(q.buf[(q.head+i)%len(q.buf)]) {
+			return
+		}
+	}
+}
+
+// LessFunc orders packets for the Priority discipline; it reports
+// whether a should be served strictly before b.
+type LessFunc func(a, b *packet.Packet) bool
+
+// Priority is a binary-heap discipline ordered by a LessFunc, used for
+// the mesh's furthest-destination-first contention rule. Ties must be
+// broken by the LessFunc itself (e.g. on packet ID) if deterministic
+// replay is required.
+type Priority struct {
+	less   LessFunc
+	heap   []*packet.Packet
+	maxLen int
+}
+
+// NewPriority returns an empty priority queue using less.
+func NewPriority(less LessFunc) *Priority {
+	if less == nil {
+		panic("queue: NewPriority with nil LessFunc")
+	}
+	return &Priority{less: less}
+}
+
+// Push implements Discipline.
+func (q *Priority) Push(p *packet.Packet) {
+	q.heap = append(q.heap, p)
+	q.up(len(q.heap) - 1)
+	if len(q.heap) > q.maxLen {
+		q.maxLen = len(q.heap)
+	}
+}
+
+// Pop implements Discipline.
+func (q *Priority) Pop() *packet.Packet {
+	if len(q.heap) == 0 {
+		return nil
+	}
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if len(q.heap) > 0 {
+		q.down(0)
+	}
+	return top
+}
+
+// Len implements Discipline.
+func (q *Priority) Len() int { return len(q.heap) }
+
+// MaxLen implements Discipline.
+func (q *Priority) MaxLen() int { return q.maxLen }
+
+// Each calls f on every queued packet in heap (arbitrary) order.
+func (q *Priority) Each(f func(p *packet.Packet) bool) {
+	for _, p := range q.heap {
+		if !f(p) {
+			return
+		}
+	}
+}
+
+func (q *Priority) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[parent]) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Priority) down(i int) {
+	n := len(q.heap)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.less(q.heap[left], q.heap[smallest]) {
+			smallest = left
+		}
+		if right < n && q.less(q.heap[right], q.heap[smallest]) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}

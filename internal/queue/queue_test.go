@@ -1,0 +1,204 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+)
+
+func mk(id int) *packet.Packet { return packet.New(id, 0, 0, packet.Transit) }
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO(2)
+	for i := 0; i < 10; i++ {
+		q.Push(mk(i))
+	}
+	for i := 0; i < 10; i++ {
+		p := q.Pop()
+		if p == nil || p.ID != i {
+			t.Fatalf("pop %d: got %v", i, p)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop of empty FIFO must return nil")
+	}
+}
+
+func TestFIFOZeroValue(t *testing.T) {
+	var q FIFO
+	q.Push(mk(1))
+	if p := q.Pop(); p == nil || p.ID != 1 {
+		t.Fatal("zero-value FIFO must be usable")
+	}
+}
+
+func TestFIFOInterleaved(t *testing.T) {
+	// Interleave pushes and pops so the ring wraps repeatedly.
+	q := NewFIFO(4)
+	next, expect := 0, 0
+	src := prng.New(5)
+	for round := 0; round < 1000; round++ {
+		if src.Intn(2) == 0 || q.Len() == 0 {
+			q.Push(mk(next))
+			next++
+		} else {
+			p := q.Pop()
+			if p.ID != expect {
+				t.Fatalf("round %d: popped %d, want %d", round, p.ID, expect)
+			}
+			expect++
+		}
+	}
+	for expect < next {
+		if p := q.Pop(); p.ID != expect {
+			t.Fatalf("drain: popped %d, want %d", p.ID, expect)
+		} else {
+			expect++
+		}
+	}
+}
+
+func TestFIFOMaxLen(t *testing.T) {
+	q := NewFIFO(4)
+	for i := 0; i < 7; i++ {
+		q.Push(mk(i))
+	}
+	for i := 0; i < 3; i++ {
+		q.Pop()
+	}
+	q.Push(mk(7))
+	if q.MaxLen() != 7 {
+		t.Fatalf("MaxLen = %d, want 7", q.MaxLen())
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+}
+
+func TestFIFOEach(t *testing.T) {
+	q := NewFIFO(2)
+	for i := 0; i < 5; i++ {
+		q.Push(mk(i))
+	}
+	q.Pop()
+	var seen []int
+	q.Each(func(p *packet.Packet) bool {
+		seen = append(seen, p.ID)
+		return true
+	})
+	want := []int{1, 2, 3, 4}
+	if len(seen) != len(want) {
+		t.Fatalf("Each saw %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Each saw %v, want %v", seen, want)
+		}
+	}
+	// Early termination.
+	count := 0
+	q.Each(func(p *packet.Packet) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("Each did not stop early: %d visits", count)
+	}
+}
+
+func byID(a, b *packet.Packet) bool { return a.ID < b.ID }
+
+func TestPriorityOrdering(t *testing.T) {
+	q := NewPriority(byID)
+	ids := []int{5, 3, 8, 1, 9, 2, 7}
+	for _, id := range ids {
+		q.Push(mk(id))
+	}
+	prev := -1
+	for q.Len() > 0 {
+		p := q.Pop()
+		if p.ID <= prev {
+			t.Fatalf("priority pop out of order: %d after %d", p.ID, prev)
+		}
+		prev = p.ID
+	}
+	if q.Pop() != nil {
+		t.Fatal("pop of empty priority queue must return nil")
+	}
+}
+
+func TestPriorityHeapProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		src := prng.New(seed)
+		q := NewPriority(func(a, b *packet.Packet) bool {
+			if a.Hops != b.Hops {
+				return a.Hops > b.Hops // furthest-first style
+			}
+			return a.ID < b.ID
+		})
+		n := 1 + src.Intn(64)
+		for i := 0; i < n; i++ {
+			p := mk(i)
+			p.Hops = src.Intn(10)
+			q.Push(p)
+		}
+		prevHops, prevID := 1<<30, -1
+		for q.Len() > 0 {
+			p := q.Pop()
+			if p.Hops > prevHops {
+				return false
+			}
+			if p.Hops == prevHops && p.ID < prevID {
+				return false
+			}
+			prevHops, prevID = p.Hops, p.ID
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorityMaxLen(t *testing.T) {
+	q := NewPriority(byID)
+	for i := 0; i < 6; i++ {
+		q.Push(mk(i))
+	}
+	q.Pop()
+	q.Pop()
+	if q.MaxLen() != 6 || q.Len() != 4 {
+		t.Fatalf("MaxLen=%d Len=%d", q.MaxLen(), q.Len())
+	}
+}
+
+func TestPriorityNilLessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPriority(nil) should panic")
+		}
+	}()
+	NewPriority(nil)
+}
+
+func TestPriorityEach(t *testing.T) {
+	q := NewPriority(byID)
+	for i := 0; i < 5; i++ {
+		q.Push(mk(i))
+	}
+	seen := map[int]bool{}
+	q.Each(func(p *packet.Packet) bool {
+		seen[p.ID] = true
+		return true
+	})
+	if len(seen) != 5 {
+		t.Fatalf("Each visited %d packets, want 5", len(seen))
+	}
+}
+
+func TestDisciplineInterfaces(t *testing.T) {
+	var _ Discipline = (*FIFO)(nil)
+	var _ Discipline = (*Priority)(nil)
+}

@@ -1,0 +1,104 @@
+package ranade
+
+import (
+	"fmt"
+
+	"pramemu/internal/packet"
+)
+
+// replyPass routes read replies back along the reversed request
+// paths, one packet per reverse link per round, fanning out combined
+// children at the nodes where they merged — Ranade's return trip,
+// which the paper's Theorem 2.6 adapts via direction bits.
+type replyPass struct {
+	n  *Network
+	st *Stats
+	// links maps a directed reverse edge (from<<32 | to) to its FIFO.
+	links    map[uint64][]*packet.Packet
+	inFlight int
+	maxQueue int
+}
+
+func newReplyPass(n *Network, st *Stats) *replyPass {
+	return &replyPass{n: n, st: st, links: make(map[uint64][]*packet.Packet)}
+}
+
+// spawn turns a delivered read request into a retracing reply.
+// p.Path holds flat node ids (level*rows + row) from the source
+// (level 0) to the module (level k).
+func (rp *replyPass) spawn(p *packet.Packet) {
+	p.Kind = packet.ReadReply
+	p.Stage = len(p.Path) - 1 // current index while retracing
+	rp.dispatch(p, 0)
+}
+
+// dispatch fans out any children combined at the reply's current
+// node, then forwards the reply (or finishes it at index 0). Children
+// merged at the final module node fan out immediately at spawn time.
+func (rp *replyPass) dispatch(p *packet.Packet, round int) {
+	for i, at := range p.CombinedAt {
+		if at != p.Stage {
+			continue
+		}
+		child := p.Children[i]
+		child.Kind = packet.ReadReply
+		child.Value = p.Value
+		child.Stage = len(child.Path) - 1
+		if child.Path[child.Stage] != p.Path[p.Stage] {
+			panic(fmt.Sprintf("ranade: child %d fan-out at node %d, parent at %d",
+				child.ID, child.Path[child.Stage], p.Path[p.Stage]))
+		}
+		rp.dispatch(child, round)
+	}
+	if p.Stage == 0 {
+		rp.finish(p, round)
+		return
+	}
+	rp.enqueue(p)
+}
+
+func (rp *replyPass) enqueue(p *packet.Packet) {
+	from := uint64(p.Path[p.Stage])
+	to := uint64(p.Path[p.Stage-1])
+	key := from<<32 | to
+	rp.links[key] = append(rp.links[key], p)
+	rp.inFlight++
+	if len(rp.links[key]) > rp.maxQueue {
+		rp.maxQueue = len(rp.links[key])
+	}
+}
+
+func (rp *replyPass) pending() bool { return rp.inFlight > 0 }
+
+// step advances every non-empty reverse link by one packet.
+func (rp *replyPass) step(round int) {
+	type arrival struct {
+		key uint64
+		p   *packet.Packet
+	}
+	var moved []arrival
+	for key, q := range rp.links {
+		p := q[0]
+		if len(q) == 1 {
+			delete(rp.links, key)
+		} else {
+			rp.links[key] = q[1:]
+		}
+		rp.inFlight--
+		moved = append(moved, arrival{key, p})
+	}
+	for _, a := range moved {
+		p := a.p
+		p.Hops++
+		p.Stage--
+		rp.dispatch(p, round)
+	}
+}
+
+func (rp *replyPass) finish(p *packet.Packet, round int) {
+	if int(p.Path[0]) != p.Src {
+		panic(fmt.Sprintf("ranade: reply %d retraced to %d, want %d", p.ID, p.Path[0], p.Src))
+	}
+	p.Arrived = round
+	rp.st.DeliveredReplies++
+}

@@ -1,0 +1,114 @@
+// Package shuffle implements the d-way shuffle network of §2.3.5: d^n
+// nodes labelled by n-digit base-d strings, where node dn...d1 is
+// linked to l·dn...d2 for every digit l (shift the label down and
+// insert l at the top). Between any two nodes there is a unique path
+// of exactly n links, so the network is a leveled network of n+1
+// columns with degree d; choosing d = n gives the paper's n-way
+// shuffle with N = n^n nodes and sub-logarithmic diameter n.
+//
+// The package provides both views: a leveled.Spec (the natural form
+// for Algorithm 2.3, which is Algorithm 2.1 on this topology) and a
+// simnet.Topology for direct simulation with reverse-link replies.
+package shuffle
+
+import (
+	"fmt"
+
+	"pramemu/internal/leveled"
+)
+
+// Graph is a d-way shuffle network on d^n nodes.
+type Graph struct {
+	d, n  int
+	nodes int
+	top   int // d^(n-1), the weight of the most significant digit
+}
+
+// New constructs the d-way shuffle with n digit positions. It panics
+// if d < 2, n < 1, or d^n exceeds the practical simulation bound 2^24.
+func New(d, n int) *Graph {
+	if d < 2 {
+		panic("shuffle: d must be >= 2")
+	}
+	if n < 1 {
+		panic("shuffle: n must be >= 1")
+	}
+	nodes := 1
+	for i := 0; i < n; i++ {
+		if nodes > (1<<24)/d {
+			panic("shuffle: d^n exceeds the practical simulation bound")
+		}
+		nodes *= d
+	}
+	return &Graph{d: d, n: n, nodes: nodes, top: nodes / d}
+}
+
+// NewNWay returns the n-way shuffle (d = n) with n^n nodes.
+func NewNWay(n int) *Graph { return New(n, n) }
+
+// D returns the digit alphabet size (and out-degree) d.
+func (g *Graph) D() int { return g.d }
+
+// Name implements simnet.Topology.
+func (g *Graph) Name() string { return fmt.Sprintf("shuffle(d=%d,n=%d)", g.d, g.n) }
+
+// Nodes implements simnet.Topology: d^n.
+func (g *Graph) Nodes() int { return g.nodes }
+
+// Degree implements simnet.Topology: d outgoing shift links.
+func (g *Graph) Degree(node int) int { return g.d }
+
+// Neighbor implements simnet.Topology: insert digit `slot` at the
+// top, shifting the label down one position.
+func (g *Graph) Neighbor(node, slot int) int {
+	return slot*g.top + node/g.d
+}
+
+// Diameter implements simnet.Topology: every unique path has exactly
+// n links.
+func (g *Graph) Diameter() int { return g.n }
+
+// NextHop implements simnet.Topology. The unique path to dst inserts
+// dst's digits from least to most significant; after n insertions the
+// label equals dst regardless of the starting node, so arrival is
+// determined by the hop count, not by node identity.
+func (g *Graph) NextHop(node, dst, taken int) (slot int, done bool) {
+	if taken >= g.n {
+		if node != dst {
+			panic(fmt.Sprintf("shuffle: path ended at %d, want %d", node, dst))
+		}
+		return 0, true
+	}
+	return g.digit(dst, taken), false
+}
+
+// TakenSensitive implements simnet.TakenSensitive: shuffle unique
+// paths have fixed length n, so NextHop depends on the hops already
+// taken and combining requires equal progress.
+func (g *Graph) TakenSensitive() bool { return true }
+
+// digit returns base-d digit i of label (digit 0 least significant).
+func (g *Graph) digit(label, i int) int {
+	for ; i > 0; i-- {
+		label /= g.d
+	}
+	return label % g.d
+}
+
+// AsLeveled returns the leveled-network view: n+1 columns of d^n
+// nodes, level i inserting digit i of the destination.
+func (g *Graph) AsLeveled() leveled.Spec { return &leveledShuffle{g} }
+
+type leveledShuffle struct{ g *Graph }
+
+func (s *leveledShuffle) Name() string {
+	return fmt.Sprintf("shuffle-leveled(d=%d,n=%d)", s.g.d, s.g.n)
+}
+func (s *leveledShuffle) Levels() int                   { return s.g.n + 1 }
+func (s *leveledShuffle) Width() int                    { return s.g.nodes }
+func (s *leveledShuffle) Degree() int                   { return s.g.d }
+func (s *leveledShuffle) OutDegree(level, node int) int { return s.g.d }
+func (s *leveledShuffle) Out(level, node, slot int) int { return s.g.Neighbor(node, slot) }
+func (s *leveledShuffle) NextHop(level, node, dst int) int {
+	return s.g.digit(dst, level)
+}

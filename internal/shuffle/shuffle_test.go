@@ -1,0 +1,147 @@
+package shuffle
+
+import (
+	"testing"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/simnet"
+)
+
+func TestDimensions(t *testing.T) {
+	g := New(3, 4)
+	if g.Nodes() != 81 || g.Degree(0) != 3 || g.Diameter() != 4 || g.D() != 3 {
+		t.Fatalf("shuffle(3,4): nodes=%d degree=%d diam=%d", g.Nodes(), g.Degree(0), g.Diameter())
+	}
+	nw := NewNWay(4)
+	if nw.Nodes() != 256 || nw.Degree(0) != 4 || nw.Diameter() != 4 {
+		t.Fatalf("4-way shuffle: nodes=%d", nw.Nodes())
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"d too small": func() { New(1, 3) },
+		"n too small": func() { New(2, 0) },
+		"too large":   func() { New(2, 30) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestFigure4TwoWayShuffle checks the 2-way shuffle with n=2 against
+// Figure 4 of the paper: 4 nodes 00,01,10,11 where each node x1x0 is
+// linked to l·x1 for l in {0,1}.
+func TestFigure4TwoWayShuffle(t *testing.T) {
+	g := New(2, 2)
+	want := map[int][2]int{
+		0: {0, 2}, // 00 -> 00, 10
+		1: {0, 2}, // 01 -> 00, 10
+		2: {1, 3}, // 10 -> 01, 11
+		3: {1, 3}, // 11 -> 01, 11
+	}
+	for node, w := range want {
+		for slot := 0; slot < 2; slot++ {
+			if got := g.Neighbor(node, slot); got != w[slot] {
+				t.Fatalf("Neighbor(%d,%d) = %d, want %d", node, slot, got, w[slot])
+			}
+		}
+	}
+}
+
+// TestUniquePathLengthN verifies the defining property: following
+// NextHop from any src reaches any dst in exactly n hops.
+func TestUniquePathLengthN(t *testing.T) {
+	for _, cfg := range []struct{ d, n int }{{2, 4}, {3, 3}, {4, 4}, {5, 3}} {
+		g := New(cfg.d, cfg.n)
+		for src := 0; src < g.Nodes(); src += 3 {
+			for dst := 0; dst < g.Nodes(); dst += 7 {
+				node := src
+				for taken := 0; taken < g.n; taken++ {
+					slot, done := g.NextHop(node, dst, taken)
+					if done {
+						t.Fatalf("premature done at hop %d", taken)
+					}
+					node = g.Neighbor(node, slot)
+				}
+				if node != dst {
+					t.Fatalf("d=%d n=%d: path %d->%d ended at %d", cfg.d, cfg.n, src, dst, node)
+				}
+				if _, done := g.NextHop(node, dst, g.n); !done {
+					t.Fatal("NextHop after n hops must report done")
+				}
+			}
+		}
+	}
+}
+
+func TestAsLeveledUniquePath(t *testing.T) {
+	g := New(3, 3)
+	spec := g.AsLeveled()
+	if spec.Levels() != 4 || spec.Width() != 27 || spec.Degree() != 3 {
+		t.Fatalf("leveled shuffle dims: %d %d %d", spec.Levels(), spec.Width(), spec.Degree())
+	}
+	for src := 0; src < 27; src++ {
+		for dst := 0; dst < 27; dst++ {
+			node := src
+			for level := 0; level < spec.Levels()-1; level++ {
+				node = spec.Out(level, node, spec.NextHop(level, node, dst))
+			}
+			if node != dst {
+				t.Fatalf("leveled path %d->%d ended at %d", src, dst, node)
+			}
+		}
+	}
+}
+
+// TestAlgorithm23Permutation runs the paper's Algorithm 2.3 (two-phase
+// randomized routing on the n-way shuffle) end to end on the direct
+// simulator and checks Theorem 2.3's Õ(n) shape.
+func TestAlgorithm23Permutation(t *testing.T) {
+	g := NewNWay(4) // 256 nodes, diameter 4
+	perm := prng.New(8).Perm(g.Nodes())
+	pkts := make([]*packet.Packet, len(perm))
+	for i, dst := range perm {
+		pkts[i] = packet.New(i, i, dst, packet.Transit)
+	}
+	stats := simnet.Route(g, pkts, simnet.Options{Seed: 19})
+	if stats.DeliveredRequests != g.Nodes() {
+		t.Fatalf("delivered %d/%d", stats.DeliveredRequests, g.Nodes())
+	}
+	// Two phases of exactly n hops each plus queueing delay: the
+	// routing time must be Õ(n) — generously, under 12n.
+	if stats.Rounds < 2*g.Diameter() || stats.Rounds > 12*g.Diameter() {
+		t.Fatalf("rounds = %d, want within [%d, %d]", stats.Rounds, 2*g.Diameter(), 12*g.Diameter())
+	}
+}
+
+func TestRepliesRetraceOnShuffle(t *testing.T) {
+	g := New(3, 3)
+	perm := prng.New(4).Perm(g.Nodes())
+	pkts := make([]*packet.Packet, len(perm))
+	for i, dst := range perm {
+		pkts[i] = packet.New(i, i, dst, packet.ReadRequest)
+	}
+	stats := simnet.Route(g, pkts, simnet.Options{Seed: 6, Replies: true})
+	if stats.DeliveredReplies != g.Nodes() {
+		t.Fatalf("replies %d/%d", stats.DeliveredReplies, g.Nodes())
+	}
+}
+
+func TestDigit(t *testing.T) {
+	g := New(5, 4)
+	label := 3*125 + 1*25 + 4*5 + 2 // digits (lsb first): 2,4,1,3
+	want := []int{2, 4, 1, 3}
+	for i, w := range want {
+		if got := g.digit(label, i); got != w {
+			t.Fatalf("digit(%d, %d) = %d, want %d", label, i, got, w)
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package simnet is a synchronous packet-routing simulator for
+// arbitrary point-to-point interconnection networks, used for the
+// "parallel model" simulations of the n-star graph (Algorithm 2.2)
+// and the binary hypercube baseline. One round moves at most one
+// packet across each directed link; per-link queues are FIFO, the
+// discipline the paper prescribes for leveled networks.
+//
+// Routing is Valiant two-phase: each packet first travels to a
+// uniformly random intermediate node along the topology's
+// deterministic path, then on to its true destination ("select a
+// random intermediate node ... send each packet from its intermediate
+// node to its correct destination"). Replies retrace the recorded
+// request path in reverse, and CRCW combining (Theorem 2.6) merges
+// same-address requests that meet in a queue during the deterministic
+// final approach.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/queue"
+)
+
+// Topology describes a static network. Implementations must be
+// stateless and cheap: NextHop is called once per packet per hop.
+type Topology interface {
+	// Name identifies the topology in reports.
+	Name() string
+	// Nodes returns the number of nodes.
+	Nodes() int
+	// Degree returns the number of outgoing link slots of node.
+	Degree(node int) int
+	// Neighbor returns the node reached from node via link slot.
+	Neighbor(node, slot int) int
+	// NextHop returns the outgoing slot of the deterministic path
+	// from node to dst, given that the packet has already taken
+	// `taken` hops since it last chose a target; done reports that
+	// the packet has arrived (slot is then ignored). For
+	// distance-defined topologies (star, hypercube) `taken` is
+	// ignored; the d-way shuffle uses it because its unique paths
+	// have fixed length n regardless of endpoints.
+	NextHop(node, dst, taken int) (slot int, done bool)
+	// Diameter returns the network diameter in links.
+	Diameter() int
+}
+
+// TakenSensitive is implemented by topologies whose NextHop depends
+// on the hops already taken within a phase (the d-way shuffle, whose
+// unique paths have fixed length n). For such topologies two packets
+// may combine only at equal progress; memoryless topologies (star,
+// hypercube, ring) may combine whenever node and destination match.
+type TakenSensitive interface {
+	// TakenSensitive reports whether NextHop depends on `taken`.
+	TakenSensitive() bool
+}
+
+// Options configures a routing run.
+type Options struct {
+	// Seed drives the random intermediate destinations.
+	Seed uint64
+	// SkipPhase1 routes packets directly along deterministic paths
+	// (the ablation showing why the randomizing phase matters).
+	SkipPhase1 bool
+	// Replies makes delivered requests retrace their paths as replies.
+	Replies bool
+	// Combine enables Theorem 2.6 message combining during phase 2.
+	Combine bool
+	// RecordPaths forces path recording even without Replies/Combine.
+	RecordPaths bool
+}
+
+// Stats aggregates one routing run; the fields mirror the measures of
+// §2.2.1 (routing time, queue size, delay).
+type Stats struct {
+	Rounds            int
+	RequestRounds     int
+	MaxQueue          int
+	TotalDelay        int64
+	MaxPacketSteps    int
+	DeliveredRequests int
+	DeliveredReplies  int
+	Merges            int
+	MaxModuleLoad     int
+}
+
+type arrival struct {
+	key uint64
+	p   *packet.Packet
+}
+
+type router struct {
+	topo       Topology
+	opts       Options
+	edges      map[uint64]*queue.FIFO
+	free       []*queue.FIFO
+	stats      Stats
+	loads      map[int]int
+	record     bool
+	matchTaken bool // combining requires equal per-phase progress
+}
+
+func edgeKey(from, to int) uint64 { return uint64(from)<<24 | uint64(to) }
+
+// Route routes pkts through topo. Packets need unique IDs and
+// endpoints within range. It mutates the packets and returns Stats.
+func Route(topo Topology, pkts []*packet.Packet, opts Options) Stats {
+	if topo.Nodes() > 1<<24 {
+		panic("simnet: topology exceeds 24-bit key space")
+	}
+	r := &router{
+		topo:   topo,
+		opts:   opts,
+		edges:  make(map[uint64]*queue.FIFO),
+		loads:  make(map[int]int),
+		record: opts.Replies || opts.Combine || opts.RecordPaths,
+	}
+	if ts, ok := topo.(TakenSensitive); ok {
+		r.matchTaken = ts.TakenSensitive()
+	}
+	root := prng.New(opts.Seed)
+	seen := make(map[int]bool, len(pkts))
+	var injections []arrival
+	for _, p := range pkts {
+		if seen[p.ID] {
+			panic(fmt.Sprintf("simnet: duplicate packet ID %d", p.ID))
+		}
+		seen[p.ID] = true
+		if p.Src < 0 || p.Src >= topo.Nodes() || p.Dst < 0 || p.Dst >= topo.Nodes() {
+			panic(fmt.Sprintf("simnet: packet %d endpoints out of range", p.ID))
+		}
+		p.Rand = root.Split(uint64(p.ID))
+		p.Injected = 0
+		p.Arrived = -1
+		p.Phase = 1
+		p.Stage = 0 // hops taken toward the current target
+		if opts.SkipPhase1 {
+			p.Phase = 2
+			p.Inter = p.Dst
+		} else {
+			p.Inter = p.Rand.Intn(topo.Nodes())
+		}
+		if r.record {
+			p.Path = append(p.Path[:0], int32(p.Src))
+		}
+		if a, delivered := r.advance(p, p.Src, 0); delivered {
+			// src == intermediate == dst: the packet never moves.
+			continue
+		} else {
+			injections = append(injections, a)
+		}
+	}
+	r.pushAll(injections, 0)
+	for round := 1; len(r.edges) > 0; round++ {
+		popped := r.popPhase(round)
+		arrivals := r.handlePhase(popped, round)
+		r.pushAll(arrivals, round)
+	}
+	return r.stats
+}
+
+// advance decides the next queue insertion for a forward packet
+// standing at node, or reports final delivery. round is the current
+// simulation round (used for delivery bookkeeping).
+func (r *router) advance(p *packet.Packet, node, round int) (arrival, bool) {
+	for {
+		target := p.Inter
+		if p.Phase == 2 {
+			target = p.Dst
+		}
+		slot, done := r.topo.NextHop(node, target, p.Stage)
+		if !done {
+			to := r.topo.Neighbor(node, slot)
+			return arrival{edgeKey(node, to), p}, false
+		}
+		if p.Phase == 1 {
+			p.Phase = 2
+			p.Stage = 0
+			continue
+		}
+		r.deliverForward(p, node, round)
+		return arrival{}, true
+	}
+}
+
+func (r *router) popPhase(round int) []arrival {
+	popped := make([]arrival, 0, len(r.edges))
+	for key, q := range r.edges {
+		p := q.Pop()
+		p.Delay += round - p.EnqueuedAt - 1
+		popped = append(popped, arrival{key, p})
+		if q.Len() == 0 {
+			delete(r.edges, key)
+			r.free = append(r.free, q)
+		}
+	}
+	return popped
+}
+
+func (r *router) handlePhase(popped []arrival, round int) []arrival {
+	arrivals := make([]arrival, 0, len(popped))
+	for _, a := range popped {
+		p := a.p
+		p.Hops++
+		to := int(a.key & 0xffffff)
+		if p.Kind.IsReply() {
+			arrivals = r.handleReplyArrival(arrivals, p, round)
+			continue
+		}
+		p.Stage++
+		if r.record {
+			p.RecordPath(to)
+		}
+		if next, delivered := r.advance(p, to, round); !delivered {
+			arrivals = append(arrivals, next)
+		} else if p.Kind == packet.ReadReply && p.Stage > 0 {
+			arrivals = append(arrivals, r.replyArrival(p))
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool {
+		if arrivals[i].key != arrivals[j].key {
+			return arrivals[i].key < arrivals[j].key
+		}
+		return arrivals[i].p.ID < arrivals[j].p.ID
+	})
+	return arrivals
+}
+
+func (r *router) deliverForward(p *packet.Packet, node, round int) {
+	if node != p.Dst {
+		panic(fmt.Sprintf("simnet: packet %d delivered to %d, want %d", p.ID, node, p.Dst))
+	}
+	p.Arrived = round
+	if round > r.stats.RequestRounds {
+		r.stats.RequestRounds = round
+	}
+	n := p.TotalCombined()
+	r.stats.DeliveredRequests += n
+	r.loads[node] += n
+	if r.loads[node] > r.stats.MaxModuleLoad {
+		r.stats.MaxModuleLoad = r.loads[node]
+	}
+	if r.opts.Replies && p.Kind == packet.ReadRequest {
+		r.makeReply(p)
+		p.Stage = len(p.Path) - 1 // index into Path while retracing
+		if p.Stage == 0 {
+			// The request never left home (src == dst == intermediate);
+			// its reply is immediately home too.
+			r.finishReply(p, round)
+		}
+	} else {
+		// Writes are fire-and-forget ("back in case of a read
+		// instruction", §2.1).
+		r.noteFinished(p)
+	}
+}
+
+func (r *router) makeReply(p *packet.Packet) {
+	switch p.Kind {
+	case packet.ReadRequest:
+		p.Kind = packet.ReadReply
+	case packet.WriteRequest:
+		p.Kind = packet.WriteAck
+	default:
+		p.Kind = packet.ReadReply
+	}
+}
+
+// replyArrival builds the queue insertion for a reply at Path index
+// p.Stage about to move to index p.Stage-1.
+func (r *router) replyArrival(p *packet.Packet) arrival {
+	from := int(p.Path[p.Stage])
+	to := int(p.Path[p.Stage-1])
+	return arrival{edgeKey(from, to), p}
+}
+
+func (r *router) handleReplyArrival(arrivals []arrival, p *packet.Packet, round int) []arrival {
+	p.Stage--
+	idx := p.Stage
+	for i, at := range p.CombinedAt {
+		if at != idx {
+			continue
+		}
+		child := p.Children[i]
+		r.makeReply(child)
+		if child.Kind == packet.ReadReply {
+			child.Value = p.Value
+		}
+		child.Stage = idx
+		if idx == 0 {
+			r.finishReply(child, round)
+		} else {
+			arrivals = append(arrivals, r.replyArrival(child))
+		}
+	}
+	if idx == 0 {
+		r.finishReply(p, round)
+		return arrivals
+	}
+	return append(arrivals, r.replyArrival(p))
+}
+
+func (r *router) finishReply(p *packet.Packet, round int) {
+	if int(p.Path[0]) != p.Src {
+		panic(fmt.Sprintf("simnet: reply %d retraced to %d, want %d", p.ID, p.Path[0], p.Src))
+	}
+	p.Arrived = round
+	r.stats.DeliveredReplies++
+	r.noteFinished(p)
+}
+
+func (r *router) noteFinished(p *packet.Packet) {
+	r.stats.TotalDelay += int64(p.Delay)
+	if s := p.Steps(); s > r.stats.MaxPacketSteps {
+		r.stats.MaxPacketSteps = s
+	}
+	if p.Arrived > r.stats.Rounds {
+		r.stats.Rounds = p.Arrived
+	}
+}
+
+func (r *router) pushAll(arrivals []arrival, round int) {
+	for _, a := range arrivals {
+		p := a.p
+		if r.opts.Combine && p.Kind.IsRequest() && p.Phase == 2 {
+			if r.tryCombine(a.key, p) {
+				continue
+			}
+		}
+		q := r.edges[a.key]
+		if q == nil {
+			if n := len(r.free); n > 0 {
+				q = r.free[n-1]
+				r.free = r.free[:n-1]
+			} else {
+				q = queue.NewFIFO(4)
+			}
+			r.edges[a.key] = q
+		}
+		p.EnqueuedAt = round
+		q.Push(p)
+		if q.Len() > r.stats.MaxQueue {
+			r.stats.MaxQueue = q.Len()
+		}
+	}
+}
+
+// tryCombine merges p into a queued phase-2 request with the same
+// kind, address and destination. On memoryless topologies matching
+// (node, dst) guarantees the remaining deterministic paths coincide;
+// on taken-sensitive topologies (shuffle) equal per-phase progress is
+// additionally required.
+func (r *router) tryCombine(key uint64, p *packet.Packet) bool {
+	q := r.edges[key]
+	if q == nil {
+		return false
+	}
+	var host *packet.Packet
+	q.Each(func(c *packet.Packet) bool {
+		if c.Kind == p.Kind && c.Phase == 2 && c.Addr == p.Addr &&
+			c.Dst == p.Dst && (!r.matchTaken || c.Stage == p.Stage) {
+			host = c
+			return false
+		}
+		return true
+	})
+	if host == nil {
+		return false
+	}
+	host.Combine(p, len(p.Path)-1)
+	r.stats.Merges++
+	return true
+}

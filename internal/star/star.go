@@ -1,0 +1,175 @@
+// Package star implements the n-star graph of §2.3.4 — the flagship
+// sub-logarithmic-diameter network of the paper. An n-star has n!
+// nodes, one per permutation of n symbols; node u is adjacent to
+// SWAPj(u) for 2 <= j <= n, where SWAPj exchanges the first and j-th
+// symbols. Degree n-1 and diameter ⌊3(n-1)/2⌋ both grow sub-
+// logarithmically in the network size n!.
+//
+// The package provides the physical topology (a simnet.Topology, with
+// the greedy cycle-fixing shortest-path rule used for the unique
+// deterministic paths of Algorithm 2.2) and the logical leveled-
+// network unrolling of Figure 3 (a leveled.Spec whose levels apply
+// one greedy move each, padded with self-links once a packet has
+// arrived).
+package star
+
+import (
+	"fmt"
+
+	"pramemu/internal/leveled"
+	"pramemu/internal/mathx"
+)
+
+// Graph is an n-star graph with precomputed adjacency, permutation
+// and inverse-permutation tables, so routing decisions are O(n) with
+// no allocation. Safe for concurrent use after construction.
+type Graph struct {
+	n     int
+	nodes int
+	// perms[u] holds the permutation of node u, n bytes per node.
+	perms []uint8
+	// invs[u] holds the inverse permutation: invs[u][s] = position of
+	// symbol s in node u's label.
+	invs []uint8
+	// adj[u*(n-1)+j-1] = rank of SWAP_{j+1}(u) for slot j in [0, n-2].
+	adj []int32
+}
+
+// New constructs the n-star graph. It panics unless 2 <= n <= 10
+// (10! = 3.6M nodes is the largest practical simulation size).
+func New(n int) *Graph {
+	if n < 2 || n > 10 {
+		panic("star: n must be in [2, 10]")
+	}
+	nodes := int(mathx.Factorial(n))
+	g := &Graph{
+		n:     n,
+		nodes: nodes,
+		perms: make([]uint8, nodes*n),
+		invs:  make([]uint8, nodes*n),
+		adj:   make([]int32, nodes*(n-1)),
+	}
+	perm := make([]int, n)
+	swapped := make([]int, n)
+	for u := 0; u < nodes; u++ {
+		mathx.PermUnrank(uint64(u), perm)
+		for i, s := range perm {
+			g.perms[u*n+i] = uint8(s)
+			g.invs[u*n+s] = uint8(i)
+		}
+		for j := 1; j < n; j++ {
+			copy(swapped, perm)
+			swapped[0], swapped[j] = swapped[j], swapped[0]
+			g.adj[u*(n-1)+j-1] = int32(mathx.PermRank(swapped))
+		}
+	}
+	return g
+}
+
+// N returns the symbol count n.
+func (g *Graph) N() int { return g.n }
+
+// Name implements simnet.Topology.
+func (g *Graph) Name() string { return fmt.Sprintf("star(n=%d)", g.n) }
+
+// Nodes implements simnet.Topology: n! nodes.
+func (g *Graph) Nodes() int { return g.nodes }
+
+// Degree implements simnet.Topology: every node has n-1 neighbors.
+func (g *Graph) Degree(node int) int { return g.n - 1 }
+
+// Neighbor implements simnet.Topology: slot j yields SWAP_{j+2}...
+// i.e. slot 0 swaps positions 0 and 1, slot n-2 swaps 0 and n-1.
+func (g *Graph) Neighbor(node, slot int) int {
+	return int(g.adj[node*(g.n-1)+slot])
+}
+
+// Diameter implements simnet.Topology: ⌊3(n-1)/2⌋ (Akers, Harel and
+// Krishnamurthy).
+func (g *Graph) Diameter() int { return 3 * (g.n - 1) / 2 }
+
+// Perm writes node's permutation label into out (len >= n).
+func (g *Graph) Perm(node int, out []int) {
+	for i := 0; i < g.n; i++ {
+		out[i] = int(g.perms[node*g.n+i])
+	}
+}
+
+// NextHop implements simnet.Topology with the greedy cycle-fixing
+// rule: if the front symbol is not at its target position, send it
+// home (one swap); otherwise bring the lowest-indexed misplaced
+// symbol to the front. This realizes the optimal routing distance
+// c + m of the star graph literature and defines the unique
+// deterministic paths that Algorithm 2.2's phases follow.
+func (g *Graph) NextHop(node, dst, taken int) (slot int, done bool) {
+	if node == dst {
+		return 0, true
+	}
+	j := g.nextSwap(node, dst)
+	return j - 1, false
+}
+
+// nextSwap returns the position (1-based, i.e. SWAP_{j+1} in the
+// paper's 1-indexed notation) to exchange with the front. node != dst.
+func (g *Graph) nextSwap(node, dst int) int {
+	n := g.n
+	cur := g.perms[node*n : node*n+n]
+	want := g.perms[dst*n : dst*n+n]
+	front := cur[0]
+	home := int(g.invs[dst*n+int(front)])
+	if home != 0 {
+		return home
+	}
+	// Front symbol is already home; unlock the next unfinished cycle.
+	for j := 1; j < n; j++ {
+		if cur[j] != want[j] {
+			return j
+		}
+	}
+	panic("star: nextSwap called with node == dst")
+}
+
+// Distance returns the length of the greedy path from u to v, which
+// equals the star-graph distance m + c (misplaced symbols plus
+// unfinished cycles, adjusted for the front position).
+func (g *Graph) Distance(u, v int) int {
+	d := 0
+	for u != v {
+		j := g.nextSwap(u, v)
+		u = g.Neighbor(u, j-1)
+		d++
+		if d > 2*g.n {
+			panic("star: greedy routing failed to terminate")
+		}
+	}
+	return d
+}
+
+// AsLeveled returns the logical leveled-network view of Figure 3:
+// 2n-1 columns of n! nodes; each level applies one star move (slots
+// 0..n-2) or stays in place (slot n-1), and the unique path applies
+// the greedy rule then pads with stays. 2(n-1) edge-levels dominate
+// the diameter ⌊3(n-1)/2⌋, so every greedy path fits.
+func (g *Graph) AsLeveled() leveled.Spec { return &leveledStar{g} }
+
+type leveledStar struct{ g *Graph }
+
+func (s *leveledStar) Name() string                  { return fmt.Sprintf("star-leveled(n=%d)", s.g.n) }
+func (s *leveledStar) Levels() int                   { return 2*s.g.n - 1 }
+func (s *leveledStar) Width() int                    { return s.g.nodes }
+func (s *leveledStar) Degree() int                   { return s.g.n }
+func (s *leveledStar) OutDegree(level, node int) int { return s.g.n }
+
+func (s *leveledStar) Out(level, node, slot int) int {
+	if slot == s.g.n-1 {
+		return node // the padding self-link
+	}
+	return s.g.Neighbor(node, slot)
+}
+
+func (s *leveledStar) NextHop(level, node, dst int) int {
+	if node == dst {
+		return s.g.n - 1 // arrived: stay
+	}
+	return s.g.nextSwap(node, dst) - 1
+}

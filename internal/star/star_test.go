@@ -1,0 +1,257 @@
+package star
+
+import (
+	"testing"
+
+	"pramemu/internal/mathx"
+	"pramemu/internal/prng"
+)
+
+func TestDimensions(t *testing.T) {
+	for n := 2; n <= 7; n++ {
+		g := New(n)
+		if g.Nodes() != int(mathx.Factorial(n)) {
+			t.Fatalf("n=%d: %d nodes", n, g.Nodes())
+		}
+		if g.Degree(0) != n-1 {
+			t.Fatalf("n=%d: degree %d", n, g.Degree(0))
+		}
+		if g.Diameter() != 3*(n-1)/2 {
+			t.Fatalf("n=%d: diameter %d", n, g.Diameter())
+		}
+		if g.N() != n {
+			t.Fatalf("n=%d: N() = %d", n, g.N())
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, n := range []int{1, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}
+
+// TestFigure2ThreeStar checks the 3-star adjacency against Figure 2(a)
+// of the paper: a 6-cycle alternating SWAP2 and SWAP3 edges.
+func TestFigure2ThreeStar(t *testing.T) {
+	g := New(3)
+	if g.Nodes() != 6 {
+		t.Fatalf("3-star has %d nodes", g.Nodes())
+	}
+	perm := make([]int, 3)
+	for u := 0; u < 6; u++ {
+		g.Perm(u, perm)
+		// SWAP2 neighbor (slot 0) exchanges positions 0,1.
+		v := g.Neighbor(u, 0)
+		got := make([]int, 3)
+		g.Perm(v, got)
+		if got[0] != perm[1] || got[1] != perm[0] || got[2] != perm[2] {
+			t.Fatalf("SWAP2 of %v gave %v", perm, got)
+		}
+		// SWAP3 neighbor (slot 1) exchanges positions 0,2.
+		w := g.Neighbor(u, 1)
+		g.Perm(w, got)
+		if got[0] != perm[2] || got[2] != perm[0] || got[1] != perm[1] {
+			t.Fatalf("SWAP3 of %v gave %v", perm, got)
+		}
+	}
+}
+
+func TestAdjacencyIsSymmetricInvolution(t *testing.T) {
+	// SWAPj is an involution, so every edge slot maps back via the
+	// same slot: Neighbor(Neighbor(u, j), j) == u.
+	for n := 2; n <= 6; n++ {
+		g := New(n)
+		for u := 0; u < g.Nodes(); u++ {
+			for j := 0; j < n-1; j++ {
+				v := g.Neighbor(u, j)
+				if v == u {
+					t.Fatalf("n=%d: self-loop at node %d slot %d", n, u, j)
+				}
+				if g.Neighbor(v, j) != u {
+					t.Fatalf("n=%d: SWAP slot %d is not an involution at %d", n, j, u)
+				}
+			}
+		}
+	}
+}
+
+func TestVertexSymmetryDegreeCount(t *testing.T) {
+	// All n! nodes have exactly n-1 distinct neighbors.
+	g := New(5)
+	for u := 0; u < g.Nodes(); u++ {
+		seen := map[int]bool{}
+		for j := 0; j < 4; j++ {
+			seen[g.Neighbor(u, j)] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("node %d has %d distinct neighbors", u, len(seen))
+		}
+	}
+}
+
+// bfsDistances returns exact distances from src by breadth-first
+// search — the ground truth for the greedy routing rule.
+func bfsDistances(g *Graph, src int) []int {
+	dist := make([]int, g.Nodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	frontier := []int{src}
+	for len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			for j := 0; j < g.N()-1; j++ {
+				v := g.Neighbor(u, j)
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// TestGreedyRoutingIsOptimal verifies that the greedy cycle-fixing
+// rule attains the exact star-graph distance for every pair (n <= 5,
+// exhaustive) — i.e. it realizes the optimal paths of [1, 2].
+func TestGreedyRoutingIsOptimal(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		g := New(n)
+		for src := 0; src < g.Nodes(); src++ {
+			dist := bfsDistances(g, src)
+			for dst := 0; dst < g.Nodes(); dst++ {
+				// Distance routes dst -> src direction-agnostically;
+				// star graphs are vertex symmetric so check both.
+				if got := g.Distance(src, dst); got != dist[dst] {
+					t.Fatalf("n=%d: greedy distance %d->%d = %d, BFS = %d",
+						n, src, dst, got, dist[dst])
+				}
+			}
+		}
+	}
+}
+
+// TestDiameterMatchesFormula verifies max distance == ⌊3(n-1)/2⌋
+// (Akers-Harel-Krishnamurthy), exhaustively for n <= 5.
+func TestDiameterMatchesFormula(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		g := New(n)
+		max := 0
+		dist := bfsDistances(g, 0) // vertex symmetric: src 0 suffices
+		for _, d := range dist {
+			if d > max {
+				max = d
+			}
+			if d < 0 {
+				t.Fatalf("n=%d: graph is not connected", n)
+			}
+		}
+		if max != g.Diameter() {
+			t.Fatalf("n=%d: eccentricity %d, formula %d", n, max, g.Diameter())
+		}
+	}
+}
+
+func TestGreedyWithinLeveledBudget(t *testing.T) {
+	// The leveled unrolling allots 2n-2 moves; every greedy path must
+	// fit. Exhaustive for n <= 5, sampled for n = 6, 7.
+	for n := 2; n <= 5; n++ {
+		g := New(n)
+		for src := 0; src < g.Nodes(); src++ {
+			for dst := 0; dst < g.Nodes(); dst++ {
+				if d := g.Distance(src, dst); d > 2*n-2 {
+					t.Fatalf("n=%d: greedy path %d exceeds budget %d", n, d, 2*n-2)
+				}
+			}
+		}
+	}
+	for _, n := range []int{6, 7} {
+		g := New(n)
+		src := prng.New(uint64(n))
+		for trial := 0; trial < 20000; trial++ {
+			u, v := src.Intn(g.Nodes()), src.Intn(g.Nodes())
+			if d := g.Distance(u, v); d > 2*n-2 {
+				t.Fatalf("n=%d: greedy path %d->%d of length %d exceeds budget %d",
+					n, u, v, d, 2*n-2)
+			}
+		}
+	}
+}
+
+func TestNextHopDone(t *testing.T) {
+	g := New(4)
+	if _, done := g.NextHop(5, 5, 0); !done {
+		t.Fatal("NextHop at destination must report done")
+	}
+	slot, done := g.NextHop(5, 6, 0)
+	if done {
+		t.Fatal("NextHop away from destination must not report done")
+	}
+	if slot < 0 || slot >= 3 {
+		t.Fatalf("NextHop slot %d out of range", slot)
+	}
+}
+
+func TestAsLeveledSpec(t *testing.T) {
+	g := New(4)
+	spec := g.AsLeveled()
+	if spec.Width() != 24 || spec.Levels() != 7 || spec.Degree() != 4 {
+		t.Fatalf("leveled star: width=%d levels=%d degree=%d",
+			spec.Width(), spec.Levels(), spec.Degree())
+	}
+	// Unique-path property: NextHop walks must reach every dst within
+	// the edge budget, then stay put via the self slot.
+	for src := 0; src < spec.Width(); src++ {
+		for dst := 0; dst < spec.Width(); dst++ {
+			node := src
+			for level := 0; level < spec.Levels()-1; level++ {
+				slot := spec.NextHop(level, node, dst)
+				node = spec.Out(level, node, slot)
+			}
+			if node != dst {
+				t.Fatalf("leveled path %d->%d ended at %d", src, dst, node)
+			}
+		}
+	}
+}
+
+func TestAsLeveledSelfSlot(t *testing.T) {
+	g := New(5)
+	spec := g.AsLeveled()
+	for _, node := range []int{0, 17, 101} {
+		if spec.Out(0, node, g.N()-1) != node {
+			t.Fatalf("self slot moved node %d", node)
+		}
+		if spec.NextHop(3, node, node) != g.N()-1 {
+			t.Fatal("NextHop at destination must choose the self slot")
+		}
+	}
+}
+
+func TestPermLabels(t *testing.T) {
+	g := New(4)
+	perm := make([]int, 4)
+	g.Perm(0, perm) // rank 0 = identity
+	for i, v := range perm {
+		if v != i {
+			t.Fatalf("node 0 label %v, want identity", perm)
+		}
+	}
+	g.Perm(g.Nodes()-1, perm) // last rank = reverse
+	for i, v := range perm {
+		if v != 3-i {
+			t.Fatalf("last node label %v, want reverse", perm)
+		}
+	}
+}

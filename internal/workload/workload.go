@@ -1,0 +1,210 @@
+// Package workload generates the request patterns the paper's
+// experiments exercise: permutation routing (§2.2.1's paradigmatic
+// case), partial h-relations, many-one hot spots (the CRCW combining
+// stress of Theorem 2.6), and the distance-d local memory requests of
+// Theorem 3.3. Generators produce either routing packets or PRAM
+// memory-request vectors, all deterministically from a seed.
+package workload
+
+import (
+	"fmt"
+
+	"pramemu/internal/mesh"
+	"pramemu/internal/packet"
+	"pramemu/internal/pram"
+	"pramemu/internal/prng"
+)
+
+// Permutation returns packets realizing a uniformly random permutation:
+// one packet at every node, destinations a random permutation.
+func Permutation(nodes int, kind packet.Kind, seed uint64) []*packet.Packet {
+	perm := prng.New(seed).Perm(nodes)
+	pkts := make([]*packet.Packet, nodes)
+	for i, dst := range perm {
+		pkts[i] = packet.New(i, i, dst, kind)
+	}
+	return pkts
+}
+
+// Identity returns packets from every node to itself (a degenerate
+// permutation exercising zero-distance handling).
+func Identity(nodes int, kind packet.Kind) []*packet.Packet {
+	pkts := make([]*packet.Packet, nodes)
+	for i := range pkts {
+		pkts[i] = packet.New(i, i, i, kind)
+	}
+	return pkts
+}
+
+// BitReversal returns the bit-reversal permutation on nodes = 2^k,
+// the classic adversarial pattern for deterministic oblivious routing.
+// It panics if nodes is not a power of two.
+func BitReversal(nodes int, kind packet.Kind) []*packet.Packet {
+	k := 0
+	for 1<<k < nodes {
+		k++
+	}
+	if 1<<k != nodes {
+		panic("workload: BitReversal needs a power-of-two node count")
+	}
+	pkts := make([]*packet.Packet, nodes)
+	for i := 0; i < nodes; i++ {
+		rev := 0
+		for b := 0; b < k; b++ {
+			rev = rev<<1 | (i >> b & 1)
+		}
+		pkts[i] = packet.New(i, i, rev, kind)
+	}
+	return pkts
+}
+
+// Relation returns packets realizing a partial h-relation: h packets
+// at every node, at most h destined to any node (h independent random
+// permutations; Theorem 2.4's workload with h = ℓ).
+func Relation(nodes, h int, kind packet.Kind, seed uint64) []*packet.Packet {
+	src := prng.New(seed)
+	pkts := make([]*packet.Packet, 0, nodes*h)
+	id := 0
+	for rel := 0; rel < h; rel++ {
+		perm := src.Perm(nodes)
+		for i, dst := range perm {
+			pkts = append(pkts, packet.New(id, i, dst, kind))
+			id++
+		}
+	}
+	return pkts
+}
+
+// HotSpot returns read-request packets where a `fraction` (in [0,1])
+// of nodes target one shared address and the rest read private
+// addresses — the many-one pattern that CRCW combining collapses.
+func HotSpot(nodes int, fraction float64, hotDst int, seed uint64) []*packet.Packet {
+	if fraction < 0 || fraction > 1 {
+		panic(fmt.Sprintf("workload: hot-spot fraction %v out of [0,1]", fraction))
+	}
+	src := prng.New(seed)
+	pkts := make([]*packet.Packet, nodes)
+	const hotAddr = 0
+	for i := 0; i < nodes; i++ {
+		p := packet.New(i, i, hotDst, packet.ReadRequest)
+		if src.Float64() < fraction {
+			p.Addr = hotAddr
+			p.Dst = hotDst
+		} else {
+			p.Addr = uint64(nodes + i) // private address
+			p.Dst = src.Intn(nodes)
+		}
+		pkts[i] = p
+	}
+	return pkts
+}
+
+// Requests converts routing packets into a PRAM request vector, one
+// request per source node; nodes without packets idle. Used to feed
+// the emulator with synthetic (non-program) steps.
+func Requests(nodes int, pkts []*packet.Packet) []pram.Request {
+	reqs := make([]pram.Request, nodes)
+	for i := range reqs {
+		reqs[i] = pram.Request{Proc: i, Op: pram.OpNone}
+	}
+	for _, p := range pkts {
+		op := pram.OpRead
+		if p.Kind == packet.WriteRequest {
+			op = pram.OpWrite
+		}
+		reqs[p.Src] = pram.Request{Proc: p.Src, Op: op, Addr: p.Addr, Value: p.Value}
+	}
+	return reqs
+}
+
+// RandomStep returns a PRAM request vector in which every processor
+// touches a distinct random address (an EREW-legal step): the
+// workload of Theorems 2.5 and 3.2. Addresses are drawn from
+// [0, memory) without replacement.
+func RandomStep(procs int, memory uint64, write bool, seed uint64) []pram.Request {
+	if uint64(procs) > memory {
+		panic("workload: more processors than addresses for an EREW step")
+	}
+	src := prng.New(seed)
+	used := make(map[uint64]bool, procs)
+	reqs := make([]pram.Request, procs)
+	for i := 0; i < procs; i++ {
+		var a uint64
+		for {
+			a = src.Uint64n(memory)
+			if !used[a] {
+				used[a] = true
+				break
+			}
+		}
+		op := pram.OpRead
+		if write {
+			op = pram.OpWrite
+		}
+		reqs[i] = pram.Request{Proc: i, Op: op, Addr: a, Value: int64(i)}
+	}
+	return reqs
+}
+
+// CRCWStep returns a request vector in which all processors read the
+// same single address — the fully concurrent step that exercises
+// Theorem 2.6's combining.
+func CRCWStep(procs int, addr uint64) []pram.Request {
+	reqs := make([]pram.Request, procs)
+	for i := range reqs {
+		reqs[i] = pram.Request{Proc: i, Op: pram.OpRead, Addr: addr}
+	}
+	return reqs
+}
+
+// MeshLocal returns packets on grid g whose destinations lie within
+// L1 distance d of their sources (Theorem 3.3's workload), one packet
+// per node, destinations clamped by reflection at the borders.
+func MeshLocal(g *mesh.Grid, d int, seed uint64) []*packet.Packet {
+	if d < 1 {
+		panic("workload: locality distance must be >= 1")
+	}
+	src := prng.New(seed)
+	n := g.Side()
+	pkts := make([]*packet.Packet, g.Nodes())
+	for node := 0; node < g.Nodes(); node++ {
+		r, c := g.RowCol(node)
+		dr := reflect(r+src.Intn(2*d+1)-d, n)
+		rem := d - abs(dr-r)
+		dc := reflect(c+src.Intn(2*rem+1)-rem, n)
+		pkts[node] = packet.New(node, node, g.Node(dr, dc), packet.Transit)
+	}
+	return pkts
+}
+
+func reflect(x, n int) int {
+	if x < 0 {
+		x = -x
+	}
+	if x >= n {
+		x = 2*n - 2 - x
+	}
+	return x
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Transpose returns the mesh transpose permutation (r, c) -> (c, r),
+// the adversarial pattern for greedy dimension-ordered mesh routing.
+func Transpose(g *mesh.Grid) []*packet.Packet {
+	n := g.Side()
+	pkts := make([]*packet.Packet, 0, g.Nodes())
+	id := 0
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			pkts = append(pkts, packet.New(id, g.Node(r, c), g.Node(c, r), packet.Transit))
+			id++
+		}
+	}
+	return pkts
+}
