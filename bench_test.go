@@ -9,7 +9,9 @@ package pramemu
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"pramemu/internal/emul"
 	"pramemu/internal/hashing"
@@ -315,4 +317,65 @@ func maxi(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// speedupCase is one large-n configuration of the E13 harness: route
+// runs once with Workers=1 and once with Workers=GOMAXPROCS on
+// identical workloads (the engine guarantees identical results), and
+// the wall-clock ratio is the parallel engine's speedup.
+type speedupCase struct {
+	name string
+	run  func(seed uint64, workers int) int // returns Rounds
+}
+
+func speedupCases() []speedupCase {
+	return []speedupCase{
+		{"star7-relation", func(seed uint64, workers int) int {
+			g := star.New(7) // 5040 nodes, 7-relation: 35280 packets
+			pkts := workload.Relation(g.Nodes(), 7, packet.Transit, seed)
+			return leveled.Route(g.AsLeveled(), pkts, leveled.Options{Seed: seed * 31, Workers: workers}).Rounds
+		}},
+		{"butterfly14-perm", func(seed uint64, workers int) int {
+			spec := leveled.NewButterfly(14) // 16384 rows, 15 levels
+			pkts := workload.Permutation(spec.Width(), packet.Transit, seed)
+			return leveled.Route(spec, pkts, leveled.Options{Seed: seed * 31, Workers: workers}).Rounds
+		}},
+		{"mesh128-perm", func(seed uint64, workers int) int {
+			g := mesh.New(128) // 16384 nodes
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			return mesh.Route(g, pkts, mesh.Options{Seed: seed * 31, Workers: workers}).Rounds
+		}},
+	}
+}
+
+// BenchmarkE13ParallelEngine — the parallel sharded round engine PR:
+// each sub-benchmark reports seq_rounds/sec (Workers=1),
+// par_rounds/sec (Workers=GOMAXPROCS) and their wall-clock ratio as
+// "speedup" (> 1 means the parallel engine wins; expect ~1 on a
+// single-core runner, where the engine degrades to the sequential
+// loop).
+func BenchmarkE13ParallelEngine(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	for _, c := range speedupCases() {
+		b.Run(c.name, func(b *testing.B) {
+			var seqNS, parNS time.Duration
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				seed := benchSeed + uint64(i)
+				t0 := time.Now()
+				seqRounds := c.run(seed, 1)
+				seqNS += time.Since(t0)
+				t0 = time.Now()
+				parRounds := c.run(seed, workers)
+				parNS += time.Since(t0)
+				if seqRounds != parRounds {
+					b.Fatalf("determinism violated: seq %d rounds, par %d", seqRounds, parRounds)
+				}
+				rounds += seqRounds
+			}
+			b.ReportMetric(float64(rounds)/seqNS.Seconds(), "seq_rounds/sec")
+			b.ReportMetric(float64(rounds)/parNS.Seconds(), "par_rounds/sec")
+			b.ReportMetric(seqNS.Seconds()/parNS.Seconds(), "speedup")
+		})
+	}
 }

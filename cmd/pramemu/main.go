@@ -9,11 +9,13 @@
 //	pramemu -alg sort -net shuffle -n 3
 //	pramemu -alg maxcrcw -net star -n 5 -combine
 //	pramemu -alg matmul -net mesh -n 8
+//	pramemu -alg prefixsum -net star -n 6 -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pramemu/internal/algorithms"
@@ -32,19 +34,36 @@ func main() {
 	n := flag.Int("n", 5, "network size parameter")
 	seed := flag.Uint64("seed", 1991, "random seed")
 	combine := flag.Bool("combine", false, "enable CRCW combining in the network")
+	workers := flag.Int("workers", 0, "round-engine workers (0 = GOMAXPROCS, 1 = sequential; identical results either way)")
 	flag.Parse()
 
-	net := buildNetwork(*netName, *n)
-	procs := 0
+	if err := run(os.Stdout, *algName, *netName, *n, *seed, *combine, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "pramemu: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one invocation, writing the report to w. It is the
+// testable core of the command.
+func run(w io.Writer, algName, netName string, n int, seed uint64, combine bool, workers int) error {
+	net, err := buildNetwork(netName, n)
+	if err != nil {
+		return err
+	}
+	// The ideal machine has no network to size the processor count, so
+	// -n names it directly there.
+	procs := n
 	if net != nil {
 		procs = net.Nodes()
 	}
 
-	variant, run := buildAlgorithm(*algName, &procs, *seed)
+	variant, runAlg, err := buildAlgorithm(algName, &procs, seed)
+	if err != nil {
+		return err
+	}
 	if net != nil && procs > net.Nodes() {
-		fmt.Fprintf(os.Stderr, "pramemu: %s needs %d processors, %s has %d nodes\n",
-			*algName, procs, net.Name(), net.Nodes())
-		os.Exit(1)
+		return fmt.Errorf("%s needs %d processors, %s has %d nodes",
+			algName, procs, net.Name(), net.Nodes())
 	}
 
 	var exec pram.StepExecutor = pram.Unit{}
@@ -52,7 +71,7 @@ func main() {
 	diam := 1
 	var e *emul.Emulator
 	if net != nil {
-		e = emul.New(net, emul.Config{Memory: 1 << 24, Seed: *seed, Combine: *combine})
+		e = emul.New(net, emul.Config{Memory: 1 << 24, Seed: seed, Combine: combine, Workers: workers})
 		exec = e
 		netLabel = net.Name()
 		diam = net.Diameter()
@@ -63,41 +82,40 @@ func main() {
 		Variant:  variant,
 		Executor: exec,
 	})
-	run(m)
+	runAlg(m)
 
-	fmt.Printf("algorithm    : %s (%s)\n", *algName, variant)
-	fmt.Printf("network      : %s (%d processors, diameter %d)\n", netLabel, procs, diam)
-	fmt.Printf("PRAM steps   : %d\n", m.Steps())
-	fmt.Printf("emulated time: %d\n", m.Time())
+	fmt.Fprintf(w, "algorithm    : %s (%s)\n", algName, variant)
+	fmt.Fprintf(w, "network      : %s (%d processors, diameter %d)\n", netLabel, procs, diam)
+	fmt.Fprintf(w, "PRAM steps   : %d\n", m.Steps())
+	fmt.Fprintf(w, "emulated time: %d\n", m.Time())
 	if m.Steps() > 0 {
 		perStep := float64(m.Time()) / float64(m.Steps())
-		fmt.Printf("per step     : %.1f network rounds (%.2f x diameter)\n",
+		fmt.Fprintf(w, "per step     : %.1f network rounds (%.2f x diameter)\n",
 			perStep, perStep/float64(diam))
 	}
 	if e != nil {
-		fmt.Printf("rehashes     : %d (hash description: %d bits)\n", e.Rehashes(), e.HashBits())
+		fmt.Fprintf(w, "rehashes     : %d (hash description: %d bits)\n", e.Rehashes(), e.HashBits())
 	}
+	return nil
 }
 
 // buildNetwork returns nil for the ideal machine.
-func buildNetwork(name string, n int) emul.Network {
+func buildNetwork(name string, n int) (emul.Network, error) {
 	switch name {
 	case "ideal":
-		return nil
+		return nil, nil
 	case "star":
 		g := star.New(n)
-		return &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
+		return &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}, nil
 	case "shuffle":
 		g := shuffle.NewNWay(n)
-		return &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
+		return &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}, nil
 	case "hypercube":
-		return &emul.DirectNetwork{Topo: hypercube.New(n)}
+		return &emul.DirectNetwork{Topo: hypercube.New(n)}, nil
 	case "mesh":
-		return &emul.MeshNetwork{G: mesh.New(n)}
+		return &emul.MeshNetwork{G: mesh.New(n)}, nil
 	default:
-		fmt.Fprintf(os.Stderr, "pramemu: unknown network %q\n", name)
-		os.Exit(1)
-		return nil
+		return nil, fmt.Errorf("unknown network %q", name)
 	}
 }
 
@@ -105,7 +123,7 @@ func buildNetwork(name string, n int) emul.Network {
 // algorithm with verified results. procs is adjusted to the
 // algorithm's requirement (power of two for sorting, squares for
 // matmul) while staying within the provided node budget.
-func buildAlgorithm(name string, procs *int, seed uint64) (pram.Variant, func(*pram.Machine)) {
+func buildAlgorithm(name string, procs *int, seed uint64) (pram.Variant, func(*pram.Machine), error) {
 	switch name {
 	case "prefixsum":
 		n := *procs
@@ -119,13 +137,13 @@ func buildAlgorithm(name string, procs *int, seed uint64) (pram.Variant, func(*p
 					panic("prefix sum incorrect")
 				}
 			}
-		}
+		}, nil
 	case "broadcast":
 		n := *procs
 		return pram.EREW, func(m *pram.Machine) {
 			m.Store(0, 42)
 			algorithms.Broadcast(m, 0, 1, n)
-		}
+		}, nil
 	case "sort":
 		n := 1
 		for n*2 <= *procs {
@@ -146,7 +164,7 @@ func buildAlgorithm(name string, procs *int, seed uint64) (pram.Variant, func(*p
 				}
 				prev = v
 			}
-		}
+		}, nil
 	case "listrank":
 		n := *procs
 		return pram.CREW, func(m *pram.Machine) {
@@ -159,7 +177,7 @@ func buildAlgorithm(name string, procs *int, seed uint64) (pram.Variant, func(*p
 				m.Store(uint64(node), next)
 			}
 			algorithms.ListRank(m, 0, uint64(n), n)
-		}
+		}, nil
 	case "maxcrcw":
 		n := *procs
 		return pram.CRCWMax, func(m *pram.Machine) {
@@ -168,7 +186,7 @@ func buildAlgorithm(name string, procs *int, seed uint64) (pram.Variant, func(*p
 				m.Store(uint64(i), int64(src.Intn(1<<20)))
 			}
 			algorithms.MaxConcurrent(m, 0, n, uint64(n))
-		}
+		}, nil
 	case "matmul":
 		side := 1
 		for (side+1)*(side+1) <= *procs {
@@ -182,10 +200,8 @@ func buildAlgorithm(name string, procs *int, seed uint64) (pram.Variant, func(*p
 				m.Store(i, int64(src.Intn(7)-3))
 			}
 			algorithms.MatMul(m, 0, nn, 2*nn, side)
-		}
+		}, nil
 	default:
-		fmt.Fprintf(os.Stderr, "pramemu: unknown algorithm %q\n", name)
-		os.Exit(1)
-		return pram.EREW, nil
+		return pram.EREW, nil, fmt.Errorf("unknown algorithm %q", name)
 	}
 }

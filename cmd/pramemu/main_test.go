@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The smoke tests run the command's core in-process on tiny networks
+// and algorithms, asserting the report prints and errors are clean.
+
+func TestRunPrefixSumOnStar(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "prefixsum", "star", 4, 7, false, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"algorithm    : prefixsum", "star", "PRAM steps", "rehashes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunIdealMachine(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "broadcast", "ideal", 5, 7, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ideal PRAM") {
+		t.Fatalf("unexpected report:\n%s", b.String())
+	}
+}
+
+func TestRunCombiningOnCRCW(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "maxcrcw", "shuffle", 3, 7, true, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "per step") {
+		t.Fatalf("unexpected report:\n%s", b.String())
+	}
+}
+
+func TestRunRejectsUnknowns(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "prefixsum", "torus", 4, 7, false, 1); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	if err := run(&b, "quantum", "star", 4, 7, false, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -8,11 +8,13 @@
 //	routebench -net mesh -n 128 -workload transpose -alg greedy
 //	routebench -net shuffle -n 5 -workload relation -trials 10
 //	routebench -net butterfly -n 12 -workload bitrev -skipphase1
+//	routebench -net star -n 7 -workload relation -workers 8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pramemu/internal/hypercube"
@@ -26,33 +28,57 @@ import (
 	"pramemu/internal/workload"
 )
 
+// config carries one fully parsed invocation.
+type config struct {
+	net        string
+	n          int
+	workload   string
+	alg        string
+	disc       string
+	locality   int
+	trials     int
+	seed       uint64
+	skipPhase1 bool
+	workers    int
+}
+
 func main() {
-	netName := flag.String("net", "star", "network: star, shuffle, butterfly, hypercube, mesh")
-	n := flag.Int("n", 5, "network size parameter (star n, shuffle n, butterfly/hypercube dimension, mesh side)")
-	wl := flag.String("workload", "perm", "workload: perm, relation, bitrev, transpose, local, hotspot")
-	alg := flag.String("alg", "threestage", "mesh algorithm: threestage, vb, greedy")
-	disc := flag.String("disc", "furthest", "mesh discipline: furthest, fifo")
-	locality := flag.Int("d", 8, "locality distance for -workload local")
-	trials := flag.Int("trials", 5, "number of seeded trials")
-	seed := flag.Uint64("seed", 1991, "base seed")
-	skipPhase1 := flag.Bool("skipphase1", false, "disable the randomizing phase (ablation)")
+	cfg := config{}
+	flag.StringVar(&cfg.net, "net", "star", "network: star, shuffle, butterfly, hypercube, mesh")
+	flag.IntVar(&cfg.n, "n", 5, "network size parameter (star n, shuffle n, butterfly/hypercube dimension, mesh side)")
+	flag.StringVar(&cfg.workload, "workload", "perm", "workload: perm, relation, bitrev, transpose, local, hotspot")
+	flag.StringVar(&cfg.alg, "alg", "threestage", "mesh algorithm: threestage, vb, greedy")
+	flag.StringVar(&cfg.disc, "disc", "furthest", "mesh discipline: furthest, fifo")
+	flag.IntVar(&cfg.locality, "d", 8, "locality distance for -workload local")
+	flag.IntVar(&cfg.trials, "trials", 5, "number of seeded trials")
+	flag.Uint64Var(&cfg.seed, "seed", 1991, "base seed")
+	flag.BoolVar(&cfg.skipPhase1, "skipphase1", false, "disable the randomizing phase (ablation)")
+	flag.IntVar(&cfg.workers, "workers", 0, "round-engine workers (0 = GOMAXPROCS, 1 = sequential; identical results either way)")
 	flag.Parse()
 
-	switch *netName {
-	case "mesh":
-		runMesh(*n, *wl, *alg, *disc, *locality, *trials, *seed)
-	case "star", "shuffle", "butterfly", "hypercube":
-		runPointToPoint(*netName, *n, *wl, *trials, *seed, *skipPhase1)
-	default:
-		fmt.Fprintf(os.Stderr, "routebench: unknown network %q\n", *netName)
+	if err := run(os.Stdout, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "routebench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func runMesh(n int, wl, alg, disc string, locality, trials int, seed uint64) {
-	g := mesh.New(n)
-	opts := mesh.Options{}
-	switch alg {
+// run executes one invocation, writing the report to w. It is the
+// testable core of the command.
+func run(w io.Writer, cfg config) error {
+	switch cfg.net {
+	case "mesh":
+		return runMesh(w, cfg)
+	case "star", "shuffle", "butterfly", "hypercube":
+		return runPointToPoint(w, cfg)
+	default:
+		return fmt.Errorf("unknown network %q", cfg.net)
+	}
+}
+
+func runMesh(w io.Writer, cfg config) error {
+	g := mesh.New(cfg.n)
+	opts := mesh.Options{Workers: cfg.workers}
+	switch cfg.alg {
 	case "threestage":
 		opts.Algorithm = mesh.ThreeStage
 	case "vb":
@@ -60,29 +86,27 @@ func runMesh(n int, wl, alg, disc string, locality, trials int, seed uint64) {
 	case "greedy":
 		opts.Algorithm = mesh.Greedy
 	default:
-		fmt.Fprintf(os.Stderr, "routebench: unknown mesh algorithm %q\n", alg)
-		os.Exit(1)
+		return fmt.Errorf("unknown mesh algorithm %q", cfg.alg)
 	}
-	if disc == "fifo" {
+	if cfg.disc == "fifo" {
 		opts.Discipline = mesh.FIFODiscipline
 	}
-	rounds := make([]int, 0, trials)
+	rounds := make([]int, 0, cfg.trials)
 	maxQ := 0
-	for trial := 0; trial < trials; trial++ {
-		s := seed + uint64(trial)
+	for trial := 0; trial < cfg.trials; trial++ {
+		s := cfg.seed + uint64(trial)
 		var pkts []*packet.Packet
-		switch wl {
+		switch cfg.workload {
 		case "perm":
 			pkts = workload.Permutation(g.Nodes(), packet.Transit, s)
 		case "transpose":
 			pkts = workload.Transpose(g)
 		case "local":
-			pkts = workload.MeshLocal(g, locality, s)
-			opts.LocalityBound = locality
-			opts.SliceRows = max(1, locality/4)
+			pkts = workload.MeshLocal(g, cfg.locality, s)
+			opts.LocalityBound = cfg.locality
+			opts.SliceRows = max(1, cfg.locality/4)
 		default:
-			fmt.Fprintf(os.Stderr, "routebench: workload %q unsupported on mesh\n", wl)
-			os.Exit(1)
+			return fmt.Errorf("workload %q unsupported on mesh", cfg.workload)
 		}
 		opts.Seed = s * 31
 		st := mesh.Route(g, pkts, opts)
@@ -91,27 +115,28 @@ func runMesh(n int, wl, alg, disc string, locality, trials int, seed uint64) {
 			maxQ = st.MaxQueue
 		}
 	}
-	fmt.Printf("%s %s alg=%s: rounds mean=%.1f max=%d (rounds/n=%.2f) maxQ=%d\n",
-		g.Name(), wl, alg, mathx.MeanInts(rounds), mathx.MaxInts(rounds),
-		mathx.MeanInts(rounds)/float64(n), maxQ)
+	fmt.Fprintf(w, "%s %s alg=%s: rounds mean=%.1f max=%d (rounds/n=%.2f) maxQ=%d\n",
+		g.Name(), cfg.workload, cfg.alg, mathx.MeanInts(rounds), mathx.MaxInts(rounds),
+		mathx.MeanInts(rounds)/float64(cfg.n), maxQ)
+	return nil
 }
 
-func runPointToPoint(netName string, n int, wl string, trials int, seed uint64, skip bool) {
+func runPointToPoint(w io.Writer, cfg config) error {
 	var topo simnet.Topology
 	var spec leveled.Spec
-	switch netName {
+	switch cfg.net {
 	case "star":
-		g := star.New(n)
+		g := star.New(cfg.n)
 		topo = g
 		spec = g.AsLeveled()
 	case "shuffle":
-		g := shuffle.NewNWay(n)
+		g := shuffle.NewNWay(cfg.n)
 		topo = g
 		spec = g.AsLeveled()
 	case "butterfly":
-		spec = leveled.NewButterfly(n)
+		spec = leveled.NewButterfly(cfg.n)
 	case "hypercube":
-		topo = hypercube.New(n)
+		topo = hypercube.New(cfg.n)
 	}
 	nodes := 0
 	if spec != nil {
@@ -119,30 +144,33 @@ func runPointToPoint(netName string, n int, wl string, trials int, seed uint64, 
 	} else {
 		nodes = topo.Nodes()
 	}
-	rounds := make([]int, 0, trials)
+	rounds := make([]int, 0, cfg.trials)
 	maxQ := 0
-	for trial := 0; trial < trials; trial++ {
-		s := seed + uint64(trial)
+	for trial := 0; trial < cfg.trials; trial++ {
+		s := cfg.seed + uint64(trial)
 		var pkts []*packet.Packet
-		switch wl {
+		switch cfg.workload {
 		case "perm":
 			pkts = workload.Permutation(nodes, packet.Transit, s)
 		case "relation":
-			pkts = workload.Relation(nodes, max(2, n), packet.Transit, s)
+			pkts = workload.Relation(nodes, max(2, cfg.n), packet.Transit, s)
 		case "bitrev":
 			pkts = workload.BitReversal(nodes, packet.Transit)
 		case "hotspot":
 			pkts = workload.HotSpot(nodes, 0.5, 0, s)
 		default:
-			fmt.Fprintf(os.Stderr, "routebench: unknown workload %q\n", wl)
-			os.Exit(1)
+			return fmt.Errorf("unknown workload %q", cfg.workload)
 		}
 		var r, q int
 		if spec != nil {
-			st := leveled.Route(spec, pkts, leveled.Options{Seed: s * 31, SkipPhase1: skip})
+			st := leveled.Route(spec, pkts, leveled.Options{
+				Seed: s * 31, SkipPhase1: cfg.skipPhase1, Workers: cfg.workers,
+			})
 			r, q = st.Rounds, st.MaxQueue
 		} else {
-			st := simnet.Route(topo, pkts, simnet.Options{Seed: s * 31, SkipPhase1: skip})
+			st := simnet.Route(topo, pkts, simnet.Options{
+				Seed: s * 31, SkipPhase1: cfg.skipPhase1, Workers: cfg.workers,
+			})
 			r, q = st.Rounds, st.MaxQueue
 		}
 		rounds = append(rounds, r)
@@ -150,14 +178,15 @@ func runPointToPoint(netName string, n int, wl string, trials int, seed uint64, 
 			maxQ = q
 		}
 	}
-	name := netName
+	name := cfg.net
 	if spec != nil {
 		name = spec.Name()
 	} else {
 		name = topo.Name()
 	}
-	fmt.Printf("%s %s: rounds mean=%.1f max=%d maxQ=%d (N=%d)\n",
-		name, wl, mathx.MeanInts(rounds), mathx.MaxInts(rounds), maxQ, nodes)
+	fmt.Fprintf(w, "%s %s: rounds mean=%.1f max=%d maxQ=%d (N=%d)\n",
+		name, cfg.workload, mathx.MeanInts(rounds), mathx.MaxInts(rounds), maxQ, nodes)
+	return nil
 }
 
 func max(a, b int) int {

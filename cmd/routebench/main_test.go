@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The smoke tests run each main path in-process on a tiny
+// configuration and assert the report line comes out clean.
+
+func TestRunPointToPointSmoke(t *testing.T) {
+	for _, net := range []string{"star", "shuffle", "butterfly", "hypercube"} {
+		var b strings.Builder
+		cfg := config{net: net, n: 3, workload: "perm", trials: 1, seed: 7, workers: 2}
+		if err := run(&b, cfg); err != nil {
+			t.Fatalf("%s: %v", net, err)
+		}
+		if !strings.Contains(b.String(), "rounds mean=") {
+			t.Fatalf("%s: unexpected report %q", net, b.String())
+		}
+	}
+}
+
+func TestRunMeshSmoke(t *testing.T) {
+	var b strings.Builder
+	cfg := config{net: "mesh", n: 8, workload: "perm", alg: "threestage", trials: 1, seed: 7}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mesh(8x8)") {
+		t.Fatalf("unexpected report %q", b.String())
+	}
+}
+
+func TestRunRejectsUnknowns(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, config{net: "torus"}); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	if err := run(&b, config{net: "mesh", n: 8, alg: "magic"}); err == nil {
+		t.Fatal("unknown mesh algorithm accepted")
+	}
+	if err := run(&b, config{net: "star", n: 3, workload: "nope", trials: 1, alg: "threestage"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,6 +26,15 @@ func main() {
 	flag.Parse()
 
 	o := experiments.Options{Quick: *quick, Trials: *trials, Seed: *seed}
+	if err := run(os.Stdout, o, *only); err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run renders the selected experiment tables to w. It is the testable
+// core of the command.
+func run(w io.Writer, o experiments.Options, only string) error {
 	type exp struct {
 		id  string
 		run func(experiments.Options) *metrics.Table
@@ -44,8 +54,8 @@ func main() {
 		{"E12", experiments.E12SortVsRoute},
 	}
 	want := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
+	if only != "" {
+		for _, id := range strings.Split(only, ",") {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
@@ -54,12 +64,12 @@ func main() {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
-		e.run(o).Fprint(os.Stdout)
-		fmt.Println()
+		e.run(o).Fprint(w)
+		fmt.Fprintln(w)
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "tables: no experiment matched %q\n", *only)
-		os.Exit(1)
+		return fmt.Errorf("no experiment matched %q", only)
 	}
+	return nil
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pramemu/internal/experiments"
+)
+
+// The smoke test renders one cheap experiment table in-process with
+// quick sizes; the full sweep belongs to cmd/tables runs and the
+// internal/experiments suite.
+
+func TestRunSingleQuickTable(t *testing.T) {
+	var b strings.Builder
+	o := experiments.Options{Quick: true, Trials: 1, Seed: 7}
+	if err := run(&b, o, "E4"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E4") || !strings.Contains(out, "maxload") {
+		t.Fatalf("E4 table malformed:\n%s", out)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, experiments.Options{Quick: true, Trials: 1}, "E99"); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"pramemu/internal/testio"
+)
+
+// The smoke test runs main in-process (topoviz reads os.Args, not
+// flag.CommandLine, so the test harness flags don't interfere) and
+// asserts all five figures render.
+
+func TestMainRendersAllFigures(t *testing.T) {
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"topoviz", "all"}
+	out := testio.CaptureStdout(t, main)
+	for _, want := range []string{"Figure 1", "Figure 2(a)", "Figure 3", "Figure 4", "Figure 5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestMainSingleFigure(t *testing.T) {
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"topoviz", "fig4"}
+	out := testio.CaptureStdout(t, main)
+	if !strings.Contains(out, "2-way shuffle") || strings.Contains(out, "Figure 1") {
+		t.Fatalf("fig4 selection broken:\n%s", out)
+	}
+}

@@ -1,0 +1,198 @@
+// Determinism-equivalence property tests for the parallel sharded
+// round engine: for every topology the paper treats (star graph,
+// hypercube, d-way shuffle, butterfly, mesh — plus Ranade's butterfly
+// emulation), routing the same seeded workload with Workers: 1 and
+// Workers: N must produce identical aggregate statistics (round
+// counts, queue maxima, delays) and identical per-packet delivery
+// traces (arrival round, hops, delay, kind, value, recorded path).
+// This is the engine's defining invariant; everything else in the PR
+// rests on it.
+package pramemu
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"pramemu/internal/leveled"
+	"pramemu/internal/mesh"
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/ranade"
+	"pramemu/internal/shuffle"
+	"pramemu/internal/simnet"
+	"pramemu/internal/star"
+	"pramemu/internal/workload"
+
+	"pramemu/internal/hypercube"
+)
+
+// ptrace is the observable outcome of one packet: if any field
+// differs between worker counts, the simulation diverged.
+type ptrace struct {
+	ID, Src, Dst         int
+	Kind                 packet.Kind
+	Arrived, Hops, Delay int
+	Value                int64
+	Path                 string
+}
+
+func tracesOf(pkts []*packet.Packet) []ptrace {
+	out := make([]ptrace, len(pkts))
+	for i, p := range pkts {
+		out[i] = ptrace{
+			ID: p.ID, Src: p.Src, Dst: p.Dst,
+			Kind: p.Kind, Arrived: p.Arrived, Hops: p.Hops, Delay: p.Delay,
+			Value: p.Value, Path: fmt.Sprint(p.Path),
+		}
+	}
+	return out
+}
+
+// readHotSpots builds a read-request permutation workload with shared
+// addresses (four requesters per address), so runs with combining
+// exercise the merge/fan-out machinery.
+func readHotSpots(nodes int, seed uint64) []*packet.Packet {
+	perm := prng.New(seed).Perm(nodes)
+	pkts := make([]*packet.Packet, nodes)
+	for i, dst := range perm {
+		p := packet.New(i, i, dst, packet.ReadRequest)
+		p.Addr = uint64(dst / 4)
+		p.Proc = i
+		pkts[i] = p
+	}
+	return pkts
+}
+
+// simCase routes one topology's workload at the given worker count
+// and returns the stats (as a comparable value) plus delivery traces.
+type simCase struct {
+	name string
+	run  func(seed uint64, workers int) (any, []ptrace)
+}
+
+func equivalenceCases() []simCase {
+	return []simCase{
+		{"star5", func(seed uint64, workers int) (any, []ptrace) {
+			g := star.New(5) // 120 nodes
+			pkts := readHotSpots(g.Nodes(), seed)
+			st := simnet.Route(g, pkts, simnet.Options{
+				Seed: seed * 31, Replies: true, Combine: true, Workers: workers,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"hypercube7", func(seed uint64, workers int) (any, []ptrace) {
+			g := hypercube.New(7) // 128 nodes
+			pkts := readHotSpots(g.Nodes(), seed)
+			st := simnet.Route(g, pkts, simnet.Options{
+				Seed: seed * 31, Replies: true, Combine: true, Workers: workers,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"shuffle4", func(seed uint64, workers int) (any, []ptrace) {
+			g := shuffle.NewNWay(4) // 256 nodes
+			pkts := readHotSpots(g.Nodes(), seed)
+			st := leveled.Route(g.AsLeveled(), pkts, leveled.Options{
+				Seed: seed * 31, Replies: true, Combine: true, Workers: workers,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"butterfly7", func(seed uint64, workers int) (any, []ptrace) {
+			spec := leveled.NewButterfly(7) // 128 rows, 8 levels
+			pkts := readHotSpots(spec.Width(), seed)
+			st := leveled.Route(spec, pkts, leveled.Options{
+				Seed: seed * 31, Replies: true, Combine: true, Workers: workers,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"mesh24", func(seed uint64, workers int) (any, []ptrace) {
+			g := mesh.New(24) // 576 nodes, furthest-first heaps
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			st := mesh.Route(g, pkts, mesh.Options{Seed: seed * 31, Workers: workers})
+			return st, tracesOf(pkts)
+		}},
+		{"mesh16-fifo", func(seed uint64, workers int) (any, []ptrace) {
+			g := mesh.New(16)
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			st := mesh.Route(g, pkts, mesh.Options{
+				Seed: seed * 31, Discipline: mesh.FIFODiscipline, Workers: workers,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"hypercube10-large", func(seed uint64, workers int) (any, []ptrace) {
+			// 1024 nodes: enough concurrent traffic to cross the
+			// engine's inline-round threshold, so the goroutine path
+			// itself runs (and is raced) here.
+			g := hypercube.New(10)
+			pkts := readHotSpots(g.Nodes(), seed)
+			st := simnet.Route(g, pkts, simnet.Options{
+				Seed: seed * 31, Replies: true, Combine: true, Workers: workers,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"ranade7", func(seed uint64, workers int) (any, []ptrace) {
+			n := ranade.New(7) // 128 rows
+			pkts := readHotSpots(n.Nodes(), seed)
+			st := n.RouteOpts(pkts, ranade.Options{Combine: true, Seed: seed, Workers: workers})
+			return st, tracesOf(pkts)
+		}},
+		{"ranade9-large", func(seed uint64, workers int) (any, []ptrace) {
+			// 512 rows: above ranade's 256-row inline cutoff, so its
+			// per-level worker fan-out (the one parallel path not on
+			// internal/engine) runs — and is raced — here.
+			n := ranade.New(9)
+			pkts := readHotSpots(n.Nodes(), seed)
+			st := n.RouteOpts(pkts, ranade.Options{Combine: true, Seed: seed, Workers: workers})
+			return st, tracesOf(pkts)
+		}},
+	}
+}
+
+// TestWorkerEquivalence is the PR's core property: Workers: 1 and
+// Workers: N are byte-identical for fixed seeds on every topology.
+func TestWorkerEquivalence(t *testing.T) {
+	seeds := []uint64{1, 7, 1991}
+	workerSet := []int{2, 3, 8}
+	if testing.Short() {
+		seeds = seeds[:2]
+		workerSet = []int{3}
+	}
+	for _, c := range equivalenceCases() {
+		t.Run(c.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				wantStats, wantTraces := c.run(seed, 1)
+				for _, workers := range workerSet {
+					gotStats, gotTraces := c.run(seed, workers)
+					if gotStats != wantStats {
+						t.Fatalf("seed %d: stats diverged between Workers=1 and Workers=%d:\nseq: %+v\npar: %+v",
+							seed, workers, wantStats, gotStats)
+					}
+					if len(gotTraces) != len(wantTraces) {
+						t.Fatalf("seed %d workers %d: trace count %d != %d",
+							seed, workers, len(gotTraces), len(wantTraces))
+					}
+					for i := range wantTraces {
+						if gotTraces[i] != wantTraces[i] {
+							t.Fatalf("seed %d: packet %d trace diverged between Workers=1 and Workers=%d:\nseq: %+v\npar: %+v",
+								seed, workers, i, wantTraces[i], gotTraces[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerEquivalenceDefaultWorkers pins the GOMAXPROCS default
+// (Workers: 0) to the sequential result, since that is what every
+// existing caller now gets implicitly.
+func TestWorkerEquivalenceDefaultWorkers(t *testing.T) {
+	for _, c := range equivalenceCases() {
+		wantStats, _ := c.run(42, 1)
+		gotStats, _ := c.run(42, 0)
+		if gotStats != wantStats {
+			t.Fatalf("%s: Workers=0 (GOMAXPROCS=%d) diverged from Workers=1:\nseq: %+v\ndef: %+v",
+				c.name, runtime.GOMAXPROCS(0), wantStats, gotStats)
+		}
+	}
+}

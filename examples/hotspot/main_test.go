@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pramemu/internal/testio"
+)
+
+// The hot-spot demo runs in well under a second, so the smoke test
+// executes main itself and checks both the combining and
+// non-combining rows print.
+func TestMainSmoke(t *testing.T) {
+	out := testio.CaptureStdout(t, main)
+	if !strings.Contains(out, "combining=false") || !strings.Contains(out, "combining=true") {
+		t.Fatalf("missing combining comparison:\n%s", out)
+	}
+	if !strings.Contains(out, "merges=") {
+		t.Fatalf("missing merge count:\n%s", out)
+	}
+}

@@ -7,6 +7,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"pramemu/internal/mesh"
 	"pramemu/internal/packet"
@@ -14,12 +16,17 @@ import (
 )
 
 func main() {
-	const n = 128
-	g := mesh.New(n)
-	fmt.Printf("%s: diameter %d\n", g.Name(), g.Diameter())
-	fmt.Println("d     request  reply  step   step/d  bound 6d")
+	run(os.Stdout, 128, []int{4, 8, 16, 32, 64})
+}
 
-	for _, d := range []int{4, 8, 16, 32, 64} {
+// run reports the locality experiment on an n x n mesh for each
+// distance bound in ds; main uses the paper's 128, tests a tiny grid.
+func run(w io.Writer, n int, ds []int) {
+	g := mesh.New(n)
+	fmt.Fprintf(w, "%s: diameter %d\n", g.Name(), g.Diameter())
+	fmt.Fprintln(w, "d     request  reply  step   step/d  bound 6d")
+
+	for _, d := range ds {
 		opts := mesh.Options{
 			Seed:          uint64(d) * 7,
 			LocalityBound: d,
@@ -37,15 +44,15 @@ func main() {
 		opts.Seed *= 3
 		rep := mesh.Route(g, replies, opts)
 		step := req.Rounds + rep.Rounds
-		fmt.Printf("%-4d  %-7d  %-5d  %-5d  %-6.2f  %d\n",
+		fmt.Fprintf(w, "%-4d  %-7d  %-5d  %-5d  %-6.2f  %d\n",
 			d, req.Rounds, rep.Rounds, step, float64(step)/float64(d), 6*d)
 	}
 
 	// Contrast: a non-local random permutation costs ~2n per phase.
 	pkts := workload.Permutation(g.Nodes(), packet.Transit, 3)
 	global := mesh.Route(g, pkts, mesh.Options{Seed: 11})
-	fmt.Printf("\nnon-local permutation for comparison: %d rounds (%.2f x n)\n",
-		global.Rounds, float64(global.Rounds)/n)
+	fmt.Fprintf(w, "\nnon-local permutation for comparison: %d rounds (%.2f x n)\n",
+		global.Rounds, float64(global.Rounds)/float64(n))
 }
 
 func maxi(a, b int) int {

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The smoke test runs the demo's core on a tiny 16 x 16 grid with two
+// distance bounds; the 128 x 128 sweep stays in main.
+func TestRunSmoke(t *testing.T) {
+	var b strings.Builder
+	run(&b, 16, []int{2, 4})
+	out := b.String()
+	if !strings.Contains(out, "mesh(16x16)") || !strings.Contains(out, "non-local permutation") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	// One data row per distance bound plus header and footer.
+	if strings.Count(out, "\n") < 5 {
+		t.Fatalf("too few report lines:\n%s", out)
+	}
+}

@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pramemu/internal/testio"
+)
+
+// The prefix-sums demo verifies its own results (it panics on a wrong
+// sum), so the smoke test executes main itself and checks all four
+// machines report.
+func TestMainSmoke(t *testing.T) {
+	out := testio.CaptureStdout(t, main)
+	for _, want := range []string{"ideal PRAM", "star", "shuffle", "hypercube"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

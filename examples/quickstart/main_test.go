@@ -1,0 +1,20 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pramemu/internal/testio"
+)
+
+// The quickstart runs in milliseconds on its real configuration, so
+// the smoke test executes main itself and checks both demonstrated
+// operations report.
+func TestMainSmoke(t *testing.T) {
+	out := testio.CaptureStdout(t, main)
+	for _, want := range []string{"permutation routing:", "one EREW PRAM step:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,6 +7,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"pramemu/internal/algorithms"
 	"pramemu/internal/emul"
@@ -19,10 +21,17 @@ import (
 )
 
 func main() {
-	// Part 1: odd-even merge sort as a PRAM program, n = 256 keys on
-	// the 4-way shuffle (256 nodes, diameter 4).
-	const n = 256
-	sh := shuffle.NewNWay(4)
+	run(os.Stdout, 4, 64)
+}
+
+// run sorts shuffleN^shuffleN keys through the shuffleN-way shuffle
+// emulation and contrasts routing schemes on a meshSide x meshSide
+// grid; main uses the full sizes, tests smaller ones.
+func run(w io.Writer, shuffleN, meshSide int) {
+	// Part 1: odd-even merge sort as a PRAM program, n keys on the
+	// shuffleN-way shuffle (n = shuffleN^shuffleN nodes).
+	sh := shuffle.NewNWay(shuffleN)
+	n := sh.Nodes()
 	net := &emul.LeveledNetwork{Spec: sh.AsLeveled(), Diam: sh.Diameter()}
 
 	for _, cfg := range []struct {
@@ -46,19 +55,19 @@ func main() {
 			}
 			prev = v
 		}
-		fmt.Printf("odd-even merge sort of %d keys on %-18s steps=%-4d time=%d\n",
+		fmt.Fprintf(w, "odd-even merge sort of %d keys on %-18s steps=%-4d time=%d\n",
 			n, cfg.name, m.Steps(), m.Time())
 	}
 
-	// Part 2: routing a permutation on a 64 x 64 mesh, randomized
-	// three-stage vs deterministic shearsort-based.
-	g := mesh.New(64)
+	// Part 2: routing a permutation on a meshSide x meshSide mesh,
+	// randomized three-stage vs deterministic shearsort-based.
+	g := mesh.New(meshSide)
 	perm := workload.Permutation(g.Nodes(), packet.Transit, 5)
 	three := mesh.Route(g, perm, mesh.Options{Seed: 3})
 	sortRounds := mesh.SortRoute(g, workload.Permutation(g.Nodes(), packet.Transit, 5))
-	fmt.Printf("\nmesh(64x64) permutation routing:\n")
-	fmt.Printf("  randomized three-stage: %4d rounds (%.2f x n)\n",
-		three.Rounds, float64(three.Rounds)/64)
-	fmt.Printf("  shearsort (sort-based): %4d rounds (%.2f x n) — no queues, but %0.1fx slower\n",
-		sortRounds, float64(sortRounds)/64, float64(sortRounds)/float64(three.Rounds))
+	fmt.Fprintf(w, "\nmesh(%dx%d) permutation routing:\n", meshSide, meshSide)
+	fmt.Fprintf(w, "  randomized three-stage: %4d rounds (%.2f x n)\n",
+		three.Rounds, float64(three.Rounds)/float64(meshSide))
+	fmt.Fprintf(w, "  shearsort (sort-based): %4d rounds (%.2f x n) — no queues, but %0.1fx slower\n",
+		sortRounds, float64(sortRounds)/float64(meshSide), float64(sortRounds)/float64(three.Rounds))
 }

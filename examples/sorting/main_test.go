@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The smoke test runs the demo's core on a tiny configuration: the
+// 2-way shuffle (4 nodes, 4 keys) and an 8 x 8 mesh.
+func TestRunSmoke(t *testing.T) {
+	var b strings.Builder
+	run(&b, 2, 8)
+	out := b.String()
+	if !strings.Contains(out, "odd-even merge sort") || !strings.Contains(out, "shearsort") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

@@ -1,0 +1,17 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"pramemu/internal/testio"
+)
+
+// The trace-pricing demo records and replays a real program trace in
+// well under a second, so the smoke test executes main itself.
+func TestMainSmoke(t *testing.T) {
+	out := testio.CaptureStdout(t, main)
+	if !strings.Contains(out, "recorded") || !strings.Contains(out, "cost/step") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module pramemu
+
+go 1.24

@@ -54,8 +54,10 @@ type Network interface {
 	// bounds (emulation is optimal when a step costs O(L)).
 	Diameter() int
 	// Route routes the request packets (with replies for reads),
-	// combining same-address requests when combine is set.
-	Route(pkts []*packet.Packet, combine bool, seed uint64) RouteStats
+	// combining same-address requests when combine is set. workers is
+	// the simulator's round-engine width (0 = GOMAXPROCS, 1 =
+	// sequential); every width yields identical RouteStats.
+	Route(pkts []*packet.Packet, combine bool, seed uint64, workers int) RouteStats
 }
 
 // Config parameterizes an Emulator.
@@ -72,6 +74,10 @@ type Config struct {
 	Combine bool
 	// Seed drives hashing and routing randomness.
 	Seed uint64
+	// Workers is the network simulator's round-engine width, passed
+	// through to every routed step: 0 selects GOMAXPROCS, 1 the
+	// sequential loop. Any value yields identical emulation results.
+	Workers int
 }
 
 // Emulator prices PRAM steps by routing them over a Network.
@@ -159,7 +165,7 @@ func (e *Emulator) routeRequests(reqs []pram.Request) (RouteStats, int) {
 			}
 			continue
 		}
-		stats := e.net.Route(pkts, e.cfg.Combine, e.nextSeed())
+		stats := e.net.Route(pkts, e.cfg.Combine, e.nextSeed(), e.cfg.Workers)
 		if stats.Requests != len(pkts) {
 			panic(fmt.Sprintf("emul: %s delivered %d/%d requests",
 				e.net.Name(), stats.Requests, len(pkts)))

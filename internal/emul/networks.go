@@ -20,8 +20,6 @@ type LeveledNetwork struct {
 	// Diam is the physical network diameter reported to the emulator
 	// (the leveled unrolling may be longer than the diameter).
 	Diam int
-	// Workers enables goroutine-parallel simulation when > 1.
-	Workers int
 }
 
 // Name implements Network.
@@ -39,12 +37,12 @@ func (n *LeveledNetwork) Diameter() int {
 }
 
 // Route implements Network.
-func (n *LeveledNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64) RouteStats {
+func (n *LeveledNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64, workers int) RouteStats {
 	s := leveled.Route(n.Spec, pkts, leveled.Options{
 		Seed:    seed,
 		Replies: true,
 		Combine: combine,
-		Workers: n.Workers,
+		Workers: workers,
 	})
 	return RouteStats{
 		Rounds:        s.Rounds,
@@ -73,11 +71,12 @@ func (n *DirectNetwork) Nodes() int { return n.Topo.Nodes() }
 func (n *DirectNetwork) Diameter() int { return n.Topo.Diameter() }
 
 // Route implements Network.
-func (n *DirectNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64) RouteStats {
+func (n *DirectNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64, workers int) RouteStats {
 	s := simnet.Route(n.Topo, pkts, simnet.Options{
 		Seed:    seed,
 		Replies: true,
 		Combine: combine,
+		Workers: workers,
 	})
 	return RouteStats{
 		Rounds:        s.Rounds,
@@ -108,8 +107,8 @@ func (n *RanadeNetwork) Nodes() int { return n.Net.Nodes() }
 func (n *RanadeNetwork) Diameter() int { return n.Net.Diameter() }
 
 // Route implements Network.
-func (n *RanadeNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64) RouteStats {
-	s := n.Net.Route(pkts, combine, seed)
+func (n *RanadeNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64, workers int) RouteStats {
+	s := n.Net.RouteOpts(pkts, ranade.Options{Combine: combine, Seed: seed, Workers: workers})
 	return RouteStats{
 		Rounds:        s.Rounds,
 		MaxQueue:      s.MaxQueue,
@@ -164,7 +163,7 @@ func (n *MeshNetwork) Diameter() int { return n.G.Diameter() }
 // processor. CRCW combining is a leveled-network mechanism (Thm 2.6);
 // the mesh emulation is the EREW algorithm of Theorem 3.2, so combine
 // is ignored here.
-func (n *MeshNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64) RouteStats {
+func (n *MeshNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64, workers int) RouteStats {
 	_ = combine
 	src := prng.New(seed)
 	legs := n.buildLegs(pkts, src)
@@ -175,6 +174,7 @@ func (n *MeshNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64) Ro
 		}
 		opts := n.Opts
 		opts.Seed = seed ^ uint64(i+1)*0x9e3779b97f4a7c15
+		opts.Workers = workers
 		s := mesh.Route(n.G, leg, opts)
 		if s.DeliveredRequests != len(leg) {
 			panic(fmt.Sprintf("emul: mesh leg %d delivered %d/%d", i, s.DeliveredRequests, len(leg)))

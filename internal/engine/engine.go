@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"sort"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/queue"
+)
+
+// Arrival is a packet about to enter the queue of the directed link
+// identified by Key. Key encoding is simulator-defined; the engine
+// only hashes it to a shard and orders by it.
+type Arrival struct {
+	Key uint64
+	P   *packet.Packet
+}
+
+// Handler advances one popped packet: the packet just crossed the link
+// Arrival.Key during the given round. It may mutate the packet, emit
+// follow-up arrivals through ctx, and accumulate statistics — and
+// nothing else, since distinct packets are handled concurrently.
+type Handler func(ctx *Ctx, a Arrival, round int)
+
+// Combiner is consulted before an arrival is enqueued: given the
+// destination link's non-empty queue it may absorb the packet into a
+// queued one (Theorem 2.6 message combining) and return true to skip
+// the insertion. It runs on the shard owning the queue, so it may
+// freely mutate queued packets.
+type Combiner func(ctx *Ctx, q queue.Discipline, a Arrival) bool
+
+// Options configures an engine run.
+type Options struct {
+	// Workers is the worker-pool width; <= 0 selects GOMAXPROCS and 1
+	// reproduces the sequential simulation exactly (any width does —
+	// that is the engine's defining invariant — but 1 also avoids every
+	// synchronization cost).
+	Workers int
+	// Seed derives the per-shard PRNG streams (Ctx.Rand).
+	Seed uint64
+	// NewQueue constructs a link queue; nil selects plain FIFO, the
+	// discipline of §2.2.1.
+	NewQueue func() queue.Discipline
+}
+
+// Ctx is the per-shard execution context handed to Handler, Combiner
+// and the injection callback. It is never shared between concurrent
+// callbacks, so accumulation needs no locks.
+type Ctx struct {
+	stats Stats
+	loads map[int]int
+	rand  *prng.Source
+	mask  uint64
+	out   [][]Arrival // next-round buffer, bucketed by destination shard
+}
+
+// Emit schedules p to enter the queue of link key next round (or this
+// round's push phase, when called during injection or a pop phase).
+// Arrivals are buffered double-buffer style and sorted by (key, packet
+// ID) before insertion, so emission order never matters.
+func (c *Ctx) Emit(key uint64, p *packet.Packet) {
+	s := shardOf(key, c.mask)
+	c.out[s] = append(c.out[s], Arrival{key, p})
+}
+
+// Stats returns the shard's accumulator. All fields fold commutatively
+// across shards, so handlers may update sums and maxima freely.
+func (c *Ctx) Stats() *Stats { return &c.stats }
+
+// AddLoad accumulates delta units of load on a node (module). The
+// merged per-node sums yield Stats.MaxModuleLoad.
+func (c *Ctx) AddLoad(node, delta int) {
+	if c.loads == nil {
+		c.loads = make(map[int]int)
+	}
+	c.loads[node] += delta
+}
+
+// Rand returns the shard's private PRNG stream, split from the run
+// seed by shard index. Because shard layout varies with Workers, this
+// stream must only feed decisions that cannot affect simulation output
+// (randomized data structures, sampling for diagnostics); randomness
+// that shapes the simulation belongs in per-packet streams.
+func (c *Ctx) Rand() *prng.Source { return c.rand }
+
+// shard owns a partition of the link queues.
+type shard struct {
+	ctx   Ctx
+	edges map[uint64]queue.Discipline
+	free  []queue.Discipline
+	inbox []Arrival // scratch for the push phase
+}
+
+// Engine runs the synchronous round loop over sharded link state.
+type Engine struct {
+	pool     *Pool
+	shards   []shard
+	mask     uint64
+	newQueue func() queue.Discipline
+}
+
+// parallelThreshold is the number of live link queues below which a
+// round runs inline: with so little work per round, goroutine fan-out
+// costs more than it saves.
+const parallelThreshold = 256
+
+// New builds an engine. The shard count is the smallest power of two
+// covering the worker count, so each worker owns about one shard.
+func New(opts Options) *Engine {
+	pool := NewPool(opts.Workers)
+	nshards := 1
+	for nshards < pool.Workers() && nshards < 64 {
+		nshards *= 2
+	}
+	newQueue := opts.NewQueue
+	if newQueue == nil {
+		newQueue = func() queue.Discipline { return queue.NewFIFO(4) }
+	}
+	e := &Engine{
+		pool:     pool,
+		shards:   make([]shard, nshards),
+		mask:     uint64(nshards - 1),
+		newQueue: newQueue,
+	}
+	// The shard streams come off a tweaked root so they never collide
+	// with the per-packet streams Split off prng.New(seed) directly.
+	root := prng.New(opts.Seed ^ 0xa5a5a5a5a5a5a5a5)
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.edges = make(map[uint64]queue.Discipline)
+		sh.ctx = Ctx{
+			rand: root.Split(uint64(i)),
+			mask: e.mask,
+			out:  make([][]Arrival, nshards),
+		}
+	}
+	return e
+}
+
+// Workers returns the effective worker count (after the GOMAXPROCS
+// default is applied).
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// shardOf hashes a link key to a shard with a splitmix64-style
+// finalizer, so structured key encodings still spread evenly.
+func shardOf(key, mask uint64) int {
+	key ^= key >> 30
+	key *= 0xbf58476d1ce4e5b9
+	key ^= key >> 27
+	return int(key & mask)
+}
+
+// Run executes the round loop until every link queue drains. inject
+// seeds round 0 by calling ctx.Emit for each initial arrival (and may
+// record injection-time deliveries in ctx); handle advances popped
+// packets; combine, if non-nil, is offered each arrival before
+// insertion. Returns the folded statistics.
+func (e *Engine) Run(inject func(ctx *Ctx), handle Handler, combine Combiner) Stats {
+	if inject != nil {
+		inject(&e.shards[0].ctx)
+	}
+	e.pushPhase(0, combine, false)
+	for round := 1; ; round++ {
+		live := 0
+		for i := range e.shards {
+			live += len(e.shards[i].edges)
+		}
+		if live == 0 {
+			break
+		}
+		par := live >= parallelThreshold
+		e.pool.RunIf(par, len(e.shards), func(_, lo, hi int) {
+			for s := lo; s < hi; s++ {
+				e.shards[s].drain(round, handle)
+			}
+		})
+		e.pushPhase(round, combine, par)
+	}
+	var out Stats
+	loads := make(map[int]int)
+	for i := range e.shards {
+		out.fold(&e.shards[i].ctx.stats)
+		for node, v := range e.shards[i].ctx.loads {
+			loads[node] += v
+		}
+	}
+	for _, v := range loads {
+		maxInto(&out.MaxModuleLoad, v)
+	}
+	return out
+}
+
+// drain pops the head of every queue in the shard — one packet crosses
+// each link per round — accounts its queueing delay, and hands it to
+// the handler. Emptied queues are recycled.
+func (sh *shard) drain(round int, handle Handler) {
+	for key, q := range sh.edges {
+		p := q.Pop()
+		p.Delay += round - p.EnqueuedAt - 1
+		if q.Len() == 0 {
+			delete(sh.edges, key)
+			sh.free = append(sh.free, q)
+		}
+		handle(&sh.ctx, Arrival{key, p}, round)
+	}
+}
+
+// pushPhase moves every emitted arrival into its destination shard's
+// queues: each shard gathers its bucket from every source context,
+// sorts by (key, ID) — the canonical insertion order that makes queue
+// contents independent of shard layout — and inserts, offering each
+// arrival to the combiner first.
+func (e *Engine) pushPhase(round int, combine Combiner, par bool) {
+	e.pool.RunIf(par, len(e.shards), func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			e.pushShard(s, round, combine)
+		}
+	})
+}
+
+func (e *Engine) pushShard(s, round int, combine Combiner) {
+	sh := &e.shards[s]
+	buf := sh.inbox[:0]
+	for i := range e.shards {
+		src := &e.shards[i].ctx
+		buf = append(buf, src.out[s]...)
+		src.out[s] = src.out[s][:0]
+	}
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].Key != buf[j].Key {
+			return buf[i].Key < buf[j].Key
+		}
+		return buf[i].P.ID < buf[j].P.ID
+	})
+	for _, a := range buf {
+		q := sh.edges[a.Key]
+		if combine != nil && q != nil && combine(&sh.ctx, q, a) {
+			continue
+		}
+		if q == nil {
+			if n := len(sh.free); n > 0 {
+				q = sh.free[n-1]
+				sh.free = sh.free[:n-1]
+			} else {
+				q = e.newQueue()
+			}
+			sh.edges[a.Key] = q
+		}
+		a.P.EnqueuedAt = round
+		q.Push(a.P)
+		if l := q.Len(); l > sh.ctx.stats.MaxQueue {
+			sh.ctx.stats.MaxQueue = l
+		}
+	}
+	sh.inbox = buf[:0]
+}

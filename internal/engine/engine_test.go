@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/queue"
+)
+
+func TestPoolCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 17} {
+		p := NewPool(workers)
+		const n = 1000
+		var hits [n]int32
+		p.Run(n, func(w, lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("workers=%d: bad chunk [%d,%d)", workers, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestPoolPropagatesPanic(t *testing.T) {
+	p := NewPool(4)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	p.Run(100, func(w, lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
+
+func TestPoolRunIfSequentialFallback(t *testing.T) {
+	p := NewPool(8)
+	calls := 0
+	p.RunIf(false, 50, func(w, lo, hi int) {
+		calls++
+		if w != 0 || lo != 0 || hi != 50 {
+			t.Fatalf("sequential fallback got (w=%d, lo=%d, hi=%d)", w, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("sequential fallback ran %d chunks", calls)
+	}
+}
+
+// lineRun routes packets down a shared line of nodes 0..length: packet
+// i starts at node i%starts and walks to node length. Edge key k is
+// the link k -> k+1, so low-numbered links are heavily contended.
+// Returns the final stats and per-packet (hops, delay) pairs.
+func lineRun(t *testing.T, workers, npkts, starts, length int) (Stats, [][2]int) {
+	t.Helper()
+	pkts := make([]*packet.Packet, npkts)
+	eng := New(Options{Workers: workers, Seed: 42})
+	handle := func(ctx *Ctx, a Arrival, round int) {
+		p := a.P
+		p.Hops++
+		at := int(a.Key) + 1
+		if at == length {
+			p.Arrived = round
+			st := ctx.Stats()
+			st.DeliveredRequests++
+			st.TotalDelay += int64(p.Delay)
+			if round > st.Rounds {
+				st.Rounds = round
+			}
+			if s := p.Steps(); s > st.MaxPacketSteps {
+				st.MaxPacketSteps = s
+			}
+			ctx.AddLoad(at, 1)
+			return
+		}
+		ctx.Emit(uint64(at), p)
+	}
+	st := eng.Run(func(ctx *Ctx) {
+		for i := range pkts {
+			pkts[i] = packet.New(i, i%starts, length, packet.Transit)
+			ctx.Emit(uint64(i%starts), pkts[i])
+		}
+	}, handle, nil)
+	traces := make([][2]int, npkts)
+	for i, p := range pkts {
+		if p.Arrived < 0 {
+			t.Fatalf("workers=%d: packet %d never arrived", workers, i)
+		}
+		traces[i] = [2]int{p.Hops, p.Delay}
+	}
+	return st, traces
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	baseSt, baseTr := lineRun(t, 1, 600, 40, 60)
+	if baseSt.DeliveredRequests != 600 {
+		t.Fatalf("delivered %d/600", baseSt.DeliveredRequests)
+	}
+	if baseSt.MaxModuleLoad != 600 {
+		t.Fatalf("module load %d, want 600", baseSt.MaxModuleLoad)
+	}
+	for _, workers := range []int{2, 3, 4, 8} {
+		st, tr := lineRun(t, workers, 600, 40, 60)
+		if st != baseSt {
+			t.Fatalf("workers=%d stats diverged:\n%+v\n%+v", workers, st, baseSt)
+		}
+		for i := range tr {
+			if tr[i] != baseTr[i] {
+				t.Fatalf("workers=%d packet %d trace %v != %v", workers, i, tr[i], baseTr[i])
+			}
+		}
+	}
+}
+
+func TestCombinerAbsorbs(t *testing.T) {
+	// Two same-address packets injected on one link: the combiner
+	// absorbs the second, so only one arrival is ever delivered (with
+	// the merge recorded), mirroring Theorem 2.6 combining.
+	a := packet.New(0, 0, 1, packet.ReadRequest)
+	b := packet.New(1, 0, 1, packet.ReadRequest)
+	a.Addr, b.Addr = 7, 7
+	eng := New(Options{Workers: 1})
+	st := eng.Run(func(ctx *Ctx) {
+		ctx.Emit(0, a)
+		ctx.Emit(0, b)
+	}, func(ctx *Ctx, ar Arrival, round int) {
+		ctx.Stats().DeliveredRequests += ar.P.TotalCombined()
+	}, func(ctx *Ctx, q queue.Discipline, ar Arrival) bool {
+		var host *packet.Packet
+		q.Each(func(c *packet.Packet) bool {
+			if c.Addr == ar.P.Addr {
+				host = c
+				return false
+			}
+			return true
+		})
+		if host == nil {
+			return false
+		}
+		host.Combine(ar.P, 0)
+		ctx.Stats().Merges++
+		return true
+	})
+	if st.Merges != 1 {
+		t.Fatalf("merges %d, want 1", st.Merges)
+	}
+	if st.DeliveredRequests != 2 {
+		t.Fatalf("delivered %d constituents, want 2", st.DeliveredRequests)
+	}
+	if st.MaxQueue != 1 {
+		t.Fatalf("max queue %d, want 1 (second packet combined, not queued)", st.MaxQueue)
+	}
+}
+
+func TestShardRandIsStablePerShard(t *testing.T) {
+	// Same seed, same workers: shard streams replay identically.
+	e1 := New(Options{Workers: 4, Seed: 9})
+	e2 := New(Options{Workers: 4, Seed: 9})
+	for i := range e1.shards {
+		a, b := e1.shards[i].ctx.Rand(), e2.shards[i].ctx.Rand()
+		for j := 0; j < 8; j++ {
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("shard %d stream not reproducible", i)
+			}
+		}
+	}
+	// Distinct shards see distinct streams.
+	if len(e1.shards) > 1 {
+		x := New(Options{Workers: 4, Seed: 9})
+		if x.shards[0].ctx.Rand().Uint64() == x.shards[1].ctx.Rand().Uint64() {
+			t.Fatal("shard 0 and 1 share a stream")
+		}
+	}
+}
+
+func TestQueueRecycling(t *testing.T) {
+	// A long chain reuses queues: after the run every shard's free list
+	// holds recycled queues rather than leaking one per key.
+	eng := New(Options{Workers: 1})
+	p := packet.New(0, 0, 0, packet.Transit)
+	const length = 500
+	eng.Run(func(ctx *Ctx) {
+		ctx.Emit(0, p)
+	}, func(ctx *Ctx, a Arrival, round int) {
+		if int(a.Key)+1 < length {
+			ctx.Emit(a.Key+1, a.P)
+		}
+	}, nil)
+	total := 0
+	for i := range eng.shards {
+		total += len(eng.shards[i].free)
+	}
+	if total == 0 {
+		t.Fatal("no queues recycled over a 500-link chain")
+	}
+	if total > 4 {
+		t.Fatalf("%d queues allocated for a single in-flight packet", total)
+	}
+}

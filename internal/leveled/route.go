@@ -2,9 +2,8 @@ package leveled
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 
+	"pramemu/internal/engine"
 	"pramemu/internal/packet"
 	"pramemu/internal/prng"
 	"pramemu/internal/queue"
@@ -31,8 +30,8 @@ type Options struct {
 	// RecordPaths forces path recording even without Replies/Combine
 	// (used by path-property tests).
 	RecordPaths bool
-	// Workers > 1 enables goroutine-parallel round processing. The
-	// result is identical to the sequential simulation.
+	// Workers is the round-engine worker count: 0 selects GOMAXPROCS,
+	// 1 the sequential loop. Any value yields identical results.
 	Workers int
 }
 
@@ -73,22 +72,14 @@ func reverseKey(level, from, to int) uint64 {
 	return reverseBit | uint64(level)<<48 | uint64(from)<<24 | uint64(to)
 }
 
-// router holds the per-run state of the synchronous simulation.
+// router holds the immutable per-run configuration; all mutable state
+// lives in the engine's shard contexts.
 type router struct {
 	spec    Spec
 	opts    Options
 	levels  int // ℓ
 	logical int // logical columns: 2ℓ-1 (or ℓ when SkipPhase1)
-	edges   map[uint64]*queue.FIFO
-	free    []*queue.FIFO
-	stats   Stats
-	loads   map[int]int // forward deliveries per module
 	record  bool
-}
-
-type arrival struct {
-	key uint64
-	p   *packet.Packet
 }
 
 // Route routes pkts through the leveled network described by spec
@@ -108,46 +99,49 @@ func Route(spec Spec, pkts []*packet.Packet, opts Options) Stats {
 		opts:    opts,
 		levels:  spec.Levels(),
 		logical: 2*spec.Levels() - 1,
-		edges:   make(map[uint64]*queue.FIFO),
-		loads:   make(map[int]int),
 		record:  opts.Replies || opts.Combine || opts.RecordPaths,
 	}
 	if opts.SkipPhase1 {
 		r.logical = spec.Levels()
 	}
-	root := prng.New(opts.Seed)
-	seen := make(map[int]bool, len(pkts))
-	var injections []arrival
-	for _, p := range pkts {
-		if seen[p.ID] {
-			panic(fmt.Sprintf("leveled: duplicate packet ID %d", p.ID))
-		}
-		seen[p.ID] = true
-		if p.Src < 0 || p.Src >= spec.Width() || p.Dst < 0 || p.Dst >= spec.Width() {
-			panic(fmt.Sprintf("leveled: packet %d endpoints out of range", p.ID))
-		}
-		p.Rand = root.Split(uint64(p.ID))
-		p.Injected = 0
-		p.EnqueuedAt = 0
-		p.Arrived = -1
-		if r.record {
-			p.Path = append(p.Path[:0], int32(p.Src))
-		}
-		slot := r.chooseSlot(p, 0, p.Src)
-		injections = append(injections, arrival{forwardKey(0, p.Src, slot), p})
+	eng := engine.New(engine.Options{Workers: opts.Workers, Seed: opts.Seed})
+	var combiner engine.Combiner
+	if opts.Combine {
+		combiner = r.combine
 	}
-	r.pushAll(injections, 0)
-
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
+	st := eng.Run(func(ctx *engine.Ctx) {
+		root := prng.New(opts.Seed)
+		seen := make(map[int]bool, len(pkts))
+		for _, p := range pkts {
+			if seen[p.ID] {
+				panic(fmt.Sprintf("leveled: duplicate packet ID %d", p.ID))
+			}
+			seen[p.ID] = true
+			if p.Src < 0 || p.Src >= spec.Width() || p.Dst < 0 || p.Dst >= spec.Width() {
+				panic(fmt.Sprintf("leveled: packet %d endpoints out of range", p.ID))
+			}
+			p.Rand = root.Split(uint64(p.ID))
+			p.Injected = 0
+			p.EnqueuedAt = 0
+			p.Arrived = -1
+			if r.record {
+				p.Path = append(p.Path[:0], int32(p.Src))
+			}
+			slot := r.chooseSlot(p, 0, p.Src)
+			ctx.Emit(forwardKey(0, p.Src, slot), p)
+		}
+	}, r.handle, combiner)
+	return Stats{
+		Rounds:            st.Rounds,
+		RequestRounds:     st.RequestRounds,
+		MaxQueue:          st.MaxQueue,
+		TotalDelay:        st.TotalDelay,
+		MaxPacketSteps:    st.MaxPacketSteps,
+		DeliveredRequests: st.DeliveredRequests,
+		DeliveredReplies:  st.DeliveredReplies,
+		Merges:            st.Merges,
+		MaxModuleLoad:     st.MaxModuleLoad,
 	}
-	for round := 1; len(r.edges) > 0; round++ {
-		popped := r.popPhase(round, workers)
-		arrivals := r.handlePhase(popped, round)
-		r.pushAll(arrivals, round)
-	}
-	return r.stats
 }
 
 // chooseSlot picks the outgoing link slot for a packet sitting at the
@@ -176,125 +170,57 @@ func (r *router) physLevel(logicalEdge int) int {
 	return logicalEdge - (r.levels - 1)
 }
 
-// popPhase pops the head of every non-empty link queue (one packet
-// crosses each link per round) and returns the popped packets with
-// the key of the edge they crossed. Emptied queues are recycled.
-func (r *router) popPhase(round, workers int) []arrival {
-	if workers <= 1 || len(r.edges) < 256 {
-		popped := make([]arrival, 0, len(r.edges))
-		for key, q := range r.edges {
-			p := q.Pop()
-			p.Delay += round - p.EnqueuedAt - 1
-			popped = append(popped, arrival{key, p})
-			if q.Len() == 0 {
-				delete(r.edges, key)
-				r.free = append(r.free, q)
-			}
-		}
-		return popped
+// handle advances one popped packet a column. Runs concurrently on
+// distinct packets when Workers > 1.
+func (r *router) handle(ctx *engine.Ctx, a engine.Arrival, round int) {
+	p := a.P
+	p.Hops++
+	if a.Key&reverseBit != 0 {
+		r.handleReplyArrival(ctx, p, round)
+		return
 	}
-	keys := make([]uint64, 0, len(r.edges))
-	for key := range r.edges {
-		keys = append(keys, key)
+	level := int(a.Key >> 48)
+	fromNode := int(a.Key >> 24 & 0xffffff)
+	slot := int(a.Key & 0xffffff)
+	node := r.spec.Out(r.physLevel(level), fromNode, slot)
+	col := level + 1
+	if r.record {
+		p.RecordPath(node)
 	}
-	popped := make([]arrival, len(keys))
-	var wg sync.WaitGroup
-	chunk := (len(keys) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(keys) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(keys) {
-			hi = len(keys)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				q := r.edges[keys[i]]
-				p := q.Pop()
-				p.Delay += round - p.EnqueuedAt - 1
-				popped[i] = arrival{keys[i], p}
-			}
-		}(lo, hi)
+	if col == r.logical-1 {
+		r.deliverForward(ctx, p, node, round)
+		return
 	}
-	wg.Wait()
-	for _, key := range keys {
-		if q := r.edges[key]; q.Len() == 0 {
-			delete(r.edges, key)
-			r.free = append(r.free, q)
-		}
-	}
-	return popped
-}
-
-// handlePhase advances every popped packet one column and produces
-// the next round's queue insertions.
-func (r *router) handlePhase(popped []arrival, round int) []arrival {
-	arrivals := make([]arrival, 0, len(popped))
-	for _, a := range popped {
-		p := a.p
-		p.Hops++
-		if a.key&reverseBit != 0 {
-			arrivals = r.handleReplyArrival(arrivals, p, round)
-			continue
-		}
-		level := int(a.key >> 48)
-		fromNode := int(a.key >> 24 & 0xffffff)
-		slot := int(a.key & 0xffffff)
-		node := r.spec.Out(r.physLevel(level), fromNode, slot)
-		col := level + 1
-		if r.record {
-			p.RecordPath(node)
-		}
-		if col == r.logical-1 {
-			r.deliverForward(p, node, round, &arrivals)
-			continue
-		}
-		next := r.chooseSlot(p, col, node)
-		arrivals = append(arrivals, arrival{forwardKey(col, node, next), p})
-	}
-	// Sort so that queue insertion order is independent of map
-	// iteration order: parallel and sequential runs stay identical.
-	sort.Slice(arrivals, func(i, j int) bool {
-		if arrivals[i].key != arrivals[j].key {
-			return arrivals[i].key < arrivals[j].key
-		}
-		return arrivals[i].p.ID < arrivals[j].p.ID
-	})
-	return arrivals
+	next := r.chooseSlot(p, col, node)
+	ctx.Emit(forwardKey(col, node, next), p)
 }
 
 // deliverForward completes a request's forward journey at the module
 // node and, if configured, spawns its reply.
-func (r *router) deliverForward(p *packet.Packet, node, round int, arrivals *[]arrival) {
+func (r *router) deliverForward(ctx *engine.Ctx, p *packet.Packet, node, round int) {
 	if node != p.Dst {
 		panic(fmt.Sprintf("leveled: packet %d delivered to %d, want %d", p.ID, node, p.Dst))
 	}
+	st := ctx.Stats()
 	p.Arrived = round
-	if round > r.stats.RequestRounds {
-		r.stats.RequestRounds = round
+	if round > st.RequestRounds {
+		st.RequestRounds = round
 	}
 	wantReply := r.opts.Replies && p.Kind == packet.ReadRequest
 	if !wantReply {
 		// The packet's journey ends here: writes are fire-and-forget
 		// ("back in case of a read instruction", §2.1).
-		r.noteFinished(p)
+		r.noteFinished(ctx, p)
 	}
-	n := p.TotalCombined()
-	r.stats.DeliveredRequests += n
-	r.loads[node] += n
-	if r.loads[node] > r.stats.MaxModuleLoad {
-		r.stats.MaxModuleLoad = r.loads[node]
-	}
+	st.DeliveredRequests += p.TotalCombined()
+	ctx.AddLoad(node, p.TotalCombined())
 	if !wantReply {
 		return
 	}
 	r.makeReply(p)
 	p.Stage = r.logical - 1 // current column index while retracing
-	*arrivals = append(*arrivals, r.replyArrival(p))
+	a := r.replyArrival(p)
+	ctx.Emit(a.Key, a.P)
 }
 
 // makeReply flips a delivered request into its reply kind in place.
@@ -311,15 +237,15 @@ func (r *router) makeReply(p *packet.Packet) {
 
 // replyArrival builds the queue insertion for a reply at column
 // p.Stage about to traverse the reverse link toward column p.Stage-1.
-func (r *router) replyArrival(p *packet.Packet) arrival {
+func (r *router) replyArrival(p *packet.Packet) engine.Arrival {
 	from := int(p.Path[p.Stage])
 	to := int(p.Path[p.Stage-1])
-	return arrival{reverseKey(p.Stage-1, from, to), p}
+	return engine.Arrival{Key: reverseKey(p.Stage-1, from, to), P: p}
 }
 
 // handleReplyArrival advances a retracing reply one column toward its
 // requester, fanning out combined children where they merged.
-func (r *router) handleReplyArrival(arrivals []arrival, p *packet.Packet, round int) []arrival {
+func (r *router) handleReplyArrival(ctx *engine.Ctx, p *packet.Packet, round int) {
 	p.Stage--
 	col := p.Stage
 	// Fan out any children that were combined into p at this column.
@@ -334,63 +260,38 @@ func (r *router) handleReplyArrival(arrivals []arrival, p *packet.Packet, round 
 		}
 		child.Stage = col
 		if col == 0 {
-			r.finishReply(child, round)
+			r.finishReply(ctx, child, round)
 		} else {
-			arrivals = append(arrivals, r.replyArrival(child))
+			a := r.replyArrival(child)
+			ctx.Emit(a.Key, a.P)
 		}
 	}
 	if col == 0 {
-		r.finishReply(p, round)
-		return arrivals
+		r.finishReply(ctx, p, round)
+		return
 	}
-	return append(arrivals, r.replyArrival(p))
+	a := r.replyArrival(p)
+	ctx.Emit(a.Key, a.P)
 }
 
-func (r *router) finishReply(p *packet.Packet, round int) {
+func (r *router) finishReply(ctx *engine.Ctx, p *packet.Packet, round int) {
 	if int(p.Path[0]) != p.Src {
 		panic(fmt.Sprintf("leveled: reply %d retraced to %d, want %d", p.ID, p.Path[0], p.Src))
 	}
 	p.Arrived = round
-	r.stats.DeliveredReplies++
-	r.noteFinished(p)
+	ctx.Stats().DeliveredReplies++
+	r.noteFinished(ctx, p)
 }
 
 // noteFinished folds a finished packet's cost into the aggregates.
-func (r *router) noteFinished(p *packet.Packet) {
-	r.stats.TotalDelay += int64(p.Delay)
-	if s := p.Steps(); s > r.stats.MaxPacketSteps {
-		r.stats.MaxPacketSteps = s
+func (r *router) noteFinished(ctx *engine.Ctx, p *packet.Packet) {
+	st := ctx.Stats()
+	st.TotalDelay += int64(p.Delay)
+	if s := p.Steps(); s > st.MaxPacketSteps {
+		st.MaxPacketSteps = s
 	}
-	if p.Arrived > r.stats.Rounds {
-		r.stats.Rounds = p.Arrived
-	}
-}
-
-// pushAll inserts the (already sorted) arrivals into their queues,
-// applying Theorem 2.6 combining where enabled.
-func (r *router) pushAll(arrivals []arrival, round int) {
-	for _, a := range arrivals {
-		p := a.p
-		if r.opts.Combine && a.key&reverseBit == 0 && r.onDeterministicPath(a.key) {
-			if r.tryCombine(a.key, p) {
-				continue
-			}
-		}
-		q := r.edges[a.key]
-		if q == nil {
-			if n := len(r.free); n > 0 {
-				q = r.free[n-1]
-				r.free = r.free[:n-1]
-			} else {
-				q = queue.NewFIFO(4)
-			}
-			r.edges[a.key] = q
-		}
-		p.EnqueuedAt = round
-		q.Push(p)
-		if q.Len() > r.stats.MaxQueue {
-			r.stats.MaxQueue = q.Len()
-		}
+	if p.Arrived > st.Rounds {
+		st.Rounds = p.Arrived
 	}
 }
 
@@ -403,13 +304,14 @@ func (r *router) onDeterministicPath(key uint64) bool {
 	return r.opts.SkipPhase1 || level >= r.levels-1
 }
 
-// tryCombine merges p into a queued request with the same kind,
-// address and module, if one exists. Returns true if merged.
-func (r *router) tryCombine(key uint64, p *packet.Packet) bool {
-	q := r.edges[key]
-	if q == nil {
+// combine merges an arriving request into a queued one with the same
+// kind, address and module, if one exists on this deterministic-path
+// link. Returns true if merged.
+func (r *router) combine(ctx *engine.Ctx, q queue.Discipline, a engine.Arrival) bool {
+	if a.Key&reverseBit != 0 || !r.onDeterministicPath(a.Key) {
 		return false
 	}
+	p := a.P
 	var host *packet.Packet
 	q.Each(func(c *packet.Packet) bool {
 		if c.Kind == p.Kind && c.Addr == p.Addr && c.Dst == p.Dst {
@@ -424,6 +326,6 @@ func (r *router) tryCombine(key uint64, p *packet.Packet) bool {
 	// Both packets have arrived at the same column; that column index
 	// is len(Path)-1 for each.
 	host.Combine(p, len(p.Path)-1)
-	r.stats.Merges++
+	ctx.Stats().Merges++
 	return true
 }

@@ -25,9 +25,8 @@ package mesh
 import (
 	"fmt"
 	"math"
-	"sort"
-	"sync"
 
+	"pramemu/internal/engine"
 	"pramemu/internal/packet"
 	"pramemu/internal/prng"
 	"pramemu/internal/queue"
@@ -118,9 +117,8 @@ type Options struct {
 	// packet's origin-destination distance, preserving Theorem 3.3's
 	// locality; 0 means no restriction.
 	LocalityBound int
-	// Workers > 1 processes the per-round queue pops with a goroutine
-	// pool. The result is identical to the sequential simulation
-	// (arrivals are sorted before insertion either way).
+	// Workers is the round-engine worker count: 0 selects GOMAXPROCS,
+	// 1 the sequential loop. Any value yields identical results.
 	Workers int
 }
 
@@ -145,28 +143,20 @@ const (
 	numDirs
 )
 
+// router holds the immutable per-run configuration; all mutable state
+// lives in the engine's shard contexts. Link queues live in the shared
+// round engine keyed by node*numDirs + dir.
 type router struct {
-	g    *Grid
-	opts Options
-	// queues[node*4+dir] is the queue of the outgoing link of node in
-	// direction dir; nil when empty and unallocated.
-	queues []queue.Discipline
-	active map[int]struct{} // indexes into queues with Len() > 0
-	free   []queue.Discipline
-	stats  Stats
-	slice  int
+	g     *Grid
+	opts  Options
+	slice int
 }
 
 // Route routes pkts on the grid. Each packet travels Src -> Dst; the
 // stage-1 random row is chosen per packet from its own substream.
 // Packets need unique IDs. Returns aggregate stats.
 func Route(g *Grid, pkts []*packet.Packet, opts Options) Stats {
-	r := &router{
-		g:      g,
-		opts:   opts,
-		queues: make([]queue.Discipline, g.Nodes()*numDirs),
-		active: make(map[int]struct{}),
-	}
+	r := &router{g: g, opts: opts}
 	r.slice = opts.SliceRows
 	if r.slice <= 0 {
 		r.slice = int(float64(g.n) / math.Log2(float64(g.n)))
@@ -174,41 +164,43 @@ func Route(g *Grid, pkts []*packet.Packet, opts Options) Stats {
 	if r.slice < 1 {
 		r.slice = 1
 	}
-	root := prng.New(opts.Seed)
-	seen := make(map[int]bool, len(pkts))
-	var injections []injection
-	for _, p := range pkts {
-		if seen[p.ID] {
-			panic(fmt.Sprintf("mesh: duplicate packet ID %d", p.ID))
+	eng := engine.New(engine.Options{
+		Workers:  opts.Workers,
+		Seed:     opts.Seed,
+		NewQueue: r.newQueue,
+	})
+	st := eng.Run(func(ctx *engine.Ctx) {
+		root := prng.New(opts.Seed)
+		seen := make(map[int]bool, len(pkts))
+		for _, p := range pkts {
+			if seen[p.ID] {
+				panic(fmt.Sprintf("mesh: duplicate packet ID %d", p.ID))
+			}
+			seen[p.ID] = true
+			if p.Src < 0 || p.Src >= g.Nodes() || p.Dst < 0 || p.Dst >= g.Nodes() {
+				panic(fmt.Sprintf("mesh: packet %d endpoints out of range", p.ID))
+			}
+			p.Rand = root.Split(uint64(p.ID))
+			p.Injected = 0
+			p.Arrived = -1
+			p.At = p.Src
+			r.initStages(p)
+			if dir, done := r.nextDir(p, p.Src); done {
+				p.Arrived = 0
+				ctx.Stats().DeliveredRequests++
+			} else {
+				ctx.Emit(uint64(p.Src*numDirs+dir), p)
+			}
 		}
-		seen[p.ID] = true
-		if p.Src < 0 || p.Src >= g.Nodes() || p.Dst < 0 || p.Dst >= g.Nodes() {
-			panic(fmt.Sprintf("mesh: packet %d endpoints out of range", p.ID))
-		}
-		p.Rand = root.Split(uint64(p.ID))
-		p.Injected = 0
-		p.Arrived = -1
-		p.At = p.Src
-		r.initStages(p)
-		if dir, done := r.nextDir(p, p.Src); done {
-			p.Arrived = 0
-			r.stats.DeliveredRequests++
-		} else {
-			injections = append(injections, injection{p.Src*numDirs + dir, p})
-		}
+	}, r.handle, nil)
+	return Stats{
+		Rounds:            st.Rounds,
+		MaxQueue:          st.MaxQueue,
+		TotalDelay:        st.TotalDelay,
+		MaxPacketSteps:    st.MaxPacketSteps,
+		DeliveredRequests: st.DeliveredRequests,
+		StageRounds:       [3]int{st.Aux[0], st.Aux[1], st.Aux[2]},
 	}
-	r.pushAll(injections, 0)
-	for round := 1; len(r.active) > 0; round++ {
-		popped := r.popPhase(round)
-		arrivals := r.handlePhase(popped, round)
-		r.pushAll(arrivals, round)
-	}
-	return r.stats
-}
-
-type injection struct {
-	qIdx int
-	p    *packet.Packet
 }
 
 // initStages picks the packet's stage-1 target row. Stage numbering:
@@ -292,12 +284,9 @@ func (r *router) neighbor(node, dir int) int {
 	}
 }
 
+// newQueue is the engine's link-queue factory: FIFO for the ablation,
+// otherwise the paper's furthest-destination-first heap.
 func (r *router) newQueue() queue.Discipline {
-	if n := len(r.free); n > 0 {
-		q := r.free[n-1]
-		r.free = r.free[:n-1]
-		return q
-	}
 	if r.opts.Discipline == FIFODiscipline {
 		return queue.NewFIFO(4)
 	}
@@ -327,116 +316,34 @@ func (g *Grid) L1Remaining(p *packet.Packet) int {
 	}
 }
 
-func (r *router) popPhase(round int) []injection {
-	if r.opts.Workers > 1 && len(r.active) >= 256 {
-		return r.popPhaseParallel(round)
-	}
-	popped := make([]injection, 0, len(r.active))
-	for qIdx := range r.active {
-		q := r.queues[qIdx]
-		p := q.Pop()
-		p.Delay += round - p.EnqueuedAt - 1
-		popped = append(popped, injection{qIdx, p})
-		if q.Len() == 0 {
-			delete(r.active, qIdx)
-			r.queues[qIdx] = nil
-			r.free = append(r.free, q)
+// handle advances one popped packet a hop: it just crossed the link
+// encoded in a.Key. The per-stage drain rounds live in the engine's
+// max-merged Aux slots. Runs concurrently on distinct packets when
+// Workers > 1.
+func (r *router) handle(ctx *engine.Ctx, a engine.Arrival, round int) {
+	p := a.P
+	p.Hops++
+	node := r.neighbor(int(a.Key)/numDirs, int(a.Key)%numDirs)
+	p.At = node
+	stageBefore := p.Stage
+	dir, done := r.nextDir(p, node)
+	st := ctx.Stats()
+	if p.Stage != stageBefore || done {
+		if round > st.Aux[stageBefore] {
+			st.Aux[stageBefore] = round
 		}
 	}
-	return popped
-}
-
-// popPhaseParallel shards the active queues over a goroutine pool.
-// Distinct queue indices touch distinct queues, so pops are
-// independent; emptied queues are recycled afterwards.
-func (r *router) popPhaseParallel(round int) []injection {
-	idxs := make([]int, 0, len(r.active))
-	for qIdx := range r.active {
-		idxs = append(idxs, qIdx)
+	if done {
+		p.Arrived = round
+		st.DeliveredRequests++
+		st.TotalDelay += int64(p.Delay)
+		if s := p.Steps(); s > st.MaxPacketSteps {
+			st.MaxPacketSteps = s
+		}
+		if round > st.Rounds {
+			st.Rounds = round
+		}
+		return
 	}
-	popped := make([]injection, len(idxs))
-	var wg sync.WaitGroup
-	chunk := (len(idxs) + r.opts.Workers - 1) / r.opts.Workers
-	for w := 0; w < r.opts.Workers; w++ {
-		lo := w * chunk
-		if lo >= len(idxs) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(idxs) {
-			hi = len(idxs)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				q := r.queues[idxs[i]]
-				p := q.Pop()
-				p.Delay += round - p.EnqueuedAt - 1
-				popped[i] = injection{idxs[i], p}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	for _, qIdx := range idxs {
-		if q := r.queues[qIdx]; q.Len() == 0 {
-			delete(r.active, qIdx)
-			r.queues[qIdx] = nil
-			r.free = append(r.free, q)
-		}
-	}
-	return popped
-}
-
-func (r *router) handlePhase(popped []injection, round int) []injection {
-	arrivals := make([]injection, 0, len(popped))
-	for _, a := range popped {
-		p := a.p
-		p.Hops++
-		node := r.neighbor(a.qIdx/numDirs, a.qIdx%numDirs)
-		p.At = node
-		stageBefore := p.Stage
-		dir, done := r.nextDir(p, node)
-		if p.Stage != stageBefore || done {
-			if round > r.stats.StageRounds[stageBefore] {
-				r.stats.StageRounds[stageBefore] = round
-			}
-		}
-		if done {
-			p.Arrived = round
-			r.stats.DeliveredRequests++
-			r.stats.TotalDelay += int64(p.Delay)
-			if s := p.Steps(); s > r.stats.MaxPacketSteps {
-				r.stats.MaxPacketSteps = s
-			}
-			if round > r.stats.Rounds {
-				r.stats.Rounds = round
-			}
-			continue
-		}
-		arrivals = append(arrivals, injection{node*numDirs + dir, p})
-	}
-	sort.Slice(arrivals, func(i, j int) bool {
-		if arrivals[i].qIdx != arrivals[j].qIdx {
-			return arrivals[i].qIdx < arrivals[j].qIdx
-		}
-		return arrivals[i].p.ID < arrivals[j].p.ID
-	})
-	return arrivals
-}
-
-func (r *router) pushAll(arrivals []injection, round int) {
-	for _, a := range arrivals {
-		q := r.queues[a.qIdx]
-		if q == nil {
-			q = r.newQueue()
-			r.queues[a.qIdx] = q
-			r.active[a.qIdx] = struct{}{}
-		}
-		a.p.EnqueuedAt = round
-		q.Push(a.p)
-		if q.Len() > r.stats.MaxQueue {
-			r.stats.MaxQueue = q.Len()
-		}
-	}
+	ctx.Emit(uint64(node*numDirs+dir), p)
 }

@@ -21,7 +21,13 @@ func TestParallelMatchesSequential(t *testing.T) {
 }
 
 func TestParallelLocality(t *testing.T) {
-	g := New(64)
+	side := 64
+	if testing.Short() {
+		// The root equivalence suite covers worker invariance broadly;
+		// the full-size sweep here is for non-short runs.
+		side = 32
+	}
+	g := New(side)
 	perm := prng.New(2).Perm(g.Nodes())
 	for _, alg := range []Algorithm{ThreeStage, ValiantBrebner, Greedy} {
 		seq := Route(g, permPackets(g, perm), Options{Seed: 4, Algorithm: alg})

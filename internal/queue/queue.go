@@ -19,6 +19,11 @@ type Discipline interface {
 	// MaxLen returns the largest occupancy ever observed; this is the
 	// "queue size" of a routing scheme (§2.2.1).
 	MaxLen() int
+	// Each calls f on every queued packet until f returns false; the
+	// combining simulators use it to find a mergeable queued packet.
+	// Iteration order is FIFO order for FIFO queues and unspecified
+	// (but deterministic for a fixed push history) for heaps.
+	Each(f func(p *packet.Packet) bool)
 }
 
 // FIFO is a first-in first-out discipline backed by a growable ring

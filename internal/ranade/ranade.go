@@ -24,8 +24,25 @@ import (
 	"fmt"
 	"sort"
 
+	"pramemu/internal/engine"
 	"pramemu/internal/packet"
 )
+
+// Options configures one emulated step.
+type Options struct {
+	// Combine enables the message-combining construction (it is
+	// integral to Ranade's protocol; the flag gates it for ablations).
+	Combine bool
+	// Seed is accepted for interface symmetry; the forward pass is
+	// deterministic given the hash placement.
+	Seed uint64
+	// Workers is the forward-pass worker count: 0 selects GOMAXPROCS,
+	// 1 the sequential loop. Any value yields identical results — rows
+	// within a level are independent (each directed butterfly link has
+	// exactly one writer), and reply-link insertions are committed in
+	// sorted (link, packet ID) order.
+	Workers int
+}
 
 // Stats summarizes one emulated step.
 type Stats struct {
@@ -60,7 +77,7 @@ type link struct {
 	maxReal int
 }
 
-func (l *link) push(it item, st *Stats) {
+func (l *link) push(it item) {
 	if it.ghost && len(l.q) > 0 && l.q[len(l.q)-1].ghost {
 		// Consecutive ghosts collapse: only the freshest matters.
 		l.q[len(l.q)-1] = it
@@ -130,7 +147,29 @@ type node struct {
 // holds per link while equal-address packets for the same module meet
 // adjacently and combine.
 func (n *Network) Route(pkts []*packet.Packet, combine bool, seed uint64) Stats {
-	_ = seed // the forward pass is deterministic given the hash placement
+	return n.RouteOpts(pkts, Options{Combine: combine, Seed: seed})
+}
+
+// stepEffects accumulates one worker's forward-pass side effects for a
+// round; chunks merge commutatively (sums and maxima), so the merged
+// result is independent of the worker layout.
+type stepEffects struct {
+	merges        int
+	ghosts        int
+	deliveredReq  int
+	delivered     int
+	requestRounds int
+	spawned       []*packet.Packet
+}
+
+func (e *stepEffects) reset() {
+	e.merges, e.ghosts, e.deliveredReq, e.delivered, e.requestRounds = 0, 0, 0, 0, 0
+	e.spawned = e.spawned[:0]
+}
+
+// RouteOpts is Route with explicit Options (notably Workers).
+func (n *Network) RouteOpts(pkts []*packet.Packet, opts Options) Stats {
+	combine := opts.Combine
 	st := Stats{}
 	k := n.k
 	// levels[l][row] is the node at level l (1..k) with its two input
@@ -175,20 +214,47 @@ func (n *Network) Route(pkts []*packet.Packet, combine bool, seed uint64) Stats 
 	round := 0
 	maxRounds := 40 * (k + 1) * (maxPerRow(sources) + 1)
 	replies := newReplyPass(n, &st)
+	// Rows within a level are independent — every directed butterfly
+	// link has exactly one writer per round — so the per-level node
+	// loop shards over the pool; per-worker effects merge after the
+	// barrier. Small instances stay inline.
+	pool := engine.NewPool(opts.Workers)
+	effects := make([]stepEffects, pool.Workers())
+	par := n.rows >= 256
 	for delivered < want || replies.pending() {
 		round++
 		if round > maxRounds {
 			panic(fmt.Sprintf("ranade: no progress after %d rounds (protocol stall)", round))
 		}
-		// 1. Sources inject into level 1 (one item per out-link).
-		for r := 0; r < n.rows; r++ {
-			n.injectFrom(r, sources[r], &srcPos[r], nodes[1], &st)
+		for w := range effects {
+			effects[w].reset()
 		}
+		// 1. Sources inject into level 1 (one item per out-link).
+		pool.RunIf(par, n.rows, func(w, lo, hi int) {
+			for r := lo; r < hi; r++ {
+				n.injectFrom(r, sources[r], &srcPos[r], nodes[1], &effects[w])
+			}
+		})
 		// 2. Interior nodes forward level by level. Process from the
 		// deepest level backward so an item moves one level per round.
 		for l := k; l >= 1; l-- {
-			for r := 0; r < n.rows; r++ {
-				n.step(l, r, nodes, combine, round, &st, &delivered, replies)
+			pool.RunIf(par, n.rows, func(w, lo, hi int) {
+				for r := lo; r < hi; r++ {
+					n.step(l, r, nodes, combine, round, &effects[w])
+				}
+			})
+		}
+		for w := range effects {
+			eff := &effects[w]
+			st.Merges += eff.merges
+			st.Ghosts += eff.ghosts
+			st.DeliveredRequests += eff.deliveredReq
+			delivered += eff.delivered
+			if eff.requestRounds > st.RequestRounds {
+				st.RequestRounds = eff.requestRounds
+			}
+			for _, p := range eff.spawned {
+				replies.spawn(p)
 			}
 		}
 		// 3. Replies advance one hop.
@@ -229,7 +295,7 @@ func key(p *packet.Packet) uint64 { return uint64(p.Dst)<<32 | (p.Addr & 0xfffff
 
 // injectFrom feeds the next source packet (or EOS) into the proper
 // level-1 input link.
-func (n *Network) injectFrom(row int, pkts []*packet.Packet, pos *int, level1 []node, st *Stats) {
+func (n *Network) injectFrom(row int, pkts []*packet.Packet, pos *int, level1 []node, eff *stepEffects) {
 	// The level-0 "node" has out-links to level-1 straight (same row)
 	// and cross (row ^ 1). Send the next packet to the link its route
 	// needs and a ghost to the other; after the last packet, EOS both.
@@ -238,7 +304,7 @@ func (n *Network) injectFrom(row int, pkts []*packet.Packet, pos *int, level1 []
 	if *pos >= len(pkts) {
 		for _, l := range []*link{straight, cross} {
 			if !l.sentEOS {
-				l.push(item{eos: true, key: ^uint64(0)}, st)
+				l.push(item{eos: true, key: ^uint64(0)})
 				l.sentEOS = true
 			}
 		}
@@ -252,13 +318,13 @@ func (n *Network) injectFrom(row int, pkts []*packet.Packet, pos *int, level1 []
 	}
 	k := key(p)
 	if next == row {
-		straight.push(item{key: k, p: p}, st)
-		cross.push(item{key: k, ghost: true}, st)
+		straight.push(item{key: k, p: p})
+		cross.push(item{key: k, ghost: true})
 	} else {
-		cross.push(item{key: k, p: p}, st)
-		straight.push(item{key: k, ghost: true}, st)
+		cross.push(item{key: k, p: p})
+		straight.push(item{key: k, ghost: true})
 	}
-	st.Ghosts++
+	eff.ghosts++
 }
 
 // inSlot returns which input slot of node `row` at level l the edge
@@ -272,9 +338,11 @@ func inSlot(row, fromRow int) int {
 
 // step lets node (level, row) forward at most one item: the smaller
 // key of its two input heads, provided both inputs can vouch no
-// smaller key is coming.
+// smaller key is coming. It reads only this node's input links and
+// writes only this node's two downstream links, so distinct rows of a
+// level run concurrently; side effects accumulate in eff.
 func (n *Network) step(level, row int, nodes [][]node, combine bool, round int,
-	st *Stats, delivered *int, replies *replyPass) bool {
+	eff *stepEffects) bool {
 	nd := &nodes[level][row]
 	h0, ok0 := nd.in[0].head()
 	h1, ok1 := nd.in[1].head()
@@ -286,7 +354,7 @@ func (n *Network) step(level, row int, nodes [][]node, combine bool, round int,
 	switch {
 	case h0.eos && h1.eos:
 		// Stream finished: propagate EOS downstream once.
-		n.emitEOS(level, row, nodes, st)
+		n.emitEOS(level, row, nodes)
 		return false
 	case h0.eos:
 		pick = 1
@@ -300,7 +368,7 @@ func (n *Network) step(level, row int, nodes [][]node, combine bool, round int,
 	it, _ := nd.in[pick].head()
 	if it.ghost {
 		nd.in[pick].pop()
-		n.forwardGhost(level, row, it.key, nodes, st)
+		n.forwardGhost(level, row, it.key, nodes, eff)
 		return true
 	}
 	// A real packet. Try combining with the other head if equal key
@@ -323,7 +391,7 @@ func (n *Network) step(level, row int, nodes [][]node, combine bool, round int,
 				oh.p.Hops++
 				oh.p.RecordPath(n.rowAt(level, row))
 				p.Combine(oh.p, len(p.Path))
-				st.Merges++
+				eff.merges++
 				absorbed = true
 			}
 		}
@@ -335,15 +403,15 @@ func (n *Network) step(level, row int, nodes [][]node, combine bool, round int,
 			panic(fmt.Sprintf("ranade: packet %d reached row %d, want %d", p.ID, row, p.Dst))
 		}
 		p.Arrived = round
-		*delivered += p.TotalCombined()
-		st.DeliveredRequests += p.TotalCombined()
-		if round > st.RequestRounds {
-			st.RequestRounds = round
+		eff.delivered += p.TotalCombined()
+		eff.deliveredReq += p.TotalCombined()
+		if round > eff.requestRounds {
+			eff.requestRounds = round
 		}
 		if p.Kind == packet.ReadRequest {
-			replies.spawn(p)
+			eff.spawned = append(eff.spawned, p)
 		}
-		n.forwardGhost(level, row, it.key, nodes, st) // keep peers progressing
+		n.forwardGhost(level, row, it.key, nodes, eff) // keep peers progressing
 		return true
 	}
 	// Forward to level+1: straight if bit `level` of dst equals bit of
@@ -352,14 +420,14 @@ func (n *Network) step(level, row int, nodes [][]node, combine bool, round int,
 	if (p.Dst>>level)&1 != (row>>level)&1 {
 		nextRow = row ^ (1 << level)
 	}
-	nodes[level+1][nextRow].in[inSlot01(nextRow == row)].push(item{key: it.key, p: p}, st)
+	nodes[level+1][nextRow].in[inSlot01(nextRow == row)].push(item{key: it.key, p: p})
 	// Ghost on the other out-link.
 	otherRow := row ^ (1 << level)
 	if nextRow == otherRow {
 		otherRow = row
 	}
-	nodes[level+1][otherRow].in[inSlot01(otherRow == row)].push(item{key: it.key, ghost: true}, st)
-	st.Ghosts++
+	nodes[level+1][otherRow].in[inSlot01(otherRow == row)].push(item{key: it.key, ghost: true})
+	eff.ghosts++
 	return true
 }
 
@@ -372,25 +440,25 @@ func inSlot01(straight bool) int {
 
 // forwardGhost propagates a progress marker to both downstream links
 // (or nowhere at the last level).
-func (n *Network) forwardGhost(level, row int, k uint64, nodes [][]node, st *Stats) {
+func (n *Network) forwardGhost(level, row int, k uint64, nodes [][]node, eff *stepEffects) {
 	if level == n.k {
 		return
 	}
 	for _, r := range []int{row, row ^ (1 << level)} {
-		nodes[level+1][r].in[inSlot01(r == row)].push(item{key: k, ghost: true}, st)
+		nodes[level+1][r].in[inSlot01(r == row)].push(item{key: k, ghost: true})
 	}
-	st.Ghosts += 2
+	eff.ghosts += 2
 }
 
 // emitEOS propagates end-of-stream downstream once per link.
-func (n *Network) emitEOS(level, row int, nodes [][]node, st *Stats) {
+func (n *Network) emitEOS(level, row int, nodes [][]node) {
 	if level == n.k {
 		return
 	}
 	for _, r := range []int{row, row ^ (1 << level)} {
 		l := nodes[level+1][r].in[inSlot01(r == row)]
 		if !l.sentEOS {
-			l.push(item{eos: true, key: ^uint64(0)}, st)
+			l.push(item{eos: true, key: ^uint64(0)})
 			l.sentEOS = true
 		}
 	}

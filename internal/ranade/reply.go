@@ -2,6 +2,7 @@ package ranade
 
 import (
 	"fmt"
+	"sort"
 
 	"pramemu/internal/packet"
 )
@@ -10,13 +11,27 @@ import (
 // paths, one packet per reverse link per round, fanning out combined
 // children at the nodes where they merged — Ranade's return trip,
 // which the paper's Theorem 2.6 adapts via direction bits.
+//
+// Insertions are staged per round and committed in sorted (link,
+// packet ID) order. The original implementation appended in map
+// iteration order, which made reply queue contents — and hence round
+// counts — vary from run to run on identical inputs; the canonical
+// commit order makes the whole pass deterministic and independent of
+// the forward pass's worker layout.
 type replyPass struct {
 	n  *Network
 	st *Stats
 	// links maps a directed reverse edge (from<<32 | to) to its FIFO.
-	links    map[uint64][]*packet.Packet
+	links map[uint64][]*packet.Packet
+	// staged holds this round's insertions until commit.
+	staged   []stagedReply
 	inFlight int
 	maxQueue int
+}
+
+type stagedReply struct {
+	key uint64
+	p   *packet.Packet
 }
 
 func newReplyPass(n *Network, st *Stats) *replyPass {
@@ -33,8 +48,9 @@ func (rp *replyPass) spawn(p *packet.Packet) {
 }
 
 // dispatch fans out any children combined at the reply's current
-// node, then forwards the reply (or finishes it at index 0). Children
-// merged at the final module node fan out immediately at spawn time.
+// node, then stages the reply for its next hop (or finishes it at
+// index 0). Children merged at the final module node fan out
+// immediately at spawn time.
 func (rp *replyPass) dispatch(p *packet.Packet, round int) {
 	for i, at := range p.CombinedAt {
 		if at != p.Stage {
@@ -54,24 +70,42 @@ func (rp *replyPass) dispatch(p *packet.Packet, round int) {
 		rp.finish(p, round)
 		return
 	}
-	rp.enqueue(p)
+	rp.stage(p)
 }
 
-func (rp *replyPass) enqueue(p *packet.Packet) {
+// stage buffers an insertion; commit applies the round's buffer in
+// canonical order.
+func (rp *replyPass) stage(p *packet.Packet) {
 	from := uint64(p.Path[p.Stage])
 	to := uint64(p.Path[p.Stage-1])
-	key := from<<32 | to
-	rp.links[key] = append(rp.links[key], p)
+	rp.staged = append(rp.staged, stagedReply{from<<32 | to, p})
 	rp.inFlight++
-	if len(rp.links[key]) > rp.maxQueue {
-		rp.maxQueue = len(rp.links[key])
+}
+
+func (rp *replyPass) commit() {
+	sort.Slice(rp.staged, func(i, j int) bool {
+		if rp.staged[i].key != rp.staged[j].key {
+			return rp.staged[i].key < rp.staged[j].key
+		}
+		return rp.staged[i].p.ID < rp.staged[j].p.ID
+	})
+	for _, s := range rp.staged {
+		rp.links[s.key] = append(rp.links[s.key], s.p)
+		if len(rp.links[s.key]) > rp.maxQueue {
+			rp.maxQueue = len(rp.links[s.key])
+		}
 	}
+	rp.staged = rp.staged[:0]
 }
 
 func (rp *replyPass) pending() bool { return rp.inFlight > 0 }
 
-// step advances every non-empty reverse link by one packet.
+// step advances every non-empty reverse link by one packet: replies
+// spawned during this round's forward pass are committed first (so a
+// fresh reply moves a hop in its spawn round, as before), then each
+// link head moves and re-stages for the next hop.
 func (rp *replyPass) step(round int) {
+	rp.commit()
 	type arrival struct {
 		key uint64
 		p   *packet.Packet
@@ -93,6 +127,7 @@ func (rp *replyPass) step(round int) {
 		p.Stage--
 		rp.dispatch(p, round)
 	}
+	rp.commit()
 }
 
 func (rp *replyPass) finish(p *packet.Packet, round int) {

@@ -13,19 +13,24 @@
 // request path in reverse, and CRCW combining (Theorem 2.6) merges
 // same-address requests that meet in a queue during the deterministic
 // final approach.
+//
+// The round loop runs on the shared internal/engine core: link queues
+// are sharded over a worker pool, and the result is bit-for-bit
+// identical for any Workers setting.
 package simnet
 
 import (
 	"fmt"
-	"sort"
 
+	"pramemu/internal/engine"
 	"pramemu/internal/packet"
 	"pramemu/internal/prng"
 	"pramemu/internal/queue"
 )
 
 // Topology describes a static network. Implementations must be
-// stateless and cheap: NextHop is called once per packet per hop.
+// stateless and safe for concurrent use: NextHop is called once per
+// packet per hop, from multiple goroutines when Workers > 1.
 type Topology interface {
 	// Name identifies the topology in reports.
 	Name() string
@@ -70,6 +75,9 @@ type Options struct {
 	Combine bool
 	// RecordPaths forces path recording even without Replies/Combine.
 	RecordPaths bool
+	// Workers is the round-engine worker count: 0 selects GOMAXPROCS,
+	// 1 the sequential loop. Any value yields identical results.
+	Workers int
 }
 
 // Stats aggregates one routing run; the fields mirror the measures of
@@ -86,18 +94,11 @@ type Stats struct {
 	MaxModuleLoad     int
 }
 
-type arrival struct {
-	key uint64
-	p   *packet.Packet
-}
-
+// router holds the immutable per-run configuration; all mutable state
+// lives in the engine's shard contexts.
 type router struct {
 	topo       Topology
 	opts       Options
-	edges      map[uint64]*queue.FIFO
-	free       []*queue.FIFO
-	stats      Stats
-	loads      map[int]int
 	record     bool
 	matchTaken bool // combining requires equal per-phase progress
 }
@@ -113,58 +114,64 @@ func Route(topo Topology, pkts []*packet.Packet, opts Options) Stats {
 	r := &router{
 		topo:   topo,
 		opts:   opts,
-		edges:  make(map[uint64]*queue.FIFO),
-		loads:  make(map[int]int),
 		record: opts.Replies || opts.Combine || opts.RecordPaths,
 	}
 	if ts, ok := topo.(TakenSensitive); ok {
 		r.matchTaken = ts.TakenSensitive()
 	}
-	root := prng.New(opts.Seed)
-	seen := make(map[int]bool, len(pkts))
-	var injections []arrival
-	for _, p := range pkts {
-		if seen[p.ID] {
-			panic(fmt.Sprintf("simnet: duplicate packet ID %d", p.ID))
-		}
-		seen[p.ID] = true
-		if p.Src < 0 || p.Src >= topo.Nodes() || p.Dst < 0 || p.Dst >= topo.Nodes() {
-			panic(fmt.Sprintf("simnet: packet %d endpoints out of range", p.ID))
-		}
-		p.Rand = root.Split(uint64(p.ID))
-		p.Injected = 0
-		p.Arrived = -1
-		p.Phase = 1
-		p.Stage = 0 // hops taken toward the current target
-		if opts.SkipPhase1 {
-			p.Phase = 2
-			p.Inter = p.Dst
-		} else {
-			p.Inter = p.Rand.Intn(topo.Nodes())
-		}
-		if r.record {
-			p.Path = append(p.Path[:0], int32(p.Src))
-		}
-		if a, delivered := r.advance(p, p.Src, 0); delivered {
+	eng := engine.New(engine.Options{Workers: opts.Workers, Seed: opts.Seed})
+	var combiner engine.Combiner
+	if opts.Combine {
+		combiner = r.combine
+	}
+	st := eng.Run(func(ctx *engine.Ctx) {
+		root := prng.New(opts.Seed)
+		seen := make(map[int]bool, len(pkts))
+		for _, p := range pkts {
+			if seen[p.ID] {
+				panic(fmt.Sprintf("simnet: duplicate packet ID %d", p.ID))
+			}
+			seen[p.ID] = true
+			if p.Src < 0 || p.Src >= topo.Nodes() || p.Dst < 0 || p.Dst >= topo.Nodes() {
+				panic(fmt.Sprintf("simnet: packet %d endpoints out of range", p.ID))
+			}
+			p.Rand = root.Split(uint64(p.ID))
+			p.Injected = 0
+			p.Arrived = -1
+			p.Phase = 1
+			p.Stage = 0 // hops taken toward the current target
+			if opts.SkipPhase1 {
+				p.Phase = 2
+				p.Inter = p.Dst
+			} else {
+				p.Inter = p.Rand.Intn(topo.Nodes())
+			}
+			if r.record {
+				p.Path = append(p.Path[:0], int32(p.Src))
+			}
+			if a, delivered := r.advance(ctx, p, p.Src, 0); !delivered {
+				ctx.Emit(a.Key, a.P)
+			}
 			// src == intermediate == dst: the packet never moves.
-			continue
-		} else {
-			injections = append(injections, a)
 		}
+	}, r.handle, combiner)
+	return Stats{
+		Rounds:            st.Rounds,
+		RequestRounds:     st.RequestRounds,
+		MaxQueue:          st.MaxQueue,
+		TotalDelay:        st.TotalDelay,
+		MaxPacketSteps:    st.MaxPacketSteps,
+		DeliveredRequests: st.DeliveredRequests,
+		DeliveredReplies:  st.DeliveredReplies,
+		Merges:            st.Merges,
+		MaxModuleLoad:     st.MaxModuleLoad,
 	}
-	r.pushAll(injections, 0)
-	for round := 1; len(r.edges) > 0; round++ {
-		popped := r.popPhase(round)
-		arrivals := r.handlePhase(popped, round)
-		r.pushAll(arrivals, round)
-	}
-	return r.stats
 }
 
 // advance decides the next queue insertion for a forward packet
 // standing at node, or reports final delivery. round is the current
 // simulation round (used for delivery bookkeeping).
-func (r *router) advance(p *packet.Packet, node, round int) (arrival, bool) {
+func (r *router) advance(ctx *engine.Ctx, p *packet.Packet, node, round int) (engine.Arrival, bool) {
 	for {
 		target := p.Inter
 		if p.Phase == 2 {
@@ -173,87 +180,64 @@ func (r *router) advance(p *packet.Packet, node, round int) (arrival, bool) {
 		slot, done := r.topo.NextHop(node, target, p.Stage)
 		if !done {
 			to := r.topo.Neighbor(node, slot)
-			return arrival{edgeKey(node, to), p}, false
+			return engine.Arrival{Key: edgeKey(node, to), P: p}, false
 		}
 		if p.Phase == 1 {
 			p.Phase = 2
 			p.Stage = 0
 			continue
 		}
-		r.deliverForward(p, node, round)
-		return arrival{}, true
+		r.deliverForward(ctx, p, node, round)
+		return engine.Arrival{}, true
 	}
 }
 
-func (r *router) popPhase(round int) []arrival {
-	popped := make([]arrival, 0, len(r.edges))
-	for key, q := range r.edges {
-		p := q.Pop()
-		p.Delay += round - p.EnqueuedAt - 1
-		popped = append(popped, arrival{key, p})
-		if q.Len() == 0 {
-			delete(r.edges, key)
-			r.free = append(r.free, q)
-		}
+// handle advances one popped packet: it just crossed the link encoded
+// in a.Key. Runs concurrently on distinct packets when Workers > 1.
+func (r *router) handle(ctx *engine.Ctx, a engine.Arrival, round int) {
+	p := a.P
+	p.Hops++
+	to := int(a.Key & 0xffffff)
+	if p.Kind.IsReply() {
+		r.handleReplyArrival(ctx, p, round)
+		return
 	}
-	return popped
+	p.Stage++
+	if r.record {
+		p.RecordPath(to)
+	}
+	if next, delivered := r.advance(ctx, p, to, round); !delivered {
+		ctx.Emit(next.Key, next.P)
+	} else if p.Kind == packet.ReadReply && p.Stage > 0 {
+		a := r.replyArrival(p)
+		ctx.Emit(a.Key, a.P)
+	}
 }
 
-func (r *router) handlePhase(popped []arrival, round int) []arrival {
-	arrivals := make([]arrival, 0, len(popped))
-	for _, a := range popped {
-		p := a.p
-		p.Hops++
-		to := int(a.key & 0xffffff)
-		if p.Kind.IsReply() {
-			arrivals = r.handleReplyArrival(arrivals, p, round)
-			continue
-		}
-		p.Stage++
-		if r.record {
-			p.RecordPath(to)
-		}
-		if next, delivered := r.advance(p, to, round); !delivered {
-			arrivals = append(arrivals, next)
-		} else if p.Kind == packet.ReadReply && p.Stage > 0 {
-			arrivals = append(arrivals, r.replyArrival(p))
-		}
-	}
-	sort.Slice(arrivals, func(i, j int) bool {
-		if arrivals[i].key != arrivals[j].key {
-			return arrivals[i].key < arrivals[j].key
-		}
-		return arrivals[i].p.ID < arrivals[j].p.ID
-	})
-	return arrivals
-}
-
-func (r *router) deliverForward(p *packet.Packet, node, round int) {
+func (r *router) deliverForward(ctx *engine.Ctx, p *packet.Packet, node, round int) {
 	if node != p.Dst {
 		panic(fmt.Sprintf("simnet: packet %d delivered to %d, want %d", p.ID, node, p.Dst))
 	}
+	st := ctx.Stats()
 	p.Arrived = round
-	if round > r.stats.RequestRounds {
-		r.stats.RequestRounds = round
+	if round > st.RequestRounds {
+		st.RequestRounds = round
 	}
 	n := p.TotalCombined()
-	r.stats.DeliveredRequests += n
-	r.loads[node] += n
-	if r.loads[node] > r.stats.MaxModuleLoad {
-		r.stats.MaxModuleLoad = r.loads[node]
-	}
+	st.DeliveredRequests += n
+	ctx.AddLoad(node, n)
 	if r.opts.Replies && p.Kind == packet.ReadRequest {
 		r.makeReply(p)
 		p.Stage = len(p.Path) - 1 // index into Path while retracing
 		if p.Stage == 0 {
 			// The request never left home (src == dst == intermediate);
 			// its reply is immediately home too.
-			r.finishReply(p, round)
+			r.finishReply(ctx, p, round)
 		}
 	} else {
 		// Writes are fire-and-forget ("back in case of a read
 		// instruction", §2.1).
-		r.noteFinished(p)
+		r.noteFinished(ctx, p)
 	}
 }
 
@@ -270,13 +254,13 @@ func (r *router) makeReply(p *packet.Packet) {
 
 // replyArrival builds the queue insertion for a reply at Path index
 // p.Stage about to move to index p.Stage-1.
-func (r *router) replyArrival(p *packet.Packet) arrival {
+func (r *router) replyArrival(p *packet.Packet) engine.Arrival {
 	from := int(p.Path[p.Stage])
 	to := int(p.Path[p.Stage-1])
-	return arrival{edgeKey(from, to), p}
+	return engine.Arrival{Key: edgeKey(from, to), P: p}
 }
 
-func (r *router) handleReplyArrival(arrivals []arrival, p *packet.Packet, round int) []arrival {
+func (r *router) handleReplyArrival(ctx *engine.Ctx, p *packet.Packet, round int) {
 	p.Stage--
 	idx := p.Stage
 	for i, at := range p.CombinedAt {
@@ -290,71 +274,48 @@ func (r *router) handleReplyArrival(arrivals []arrival, p *packet.Packet, round 
 		}
 		child.Stage = idx
 		if idx == 0 {
-			r.finishReply(child, round)
+			r.finishReply(ctx, child, round)
 		} else {
-			arrivals = append(arrivals, r.replyArrival(child))
+			a := r.replyArrival(child)
+			ctx.Emit(a.Key, a.P)
 		}
 	}
 	if idx == 0 {
-		r.finishReply(p, round)
-		return arrivals
+		r.finishReply(ctx, p, round)
+		return
 	}
-	return append(arrivals, r.replyArrival(p))
+	a := r.replyArrival(p)
+	ctx.Emit(a.Key, a.P)
 }
 
-func (r *router) finishReply(p *packet.Packet, round int) {
+func (r *router) finishReply(ctx *engine.Ctx, p *packet.Packet, round int) {
 	if int(p.Path[0]) != p.Src {
 		panic(fmt.Sprintf("simnet: reply %d retraced to %d, want %d", p.ID, p.Path[0], p.Src))
 	}
 	p.Arrived = round
-	r.stats.DeliveredReplies++
-	r.noteFinished(p)
+	ctx.Stats().DeliveredReplies++
+	r.noteFinished(ctx, p)
 }
 
-func (r *router) noteFinished(p *packet.Packet) {
-	r.stats.TotalDelay += int64(p.Delay)
-	if s := p.Steps(); s > r.stats.MaxPacketSteps {
-		r.stats.MaxPacketSteps = s
+func (r *router) noteFinished(ctx *engine.Ctx, p *packet.Packet) {
+	st := ctx.Stats()
+	st.TotalDelay += int64(p.Delay)
+	if s := p.Steps(); s > st.MaxPacketSteps {
+		st.MaxPacketSteps = s
 	}
-	if p.Arrived > r.stats.Rounds {
-		r.stats.Rounds = p.Arrived
-	}
-}
-
-func (r *router) pushAll(arrivals []arrival, round int) {
-	for _, a := range arrivals {
-		p := a.p
-		if r.opts.Combine && p.Kind.IsRequest() && p.Phase == 2 {
-			if r.tryCombine(a.key, p) {
-				continue
-			}
-		}
-		q := r.edges[a.key]
-		if q == nil {
-			if n := len(r.free); n > 0 {
-				q = r.free[n-1]
-				r.free = r.free[:n-1]
-			} else {
-				q = queue.NewFIFO(4)
-			}
-			r.edges[a.key] = q
-		}
-		p.EnqueuedAt = round
-		q.Push(p)
-		if q.Len() > r.stats.MaxQueue {
-			r.stats.MaxQueue = q.Len()
-		}
+	if p.Arrived > st.Rounds {
+		st.Rounds = p.Arrived
 	}
 }
 
-// tryCombine merges p into a queued phase-2 request with the same
-// kind, address and destination. On memoryless topologies matching
-// (node, dst) guarantees the remaining deterministic paths coincide;
-// on taken-sensitive topologies (shuffle) equal per-phase progress is
-// additionally required.
-func (r *router) tryCombine(key uint64, p *packet.Packet) bool {
-	q := r.edges[key]
-	if q == nil {
+// combine merges an arriving phase-2 request into a queued one with
+// the same kind, address and destination, if present. On memoryless
+// topologies matching (node, dst) guarantees the remaining
+// deterministic paths coincide; on taken-sensitive topologies
+// (shuffle) equal per-phase progress is additionally required.
+func (r *router) combine(ctx *engine.Ctx, q queue.Discipline, a engine.Arrival) bool {
+	p := a.P
+	if !p.Kind.IsRequest() || p.Phase != 2 {
 		return false
 	}
 	var host *packet.Packet
@@ -370,6 +331,6 @@ func (r *router) tryCombine(key uint64, p *packet.Packet) bool {
 		return false
 	}
 	host.Combine(p, len(p.Path)-1)
-	r.stats.Merges++
+	ctx.Stats().Merges++
 	return true
 }

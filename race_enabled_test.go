@@ -1,0 +1,8 @@
+//go:build race
+
+package pramemu
+
+// raceEnabled reports whether the race detector is compiled in; the
+// speedup assertion skips under it, since instrumentation distorts the
+// sequential/parallel wall-clock ratio.
+const raceEnabled = true
