@@ -14,8 +14,8 @@ import (
 	"time"
 
 	"pramemu/internal/emul"
+	"pramemu/internal/experiments"
 	"pramemu/internal/hashing"
-	"pramemu/internal/hypercube"
 	"pramemu/internal/leveled"
 	"pramemu/internal/mesh"
 	"pramemu/internal/packet"
@@ -23,10 +23,58 @@ import (
 	"pramemu/internal/shuffle"
 	"pramemu/internal/simnet"
 	"pramemu/internal/star"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
 	"pramemu/internal/workload"
 )
 
 const benchSeed = 1991
+
+// mustSim routes on a statically sized benchmark topology, where a
+// key-space failure is a programming error.
+func mustSim(topo simnet.Topology, pkts []*packet.Packet, opts simnet.Options) simnet.Stats {
+	s, err := simnet.Route(topo, pkts, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// benchEmul builds an emulator for a statically sized configuration.
+func benchEmul(net emul.Network, cfg emul.Config) *emul.Emulator {
+	e, err := emul.New(net, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// benchNet adapts a registry family for the emulator benchmarks
+// (leveled view preferred, as the emulator does).
+func benchNet(name string, p topology.Params) emul.Network {
+	b, err := topology.Build(name, p)
+	if err != nil {
+		panic(err)
+	}
+	net, err := emul.NewTopologyNetwork(b)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
+
+// benchDirectNet forces the point-to-point view (Algorithm 2.2).
+func benchDirectNet(name string, p topology.Params) emul.Network {
+	b, err := topology.Build(name, p)
+	if err != nil {
+		panic(err)
+	}
+	net, err := emul.NewDirectTopologyNetwork(b)
+	if err != nil {
+		panic(err)
+	}
+	return net
+}
 
 // BenchmarkE1LeveledPermutation — Theorem 2.1: permutation routing on
 // leveled networks in Õ(ℓ) with Õ(ℓ) FIFO queues.
@@ -63,7 +111,7 @@ func BenchmarkE2StarRouting(b *testing.B) {
 			rounds := 0
 			for i := 0; i < b.N; i++ {
 				pkts := workload.Permutation(g.Nodes(), packet.Transit, benchSeed+uint64(i))
-				s := simnet.Route(g, pkts, simnet.Options{Seed: uint64(i) * 17})
+				s := mustSim(g, pkts, simnet.Options{Seed: uint64(i) * 17})
 				rounds += s.Rounds
 			}
 			b.ReportMetric(float64(rounds)/float64(b.N)/float64(g.Diameter()), "rounds/diam")
@@ -72,7 +120,7 @@ func BenchmarkE2StarRouting(b *testing.B) {
 			rounds := 0
 			for i := 0; i < b.N; i++ {
 				pkts := workload.Relation(g.Nodes(), n, packet.Transit, benchSeed+uint64(i))
-				s := simnet.Route(g, pkts, simnet.Options{Seed: uint64(i) * 17})
+				s := mustSim(g, pkts, simnet.Options{Seed: uint64(i) * 17})
 				rounds += s.Rounds
 			}
 			b.ReportMetric(float64(rounds)/float64(b.N)/float64(g.Diameter()), "rounds/diam")
@@ -130,16 +178,15 @@ func benchHashLoadOnce(n, degree int, seed uint64) int {
 // BenchmarkE5PRAMStepLeveled — Theorems 2.5/2.6: EREW and CRCW step
 // emulation on star and shuffle in Õ(diameter).
 func BenchmarkE5PRAMStepLeveled(b *testing.B) {
-	nets := map[string]emul.Network{}
-	sg := star.New(6)
-	nets["star6"] = &emul.LeveledNetwork{Spec: sg.AsLeveled(), Diam: sg.Diameter()}
-	sh := shuffle.NewNWay(4)
-	nets["shuffle4"] = &emul.LeveledNetwork{Spec: sh.AsLeveled(), Diam: sh.Diameter()}
+	nets := map[string]emul.Network{
+		"star6":    benchNet("star", topology.Params{N: 6}),
+		"shuffle4": benchNet("shuffle", topology.Params{N: 4}),
+	}
 	for name, net := range nets {
 		b.Run(name+"/erew", func(b *testing.B) {
 			cost := 0
 			for i := 0; i < b.N; i++ {
-				e := emul.New(net, emul.Config{Memory: 1 << 24, Seed: benchSeed + uint64(i)})
+				e := benchEmul(net, emul.Config{Memory: 1 << 24, Seed: benchSeed + uint64(i)})
 				_, c := e.RouteRequests(workload.RandomStep(net.Nodes(), 1<<24, false, uint64(i)*7))
 				cost += c
 			}
@@ -148,7 +195,7 @@ func BenchmarkE5PRAMStepLeveled(b *testing.B) {
 		b.Run(name+"/crcw-combining", func(b *testing.B) {
 			cost := 0
 			for i := 0; i < b.N; i++ {
-				e := emul.New(net, emul.Config{Memory: 1 << 24, Seed: benchSeed + uint64(i), Combine: true})
+				e := benchEmul(net, emul.Config{Memory: 1 << 24, Seed: benchSeed + uint64(i), Combine: true})
 				_, c := e.RouteRequests(workload.CRCWStep(net.Nodes(), 12345))
 				cost += c
 			}
@@ -165,16 +212,16 @@ func BenchmarkE6StarVsHypercube(b *testing.B) {
 		name string
 		net  emul.Network
 	}{
-		{"star6-720", &emul.DirectNetwork{Topo: star.New(6)}},
-		{"cube10-1024", &emul.DirectNetwork{Topo: hypercube.New(10)}},
-		{"star7-5040", &emul.DirectNetwork{Topo: star.New(7)}},
-		{"cube12-4096", &emul.DirectNetwork{Topo: hypercube.New(12)}},
+		{"star6-720", benchDirectNet("star", topology.Params{N: 6})},
+		{"cube10-1024", benchDirectNet("hypercube", topology.Params{N: 10})},
+		{"star7-5040", benchDirectNet("star", topology.Params{N: 7})},
+		{"cube12-4096", benchDirectNet("hypercube", topology.Params{N: 12})},
 	}
 	for _, cfg := range configs {
 		b.Run(cfg.name, func(b *testing.B) {
 			cost := 0
 			for i := 0; i < b.N; i++ {
-				e := emul.New(cfg.net, emul.Config{Memory: 1 << 24, Seed: benchSeed + uint64(i)})
+				e := benchEmul(cfg.net, emul.Config{Memory: 1 << 24, Seed: benchSeed + uint64(i)})
 				_, c := e.RouteRequests(workload.RandomStep(cfg.net.Nodes(), 1<<24, false, uint64(i)*3))
 				cost += c
 			}
@@ -219,7 +266,7 @@ func BenchmarkE8MeshEmulation(b *testing.B) {
 				cost := 0
 				for i := 0; i < b.N; i++ {
 					net := &emul.MeshNetwork{G: g, Scheme: scheme.s}
-					e := emul.New(net, emul.Config{Memory: 1 << 26, Seed: benchSeed + uint64(i)})
+					e := benchEmul(net, emul.Config{Memory: 1 << 26, Seed: benchSeed + uint64(i)})
 					_, c := e.RouteRequests(workload.RandomStep(g.Nodes(), 1<<26, false, uint64(i)*5))
 					cost += c
 				}
@@ -276,10 +323,9 @@ func BenchmarkE10QueueSizes(b *testing.B) {
 // BenchmarkE11Rehash — §2.1: rehash frequency across emulated steps
 // (expected: zero on healthy configurations).
 func BenchmarkE11Rehash(b *testing.B) {
-	g := star.New(5)
-	net := &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
+	net := benchNet("star", topology.Params{N: 5})
 	b.Run("star5", func(b *testing.B) {
-		e := emul.New(net, emul.Config{Memory: 1 << 22, Seed: benchSeed})
+		e := benchEmul(net, emul.Config{Memory: 1 << 22, Seed: benchSeed})
 		for i := 0; i < b.N; i++ {
 			e.RouteRequests(workload.RandomStep(net.Nodes(), 1<<22, i%2 == 0, uint64(i)))
 		}
@@ -376,6 +422,36 @@ func BenchmarkE13ParallelEngine(b *testing.B) {
 			b.ReportMetric(float64(rounds)/seqNS.Seconds(), "seq_rounds/sec")
 			b.ReportMetric(float64(rounds)/parNS.Seconds(), "par_rounds/sec")
 			b.ReportMetric(seqNS.Seconds()/parNS.Seconds(), "speedup")
+		})
+	}
+}
+
+// BenchmarkE14CrossFamily — the topology-registry payoff: permutation
+// routing priced on every registered family at comparable sizes, with
+// rounds/diam as the reported metric. The paper's framework predicts
+// a modest constant on every family — including the four registered
+// after the refactor (pancake, ttree, torus, debruijn) — because the
+// two-phase argument only uses the unique-path structure, never the
+// family identity.
+func BenchmarkE14CrossFamily(b *testing.B) {
+	sizes := experiments.CrossFamilySizes(false)
+	for _, name := range topology.Names() {
+		bt, err := topology.Build(name, sizes[name])
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+		b.Run(name, func(b *testing.B) {
+			rounds := 0
+			for i := 0; i < b.N; i++ {
+				pkts := workload.Permutation(bt.Nodes(), packet.Transit, benchSeed+uint64(i))
+				if bt.Spec != nil {
+					rounds += leveled.Route(bt.Spec, pkts, leveled.Options{Seed: uint64(i) * 23}).Rounds
+				} else {
+					rounds += mustSim(bt.Graph, pkts, simnet.Options{Seed: uint64(i) * 23}).Rounds
+				}
+			}
+			b.ReportMetric(float64(rounds)/float64(b.N)/float64(bt.Diameter()), "rounds/diam")
+			b.ReportMetric(float64(bt.Diameter()), "diam")
 		})
 	}
 }

@@ -1,15 +1,19 @@
 // Command pramemu runs a PRAM algorithm from the library on a chosen
 // emulated network and reports the PRAM step count, the emulated
 // network time, and the slowdown per step — the quantity the paper's
-// emulation theorems bound by the network diameter.
+// emulation theorems bound by the network diameter. Networks are
+// selected by topology-registry name, so every registered family
+// (including pancake, ttree, torus and debruijn) emulates without
+// command changes.
 //
 // Examples:
 //
 //	pramemu -alg prefixsum -net star -n 5
 //	pramemu -alg sort -net shuffle -n 3
-//	pramemu -alg maxcrcw -net star -n 5 -combine
+//	pramemu -alg maxcrcw -net pancake -n 5 -combine
 //	pramemu -alg matmul -net mesh -n 8
-//	pramemu -alg prefixsum -net star -n 6 -workers 8
+//	pramemu -alg listrank -net torus -n 8 -k 3
+//	pramemu -alg prefixsum -net debruijn -n 9 -workers 8
 package main
 
 import (
@@ -20,24 +24,24 @@ import (
 
 	"pramemu/internal/algorithms"
 	"pramemu/internal/emul"
-	"pramemu/internal/hypercube"
 	"pramemu/internal/mesh"
 	"pramemu/internal/pram"
 	"pramemu/internal/prng"
-	"pramemu/internal/shuffle"
-	"pramemu/internal/star"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
 )
 
 func main() {
 	algName := flag.String("alg", "prefixsum", "algorithm: prefixsum, sort, listrank, maxcrcw, matmul, broadcast")
-	netName := flag.String("net", "star", "network: star, shuffle, hypercube, mesh, ideal")
-	n := flag.Int("n", 5, "network size parameter")
+	netName := flag.String("net", "star", "network family from the topology registry, or \"ideal\"")
+	n := flag.Int("n", 5, "primary network size parameter")
+	k := flag.Int("k", 0, "secondary network size parameter (0 = family default)")
 	seed := flag.Uint64("seed", 1991, "random seed")
 	combine := flag.Bool("combine", false, "enable CRCW combining in the network")
 	workers := flag.Int("workers", 0, "round-engine workers (0 = GOMAXPROCS, 1 = sequential; identical results either way)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *algName, *netName, *n, *seed, *combine, *workers); err != nil {
+	if err := run(os.Stdout, *algName, *netName, *n, *k, *seed, *combine, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "pramemu: %v\n", err)
 		os.Exit(1)
 	}
@@ -45,8 +49,8 @@ func main() {
 
 // run executes one invocation, writing the report to w. It is the
 // testable core of the command.
-func run(w io.Writer, algName, netName string, n int, seed uint64, combine bool, workers int) error {
-	net, err := buildNetwork(netName, n)
+func run(w io.Writer, algName, netName string, n, k int, seed uint64, combine bool, workers int) error {
+	net, err := buildNetwork(netName, n, k)
 	if err != nil {
 		return err
 	}
@@ -71,7 +75,10 @@ func run(w io.Writer, algName, netName string, n int, seed uint64, combine bool,
 	diam := 1
 	var e *emul.Emulator
 	if net != nil {
-		e = emul.New(net, emul.Config{Memory: 1 << 24, Seed: seed, Combine: combine, Workers: workers})
+		e, err = emul.New(net, emul.Config{Memory: 1 << 24, Seed: seed, Combine: combine, Workers: workers})
+		if err != nil {
+			return err
+		}
 		exec = e
 		netLabel = net.Name()
 		diam = net.Diameter()
@@ -99,24 +106,22 @@ func run(w io.Writer, algName, netName string, n int, seed uint64, combine bool,
 	return nil
 }
 
-// buildNetwork returns nil for the ideal machine.
-func buildNetwork(name string, n int) (emul.Network, error) {
-	switch name {
-	case "ideal":
+// buildNetwork resolves the name through the topology registry and
+// adapts the result for the emulator; nil means the ideal machine.
+// The mesh keeps its specialized §3.3 two-phase scheme; every other
+// family goes through the generic topology adapter.
+func buildNetwork(name string, n, k int) (emul.Network, error) {
+	if name == "ideal" {
 		return nil, nil
-	case "star":
-		g := star.New(n)
-		return &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}, nil
-	case "shuffle":
-		g := shuffle.NewNWay(n)
-		return &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}, nil
-	case "hypercube":
-		return &emul.DirectNetwork{Topo: hypercube.New(n)}, nil
-	case "mesh":
-		return &emul.MeshNetwork{G: mesh.New(n)}, nil
-	default:
-		return nil, fmt.Errorf("unknown network %q", name)
 	}
+	b, err := topology.Build(name, topology.Params{N: n, K: k})
+	if err != nil {
+		return nil, err
+	}
+	if g, ok := b.Graph.(*mesh.Grid); ok {
+		return &emul.MeshNetwork{G: g}, nil
+	}
+	return emul.NewTopologyNetwork(b)
 }
 
 // buildAlgorithm returns the machine variant and a closure running the

@@ -10,7 +10,7 @@ import (
 
 func TestRunPrefixSumOnStar(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "prefixsum", "star", 4, 7, false, 2); err != nil {
+	if err := run(&b, "prefixsum", "star", 4, 0, 7, false, 2); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -23,7 +23,7 @@ func TestRunPrefixSumOnStar(t *testing.T) {
 
 func TestRunIdealMachine(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "broadcast", "ideal", 5, 7, false, 1); err != nil {
+	if err := run(&b, "broadcast", "ideal", 5, 0, 7, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "ideal PRAM") {
@@ -33,7 +33,7 @@ func TestRunIdealMachine(t *testing.T) {
 
 func TestRunCombiningOnCRCW(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "maxcrcw", "shuffle", 3, 7, true, 2); err != nil {
+	if err := run(&b, "maxcrcw", "shuffle", 3, 0, 7, true, 2); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "per step") {
@@ -41,12 +41,38 @@ func TestRunCombiningOnCRCW(t *testing.T) {
 	}
 }
 
+// TestRunNewFamilies drives the registry payoff end to end: the four
+// families added with the unified topology layer emulate PRAM
+// programs with no pramemu-side changes, under a parallel engine.
+func TestRunNewFamilies(t *testing.T) {
+	for _, cfg := range []struct {
+		net  string
+		n, k int
+	}{
+		{"pancake", 4, 0},  // 24 nodes
+		{"ttree", 4, 1},    // 24 nodes, binary tree
+		{"torus", 4, 2},    // 16 nodes
+		{"debruijn", 4, 2}, // 16 nodes
+	} {
+		var b strings.Builder
+		if err := run(&b, "prefixsum", cfg.net, cfg.n, cfg.k, 7, false, 2); err != nil {
+			t.Fatalf("%s: %v", cfg.net, err)
+		}
+		if !strings.Contains(b.String(), cfg.net) {
+			t.Fatalf("%s: report does not name the network:\n%s", cfg.net, b.String())
+		}
+	}
+}
+
 func TestRunRejectsUnknowns(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "prefixsum", "torus", 4, 7, false, 1); err == nil {
+	if err := run(&b, "prefixsum", "moebius", 4, 0, 7, false, 1); err == nil {
 		t.Fatal("unknown network accepted")
 	}
-	if err := run(&b, "quantum", "star", 4, 7, false, 1); err == nil {
+	if err := run(&b, "quantum", "star", 4, 0, 7, false, 1); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+	if err := run(&b, "prefixsum", "star", 99, 0, 7, false, 1); err == nil {
+		t.Fatal("out-of-range star size accepted")
 	}
 }

@@ -1,30 +1,45 @@
 // Command routebench runs a single routing experiment with explicit
 // parameters and prints one line of statistics — the interactive
 // companion to cmd/tables for exploring the routing algorithms.
+// Networks are selected by topology-registry name, so every
+// registered family (including pancake, ttree, torus and debruijn)
+// runs without command changes; -list prints the registry.
+//
+// Point-to-point families route directly on the graph (Algorithm
+// 2.2) by default; pass -leveled for the Algorithm 2.1 unrolling
+// where one exists. (Before the registry, star and shuffle defaulted
+// to the leveled view — report lines for those two changed with that
+// unification, and the mesh line now normalizes by the diameter
+// 2(n-1) as rounds/diam instead of rounds/n.) Leveled-only families
+// (butterfly) always route on their unrolling.
 //
 // Examples:
 //
 //	routebench -net star -n 6 -workload perm
+//	routebench -net pancake -n 6 -workload relation
+//	routebench -net torus -n 16 -k 2 -workload transpose
+//	routebench -net debruijn -n 10 -workload bitrev -leveled
 //	routebench -net mesh -n 128 -workload transpose -alg greedy
-//	routebench -net shuffle -n 5 -workload relation -trials 10
+//	routebench -net ttree -n 6 -k 1 -workload perm -workers 8
 //	routebench -net butterfly -n 12 -workload bitrev -skipphase1
-//	routebench -net star -n 7 -workload relation -workers 8
+//	routebench -net star -n 7 -workload relation -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
-	"pramemu/internal/hypercube"
 	"pramemu/internal/leveled"
 	"pramemu/internal/mathx"
 	"pramemu/internal/mesh"
 	"pramemu/internal/packet"
-	"pramemu/internal/shuffle"
 	"pramemu/internal/simnet"
-	"pramemu/internal/star"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
 	"pramemu/internal/workload"
 )
 
@@ -32,6 +47,7 @@ import (
 type config struct {
 	net        string
 	n          int
+	k          int
 	workload   string
 	alg        string
 	disc       string
@@ -39,13 +55,17 @@ type config struct {
 	trials     int
 	seed       uint64
 	skipPhase1 bool
+	useLeveled bool
+	jsonOut    bool
 	workers    int
+	list       bool
 }
 
 func main() {
 	cfg := config{}
-	flag.StringVar(&cfg.net, "net", "star", "network: star, shuffle, butterfly, hypercube, mesh")
-	flag.IntVar(&cfg.n, "n", 5, "network size parameter (star n, shuffle n, butterfly/hypercube dimension, mesh side)")
+	flag.StringVar(&cfg.net, "net", "star", "network family from the topology registry (see -list)")
+	flag.IntVar(&cfg.n, "n", 5, "primary size parameter (star/pancake/ttree n, shuffle/debruijn digits, butterfly/hypercube dimension, mesh side, torus radix)")
+	flag.IntVar(&cfg.k, "k", 0, "secondary size parameter where one exists (shuffle/debruijn alphabet, torus dimensions, ttree shape); 0 = family default")
 	flag.StringVar(&cfg.workload, "workload", "perm", "workload: perm, relation, bitrev, transpose, local, hotspot")
 	flag.StringVar(&cfg.alg, "alg", "threestage", "mesh algorithm: threestage, vb, greedy")
 	flag.StringVar(&cfg.disc, "disc", "furthest", "mesh discipline: furthest, fifo")
@@ -53,7 +73,10 @@ func main() {
 	flag.IntVar(&cfg.trials, "trials", 5, "number of seeded trials")
 	flag.Uint64Var(&cfg.seed, "seed", 1991, "base seed")
 	flag.BoolVar(&cfg.skipPhase1, "skipphase1", false, "disable the randomizing phase (ablation)")
+	flag.BoolVar(&cfg.useLeveled, "leveled", false, "route on the leveled unrolling (Algorithm 2.1) when the family has one")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit one JSON object instead of the report line (for BENCH_*.json artifacts)")
 	flag.IntVar(&cfg.workers, "workers", 0, "round-engine workers (0 = GOMAXPROCS, 1 = sequential; identical results either way)")
+	flag.BoolVar(&cfg.list, "list", false, "list the registered network families and exit")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -62,21 +85,92 @@ func main() {
 	}
 }
 
+// result aggregates the trials of one invocation; it doubles as the
+// -json schema, so bench trajectories can be captured as
+// BENCH_*.json artifacts.
+type result struct {
+	Family        string  `json:"family"`
+	Topology      string  `json:"topology"`
+	Nodes         int     `json:"nodes"`
+	Diameter      int     `json:"diameter"`
+	Workload      string  `json:"workload"`
+	Algorithm     string  `json:"algorithm,omitempty"`
+	Workers       int     `json:"workers"`
+	Trials        int     `json:"trials"`
+	Seed          uint64  `json:"seed"`
+	RoundsMean    float64 `json:"rounds_mean"`
+	RoundsMax     int     `json:"rounds_max"`
+	RoundsPerDiam float64 `json:"rounds_per_diam"`
+	MaxQueue      int     `json:"max_queue"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	RoundsPerSec  float64 `json:"rounds_per_sec"`
+}
+
 // run executes one invocation, writing the report to w. It is the
 // testable core of the command.
 func run(w io.Writer, cfg config) error {
-	switch cfg.net {
-	case "mesh":
-		return runMesh(w, cfg)
-	case "star", "shuffle", "butterfly", "hypercube":
-		return runPointToPoint(w, cfg)
-	default:
-		return fmt.Errorf("unknown network %q", cfg.net)
+	if cfg.list {
+		for _, name := range topology.Names() {
+			f, _ := topology.Lookup(name)
+			fmt.Fprintf(w, "%-10s %s\n", name, f.Params)
+		}
+		return nil
 	}
+	b, err := topology.Build(cfg.net, topology.Params{N: cfg.n, K: cfg.k})
+	if err != nil {
+		return err
+	}
+	if cfg.useLeveled && b.Spec == nil {
+		return fmt.Errorf("%s has no leveled unrolling", b.Name())
+	}
+	// Both routers key links on 24-bit node ids; reject oversized
+	// graphs before any per-node workload is allocated.
+	if b.Nodes() > topology.MaxNodes {
+		return fmt.Errorf("%s has %d nodes, exceeding the simulator's 24-bit key space", b.Name(), b.Nodes())
+	}
+	// The mesh keeps its specialized §3.4 router (three-stage slices,
+	// queue disciplines); every other family routes generically.
+	if g, ok := b.Graph.(*mesh.Grid); ok {
+		return runMesh(w, g, cfg)
+	}
+	return runGeneric(w, b, cfg)
 }
 
-func runMesh(w io.Writer, cfg config) error {
-	g := mesh.New(cfg.n)
+// report renders res as the human line or the JSON object.
+func report(w io.Writer, cfg config, res result, rounds []int, elapsed time.Duration) error {
+	res.Workload = cfg.workload
+	res.Workers = cfg.workers
+	res.Trials = cfg.trials
+	res.Seed = cfg.seed
+	res.RoundsMean = mathx.MeanInts(rounds)
+	res.RoundsMax = mathx.MaxInts(rounds)
+	if res.Diameter > 0 {
+		res.RoundsPerDiam = res.RoundsMean / float64(res.Diameter)
+	}
+	res.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+	if elapsed > 0 {
+		total := 0
+		for _, r := range rounds {
+			total += r
+		}
+		res.RoundsPerSec = float64(total) / elapsed.Seconds()
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(w)
+		return enc.Encode(res)
+	}
+	if res.Algorithm != "" {
+		fmt.Fprintf(w, "%s %s alg=%s: rounds mean=%.1f max=%d (rounds/diam=%.2f) maxQ=%d\n",
+			res.Topology, res.Workload, res.Algorithm, res.RoundsMean, res.RoundsMax,
+			res.RoundsPerDiam, res.MaxQueue)
+		return nil
+	}
+	fmt.Fprintf(w, "%s %s: rounds mean=%.1f max=%d maxQ=%d (N=%d)\n",
+		res.Topology, res.Workload, res.RoundsMean, res.RoundsMax, res.MaxQueue, res.Nodes)
+	return nil
+}
+
+func runMesh(w io.Writer, g *mesh.Grid, cfg config) error {
 	opts := mesh.Options{Workers: cfg.workers}
 	switch cfg.alg {
 	case "threestage":
@@ -88,11 +182,17 @@ func runMesh(w io.Writer, cfg config) error {
 	default:
 		return fmt.Errorf("unknown mesh algorithm %q", cfg.alg)
 	}
-	if cfg.disc == "fifo" {
+	switch cfg.disc {
+	case "furthest", "":
+		opts.Discipline = mesh.FurthestFirst
+	case "fifo":
 		opts.Discipline = mesh.FIFODiscipline
+	default:
+		return fmt.Errorf("unknown mesh discipline %q", cfg.disc)
 	}
 	rounds := make([]int, 0, cfg.trials)
 	maxQ := 0
+	start := time.Now()
 	for trial := 0; trial < cfg.trials; trial++ {
 		s := cfg.seed + uint64(trial)
 		var pkts []*packet.Packet
@@ -115,62 +215,41 @@ func runMesh(w io.Writer, cfg config) error {
 			maxQ = st.MaxQueue
 		}
 	}
-	fmt.Fprintf(w, "%s %s alg=%s: rounds mean=%.1f max=%d (rounds/n=%.2f) maxQ=%d\n",
-		g.Name(), cfg.workload, cfg.alg, mathx.MeanInts(rounds), mathx.MaxInts(rounds),
-		mathx.MeanInts(rounds)/float64(cfg.n), maxQ)
-	return nil
+	return report(w, cfg, result{
+		Family:    cfg.net,
+		Topology:  g.Name(),
+		Nodes:     g.Nodes(),
+		Diameter:  g.Diameter(),
+		Algorithm: cfg.alg,
+		MaxQueue:  maxQ,
+	}, rounds, time.Since(start))
 }
 
-func runPointToPoint(w io.Writer, cfg config) error {
-	var topo simnet.Topology
-	var spec leveled.Spec
-	switch cfg.net {
-	case "star":
-		g := star.New(cfg.n)
-		topo = g
-		spec = g.AsLeveled()
-	case "shuffle":
-		g := shuffle.NewNWay(cfg.n)
-		topo = g
-		spec = g.AsLeveled()
-	case "butterfly":
-		spec = leveled.NewButterfly(cfg.n)
-	case "hypercube":
-		topo = hypercube.New(cfg.n)
-	}
-	nodes := 0
-	if spec != nil {
-		nodes = spec.Width()
-	} else {
-		nodes = topo.Nodes()
-	}
+func runGeneric(w io.Writer, b topology.Built, cfg config) error {
+	useSpec := b.Graph == nil || (cfg.useLeveled && b.Spec != nil)
+	nodes := b.Nodes()
 	rounds := make([]int, 0, cfg.trials)
 	maxQ := 0
+	start := time.Now()
 	for trial := 0; trial < cfg.trials; trial++ {
 		s := cfg.seed + uint64(trial)
-		var pkts []*packet.Packet
-		switch cfg.workload {
-		case "perm":
-			pkts = workload.Permutation(nodes, packet.Transit, s)
-		case "relation":
-			pkts = workload.Relation(nodes, max(2, cfg.n), packet.Transit, s)
-		case "bitrev":
-			pkts = workload.BitReversal(nodes, packet.Transit)
-		case "hotspot":
-			pkts = workload.HotSpot(nodes, 0.5, 0, s)
-		default:
-			return fmt.Errorf("unknown workload %q", cfg.workload)
+		pkts, err := buildWorkload(cfg, nodes, s)
+		if err != nil {
+			return err
 		}
 		var r, q int
-		if spec != nil {
-			st := leveled.Route(spec, pkts, leveled.Options{
+		if useSpec {
+			st := leveled.Route(b.Spec, pkts, leveled.Options{
 				Seed: s * 31, SkipPhase1: cfg.skipPhase1, Workers: cfg.workers,
 			})
 			r, q = st.Rounds, st.MaxQueue
 		} else {
-			st := simnet.Route(topo, pkts, simnet.Options{
+			st, err := simnet.Route(b.Graph, pkts, simnet.Options{
 				Seed: s * 31, SkipPhase1: cfg.skipPhase1, Workers: cfg.workers,
 			})
+			if err != nil {
+				return err
+			}
 			r, q = st.Rounds, st.MaxQueue
 		}
 		rounds = append(rounds, r)
@@ -178,15 +257,41 @@ func runPointToPoint(w io.Writer, cfg config) error {
 			maxQ = q
 		}
 	}
-	name := cfg.net
-	if spec != nil {
-		name = spec.Name()
-	} else {
-		name = topo.Name()
+	name := b.Name()
+	if useSpec {
+		name = b.Spec.Name()
 	}
-	fmt.Fprintf(w, "%s %s: rounds mean=%.1f max=%d maxQ=%d (N=%d)\n",
-		name, cfg.workload, mathx.MeanInts(rounds), mathx.MaxInts(rounds), maxQ, nodes)
-	return nil
+	return report(w, cfg, result{
+		Family:   cfg.net,
+		Topology: name,
+		Nodes:    nodes,
+		Diameter: b.Diameter(),
+		MaxQueue: maxQ,
+	}, rounds, time.Since(start))
+}
+
+// buildWorkload realizes the named request pattern on nodes.
+func buildWorkload(cfg config, nodes int, seed uint64) ([]*packet.Packet, error) {
+	switch cfg.workload {
+	case "perm":
+		return workload.Permutation(nodes, packet.Transit, seed), nil
+	case "relation":
+		return workload.Relation(nodes, max(2, cfg.n), packet.Transit, seed), nil
+	case "bitrev":
+		if nodes&(nodes-1) != 0 {
+			return nil, fmt.Errorf("workload bitrev needs a power-of-two node count, have %d", nodes)
+		}
+		return workload.BitReversal(nodes, packet.Transit), nil
+	case "transpose":
+		if !workload.IsSquare(nodes) {
+			return nil, fmt.Errorf("workload transpose needs a square node count, have %d", nodes)
+		}
+		return workload.TransposeSquare(nodes, packet.Transit), nil
+	case "hotspot":
+		return workload.HotSpot(nodes, 0.5, 0, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", cfg.workload)
+	}
 }
 
 func max(a, b int) int {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 // configuration and assert the report line comes out clean.
 
 func TestRunPointToPointSmoke(t *testing.T) {
-	for _, net := range []string{"star", "shuffle", "butterfly", "hypercube"} {
+	for _, net := range []string{"star", "shuffle", "butterfly", "hypercube", "pancake", "ttree", "debruijn"} {
 		var b strings.Builder
 		cfg := config{net: net, n: 3, workload: "perm", trials: 1, seed: 7, workers: 2}
 		if err := run(&b, cfg); err != nil {
@@ -17,6 +18,57 @@ func TestRunPointToPointSmoke(t *testing.T) {
 		}
 		if !strings.Contains(b.String(), "rounds mean=") {
 			t.Fatalf("%s: unexpected report %q", net, b.String())
+		}
+	}
+}
+
+func TestRunTorusSmoke(t *testing.T) {
+	var b strings.Builder
+	cfg := config{net: "torus", n: 4, k: 3, workload: "perm", trials: 1, seed: 7, workers: 2}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "torus(k=4,n=3)") {
+		t.Fatalf("unexpected report %q", b.String())
+	}
+}
+
+func TestRunLeveledViewSmoke(t *testing.T) {
+	// -leveled routes on the unrolling when the family has one
+	// (Algorithm 2.1 on the de Bruijn graph here).
+	var b strings.Builder
+	cfg := config{net: "debruijn", n: 4, k: 2, workload: "perm", trials: 1, seed: 7, useLeveled: true}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "debruijn-leveled") {
+		t.Fatalf("unexpected report %q", b.String())
+	}
+	// ...and errors cleanly when it has none — including on the mesh,
+	// which dispatches to its specialized router.
+	if err := run(&b, config{net: "torus", n: 4, workload: "perm", trials: 1, useLeveled: true}); err == nil {
+		t.Fatal("leveled view of the torus accepted")
+	}
+	if err := run(&b, config{net: "mesh", n: 8, workload: "perm", alg: "threestage", trials: 1, useLeveled: true}); err == nil {
+		t.Fatal("leveled view of the mesh accepted")
+	}
+}
+
+func TestRunRejectsOversizedGraphsBeforeAllocating(t *testing.T) {
+	// A 2^25-node de Bruijn graph builds in O(1); the command must
+	// refuse it with an error before materializing any per-node
+	// workload, on both the direct and the leveled path.
+	for _, cfg := range []config{
+		{net: "debruijn", n: 25, k: 2, workload: "perm", trials: 1},
+		{net: "debruijn", n: 25, k: 2, workload: "perm", trials: 1, useLeveled: true},
+	} {
+		var b strings.Builder
+		err := run(&b, cfg)
+		if err == nil {
+			t.Fatalf("%+v accepted", cfg)
+		}
+		if !strings.Contains(err.Error(), "key space") {
+			t.Fatalf("unexpected error: %v", err)
 		}
 	}
 }
@@ -32,9 +84,72 @@ func TestRunMeshSmoke(t *testing.T) {
 	}
 }
 
+func TestRunTransposeOnTorus(t *testing.T) {
+	var b strings.Builder
+	cfg := config{net: "torus", n: 8, k: 2, workload: "transpose", trials: 1, seed: 7}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "transpose") {
+		t.Fatalf("unexpected report %q", b.String())
+	}
+	// Non-square node counts (5^3 = 125) reject the workload cleanly.
+	if err := run(&b, config{net: "torus", n: 5, k: 3, workload: "transpose", trials: 1}); err == nil {
+		t.Fatal("transpose accepted on a non-square torus")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var b strings.Builder
+	cfg := config{net: "star", n: 4, workload: "perm", trials: 2, seed: 7, jsonOut: true, workers: 2}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal([]byte(b.String()), &res); err != nil {
+		t.Fatalf("output is not one JSON object: %v\n%s", err, b.String())
+	}
+	if res.Family != "star" || res.Topology != "star(n=4)" || res.Nodes != 24 {
+		t.Fatalf("unexpected fields: %+v", res)
+	}
+	if res.Trials != 2 || res.Workers != 2 || res.RoundsMean <= 0 || res.RoundsMax <= 0 {
+		t.Fatalf("run metadata wrong: %+v", res)
+	}
+	if res.RoundsPerDiam <= 0 || res.ElapsedMS < 0 {
+		t.Fatalf("derived metrics wrong: %+v", res)
+	}
+}
+
+func TestRunJSONOnMesh(t *testing.T) {
+	var b strings.Builder
+	cfg := config{net: "mesh", n: 8, workload: "perm", alg: "threestage", trials: 1, seed: 7, jsonOut: true}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal([]byte(b.String()), &res); err != nil {
+		t.Fatalf("mesh JSON malformed: %v\n%s", err, b.String())
+	}
+	if res.Algorithm != "threestage" || res.Nodes != 64 {
+		t.Fatalf("unexpected fields: %+v", res)
+	}
+}
+
+func TestRunListsFamilies(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, config{list: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"star", "pancake", "ttree", "torus", "debruijn", "mesh", "butterfly"} {
+		if !strings.Contains(b.String(), name) {
+			t.Fatalf("-list missing %q:\n%s", name, b.String())
+		}
+	}
+}
+
 func TestRunRejectsUnknowns(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, config{net: "torus"}); err == nil {
+	if err := run(&b, config{net: "moebius"}); err == nil {
 		t.Fatal("unknown network accepted")
 	}
 	if err := run(&b, config{net: "mesh", n: 8, alg: "magic"}); err == nil {
@@ -42,5 +157,8 @@ func TestRunRejectsUnknowns(t *testing.T) {
 	}
 	if err := run(&b, config{net: "star", n: 3, workload: "nope", trials: 1, alg: "threestage"}); err == nil {
 		t.Fatal("unknown workload accepted")
+	}
+	if err := run(&b, config{net: "ttree", n: 5, k: 9, workload: "perm", trials: 1}); err == nil {
+		t.Fatal("unknown ttree shape accepted")
 	}
 }

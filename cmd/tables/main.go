@@ -52,6 +52,7 @@ func run(w io.Writer, o experiments.Options, only string) error {
 		{"E10", experiments.E10QueueSizes},
 		{"E11", experiments.E11Rehash},
 		{"E12", experiments.E12SortVsRoute},
+		{"E14", experiments.E14CrossFamily},
 	}
 	want := map[string]bool{}
 	if only != "" {

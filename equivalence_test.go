@@ -17,15 +17,27 @@ import (
 	"pramemu/internal/leveled"
 	"pramemu/internal/mesh"
 	"pramemu/internal/packet"
+	"pramemu/internal/pancake"
 	"pramemu/internal/prng"
 	"pramemu/internal/ranade"
 	"pramemu/internal/shuffle"
 	"pramemu/internal/simnet"
 	"pramemu/internal/star"
+	"pramemu/internal/torus"
 	"pramemu/internal/workload"
 
 	"pramemu/internal/hypercube"
 )
+
+// mustSimRoute wraps simnet.Route for the statically sized
+// equivalence topologies (all far below the key-space bound).
+func mustSimRoute(topo simnet.Topology, pkts []*packet.Packet, opts simnet.Options) simnet.Stats {
+	st, err := simnet.Route(topo, pkts, opts)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
 
 // ptrace is the observable outcome of one packet: if any field
 // differs between worker counts, the simulation diverged.
@@ -76,7 +88,7 @@ func equivalenceCases() []simCase {
 		{"star5", func(seed uint64, workers int) (any, []ptrace) {
 			g := star.New(5) // 120 nodes
 			pkts := readHotSpots(g.Nodes(), seed)
-			st := simnet.Route(g, pkts, simnet.Options{
+			st := mustSimRoute(g, pkts, simnet.Options{
 				Seed: seed * 31, Replies: true, Combine: true, Workers: workers,
 			})
 			return st, tracesOf(pkts)
@@ -84,7 +96,7 @@ func equivalenceCases() []simCase {
 		{"hypercube7", func(seed uint64, workers int) (any, []ptrace) {
 			g := hypercube.New(7) // 128 nodes
 			pkts := readHotSpots(g.Nodes(), seed)
-			st := simnet.Route(g, pkts, simnet.Options{
+			st := mustSimRoute(g, pkts, simnet.Options{
 				Seed: seed * 31, Replies: true, Combine: true, Workers: workers,
 			})
 			return st, tracesOf(pkts)
@@ -93,6 +105,22 @@ func equivalenceCases() []simCase {
 			g := shuffle.NewNWay(4) // 256 nodes
 			pkts := readHotSpots(g.Nodes(), seed)
 			st := leveled.Route(g.AsLeveled(), pkts, leveled.Options{
+				Seed: seed * 31, Replies: true, Combine: true, Workers: workers,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"pancake6", func(seed uint64, workers int) (any, []ptrace) {
+			g := pancake.New(6) // 720 nodes, greedy prefix-reversal paths
+			pkts := readHotSpots(g.Nodes(), seed)
+			st := mustSimRoute(g, pkts, simnet.Options{
+				Seed: seed * 31, Replies: true, Combine: true, Workers: workers,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"torus8x3", func(seed uint64, workers int) (any, []ptrace) {
+			g := torus.New(8, 3) // 512 nodes, wraparound dimension-order paths
+			pkts := readHotSpots(g.Nodes(), seed)
+			st := mustSimRoute(g, pkts, simnet.Options{
 				Seed: seed * 31, Replies: true, Combine: true, Workers: workers,
 			})
 			return st, tracesOf(pkts)
@@ -125,7 +153,7 @@ func equivalenceCases() []simCase {
 			// itself runs (and is raced) here.
 			g := hypercube.New(10)
 			pkts := readHotSpots(g.Nodes(), seed)
-			st := simnet.Route(g, pkts, simnet.Options{
+			st := mustSimRoute(g, pkts, simnet.Options{
 				Seed: seed * 31, Replies: true, Combine: true, Workers: workers,
 			})
 			return st, tracesOf(pkts)

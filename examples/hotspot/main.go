@@ -9,28 +9,43 @@ import (
 	"fmt"
 
 	"pramemu/internal/emul"
-	"pramemu/internal/star"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
 	"pramemu/internal/workload"
 )
 
 func main() {
-	g := star.New(6) // 720 nodes, diameter 7
-	net := &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
-	fmt.Printf("%s: %d processors, diameter %d\n", g.Name(), g.Nodes(), g.Diameter())
+	b, err := topology.Build("star", topology.Params{N: 6}) // 720 nodes, diameter 7
+	if err != nil {
+		panic(err)
+	}
+	net, err := emul.NewTopologyNetwork(b)
+	if err != nil {
+		panic(err)
+	}
+	nodes, diam := b.Nodes(), b.Diameter()
+	fmt.Printf("%s: %d processors, diameter %d\n", b.Name(), nodes, diam)
 	fmt.Println("all processors read one shared address (a fully concurrent CRCW step):")
 
+	mustEmul := func(combine bool) *emul.Emulator {
+		e, err := emul.New(net, emul.Config{Memory: 1 << 20, Seed: 8, Combine: combine})
+		if err != nil {
+			panic(err)
+		}
+		return e
+	}
 	for _, combine := range []bool{false, true} {
-		e := emul.New(net, emul.Config{Memory: 1 << 20, Seed: 8, Combine: combine})
-		stats, cost := e.RouteRequests(workload.CRCWStep(g.Nodes(), 4242))
+		e := mustEmul(combine)
+		stats, cost := e.RouteRequests(workload.CRCWStep(nodes, 4242))
 		fmt.Printf("  combining=%-5v  cost=%-5d rounds (%.1f x diameter), merges=%d, replies=%d\n",
-			combine, cost, float64(cost)/float64(g.Diameter()), stats.Merges, stats.Replies)
+			combine, cost, float64(cost)/float64(diam), stats.Merges, stats.Replies)
 	}
 
 	fmt.Println("\nand a partially hot workload (50% of reads hit one address):")
 	for _, combine := range []bool{false, true} {
-		e := emul.New(net, emul.Config{Memory: 1 << 20, Seed: 8, Combine: combine})
-		pkts := workload.HotSpot(g.Nodes(), 0.5, 0, 77)
-		reqs := workload.Requests(g.Nodes(), pkts)
+		e := mustEmul(combine)
+		pkts := workload.HotSpot(nodes, 0.5, 0, 77)
+		reqs := workload.Requests(nodes, pkts)
 		_, cost := e.RouteRequests(reqs)
 		fmt.Printf("  combining=%-5v  cost=%d rounds\n", combine, cost)
 	}

@@ -1,7 +1,9 @@
-// Prefixsum: run the same EREW prefix-sums program on the ideal PRAM,
-// on the 5-star graph, on the 4-way shuffle and on a hypercube of
-// comparable size — the portability the emulation theorems promise —
-// and compare the per-step emulation cost against each diameter.
+// Prefixsum: run the same EREW prefix-sums program on the ideal PRAM
+// and on a spread of emulated networks picked from the topology
+// registry — the star graph, the shuffle, the hypercube, plus two
+// families the registry made cheap to add (pancake, de Bruijn) — the
+// portability the emulation theorems promise — and compare the
+// per-step emulation cost against each diameter.
 package main
 
 import (
@@ -9,16 +11,19 @@ import (
 
 	"pramemu/internal/algorithms"
 	"pramemu/internal/emul"
-	"pramemu/internal/hypercube"
 	"pramemu/internal/pram"
-	"pramemu/internal/shuffle"
-	"pramemu/internal/star"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
 )
 
 func run(name string, net emul.Network, procs, diam int) {
 	var exec pram.StepExecutor = pram.Unit{}
 	if net != nil {
-		exec = emul.New(net, emul.Config{Memory: 1 << 20, Seed: 5})
+		e, err := emul.New(net, emul.Config{Memory: 1 << 20, Seed: 5})
+		if err != nil {
+			panic(err)
+		}
+		exec = e
 	}
 	m := pram.New(pram.Config{Procs: procs, Memory: 1 << 20, Variant: pram.EREW, Executor: exec})
 	for i := 0; i < procs; i++ {
@@ -37,18 +42,30 @@ func run(name string, net emul.Network, procs, diam int) {
 }
 
 func main() {
-	fmt.Println("EREW prefix sums, same program on four machines:")
+	fmt.Println("EREW prefix sums, same program on six machines:")
 	run("ideal PRAM", nil, 120, 1)
 
-	sg := star.New(5) // 120 nodes, diameter 6
-	run(sg.Name(), &emul.LeveledNetwork{Spec: sg.AsLeveled(), Diam: sg.Diameter()}, sg.Nodes(), sg.Diameter())
-
-	sh := shuffle.NewNWay(3) // 27 nodes, diameter 3
-	run(sh.Name(), &emul.LeveledNetwork{Spec: sh.AsLeveled(), Diam: sh.Diameter()}, sh.Nodes(), sh.Diameter())
-
-	hc := hypercube.New(7) // 128 nodes, diameter 7
-	run(hc.Name(), &emul.DirectNetwork{Topo: hc}, hc.Nodes(), hc.Diameter())
+	for _, sel := range []struct {
+		family string
+		p      topology.Params
+	}{
+		{"star", topology.Params{N: 5}},      // 120 nodes, diameter 6
+		{"shuffle", topology.Params{N: 3}},   // 27 nodes, diameter 3
+		{"hypercube", topology.Params{N: 7}}, // 128 nodes, diameter 7
+		{"pancake", topology.Params{N: 5}},   // 120 nodes, diameter 5
+		{"debruijn", topology.Params{N: 7}},  // 128 nodes, diameter 7
+	} {
+		b, err := topology.Build(sel.family, sel.p)
+		if err != nil {
+			panic(err)
+		}
+		net, err := emul.NewTopologyNetwork(b)
+		if err != nil {
+			panic(err)
+		}
+		run(b.Name(), net, b.Nodes(), b.Diameter())
+	}
 
 	fmt.Println("\nthe emulated cost per PRAM step tracks each network's diameter,")
-	fmt.Println("which for the star graph is sub-logarithmic in the node count.")
+	fmt.Println("which for the star and pancake graphs is sub-logarithmic in the node count.")
 }

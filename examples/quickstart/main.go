@@ -10,20 +10,30 @@ import (
 	"pramemu/internal/emul"
 	"pramemu/internal/packet"
 	"pramemu/internal/simnet"
-	"pramemu/internal/star"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
 	"pramemu/internal/workload"
 )
 
 func main() {
-	// 1. Build the 5-star graph: 120 nodes, degree 4, diameter 6 —
-	//    sub-logarithmic in the network size.
-	g := star.New(5)
+	// 1. Build the 5-star graph from the topology registry: 120
+	//    nodes, degree 4, diameter 6 — sub-logarithmic in the network
+	//    size. Any registered family name works here (pancake, torus,
+	//    debruijn, ttree, ...).
+	b, err := topology.Build("star", topology.Params{N: 5})
+	if err != nil {
+		panic(err)
+	}
+	g := b.Graph
 	fmt.Printf("network: %s, %d nodes, diameter %d\n", g.Name(), g.Nodes(), g.Diameter())
 
 	// 2. Permutation routing (Theorem 2.2): every node sends one
 	//    packet, destinations form a random permutation.
 	pkts := workload.Permutation(g.Nodes(), packet.Transit, 7)
-	stats := simnet.Route(g, pkts, simnet.Options{Seed: 42})
+	stats, err := simnet.Route(g, pkts, simnet.Options{Seed: 42})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("permutation routing: %d rounds (%.1f x diameter), max queue %d\n",
 		stats.Rounds, float64(stats.Rounds)/float64(g.Diameter()), stats.MaxQueue)
 
@@ -31,8 +41,14 @@ func main() {
 	//    reads a random shared-memory address; the Karlin-Upfal hash
 	//    scatters the address space over the 120 memory modules, and
 	//    the step costs Õ(diameter) network rounds.
-	net := &emul.DirectNetwork{Topo: g}
-	e := emul.New(net, emul.Config{Memory: 1 << 20, Seed: 99})
+	net, err := emul.NewDirectTopologyNetwork(b)
+	if err != nil {
+		panic(err)
+	}
+	e, err := emul.New(net, emul.Config{Memory: 1 << 20, Seed: 99})
+	if err != nil {
+		panic(err)
+	}
 	reqs := workload.RandomStep(g.Nodes(), 1<<20, false, 3)
 	_, cost := e.RouteRequests(reqs)
 	fmt.Printf("one EREW PRAM step: %d rounds (%.1f x diameter), hash = %d bits\n",

@@ -16,7 +16,8 @@ import (
 	"pramemu/internal/packet"
 	"pramemu/internal/pram"
 	"pramemu/internal/prng"
-	"pramemu/internal/shuffle"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
 	"pramemu/internal/workload"
 )
 
@@ -30,16 +31,26 @@ func main() {
 func run(w io.Writer, shuffleN, meshSide int) {
 	// Part 1: odd-even merge sort as a PRAM program, n keys on the
 	// shuffleN-way shuffle (n = shuffleN^shuffleN nodes).
-	sh := shuffle.NewNWay(shuffleN)
-	n := sh.Nodes()
-	net := &emul.LeveledNetwork{Spec: sh.AsLeveled(), Diam: sh.Diameter()}
+	b, err := topology.Build("shuffle", topology.Params{N: shuffleN})
+	if err != nil {
+		panic(err)
+	}
+	n := b.Nodes()
+	net, err := emul.NewTopologyNetwork(b)
+	if err != nil {
+		panic(err)
+	}
+	shuffleEmul, err := emul.New(net, emul.Config{Memory: 1 << 16, Seed: 2})
+	if err != nil {
+		panic(err)
+	}
 
 	for _, cfg := range []struct {
 		name string
 		exec pram.StepExecutor
 	}{
 		{"ideal PRAM", pram.Unit{}},
-		{sh.Name(), emul.New(net, emul.Config{Memory: 1 << 16, Seed: 2})},
+		{b.Name(), shuffleEmul},
 	} {
 		m := pram.New(pram.Config{Procs: n, Memory: 1 << 16, Variant: pram.EREW, Executor: cfg.exec})
 		src := prng.New(9)

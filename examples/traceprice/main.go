@@ -10,9 +10,9 @@ import (
 
 	"pramemu/internal/algorithms"
 	"pramemu/internal/emul"
-	"pramemu/internal/hypercube"
 	"pramemu/internal/pram"
-	"pramemu/internal/star"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
 )
 
 func main() {
@@ -33,16 +33,41 @@ func main() {
 	fmt.Printf("recorded %d PRAM steps of EREW prefix sums over %d processors\n\n",
 		len(trace), procs)
 
-	sg := star.New(5)
-	hc := hypercube.New(7)
-	networks := []emul.Network{
-		&emul.LeveledNetwork{Spec: sg.AsLeveled(), Diam: sg.Diameter()},
-		&emul.DirectNetwork{Topo: sg},
-		&emul.DirectNetwork{Topo: hc},
+	sb, err := topology.Build("star", topology.Params{N: 5})
+	if err != nil {
+		panic(err)
 	}
+	hb, err := topology.Build("hypercube", topology.Params{N: 7})
+	if err != nil {
+		panic(err)
+	}
+	pb, err := topology.Build("pancake", topology.Params{N: 5})
+	if err != nil {
+		panic(err)
+	}
+	starLeveled, err := emul.NewTopologyNetwork(sb) // Algorithm 2.1 on the unrolling
+	if err != nil {
+		panic(err)
+	}
+	starDirect, err := emul.NewDirectTopologyNetwork(sb) // Algorithm 2.2 on the graph
+	if err != nil {
+		panic(err)
+	}
+	cube, err := emul.NewTopologyNetwork(hb)
+	if err != nil {
+		panic(err)
+	}
+	pancakeNet, err := emul.NewTopologyNetwork(pb)
+	if err != nil {
+		panic(err)
+	}
+	networks := []emul.Network{starLeveled, starDirect, cube, pancakeNet}
 	fmt.Println("network                 diameter  total cost  cost/step  /diameter")
 	for _, net := range networks {
-		e := emul.New(net, emul.Config{Memory: mem, Seed: 31})
+		e, err := emul.New(net, emul.Config{Memory: mem, Seed: 31})
+		if err != nil {
+			panic(err)
+		}
 		cost := pram.Replay(trace, e)
 		perStep := float64(cost) / float64(len(trace))
 		fmt.Printf("%-22s  %-8d  %-10d  %-9.1f  %.2f\n",

@@ -7,7 +7,8 @@ import (
 	"pramemu/internal/emul"
 	"pramemu/internal/pram"
 	"pramemu/internal/prng"
-	"pramemu/internal/star"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
 )
 
 func TestPrefixSums(t *testing.T) {
@@ -219,9 +220,18 @@ func TestWrongProcCountPanics(t *testing.T) {
 // network rounds rather than 1.
 func TestPrefixSumsThroughStarEmulation(t *testing.T) {
 	const n = 24 // star n=4 has 24 nodes
-	g := star.New(4)
-	net := &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
-	e := emul.New(net, emul.Config{Memory: 64, Seed: 12})
+	b, err := topology.Build("star", topology.Params{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := emul.NewTopologyNetwork(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := emul.New(net, emul.Config{Memory: 64, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := pram.New(pram.Config{Procs: n, Memory: 64, Variant: pram.EREW, Executor: e})
 	for i := 0; i < n; i++ {
 		m.Store(uint64(i), 1)

@@ -1,0 +1,114 @@
+// Package debruijn implements the d-ary de Bruijn graph B(d, n): d^n
+// nodes labelled by n-digit base-d strings, node x linked to the
+// shift-and-append successors (x·d + a) mod d^n for every digit a.
+// Constant degree d with logarithmic diameter n makes it the
+// bounded-degree counterpart of the paper's leveled-network families:
+// like the d-way shuffle, between any two nodes there is a unique
+// walk of exactly n links (append dst's digits most-significant
+// first), so the graph unrolls into a leveled network of n+1 columns
+// and Algorithm 2.1's two-phase analysis applies directly.
+//
+// Construction is O(1) space, so arbitrarily large instances are
+// cheap to build — the simulator's key-space check is what bounds a
+// routable run, and it now fails with an error rather than a panic.
+package debruijn
+
+import (
+	"fmt"
+
+	"pramemu/internal/leveled"
+)
+
+// Graph is a d-ary de Bruijn graph on d^n nodes.
+type Graph struct {
+	d, n  int
+	nodes int
+}
+
+// New constructs B(d, n). It panics if d < 2, n < 1, or d^n exceeds
+// 2^30 (construction itself is O(1); the practical routing bound is
+// enforced by the simulator, which rejects oversized graphs with an
+// error).
+func New(d, n int) *Graph {
+	if d < 2 {
+		panic("debruijn: d must be >= 2")
+	}
+	if n < 1 {
+		panic("debruijn: n must be >= 1")
+	}
+	nodes := 1
+	for i := 0; i < n; i++ {
+		if nodes > (1<<30)/d {
+			panic("debruijn: d^n exceeds 2^30")
+		}
+		nodes *= d
+	}
+	return &Graph{d: d, n: n, nodes: nodes}
+}
+
+// D returns the digit alphabet size (and out-degree) d.
+func (g *Graph) D() int { return g.d }
+
+// Name implements topology.Graph.
+func (g *Graph) Name() string { return fmt.Sprintf("debruijn(d=%d,n=%d)", g.d, g.n) }
+
+// Nodes implements topology.Graph: d^n.
+func (g *Graph) Nodes() int { return g.nodes }
+
+// Degree implements topology.Graph: d shift-append links (self-loops
+// at the constant strings included, as in the standard definition).
+func (g *Graph) Degree(node int) int { return g.d }
+
+// Neighbor implements topology.Graph: shift the label up one digit
+// and append `slot`.
+func (g *Graph) Neighbor(node, slot int) int {
+	return (node*g.d + slot) % g.nodes
+}
+
+// Diameter implements topology.Graph: n.
+func (g *Graph) Diameter() int { return g.n }
+
+// NextHop implements topology.Graph. The unique fixed-length walk to
+// dst appends dst's digits from most to least significant; after n
+// appends the label equals dst regardless of the start, so arrival is
+// determined by the hop count, not by node identity.
+func (g *Graph) NextHop(node, dst, taken int) (slot int, done bool) {
+	if taken >= g.n {
+		if node != dst {
+			panic(fmt.Sprintf("debruijn: walk ended at %d, want %d", node, dst))
+		}
+		return 0, true
+	}
+	return g.digit(dst, g.n-1-taken), false
+}
+
+// TakenSensitive implements topology.TakenSensitive: unique walks
+// have fixed length n, so NextHop depends on the hops already taken
+// and combining requires equal progress.
+func (g *Graph) TakenSensitive() bool { return true }
+
+// digit returns base-d digit i of label (digit 0 least significant).
+func (g *Graph) digit(label, i int) int {
+	for ; i > 0; i-- {
+		label /= g.d
+	}
+	return label % g.d
+}
+
+// AsLeveled implements topology.Leveler: n+1 columns of d^n nodes,
+// level i appending digit n-1-i of the destination.
+func (g *Graph) AsLeveled() leveled.Spec { return &leveledDeBruijn{g} }
+
+type leveledDeBruijn struct{ g *Graph }
+
+func (s *leveledDeBruijn) Name() string {
+	return fmt.Sprintf("debruijn-leveled(d=%d,n=%d)", s.g.d, s.g.n)
+}
+func (s *leveledDeBruijn) Levels() int                   { return s.g.n + 1 }
+func (s *leveledDeBruijn) Width() int                    { return s.g.nodes }
+func (s *leveledDeBruijn) Degree() int                   { return s.g.d }
+func (s *leveledDeBruijn) OutDegree(level, node int) int { return s.g.d }
+func (s *leveledDeBruijn) Out(level, node, slot int) int { return s.g.Neighbor(node, slot) }
+func (s *leveledDeBruijn) NextHop(level, node, dst int) int {
+	return s.g.digit(dst, s.g.n-1-level)
+}

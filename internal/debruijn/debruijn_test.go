@@ -1,0 +1,112 @@
+package debruijn
+
+import (
+	"testing"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/simnet"
+)
+
+func TestBasicShape(t *testing.T) {
+	g := New(2, 4)
+	if g.Nodes() != 16 || g.Degree(0) != 2 || g.Diameter() != 4 {
+		t.Fatalf("B(2,4) shape (%d, %d, %d)", g.Nodes(), g.Degree(0), g.Diameter())
+	}
+	if !g.TakenSensitive() {
+		t.Fatal("fixed-length walks must be taken-sensitive")
+	}
+}
+
+func TestNeighborShiftAppend(t *testing.T) {
+	g := New(2, 3)
+	// 011 -> shift-append 1 -> 111; -> append 0 -> 110.
+	if got := g.Neighbor(3, 1); got != 7 {
+		t.Fatalf("neighbor(011, 1) = %03b, want 111", got)
+	}
+	if got := g.Neighbor(3, 0); got != 6 {
+		t.Fatalf("neighbor(011, 0) = %03b, want 110", got)
+	}
+	// The all-zero string has a self-loop on digit 0.
+	if got := g.Neighbor(0, 0); got != 0 {
+		t.Fatalf("neighbor(000, 0) = %d, want the self-loop", got)
+	}
+}
+
+func TestFixedLengthWalksExhaustive(t *testing.T) {
+	// Every pair on B(3,3): the unique walk takes exactly n hops and
+	// lands on dst regardless of the start.
+	g := New(3, 3)
+	for u := 0; u < g.Nodes(); u++ {
+		for v := 0; v < g.Nodes(); v++ {
+			at := u
+			for taken := 0; ; taken++ {
+				slot, done := g.NextHop(at, v, taken)
+				if done {
+					if taken != g.Diameter() {
+						t.Fatalf("walk %d->%d finished after %d hops, want %d", u, v, taken, g.Diameter())
+					}
+					break
+				}
+				at = g.Neighbor(at, slot)
+			}
+			if at != v {
+				t.Fatalf("walk %d->%d ended at %d", u, v, at)
+			}
+		}
+	}
+}
+
+func TestLeveledViewMatchesGraph(t *testing.T) {
+	g := New(2, 5)
+	spec := g.AsLeveled()
+	if spec.Levels() != 6 || spec.Width() != g.Nodes() || spec.Degree() != 2 {
+		t.Fatalf("leveled shape (%d, %d, %d)", spec.Levels(), spec.Width(), spec.Degree())
+	}
+	for level := 0; level < spec.Levels()-1; level++ {
+		for node := 0; node < spec.Width(); node += 3 {
+			for slot := 0; slot < 2; slot++ {
+				if spec.Out(level, node, slot) != g.Neighbor(node, slot) {
+					t.Fatalf("Out(%d, %d, %d) diverges from the graph", level, node, slot)
+				}
+			}
+			dst := (node * 11) % spec.Width()
+			wantSlot, _ := g.NextHop(node, dst, level)
+			if got := spec.NextHop(level, node, dst); got != wantSlot {
+				t.Fatalf("leveled NextHop(%d, %d, %d) = %d, want %d", level, node, dst, got, wantSlot)
+			}
+		}
+	}
+}
+
+func TestValiantPermutationRouting(t *testing.T) {
+	g := New(2, 8) // 256 nodes
+	perm := prng.New(6).Perm(g.Nodes())
+	pkts := make([]*packet.Packet, len(perm))
+	for i, dst := range perm {
+		pkts[i] = packet.New(i, i, dst, packet.Transit)
+	}
+	stats, err := simnet.Route(g, pkts, simnet.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeliveredRequests != g.Nodes() {
+		t.Fatalf("delivered %d/%d", stats.DeliveredRequests, g.Nodes())
+	}
+	// Two fixed-length phases of n hops each plus queueing delay.
+	if stats.Rounds < 2*g.Diameter() || stats.Rounds > 15*g.Diameter() {
+		t.Fatalf("rounds %d outside Õ(n) band for n=%d", stats.Rounds, g.Diameter())
+	}
+}
+
+func TestHugeConstructionIsCheapAndRejectedDownstream(t *testing.T) {
+	// Building B(2,25) is O(1); routing on it must fail with an error
+	// (the simulator's 24-bit key space), not a panic.
+	g := New(2, 25)
+	if g.Nodes() != 1<<25 {
+		t.Fatalf("nodes %d", g.Nodes())
+	}
+	if _, err := simnet.Route(g, nil, simnet.Options{Seed: 1}); err == nil {
+		t.Fatal("simnet accepted a 2^25-node graph")
+	}
+}

@@ -1,0 +1,19 @@
+package debruijn
+
+import "pramemu/internal/topology"
+
+func init() {
+	topology.Register(topology.Family{
+		Name:    "debruijn",
+		Params:  "N = digit count n >= 1 (default 10); K = alphabet d >= 2 (default 2); d^n nodes",
+		Theorem: "leveled-network framework at constant degree (§2.3.1)",
+		Build: func(p topology.Params) (topology.Built, error) {
+			n := topology.DefaultInt(p.N, 10)
+			d := topology.DefaultInt(p.K, 2)
+			if err := topology.CheckPow("debruijn", d, n, 1<<30); err != nil {
+				return topology.Built{}, err
+			}
+			return topology.Built{Graph: New(d, n)}, nil
+		},
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"pramemu/internal/hashing"
 	"pramemu/internal/packet"
 	"pramemu/internal/pram"
+	"pramemu/internal/topology"
 )
 
 // RouteStats is the network-independent summary of routing one
@@ -91,14 +92,21 @@ type Emulator struct {
 	threshold int
 }
 
-// New builds an emulator for the given network. It panics on
-// degenerate configuration.
-func New(net Network, cfg Config) *Emulator {
+// New builds an emulator for the given network. Degenerate
+// configurations (empty address space, more processors than
+// addresses, a network beyond the simulator's key space) come back
+// as errors so callers fail cleanly instead of crashing the process.
+func New(net Network, cfg Config) (*Emulator, error) {
 	if cfg.Memory == 0 {
-		panic("emul: address space must be non-empty")
+		return nil, fmt.Errorf("emul: address space must be non-empty")
 	}
 	if uint64(net.Nodes()) > cfg.Memory {
-		panic("emul: fewer addresses than processors makes EREW steps impossible")
+		return nil, fmt.Errorf("emul: %s has %d modules but only %d addresses; EREW steps would be impossible",
+			net.Name(), net.Nodes(), cfg.Memory)
+	}
+	if net.Nodes() > topology.MaxNodes {
+		return nil, fmt.Errorf("emul: %s has %d nodes, exceeding the simulator's 24-bit key space",
+			net.Name(), net.Nodes())
 	}
 	degree := cfg.HashDegree
 	if degree == 0 {
@@ -114,7 +122,7 @@ func New(net Network, cfg Config) *Emulator {
 		cfg:       cfg,
 		hash:      hashing.NewManager(class, cfg.Seed),
 		threshold: factor * net.Diameter(),
-	}
+	}, nil
 }
 
 // Network returns the emulated network.

@@ -3,58 +3,91 @@ package emul
 import (
 	"testing"
 
-	"pramemu/internal/hypercube"
-	"pramemu/internal/leveled"
 	"pramemu/internal/mesh"
 	"pramemu/internal/pram"
-	"pramemu/internal/shuffle"
-	"pramemu/internal/star"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
 	"pramemu/internal/workload"
 )
 
-func starNet(n int) Network {
-	g := star.New(n)
-	return &LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
+// registryNet builds a test network through the topology registry and
+// the generic adapter (leveled view preferred, as the emulator does).
+func registryNet(name string, p topology.Params) Network {
+	b, err := topology.Build(name, p)
+	if err != nil {
+		panic(err)
+	}
+	net, err := NewTopologyNetwork(b)
+	if err != nil {
+		panic(err)
+	}
+	return net
 }
+
+func starNet(n int) Network { return registryNet("star", topology.Params{N: n}) }
 
 func starDirect(n int) Network {
-	return &DirectNetwork{Topo: star.New(n)}
+	b, err := topology.Build("star", topology.Params{N: n})
+	if err != nil {
+		panic(err)
+	}
+	net, err := NewDirectTopologyNetwork(b)
+	if err != nil {
+		panic(err)
+	}
+	return net
 }
 
-func shuffleNet(n int) Network {
-	g := shuffle.NewNWay(n)
-	return &LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
-}
+func shuffleNet(n int) Network { return registryNet("shuffle", topology.Params{N: n}) }
 
-func cubeNet(k int) Network {
-	return &DirectNetwork{Topo: hypercube.New(k)}
-}
+func cubeNet(k int) Network { return registryNet("hypercube", topology.Params{N: k}) }
 
 func meshNet(n int) Network {
 	return &MeshNetwork{G: mesh.New(n)}
 }
 
-func TestNewPanics(t *testing.T) {
+// mustNew builds an emulator, failing the test process on config
+// errors (all test configs are meant to be valid).
+func mustNew(net Network, cfg Config) *Emulator {
+	e, err := New(net, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func TestNewRejectsDegenerateConfigs(t *testing.T) {
 	net := starNet(4)
 	for name, cfg := range map[string]Config{
 		"no memory":     {Memory: 0},
 		"too few addrs": {Memory: 5},
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("New(%s) should panic", name)
-				}
-			}()
-			New(net, cfg)
-		}()
+		if _, err := New(net, cfg); err == nil {
+			t.Errorf("New(%s) should return an error", name)
+		}
+	}
+}
+
+func TestOversizedNetworkFailsCleanly(t *testing.T) {
+	// A 2^25-node de Bruijn graph costs O(1) to build but exceeds the
+	// simulator's 24-bit key space; the adapter must reject it with an
+	// error instead of crashing the process mid-run.
+	b, err := topology.Build("debruijn", topology.Params{N: 25, K: 2})
+	if err != nil {
+		t.Fatalf("building the graph itself should be cheap and legal: %v", err)
+	}
+	if _, err := NewTopologyNetwork(b); err == nil {
+		t.Fatal("leveled adapter accepted a 2^25-node network")
+	}
+	if _, err := NewDirectTopologyNetwork(b); err == nil {
+		t.Fatal("direct adapter accepted a 2^25-node network")
 	}
 }
 
 func TestEREWStepOnEveryNetwork(t *testing.T) {
 	nets := []Network{starNet(5), starDirect(5), shuffleNet(3), cubeNet(7), meshNet(12)}
 	for _, net := range nets {
-		e := New(net, Config{Memory: 1 << 16, Seed: 11})
+		e := mustNew(net, Config{Memory: 1 << 16, Seed: 11})
 		reqs := workload.RandomStep(net.Nodes(), 1<<16, false, 3)
 		stats, cost := e.RouteRequests(reqs)
 		if stats.Requests != net.Nodes() {
@@ -74,7 +107,7 @@ func TestEREWStepOnEveryNetwork(t *testing.T) {
 
 func TestWriteStepHasNoReplies(t *testing.T) {
 	net := starNet(5)
-	e := New(net, Config{Memory: 1 << 16, Seed: 4})
+	e := mustNew(net, Config{Memory: 1 << 16, Seed: 4})
 	reqs := workload.RandomStep(net.Nodes(), 1<<16, true, 9)
 	stats, _ := e.RouteRequests(reqs)
 	if stats.Replies != 0 {
@@ -87,7 +120,7 @@ func TestWriteStepHasNoReplies(t *testing.T) {
 
 func TestCRCWHotSpotCombines(t *testing.T) {
 	net := starNet(5)
-	e := New(net, Config{Memory: 1 << 12, Seed: 7, Combine: true})
+	e := mustNew(net, Config{Memory: 1 << 12, Seed: 7, Combine: true})
 	reqs := workload.CRCWStep(net.Nodes(), 42)
 	stats, cost := e.RouteRequests(reqs)
 	if stats.Merges == 0 {
@@ -105,8 +138,8 @@ func TestCRCWHotSpotCombines(t *testing.T) {
 
 func TestCRCWHotSpotWithoutCombiningSerializes(t *testing.T) {
 	net := starNet(5)
-	with := New(net, Config{Memory: 1 << 12, Seed: 7, Combine: true})
-	without := New(net, Config{Memory: 1 << 12, Seed: 7, Combine: false})
+	with := mustNew(net, Config{Memory: 1 << 12, Seed: 7, Combine: true})
+	without := mustNew(net, Config{Memory: 1 << 12, Seed: 7, Combine: false})
 	reqs := workload.CRCWStep(net.Nodes(), 42)
 	_, costWith := with.RouteRequests(reqs)
 	_, costWithout := without.RouteRequests(reqs)
@@ -117,7 +150,7 @@ func TestCRCWHotSpotWithoutCombiningSerializes(t *testing.T) {
 
 func TestComputeOnlyStepCostsOne(t *testing.T) {
 	net := starNet(4)
-	e := New(net, Config{Memory: 1 << 10, Seed: 1})
+	e := mustNew(net, Config{Memory: 1 << 10, Seed: 1})
 	reqs := make([]pram.Request, net.Nodes())
 	for i := range reqs {
 		reqs[i] = pram.Request{Proc: i, Op: pram.OpNone}
@@ -141,7 +174,7 @@ func TestRehashOnDegenerateOverload(t *testing.T) {
 	// accounting API: Rehashes starts at zero and HashBits is the
 	// O(L log M) size.
 	net := starNet(4)
-	e := New(net, Config{Memory: 1 << 20, Seed: 2})
+	e := mustNew(net, Config{Memory: 1 << 20, Seed: 2})
 	if e.Rehashes() != 0 {
 		t.Fatal("fresh emulator has rehashes")
 	}
@@ -155,7 +188,7 @@ func TestEmulatorAsStepExecutor(t *testing.T) {
 	// Run a real PRAM program through the star-graph emulation and
 	// check both the results and the charged time.
 	net := starNet(4) // 24 processors
-	e := New(net, Config{Memory: 256, Seed: 5})
+	e := mustNew(net, Config{Memory: 256, Seed: 5})
 	m := pram.New(pram.Config{
 		Procs:    24,
 		Memory:   256,
@@ -191,8 +224,8 @@ func TestMeshTwoPhaseVsKU4Phase(t *testing.T) {
 	// The paper's motivation for §3.3: dropping the two random
 	// detours roughly halves the emulation time.
 	g := mesh.New(24)
-	two := New(&MeshNetwork{G: g}, Config{Memory: 1 << 16, Seed: 3})
-	four := New(&MeshNetwork{G: g, Scheme: KarlinUpfal4Phase}, Config{Memory: 1 << 16, Seed: 3})
+	two := mustNew(&MeshNetwork{G: g}, Config{Memory: 1 << 16, Seed: 3})
+	four := mustNew(&MeshNetwork{G: g, Scheme: KarlinUpfal4Phase}, Config{Memory: 1 << 16, Seed: 3})
 	reqs := workload.RandomStep(g.Nodes(), 1<<16, false, 8)
 	_, costTwo := two.RouteRequests(reqs)
 	_, costFour := four.RouteRequests(reqs)
@@ -205,8 +238,8 @@ func TestLeveledVsDirectStarAgreeOnScale(t *testing.T) {
 	// Algorithm 2.1 (random link per level, logical network) and
 	// Algorithm 2.2 (random intermediate node, physical network) are
 	// both Õ(n); their measured costs should be within a small factor.
-	lev := New(starNet(5), Config{Memory: 1 << 14, Seed: 6})
-	dir := New(starDirect(5), Config{Memory: 1 << 14, Seed: 6})
+	lev := mustNew(starNet(5), Config{Memory: 1 << 14, Seed: 6})
+	dir := mustNew(starDirect(5), Config{Memory: 1 << 14, Seed: 6})
 	reqs := workload.RandomStep(120, 1<<14, false, 2)
 	_, costLev := lev.RouteRequests(reqs)
 	_, costDir := dir.RouteRequests(reqs)
@@ -217,13 +250,12 @@ func TestLeveledVsDirectStarAgreeOnScale(t *testing.T) {
 }
 
 func TestDiameterReporting(t *testing.T) {
-	s := star.New(5)
-	ln := &LeveledNetwork{Spec: s.AsLeveled(), Diam: s.Diameter()}
-	if ln.Diameter() != 6 {
-		t.Fatalf("star(5) diameter = %d, want 6", ln.Diameter())
+	// The star routes on its leveled unrolling but must report the
+	// physical diameter; a leveled-only family reports ℓ-1.
+	if d := starNet(5).Diameter(); d != 6 {
+		t.Fatalf("star(5) diameter = %d, want 6", d)
 	}
-	plain := &LeveledNetwork{Spec: leveled.NewButterfly(4)}
-	if plain.Diameter() != 4 {
-		t.Fatalf("butterfly(4) leveled diameter = %d, want levels-1 = 4", plain.Diameter())
+	if d := registryNet("butterfly", topology.Params{N: 4}).Diameter(); d != 4 {
+		t.Fatalf("butterfly(4) leveled diameter = %d, want levels-1 = 4", d)
 	}
 }

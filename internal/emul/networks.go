@@ -9,75 +9,105 @@ import (
 	"pramemu/internal/prng"
 	"pramemu/internal/ranade"
 	"pramemu/internal/simnet"
+	"pramemu/internal/topology"
 )
 
-// LeveledNetwork adapts a leveled.Spec (star logical network, d-way
-// shuffle, butterfly, ...) to the emulator: requests traverse the
-// two-phase Algorithm 2.1 pipeline, replies retrace reversed paths
+// TopologyNetwork is the one generic adapter between the unified
+// topology layer and the emulator: any registry-built network routes
+// PRAM steps through it. When the family has a leveled unrolling the
+// adapter runs Algorithm 2.1 on it (the paper's preferred analysis
+// for star, shuffle, butterfly and de Bruijn); otherwise — or when
+// forced direct — it runs Algorithm 2.2-style two-phase routing with
+// a random intermediate node on the point-to-point graph. Requests
+// traverse the two-phase pipeline, replies retrace reversed paths
 // with Theorem 2.6 direction bits, combining optional.
-type LeveledNetwork struct {
-	Spec leveled.Spec
-	// Diam is the physical network diameter reported to the emulator
-	// (the leveled unrolling may be longer than the diameter).
-	Diam int
+type TopologyNetwork struct {
+	graph  topology.Graph // nil for leveled-only families
+	spec   leveled.Spec   // nil when no unrolling exists
+	diam   int
+	direct bool
+}
+
+// NewTopologyNetwork adapts a registry-built network, preferring the
+// leveled view when one exists. It returns an error when the
+// point-to-point view would be used but exceeds the simulator's
+// 24-bit key space, so oversized graphs fail at construction rather
+// than mid-run.
+func NewTopologyNetwork(t topology.Built) (*TopologyNetwork, error) {
+	return newTopologyNetwork(t, false)
+}
+
+// NewDirectTopologyNetwork adapts a registry-built network forcing
+// the point-to-point view (Algorithm 2.2) even when a leveled
+// unrolling exists — the form experiment E6's comparison uses.
+func NewDirectTopologyNetwork(t topology.Built) (*TopologyNetwork, error) {
+	return newTopologyNetwork(t, true)
+}
+
+func newTopologyNetwork(t topology.Built, direct bool) (*TopologyNetwork, error) {
+	n := &TopologyNetwork{graph: t.Graph, spec: t.Spec, diam: t.Diameter(), direct: direct}
+	if direct && t.Graph == nil {
+		return nil, fmt.Errorf("emul: %s has no point-to-point view to route directly", t.Name())
+	}
+	if n.Nodes() > topology.MaxNodes {
+		return nil, fmt.Errorf("emul: %s has %d nodes, exceeding the simulator's 24-bit key space",
+			t.Name(), n.Nodes())
+	}
+	return n, nil
 }
 
 // Name implements Network.
-func (n *LeveledNetwork) Name() string { return n.Spec.Name() }
-
-// Nodes implements Network: one processor/module pair per column node.
-func (n *LeveledNetwork) Nodes() int { return n.Spec.Width() }
-
-// Diameter implements Network.
-func (n *LeveledNetwork) Diameter() int {
-	if n.Diam > 0 {
-		return n.Diam
+func (n *TopologyNetwork) Name() string {
+	if n.useLeveled() {
+		return n.spec.Name()
 	}
-	return n.Spec.Levels() - 1
+	return n.graph.Name()
 }
 
+// Nodes implements Network: one processor/module pair per node (per
+// column node on a leveled-only family).
+func (n *TopologyNetwork) Nodes() int {
+	if n.useLeveled() {
+		return n.spec.Width()
+	}
+	return n.graph.Nodes()
+}
+
+// Diameter implements Network: the physical network diameter (the
+// leveled unrolling may be longer than the diameter).
+func (n *TopologyNetwork) Diameter() int { return n.diam }
+
+func (n *TopologyNetwork) useLeveled() bool { return n.spec != nil && !n.direct }
+
 // Route implements Network.
-func (n *LeveledNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64, workers int) RouteStats {
-	s := leveled.Route(n.Spec, pkts, leveled.Options{
+func (n *TopologyNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64, workers int) RouteStats {
+	if n.useLeveled() {
+		s := leveled.Route(n.spec, pkts, leveled.Options{
+			Seed:    seed,
+			Replies: true,
+			Combine: combine,
+			Workers: workers,
+		})
+		return RouteStats{
+			Rounds:        s.Rounds,
+			MaxQueue:      s.MaxQueue,
+			Merges:        s.Merges,
+			MaxModuleLoad: s.MaxModuleLoad,
+			Requests:      s.DeliveredRequests,
+			Replies:       s.DeliveredReplies,
+		}
+	}
+	s, err := simnet.Route(n.graph, pkts, simnet.Options{
 		Seed:    seed,
 		Replies: true,
 		Combine: combine,
 		Workers: workers,
 	})
-	return RouteStats{
-		Rounds:        s.Rounds,
-		MaxQueue:      s.MaxQueue,
-		Merges:        s.Merges,
-		MaxModuleLoad: s.MaxModuleLoad,
-		Requests:      s.DeliveredRequests,
-		Replies:       s.DeliveredReplies,
+	if err != nil {
+		// The constructor verified the key space; any residual error
+		// is a programming bug, not an operating condition.
+		panic(fmt.Sprintf("emul: %v", err))
 	}
-}
-
-// DirectNetwork adapts a simnet.Topology (star graph, hypercube,
-// shuffle) to the emulator using Algorithm 2.2-style two-phase
-// routing with a random intermediate node.
-type DirectNetwork struct {
-	Topo simnet.Topology
-}
-
-// Name implements Network.
-func (n *DirectNetwork) Name() string { return n.Topo.Name() }
-
-// Nodes implements Network.
-func (n *DirectNetwork) Nodes() int { return n.Topo.Nodes() }
-
-// Diameter implements Network.
-func (n *DirectNetwork) Diameter() int { return n.Topo.Diameter() }
-
-// Route implements Network.
-func (n *DirectNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64, workers int) RouteStats {
-	s := simnet.Route(n.Topo, pkts, simnet.Options{
-		Seed:    seed,
-		Replies: true,
-		Combine: combine,
-		Workers: workers,
-	})
 	return RouteStats{
 		Rounds:        s.Rounds,
 		MaxQueue:      s.MaxQueue,

@@ -23,6 +23,8 @@ import (
 	"pramemu/internal/shuffle"
 	"pramemu/internal/simnet"
 	"pramemu/internal/star"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
 	"pramemu/internal/workload"
 )
 
@@ -50,6 +52,41 @@ func (o Options) withDefaults() Options {
 
 // fmtF formats a float with two decimals.
 func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// mustRoute runs the point-to-point simulator on a statically sized
+// experiment configuration, where a key-space failure is a
+// programming error rather than an operating condition.
+func mustRoute(topo simnet.Topology, pkts []*packet.Packet, opts simnet.Options) simnet.Stats {
+	s, err := simnet.Route(topo, pkts, opts)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return s
+}
+
+// mustEmul builds an emulator for a statically sized configuration.
+func mustEmul(net emul.Network, cfg emul.Config) *emul.Emulator {
+	e, err := emul.New(net, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return e
+}
+
+// registryNet builds a named network through the topology registry
+// and adapts it for the emulator (preferring the leveled view, as the
+// paper's leveled-network theorems do).
+func registryNet(name string, p topology.Params) emul.Network {
+	b, err := topology.Build(name, p)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	net, err := emul.NewTopologyNetwork(b)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return net
+}
 
 // E1LeveledPermutation reproduces Theorem 2.1: permutation routing on
 // leveled networks completes in Õ(ℓ) with FIFO queues of size Õ(ℓ).
@@ -120,7 +157,7 @@ func E2StarRouting(o Options) *metrics.Table {
 		g := star.New(n)
 		runStarRow(t, g, "perm", "direct(2.2)", o, func(seed uint64) (int, int) {
 			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
-			s := simnet.Route(g, pkts, simnet.Options{Seed: seed * 17})
+			s := mustRoute(g, pkts, simnet.Options{Seed: seed * 17})
 			return s.Rounds, s.MaxQueue
 		})
 		runStarRow(t, g, "perm", "leveled(2.1)", o, func(seed uint64) (int, int) {
@@ -130,7 +167,7 @@ func E2StarRouting(o Options) *metrics.Table {
 		})
 		runStarRow(t, g, "n-relation", "direct(2.2)", o, func(seed uint64) (int, int) {
 			pkts := workload.Relation(g.Nodes(), n, packet.Transit, seed)
-			s := simnet.Route(g, pkts, simnet.Options{Seed: seed * 17})
+			s := mustRoute(g, pkts, simnet.Options{Seed: seed * 17})
 			return s.Rounds, s.MaxQueue
 		})
 	}
@@ -272,12 +309,10 @@ func E5PRAMStepLeveled(o Options) *metrics.Table {
 		shuffleNs = []int{3}
 	}
 	for _, n := range starNs {
-		g := star.New(n)
-		nets = append(nets, netCfg{g.Name(), &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}})
+		nets = append(nets, netCfg{fmt.Sprintf("star(n=%d)", n), registryNet("star", topology.Params{N: n})})
 	}
 	for _, n := range shuffleNs {
-		g := shuffle.NewNWay(n)
-		nets = append(nets, netCfg{g.Name(), &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}})
+		nets = append(nets, netCfg{fmt.Sprintf("shuffle(d=%d,n=%d)", n, n), registryNet("shuffle", topology.Params{N: n})})
 	}
 	for _, nc := range nets {
 		for _, mode := range []struct {
@@ -292,7 +327,7 @@ func E5PRAMStepLeveled(o Options) *metrics.Table {
 			merges := 0
 			for trial := 0; trial < o.Trials; trial++ {
 				seed := o.Seed + uint64(trial)
-				e := emul.New(nc.net, emul.Config{
+				e := mustEmul(nc.net, emul.Config{
 					Memory:  1 << 24,
 					Seed:    seed,
 					Combine: mode.combine,
@@ -340,20 +375,28 @@ func E6StarVsHypercube(o Options) *metrics.Table {
 		sg := star.New(pr.starN)
 		cg := hypercube.New(pr.cubeK)
 		rb := ranade.New(pr.cubeK)
+		starNet, err := emul.NewDirectTopologyNetwork(topology.Built{Graph: sg})
+		if err != nil {
+			panic(err)
+		}
+		cubeNet, err := emul.NewDirectTopologyNetwork(topology.Built{Graph: cg})
+		if err != nil {
+			panic(err)
+		}
 		for _, side := range []struct {
 			name     string
 			net      emul.Network
 			degree   int
 			diameter int
 		}{
-			{sg.Name(), &emul.DirectNetwork{Topo: sg}, pr.starN - 1, sg.Diameter()},
-			{cg.Name(), &emul.DirectNetwork{Topo: cg}, pr.cubeK, cg.Diameter()},
+			{sg.Name(), starNet, pr.starN - 1, sg.Diameter()},
+			{cg.Name(), cubeNet, pr.cubeK, cg.Diameter()},
 			{rb.Name(), &emul.RanadeNetwork{Net: rb}, 2, rb.Diameter()},
 		} {
 			costs := make([]int, 0, o.Trials)
 			for trial := 0; trial < o.Trials; trial++ {
 				seed := o.Seed + uint64(trial)
-				e := emul.New(side.net, emul.Config{Memory: 1 << 24, Seed: seed})
+				e := mustEmul(side.net, emul.Config{Memory: 1 << 24, Seed: seed})
 				_, cost := e.RouteRequests(workload.RandomStep(side.net.Nodes(), 1<<24, false, seed*3))
 				costs = append(costs, cost)
 			}
@@ -433,7 +476,7 @@ func E8MeshEmulation(o Options) *metrics.Table {
 			for trial := 0; trial < o.Trials; trial++ {
 				seed := o.Seed + uint64(trial)
 				net := &emul.MeshNetwork{G: g, Scheme: scheme.s}
-				e := emul.New(net, emul.Config{Memory: 1 << 26, Seed: seed})
+				e := mustEmul(net, emul.Config{Memory: 1 << 26, Seed: seed})
 				_, cost := e.RouteRequests(workload.RandomStep(g.Nodes(), 1<<26, false, seed*5))
 				costs = append(costs, cost)
 			}
@@ -555,7 +598,7 @@ func E11Rehash(o Options) *metrics.Table {
 		{"star n=6 (healthy)", starLeveledNet(6), 4},
 		{"star n=3 (tight threshold)", starLeveledNet(3), 1},
 	} {
-		e := emul.New(cfg.net, emul.Config{
+		e := mustEmul(cfg.net, emul.Config{
 			Memory:         1 << 22,
 			Seed:           o.Seed,
 			OverloadFactor: cfg.factor,
@@ -573,8 +616,7 @@ func E11Rehash(o Options) *metrics.Table {
 }
 
 func starLeveledNet(n int) emul.Network {
-	g := star.New(n)
-	return &emul.LeveledNetwork{Spec: g.AsLeveled(), Diam: g.Diameter()}
+	return registryNet("star", topology.Params{N: n})
 }
 
 // E12SortVsRoute reproduces §2.2.1's remark that sorting-based
@@ -607,6 +649,113 @@ func E12SortVsRoute(o Options) *metrics.Table {
 	return t
 }
 
+// CrossFamilySizes picks a comparable size (a few thousand nodes, or
+// a few hundred in quick mode) for each registered family so the E14
+// rounds/diam comparison is apples-to-apples. Families registered
+// without an entry fall back to their default parameters. The E14
+// benchmark (bench_test.go) uses the same table, so the table and
+// the benchmark always price identical configurations.
+func CrossFamilySizes(quick bool) map[string]topology.Params {
+	if quick {
+		return map[string]topology.Params{
+			"star":      {N: 5},       // 120
+			"pancake":   {N: 5},       // 120
+			"ttree":     {N: 5},       // 120
+			"shuffle":   {N: 4},       // 256
+			"debruijn":  {N: 8, K: 2}, // 256
+			"hypercube": {N: 8},       // 256
+			"torus":     {N: 4, K: 4}, // 256
+			"mesh":      {N: 16},      // 256
+			"butterfly": {N: 8},       // 256 rows
+		}
+	}
+	return map[string]topology.Params{
+		"star":      {N: 7},        // 5040
+		"pancake":   {N: 7},        // 5040
+		"ttree":     {N: 7},        // 5040
+		"shuffle":   {N: 5},        // 3125
+		"debruijn":  {N: 12, K: 2}, // 4096
+		"hypercube": {N: 12},       // 4096
+		"torus":     {N: 8, K: 4},  // 4096
+		"mesh":      {N: 64},       // 4096
+		"butterfly": {N: 12},       // 4096 rows
+	}
+}
+
+// E14CrossFamily prices permutation routing across every family in
+// the topology registry at comparable sizes, reporting rounds/diam —
+// the paper's claim that the two-phase framework is topology-generic:
+// routing time stays Õ(diameter) whichever network family carries the
+// traffic. Families with a leveled unrolling route via Algorithm 2.1
+// on it; the rest route via Algorithm 2.2 on the graph.
+func E14CrossFamily(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E14 (framework) cross-family permutation routing at comparable sizes",
+		"family", "network", "N", "degree", "diam", "view", "rounds(mean)", "rounds(max)", "rounds/diam", "maxQ")
+	sizes := CrossFamilySizes(o.Quick)
+	for _, name := range topology.Names() {
+		b, err := topology.Build(name, sizes[name])
+		if err != nil {
+			panic(fmt.Sprintf("experiments: E14 %s: %v", name, err))
+		}
+		view := "leveled(2.1)"
+		if b.Spec == nil {
+			view = "direct(2.2)"
+		}
+		var degree string
+		if b.Graph != nil {
+			degree = fmt.Sprintf("%d", maxDegree(b.Graph))
+		} else {
+			degree = fmt.Sprintf("%d", b.Spec.Degree())
+		}
+		rounds := make([]int, 0, o.Trials)
+		maxQ := 0
+		for trial := 0; trial < o.Trials; trial++ {
+			seed := o.Seed + uint64(trial)
+			pkts := workload.Permutation(b.Nodes(), packet.Transit, seed)
+			var r, q int
+			if b.Spec != nil {
+				s := leveled.Route(b.Spec, pkts, leveled.Options{Seed: seed * 23})
+				r, q = s.Rounds, s.MaxQueue
+			} else {
+				s := mustRoute(b.Graph, pkts, simnet.Options{Seed: seed * 23})
+				r, q = s.Rounds, s.MaxQueue
+			}
+			rounds = append(rounds, r)
+			if q > maxQ {
+				maxQ = q
+			}
+		}
+		t.AddRow(name,
+			b.Name(),
+			fmt.Sprintf("%d", b.Nodes()),
+			degree,
+			fmt.Sprintf("%d", b.Diameter()),
+			view,
+			fmtF(mathx.MeanInts(rounds)),
+			fmt.Sprintf("%d", mathx.MaxInts(rounds)),
+			fmtF(mathx.MeanInts(rounds)/float64(b.Diameter())),
+			fmt.Sprintf("%d", maxQ))
+	}
+	return t
+}
+
+// maxDegree samples nodes for the graph's characteristic (maximum)
+// degree — node 0 alone would report a mesh corner as degree 2.
+func maxDegree(g topology.Graph) int {
+	step := 1
+	if g.Nodes() > 4096 {
+		step = g.Nodes() / 4096
+	}
+	max := 0
+	for u := 0; u < g.Nodes(); u += step {
+		if d := g.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
 // All runs every experiment and returns the tables in order.
 func All(o Options) []*metrics.Table {
 	return []*metrics.Table{
@@ -622,5 +771,6 @@ func All(o Options) []*metrics.Table {
 		E10QueueSizes(o),
 		E11Rehash(o),
 		E12SortVsRoute(o),
+		E14CrossFamily(o),
 	}
 }

@@ -91,7 +91,10 @@ func TestValiantPermutationRouting(t *testing.T) {
 	for i, dst := range perm {
 		pkts[i] = packet.New(i, i, dst, packet.Transit)
 	}
-	stats := simnet.Route(g, pkts, simnet.Options{Seed: 7})
+	stats, err := simnet.Route(g, pkts, simnet.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.DeliveredRequests != g.Nodes() {
 		t.Fatalf("delivered %d/%d", stats.DeliveredRequests, g.Nodes())
 	}

@@ -1,0 +1,101 @@
+// Point-to-point topology.Graph view of the grid, so the mesh joins
+// the unified topology layer: the generic simulators (Valiant
+// two-phase routing on arbitrary graphs, the cross-family benchmark)
+// can run on it, while the paper's specialized three-stage algorithm
+// of §3.4 stays in Route. Link slots enumerate the valid directions
+// of a node in the fixed order north, south, east, west, so corner
+// and border nodes have degree 2 or 3.
+package mesh
+
+// Degree implements topology.Graph: the number of in-grid neighbors.
+func (g *Grid) Degree(node int) int {
+	deg := 0
+	for dir := 0; dir < numDirs; dir++ {
+		if g.dirValid(node, dir) {
+			deg++
+		}
+	}
+	return deg
+}
+
+// dirValid reports whether moving in dir stays on the grid.
+func (g *Grid) dirValid(node, dir int) bool {
+	row, col := g.RowCol(node)
+	switch dir {
+	case dirNorth:
+		return row > 0
+	case dirSouth:
+		return row < g.n-1
+	case dirEast:
+		return col < g.n-1
+	default:
+		return col > 0
+	}
+}
+
+// dirNeighbor returns the node one step in dir (caller must ensure
+// validity).
+func (g *Grid) dirNeighbor(node, dir int) int {
+	switch dir {
+	case dirNorth:
+		return node - g.n
+	case dirSouth:
+		return node + g.n
+	case dirEast:
+		return node + 1
+	default:
+		return node - 1
+	}
+}
+
+// slotDir maps a link slot to its direction: the slot-th valid
+// direction in canonical order.
+func (g *Grid) slotDir(node, slot int) int {
+	for dir := 0; dir < numDirs; dir++ {
+		if g.dirValid(node, dir) {
+			if slot == 0 {
+				return dir
+			}
+			slot--
+		}
+	}
+	panic("mesh: link slot out of range")
+}
+
+// dirSlot maps a valid direction back to its link slot.
+func (g *Grid) dirSlot(node, dir int) int {
+	slot := 0
+	for d := 0; d < dir; d++ {
+		if g.dirValid(node, d) {
+			slot++
+		}
+	}
+	return slot
+}
+
+// Neighbor implements topology.Graph.
+func (g *Grid) Neighbor(node, slot int) int {
+	return g.dirNeighbor(node, g.slotDir(node, slot))
+}
+
+// NextHop implements topology.Graph with greedy dimension-ordered
+// routing: fix the column first, then the row. `taken` is ignored
+// (paths are memoryless).
+func (g *Grid) NextHop(node, dst, taken int) (slot int, done bool) {
+	row, col := g.RowCol(node)
+	dstRow, dstCol := g.RowCol(dst)
+	var dir int
+	switch {
+	case col < dstCol:
+		dir = dirEast
+	case col > dstCol:
+		dir = dirWest
+	case row < dstRow:
+		dir = dirSouth
+	case row > dstRow:
+		dir = dirNorth
+	default:
+		return 0, true
+	}
+	return g.dirSlot(node, dir), false
+}

@@ -1,0 +1,22 @@
+package mesh
+
+import (
+	"fmt"
+
+	"pramemu/internal/topology"
+)
+
+func init() {
+	topology.Register(topology.Family{
+		Name:    "mesh",
+		Params:  "N = side length in [2,4096] (default 16); N^2 nodes",
+		Theorem: "§3: the n x n mesh-connected computer",
+		Build: func(p topology.Params) (topology.Built, error) {
+			n := topology.DefaultInt(p.N, 16)
+			if n < 2 || n > 4096 {
+				return topology.Built{}, fmt.Errorf("mesh side must be in [2, 4096], got %d", n)
+			}
+			return topology.Built{Graph: New(n)}, nil
+		},
+	})
+}

@@ -1,0 +1,163 @@
+// Package pancake implements the pancake graph, the star graph's
+// sibling Cayley graph under the paper's Theorem 2.2 framework: n!
+// nodes, one per permutation of n symbols, with node u adjacent to
+// the permutations obtained by reversing a prefix of u's label
+// (prefix reversals of length 2..n, so degree n-1). Like the star
+// graph its diameter grows sub-logarithmically in the network size
+// n!, so the universal two-phase routing argument prices a PRAM step
+// at Õ(diameter) on it unchanged.
+//
+// Deterministic paths follow the classic pancake-sorting greedy rule:
+// repeatedly place the largest out-of-position element, first flipping
+// it to the front and then flipping it into place. The resulting
+// unique paths have length at most 2n-3, slightly above the true
+// diameter, which the topology declares via MaxPathLen.
+package pancake
+
+import (
+	"fmt"
+
+	"pramemu/internal/mathx"
+)
+
+// diameters holds the known pancake-graph diameters for n = 2..10
+// (the pancake-flipping sequence; exact values are only known for
+// small n, which is all a simulation can hold anyway).
+var diameters = map[int]int{2: 1, 3: 3, 4: 4, 5: 5, 6: 7, 7: 8, 8: 9, 9: 10, 10: 11}
+
+// Graph is an n-pancake graph with precomputed adjacency and
+// permutation tables, so routing decisions are O(n) with no
+// allocation. Safe for concurrent use after construction.
+type Graph struct {
+	n     int
+	nodes int
+	// perms[u*n+i] is symbol i of node u's permutation label.
+	perms []uint8
+	// adj[u*(n-1)+s] is the rank of u with its length-(s+2) prefix
+	// reversed.
+	adj []int32
+}
+
+// New constructs the n-pancake graph. It panics unless 2 <= n <= 10
+// (the same factorial practicality bound as the star graph).
+func New(n int) *Graph {
+	if n < 2 || n > 10 {
+		panic("pancake: n must be in [2, 10]")
+	}
+	nodes := int(mathx.Factorial(n))
+	g := &Graph{
+		n:     n,
+		nodes: nodes,
+		perms: make([]uint8, nodes*n),
+		adj:   make([]int32, nodes*(n-1)),
+	}
+	perm := make([]int, n)
+	flipped := make([]int, n)
+	for u := 0; u < nodes; u++ {
+		mathx.PermUnrank(uint64(u), perm)
+		for i, s := range perm {
+			g.perms[u*n+i] = uint8(s)
+		}
+		for s := 0; s < n-1; s++ {
+			copy(flipped, perm)
+			reverse(flipped[:s+2])
+			g.adj[u*(n-1)+s] = int32(mathx.PermRank(flipped))
+		}
+	}
+	return g
+}
+
+func reverse(p []int) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// N returns the symbol count n.
+func (g *Graph) N() int { return g.n }
+
+// Name implements topology.Graph.
+func (g *Graph) Name() string { return fmt.Sprintf("pancake(n=%d)", g.n) }
+
+// Nodes implements topology.Graph: n! nodes.
+func (g *Graph) Nodes() int { return g.nodes }
+
+// Degree implements topology.Graph: prefix reversals of length 2..n.
+func (g *Graph) Degree(node int) int { return g.n - 1 }
+
+// Neighbor implements topology.Graph: slot s reverses the prefix of
+// length s+2.
+func (g *Graph) Neighbor(node, slot int) int {
+	return int(g.adj[node*(g.n-1)+slot])
+}
+
+// Diameter implements topology.Graph with the known exact values
+// (sub-logarithmic in n!, like the star graph's ⌊3(n-1)/2⌋).
+func (g *Graph) Diameter() int { return diameters[g.n] }
+
+// MaxPathLen implements topology.PathBounded: the greedy
+// pancake-sorting path uses at most two flips per placed element,
+// 2n-3 in total, which can exceed the diameter.
+func (g *Graph) MaxPathLen() int { return 2*g.n - 3 }
+
+// Perm writes node's permutation label into out (len >= n).
+func (g *Graph) Perm(node int, out []int) {
+	for i := 0; i < g.n; i++ {
+		out[i] = int(g.perms[node*g.n+i])
+	}
+}
+
+// NextHop implements topology.Graph with the greedy pancake-sorting
+// rule applied to the relative permutation r = dst⁻¹∘node (sorting r
+// to the identity by prefix reversals routes node to dst, because a
+// prefix reversal acts on both labels alike): find the largest k not
+// yet in place; if k is already at the front flip it into place,
+// otherwise flip it to the front.
+func (g *Graph) NextHop(node, dst, taken int) (slot int, done bool) {
+	if node == dst {
+		return 0, true
+	}
+	n := g.n
+	cur := g.perms[node*n : node*n+n]
+	want := g.perms[dst*n : dst*n+n]
+	// home[s] = position of symbol s in dst's label; r[i] = home[cur[i]].
+	var home [16]uint8
+	for i := 0; i < n; i++ {
+		home[want[i]] = uint8(i)
+	}
+	for k := n - 1; k > 0; k-- {
+		// Position j currently holding the symbol whose home is k.
+		j := -1
+		for i := 0; i <= k; i++ {
+			if int(home[cur[i]]) == k {
+				j = i
+				break
+			}
+		}
+		if j == k {
+			continue // already in place
+		}
+		if j == 0 {
+			return k - 1, false // flip prefix of length k+1 into place
+		}
+		return j - 1, false // flip prefix of length j+1 to the front
+	}
+	panic("pancake: NextHop found no misplaced symbol with node != dst")
+}
+
+// Distance returns the length of the greedy path from u to v.
+func (g *Graph) Distance(u, v int) int {
+	d := 0
+	for u != v {
+		slot, done := g.NextHop(u, v, d)
+		if done {
+			break
+		}
+		u = g.Neighbor(u, slot)
+		d++
+		if d > g.MaxPathLen() {
+			panic("pancake: greedy routing exceeded its 2n-3 bound")
+		}
+	}
+	return d
+}

@@ -1,0 +1,130 @@
+package pancake
+
+import (
+	"testing"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/simnet"
+)
+
+func TestBasicShape(t *testing.T) {
+	for n, wantDiam := range map[int]int{2: 1, 3: 3, 4: 4, 5: 5, 6: 7} {
+		g := New(n)
+		nodes := 1
+		for i := 2; i <= n; i++ {
+			nodes *= i
+		}
+		if g.Nodes() != nodes {
+			t.Fatalf("n=%d: nodes %d, want %d", n, g.Nodes(), nodes)
+		}
+		if g.Degree(0) != n-1 {
+			t.Fatalf("n=%d: degree %d, want %d", n, g.Degree(0), n-1)
+		}
+		if g.Diameter() != wantDiam {
+			t.Fatalf("n=%d: diameter %d, want %d", n, g.Diameter(), wantDiam)
+		}
+		if g.MaxPathLen() < g.Diameter() {
+			t.Fatalf("n=%d: MaxPathLen %d below diameter %d", n, g.MaxPathLen(), g.Diameter())
+		}
+	}
+}
+
+func TestNeighborIsInvolution(t *testing.T) {
+	// A prefix reversal undoes itself, so every link is bidirectional
+	// with the same slot on both sides.
+	g := New(5)
+	for u := 0; u < g.Nodes(); u++ {
+		for s := 0; s < g.Degree(u); s++ {
+			v := g.Neighbor(u, s)
+			if v == u {
+				t.Fatalf("node %d slot %d is a self-loop", u, s)
+			}
+			if back := g.Neighbor(v, s); back != u {
+				t.Fatalf("reversal not involutive: %d -(%d)-> %d -(%d)-> %d", u, s, v, s, back)
+			}
+		}
+	}
+}
+
+func TestGreedyPathsExhaustive(t *testing.T) {
+	// Every ordered pair at n=5: the greedy path must terminate
+	// within 2n-3 hops at the right node.
+	g := New(5)
+	bound := g.MaxPathLen()
+	for u := 0; u < g.Nodes(); u++ {
+		for v := 0; v < g.Nodes(); v++ {
+			if d := g.Distance(u, v); d > bound {
+				t.Fatalf("path %d->%d took %d hops, bound %d", u, v, d, bound)
+			}
+		}
+	}
+}
+
+func TestGreedyAtLeastBFSDistance(t *testing.T) {
+	// The greedy path cannot beat the true distance; spot-check
+	// against BFS from the identity at n=4 (24 nodes).
+	g := New(4)
+	dist := make([]int, g.Nodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	queue := []int{0}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for s := 0; s < g.Degree(u); s++ {
+			v := g.Neighbor(u, s)
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	far := 0
+	for v := 0; v < g.Nodes(); v++ {
+		if dist[v] > far {
+			far = dist[v]
+		}
+		if got := g.Distance(0, v); got < dist[v] {
+			t.Fatalf("greedy 0->%d took %d hops, below true distance %d", v, got, dist[v])
+		}
+	}
+	if far != g.Diameter() {
+		t.Fatalf("BFS eccentricity %d != declared diameter %d", far, g.Diameter())
+	}
+}
+
+func TestValiantPermutationRouting(t *testing.T) {
+	g := New(5) // 120 nodes
+	perm := prng.New(3).Perm(g.Nodes())
+	pkts := make([]*packet.Packet, len(perm))
+	for i, dst := range perm {
+		pkts[i] = packet.New(i, i, dst, packet.Transit)
+	}
+	stats, err := simnet.Route(g, pkts, simnet.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeliveredRequests != g.Nodes() {
+		t.Fatalf("delivered %d/%d", stats.DeliveredRequests, g.Nodes())
+	}
+	// Õ(diameter): two greedy phases plus queueing delay.
+	if stats.Rounds > 12*g.Diameter() {
+		t.Fatalf("rounds %d not Õ(diameter %d)", stats.Rounds, g.Diameter())
+	}
+}
+
+func TestNewPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{1, 11} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", n)
+				}
+			}()
+			New(n)
+		}()
+	}
+}

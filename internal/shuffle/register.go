@@ -1,0 +1,19 @@
+package shuffle
+
+import "pramemu/internal/topology"
+
+func init() {
+	topology.Register(topology.Family{
+		Name:    "shuffle",
+		Params:  "N = digit count n >= 1 (default 3); K = alphabet d >= 2 (default d = n, the n-way shuffle)",
+		Theorem: "Thm 2.3 / Cor 2.2: fixed-length unique paths, leveled view",
+		Build: func(p topology.Params) (topology.Built, error) {
+			n := topology.DefaultInt(p.N, 3)
+			d := topology.DefaultInt(p.K, n)
+			if err := topology.CheckPow("shuffle", d, n, topology.MaxNodes); err != nil {
+				return topology.Built{}, err
+			}
+			return topology.Built{Graph: New(d, n)}, nil
+		},
+	})
+}

@@ -111,7 +111,10 @@ func TestAlgorithm23Permutation(t *testing.T) {
 	for i, dst := range perm {
 		pkts[i] = packet.New(i, i, dst, packet.Transit)
 	}
-	stats := simnet.Route(g, pkts, simnet.Options{Seed: 19})
+	stats, err := simnet.Route(g, pkts, simnet.Options{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.DeliveredRequests != g.Nodes() {
 		t.Fatalf("delivered %d/%d", stats.DeliveredRequests, g.Nodes())
 	}
@@ -129,7 +132,10 @@ func TestRepliesRetraceOnShuffle(t *testing.T) {
 	for i, dst := range perm {
 		pkts[i] = packet.New(i, i, dst, packet.ReadRequest)
 	}
-	stats := simnet.Route(g, pkts, simnet.Options{Seed: 6, Replies: true})
+	stats, err := simnet.Route(g, pkts, simnet.Options{Seed: 6, Replies: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.DeliveredReplies != g.Nodes() {
 		t.Fatalf("replies %d/%d", stats.DeliveredReplies, g.Nodes())
 	}

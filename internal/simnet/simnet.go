@@ -26,41 +26,21 @@ import (
 	"pramemu/internal/packet"
 	"pramemu/internal/prng"
 	"pramemu/internal/queue"
+	"pramemu/internal/topology"
 )
 
-// Topology describes a static network. Implementations must be
-// stateless and safe for concurrent use: NextHop is called once per
-// packet per hop, from multiple goroutines when Workers > 1.
-type Topology interface {
-	// Name identifies the topology in reports.
-	Name() string
-	// Nodes returns the number of nodes.
-	Nodes() int
-	// Degree returns the number of outgoing link slots of node.
-	Degree(node int) int
-	// Neighbor returns the node reached from node via link slot.
-	Neighbor(node, slot int) int
-	// NextHop returns the outgoing slot of the deterministic path
-	// from node to dst, given that the packet has already taken
-	// `taken` hops since it last chose a target; done reports that
-	// the packet has arrived (slot is then ignored). For
-	// distance-defined topologies (star, hypercube) `taken` is
-	// ignored; the d-way shuffle uses it because its unique paths
-	// have fixed length n regardless of endpoints.
-	NextHop(node, dst, taken int) (slot int, done bool)
-	// Diameter returns the network diameter in links.
-	Diameter() int
-}
+// Topology is the unified graph interface of internal/topology; the
+// simulator routes on any registered family. The alias keeps existing
+// implementations and callers source-compatible.
+type Topology = topology.Graph
 
-// TakenSensitive is implemented by topologies whose NextHop depends
-// on the hops already taken within a phase (the d-way shuffle, whose
-// unique paths have fixed length n). For such topologies two packets
-// may combine only at equal progress; memoryless topologies (star,
-// hypercube, ring) may combine whenever node and destination match.
-type TakenSensitive interface {
-	// TakenSensitive reports whether NextHop depends on `taken`.
-	TakenSensitive() bool
-}
+// TakenSensitive re-exports the capability interface for topologies
+// whose NextHop depends on the hops already taken within a phase (the
+// d-way shuffle and the de Bruijn graph, whose unique paths have
+// fixed length n). For such topologies two packets may combine only
+// at equal progress; memoryless topologies (star, hypercube, ring)
+// may combine whenever node and destination match.
+type TakenSensitive = topology.TakenSensitive
 
 // Options configures a routing run.
 type Options struct {
@@ -107,9 +87,12 @@ func edgeKey(from, to int) uint64 { return uint64(from)<<24 | uint64(to) }
 
 // Route routes pkts through topo. Packets need unique IDs and
 // endpoints within range. It mutates the packets and returns Stats.
-func Route(topo Topology, pkts []*packet.Packet, opts Options) Stats {
-	if topo.Nodes() > 1<<24 {
-		panic("simnet: topology exceeds 24-bit key space")
+// A topology larger than the simulator's 24-bit link-key space is
+// rejected with an error before any routing state is built.
+func Route(topo Topology, pkts []*packet.Packet, opts Options) (Stats, error) {
+	if topo.Nodes() > topology.MaxNodes {
+		return Stats{}, fmt.Errorf("simnet: %s has %d nodes, exceeding the 24-bit key space (%d)",
+			topo.Name(), topo.Nodes(), topology.MaxNodes)
 	}
 	r := &router{
 		topo:   topo,
@@ -165,7 +148,7 @@ func Route(topo Topology, pkts []*packet.Packet, opts Options) Stats {
 		DeliveredReplies:  st.DeliveredReplies,
 		Merges:            st.Merges,
 		MaxModuleLoad:     st.MaxModuleLoad,
-	}
+	}, nil
 }
 
 // advance decides the next queue insertion for a forward packet

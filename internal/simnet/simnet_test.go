@@ -43,7 +43,7 @@ func TestRingPermutation(t *testing.T) {
 	for i, dst := range perm {
 		pkts[i] = packet.New(i, i, dst, packet.Transit)
 	}
-	stats := Route(topo, pkts, Options{Seed: 5})
+	stats := mustRoute(t, topo, pkts, Options{Seed: 5})
 	if stats.DeliveredRequests != 16 {
 		t.Fatalf("delivered %d", stats.DeliveredRequests)
 	}
@@ -60,7 +60,7 @@ func TestRingShortestPathsWhenDirect(t *testing.T) {
 	// ring distance.
 	for dst := 0; dst < 10; dst++ {
 		p := packet.New(0, 0, dst, packet.Transit)
-		Route(topo, []*packet.Packet{p}, Options{Seed: 1, SkipPhase1: true})
+		mustRoute(t, topo, []*packet.Packet{p}, Options{Seed: 1, SkipPhase1: true})
 		want := dst
 		if dst > 5 {
 			want = 10 - dst
@@ -75,7 +75,7 @@ func TestZeroHopPacketWithReplies(t *testing.T) {
 	topo := ring{8}
 	// src == dst and SkipPhase1: request and reply complete at round 0.
 	p := packet.New(0, 3, 3, packet.ReadRequest)
-	stats := Route(topo, []*packet.Packet{p}, Options{Seed: 1, SkipPhase1: true, Replies: true})
+	stats := mustRoute(t, topo, []*packet.Packet{p}, Options{Seed: 1, SkipPhase1: true, Replies: true})
 	if stats.DeliveredRequests != 1 || stats.DeliveredReplies != 1 {
 		t.Fatalf("stats %+v", stats)
 	}
@@ -95,7 +95,7 @@ func TestDeterminism(t *testing.T) {
 		for i, dst := range perm {
 			pkts[i] = packet.New(i, i, dst, packet.ReadRequest)
 		}
-		return Route(topo, pkts, Options{Seed: 7, Replies: true})
+		return mustRoute(t, topo, pkts, Options{Seed: 7, Replies: true})
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
@@ -105,7 +105,7 @@ func TestDeterminism(t *testing.T) {
 func TestRepliesRetraceExactPath(t *testing.T) {
 	topo := ring{12}
 	pkts := []*packet.Packet{packet.New(0, 1, 7, packet.ReadRequest)}
-	Route(topo, pkts, Options{Seed: 2, Replies: true, RecordPaths: true})
+	mustRoute(t, topo, pkts, Options{Seed: 2, Replies: true, RecordPaths: true})
 	p := pkts[0]
 	if int(p.Path[0]) != 1 {
 		t.Fatalf("path start %d", p.Path[0])
@@ -125,7 +125,7 @@ func TestSharedLinkSerializes(t *testing.T) {
 		packet.New(1, 0, 2, packet.Transit),
 		packet.New(2, 0, 3, packet.Transit),
 	}
-	stats := Route(topo, pkts, Options{Seed: 1, SkipPhase1: true})
+	stats := mustRoute(t, topo, pkts, Options{Seed: 1, SkipPhase1: true})
 	// First crossing at round 1; third packet crosses at round 3 and
 	// then needs 2 more hops: total >= 5.
 	if stats.Rounds < 5 {
@@ -150,7 +150,7 @@ func TestPanicsOnDuplicateIDs(t *testing.T) {
 			t.Fatal("duplicate IDs should panic")
 		}
 	}()
-	Route(topo, []*packet.Packet{
+	mustRoute(t, topo, []*packet.Packet{
 		packet.New(0, 0, 1, packet.Transit),
 		packet.New(0, 1, 2, packet.Transit),
 	}, Options{})
@@ -163,7 +163,7 @@ func TestPanicsOnBadEndpoints(t *testing.T) {
 			t.Fatal("bad endpoints should panic")
 		}
 	}()
-	Route(topo, []*packet.Packet{packet.New(0, 0, 9, packet.Transit)}, Options{})
+	mustRoute(t, topo, []*packet.Packet{packet.New(0, 0, 9, packet.Transit)}, Options{})
 }
 
 func TestCombiningOnRing(t *testing.T) {
@@ -181,7 +181,7 @@ func TestCombiningOnRing(t *testing.T) {
 			id++
 		}
 	}
-	stats := Route(topo, pkts, Options{Seed: 3, SkipPhase1: true, Replies: true, Combine: true})
+	stats := mustRoute(t, topo, pkts, Options{Seed: 3, SkipPhase1: true, Replies: true, Combine: true})
 	if stats.Merges == 0 {
 		t.Fatal("no merges on co-located same-address reads")
 	}
@@ -200,8 +200,33 @@ func TestMaxModuleLoadCountsConstituents(t *testing.T) {
 		pkts[i] = packet.New(i, i, 4, packet.ReadRequest)
 		pkts[i].Addr = 1
 	}
-	stats := Route(topo, pkts, Options{Seed: 2, SkipPhase1: true, Replies: true, Combine: true})
+	stats := mustRoute(t, topo, pkts, Options{Seed: 2, SkipPhase1: true, Replies: true, Combine: true})
 	if stats.MaxModuleLoad != 8 {
 		t.Fatalf("module load %d, want 8", stats.MaxModuleLoad)
+	}
+}
+
+// mustRoute is the test-side wrapper around Route for topologies that
+// are known to fit the key space.
+func mustRoute(t *testing.T, topo Topology, pkts []*packet.Packet, opts Options) Stats {
+	t.Helper()
+	s, err := Route(topo, pkts, opts)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	return s
+}
+
+// hugeTopo is a fake topology claiming more nodes than the 24-bit
+// link-key space holds; Route must reject it with an error before
+// building any routing state (it was a panic before).
+type hugeTopo struct{ ring }
+
+func (hugeTopo) Nodes() int { return 1<<24 + 1 }
+
+func TestOversizedTopologyReturnsError(t *testing.T) {
+	_, err := Route(hugeTopo{ring{4}}, nil, Options{Seed: 1})
+	if err == nil {
+		t.Fatal("Route accepted a topology beyond the 24-bit key space")
 	}
 }

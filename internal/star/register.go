@@ -1,0 +1,22 @@
+package star
+
+import (
+	"fmt"
+
+	"pramemu/internal/topology"
+)
+
+func init() {
+	topology.Register(topology.Family{
+		Name:    "star",
+		Params:  "N = symbol count n in [2,10] (default 5); n! nodes",
+		Theorem: "Thm 2.2 / Cor 2.1: sub-logarithmic-diameter Cayley graph",
+		Build: func(p topology.Params) (topology.Built, error) {
+			n := topology.DefaultInt(p.N, 5)
+			if n < 2 || n > 10 {
+				return topology.Built{}, fmt.Errorf("star symbol count n must be in [2, 10], got %d", n)
+			}
+			return topology.Built{Graph: New(n)}, nil
+		},
+	})
+}

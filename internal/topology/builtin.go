@@ -1,0 +1,62 @@
+// Registration of the one family that lives below the registry in
+// the import graph: the d-ary butterfly is defined by
+// internal/leveled (which topology itself imports), so its
+// registration sits here. Every graph family self-registers from its
+// own package via topology.Register in an init function — the plugin
+// pattern that makes a new family a local change — and
+// internal/topology/families aggregates those imports for callers
+// that want the full registry.
+package topology
+
+import (
+	"fmt"
+
+	"pramemu/internal/leveled"
+)
+
+func init() {
+	Register(Family{
+		Name:    "butterfly",
+		Params:  "N = dimension k >= 1 (default 8): 2^k rows, k+1 columns; K = arity d (default 2)",
+		Theorem: "Thm 2.1: the canonical unrolled leveled network",
+		Build: func(p Params) (Built, error) {
+			k := DefaultInt(p.N, 8)
+			d := DefaultInt(p.K, 2)
+			if k < 1 {
+				return Built{}, fmt.Errorf("butterfly dimension must be >= 1, got %d", k)
+			}
+			if err := CheckPow("butterfly", d, k, MaxNodes); err != nil {
+				return Built{}, err
+			}
+			return Built{Spec: leveled.NewDAry(d, k+1)}, nil
+		},
+	})
+}
+
+// DefaultInt substitutes def for the zero value — the helper family
+// builders use to give Params fields documented defaults.
+func DefaultInt(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// CheckPow validates 2 <= d, 1 <= n and d^n <= cap, the shared
+// size-validation of the exponential families.
+func CheckPow(family string, d, n, cap int) error {
+	if d < 2 {
+		return fmt.Errorf("%s alphabet/radix must be >= 2, got %d", family, d)
+	}
+	if n < 1 {
+		return fmt.Errorf("%s digit/dimension count must be >= 1, got %d", family, n)
+	}
+	nodes := 1
+	for i := 0; i < n; i++ {
+		if nodes > cap/d {
+			return fmt.Errorf("%s size %d^%d exceeds the %d-node bound", family, d, n, cap)
+		}
+		nodes *= d
+	}
+	return nil
+}

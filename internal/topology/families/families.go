@@ -1,0 +1,19 @@
+// Package families pulls in every built-in network family for its
+// registration side effect. Import it (blank) wherever registry
+// completeness matters — the commands, the experiments, the
+// conformance suite — so topology.Build resolves every -net name.
+// The butterfly registers from internal/topology itself (it is
+// defined by internal/leveled, below the registry in the import
+// graph).
+package families
+
+import (
+	_ "pramemu/internal/debruijn"
+	_ "pramemu/internal/hypercube"
+	_ "pramemu/internal/mesh"
+	_ "pramemu/internal/pancake"
+	_ "pramemu/internal/shuffle"
+	_ "pramemu/internal/star"
+	_ "pramemu/internal/torus"
+	_ "pramemu/internal/ttree"
+)

@@ -1,0 +1,85 @@
+package topology_test
+
+import (
+	"strings"
+	"testing"
+
+	"pramemu/internal/hypercube"
+	"pramemu/internal/topology"
+)
+
+func TestBuildUnknownNameListsFamilies(t *testing.T) {
+	_, err := topology.Build("klein-bottle", topology.Params{})
+	if err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	if !strings.Contains(err.Error(), "star") {
+		t.Fatalf("error does not list known families: %v", err)
+	}
+}
+
+func TestBuildFillsLeveledView(t *testing.T) {
+	// Families implementing Leveler get their Spec populated
+	// automatically; memoryless graphs stay graph-only; the butterfly
+	// is leveled-only.
+	star, err := topology.Build("star", topology.Params{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if star.Graph == nil || star.Spec == nil {
+		t.Fatalf("star should carry both views: %+v", star)
+	}
+	cube, err := topology.Build("hypercube", topology.Params{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.Graph == nil || cube.Spec != nil {
+		t.Fatalf("hypercube should be graph-only: %+v", cube)
+	}
+	bf, err := topology.Build("butterfly", topology.Params{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.Graph != nil || bf.Spec == nil {
+		t.Fatalf("butterfly should be leveled-only: %+v", bf)
+	}
+	if bf.Nodes() != 16 || bf.Diameter() != 4 {
+		t.Fatalf("butterfly Built reports (%d, %d)", bf.Nodes(), bf.Diameter())
+	}
+}
+
+func TestBuildValidatesParams(t *testing.T) {
+	for name, p := range map[string]topology.Params{
+		"star":      {N: 42},
+		"pancake":   {N: 1},
+		"ttree":     {N: 5, K: 7},
+		"torus":     {N: 1},
+		"debruijn":  {N: 40},
+		"mesh":      {N: 1},
+		"hypercube": {N: 99},
+		"shuffle":   {N: 1, K: 1},
+		"butterfly": {N: -1},
+	} {
+		if _, err := topology.Build(name, p); err == nil {
+			t.Errorf("%s%+v accepted", name, p)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	// The probe builds a real (tiny) graph so that, once registered,
+	// it also passes the conformance sweep under any test ordering.
+	f := topology.Family{
+		Name: "dup-probe",
+		Build: func(topology.Params) (topology.Built, error) {
+			return topology.Built{Graph: hypercube.New(2)}, nil
+		},
+	}
+	topology.Register(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	topology.Register(f)
+}

@@ -1,0 +1,222 @@
+// Package topology is the single source of truth for every
+// interconnection network in the repository. It defines the Graph
+// interface that all point-to-point simulators consume (the paper's
+// topology-generic framing: star graphs, d-way shuffles, leveled
+// networks and meshes are instances of one framework), the optional
+// capability interfaces (taken-sensitive routing, leveled unrollings,
+// bounded deterministic paths), and a name-keyed registry through
+// which commands, experiments and benchmarks select networks, so a
+// new family is a ~100-line plugin plus one Register call rather than
+// a cross-cutting change.
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pramemu/internal/leveled"
+)
+
+// MaxNodes is the largest node count the point-to-point simulator can
+// route: its link keys pack source and destination ids into 24 bits
+// each. Registry builders, the emulator adapters and the commands all
+// enforce this one bound (the leveled router packs node ids the same
+// way and keeps its own equivalent guard, since it sits below this
+// package in the import graph).
+const MaxNodes = 1 << 24
+
+// Graph describes a static point-to-point network. Implementations
+// must be stateless and safe for concurrent use: NextHop is called
+// once per packet per hop, from multiple goroutines when the round
+// engine runs with Workers > 1.
+type Graph interface {
+	// Name identifies the topology in reports.
+	Name() string
+	// Nodes returns the number of nodes.
+	Nodes() int
+	// Degree returns the number of outgoing link slots of node.
+	Degree(node int) int
+	// Neighbor returns the node reached from node via link slot.
+	Neighbor(node, slot int) int
+	// NextHop returns the outgoing slot of the deterministic path
+	// from node to dst, given that the packet has already taken
+	// `taken` hops since it last chose a target; done reports that
+	// the packet has arrived (slot is then ignored). For
+	// distance-defined topologies (star, hypercube, torus) `taken`
+	// is ignored; fixed-length-path topologies (shuffle, de Bruijn)
+	// use it because their unique paths have the same length
+	// regardless of endpoints.
+	NextHop(node, dst, taken int) (slot int, done bool)
+	// Diameter returns the network diameter in links.
+	Diameter() int
+}
+
+// TakenSensitive is implemented by graphs whose NextHop depends on
+// the hops already taken within a phase (the d-way shuffle and the de
+// Bruijn graph, whose unique paths have fixed length n). For such
+// graphs two packets may combine only at equal progress; memoryless
+// graphs (star, hypercube, torus) may combine whenever node and
+// destination match.
+type TakenSensitive interface {
+	// TakenSensitive reports whether NextHop depends on `taken`.
+	TakenSensitive() bool
+}
+
+// Leveler is implemented by graphs with a logical leveled-network
+// unrolling (Figure 3 for the star graph; the natural n+1-column view
+// of the shuffle and the de Bruijn graph). The emulator prefers this
+// view when present, matching the paper's Algorithm 2.1 analysis.
+type Leveler interface {
+	// AsLeveled returns the leveled-network unrolling.
+	AsLeveled() leveled.Spec
+}
+
+// PathBounded is implemented by graphs whose deterministic NextHop
+// paths can exceed the diameter (the pancake graph's greedy
+// prefix-reversal sort, transposition-tree leaf elimination). The
+// bound is what path-termination checks use in place of Diameter.
+type PathBounded interface {
+	// MaxPathLen returns the longest deterministic path NextHop can
+	// produce between any pair of nodes.
+	MaxPathLen() int
+}
+
+// MaxPath returns the longest deterministic path g can produce: the
+// declared MaxPathLen for PathBounded graphs, the diameter otherwise.
+func MaxPath(g Graph) int {
+	if pb, ok := g.(PathBounded); ok {
+		return pb.MaxPathLen()
+	}
+	return g.Diameter()
+}
+
+// Params carries the size parameters of a Build call. Families map
+// them onto their natural knobs and substitute documented defaults
+// for zero values, so `Build(name, Params{N: n})` always works.
+type Params struct {
+	// N is the primary size parameter: star/pancake/ttree symbol
+	// count, shuffle and de Bruijn digit count, hypercube and
+	// butterfly dimension, mesh and torus side.
+	N int
+	// K is the secondary parameter where one exists: shuffle and de
+	// Bruijn alphabet size d (0 = family default), torus dimension
+	// count (0 = 2), transposition-tree shape selector.
+	K int
+}
+
+// Built is the result of a registry Build: a point-to-point Graph, a
+// leveled unrolling, or both. Exactly one of the views may be nil
+// (the butterfly is a purely leveled family).
+type Built struct {
+	// Graph is the point-to-point view; nil for leveled-only
+	// families.
+	Graph Graph
+	// Spec is the leveled unrolling; nil when none exists. Build
+	// fills it automatically for graphs implementing Leveler.
+	Spec leveled.Spec
+}
+
+// Name returns the display name of the built network.
+func (b Built) Name() string {
+	if b.Graph != nil {
+		return b.Graph.Name()
+	}
+	return b.Spec.Name()
+}
+
+// Nodes returns the processor/module count: graph nodes, or the
+// column width of a leveled-only family.
+func (b Built) Nodes() int {
+	if b.Graph != nil {
+		return b.Graph.Nodes()
+	}
+	return b.Spec.Width()
+}
+
+// Diameter returns the physical network diameter: the graph's when a
+// point-to-point view exists (the leveled unrolling may be longer),
+// the single-traversal length ℓ-1 otherwise.
+func (b Built) Diameter() int {
+	if b.Graph != nil {
+		return b.Graph.Diameter()
+	}
+	return b.Spec.Levels() - 1
+}
+
+// Family is one registered network family.
+type Family struct {
+	// Name keys the registry (the -net flag value).
+	Name string
+	// Params documents the meaning of Params.N and Params.K for this
+	// family, including defaults.
+	Params string
+	// Theorem names the part of the paper's framework the family
+	// exercises (recorded in DESIGN.md's index).
+	Theorem string
+	// Build constructs the network. It must validate parameters and
+	// return an error (not panic) on out-of-range requests.
+	Build func(p Params) (Built, error)
+}
+
+var (
+	mu       sync.RWMutex
+	families = map[string]Family{}
+)
+
+// Register adds a family to the registry. It panics on a duplicate
+// name: two families claiming one name is a programming error.
+func Register(f Family) {
+	mu.Lock()
+	defer mu.Unlock()
+	if f.Name == "" || f.Build == nil {
+		panic("topology: Register needs a name and a Build function")
+	}
+	if _, dup := families[f.Name]; dup {
+		panic(fmt.Sprintf("topology: family %q registered twice", f.Name))
+	}
+	families[f.Name] = f
+}
+
+// Lookup returns the named family.
+func Lookup(name string) (Family, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	f, ok := families[name]
+	return f, ok
+}
+
+// Names returns every registered family name, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(families))
+	for name := range families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the named network with the given parameters. The
+// error lists the known families when the name is unknown, so -net
+// typos come back actionable.
+func Build(name string, p Params) (Built, error) {
+	f, ok := Lookup(name)
+	if !ok {
+		return Built{}, fmt.Errorf("unknown topology %q (known: %v)", name, Names())
+	}
+	b, err := f.Build(p)
+	if err != nil {
+		return Built{}, fmt.Errorf("topology %s: %w", name, err)
+	}
+	if b.Graph == nil && b.Spec == nil {
+		return Built{}, fmt.Errorf("topology %s: family built neither view", name)
+	}
+	if b.Spec == nil && b.Graph != nil {
+		if lv, ok := b.Graph.(Leveler); ok {
+			b.Spec = lv.AsLeveled()
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,19 @@
+package torus
+
+import "pramemu/internal/topology"
+
+func init() {
+	topology.Register(topology.Family{
+		Name:    "torus",
+		Params:  "N = radix k >= 2 (default 8); K = dimensions >= 1 (default 2); k^dims nodes",
+		Theorem: "§3 generalized: wraparound mesh, hypercube at k = 2",
+		Build: func(p topology.Params) (topology.Built, error) {
+			k := topology.DefaultInt(p.N, 8)
+			dims := topology.DefaultInt(p.K, 2)
+			if err := topology.CheckPow("torus", k, dims, topology.MaxNodes); err != nil {
+				return topology.Built{}, err
+			}
+			return topology.Built{Graph: New(k, dims)}, nil
+		},
+	})
+}

@@ -1,0 +1,126 @@
+// Package torus implements the k-ary n-cube: k^n nodes labelled by
+// n-digit base-k strings, each node linked to its ±1 neighbors (mod
+// k) in every dimension. The family generalizes both reference
+// networks of the paper at once — the binary hypercube is the 2-ary
+// n-cube and the mesh of §3 is the 2-dimensional k-ary cube with
+// wraparound — so Valiant two-phase routing and the PRAM emulation
+// recipe apply to it with the same Õ(diameter) pricing.
+//
+// Deterministic paths are dimension-ordered: correct the lowest
+// differing dimension first, travelling around the shorter arc (ties
+// break toward +1), the torus analogue of e-cube routing.
+package torus
+
+import "fmt"
+
+// Graph is a k-ary n-cube on k^n nodes.
+type Graph struct {
+	k, dims int
+	nodes   int
+	pow     []int // pow[d] = k^d
+}
+
+// New constructs the k-ary n-cube with the given radix and dimension
+// count. It panics if k < 2, dims < 1, or k^dims exceeds the
+// practical simulation bound 2^24.
+func New(k, dims int) *Graph {
+	if k < 2 {
+		panic("torus: radix must be >= 2")
+	}
+	if dims < 1 {
+		panic("torus: need at least one dimension")
+	}
+	nodes := 1
+	pow := make([]int, dims)
+	for d := 0; d < dims; d++ {
+		pow[d] = nodes
+		if nodes > (1<<24)/k {
+			panic("torus: k^n exceeds the practical simulation bound")
+		}
+		nodes *= k
+	}
+	return &Graph{k: k, dims: dims, nodes: nodes, pow: pow}
+}
+
+// K returns the radix k.
+func (g *Graph) K() int { return g.k }
+
+// Dims returns the dimension count n.
+func (g *Graph) Dims() int { return g.dims }
+
+// Name implements topology.Graph.
+func (g *Graph) Name() string { return fmt.Sprintf("torus(k=%d,n=%d)", g.k, g.dims) }
+
+// Nodes implements topology.Graph: k^n.
+func (g *Graph) Nodes() int { return g.nodes }
+
+// Degree implements topology.Graph: two links per dimension, except
+// that a radix-2 torus has a single neighbor per dimension (+1 and -1
+// coincide), making it exactly the binary hypercube.
+func (g *Graph) Degree(node int) int {
+	if g.k == 2 {
+		return g.dims
+	}
+	return 2 * g.dims
+}
+
+// digit returns base-k digit d of node.
+func (g *Graph) digit(node, d int) int { return node / g.pow[d] % g.k }
+
+// withDigit returns node with digit d replaced by v.
+func (g *Graph) withDigit(node, d, v int) int {
+	return node + (v-g.digit(node, d))*g.pow[d]
+}
+
+// Neighbor implements topology.Graph: for k > 2, slot 2d moves +1 and
+// slot 2d+1 moves -1 (mod k) in dimension d; for k = 2, slot d flips
+// dimension d.
+func (g *Graph) Neighbor(node, slot int) int {
+	if g.k == 2 {
+		return g.withDigit(node, slot, 1-g.digit(node, slot))
+	}
+	d := slot / 2
+	v := g.digit(node, d)
+	if slot%2 == 0 {
+		v = (v + 1) % g.k
+	} else {
+		v = (v - 1 + g.k) % g.k
+	}
+	return g.withDigit(node, d, v)
+}
+
+// Diameter implements topology.Graph: ⌊k/2⌋ per dimension.
+func (g *Graph) Diameter() int { return g.dims * (g.k / 2) }
+
+// NextHop implements topology.Graph with dimension-ordered
+// shorter-arc routing; `taken` is ignored (paths are memoryless).
+func (g *Graph) NextHop(node, dst, taken int) (slot int, done bool) {
+	for d := 0; d < g.dims; d++ {
+		have, want := g.digit(node, d), g.digit(dst, d)
+		if have == want {
+			continue
+		}
+		if g.k == 2 {
+			return d, false
+		}
+		up := (want - have + g.k) % g.k // +1 steps needed
+		if up <= g.k-up {
+			return 2 * d, false
+		}
+		return 2*d + 1, false
+	}
+	return 0, true
+}
+
+// Distance returns the torus (wraparound L1) distance between nodes.
+func (g *Graph) Distance(u, v int) int {
+	total := 0
+	for d := 0; d < g.dims; d++ {
+		diff := (g.digit(u, d) - g.digit(v, d) + g.k) % g.k
+		if diff > g.k-diff {
+			diff = g.k - diff
+		}
+		total += diff
+	}
+	return total
+}

@@ -1,0 +1,131 @@
+package torus
+
+import (
+	"testing"
+
+	"pramemu/internal/hypercube"
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/simnet"
+)
+
+func TestBasicShape(t *testing.T) {
+	g := New(8, 2)
+	if g.Nodes() != 64 {
+		t.Fatalf("nodes %d, want 64", g.Nodes())
+	}
+	if g.Degree(0) != 4 {
+		t.Fatalf("degree %d, want 4", g.Degree(0))
+	}
+	if g.Diameter() != 8 {
+		t.Fatalf("diameter %d, want 8", g.Diameter())
+	}
+}
+
+func TestRadixTwoIsHypercube(t *testing.T) {
+	// The 2-ary n-cube is the binary hypercube: same shape, same
+	// distances.
+	g := New(2, 6)
+	h := hypercube.New(6)
+	if g.Nodes() != h.Nodes() || g.Degree(0) != h.Degree(0) || g.Diameter() != h.Diameter() {
+		t.Fatalf("2-ary 6-cube shape (%d, %d, %d) != hypercube (%d, %d, %d)",
+			g.Nodes(), g.Degree(0), g.Diameter(), h.Nodes(), h.Degree(0), h.Diameter())
+	}
+	for u := 0; u < g.Nodes(); u += 7 {
+		for v := 0; v < g.Nodes(); v += 5 {
+			if g.Distance(u, v) != h.Distance(u, v) {
+				t.Fatalf("distance(%d, %d): torus %d != hamming %d",
+					u, v, g.Distance(u, v), h.Distance(u, v))
+			}
+		}
+	}
+}
+
+func TestNeighborsAreMutual(t *testing.T) {
+	g := New(5, 3)
+	for u := 0; u < g.Nodes(); u++ {
+		for s := 0; s < g.Degree(u); s++ {
+			v := g.Neighbor(u, s)
+			if g.Distance(u, v) != 1 {
+				t.Fatalf("neighbor %d of %d at distance %d", v, u, g.Distance(u, v))
+			}
+			// Some slot of v must lead back to u.
+			back := false
+			for s2 := 0; s2 < g.Degree(v); s2++ {
+				if g.Neighbor(v, s2) == u {
+					back = true
+					break
+				}
+			}
+			if !back {
+				t.Fatalf("link %d->%d has no reverse", u, v)
+			}
+		}
+	}
+}
+
+func TestNextHopIsShortestExhaustive(t *testing.T) {
+	// Dimension-ordered shorter-arc routing realizes the wraparound
+	// L1 distance exactly, for every pair (odd and even radix).
+	for _, g := range []*Graph{New(5, 2), New(6, 2), New(4, 3)} {
+		for u := 0; u < g.Nodes(); u++ {
+			for v := 0; v < g.Nodes(); v++ {
+				at, hops := u, 0
+				for {
+					slot, done := g.NextHop(at, v, hops)
+					if done {
+						break
+					}
+					at = g.Neighbor(at, slot)
+					hops++
+					if hops > g.Diameter() {
+						t.Fatalf("%s: path %d->%d exceeded the diameter", g.Name(), u, v)
+					}
+				}
+				if at != v {
+					t.Fatalf("%s: path %d->%d ended at %d", g.Name(), u, v, at)
+				}
+				if hops != g.Distance(u, v) {
+					t.Fatalf("%s: path %d->%d took %d hops, distance %d",
+						g.Name(), u, v, hops, g.Distance(u, v))
+				}
+			}
+		}
+	}
+}
+
+func TestValiantPermutationRouting(t *testing.T) {
+	g := New(8, 3) // 512 nodes
+	perm := prng.New(2).Perm(g.Nodes())
+	pkts := make([]*packet.Packet, len(perm))
+	for i, dst := range perm {
+		pkts[i] = packet.New(i, i, dst, packet.Transit)
+	}
+	stats, err := simnet.Route(g, pkts, simnet.Options{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeliveredRequests != g.Nodes() {
+		t.Fatalf("delivered %d/%d", stats.DeliveredRequests, g.Nodes())
+	}
+	if stats.Rounds > 12*g.Diameter() {
+		t.Fatalf("rounds %d not Õ(diameter %d)", stats.Rounds, g.Diameter())
+	}
+}
+
+func TestNewPanicsOutOfRange(t *testing.T) {
+	for name, build := range map[string]func(){
+		"radix 1":   func() { New(1, 2) },
+		"zero dims": func() { New(4, 0) },
+		"too big":   func() { New(2, 30) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			build()
+		}()
+	}
+}

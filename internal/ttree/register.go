@@ -1,0 +1,31 @@
+package ttree
+
+import (
+	"fmt"
+
+	"pramemu/internal/topology"
+)
+
+func init() {
+	topology.Register(topology.Family{
+		Name:    "ttree",
+		Params:  "N = symbol count n in [2,9] (default 5); K = tree shape: 0 path (bubble-sort), 1 binary, 2 star",
+		Theorem: "Thm 2.2 generalized to any transposition-tree Cayley graph",
+		Build: func(p topology.Params) (topology.Built, error) {
+			n := topology.DefaultInt(p.N, 5)
+			if n < 2 || n > 9 {
+				return topology.Built{}, fmt.Errorf("ttree symbol count n must be in [2, 9], got %d", n)
+			}
+			switch p.K {
+			case 0:
+				return topology.Built{Graph: NewPath(n)}, nil
+			case 1:
+				return topology.Built{Graph: NewBinary(n)}, nil
+			case 2:
+				return topology.Built{Graph: NewStar(n)}, nil
+			default:
+				return topology.Built{}, fmt.Errorf("ttree shape K must be 0 (path), 1 (binary) or 2 (star), got %d", p.K)
+			}
+		},
+	})
+}

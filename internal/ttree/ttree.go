@@ -1,0 +1,322 @@
+// Package ttree implements Cayley graphs of transposition trees,
+// generalizing the n-star graph to an arbitrary generator tree: fix a
+// tree T on the n symbol positions; the generators are the
+// transpositions (u, v) for each tree edge, so the graph has n! nodes
+// of degree n-1. The star graph is the star tree centered at position
+// 0; the path tree gives the bubble-sort graph. These are exactly the
+// Cayley-graph networks the paper's Theorem 2.2 argument covers: the
+// two-phase randomized algorithm routes any permutation in Õ(routing
+// path length) on any of them.
+//
+// Deterministic paths follow leaf elimination: repeatedly take the
+// smallest-index leaf of the remaining tree, march the symbol that
+// belongs there along its tree path home, then delete the leaf. The
+// remaining vertex set stays a connected subtree, so a marching
+// symbol never displaces an already-placed one and the walk
+// terminates within (n-1)² swaps, the bound MaxPathLen declares.
+package ttree
+
+import (
+	"fmt"
+	"sort"
+
+	"pramemu/internal/mathx"
+)
+
+// Graph is a transposition-tree Cayley graph with precomputed
+// adjacency, permutation and tree-routing tables. Safe for concurrent
+// use after construction.
+type Graph struct {
+	n     int
+	label string
+	nodes int
+	// perms[u*n+i] is the symbol at position i of node u's label.
+	perms []uint8
+	// invs[u*n+s] is the position of symbol s in node u's label.
+	invs []uint8
+	// adj[u*(n-1)+s] is the rank of u with the endpoints of tree edge
+	// s transposed.
+	adj []int32
+	// edges is the generator list, sorted lexicographically; the slot
+	// order of every node.
+	edges [][2]int
+	// slotOf[u*n+v] is the slot of tree edge (u, v), -1 otherwise.
+	slotOf []int8
+	// step[u*n+v] is the neighbor of u on the tree path to v.
+	step []uint8
+	// elim is the leaf-elimination order: elim[k] is the smallest-
+	// index leaf of the tree with elim[0..k-1] removed.
+	elim []uint8
+	diam int
+}
+
+// New constructs the Cayley graph of the transposition tree with the
+// given edges on positions 0..n-1. It panics unless 2 <= n <= 9 and
+// the edges form a tree; the graph diameter is computed exactly by a
+// breadth-first search from the identity (Cayley graphs are
+// vertex-transitive).
+func New(n int, label string, edges [][2]int) *Graph {
+	if n < 2 || n > 9 {
+		panic("ttree: n must be in [2, 9]")
+	}
+	if len(edges) != n-1 {
+		panic(fmt.Sprintf("ttree: %d edges cannot form a tree on %d positions", len(edges), n))
+	}
+	g := &Graph{n: n, label: label, nodes: int(mathx.Factorial(n))}
+	g.buildTree(edges)
+	g.buildAdjacency()
+	g.diam = g.bfsDiameter()
+	return g
+}
+
+// NewPath returns the bubble-sort graph: the path tree 0-1-...-(n-1).
+func NewPath(n int) *Graph {
+	edges := make([][2]int, n-1)
+	for i := range edges {
+		edges[i] = [2]int{i, i + 1}
+	}
+	return New(n, "path", edges)
+}
+
+// NewStar returns the star-tree graph (isomorphic to the n-star
+// graph): every position joined to position 0.
+func NewStar(n int) *Graph {
+	edges := make([][2]int, n-1)
+	for i := range edges {
+		edges[i] = [2]int{0, i + 1}
+	}
+	return New(n, "star", edges)
+}
+
+// NewBinary returns the complete-binary-tree graph: position i joined
+// to its heap children 2i+1 and 2i+2.
+func NewBinary(n int) *Graph {
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < n {
+				edges = append(edges, [2]int{i, c})
+			}
+		}
+	}
+	return New(n, "binary", edges)
+}
+
+func (g *Graph) buildTree(edges [][2]int) {
+	n := g.n
+	g.edges = make([][2]int, len(edges))
+	for i, e := range edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		if u < 0 || v >= n || u == v {
+			panic(fmt.Sprintf("ttree: edge (%d, %d) out of range", e[0], e[1]))
+		}
+		g.edges[i] = [2]int{u, v}
+	}
+	sort.Slice(g.edges, func(i, j int) bool {
+		if g.edges[i][0] != g.edges[j][0] {
+			return g.edges[i][0] < g.edges[j][0]
+		}
+		return g.edges[i][1] < g.edges[j][1]
+	})
+	g.slotOf = make([]int8, n*n)
+	for i := range g.slotOf {
+		g.slotOf[i] = -1
+	}
+	nbrs := make([][]int, n)
+	for s, e := range g.edges {
+		u, v := e[0], e[1]
+		if g.slotOf[u*n+v] != -1 {
+			panic(fmt.Sprintf("ttree: duplicate edge (%d, %d)", u, v))
+		}
+		g.slotOf[u*n+v] = int8(s)
+		g.slotOf[v*n+u] = int8(s)
+		nbrs[u] = append(nbrs[u], v)
+		nbrs[v] = append(nbrs[v], u)
+	}
+	// step[u][v] by BFS from every v over the tree; also validates
+	// connectivity (n-1 edges + connected = tree).
+	g.step = make([]uint8, n*n)
+	queue := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		seen := make([]bool, n)
+		seen[v] = true
+		queue = append(queue[:0], v)
+		reached := 0
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			reached++
+			for _, y := range nbrs[x] {
+				if !seen[y] {
+					seen[y] = true
+					// First hop from y toward v is x.
+					g.step[y*n+v] = uint8(x)
+					queue = append(queue, y)
+				}
+			}
+		}
+		if reached != n {
+			panic("ttree: edges do not form a connected tree")
+		}
+	}
+	// Leaf-elimination order: repeatedly remove the smallest-index
+	// leaf, leaving the last vertex unprocessed (it is forced).
+	deg := make([]int, n)
+	for _, e := range g.edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	removed := make([]bool, n)
+	g.elim = make([]uint8, 0, n-1)
+	for len(g.elim) < n-1 {
+		leaf := -1
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] <= 1 {
+				leaf = v
+				break
+			}
+		}
+		removed[leaf] = true
+		g.elim = append(g.elim, uint8(leaf))
+		for _, y := range nbrs[leaf] {
+			if !removed[y] {
+				deg[y]--
+			}
+		}
+		deg[leaf] = 0
+	}
+}
+
+func (g *Graph) buildAdjacency() {
+	n := g.n
+	g.perms = make([]uint8, g.nodes*n)
+	g.invs = make([]uint8, g.nodes*n)
+	g.adj = make([]int32, g.nodes*(n-1))
+	perm := make([]int, n)
+	swapped := make([]int, n)
+	for u := 0; u < g.nodes; u++ {
+		mathx.PermUnrank(uint64(u), perm)
+		for i, s := range perm {
+			g.perms[u*n+i] = uint8(s)
+			g.invs[u*n+s] = uint8(i)
+		}
+		for s, e := range g.edges {
+			copy(swapped, perm)
+			swapped[e[0]], swapped[e[1]] = swapped[e[1]], swapped[e[0]]
+			g.adj[u*(n-1)+s] = int32(mathx.PermRank(swapped))
+		}
+	}
+}
+
+// bfsDiameter returns the eccentricity of the identity permutation,
+// which equals the diameter by vertex-transitivity.
+func (g *Graph) bfsDiameter() int {
+	dist := make([]int32, g.nodes)
+	for i := range dist {
+		dist[i] = -1
+	}
+	id := int(mathx.PermRank(identity(g.n)))
+	dist[id] = 0
+	queue := []int{id}
+	far := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for s := 0; s < g.n-1; s++ {
+			v := int(g.adj[u*(g.n-1)+s])
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				if int(dist[v]) > far {
+					far = int(dist[v])
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return far
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// N returns the symbol count n.
+func (g *Graph) N() int { return g.n }
+
+// Name implements topology.Graph.
+func (g *Graph) Name() string { return fmt.Sprintf("ttree(%s,n=%d)", g.label, g.n) }
+
+// Nodes implements topology.Graph: n! nodes.
+func (g *Graph) Nodes() int { return g.nodes }
+
+// Degree implements topology.Graph: one generator per tree edge.
+func (g *Graph) Degree(node int) int { return g.n - 1 }
+
+// Neighbor implements topology.Graph: apply the transposition of tree
+// edge slot.
+func (g *Graph) Neighbor(node, slot int) int {
+	return int(g.adj[node*(g.n-1)+slot])
+}
+
+// Diameter implements topology.Graph (exact, BFS-computed at
+// construction).
+func (g *Graph) Diameter() int { return g.diam }
+
+// MaxPathLen implements topology.PathBounded: leaf elimination
+// marches at most n-1 symbols along tree paths of at most n-1 edges.
+func (g *Graph) MaxPathLen() int { return (g.n - 1) * (g.n - 1) }
+
+// NextHop implements topology.Graph with leaf elimination on the
+// relative permutation: the first still-unplaced home (in elimination
+// order) determines the marching symbol, and the swap is the first
+// tree edge on its path home. Earlier-eliminated vertices already
+// hold their symbols and the path never crosses them, so placements
+// are permanent.
+func (g *Graph) NextHop(node, dst, taken int) (slot int, done bool) {
+	if node == dst {
+		return 0, true
+	}
+	n := g.n
+	cur := g.perms[node*n : node*n+n]
+	wantInv := g.invs[dst*n : dst*n+n]
+	// posOf[h] = current position of the symbol whose home is h.
+	var posOf [16]uint8
+	for i := 0; i < n; i++ {
+		posOf[wantInv[cur[i]]] = uint8(i)
+	}
+	for _, e := range g.elim {
+		home := int(e)
+		pos := int(posOf[home])
+		if pos == home {
+			continue
+		}
+		next := int(g.step[pos*n+home])
+		return int(g.slotOf[pos*n+next]), false
+	}
+	panic("ttree: NextHop found no misplaced symbol with node != dst")
+}
+
+// Distance returns the length of the leaf-elimination path from u to
+// v (an upper bound on the true Cayley distance).
+func (g *Graph) Distance(u, v int) int {
+	d := 0
+	for u != v {
+		slot, done := g.NextHop(u, v, d)
+		if done {
+			break
+		}
+		u = g.Neighbor(u, slot)
+		d++
+		if d > g.MaxPathLen() {
+			panic("ttree: leaf elimination exceeded its (n-1)² bound")
+		}
+	}
+	return d
+}

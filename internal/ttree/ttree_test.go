@@ -1,0 +1,104 @@
+package ttree
+
+import (
+	"testing"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/simnet"
+	"pramemu/internal/star"
+)
+
+func TestStarTreeMatchesStarGraph(t *testing.T) {
+	// The star-tree Cayley graph is the n-star graph; the BFS-computed
+	// diameter must reproduce ⌊3(n-1)/2⌋.
+	for _, n := range []int{3, 4, 5, 6} {
+		g := NewStar(n)
+		sg := star.New(n)
+		if g.Nodes() != sg.Nodes() {
+			t.Fatalf("n=%d: nodes %d != star %d", n, g.Nodes(), sg.Nodes())
+		}
+		if g.Degree(0) != sg.Degree(0) {
+			t.Fatalf("n=%d: degree %d != star %d", n, g.Degree(0), sg.Degree(0))
+		}
+		if g.Diameter() != sg.Diameter() {
+			t.Fatalf("n=%d: diameter %d != star's %d", n, g.Diameter(), sg.Diameter())
+		}
+	}
+}
+
+func TestPathTreeIsBubbleSortGraph(t *testing.T) {
+	// The path-tree graph is the bubble-sort graph, whose diameter is
+	// the maximum inversion count n(n-1)/2.
+	for _, n := range []int{3, 4, 5} {
+		g := NewPath(n)
+		if want := n * (n - 1) / 2; g.Diameter() != want {
+			t.Fatalf("n=%d: bubble-sort diameter %d, want %d", n, g.Diameter(), want)
+		}
+	}
+}
+
+func TestNeighborIsInvolution(t *testing.T) {
+	for _, g := range []*Graph{NewPath(5), NewBinary(5), NewStar(5)} {
+		for u := 0; u < g.Nodes(); u++ {
+			for s := 0; s < g.Degree(u); s++ {
+				v := g.Neighbor(u, s)
+				if v == u {
+					t.Fatalf("%s: node %d slot %d is a self-loop", g.Name(), u, s)
+				}
+				if back := g.Neighbor(v, s); back != u {
+					t.Fatalf("%s: transposition not involutive at %d slot %d", g.Name(), u, s)
+				}
+			}
+		}
+	}
+}
+
+func TestLeafEliminationPathsExhaustive(t *testing.T) {
+	// Every ordered pair on all three shapes at n=5: paths terminate
+	// within (n-1)² hops at the right node and never undo a placement.
+	for _, g := range []*Graph{NewPath(5), NewBinary(5), NewStar(5)} {
+		bound := g.MaxPathLen()
+		for u := 0; u < g.Nodes(); u++ {
+			for v := 0; v < g.Nodes(); v++ {
+				if d := g.Distance(u, v); d > bound {
+					t.Fatalf("%s: path %d->%d took %d hops, bound %d", g.Name(), u, v, d, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestValiantPermutationRouting(t *testing.T) {
+	g := NewBinary(5) // 120 nodes
+	perm := prng.New(5).Perm(g.Nodes())
+	pkts := make([]*packet.Packet, len(perm))
+	for i, dst := range perm {
+		pkts[i] = packet.New(i, i, dst, packet.Transit)
+	}
+	stats, err := simnet.Route(g, pkts, simnet.Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeliveredRequests != g.Nodes() {
+		t.Fatalf("delivered %d/%d", stats.DeliveredRequests, g.Nodes())
+	}
+}
+
+func TestNewValidatesTrees(t *testing.T) {
+	for name, edges := range map[string][][2]int{
+		"too few edges": {{0, 1}},
+		"cycle":         {{0, 1}, {1, 2}, {2, 0}},
+		"duplicate":     {{0, 1}, {0, 1}, {2, 3}},
+		"out of range":  {{0, 1}, {1, 2}, {3, 9}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%s) should panic", name)
+				}
+			}()
+			New(4, "bad", edges)
+		}()
+	}
+}

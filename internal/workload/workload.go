@@ -208,3 +208,37 @@ func Transpose(g *mesh.Grid) []*packet.Packet {
 	}
 	return pkts
 }
+
+// IsSquare reports whether nodes is a perfect square (the
+// TransposeSquare precondition).
+func IsSquare(nodes int) bool {
+	s := side(nodes)
+	return s > 0 && s*s == nodes
+}
+
+func side(nodes int) int {
+	s := 0
+	for (s+1)*(s+1) <= nodes {
+		s++
+	}
+	return s
+}
+
+// TransposeSquare returns the transpose permutation on any square
+// node count: with s = √nodes, node r*s + c sends to node c*s + r.
+// On tori and meshes this is the classic adversarial pattern for
+// dimension-ordered routing (every packet crosses the main diagonal,
+// complementing the bit-reversal permutation on the binary families).
+// It panics unless nodes is a perfect square.
+func TransposeSquare(nodes int, kind packet.Kind) []*packet.Packet {
+	if !IsSquare(nodes) {
+		panic(fmt.Sprintf("workload: TransposeSquare needs a square node count, got %d", nodes))
+	}
+	s := side(nodes)
+	pkts := make([]*packet.Packet, nodes)
+	for node := 0; node < nodes; node++ {
+		r, c := node/s, node%s
+		pkts[node] = packet.New(node, node, c*s+r, kind)
+	}
+	return pkts
+}

@@ -206,3 +206,35 @@ func TestTranspose(t *testing.T) {
 		}
 	}
 }
+
+func TestTransposeSquare(t *testing.T) {
+	const nodes = 81 // 9x9, works for any square count (torus or mesh)
+	pkts := TransposeSquare(nodes, packet.Transit)
+	if len(pkts) != nodes {
+		t.Fatalf("%d packets", len(pkts))
+	}
+	seen := make(map[int]bool, nodes)
+	for _, p := range pkts {
+		sr, sc := p.Src/9, p.Src%9
+		dr, dc := p.Dst/9, p.Dst%9
+		if sr != dc || sc != dr {
+			t.Fatalf("packet %d->%d is not a transpose", p.Src, p.Dst)
+		}
+		if seen[p.Dst] {
+			t.Fatalf("destination %d hit twice; not a permutation", p.Dst)
+		}
+		seen[p.Dst] = true
+	}
+}
+
+func TestTransposeSquareRejectsNonSquares(t *testing.T) {
+	if IsSquare(10) || !IsSquare(16) || IsSquare(0) {
+		t.Fatal("IsSquare misclassifies")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square count should panic")
+		}
+	}()
+	TransposeSquare(10, packet.Transit)
+}
