@@ -426,6 +426,73 @@ func BenchmarkE13ParallelEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkE15EngineHotPath — the flat-state round engine PR: the
+// same large-n configurations priced on the dense slice-table path
+// and on the hashed-map fallback (the pre-PR layout), with Workers: 1
+// so the metrics isolate the data plane. ns/round, B/round and
+// allocs/round are per simulated round across all trials; packets
+// come from one slab arena recycled per trial. The residual B/round
+// is injection-time setup (per-packet PRNG substreams, workload
+// vectors) amortized over the run — steady-state rounds themselves
+// allocate zero, which TestSteadyStateRoundIsAllocationFree asserts
+// exactly.
+func BenchmarkE15EngineHotPath(b *testing.B) {
+	type hotCase struct {
+		name string
+		run  func(a *packet.Arena, seed uint64, hashed bool) int // returns Rounds
+	}
+	cases := []hotCase{
+		{"star7-relation", func(a *packet.Arena, seed uint64, hashed bool) int {
+			g := star.New(7) // 5040 nodes, 7-relation: 35280 packets
+			pkts := workload.RelationInto(a, g.Nodes(), 7, packet.Transit, seed)
+			return leveled.Route(g.AsLeveled(), pkts, leveled.Options{
+				Seed: seed * 31, Workers: 1, HashedKeys: hashed,
+			}).Rounds
+		}},
+		{"shuffle5-perm", func(a *packet.Arena, seed uint64, hashed bool) int {
+			g := shuffle.NewNWay(5) // 3125 nodes, 6-column unrolling
+			pkts := workload.PermutationInto(a, g.Nodes(), packet.Transit, seed)
+			return leveled.Route(g.AsLeveled(), pkts, leveled.Options{
+				Seed: seed * 31, Workers: 1, HashedKeys: hashed,
+			}).Rounds
+		}},
+		{"mesh128-perm", func(a *packet.Arena, seed uint64, hashed bool) int {
+			g := mesh.New(128) // 16384 nodes, furthest-first heaps
+			pkts := workload.PermutationInto(a, g.Nodes(), packet.Transit, seed)
+			return mesh.Route(g, pkts, mesh.Options{
+				Seed: seed * 31, Workers: 1, HashedKeys: hashed,
+			}).Rounds
+		}},
+	}
+	for _, c := range cases {
+		for _, mode := range []struct {
+			name   string
+			hashed bool
+		}{{"dense", false}, {"hashed", true}} {
+			b.Run(c.name+"/"+mode.name, func(b *testing.B) {
+				arena := packet.NewArena()
+				var before, after runtime.MemStats
+				runtime.GC()
+				runtime.ReadMemStats(&before)
+				rounds := 0
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					arena.Reset()
+					rounds += c.run(arena, benchSeed+uint64(i), mode.hashed)
+				}
+				elapsed := time.Since(start)
+				b.StopTimer()
+				runtime.ReadMemStats(&after)
+				b.ReportMetric(float64(elapsed.Nanoseconds())/float64(rounds), "ns/round")
+				b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(rounds), "B/round")
+				b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(rounds), "allocs/round")
+				b.ReportMetric(float64(rounds)/elapsed.Seconds(), "rounds/sec")
+			})
+		}
+	}
+}
+
 // BenchmarkE14CrossFamily — the topology-registry payoff: permutation
 // routing priced on every registered family at comparable sizes, with
 // rounds/diam as the reported metric. The paper's framework predicts

@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pramemu/internal/leveled"
@@ -59,6 +61,9 @@ type config struct {
 	jsonOut    bool
 	workers    int
 	list       bool
+	hashed     bool
+	cpuprofile string
+	memprofile string
 }
 
 func main() {
@@ -77,6 +82,9 @@ func main() {
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit one JSON object instead of the report line (for BENCH_*.json artifacts)")
 	flag.IntVar(&cfg.workers, "workers", 0, "round-engine workers (0 = GOMAXPROCS, 1 = sequential; identical results either way)")
 	flag.BoolVar(&cfg.list, "list", false, "list the registered network families and exit")
+	flag.BoolVar(&cfg.hashed, "hashed", false, "force the engine's hashed-map link state instead of the dense tables (identical results; for A/B profiling)")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the routing trials to this file")
+	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile (taken after the trials) to this file")
 	flag.Parse()
 
 	if err := run(os.Stdout, cfg); err != nil {
@@ -107,14 +115,38 @@ type result struct {
 }
 
 // run executes one invocation, writing the report to w. It is the
-// testable core of the command.
-func run(w io.Writer, cfg config) error {
+// testable core of the command; the profile flags are honored here so
+// tests can exercise them without a child process.
+func run(w io.Writer, cfg config) (err error) {
 	if cfg.list {
 		for _, name := range topology.Names() {
 			f, _ := topology.Lookup(name)
 			fmt.Fprintf(w, "%-10s %s\n", name, f.Params)
 		}
 		return nil
+	}
+	if cfg.cpuprofile != "" {
+		f, ferr := os.Create(cfg.cpuprofile)
+		if ferr != nil {
+			return fmt.Errorf("cpuprofile: %w", ferr)
+		}
+		if perr := pprof.StartCPUProfile(f); perr != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", perr)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("cpuprofile: %w", cerr)
+			}
+		}()
+	}
+	if cfg.memprofile != "" {
+		defer func() {
+			if err == nil {
+				err = writeHeapProfile(cfg.memprofile)
+			}
+		}()
 	}
 	b, err := topology.Build(cfg.net, topology.Params{N: cfg.n, K: cfg.k})
 	if err != nil {
@@ -190,15 +222,18 @@ func runMesh(w io.Writer, g *mesh.Grid, cfg config) error {
 	default:
 		return fmt.Errorf("unknown mesh discipline %q", cfg.disc)
 	}
+	opts.HashedKeys = cfg.hashed
 	rounds := make([]int, 0, cfg.trials)
 	maxQ := 0
+	arena := packet.NewArena()
 	start := time.Now()
 	for trial := 0; trial < cfg.trials; trial++ {
 		s := cfg.seed + uint64(trial)
+		arena.Reset()
 		var pkts []*packet.Packet
 		switch cfg.workload {
 		case "perm":
-			pkts = workload.Permutation(g.Nodes(), packet.Transit, s)
+			pkts = workload.PermutationInto(arena, g.Nodes(), packet.Transit, s)
 		case "transpose":
 			pkts = workload.Transpose(g)
 		case "local":
@@ -230,10 +265,12 @@ func runGeneric(w io.Writer, b topology.Built, cfg config) error {
 	nodes := b.Nodes()
 	rounds := make([]int, 0, cfg.trials)
 	maxQ := 0
+	arena := packet.NewArena()
 	start := time.Now()
 	for trial := 0; trial < cfg.trials; trial++ {
 		s := cfg.seed + uint64(trial)
-		pkts, err := buildWorkload(cfg, nodes, s)
+		arena.Reset()
+		pkts, err := buildWorkload(cfg, arena, nodes, s)
 		if err != nil {
 			return err
 		}
@@ -241,11 +278,13 @@ func runGeneric(w io.Writer, b topology.Built, cfg config) error {
 		if useSpec {
 			st := leveled.Route(b.Spec, pkts, leveled.Options{
 				Seed: s * 31, SkipPhase1: cfg.skipPhase1, Workers: cfg.workers,
+				HashedKeys: cfg.hashed,
 			})
 			r, q = st.Rounds, st.MaxQueue
 		} else {
 			st, err := simnet.Route(b.Graph, pkts, simnet.Options{
 				Seed: s * 31, SkipPhase1: cfg.skipPhase1, Workers: cfg.workers,
+				HashedKeys: cfg.hashed,
 			})
 			if err != nil {
 				return err
@@ -270,13 +309,14 @@ func runGeneric(w io.Writer, b topology.Built, cfg config) error {
 	}, rounds, time.Since(start))
 }
 
-// buildWorkload realizes the named request pattern on nodes.
-func buildWorkload(cfg config, nodes int, seed uint64) ([]*packet.Packet, error) {
+// buildWorkload realizes the named request pattern on nodes,
+// allocating packets from arena where the generator supports it.
+func buildWorkload(cfg config, arena *packet.Arena, nodes int, seed uint64) ([]*packet.Packet, error) {
 	switch cfg.workload {
 	case "perm":
-		return workload.Permutation(nodes, packet.Transit, seed), nil
+		return workload.PermutationInto(arena, nodes, packet.Transit, seed), nil
 	case "relation":
-		return workload.Relation(nodes, max(2, cfg.n), packet.Transit, seed), nil
+		return workload.RelationInto(arena, nodes, max(2, cfg.n), packet.Transit, seed), nil
 	case "bitrev":
 		if nodes&(nodes-1) != 0 {
 			return nil, fmt.Errorf("workload bitrev needs a power-of-two node count, have %d", nodes)
@@ -292,6 +332,24 @@ func buildWorkload(cfg config, nodes int, seed uint64) ([]*packet.Packet, error)
 	default:
 		return nil, fmt.Errorf("unknown workload %q", cfg.workload)
 	}
+}
+
+// writeHeapProfile snapshots the heap (after a GC, so live objects —
+// not garbage — dominate) into path.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
 }
 
 func max(a, b int) int {

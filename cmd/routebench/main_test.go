@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -160,5 +162,54 @@ func TestRunRejectsUnknowns(t *testing.T) {
 	}
 	if err := run(&b, config{net: "ttree", n: 5, k: 9, workload: "perm", trials: 1}); err == nil {
 		t.Fatal("unknown ttree shape accepted")
+	}
+}
+
+// TestRunWritesProfiles is the satellite smoke test for -cpuprofile /
+// -memprofile: both files must exist and be non-empty after a run
+// through the testable core.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var b strings.Builder
+	cfg := config{
+		net: "star", n: 4, workload: "perm", trials: 2, seed: 7,
+		cpuprofile: cpu, memprofile: mem,
+	}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+	// An unwritable profile path errors instead of silently skipping.
+	if err := run(&b, config{
+		net: "star", n: 3, workload: "perm", trials: 1,
+		cpuprofile: filepath.Join(dir, "no", "such", "dir.pprof"),
+	}); err == nil {
+		t.Fatal("unwritable cpuprofile path accepted")
+	}
+}
+
+// TestRunHashedMatchesDense pins the -hashed A/B knob: both link-state
+// paths must report identical rounds on a fixed seed.
+func TestRunHashedMatchesDense(t *testing.T) {
+	out := func(hashed bool) string {
+		var b strings.Builder
+		cfg := config{net: "star", n: 4, workload: "perm", trials: 2, seed: 7, hashed: hashed}
+		if err := run(&b, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if dense, hashed := out(false), out(true); dense != hashed {
+		t.Fatalf("dense and hashed reports differ:\n%s%s", dense, hashed)
 	}
 }

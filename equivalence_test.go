@@ -211,6 +211,108 @@ func TestWorkerEquivalence(t *testing.T) {
 	}
 }
 
+// denseCase routes one reply-free workload — the configuration on
+// which the simulators declare their dense link-key space — with an
+// explicit storage-path selector.
+type denseCase struct {
+	name string
+	run  func(seed uint64, workers int, hashed bool) (any, []ptrace)
+}
+
+func denseHashedCases() []denseCase {
+	return []denseCase{
+		{"star5-direct", func(seed uint64, workers int, hashed bool) (any, []ptrace) {
+			g := star.New(5)
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			st := mustSimRoute(g, pkts, simnet.Options{
+				Seed: seed * 31, Workers: workers, HashedKeys: hashed,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"shuffle3-direct", func(seed uint64, workers int, hashed bool) (any, []ptrace) {
+			g := shuffle.NewNWay(3) // taken-sensitive NextHop under slot keys
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			st := mustSimRoute(g, pkts, simnet.Options{
+				Seed: seed * 31, Workers: workers, HashedKeys: hashed,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"butterfly7-leveled", func(seed uint64, workers int, hashed bool) (any, []ptrace) {
+			spec := leveled.NewButterfly(7)
+			pkts := workload.Permutation(spec.Width(), packet.Transit, seed)
+			st := leveled.Route(spec, pkts, leveled.Options{
+				Seed: seed * 31, Workers: workers, HashedKeys: hashed,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"star5-leveled-combine", func(seed uint64, workers int, hashed bool) (any, []ptrace) {
+			// Combining without replies keeps the dense path on while
+			// exercising the push-phase combiner hook.
+			g := star.New(5)
+			pkts := readHotSpots(g.Nodes(), seed)
+			st := leveled.Route(g.AsLeveled(), pkts, leveled.Options{
+				Seed: seed * 31, Combine: true, Workers: workers, HashedKeys: hashed,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"mesh16", func(seed uint64, workers int, hashed bool) (any, []ptrace) {
+			g := mesh.New(16)
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			st := mesh.Route(g, pkts, mesh.Options{
+				Seed: seed * 31, Workers: workers, HashedKeys: hashed,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"ranade6-replylinks", func(seed uint64, workers int, hashed bool) (any, []ptrace) {
+			// The knob selects the reply pass's dense reverse-link
+			// table vs its hashed map (the forward pass has no engine
+			// link state).
+			n := ranade.New(6)
+			pkts := readHotSpots(n.Nodes(), seed)
+			st := n.RouteOpts(pkts, ranade.Options{
+				Combine: true, Seed: seed, Workers: workers, HashedKeys: hashed,
+			})
+			return st, tracesOf(pkts)
+		}},
+	}
+}
+
+// TestWorkerEquivalenceDenseHashed is the storage-path half of the
+// engine invariant: for every reply-free configuration, the dense
+// slice-table path and the hashed-map fallback produce identical
+// stats and per-packet traces at Workers 1 and 4 — all four
+// combinations collapse to one result. (The name keeps it inside the
+// CI race job's TestWorker filter, so both paths are race-checked.)
+func TestWorkerEquivalenceDenseHashed(t *testing.T) {
+	seeds := []uint64{3, 1991}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, c := range denseHashedCases() {
+		t.Run(c.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				wantStats, wantTraces := c.run(seed, 1, false)
+				for _, v := range []struct {
+					workers int
+					hashed  bool
+				}{{4, false}, {1, true}, {4, true}} {
+					gotStats, gotTraces := c.run(seed, v.workers, v.hashed)
+					if gotStats != wantStats {
+						t.Fatalf("seed %d: workers=%d hashed=%v stats diverged from dense workers=1:\nwant: %+v\ngot:  %+v",
+							seed, v.workers, v.hashed, wantStats, gotStats)
+					}
+					for i := range wantTraces {
+						if gotTraces[i] != wantTraces[i] {
+							t.Fatalf("seed %d: workers=%d hashed=%v packet %d trace diverged:\nwant: %+v\ngot:  %+v",
+								seed, v.workers, v.hashed, i, wantTraces[i], gotTraces[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestWorkerEquivalenceDefaultWorkers pins the GOMAXPROCS default
 // (Workers: 0) to the sequential result, since that is what every
 // existing caller now gets implicitly.

@@ -1,7 +1,8 @@
 package engine
 
 import (
-	"sort"
+	"fmt"
+	"math/bits"
 
 	"pramemu/internal/packet"
 	"pramemu/internal/prng"
@@ -10,7 +11,7 @@ import (
 
 // Arrival is a packet about to enter the queue of the directed link
 // identified by Key. Key encoding is simulator-defined; the engine
-// only hashes it to a shard and orders by it.
+// only maps it to a shard and orders by it.
 type Arrival struct {
 	Key uint64
 	P   *packet.Packet
@@ -29,6 +30,14 @@ type Handler func(ctx *Ctx, a Arrival, round int)
 // freely mutate queued packets.
 type Combiner func(ctx *Ctx, q queue.Discipline, a Arrival) bool
 
+// denseKeyLimit caps the declared key space the engine will back with
+// slice-indexed tables: one table slot is one queue.Discipline
+// interface value (two words), so the cap bounds table memory at
+// 256 MiB worst case. Beyond it the hashed-map fallback — which only
+// pays for live keys — is the better trade, and the engine selects it
+// silently.
+const denseKeyLimit = 1 << 24
+
 // Options configures an engine run.
 type Options struct {
 	// Workers is the worker-pool width; <= 0 selects GOMAXPROCS and 1
@@ -41,25 +50,47 @@ type Options struct {
 	// NewQueue constructs a link queue; nil selects plain FIFO, the
 	// discipline of §2.2.1.
 	NewQueue func() queue.Discipline
+	// MaxKey declares that every key the run will Emit lies in
+	// [0, MaxKey). Simulators whose link encodings are dense by
+	// construction (node*degree + slot) set it so each shard owns a
+	// slice-indexed queue table plus an incrementally maintained
+	// active-key list instead of a hash map — the allocation-free hot
+	// path. Zero, or a value beyond the engine's internal table-memory
+	// cap, selects the hashed fallback, which accepts arbitrary 64-bit
+	// keys. The two paths produce bit-identical results: insertion
+	// order is canonical either way, and per-round effects commute.
+	MaxKey uint64
 }
 
 // Ctx is the per-shard execution context handed to Handler, Combiner
 // and the injection callback. It is never shared between concurrent
 // callbacks, so accumulation needs no locks.
 type Ctx struct {
-	stats Stats
-	loads map[int]int
-	rand  *prng.Source
-	mask  uint64
-	out   [][]Arrival // next-round buffer, bucketed by destination shard
+	stats  Stats
+	loads  map[int]int
+	rand   *prng.Source
+	mask   uint64
+	dense  bool
+	maxKey uint64
+	out    [][]Arrival // next-round buffer, bucketed by destination shard
 }
 
 // Emit schedules p to enter the queue of link key next round (or this
 // round's push phase, when called during injection or a pop phase).
 // Arrivals are buffered double-buffer style and sorted by (key, packet
-// ID) before insertion, so emission order never matters.
+// ID) before insertion, so emission order never matters. On a dense
+// engine a key outside the declared [0, MaxKey) range panics: it is a
+// simulator encoding bug that a hash map would silently absorb.
 func (c *Ctx) Emit(key uint64, p *packet.Packet) {
-	s := shardOf(key, c.mask)
+	var s int
+	if c.dense {
+		if key >= c.maxKey {
+			panic(fmt.Sprintf("engine: emitted key %d outside the declared dense key space [0, %d)", key, c.maxKey))
+		}
+		s = int(key & c.mask)
+	} else {
+		s = shardOf(key, c.mask)
+	}
 	c.out[s] = append(c.out[s], Arrival{key, p})
 }
 
@@ -83,12 +114,26 @@ func (c *Ctx) AddLoad(node, delta int) {
 // that shapes the simulation belongs in per-packet streams.
 func (c *Ctx) Rand() *prng.Source { return c.rand }
 
-// shard owns a partition of the link queues.
+// shard owns a partition of the link queues: a slice-indexed table
+// plus active-key list on the dense path, a hash map on the fallback.
 type shard struct {
-	ctx   Ctx
+	ctx Ctx
+	// edges is the hashed-path link state (nil on the dense path).
 	edges map[uint64]queue.Discipline
-	free  []queue.Discipline
-	inbox []Arrival // scratch for the push phase
+	// table is the dense-path link state: the queue of key k lives at
+	// table[k>>shift], since the low shift bits select the shard.
+	table []queue.Discipline
+	// active lists the keys with non-empty queues, maintained
+	// incrementally (append on first insert, swap-remove on drain), so
+	// the drain phase iterates a compact slice instead of re-scanning.
+	active []uint64
+	// live counts non-empty queues on both paths, so Engine.Run never
+	// re-derives liveness from container sizes.
+	live    int
+	shift   uint
+	free    []queue.Discipline
+	inbox   []Arrival // push-phase gather buffer, reused every round
+	scratch []Arrival // radix-sort spare buffer, reused every round
 }
 
 // Engine runs the synchronous round loop over sharded link state.
@@ -97,6 +142,16 @@ type Engine struct {
 	shards   []shard
 	mask     uint64
 	newQueue func() queue.Discipline
+	dense    bool
+
+	// Per-run state referenced by the preallocated phase closures, so
+	// a steady-state round performs no closure or interface
+	// allocation.
+	round   int
+	handle  Handler
+	combine Combiner
+	drainFn func(w, lo, hi int)
+	pushFn  func(w, lo, hi int)
 }
 
 // parallelThreshold is the number of live link queues below which a
@@ -121,17 +176,40 @@ func New(opts Options) *Engine {
 		shards:   make([]shard, nshards),
 		mask:     uint64(nshards - 1),
 		newQueue: newQueue,
+		dense:    opts.MaxKey > 0 && opts.MaxKey <= denseKeyLimit,
+	}
+	shift := uint(bits.TrailingZeros(uint(nshards)))
+	tableSize := 0
+	if e.dense {
+		tableSize = int((opts.MaxKey-1)>>shift) + 1
 	}
 	// The shard streams come off a tweaked root so they never collide
 	// with the per-packet streams Split off prng.New(seed) directly.
 	root := prng.New(opts.Seed ^ 0xa5a5a5a5a5a5a5a5)
 	for i := range e.shards {
 		sh := &e.shards[i]
-		sh.edges = make(map[uint64]queue.Discipline)
+		if e.dense {
+			sh.table = make([]queue.Discipline, tableSize)
+			sh.shift = shift
+		} else {
+			sh.edges = make(map[uint64]queue.Discipline)
+		}
 		sh.ctx = Ctx{
-			rand: root.Split(uint64(i)),
-			mask: e.mask,
-			out:  make([][]Arrival, nshards),
+			rand:   root.Split(uint64(i)),
+			mask:   e.mask,
+			dense:  e.dense,
+			maxKey: opts.MaxKey,
+			out:    make([][]Arrival, nshards),
+		}
+	}
+	e.drainFn = func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			e.shards[s].drain(e.round, e.handle)
+		}
+	}
+	e.pushFn = func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			e.pushShard(s, e.round, e.combine)
 		}
 	}
 	return e
@@ -155,32 +233,41 @@ func shardOf(key, mask uint64) int {
 // record injection-time deliveries in ctx); handle advances popped
 // packets; combine, if non-nil, is offered each arrival before
 // insertion. Returns the folded statistics.
+//
+// A steady-state round on the dense path allocates nothing: link
+// tables, active lists, gather and sort buffers and recycled queues
+// all reach their high-water capacity during warm-up and are reused
+// thereafter (the zero-allocation invariant asserted by
+// TestSteadyStateRoundIsAllocationFree).
 func (e *Engine) Run(inject func(ctx *Ctx), handle Handler, combine Combiner) Stats {
+	e.handle, e.combine = handle, combine
 	if inject != nil {
 		inject(&e.shards[0].ctx)
 	}
-	e.pushPhase(0, combine, false)
+	e.round = 0
+	e.pool.RunIf(false, len(e.shards), e.pushFn)
 	for round := 1; ; round++ {
 		live := 0
 		for i := range e.shards {
-			live += len(e.shards[i].edges)
+			live += e.shards[i].live
 		}
 		if live == 0 {
 			break
 		}
 		par := live >= parallelThreshold
-		e.pool.RunIf(par, len(e.shards), func(_, lo, hi int) {
-			for s := lo; s < hi; s++ {
-				e.shards[s].drain(round, handle)
-			}
-		})
-		e.pushPhase(round, combine, par)
+		e.round = round
+		e.pool.RunIf(par, len(e.shards), e.drainFn)
+		e.pool.RunIf(par, len(e.shards), e.pushFn)
 	}
+	e.clearScratch()
 	var out Stats
-	loads := make(map[int]int)
+	var loads map[int]int
 	for i := range e.shards {
 		out.fold(&e.shards[i].ctx.stats)
 		for node, v := range e.shards[i].ctx.loads {
+			if loads == nil {
+				loads = make(map[int]int)
+			}
 			loads[node] += v
 		}
 	}
@@ -190,34 +277,73 @@ func (e *Engine) Run(inject func(ctx *Ctx), handle Handler, combine Combiner) St
 	return out
 }
 
+// clearScratch zeroes the full capacity of every retained gather,
+// sort and emit buffer once the round loop has drained. During a run
+// the slack beyond each round's length holds arrivals from earlier,
+// busier rounds; left unzeroed after Run returns, those slots would
+// pin every delivered packet (and its recorded path) until the next
+// run happens to overwrite them. One sweep at the end costs a single
+// pass; zeroing per round would re-clear the high-water capacity
+// hundreds of times.
+func (e *Engine) clearScratch() {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		clear(sh.inbox[:cap(sh.inbox)])
+		clear(sh.scratch[:cap(sh.scratch)])
+		for j, out := range sh.ctx.out {
+			clear(out[:cap(out)])
+			sh.ctx.out[j] = out[:0]
+		}
+	}
+}
+
 // drain pops the head of every queue in the shard — one packet crosses
 // each link per round — accounts its queueing delay, and hands it to
-// the handler. Emptied queues are recycled.
+// the handler. Emptied queues are recycled. On the dense path the
+// iteration walks the compact active-key list with swap-removal;
+// every key present at entry is visited exactly once, because the
+// handler can only append to next-round buffers, never to this list.
 func (sh *shard) drain(round int, handle Handler) {
+	if sh.table != nil {
+		for i := 0; i < len(sh.active); {
+			key := sh.active[i]
+			idx := key >> sh.shift
+			q := sh.table[idx]
+			p := q.Pop()
+			p.Delay += round - p.EnqueuedAt - 1
+			if q.Len() == 0 {
+				sh.table[idx] = nil
+				sh.free = append(sh.free, q)
+				sh.live--
+				last := len(sh.active) - 1
+				sh.active[i] = sh.active[last]
+				sh.active = sh.active[:last]
+			} else {
+				i++
+			}
+			handle(&sh.ctx, Arrival{key, p}, round)
+		}
+		return
+	}
 	for key, q := range sh.edges {
 		p := q.Pop()
 		p.Delay += round - p.EnqueuedAt - 1
 		if q.Len() == 0 {
 			delete(sh.edges, key)
 			sh.free = append(sh.free, q)
+			sh.live--
 		}
 		handle(&sh.ctx, Arrival{key, p}, round)
 	}
 }
 
-// pushPhase moves every emitted arrival into its destination shard's
-// queues: each shard gathers its bucket from every source context,
-// sorts by (key, ID) — the canonical insertion order that makes queue
+// pushShard moves every arrival destined for shard s into its queues:
+// the shard gathers its bucket from every source context, radix-sorts
+// by (key, ID) — the canonical insertion order that makes queue
 // contents independent of shard layout — and inserts, offering each
-// arrival to the combiner first.
-func (e *Engine) pushPhase(round int, combine Combiner, par bool) {
-	e.pool.RunIf(par, len(e.shards), func(_, lo, hi int) {
-		for s := lo; s < hi; s++ {
-			e.pushShard(s, round, combine)
-		}
-	})
-}
-
+// arrival to the combiner first. The gather and sort buffers are
+// reused as-is between rounds and zeroed once at the end of Run
+// (clearScratch), so their slack never pins packets past the run.
 func (e *Engine) pushShard(s, round int, combine Combiner) {
 	sh := &e.shards[s]
 	buf := sh.inbox[:0]
@@ -226,31 +352,54 @@ func (e *Engine) pushShard(s, round int, combine Combiner) {
 		buf = append(buf, src.out[s]...)
 		src.out[s] = src.out[s][:0]
 	}
-	sort.Slice(buf, func(i, j int) bool {
-		if buf[i].Key != buf[j].Key {
-			return buf[i].Key < buf[j].Key
-		}
-		return buf[i].P.ID < buf[j].P.ID
-	})
-	for _, a := range buf {
-		q := sh.edges[a.Key]
-		if combine != nil && q != nil && combine(&sh.ctx, q, a) {
-			continue
-		}
-		if q == nil {
-			if n := len(sh.free); n > 0 {
-				q = sh.free[n-1]
-				sh.free = sh.free[:n-1]
-			} else {
-				q = e.newQueue()
+	sorted, spare := SortArrivals(buf, sh.scratch)
+	if sh.table != nil {
+		for _, a := range sorted {
+			idx := a.Key >> sh.shift
+			q := sh.table[idx]
+			if combine != nil && q != nil && combine(&sh.ctx, q, a) {
+				continue
 			}
-			sh.edges[a.Key] = q
+			if q == nil {
+				q = sh.takeQueue(e)
+				sh.table[idx] = q
+				sh.active = append(sh.active, a.Key)
+				sh.live++
+			}
+			a.P.EnqueuedAt = round
+			q.Push(a.P)
+			if l := q.Len(); l > sh.ctx.stats.MaxQueue {
+				sh.ctx.stats.MaxQueue = l
+			}
 		}
-		a.P.EnqueuedAt = round
-		q.Push(a.P)
-		if l := q.Len(); l > sh.ctx.stats.MaxQueue {
-			sh.ctx.stats.MaxQueue = l
+	} else {
+		for _, a := range sorted {
+			q := sh.edges[a.Key]
+			if combine != nil && q != nil && combine(&sh.ctx, q, a) {
+				continue
+			}
+			if q == nil {
+				q = sh.takeQueue(e)
+				sh.edges[a.Key] = q
+				sh.live++
+			}
+			a.P.EnqueuedAt = round
+			q.Push(a.P)
+			if l := q.Len(); l > sh.ctx.stats.MaxQueue {
+				sh.ctx.stats.MaxQueue = l
+			}
 		}
 	}
-	sh.inbox = buf[:0]
+	sh.inbox, sh.scratch = sorted[:0], spare[:0]
+}
+
+// takeQueue recycles a drained queue or constructs a fresh one.
+func (sh *shard) takeQueue(e *Engine) queue.Discipline {
+	if n := len(sh.free); n > 0 {
+		q := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		return q
+	}
+	return e.newQueue()
 }

@@ -62,9 +62,13 @@ func TestPoolRunIfSequentialFallback(t *testing.T) {
 // the link k -> k+1, so low-numbered links are heavily contended.
 // Returns the final stats and per-packet (hops, delay) pairs.
 func lineRun(t *testing.T, workers, npkts, starts, length int) (Stats, [][2]int) {
+	return lineRunOpts(t, Options{Workers: workers, Seed: 42}, npkts, starts, length)
+}
+
+func lineRunOpts(t *testing.T, opts Options, npkts, starts, length int) (Stats, [][2]int) {
 	t.Helper()
 	pkts := make([]*packet.Packet, npkts)
-	eng := New(Options{Workers: workers, Seed: 42})
+	eng := New(opts)
 	handle := func(ctx *Ctx, a Arrival, round int) {
 		p := a.P
 		p.Hops++
@@ -94,7 +98,7 @@ func lineRun(t *testing.T, workers, npkts, starts, length int) (Stats, [][2]int)
 	traces := make([][2]int, npkts)
 	for i, p := range pkts {
 		if p.Arrived < 0 {
-			t.Fatalf("workers=%d: packet %d never arrived", workers, i)
+			t.Fatalf("workers=%d: packet %d never arrived", opts.Workers, i)
 		}
 		traces[i] = [2]int{p.Hops, p.Delay}
 	}
@@ -117,6 +121,136 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 		for i := range tr {
 			if tr[i] != baseTr[i] {
 				t.Fatalf("workers=%d packet %d trace %v != %v", workers, i, tr[i], baseTr[i])
+			}
+		}
+	}
+}
+
+// TestDenseMatchesHashed is the storage-path equivalence property:
+// declaring MaxKey (dense tables + active lists) and leaving it unset
+// (hashed maps) produce bit-identical stats and per-packet traces at
+// every worker count, because insertion order is canonical and
+// per-round effects commute on both paths.
+func TestDenseMatchesHashed(t *testing.T) {
+	const npkts, starts, length = 600, 40, 60
+	baseSt, baseTr := lineRunOpts(t, Options{Workers: 1, Seed: 42}, npkts, starts, length)
+	for _, workers := range []int{1, 2, 4, 8} {
+		st, tr := lineRunOpts(t, Options{Workers: workers, Seed: 42, MaxKey: length}, npkts, starts, length)
+		if st != baseSt {
+			t.Fatalf("dense workers=%d stats diverged from hashed:\n%+v\n%+v", workers, st, baseSt)
+		}
+		for i := range tr {
+			if tr[i] != baseTr[i] {
+				t.Fatalf("dense workers=%d packet %d trace %v != %v", workers, i, tr[i], baseTr[i])
+			}
+		}
+	}
+}
+
+// TestDenseFallsBackBeyondLimit pins the silent fallback: a declared
+// key space too large to back with tables must select the hashed path
+// rather than allocating gigabytes.
+func TestDenseFallsBackBeyondLimit(t *testing.T) {
+	eng := New(Options{Workers: 1, MaxKey: denseKeyLimit + 1})
+	if eng.dense {
+		t.Fatalf("MaxKey %d built a dense engine", uint64(denseKeyLimit)+1)
+	}
+	if New(Options{Workers: 1, MaxKey: 1024}).dense == false {
+		t.Fatal("MaxKey 1024 did not build a dense engine")
+	}
+}
+
+// TestDenseRejectsOutOfRangeKey pins the encoding-bug guard: emitting
+// a key at or beyond the declared MaxKey panics instead of corrupting
+// the table.
+func TestDenseRejectsOutOfRangeKey(t *testing.T) {
+	eng := New(Options{Workers: 1, MaxKey: 8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range key did not panic")
+		}
+	}()
+	eng.Run(func(ctx *Ctx) {
+		ctx.Emit(8, packet.New(0, 0, 0, packet.Transit))
+	}, func(ctx *Ctx, a Arrival, round int) {}, nil)
+}
+
+// TestSteadyStateRoundIsAllocationFree asserts the PR's headline
+// invariant: once the dense engine's tables, buffers and recycled
+// queues are warm, an entire sequential Run — injection, every drain
+// and every radix push phase — performs zero heap allocations.
+func TestSteadyStateRoundIsAllocationFree(t *testing.T) {
+	const npkts, length = 64, 512
+	pkts := make([]*packet.Packet, npkts)
+	for i := range pkts {
+		pkts[i] = packet.New(i, 0, 0, packet.Transit)
+	}
+	eng := New(Options{Workers: 1, Seed: 7, MaxKey: length})
+	inject := func(ctx *Ctx) {
+		for i, p := range pkts {
+			p.Delay = 0
+			p.EnqueuedAt = 0
+			ctx.Emit(uint64(i%8), p) // pile onto few links: real contention
+		}
+	}
+	handle := func(ctx *Ctx, a Arrival, round int) {
+		if next := a.Key + 1; next < length {
+			ctx.Emit(next, a.P)
+		}
+	}
+	// Warm-up: tables, gather buffers and the queue free list reach
+	// their high-water capacity. Several runs are needed because
+	// recycled queues rotate through links and only grow their rings
+	// lazily on the first burst each one serves.
+	for i := 0; i < 50; i++ {
+		eng.Run(inject, handle, nil)
+	}
+	if !eng.dense {
+		t.Fatal("expected a dense engine")
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		eng.Run(inject, handle, nil)
+	}); allocs != 0 {
+		t.Fatalf("steady-state Run allocated %.1f objects, want 0", allocs)
+	}
+}
+
+// TestPushClearsStaleReferences is the scratch-retention regression
+// test: after a run, the retained push-phase buffers must hold no
+// packet pointers, or delivered packets (and their recorded paths)
+// stay reachable until the next run overwrites the slots.
+func TestPushClearsStaleReferences(t *testing.T) {
+	for _, maxKey := range []uint64{0, 64} {
+		eng := New(Options{Workers: 1, MaxKey: maxKey})
+		pkts := make([]*packet.Packet, 40)
+		eng.Run(func(ctx *Ctx) {
+			for i := range pkts {
+				pkts[i] = packet.New(i, 0, 0, packet.Transit)
+				ctx.Emit(uint64(i%4), pkts[i])
+			}
+		}, func(ctx *Ctx, a Arrival, round int) {
+			if next := a.Key + 1; next < 64 {
+				ctx.Emit(next, a.P)
+			}
+		}, nil)
+		for i := range eng.shards {
+			sh := &eng.shards[i]
+			for _, a := range sh.inbox[:cap(sh.inbox)] {
+				if a.P != nil {
+					t.Fatalf("maxKey=%d: inbox retains packet %d", maxKey, a.P.ID)
+				}
+			}
+			for _, a := range sh.scratch[:cap(sh.scratch)] {
+				if a.P != nil {
+					t.Fatalf("maxKey=%d: scratch retains packet %d", maxKey, a.P.ID)
+				}
+			}
+			for _, out := range sh.ctx.out {
+				for _, a := range out[:cap(out)] {
+					if a.P != nil {
+						t.Fatalf("maxKey=%d: out buffer retains packet %d", maxKey, a.P.ID)
+					}
+				}
 			}
 		}
 	}

@@ -33,6 +33,12 @@ type Options struct {
 	// Workers is the round-engine worker count: 0 selects GOMAXPROCS,
 	// 1 the sequential loop. Any value yields identical results.
 	Workers int
+	// HashedKeys forces the engine's hashed-map link state instead of
+	// the dense-table fast path (reply-free runs declare the dense
+	// forward key space (column, node, slot) to the engine). Results
+	// are bit-identical either way; the knob exists for benchmarking
+	// the fallback and for path-coverage tests.
+	HashedKeys bool
 }
 
 // Stats reports the outcome of one routing run.
@@ -64,10 +70,20 @@ type Stats struct {
 
 const reverseBit = uint64(1) << 63
 
-func forwardKey(level, node, slot int) uint64 {
-	return uint64(level)<<48 | uint64(node)<<24 | uint64(slot)
+// forwardKey encodes the directed forward link (logical column, node,
+// out-slot) densely as (level*width + node)*degree + slot, so the
+// whole forward key space is [0, (logical-1)*width*degree) and the
+// engine can back it with slice-indexed tables. The encoding orders
+// identically to the previous packed (level, node, slot) bit fields —
+// strictly monotone in the triple — so routing results are unchanged.
+func (r *router) forwardKey(level, node, slot int) uint64 {
+	return (uint64(level)*r.width+uint64(node))*r.degree + uint64(slot)
 }
 
+// reverseKey encodes a reply link by its endpoint node pair; reply
+// traffic is sparse in this space, exists only when Options.Replies
+// is set, and always sorts after the forward keys (the reverse bit),
+// exactly as the packed encodings did.
 func reverseKey(level, from, to int) uint64 {
 	return reverseBit | uint64(level)<<48 | uint64(from)<<24 | uint64(to)
 }
@@ -80,6 +96,8 @@ type router struct {
 	levels  int // ℓ
 	logical int // logical columns: 2ℓ-1 (or ℓ when SkipPhase1)
 	record  bool
+	width   uint64 // spec.Width(), the forward-key node stride
+	degree  uint64 // spec.Degree(), the forward-key slot stride
 }
 
 // Route routes pkts through the leveled network described by spec
@@ -100,11 +118,20 @@ func Route(spec Spec, pkts []*packet.Packet, opts Options) Stats {
 		levels:  spec.Levels(),
 		logical: 2*spec.Levels() - 1,
 		record:  opts.Replies || opts.Combine || opts.RecordPaths,
+		width:   uint64(spec.Width()),
+		degree:  uint64(spec.Degree()),
 	}
 	if opts.SkipPhase1 {
 		r.logical = spec.Levels()
 	}
-	eng := engine.New(engine.Options{Workers: opts.Workers, Seed: opts.Seed})
+	// Reply-free runs declare the dense forward key space so the
+	// engine swaps its hash maps for slice-indexed tables; replies
+	// live under reverseBit, outside any declarable range.
+	var maxKey uint64
+	if !opts.Replies && !opts.HashedKeys {
+		maxKey = uint64(r.logical-1) * r.width * r.degree
+	}
+	eng := engine.New(engine.Options{Workers: opts.Workers, Seed: opts.Seed, MaxKey: maxKey})
 	var combiner engine.Combiner
 	if opts.Combine {
 		combiner = r.combine
@@ -128,7 +155,7 @@ func Route(spec Spec, pkts []*packet.Packet, opts Options) Stats {
 				p.Path = append(p.Path[:0], int32(p.Src))
 			}
 			slot := r.chooseSlot(p, 0, p.Src)
-			ctx.Emit(forwardKey(0, p.Src, slot), p)
+			ctx.Emit(r.forwardKey(0, p.Src, slot), p)
 		}
 	}, r.handle, combiner)
 	return Stats{
@@ -179,9 +206,10 @@ func (r *router) handle(ctx *engine.Ctx, a engine.Arrival, round int) {
 		r.handleReplyArrival(ctx, p, round)
 		return
 	}
-	level := int(a.Key >> 48)
-	fromNode := int(a.Key >> 24 & 0xffffff)
-	slot := int(a.Key & 0xffffff)
+	cell := a.Key / r.degree
+	slot := int(a.Key % r.degree)
+	level := int(cell / r.width)
+	fromNode := int(cell % r.width)
 	node := r.spec.Out(r.physLevel(level), fromNode, slot)
 	col := level + 1
 	if r.record {
@@ -192,7 +220,7 @@ func (r *router) handle(ctx *engine.Ctx, a engine.Arrival, round int) {
 		return
 	}
 	next := r.chooseSlot(p, col, node)
-	ctx.Emit(forwardKey(col, node, next), p)
+	ctx.Emit(r.forwardKey(col, node, next), p)
 }
 
 // deliverForward completes a request's forward journey at the module
@@ -300,7 +328,7 @@ func (r *router) noteFinished(ctx *engine.Ctx, p *packet.Packet) {
 // address and module are guaranteed to share their remaining route
 // and may therefore combine.
 func (r *router) onDeterministicPath(key uint64) bool {
-	level := int(key >> 48)
+	level := int(key / (r.width * r.degree))
 	return r.opts.SkipPhase1 || level >= r.levels-1
 }
 

@@ -120,6 +120,12 @@ type Options struct {
 	// Workers is the round-engine worker count: 0 selects GOMAXPROCS,
 	// 1 the sequential loop. Any value yields identical results.
 	Workers int
+	// HashedKeys forces the engine's hashed-map link state instead of
+	// the dense-table fast path (mesh link keys node*4 + direction are
+	// dense by construction). Results are bit-identical either way;
+	// the knob exists for benchmarking the fallback and for
+	// path-coverage tests.
+	HashedKeys bool
 }
 
 // Stats aggregates one routing run.
@@ -164,10 +170,15 @@ func Route(g *Grid, pkts []*packet.Packet, opts Options) Stats {
 	if r.slice < 1 {
 		r.slice = 1
 	}
+	var maxKey uint64
+	if !opts.HashedKeys {
+		maxKey = uint64(g.Nodes()) * numDirs
+	}
 	eng := engine.New(engine.Options{
 		Workers:  opts.Workers,
 		Seed:     opts.Seed,
 		NewQueue: r.newQueue,
+		MaxKey:   maxKey,
 	})
 	st := eng.Run(func(ctx *engine.Ctx) {
 		root := prng.New(opts.Seed)

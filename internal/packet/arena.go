@@ -1,0 +1,72 @@
+package packet
+
+// arenaSlabSize is the number of packets per slab: large enough that
+// slab bookkeeping vanishes, small enough that a run of a few hundred
+// packets does not overshoot badly.
+const arenaSlabSize = 1024
+
+// Arena is a slab allocator for Packets. New hands out pointers into
+// contiguous fixed-size slabs instead of scattering one heap object
+// per packet, so a routing run's packets are cache-adjacent and cost
+// the garbage collector a handful of slabs rather than millions of
+// pointers to trace. Packets are index-addressed: the i-th packet
+// allocated since the last Reset is At(i).
+//
+// Reset recycles every slab for the next run without freeing: the
+// returned pointers remain valid but their packets will be
+// re-initialized (including their Path/Children scratch capacity) as
+// New hands the slots out again, so a caller must not hold packets
+// across a Reset. An Arena is not safe for concurrent use; the
+// simulators allocate at injection time only, which is single-
+// threaded by construction.
+type Arena struct {
+	slabs [][]Packet
+	n     int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// New allocates a packet travelling from src to dst, injected at
+// round 0 — packet.New, but from the arena's slabs. Recycled slots
+// keep the capacity of their Path, Children and CombinedAt slices, so
+// a run that records paths stops allocating per-hop once the arena
+// has been through one Reset cycle at the same shape.
+func (a *Arena) New(id, src, dst int, kind Kind) *Packet {
+	slab, slot := a.n/arenaSlabSize, a.n%arenaSlabSize
+	if slab == len(a.slabs) {
+		a.slabs = append(a.slabs, make([]Packet, arenaSlabSize))
+	}
+	a.n++
+	p := &a.slabs[slab][slot]
+	path, children, combinedAt := p.Path[:0], p.Children[:0], p.CombinedAt[:0]
+	*p = Packet{ID: id, Src: src, Dst: dst, Kind: kind, Arrived: -1}
+	p.Path, p.Children, p.CombinedAt = path, children, combinedAt
+	return p
+}
+
+// Len returns the number of packets allocated since the last Reset.
+func (a *Arena) Len() int { return a.n }
+
+// At returns the i-th packet allocated since the last Reset.
+func (a *Arena) At(i int) *Packet {
+	if i < 0 || i >= a.n {
+		panic("packet: Arena.At index out of range")
+	}
+	return &a.slabs[i/arenaSlabSize][i%arenaSlabSize]
+}
+
+// Reset recycles the arena: all slabs are retained and the next New
+// reuses them from the start. Every packet handed out before the
+// Reset is invalidated (its memory will be reused).
+func (a *Arena) Reset() { a.n = 0 }
+
+// NewIn allocates from a when non-nil and from the heap otherwise,
+// letting workload generators take an optional arena without
+// branching at every call site.
+func NewIn(a *Arena, id, src, dst int, kind Kind) *Packet {
+	if a == nil {
+		return New(id, src, dst, kind)
+	}
+	return a.New(id, src, dst, kind)
+}

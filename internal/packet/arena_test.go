@@ -1,0 +1,111 @@
+package packet
+
+import "testing"
+
+func TestArenaAllocatesDistinctPackets(t *testing.T) {
+	a := NewArena()
+	const n = 3000 // spans several slabs
+	seen := make(map[*Packet]bool, n)
+	for i := 0; i < n; i++ {
+		p := a.New(i, i, n-i, ReadRequest)
+		if p.ID != i || p.Src != i || p.Dst != n-i || p.Kind != ReadRequest || p.Arrived != -1 {
+			t.Fatalf("packet %d mis-initialized: %+v", i, p)
+		}
+		if seen[p] {
+			t.Fatalf("packet %d aliases an earlier allocation", i)
+		}
+		seen[p] = true
+	}
+	if a.Len() != n {
+		t.Fatalf("Len() = %d, want %d", a.Len(), n)
+	}
+}
+
+func TestArenaAtIsIndexAddressed(t *testing.T) {
+	a := NewArena()
+	ptrs := make([]*Packet, 2500)
+	for i := range ptrs {
+		ptrs[i] = a.New(i, 0, 0, Transit)
+	}
+	for i := range ptrs {
+		if a.At(i) != ptrs[i] {
+			t.Fatalf("At(%d) != pointer returned by New", i)
+		}
+	}
+}
+
+// TestArenaReuseAcrossRuns is the per-run recycling property: after a
+// Reset, New hands back the same slots fully re-initialized, with the
+// scratch capacity of Path/Children preserved so steady-state runs
+// stop allocating.
+func TestArenaReuseAcrossRuns(t *testing.T) {
+	a := NewArena()
+	const n = 1500
+	firstRun := make([]*Packet, n)
+	for i := 0; i < n; i++ {
+		p := a.New(i, i, i+1, ReadRequest)
+		p.Hops, p.Delay, p.Addr, p.Value = 9, 9, 9, 9
+		p.RecordPath(i)
+		p.RecordPath(i + 1)
+		p.Combine(a.New(0, 0, 0, ReadRequest), 1)
+		firstRun[i] = p
+		i++ // the Combine child consumed a slot
+	}
+	reused := a.Len()
+	a.Reset()
+	if a.Len() != 0 {
+		t.Fatalf("Len() = %d after Reset", a.Len())
+	}
+	for i := 0; i < reused; i++ {
+		p := a.New(i, 1, 2, Transit)
+		if p != a.At(i) {
+			t.Fatalf("packet %d not recycled in place", i)
+		}
+		if p.Hops != 0 || p.Delay != 0 || p.Addr != 0 || p.Value != 0 ||
+			p.Arrived != -1 || p.Rand != nil {
+			t.Fatalf("packet %d carries stale state after Reset: %+v", i, p)
+		}
+		if len(p.Path) != 0 || len(p.Children) != 0 || len(p.CombinedAt) != 0 {
+			t.Fatalf("packet %d carries stale slices after Reset: %+v", i, p)
+		}
+	}
+	// Third cycle at the same shape: recording into recycled capacity
+	// must not allocate.
+	a.Reset()
+	if allocs := testing.AllocsPerRun(10, func() {
+		a.Reset()
+		for i := 0; i < reused; i++ {
+			p := a.New(i, i, i+1, Transit)
+			p.RecordPath(i)
+			p.RecordPath(i + 1)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm arena cycle allocated %.1f objects, want 0", allocs)
+	}
+}
+
+func TestNewInNilArenaFallsBackToHeap(t *testing.T) {
+	p := NewIn(nil, 3, 1, 2, WriteRequest)
+	if p.ID != 3 || p.Src != 1 || p.Dst != 2 || p.Kind != WriteRequest || p.Arrived != -1 {
+		t.Fatalf("heap fallback mis-initialized: %+v", p)
+	}
+	a := NewArena()
+	if q := NewIn(a, 4, 0, 0, Transit); q != a.At(0) {
+		t.Fatal("NewIn with arena did not allocate from it")
+	}
+}
+
+func TestArenaAtPanicsOutOfRange(t *testing.T) {
+	a := NewArena()
+	a.New(0, 0, 0, Transit)
+	for _, i := range []int{-1, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d) did not panic", i)
+				}
+			}()
+			a.At(i)
+		}()
+	}
+}

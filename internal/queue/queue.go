@@ -27,7 +27,10 @@ type Discipline interface {
 }
 
 // FIFO is a first-in first-out discipline backed by a growable ring
-// buffer. The zero value is ready to use.
+// buffer. The ring capacity is always a power of two so that the
+// index wrap in Push/Pop — the innermost operations of the round
+// engine's hot loop — is a mask, not a division. The zero value is
+// ready to use.
 type FIFO struct {
 	buf        []*packet.Packet
 	head, tail int // tail is one past the last element (mod len(buf))
@@ -35,13 +38,14 @@ type FIFO struct {
 	maxLen     int
 }
 
-// NewFIFO returns an empty FIFO with room for capacity packets before
-// the first reallocation.
+// NewFIFO returns an empty FIFO with room for at least capacity
+// packets before the first reallocation.
 func NewFIFO(capacity int) *FIFO {
-	if capacity < 4 {
-		capacity = 4
+	c := 4
+	for c < capacity {
+		c *= 2
 	}
-	return &FIFO{buf: make([]*packet.Packet, capacity)}
+	return &FIFO{buf: make([]*packet.Packet, c)}
 }
 
 // Push implements Discipline.
@@ -53,7 +57,7 @@ func (q *FIFO) Push(p *packet.Packet) {
 		q.grow()
 	}
 	q.buf[q.tail] = p
-	q.tail = (q.tail + 1) % len(q.buf)
+	q.tail = (q.tail + 1) & (len(q.buf) - 1)
 	q.n++
 	if q.n > q.maxLen {
 		q.maxLen = q.n
@@ -63,7 +67,7 @@ func (q *FIFO) Push(p *packet.Packet) {
 func (q *FIFO) grow() {
 	next := make([]*packet.Packet, 2*len(q.buf))
 	for i := 0; i < q.n; i++ {
-		next[i] = q.buf[(q.head+i)%len(q.buf)]
+		next[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
 	}
 	q.buf = next
 	q.head = 0
@@ -77,7 +81,7 @@ func (q *FIFO) Pop() *packet.Packet {
 	}
 	p := q.buf[q.head]
 	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
+	q.head = (q.head + 1) & (len(q.buf) - 1)
 	q.n--
 	return p
 }
@@ -91,8 +95,9 @@ func (q *FIFO) MaxLen() int { return q.maxLen }
 // Each calls f on every queued packet in FIFO order, used by the
 // combining simulators to find a mergeable packet already in queue.
 func (q *FIFO) Each(f func(p *packet.Packet) bool) {
+	mask := len(q.buf) - 1
 	for i := 0; i < q.n; i++ {
-		if !f(q.buf[(q.head+i)%len(q.buf)]) {
+		if !f(q.buf[(q.head+i)&mask]) {
 			return
 		}
 	}

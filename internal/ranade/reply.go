@@ -2,8 +2,8 @@ package ranade
 
 import (
 	"fmt"
-	"sort"
 
+	"pramemu/internal/engine"
 	"pramemu/internal/packet"
 )
 
@@ -12,30 +12,57 @@ import (
 // children at the nodes where they merged — Ranade's return trip,
 // which the paper's Theorem 2.6 adapts via direction bits.
 //
+// Reverse links are keyed densely: a butterfly node has exactly two
+// upstream neighbours, so the link from flat node id f back toward
+// the row whose distinguishing bit is b is key f*2 + b. On all but
+// the largest instances the keys index a slice-backed table with an
+// incrementally maintained active-key list (the same flat-state
+// layout as the round engine's dense path); a hash map serves as the
+// fallback beyond the table-memory cap. The key order equals the old
+// packed (from, to) order, so round counts are unchanged.
+//
 // Insertions are staged per round and committed in sorted (link,
-// packet ID) order. The original implementation appended in map
-// iteration order, which made reply queue contents — and hence round
-// counts — vary from run to run on identical inputs; the canonical
-// commit order makes the whole pass deterministic and independent of
-// the forward pass's worker layout.
+// packet ID) order — the engine's radix sort over its canonical
+// Arrival ordering — which makes the whole pass deterministic and
+// independent of the forward pass's worker layout.
 type replyPass struct {
 	n  *Network
 	st *Stats
-	// links maps a directed reverse edge (from<<32 | to) to its FIFO.
+	// table is the dense reverse-link state; nil selects links.
+	table  [][]*packet.Packet
+	active []uint64
+	// links is the hashed fallback, keyed identically.
 	links map[uint64][]*packet.Packet
-	// staged holds this round's insertions until commit.
-	staged   []stagedReply
+	// staged holds this round's insertions until commit; spare is the
+	// radix sort's reused scratch buffer.
+	staged   []engine.Arrival
+	spare    []engine.Arrival
 	inFlight int
 	maxQueue int
 }
 
-type stagedReply struct {
-	key uint64
-	p   *packet.Packet
+// denseReplyLimit caps the reverse-link table at 2M slice headers
+// (~48 MiB); the k=20 worst case would need 44M.
+const denseReplyLimit = 1 << 21
+
+func newReplyPass(n *Network, st *Stats, hashed bool) *replyPass {
+	rp := &replyPass{n: n, st: st}
+	if keys := 2 * (n.k + 1) * n.rows; !hashed && keys <= denseReplyLimit {
+		rp.table = make([][]*packet.Packet, keys)
+	} else {
+		rp.links = make(map[uint64][]*packet.Packet)
+	}
+	return rp
 }
 
-func newReplyPass(n *Network, st *Stats) *replyPass {
-	return &replyPass{n: n, st: st, links: make(map[uint64][]*packet.Packet)}
+// linkKey encodes the reverse link from flat node id `from` to flat
+// node id `to` one level up the return path. The two candidate target
+// rows differ exactly in bit level-1, so that bit indexes the pair —
+// and orders it the same way the target ids themselves do.
+func (rp *replyPass) linkKey(from, to int32) uint64 {
+	level := int(from) >> rp.n.k
+	bit := uint64(to) >> (level - 1) & 1
+	return uint64(from)*2 + bit
 }
 
 // spawn turns a delivered read request into a retracing reply.
@@ -76,26 +103,42 @@ func (rp *replyPass) dispatch(p *packet.Packet, round int) {
 // stage buffers an insertion; commit applies the round's buffer in
 // canonical order.
 func (rp *replyPass) stage(p *packet.Packet) {
-	from := uint64(p.Path[p.Stage])
-	to := uint64(p.Path[p.Stage-1])
-	rp.staged = append(rp.staged, stagedReply{from<<32 | to, p})
+	key := rp.linkKey(p.Path[p.Stage], p.Path[p.Stage-1])
+	rp.staged = append(rp.staged, engine.Arrival{Key: key, P: p})
 	rp.inFlight++
 }
 
 func (rp *replyPass) commit() {
-	sort.Slice(rp.staged, func(i, j int) bool {
-		if rp.staged[i].key != rp.staged[j].key {
-			return rp.staged[i].key < rp.staged[j].key
+	sorted, spare := engine.SortArrivals(rp.staged, rp.spare)
+	for _, s := range sorted {
+		q := rp.queueAt(s.Key)
+		if rp.table != nil && len(q) == 0 {
+			rp.active = append(rp.active, s.Key)
 		}
-		return rp.staged[i].p.ID < rp.staged[j].p.ID
-	})
-	for _, s := range rp.staged {
-		rp.links[s.key] = append(rp.links[s.key], s.p)
-		if len(rp.links[s.key]) > rp.maxQueue {
-			rp.maxQueue = len(rp.links[s.key])
+		q = append(q, s.P)
+		rp.setQueue(s.Key, q)
+		if len(q) > rp.maxQueue {
+			rp.maxQueue = len(q)
 		}
 	}
-	rp.staged = rp.staged[:0]
+	clear(sorted)
+	clear(spare)
+	rp.staged, rp.spare = sorted[:0], spare[:0]
+}
+
+func (rp *replyPass) queueAt(key uint64) []*packet.Packet {
+	if rp.table != nil {
+		return rp.table[key]
+	}
+	return rp.links[key]
+}
+
+func (rp *replyPass) setQueue(key uint64, q []*packet.Packet) {
+	if rp.table != nil {
+		rp.table[key] = q
+		return
+	}
+	rp.links[key] = q
 }
 
 func (rp *replyPass) pending() bool { return rp.inFlight > 0 }
@@ -103,31 +146,50 @@ func (rp *replyPass) pending() bool { return rp.inFlight > 0 }
 // step advances every non-empty reverse link by one packet: replies
 // spawned during this round's forward pass are committed first (so a
 // fresh reply moves a hop in its spawn round, as before), then each
-// link head moves and re-stages for the next hop.
+// link head moves and re-stages for the next hop. Per-link effects
+// commute — advancing a head only appends to the staged buffer, which
+// commit applies in canonical order — so the iteration order over
+// live links is free to be a map walk or the active list.
 func (rp *replyPass) step(round int) {
 	rp.commit()
-	type arrival struct {
-		key uint64
-		p   *packet.Packet
-	}
-	var moved []arrival
-	for key, q := range rp.links {
-		p := q[0]
-		if len(q) == 1 {
-			delete(rp.links, key)
-		} else {
-			rp.links[key] = q[1:]
+	if rp.table != nil {
+		for i := 0; i < len(rp.active); {
+			key := rp.active[i]
+			q := rp.table[key]
+			p := q[0]
+			q[0] = nil
+			if len(q) == 1 {
+				rp.table[key] = q[:0]
+				last := len(rp.active) - 1
+				rp.active[i] = rp.active[last]
+				rp.active = rp.active[:last]
+			} else {
+				rp.table[key] = q[1:]
+				i++
+			}
+			rp.inFlight--
+			rp.advanceReply(p, round)
 		}
-		rp.inFlight--
-		moved = append(moved, arrival{key, p})
-	}
-	for _, a := range moved {
-		p := a.p
-		p.Hops++
-		p.Stage--
-		rp.dispatch(p, round)
+	} else {
+		for key, q := range rp.links {
+			p := q[0]
+			q[0] = nil
+			if len(q) == 1 {
+				delete(rp.links, key)
+			} else {
+				rp.links[key] = q[1:]
+			}
+			rp.inFlight--
+			rp.advanceReply(p, round)
+		}
 	}
 	rp.commit()
+}
+
+func (rp *replyPass) advanceReply(p *packet.Packet, round int) {
+	p.Hops++
+	p.Stage--
+	rp.dispatch(p, round)
 }
 
 func (rp *replyPass) finish(p *packet.Packet, round int) {

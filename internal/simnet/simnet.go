@@ -58,6 +58,12 @@ type Options struct {
 	// Workers is the round-engine worker count: 0 selects GOMAXPROCS,
 	// 1 the sequential loop. Any value yields identical results.
 	Workers int
+	// HashedKeys forces the engine's hashed-map link state instead of
+	// the dense-table fast path (reply-free runs encode links densely
+	// as node*degree + slot and declare the key space to the engine).
+	// Results are bit-identical either way; the knob exists for
+	// benchmarking the fallback and for path-coverage tests.
+	HashedKeys bool
 }
 
 // Stats aggregates one routing run; the fields mirror the measures of
@@ -81,9 +87,31 @@ type router struct {
 	opts       Options
 	record     bool
 	matchTaken bool // combining requires equal per-phase progress
+	// slotKeys selects the dense link encoding node*stride + slot,
+	// used whenever the run spawns no replies. Replies retrace
+	// recorded paths as (from, to) node pairs with no slot attached,
+	// and on directed topologies the reverse hop has no forward slot
+	// at all, so reply-bearing runs keep the packed-pair encoding for
+	// forward and reverse traffic alike (sharing one queue per
+	// directed link between requests and replies, as §2.2.1's
+	// one-packet-per-link round model requires).
+	slotKeys bool
+	stride   uint64 // maximum out-degree, the slot-key stride
 }
 
 func edgeKey(from, to int) uint64 { return uint64(from)<<24 | uint64(to) }
+
+// maxDegree scans the topology for the widest node, the stride of the
+// dense link encoding.
+func maxDegree(topo Topology) int {
+	deg := 0
+	for v := 0; v < topo.Nodes(); v++ {
+		if d := topo.Degree(v); d > deg {
+			deg = d
+		}
+	}
+	return deg
+}
 
 // Route routes pkts through topo. Packets need unique IDs and
 // endpoints within range. It mutates the packets and returns Stats.
@@ -102,7 +130,17 @@ func Route(topo Topology, pkts []*packet.Packet, opts Options) (Stats, error) {
 	if ts, ok := topo.(TakenSensitive); ok {
 		r.matchTaken = ts.TakenSensitive()
 	}
-	eng := engine.New(engine.Options{Workers: opts.Workers, Seed: opts.Seed})
+	var maxKey uint64
+	if !opts.Replies {
+		if deg := maxDegree(topo); deg > 0 {
+			r.slotKeys = true
+			r.stride = uint64(deg)
+			if !opts.HashedKeys {
+				maxKey = uint64(topo.Nodes()) * r.stride
+			}
+		}
+	}
+	eng := engine.New(engine.Options{Workers: opts.Workers, Seed: opts.Seed, MaxKey: maxKey})
 	var combiner engine.Combiner
 	if opts.Combine {
 		combiner = r.combine
@@ -162,6 +200,9 @@ func (r *router) advance(ctx *engine.Ctx, p *packet.Packet, node, round int) (en
 		}
 		slot, done := r.topo.NextHop(node, target, p.Stage)
 		if !done {
+			if r.slotKeys {
+				return engine.Arrival{Key: uint64(node)*r.stride + uint64(slot), P: p}, false
+			}
 			to := r.topo.Neighbor(node, slot)
 			return engine.Arrival{Key: edgeKey(node, to), P: p}, false
 		}
@@ -180,10 +221,15 @@ func (r *router) advance(ctx *engine.Ctx, p *packet.Packet, node, round int) (en
 func (r *router) handle(ctx *engine.Ctx, a engine.Arrival, round int) {
 	p := a.P
 	p.Hops++
-	to := int(a.Key & 0xffffff)
 	if p.Kind.IsReply() {
 		r.handleReplyArrival(ctx, p, round)
 		return
+	}
+	var to int
+	if r.slotKeys {
+		to = r.topo.Neighbor(int(a.Key/r.stride), int(a.Key%r.stride))
+	} else {
+		to = int(a.Key & 0xffffff)
 	}
 	p.Stage++
 	if r.record {

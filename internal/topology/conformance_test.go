@@ -198,4 +198,32 @@ func checkParallelRouting(t *testing.T, b topology.Built) {
 	if seq != par {
 		t.Fatalf("%s: Workers=4 diverged from Workers=1:\nseq: %+v\npar: %+v", b.Name(), seq, par)
 	}
+	// Reply-free routing additionally exercises the engine's dense
+	// link-state path (replies force the hashed fallback above); the
+	// dense tables and the hashed maps must agree with each other and
+	// across worker counts.
+	direct := func(workers int, hashed bool) any {
+		if b.Graph == nil {
+			return leveled.Route(b.Spec, pkts(), leveled.Options{
+				Seed: 99, Workers: workers, HashedKeys: hashed,
+			})
+		}
+		st, err := simnet.Route(b.Graph, pkts(), simnet.Options{
+			Seed: 99, Workers: workers, HashedKeys: hashed,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		return st
+	}
+	dense := direct(1, false)
+	for _, v := range []struct {
+		workers int
+		hashed  bool
+	}{{4, false}, {1, true}, {4, true}} {
+		if got := direct(v.workers, v.hashed); got != dense {
+			t.Fatalf("%s: Workers=%d hashed=%v diverged from dense Workers=1:\nwant: %+v\ngot:  %+v",
+				b.Name(), v.workers, v.hashed, dense, got)
+		}
+	}
 }

@@ -18,10 +18,18 @@ import (
 // Permutation returns packets realizing a uniformly random permutation:
 // one packet at every node, destinations a random permutation.
 func Permutation(nodes int, kind packet.Kind, seed uint64) []*packet.Packet {
+	return PermutationInto(nil, nodes, kind, seed)
+}
+
+// PermutationInto is Permutation with packets allocated from arena a
+// (heap-allocated when a is nil), so repeated trials recycle one slab
+// arena via Reset instead of scattering a fresh heap object per
+// packet per trial.
+func PermutationInto(a *packet.Arena, nodes int, kind packet.Kind, seed uint64) []*packet.Packet {
 	perm := prng.New(seed).Perm(nodes)
 	pkts := make([]*packet.Packet, nodes)
 	for i, dst := range perm {
-		pkts[i] = packet.New(i, i, dst, kind)
+		pkts[i] = packet.NewIn(a, i, i, dst, kind)
 	}
 	return pkts
 }
@@ -62,13 +70,19 @@ func BitReversal(nodes int, kind packet.Kind) []*packet.Packet {
 // at every node, at most h destined to any node (h independent random
 // permutations; Theorem 2.4's workload with h = ℓ).
 func Relation(nodes, h int, kind packet.Kind, seed uint64) []*packet.Packet {
+	return RelationInto(nil, nodes, h, kind, seed)
+}
+
+// RelationInto is Relation with packets allocated from arena a
+// (heap-allocated when a is nil).
+func RelationInto(a *packet.Arena, nodes, h int, kind packet.Kind, seed uint64) []*packet.Packet {
 	src := prng.New(seed)
 	pkts := make([]*packet.Packet, 0, nodes*h)
 	id := 0
 	for rel := 0; rel < h; rel++ {
 		perm := src.Perm(nodes)
 		for i, dst := range perm {
-			pkts = append(pkts, packet.New(id, i, dst, kind))
+			pkts = append(pkts, packet.NewIn(a, id, i, dst, kind))
 			id++
 		}
 	}

@@ -238,3 +238,36 @@ func TestTransposeSquareRejectsNonSquares(t *testing.T) {
 	}()
 	TransposeSquare(10, packet.Transit)
 }
+
+// TestIntoVariantsMatchHeapVariants pins that the arena-allocating
+// generators produce the same workload as their heap twins, and that
+// the packets really come from the arena.
+func TestIntoVariantsMatchHeapVariants(t *testing.T) {
+	a := packet.NewArena()
+	heapPerm := Permutation(64, packet.Transit, 7)
+	arenaPerm := PermutationInto(a, 64, packet.Transit, 7)
+	if len(heapPerm) != len(arenaPerm) {
+		t.Fatalf("permutation lengths differ: %d vs %d", len(heapPerm), len(arenaPerm))
+	}
+	for i := range heapPerm {
+		h, ar := heapPerm[i], arenaPerm[i]
+		if h.ID != ar.ID || h.Src != ar.Src || h.Dst != ar.Dst || h.Kind != ar.Kind {
+			t.Fatalf("permutation packet %d differs: %+v vs %+v", i, h, ar)
+		}
+		if ar != a.At(i) {
+			t.Fatalf("permutation packet %d not arena-allocated", i)
+		}
+	}
+	a.Reset()
+	heapRel := Relation(32, 3, packet.ReadRequest, 9)
+	arenaRel := RelationInto(a, 32, 3, packet.ReadRequest, 9)
+	if len(heapRel) != len(arenaRel) || a.Len() != len(arenaRel) {
+		t.Fatalf("relation lengths differ: %d vs %d (arena %d)", len(heapRel), len(arenaRel), a.Len())
+	}
+	for i := range heapRel {
+		h, ar := heapRel[i], arenaRel[i]
+		if h.ID != ar.ID || h.Src != ar.Src || h.Dst != ar.Dst || h.Kind != ar.Kind {
+			t.Fatalf("relation packet %d differs: %+v vs %+v", i, h, ar)
+		}
+	}
+}
