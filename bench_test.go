@@ -20,6 +20,7 @@ import (
 	"pramemu/internal/mesh"
 	"pramemu/internal/packet"
 	"pramemu/internal/prng"
+	"pramemu/internal/scenario"
 	"pramemu/internal/shuffle"
 	"pramemu/internal/simnet"
 	"pramemu/internal/star"
@@ -488,6 +489,50 @@ func BenchmarkE15EngineHotPath(b *testing.B) {
 				b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(rounds), "B/round")
 				b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(rounds), "allocs/round")
 				b.ReportMetric(float64(rounds)/elapsed.Seconds(), "rounds/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkE16ScenarioMatrix — the workload-registry payoff: every
+// registered topology family priced against every applicable
+// registered workload generator, the full cross-product of the two
+// registries gated by the workload capability checks. A family or
+// generator registered tomorrow appears as a new sub-benchmark with
+// no edits here. Cells run at the quick comparable sizes on the
+// scenario runner (the same path -sweep uses), Workers: 1.
+func BenchmarkE16ScenarioMatrix(b *testing.B) {
+	sizes := experiments.CrossFamilySizes(true)
+	for _, family := range topology.Names() {
+		p := sizes[family]
+		bt, err := topology.Build(family, p)
+		if err != nil {
+			b.Fatalf("%s: %v", family, err)
+		}
+		for _, wl := range workload.Names() {
+			gen, _ := workload.Lookup(wl)
+			if gen.Check(bt) != nil {
+				continue // capability-gated pair (e.g. bitrev on a factorial family)
+			}
+			cell := scenario.Cell{
+				Topo:    scenario.TopoRef{Family: family, N: p.N, K: p.K, Leveled: bt.Spec != nil},
+				Work:    scenario.WorkRef{Name: wl},
+				Built:   bt, // reuse the built graph so ns/op prices routing, not construction
+				Workers: 1,
+				Trials:  1,
+			}
+			b.Run(family+"/"+wl, func(b *testing.B) {
+				rounds, diam := 0, 1
+				for i := 0; i < b.N; i++ {
+					cell.Seed = benchSeed + uint64(i)
+					res, err := scenario.RunCell(cell)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds += res.RoundsMax
+					diam = res.Diameter
+				}
+				b.ReportMetric(float64(rounds)/float64(b.N)/float64(diam), "rounds/diam")
 			})
 		}
 	}

@@ -1,28 +1,40 @@
-// Command routebench runs a single routing experiment with explicit
-// parameters and prints one line of statistics — the interactive
-// companion to cmd/tables for exploring the routing algorithms.
-// Networks are selected by topology-registry name, so every
-// registered family (including pancake, ttree, torus and debruijn)
-// runs without command changes; -list prints the registry.
+// Command routebench runs routing experiments with explicit
+// parameters — the interactive companion to cmd/tables. Networks are
+// selected by topology-registry name and traffic by workload-registry
+// name, so every registered family and generator runs without command
+// changes; -list prints both registries with each workload's
+// capability requirements, and incompatible (family, workload) pairs
+// are rejected with an error naming the missing capability.
+//
+// A single invocation prices one (network, workload) cell and prints
+// one report line (or one JSON object with -json). With -sweep it
+// instead executes a declarative scenario spec — the cross-product of
+// topology × workload × discipline × engine-workers axes — in
+// parallel over a worker pool, emitting one JSON line per cell in
+// deterministic scenario-key order (the same Result schema as -json,
+// minus the wall-clock fields, so sweep artifacts diff cleanly).
 //
 // Point-to-point families route directly on the graph (Algorithm
 // 2.2) by default; pass -leveled for the Algorithm 2.1 unrolling
-// where one exists. (Before the registry, star and shuffle defaulted
-// to the leveled view — report lines for those two changed with that
-// unification, and the mesh line now normalizes by the diameter
-// 2(n-1) as rounds/diam instead of rounds/n.) Leveled-only families
-// (butterfly) always route on their unrolling.
+// where one exists. Leveled-only families (butterfly) always route on
+// their unrolling. The mesh keeps its specialized §3.4 router for
+// permutation-class and local traffic; h-relations and many-one
+// traffic route generically on its graph view, with CRCW combining
+// enabled for the many-one generators.
 //
 // Examples:
 //
 //	routebench -net star -n 6 -workload perm
 //	routebench -net pancake -n 6 -workload relation
-//	routebench -net torus -n 16 -k 2 -workload transpose
-//	routebench -net debruijn -n 10 -workload bitrev -leveled
+//	routebench -net torus -n 16 -k 2 -workload tornado
+//	routebench -net debruijn -n 10 -workload bitcomp -leveled
 //	routebench -net mesh -n 128 -workload transpose -alg greedy
-//	routebench -net ttree -n 6 -k 1 -workload perm -workers 8
+//	routebench -net hypercube -n 8 -workload khot -workers 8
 //	routebench -net butterfly -n 12 -workload bitrev -skipphase1
 //	routebench -net star -n 7 -workload relation -json
+//	routebench -sweep sweeps/smoke.json
+//	routebench -sweep - < my-sweep.json
+//	routebench -list
 package main
 
 import (
@@ -33,13 +45,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"time"
 
-	"pramemu/internal/leveled"
-	"pramemu/internal/mathx"
-	"pramemu/internal/mesh"
-	"pramemu/internal/packet"
-	"pramemu/internal/simnet"
+	"pramemu/internal/scenario"
 	"pramemu/internal/topology"
 	_ "pramemu/internal/topology/families"
 	"pramemu/internal/workload"
@@ -62,6 +69,7 @@ type config struct {
 	workers    int
 	list       bool
 	hashed     bool
+	sweep      string
 	cpuprofile string
 	memprofile string
 }
@@ -71,7 +79,7 @@ func main() {
 	flag.StringVar(&cfg.net, "net", "star", "network family from the topology registry (see -list)")
 	flag.IntVar(&cfg.n, "n", 5, "primary size parameter (star/pancake/ttree n, shuffle/debruijn digits, butterfly/hypercube dimension, mesh side, torus radix)")
 	flag.IntVar(&cfg.k, "k", 0, "secondary size parameter where one exists (shuffle/debruijn alphabet, torus dimensions, ttree shape); 0 = family default")
-	flag.StringVar(&cfg.workload, "workload", "perm", "workload: perm, relation, bitrev, transpose, local, hotspot")
+	flag.StringVar(&cfg.workload, "workload", "perm", "workload generator from the workload registry (see -list)")
 	flag.StringVar(&cfg.alg, "alg", "threestage", "mesh algorithm: threestage, vb, greedy")
 	flag.StringVar(&cfg.disc, "disc", "furthest", "mesh discipline: furthest, fifo")
 	flag.IntVar(&cfg.locality, "d", 8, "locality distance for -workload local")
@@ -81,8 +89,9 @@ func main() {
 	flag.BoolVar(&cfg.useLeveled, "leveled", false, "route on the leveled unrolling (Algorithm 2.1) when the family has one")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit one JSON object instead of the report line (for BENCH_*.json artifacts)")
 	flag.IntVar(&cfg.workers, "workers", 0, "round-engine workers (0 = GOMAXPROCS, 1 = sequential; identical results either way)")
-	flag.BoolVar(&cfg.list, "list", false, "list the registered network families and exit")
+	flag.BoolVar(&cfg.list, "list", false, "list the registered network families and workload generators, then exit")
 	flag.BoolVar(&cfg.hashed, "hashed", false, "force the engine's hashed-map link state instead of the dense tables (identical results; for A/B profiling)")
+	flag.StringVar(&cfg.sweep, "sweep", "", "run the scenario sweep spec from this JSON file ('-' = stdin) and emit JSONL")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the routing trials to this file")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile (taken after the trials) to this file")
 	flag.Parse()
@@ -93,37 +102,16 @@ func main() {
 	}
 }
 
-// result aggregates the trials of one invocation; it doubles as the
-// -json schema, so bench trajectories can be captured as
-// BENCH_*.json artifacts.
-type result struct {
-	Family        string  `json:"family"`
-	Topology      string  `json:"topology"`
-	Nodes         int     `json:"nodes"`
-	Diameter      int     `json:"diameter"`
-	Workload      string  `json:"workload"`
-	Algorithm     string  `json:"algorithm,omitempty"`
-	Workers       int     `json:"workers"`
-	Trials        int     `json:"trials"`
-	Seed          uint64  `json:"seed"`
-	RoundsMean    float64 `json:"rounds_mean"`
-	RoundsMax     int     `json:"rounds_max"`
-	RoundsPerDiam float64 `json:"rounds_per_diam"`
-	MaxQueue      int     `json:"max_queue"`
-	ElapsedMS     float64 `json:"elapsed_ms"`
-	RoundsPerSec  float64 `json:"rounds_per_sec"`
-}
+// result is the report schema of one invocation: the scenario
+// package's Result, shared between -json output and sweep JSONL lines.
+type result = scenario.Result
 
 // run executes one invocation, writing the report to w. It is the
 // testable core of the command; the profile flags are honored here so
 // tests can exercise them without a child process.
 func run(w io.Writer, cfg config) (err error) {
 	if cfg.list {
-		for _, name := range topology.Names() {
-			f, _ := topology.Lookup(name)
-			fmt.Fprintf(w, "%-10s %s\n", name, f.Params)
-		}
-		return nil
+		return list(w)
 	}
 	if cfg.cpuprofile != "" {
 		f, ferr := os.Create(cfg.cpuprofile)
@@ -148,48 +136,78 @@ func run(w io.Writer, cfg config) (err error) {
 			}
 		}()
 	}
-	b, err := topology.Build(cfg.net, topology.Params{N: cfg.n, K: cfg.k})
+	if cfg.sweep != "" {
+		return runSweep(w, cfg)
+	}
+	res, err := scenario.RunCell(cell(cfg))
 	if err != nil {
 		return err
 	}
-	if cfg.useLeveled && b.Spec == nil {
-		return fmt.Errorf("%s has no leveled unrolling", b.Name())
+	return report(w, cfg, res)
+}
+
+// cell maps the single-run flags onto one scenario grid cell. The
+// h-relation height keeps its historical default of max(2, n).
+func cell(cfg config) scenario.Cell {
+	return scenario.Cell{
+		Topo:       scenario.TopoRef{Family: cfg.net, N: cfg.n, K: cfg.k, Leveled: cfg.useLeveled},
+		Work:       scenario.WorkRef{Name: cfg.workload, H: max(2, cfg.n), D: cfg.locality},
+		Algorithm:  cfg.alg,
+		Discipline: cfg.disc,
+		Workers:    cfg.workers,
+		Trials:     cfg.trials,
+		Seed:       cfg.seed,
+		SkipPhase1: cfg.skipPhase1,
+		Hashed:     cfg.hashed,
+		Timing:     true,
 	}
-	// Both routers key links on 24-bit node ids; reject oversized
-	// graphs before any per-node workload is allocated.
-	if b.Nodes() > topology.MaxNodes {
-		return fmt.Errorf("%s has %d nodes, exceeding the simulator's 24-bit key space", b.Name(), b.Nodes())
+}
+
+// runSweep reads the spec from the file (or stdin with "-"), runs the
+// grid and streams the JSONL artifact to w.
+func runSweep(w io.Writer, cfg config) error {
+	var in io.Reader
+	if cfg.sweep == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(cfg.sweep)
+		if err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		defer f.Close()
+		in = f
 	}
-	// The mesh keeps its specialized §3.4 router (three-stage slices,
-	// queue disciplines); every other family routes generically.
-	if g, ok := b.Graph.(*mesh.Grid); ok {
-		return runMesh(w, g, cfg)
+	spec, err := scenario.ReadSpec(in)
+	if err != nil {
+		return err
 	}
-	return runGeneric(w, b, cfg)
+	results, err := scenario.Run(spec)
+	if err != nil {
+		return err
+	}
+	return scenario.WriteJSONL(w, results)
+}
+
+// list prints both registries: the -net families and the -workload
+// generators with their traffic class and capability requirements.
+func list(w io.Writer) error {
+	fmt.Fprintln(w, "topologies:")
+	for _, name := range topology.Names() {
+		f, _ := topology.Lookup(name)
+		fmt.Fprintf(w, "  %-10s %s\n", name, f.Params)
+	}
+	fmt.Fprintln(w, "workloads:")
+	for _, name := range workload.Names() {
+		g, _ := workload.Lookup(name)
+		fmt.Fprintf(w, "  %-10s %-11s needs=%-9s %s\n", name, g.Class, g.Needs, g.Traffic)
+	}
+	return nil
 }
 
 // report renders res as the human line or the JSON object.
-func report(w io.Writer, cfg config, res result, rounds []int, elapsed time.Duration) error {
-	res.Workload = cfg.workload
-	res.Workers = cfg.workers
-	res.Trials = cfg.trials
-	res.Seed = cfg.seed
-	res.RoundsMean = mathx.MeanInts(rounds)
-	res.RoundsMax = mathx.MaxInts(rounds)
-	if res.Diameter > 0 {
-		res.RoundsPerDiam = res.RoundsMean / float64(res.Diameter)
-	}
-	res.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
-	if elapsed > 0 {
-		total := 0
-		for _, r := range rounds {
-			total += r
-		}
-		res.RoundsPerSec = float64(total) / elapsed.Seconds()
-	}
+func report(w io.Writer, cfg config, res result) error {
 	if cfg.jsonOut {
-		enc := json.NewEncoder(w)
-		return enc.Encode(res)
+		return json.NewEncoder(w).Encode(res)
 	}
 	if res.Algorithm != "" {
 		fmt.Fprintf(w, "%s %s alg=%s: rounds mean=%.1f max=%d (rounds/diam=%.2f) maxQ=%d\n",
@@ -200,138 +218,6 @@ func report(w io.Writer, cfg config, res result, rounds []int, elapsed time.Dura
 	fmt.Fprintf(w, "%s %s: rounds mean=%.1f max=%d maxQ=%d (N=%d)\n",
 		res.Topology, res.Workload, res.RoundsMean, res.RoundsMax, res.MaxQueue, res.Nodes)
 	return nil
-}
-
-func runMesh(w io.Writer, g *mesh.Grid, cfg config) error {
-	opts := mesh.Options{Workers: cfg.workers}
-	switch cfg.alg {
-	case "threestage":
-		opts.Algorithm = mesh.ThreeStage
-	case "vb":
-		opts.Algorithm = mesh.ValiantBrebner
-	case "greedy":
-		opts.Algorithm = mesh.Greedy
-	default:
-		return fmt.Errorf("unknown mesh algorithm %q", cfg.alg)
-	}
-	switch cfg.disc {
-	case "furthest", "":
-		opts.Discipline = mesh.FurthestFirst
-	case "fifo":
-		opts.Discipline = mesh.FIFODiscipline
-	default:
-		return fmt.Errorf("unknown mesh discipline %q", cfg.disc)
-	}
-	opts.HashedKeys = cfg.hashed
-	rounds := make([]int, 0, cfg.trials)
-	maxQ := 0
-	arena := packet.NewArena()
-	start := time.Now()
-	for trial := 0; trial < cfg.trials; trial++ {
-		s := cfg.seed + uint64(trial)
-		arena.Reset()
-		var pkts []*packet.Packet
-		switch cfg.workload {
-		case "perm":
-			pkts = workload.PermutationInto(arena, g.Nodes(), packet.Transit, s)
-		case "transpose":
-			pkts = workload.Transpose(g)
-		case "local":
-			pkts = workload.MeshLocal(g, cfg.locality, s)
-			opts.LocalityBound = cfg.locality
-			opts.SliceRows = max(1, cfg.locality/4)
-		default:
-			return fmt.Errorf("workload %q unsupported on mesh", cfg.workload)
-		}
-		opts.Seed = s * 31
-		st := mesh.Route(g, pkts, opts)
-		rounds = append(rounds, st.Rounds)
-		if st.MaxQueue > maxQ {
-			maxQ = st.MaxQueue
-		}
-	}
-	return report(w, cfg, result{
-		Family:    cfg.net,
-		Topology:  g.Name(),
-		Nodes:     g.Nodes(),
-		Diameter:  g.Diameter(),
-		Algorithm: cfg.alg,
-		MaxQueue:  maxQ,
-	}, rounds, time.Since(start))
-}
-
-func runGeneric(w io.Writer, b topology.Built, cfg config) error {
-	useSpec := b.Graph == nil || (cfg.useLeveled && b.Spec != nil)
-	nodes := b.Nodes()
-	rounds := make([]int, 0, cfg.trials)
-	maxQ := 0
-	arena := packet.NewArena()
-	start := time.Now()
-	for trial := 0; trial < cfg.trials; trial++ {
-		s := cfg.seed + uint64(trial)
-		arena.Reset()
-		pkts, err := buildWorkload(cfg, arena, nodes, s)
-		if err != nil {
-			return err
-		}
-		var r, q int
-		if useSpec {
-			st := leveled.Route(b.Spec, pkts, leveled.Options{
-				Seed: s * 31, SkipPhase1: cfg.skipPhase1, Workers: cfg.workers,
-				HashedKeys: cfg.hashed,
-			})
-			r, q = st.Rounds, st.MaxQueue
-		} else {
-			st, err := simnet.Route(b.Graph, pkts, simnet.Options{
-				Seed: s * 31, SkipPhase1: cfg.skipPhase1, Workers: cfg.workers,
-				HashedKeys: cfg.hashed,
-			})
-			if err != nil {
-				return err
-			}
-			r, q = st.Rounds, st.MaxQueue
-		}
-		rounds = append(rounds, r)
-		if q > maxQ {
-			maxQ = q
-		}
-	}
-	name := b.Name()
-	if useSpec {
-		name = b.Spec.Name()
-	}
-	return report(w, cfg, result{
-		Family:   cfg.net,
-		Topology: name,
-		Nodes:    nodes,
-		Diameter: b.Diameter(),
-		MaxQueue: maxQ,
-	}, rounds, time.Since(start))
-}
-
-// buildWorkload realizes the named request pattern on nodes,
-// allocating packets from arena where the generator supports it.
-func buildWorkload(cfg config, arena *packet.Arena, nodes int, seed uint64) ([]*packet.Packet, error) {
-	switch cfg.workload {
-	case "perm":
-		return workload.PermutationInto(arena, nodes, packet.Transit, seed), nil
-	case "relation":
-		return workload.RelationInto(arena, nodes, max(2, cfg.n), packet.Transit, seed), nil
-	case "bitrev":
-		if nodes&(nodes-1) != 0 {
-			return nil, fmt.Errorf("workload bitrev needs a power-of-two node count, have %d", nodes)
-		}
-		return workload.BitReversal(nodes, packet.Transit), nil
-	case "transpose":
-		if !workload.IsSquare(nodes) {
-			return nil, fmt.Errorf("workload transpose needs a square node count, have %d", nodes)
-		}
-		return workload.TransposeSquare(nodes, packet.Transit), nil
-	case "hotspot":
-		return workload.HotSpot(nodes, 0.5, 0, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown workload %q", cfg.workload)
-	}
 }
 
 // writeHeapProfile snapshots the heap (after a GC, so live objects —

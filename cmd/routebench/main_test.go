@@ -137,15 +137,131 @@ func TestRunJSONOnMesh(t *testing.T) {
 	}
 }
 
-func TestRunListsFamilies(t *testing.T) {
+func TestRunListsFamiliesAndWorkloads(t *testing.T) {
 	var b strings.Builder
 	if err := run(&b, config{list: true}); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"star", "pancake", "ttree", "torus", "debruijn", "mesh", "butterfly"} {
 		if !strings.Contains(b.String(), name) {
-			t.Fatalf("-list missing %q:\n%s", name, b.String())
+			t.Fatalf("-list missing family %q:\n%s", name, b.String())
 		}
+	}
+	for _, name := range []string{"perm", "relation", "bitrev", "bitcomp", "shift", "transpose", "tornado", "khot", "hotspot", "local", "ident"} {
+		if !strings.Contains(b.String(), name) {
+			t.Fatalf("-list missing workload %q:\n%s", name, b.String())
+		}
+	}
+	// Capability requirements are listed alongside each generator.
+	for _, needs := range []string{"needs=coords", "needs=square", "needs=pow2", "needs=graph"} {
+		if !strings.Contains(b.String(), needs) {
+			t.Fatalf("-list missing capability annotation %q:\n%s", needs, b.String())
+		}
+	}
+}
+
+// TestRunRejectsIncompatiblePairs pins that a (family, workload) pair
+// failing the capability gate errors with the missing capability
+// named, not a generic failure.
+func TestRunRejectsIncompatiblePairs(t *testing.T) {
+	var b strings.Builder
+	for _, tc := range []struct {
+		cfg  config
+		want string
+	}{
+		{config{net: "star", n: 4, workload: "tornado", trials: 1}, "coordinates"},
+		{config{net: "star", n: 4, workload: "bitrev", trials: 1}, "power-of-two"},
+		{config{net: "torus", n: 5, k: 3, workload: "transpose", trials: 1}, "square"},
+		{config{net: "butterfly", n: 3, workload: "local", trials: 1}, "graph"},
+	} {
+		err := run(&b, tc.cfg)
+		if err == nil {
+			t.Fatalf("%+v accepted", tc.cfg)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%+v: error %q does not name the missing capability %q", tc.cfg, err, tc.want)
+		}
+	}
+}
+
+// TestRunNewGeneratorsSmoke routes each newly registered generator on
+// a compatible family through the single-run path.
+func TestRunNewGeneratorsSmoke(t *testing.T) {
+	for _, tc := range []config{
+		{net: "torus", n: 4, k: 2, workload: "tornado", trials: 1, seed: 7},
+		{net: "hypercube", n: 4, workload: "bitcomp", trials: 1, seed: 7},
+		{net: "star", n: 4, workload: "shift", trials: 1, seed: 7},
+		{net: "star", n: 4, workload: "khot", trials: 1, seed: 7, workers: 2},
+		{net: "debruijn", n: 3, k: 2, workload: "local", locality: 2, trials: 1, seed: 7},
+		{net: "mesh", n: 8, workload: "khot", trials: 1, seed: 7},
+	} {
+		var b strings.Builder
+		if err := run(&b, tc); err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		if !strings.Contains(b.String(), "rounds mean=") {
+			t.Fatalf("%+v: unexpected report %q", tc, b.String())
+		}
+	}
+}
+
+// TestRunSweep drives -sweep end to end: a spec file crossing three
+// families and three workloads yields one deterministic JSON line per
+// cell, each parseable as the shared Result schema.
+func TestRunSweep(t *testing.T) {
+	spec := `{
+		"name": "test",
+		"topologies": [
+			{"family": "star", "n": 4},
+			{"family": "torus", "n": 4, "k": 2},
+			{"family": "mesh", "n": 4}
+		],
+		"workloads": [{"name": "perm"}, {"name": "shift"}, {"name": "khot", "hot": 2}],
+		"workers": [1, 2],
+		"trials": 2,
+		"seed": 7,
+		"pool": 2
+	}`
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := func() string {
+		var b strings.Builder
+		if err := run(&b, config{sweep: path}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := out()
+	lines := strings.Split(strings.TrimSpace(first), "\n")
+	if len(lines) != 18 { // 3 families x 3 workloads x 2 workers
+		t.Fatalf("sweep emitted %d lines, want 18:\n%s", len(lines), first)
+	}
+	prevKey := ""
+	for _, line := range lines {
+		var res result
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("line is not a Result: %v\n%s", err, line)
+		}
+		if res.Scenario == "" || res.RoundsMean <= 0 || res.Trials != 2 {
+			t.Fatalf("degenerate sweep line: %+v", res)
+		}
+		if res.ElapsedMS != 0 {
+			t.Fatalf("sweep line carries wall-clock timing: %+v", res)
+		}
+		if res.Scenario <= prevKey {
+			t.Fatalf("sweep lines not sorted by scenario key: %q after %q", res.Scenario, prevKey)
+		}
+		prevKey = res.Scenario
+	}
+	if second := out(); second != first {
+		t.Fatalf("sweep output not deterministic:\n%s\nvs\n%s", first, second)
+	}
+	// A missing spec file errors cleanly.
+	var b strings.Builder
+	if err := run(&b, config{sweep: filepath.Join(t.TempDir(), "absent.json")}); err == nil {
+		t.Fatal("missing sweep spec accepted")
 	}
 }
 

@@ -53,6 +53,7 @@ func run(w io.Writer, o experiments.Options, only string) error {
 		{"E11", experiments.E11Rehash},
 		{"E12", experiments.E12SortVsRoute},
 		{"E14", experiments.E14CrossFamily},
+		{"E16", experiments.E16ScenarioMatrix},
 	}
 	want := map[string]bool{}
 	if only != "" {

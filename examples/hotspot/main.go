@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"pramemu/internal/emul"
+	"pramemu/internal/packet"
 	"pramemu/internal/topology"
 	_ "pramemu/internal/topology/families"
 	"pramemu/internal/workload"
@@ -44,7 +45,7 @@ func main() {
 	fmt.Println("\nand a partially hot workload (50% of reads hit one address):")
 	for _, combine := range []bool{false, true} {
 		e := mustEmul(combine)
-		pkts := workload.HotSpot(nodes, 0.5, 0, 77)
+		pkts := workload.HotSpot(nodes, 0.5, 0, packet.ReadRequest, 77)
 		reqs := workload.Requests(nodes, pkts)
 		_, cost := e.RouteRequests(reqs)
 		fmt.Printf("  combining=%-5v  cost=%d rounds\n", combine, cost)

@@ -1,10 +1,13 @@
 // Package experiments regenerates every evaluation result of the
 // paper. Each exported function is one experiment from the index in
-// DESIGN.md (E1-E12): it runs the relevant workloads over the
-// relevant networks and returns a metrics.Table whose rows are what
+// DESIGN.md: it runs the relevant workloads over the relevant
+// networks and returns a metrics.Table whose rows are what
 // EXPERIMENTS.md records. The benchmark harness (bench_test.go) and
 // the cmd/tables binary both drive these functions; benchmarks use
-// reduced trial counts, cmd/tables the defaults.
+// reduced trial counts, cmd/tables the defaults. The routing-grid
+// experiments (E2, E3, E10, E14, E16) are declarative scenario sweeps
+// over the topology and workload registries — their hand-rolled
+// routing loops live in internal/scenario now.
 package experiments
 
 import (
@@ -20,8 +23,7 @@ import (
 	"pramemu/internal/packet"
 	"pramemu/internal/prng"
 	"pramemu/internal/ranade"
-	"pramemu/internal/shuffle"
-	"pramemu/internal/simnet"
+	"pramemu/internal/scenario"
 	"pramemu/internal/star"
 	"pramemu/internal/topology"
 	_ "pramemu/internal/topology/families"
@@ -53,15 +55,15 @@ func (o Options) withDefaults() Options {
 // fmtF formats a float with two decimals.
 func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
 
-// mustRoute runs the point-to-point simulator on a statically sized
-// experiment configuration, where a key-space failure is a
-// programming error rather than an operating condition.
-func mustRoute(topo simnet.Topology, pkts []*packet.Packet, opts simnet.Options) simnet.Stats {
-	s, err := simnet.Route(topo, pkts, opts)
+// mustSweep runs a scenario sweep on a statically sized experiment
+// grid, where a validation failure is a programming error rather
+// than an operating condition.
+func mustSweep(spec scenario.Spec) []scenario.Result {
+	results, err := scenario.Run(spec)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	return s
+	return results
 }
 
 // mustEmul builds an emulator for a statically sized configuration.
@@ -144,7 +146,8 @@ func addRow(t *metrics.Table, spec leveled.Spec, o Options) {
 // and partial n-relation routing on the n-star graph in Õ(n) steps,
 // on both the physical network (Algorithm 2.2, random intermediate
 // node) and the logical leveled unrolling (Algorithm 2.1, random link
-// per level).
+// per level) — one scenario sweep per n crossing the two views with
+// the two traffic classes.
 func E2StarRouting(o Options) *metrics.Table {
 	o = o.withDefaults()
 	t := metrics.NewTable("E2 (Thm 2.2, Cor 2.1) n-star routing",
@@ -154,45 +157,33 @@ func E2StarRouting(o Options) *metrics.Table {
 		ns = []int{4, 5}
 	}
 	for _, n := range ns {
-		g := star.New(n)
-		runStarRow(t, g, "perm", "direct(2.2)", o, func(seed uint64) (int, int) {
-			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
-			s := mustRoute(g, pkts, simnet.Options{Seed: seed * 17})
-			return s.Rounds, s.MaxQueue
+		results := mustSweep(scenario.Spec{
+			Topologies: []scenario.TopoRef{
+				{Family: "star", N: n},
+				{Family: "star", N: n, Leveled: true},
+			},
+			Workloads: []scenario.WorkRef{
+				{Name: "perm"},
+				{Name: "relation", H: n},
+			},
+			Trials: o.Trials, Seed: o.Seed,
 		})
-		runStarRow(t, g, "perm", "leveled(2.1)", o, func(seed uint64) (int, int) {
-			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
-			s := leveled.Route(g.AsLeveled(), pkts, leveled.Options{Seed: seed * 17})
-			return s.Rounds, s.MaxQueue
-		})
-		runStarRow(t, g, "n-relation", "direct(2.2)", o, func(seed uint64) (int, int) {
-			pkts := workload.Relation(g.Nodes(), n, packet.Transit, seed)
-			s := mustRoute(g, pkts, simnet.Options{Seed: seed * 17})
-			return s.Rounds, s.MaxQueue
-		})
-	}
-	return t
-}
-
-func runStarRow(t *metrics.Table, g *star.Graph, wl, alg string, o Options,
-	run func(seed uint64) (rounds, maxQ int)) {
-	rounds := make([]int, 0, o.Trials)
-	maxQ := 0
-	for trial := 0; trial < o.Trials; trial++ {
-		r, q := run(o.Seed + uint64(trial))
-		rounds = append(rounds, r)
-		if q > maxQ {
-			maxQ = q
+		for _, r := range results {
+			wl := r.Workload
+			if wl == "relation" {
+				wl = "n-relation"
+			}
+			t.AddRow(fmt.Sprintf("%d", n),
+				fmt.Sprintf("%d", r.Nodes),
+				fmt.Sprintf("%d", r.Diameter),
+				wl, r.View,
+				fmtF(r.RoundsMean),
+				fmt.Sprintf("%d", r.RoundsMax),
+				fmtF(r.RoundsPerDiam),
+				fmt.Sprintf("%d", r.MaxQueue))
 		}
 	}
-	t.AddRow(fmt.Sprintf("%d", g.N()),
-		fmt.Sprintf("%d", g.Nodes()),
-		fmt.Sprintf("%d", g.Diameter()),
-		wl, alg,
-		fmtF(mathx.MeanInts(rounds)),
-		fmt.Sprintf("%d", mathx.MaxInts(rounds)),
-		fmtF(mathx.MeanInts(rounds)/float64(g.Diameter())),
-		fmt.Sprintf("%d", maxQ))
+	return t
 }
 
 // E3ShuffleRouting reproduces Theorem 2.3 and Corollary 2.2:
@@ -207,31 +198,26 @@ func E3ShuffleRouting(o Options) *metrics.Table {
 		ns = append(ns, 6)
 	}
 	for _, n := range ns {
-		g := shuffle.NewNWay(n)
-		for _, wl := range []string{"perm", "n-relation"} {
-			rounds := make([]int, 0, o.Trials)
-			maxQ := 0
-			for trial := 0; trial < o.Trials; trial++ {
-				seed := o.Seed + uint64(trial)
-				var pkts []*packet.Packet
-				if wl == "perm" {
-					pkts = workload.Permutation(g.Nodes(), packet.Transit, seed)
-				} else {
-					pkts = workload.Relation(g.Nodes(), n, packet.Transit, seed)
-				}
-				s := leveled.Route(g.AsLeveled(), pkts, leveled.Options{Seed: seed * 13})
-				rounds = append(rounds, s.Rounds)
-				if s.MaxQueue > maxQ {
-					maxQ = s.MaxQueue
-				}
+		results := mustSweep(scenario.Spec{
+			Topologies: []scenario.TopoRef{{Family: "shuffle", N: n, Leveled: true}},
+			Workloads: []scenario.WorkRef{
+				{Name: "perm"},
+				{Name: "relation", H: n},
+			},
+			Trials: o.Trials, Seed: o.Seed,
+		})
+		for _, r := range results {
+			wl := r.Workload
+			if wl == "relation" {
+				wl = "n-relation"
 			}
 			t.AddRow(fmt.Sprintf("%d", n),
-				fmt.Sprintf("%d", g.Nodes()),
+				fmt.Sprintf("%d", r.Nodes),
 				wl,
-				fmtF(mathx.MeanInts(rounds)),
-				fmt.Sprintf("%d", mathx.MaxInts(rounds)),
-				fmtF(mathx.MeanInts(rounds)/float64(n)),
-				fmt.Sprintf("%d", maxQ))
+				fmtF(r.RoundsMean),
+				fmt.Sprintf("%d", r.RoundsMax),
+				fmtF(r.RoundsMean/float64(n)),
+				fmt.Sprintf("%d", r.MaxQueue))
 		}
 	}
 	return t
@@ -492,14 +478,19 @@ func E8MeshEmulation(o Options) *metrics.Table {
 // E9MeshLocality reproduces Theorem 3.3: requests originating within
 // L1 distance d of their memory finish in O(d) — ~2d per routing
 // phase, ~4d for the emulated request+reply step, within the 6d+o(d)
-// bound.
+// bound. The workload comes through the registry's capability gate
+// (the mesh adapter preserves the reflection-clamped L1 sampling).
 func E9MeshLocality(o Options) *metrics.Table {
 	o = o.withDefaults()
 	n := 128
 	if o.Quick {
 		n = 64
 	}
-	g := mesh.New(n)
+	b, err := topology.Build("mesh", topology.Params{N: n})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	g := b.Graph.(*mesh.Grid)
 	t := metrics.NewTable(
 		fmt.Sprintf("E9 (Thm 3.3) locality on the %dx%d mesh", n, n),
 		"d", "phase rounds(mean)", "phase/d", "step cost(mean)", "step/d", "bound 6d")
@@ -512,7 +503,10 @@ func E9MeshLocality(o Options) *metrics.Table {
 		step := make([]int, 0, o.Trials)
 		for trial := 0; trial < o.Trials; trial++ {
 			seed := o.Seed + uint64(trial)
-			pkts := workload.MeshLocal(g, d, seed)
+			pkts, err := workload.Generate("local", b, workload.Params{D: d}, nil, seed)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: %v", err))
+			}
 			opts := mesh.Options{Seed: seed * 3, LocalityBound: d, SliceRows: maxInt(1, d/4)}
 			s := mesh.Route(g, pkts, opts)
 			phase = append(phase, s.Rounds)
@@ -544,37 +538,42 @@ func maxInt(a, b int) int {
 
 // E10QueueSizes ablates the queueing discipline (§3.4): furthest-
 // destination-first vs FIFO on random permutations, reporting max
-// queue occupancy and completion time.
+// queue occupancy and completion time — the sweep runner's
+// discipline axis on the mesh family.
 func E10QueueSizes(o Options) *metrics.Table {
 	o = o.withDefaults()
 	t := metrics.NewTable("E10 (§3.4) queue discipline ablation on the mesh",
-		"n", "discipline", "rounds(mean)", "maxQ(mean)", "maxQ(max)")
+		"n", "discipline", "rounds(mean)", "rounds(max)", "maxQ")
 	ns := []int{32, 64, 128}
 	if o.Quick {
 		ns = []int{32, 64}
 	}
+	var topos []scenario.TopoRef
 	for _, n := range ns {
-		g := mesh.New(n)
-		for _, disc := range []struct {
-			name string
-			d    mesh.Discipline
-		}{{"furthest-first", mesh.FurthestFirst}, {"fifo", mesh.FIFODiscipline}} {
-			rounds := make([]int, 0, o.Trials)
-			queues := make([]int, 0, o.Trials)
-			for trial := 0; trial < o.Trials; trial++ {
-				seed := o.Seed + uint64(trial)
-				pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
-				s := mesh.Route(g, pkts, mesh.Options{Seed: seed * 19, Discipline: disc.d})
-				rounds = append(rounds, s.Rounds)
-				queues = append(queues, s.MaxQueue)
-			}
-			t.AddRow(fmt.Sprintf("%d", n), disc.name,
-				fmtF(mathx.MeanInts(rounds)),
-				fmtF(mathx.MeanInts(queues)),
-				fmt.Sprintf("%d", mathx.MaxInts(queues)))
-		}
+		topos = append(topos, scenario.TopoRef{Family: "mesh", N: n})
+	}
+	results := mustSweep(scenario.Spec{
+		Topologies:  topos,
+		Workloads:   []scenario.WorkRef{{Name: "perm"}},
+		Disciplines: []string{"furthest", "fifo"},
+		Trials:      o.Trials, Seed: o.Seed,
+	})
+	for _, r := range results {
+		t.AddRow(fmt.Sprintf("%d", intSqrt(r.Nodes)), r.Discipline,
+			fmtF(r.RoundsMean),
+			fmt.Sprintf("%d", r.RoundsMax),
+			fmt.Sprintf("%d", r.MaxQueue))
 	}
 	return t
+}
+
+// intSqrt returns the integer square root of a perfect square.
+func intSqrt(n int) int {
+	s := 0
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
 }
 
 // E11Rehash reproduces §2.1's rehashing claims: with the proper
@@ -682,60 +681,97 @@ func CrossFamilySizes(quick bool) map[string]topology.Params {
 	}
 }
 
+// registryTopos enumerates every registered family as a sweep
+// reference at the comparable size table's parameters, routing on the
+// leveled unrolling when one exists (the emulator's preference, as
+// the paper's leveled-network theorems do). The degree column of E14
+// comes back alongside, keyed by family.
+func registryTopos(quick bool) ([]scenario.TopoRef, map[string]string) {
+	sizes := CrossFamilySizes(quick)
+	var topos []scenario.TopoRef
+	degrees := make(map[string]string)
+	for _, name := range topology.Names() {
+		p := sizes[name]
+		b, err := topology.Build(name, p)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", name, err))
+		}
+		topos = append(topos, scenario.TopoRef{Family: name, N: p.N, K: p.K, Leveled: b.Spec != nil})
+		if b.Graph != nil {
+			degrees[name] = fmt.Sprintf("%d", maxDegree(b.Graph))
+		} else {
+			degrees[name] = fmt.Sprintf("%d", b.Spec.Degree())
+		}
+	}
+	return topos, degrees
+}
+
 // E14CrossFamily prices permutation routing across every family in
 // the topology registry at comparable sizes, reporting rounds/diam —
 // the paper's claim that the two-phase framework is topology-generic:
 // routing time stays Õ(diameter) whichever network family carries the
 // traffic. Families with a leveled unrolling route via Algorithm 2.1
-// on it; the rest route via Algorithm 2.2 on the graph.
+// on it; the rest route via Algorithm 2.2 on the graph. A family
+// registered tomorrow joins the sweep with no edits here.
 func E14CrossFamily(o Options) *metrics.Table {
 	o = o.withDefaults()
 	t := metrics.NewTable("E14 (framework) cross-family permutation routing at comparable sizes",
 		"family", "network", "N", "degree", "diam", "view", "rounds(mean)", "rounds(max)", "rounds/diam", "maxQ")
-	sizes := CrossFamilySizes(o.Quick)
-	for _, name := range topology.Names() {
-		b, err := topology.Build(name, sizes[name])
-		if err != nil {
-			panic(fmt.Sprintf("experiments: E14 %s: %v", name, err))
-		}
-		view := "leveled(2.1)"
-		if b.Spec == nil {
-			view = "direct(2.2)"
-		}
-		var degree string
-		if b.Graph != nil {
-			degree = fmt.Sprintf("%d", maxDegree(b.Graph))
-		} else {
-			degree = fmt.Sprintf("%d", b.Spec.Degree())
-		}
-		rounds := make([]int, 0, o.Trials)
-		maxQ := 0
-		for trial := 0; trial < o.Trials; trial++ {
-			seed := o.Seed + uint64(trial)
-			pkts := workload.Permutation(b.Nodes(), packet.Transit, seed)
-			var r, q int
-			if b.Spec != nil {
-				s := leveled.Route(b.Spec, pkts, leveled.Options{Seed: seed * 23})
-				r, q = s.Rounds, s.MaxQueue
-			} else {
-				s := mustRoute(b.Graph, pkts, simnet.Options{Seed: seed * 23})
-				r, q = s.Rounds, s.MaxQueue
-			}
-			rounds = append(rounds, r)
-			if q > maxQ {
-				maxQ = q
-			}
-		}
-		t.AddRow(name,
-			b.Name(),
-			fmt.Sprintf("%d", b.Nodes()),
-			degree,
-			fmt.Sprintf("%d", b.Diameter()),
-			view,
-			fmtF(mathx.MeanInts(rounds)),
-			fmt.Sprintf("%d", mathx.MaxInts(rounds)),
-			fmtF(mathx.MeanInts(rounds)/float64(b.Diameter())),
-			fmt.Sprintf("%d", maxQ))
+	topos, degrees := registryTopos(o.Quick)
+	results := mustSweep(scenario.Spec{
+		Topologies: topos,
+		Workloads:  []scenario.WorkRef{{Name: "perm"}},
+		Trials:     o.Trials, Seed: o.Seed,
+	})
+	for _, r := range results {
+		t.AddRow(r.Family,
+			r.Topology,
+			fmt.Sprintf("%d", r.Nodes),
+			degrees[r.Family],
+			fmt.Sprintf("%d", r.Diameter),
+			r.View,
+			fmtF(r.RoundsMean),
+			fmt.Sprintf("%d", r.RoundsMax),
+			fmtF(r.RoundsPerDiam),
+			fmt.Sprintf("%d", r.MaxQueue))
+	}
+	return t
+}
+
+// E16ScenarioMatrix prices every registered topology family against
+// every applicable registered workload generator — the full
+// cross-product of the two registries, gated by the workload
+// capability checks (SkipIncompatible drops pairs like bitrev on a
+// factorial-sized family). A family or generator registered tomorrow
+// appears in this table with no edits here. Sizes are the quick
+// comparable table regardless of o.Quick: the matrix is wide, so each
+// cell stays small.
+func E16ScenarioMatrix(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E16 (registries) every family x every applicable workload",
+		"family", "workload", "class", "N", "view", "rounds(mean)", "rounds/diam", "maxQ")
+	topos, _ := registryTopos(true)
+	var works []scenario.WorkRef
+	for _, name := range workload.Names() {
+		works = append(works, scenario.WorkRef{Name: name})
+	}
+	results := mustSweep(scenario.Spec{
+		Topologies:       topos,
+		Workloads:        works,
+		Trials:           o.Trials,
+		Seed:             o.Seed,
+		SkipIncompatible: true,
+	})
+	for _, r := range results {
+		gen, _ := workload.Lookup(r.Workload)
+		t.AddRow(r.Family,
+			r.Workload,
+			gen.Class.String(),
+			fmt.Sprintf("%d", r.Nodes),
+			r.View,
+			fmtF(r.RoundsMean),
+			fmtF(r.RoundsPerDiam),
+			fmt.Sprintf("%d", r.MaxQueue))
 	}
 	return t
 }
@@ -772,5 +808,6 @@ func All(o Options) []*metrics.Table {
 		E11Rehash(o),
 		E12SortVsRoute(o),
 		E14CrossFamily(o),
+		E16ScenarioMatrix(o),
 	}
 }

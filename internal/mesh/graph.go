@@ -78,6 +78,25 @@ func (g *Grid) Neighbor(node, slot int) int {
 	return g.dirNeighbor(node, g.slotDir(node, slot))
 }
 
+// Dims implements topology.Coordinated: the grid has two axes,
+// axis 0 = row, axis 1 = column.
+func (g *Grid) Dims() int { return 2 }
+
+// Extent implements topology.Coordinated: both axes run over [0, n).
+func (g *Grid) Extent(dim int) int { return g.n }
+
+// Coord implements topology.Coordinated.
+func (g *Grid) Coord(node, dim int) int {
+	row, col := g.RowCol(node)
+	if dim == 0 {
+		return row
+	}
+	return col
+}
+
+// NodeAt implements topology.Coordinated.
+func (g *Grid) NodeAt(coords []int) int { return g.Node(coords[0], coords[1]) }
+
 // NextHop implements topology.Graph with greedy dimension-ordered
 // routing: fix the column first, then the row. `taken` is ignored
 // (paths are memoryless).

@@ -1,0 +1,315 @@
+// The sweep runner: RunCell prices one grid cell, Run fans the whole
+// grid out over a worker pool. Result is the one JSON schema shared
+// by `routebench -json` (one object per invocation) and `routebench
+// -sweep` (one object per line of JSONL).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pramemu/internal/leveled"
+	"pramemu/internal/mathx"
+	"pramemu/internal/mesh"
+	"pramemu/internal/packet"
+	"pramemu/internal/simnet"
+	"pramemu/internal/topology"
+	"pramemu/internal/workload"
+)
+
+// Result aggregates the trials of one cell. It is the -json schema of
+// cmd/routebench and the per-line schema of sweep JSONL artifacts.
+// The wall-clock fields (elapsed_ms, rounds_per_sec) are filled only
+// for Timing cells — sweep output omits them so it is bit-reproducible.
+type Result struct {
+	Scenario      string  `json:"scenario,omitempty"` // sweep cell key; empty on single runs
+	Family        string  `json:"family"`
+	Topology      string  `json:"topology"`
+	Nodes         int     `json:"nodes"`
+	Diameter      int     `json:"diameter"`
+	Workload      string  `json:"workload"`
+	Algorithm     string  `json:"algorithm,omitempty"`
+	Discipline    string  `json:"discipline,omitempty"`
+	View          string  `json:"view,omitempty"` // direct(2.2) | leveled(2.1) | mesh(§3.4)
+	Workers       int     `json:"workers"`
+	Trials        int     `json:"trials"`
+	Seed          uint64  `json:"seed"`
+	RoundsMean    float64 `json:"rounds_mean"`
+	RoundsMax     int     `json:"rounds_max"`
+	RoundsPerDiam float64 `json:"rounds_per_diam"`
+	MaxQueue      int     `json:"max_queue"`
+	ElapsedMS     float64 `json:"elapsed_ms,omitempty"`
+	RoundsPerSec  float64 `json:"rounds_per_sec,omitempty"`
+}
+
+// RunCell builds the cell's topology, gates its workload through the
+// registry's capability check, routes Trials seeded repetitions on
+// the appropriate router (the specialized §3.4 mesh router for
+// permutation-class and local traffic on the mesh, the generic
+// simulators elsewhere, with CRCW combining enabled for many-one
+// traffic) and aggregates one Result. Packets come from one slab
+// arena recycled across trials, so repeated cells stay on the
+// engine's zero-allocation steady-state path.
+func RunCell(c Cell) (Result, error) {
+	b := c.Built
+	if b.Graph == nil && b.Spec == nil {
+		var err error
+		b, err = topology.Build(c.Topo.Family, topology.Params{N: c.Topo.N, K: c.Topo.K})
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	gen, ok := workload.Lookup(c.Work.Name)
+	if !ok {
+		return Result{}, fmt.Errorf("unknown workload %q (known: %v)", c.Work.Name, workload.Names())
+	}
+	if err := gen.Check(b); err != nil {
+		return Result{}, err
+	}
+	p := c.Work.params().Defaulted()
+	if p.Fraction < 0 || p.Fraction > 1 {
+		return Result{}, fmt.Errorf("workload %s: fraction %v out of [0,1]", c.Work.Name, p.Fraction)
+	}
+	if c.Topo.Leveled && b.Spec == nil {
+		return Result{}, fmt.Errorf("%s has no leveled unrolling", b.Name())
+	}
+	if b.Nodes() > topology.MaxNodes {
+		return Result{}, fmt.Errorf("%s has %d nodes, exceeding the simulator's 24-bit key space", b.Name(), b.Nodes())
+	}
+	if c.Trials < 1 {
+		c.Trials = 1
+	}
+	if meshRouted(b, c.Topo, gen.Class) {
+		return runMeshCell(b, b.Graph.(*mesh.Grid), gen, p, c)
+	}
+	return runGenericCell(b, gen, p, c)
+}
+
+// runMeshCell routes on the paper's specialized three-stage router.
+// p arrives pre-defaulted and validated by RunCell.
+func runMeshCell(b topology.Built, g *mesh.Grid, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
+	alg, err := meshAlgorithm(c.Algorithm)
+	if err != nil {
+		return Result{}, err
+	}
+	disc, err := meshDiscipline(c.Discipline)
+	if err != nil {
+		return Result{}, err
+	}
+	opts := mesh.Options{
+		Algorithm:  alg,
+		Discipline: disc,
+		Workers:    c.Workers,
+		HashedKeys: c.Hashed,
+	}
+	if gen.Class == workload.ClassLocal {
+		opts.LocalityBound = p.D
+		opts.SliceRows = max(1, p.D/4)
+	}
+	rounds := make([]int, 0, c.Trials)
+	maxQ := 0
+	arena := packet.NewArena()
+	start := time.Now()
+	for trial := 0; trial < c.Trials; trial++ {
+		s := c.Seed + uint64(trial)
+		arena.Reset()
+		pkts, err := gen.Generate(b, p, arena, s)
+		if err != nil {
+			return Result{}, err
+		}
+		opts.Seed = s * 31
+		st := mesh.Route(g, pkts, opts)
+		rounds = append(rounds, st.Rounds)
+		if st.MaxQueue > maxQ {
+			maxQ = st.MaxQueue
+		}
+	}
+	res := Result{
+		Family:     c.Topo.Family,
+		Topology:   g.Name(),
+		Nodes:      g.Nodes(),
+		Diameter:   g.Diameter(),
+		Algorithm:  algName(c.Algorithm),
+		Discipline: discName(c.Discipline),
+		View:       "mesh(§3.4)",
+		MaxQueue:   maxQ,
+	}
+	return finish(res, c, rounds, time.Since(start)), nil
+}
+
+// runGenericCell routes on the generic simulators: Algorithm 2.1 on
+// the leveled unrolling when the cell (or a leveled-only family)
+// selects it, Algorithm 2.2 on the graph otherwise. p arrives
+// pre-defaulted and validated by RunCell.
+func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
+	useSpec := b.Graph == nil || (c.Topo.Leveled && b.Spec != nil)
+	combine := gen.Needs&workload.NeedsCombining != 0
+	rounds := make([]int, 0, c.Trials)
+	maxQ := 0
+	arena := packet.NewArena()
+	start := time.Now()
+	for trial := 0; trial < c.Trials; trial++ {
+		s := c.Seed + uint64(trial)
+		arena.Reset()
+		pkts, err := gen.Generate(b, p, arena, s)
+		if err != nil {
+			return Result{}, err
+		}
+		var r, q int
+		if useSpec {
+			st := leveled.Route(b.Spec, pkts, leveled.Options{
+				Seed: s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
+				HashedKeys: c.Hashed, Combine: combine,
+			})
+			r, q = st.Rounds, st.MaxQueue
+		} else {
+			st, err := simnet.Route(b.Graph, pkts, simnet.Options{
+				Seed: s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
+				HashedKeys: c.Hashed, Combine: combine,
+			})
+			if err != nil {
+				return Result{}, err
+			}
+			r, q = st.Rounds, st.MaxQueue
+		}
+		rounds = append(rounds, r)
+		if q > maxQ {
+			maxQ = q
+		}
+	}
+	name, view := b.Name(), "direct(2.2)"
+	if useSpec {
+		name, view = b.Spec.Name(), "leveled(2.1)"
+	}
+	res := Result{
+		Family:   c.Topo.Family,
+		Topology: name,
+		Nodes:    b.Nodes(),
+		Diameter: b.Diameter(),
+		View:     view,
+		MaxQueue: maxQ,
+	}
+	return finish(res, c, rounds, time.Since(start)), nil
+}
+
+// finish fills the cell metadata and derived metrics shared by both
+// routers.
+func finish(res Result, c Cell, rounds []int, elapsed time.Duration) Result {
+	res.Workload = c.Work.Name
+	res.Workers = c.Workers
+	res.Trials = c.Trials
+	res.Seed = c.Seed
+	res.RoundsMean = mathx.MeanInts(rounds)
+	res.RoundsMax = mathx.MaxInts(rounds)
+	if res.Diameter > 0 {
+		res.RoundsPerDiam = res.RoundsMean / float64(res.Diameter)
+	}
+	if c.Timing {
+		res.ElapsedMS = float64(elapsed.Microseconds()) / 1e3
+		if elapsed > 0 {
+			total := 0
+			for _, r := range rounds {
+				total += r
+			}
+			res.RoundsPerSec = float64(total) / elapsed.Seconds()
+		}
+	}
+	return res
+}
+
+// algName canonicalizes the algorithm axis value for reports.
+func algName(name string) string {
+	if name == "" {
+		return "threestage"
+	}
+	return name
+}
+
+// discName canonicalizes the discipline axis value for reports.
+func discName(name string) string {
+	if name == "" {
+		return "furthest"
+	}
+	return name
+}
+
+// Run expands the spec into its grid and executes every cell over a
+// pool of Spec.Pool workers. Results come back sorted by scenario key
+// with the wall-clock fields zeroed, so the output is identical for
+// any pool width — each cell's seeds derive from the spec alone,
+// never from execution order. Axis values, workload parameters and
+// capability pairings are validated during expansion, before any cell
+// routes; should a cell still fail at run time, the grid drains and
+// the first failing cell's error (in key order) is returned.
+func Run(spec Spec) ([]Result, error) {
+	spec = spec.withDefaults()
+	cells, err := spec.cells()
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("scenario: spec %q expands to no runnable cells", spec.Name)
+	}
+	pool := spec.Pool
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	if pool > len(cells) {
+		pool = len(cells)
+	}
+	results := make([]Result, len(cells))
+	errs := make([]error, len(cells))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i], errs[i] = RunCell(cells[i])
+				results[i].Scenario = cells[i].Key()
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cell %s: %w", cells[i].Key(), err)
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Scenario < results[j].Scenario })
+	return results, nil
+}
+
+// ReadSpec parses a sweep spec from JSON, rejecting unknown fields so
+// typos in axis names fail loudly instead of silently defaulting.
+func ReadSpec(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	return s, nil
+}
+
+// WriteJSONL writes one JSON object per result line — the sweep
+// artifact format.
+func WriteJSONL(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

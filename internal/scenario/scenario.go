@@ -1,0 +1,265 @@
+// Package scenario turns (topology × workload × discipline × engine
+// workers × trials) grids into routing results: the declarative sweep
+// layer the ROADMAP's "as many scenarios as you can imagine" north
+// star calls for. A Spec names axes by registry key — the topology
+// registry supplies the networks, the workload registry the traffic —
+// so a family or generator registered tomorrow is sweepable with zero
+// edits here. Run executes the cross-product in parallel over a
+// worker pool and returns seed-deterministic, order-independent
+// results: the JSONL a parallel sweep emits is line-for-line
+// identical (after the built-in sort by scenario key) to a sequential
+// run with the same seed.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pramemu/internal/mesh"
+	"pramemu/internal/topology"
+	"pramemu/internal/workload"
+)
+
+// TopoRef selects one topology configuration by registry name.
+type TopoRef struct {
+	// Family is the topology-registry key.
+	Family string `json:"family"`
+	// N and K are the registry's size parameters (0 = family default).
+	N int `json:"n,omitempty"`
+	K int `json:"k,omitempty"`
+	// Leveled routes on the Algorithm 2.1 unrolling where one exists
+	// (leveled-only families use theirs regardless).
+	Leveled bool `json:"leveled,omitempty"`
+}
+
+// WorkRef selects one workload configuration by registry name.
+type WorkRef struct {
+	// Name is the workload-registry key.
+	Name string `json:"name"`
+	// H, D, Fraction and Hot map onto workload.Params (0 = default).
+	H        int     `json:"h,omitempty"`
+	D        int     `json:"d,omitempty"`
+	Fraction float64 `json:"fraction,omitempty"`
+	Hot      int     `json:"hot,omitempty"`
+}
+
+// params converts the reference into generator parameters.
+func (w WorkRef) params() workload.Params {
+	return workload.Params{H: w.H, D: w.D, Fraction: w.Fraction, Hot: w.Hot}
+}
+
+// Spec is one declarative sweep: the cross-product of its axes.
+type Spec struct {
+	// Name labels the sweep in logs; it does not affect results.
+	Name string `json:"name,omitempty"`
+	// Topologies and Workloads are the two registry-keyed axes.
+	Topologies []TopoRef `json:"topologies"`
+	Workloads  []WorkRef `json:"workloads"`
+	// Disciplines is the mesh queueing-discipline axis ("furthest",
+	// "fifo"); it expands only on cells the specialized §3.4 mesh
+	// router serves and collapses to a single cell elsewhere.
+	// Default: ["furthest"].
+	Disciplines []string `json:"disciplines,omitempty"`
+	// Workers is the round-engine worker axis (1 = sequential; any
+	// value yields identical results, which a sweep over {1, n}
+	// verifies end to end). Default: [1].
+	Workers []int `json:"workers,omitempty"`
+	// Trials is the seeded repetition count per cell (default 3).
+	Trials int `json:"trials,omitempty"`
+	// Seed is the base seed shared by every cell (default 1991), so a
+	// sweep cell reproduces the routebench invocation with the same
+	// parameters exactly.
+	Seed uint64 `json:"seed,omitempty"`
+	// Algorithm selects the mesh routing algorithm for mesh-routed
+	// cells ("threestage", "vb", "greedy"; default "threestage").
+	Algorithm string `json:"algorithm,omitempty"`
+	// Pool is the sweep's own worker-pool width: how many cells run
+	// concurrently (0 = GOMAXPROCS, 1 = sequential). Results are
+	// identical for any value.
+	Pool int `json:"pool,omitempty"`
+	// SkipIncompatible drops (family, workload) pairs whose
+	// capability check fails instead of failing the sweep — the knob
+	// the full-matrix E16 pricing uses.
+	SkipIncompatible bool `json:"skip_incompatible,omitempty"`
+}
+
+// withDefaults substitutes the documented axis defaults.
+func (s Spec) withDefaults() Spec {
+	if len(s.Disciplines) == 0 {
+		s.Disciplines = []string{"furthest"}
+	}
+	if len(s.Workers) == 0 {
+		s.Workers = []int{1}
+	}
+	if s.Trials == 0 {
+		s.Trials = 3
+	}
+	if s.Seed == 0 {
+		s.Seed = 1991
+	}
+	if s.Algorithm == "" {
+		s.Algorithm = "threestage"
+	}
+	return s
+}
+
+// Cell is one point of a sweep grid — everything RunCell needs to
+// produce one Result. Commands construct single cells directly; Run
+// expands a Spec into them.
+type Cell struct {
+	Topo TopoRef
+	Work WorkRef
+	// Built optionally carries the pre-built topology (Run's expansion
+	// fills it; benchmarks repeating one cell should too). Zero means
+	// RunCell builds from Topo. Graphs are stateless and concurrent-
+	// safe, so one Built may back many cells.
+	Built      topology.Built
+	Discipline string // mesh queue discipline; "" = furthest
+	Algorithm  string // mesh routing algorithm; "" = threestage
+	Workers    int    // round-engine workers (0 = GOMAXPROCS)
+	Trials     int
+	Seed       uint64
+	SkipPhase1 bool // ablation: no randomizing phase
+	Hashed     bool // force the engine's hashed-map link state
+	Timing     bool // fill ElapsedMS/RoundsPerSec (wall-clock, so
+	// sweeps leave it off to keep JSONL deterministic)
+}
+
+// Key is the cell's canonical scenario key: the JSONL sort key and
+// the Scenario field of its Result. Workload parameters appear with
+// their defaults substituted — the values the cell actually runs with
+// — so cells that differ only in explicit-default vs zero parameters
+// share one key (and identical results).
+func (c Cell) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s[n=%d,k=%d", c.Topo.Family, c.Topo.N, c.Topo.K)
+	if c.Topo.Leveled {
+		b.WriteString(",leveled")
+	}
+	p := c.Work.params().Defaulted()
+	fmt.Fprintf(&b, "]/%s[h=%d,d=%d,f=%g,hot=%d]", c.Work.Name, p.H, p.D, p.Fraction, p.Hot)
+	if c.Algorithm != "" {
+		fmt.Fprintf(&b, "/alg=%s", c.Algorithm)
+	}
+	if c.Discipline != "" {
+		fmt.Fprintf(&b, "/disc=%s", c.Discipline)
+	}
+	fmt.Fprintf(&b, "/w=%d", c.Workers)
+	return b.String()
+}
+
+// cells expands the spec into its grid, validating every axis value
+// up front: unknown families, workloads or disciplines and
+// incompatible (family, workload) pairs fail here — with the error
+// naming the missing capability — before any routing runs.
+func (s Spec) cells() ([]Cell, error) {
+	if len(s.Topologies) == 0 {
+		return nil, fmt.Errorf("scenario: spec needs at least one topology")
+	}
+	if len(s.Workloads) == 0 {
+		return nil, fmt.Errorf("scenario: spec needs at least one workload")
+	}
+	if _, err := meshAlgorithm(s.Algorithm); err != nil {
+		return nil, err
+	}
+	for _, d := range s.Disciplines {
+		if _, err := meshDiscipline(d); err != nil {
+			return nil, err
+		}
+	}
+	var cells []Cell
+	for _, tr := range s.Topologies {
+		b, err := topology.Build(tr.Family, topology.Params{N: tr.N, K: tr.K})
+		if err != nil {
+			return nil, err
+		}
+		if tr.Leveled && b.Spec == nil {
+			return nil, fmt.Errorf("%s has no leveled unrolling", b.Name())
+		}
+		if b.Nodes() > topology.MaxNodes {
+			return nil, fmt.Errorf("%s has %d nodes, exceeding the simulator's 24-bit key space", b.Name(), b.Nodes())
+		}
+		for _, wr := range s.Workloads {
+			gen, ok := workload.Lookup(wr.Name)
+			if !ok {
+				return nil, fmt.Errorf("unknown workload %q (known: %v)", wr.Name, workload.Names())
+			}
+			if f := wr.Fraction; f < 0 || f > 1 {
+				return nil, fmt.Errorf("workload %s: fraction %v out of [0,1]", wr.Name, f)
+			}
+			if err := gen.Check(b); err != nil {
+				if s.SkipIncompatible {
+					continue
+				}
+				return nil, err
+			}
+			// The discipline axis only distinguishes cells the
+			// specialized mesh router serves; elsewhere it collapses
+			// so the grid has no duplicate rows.
+			disciplines := s.Disciplines
+			algorithm := s.Algorithm
+			if !meshRouted(b, tr, gen.Class) {
+				disciplines = []string{""}
+				algorithm = ""
+			}
+			for _, disc := range disciplines {
+				for _, w := range s.Workers {
+					cells = append(cells, Cell{
+						Topo:       tr,
+						Work:       wr,
+						Built:      b,
+						Discipline: disc,
+						Algorithm:  algorithm,
+						Workers:    w,
+						Trials:     s.Trials,
+						Seed:       s.Seed,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Key() < cells[j].Key() })
+	return cells, nil
+}
+
+// meshRouted reports whether the cell runs on the specialized §3.4
+// mesh router: a mesh grid, not forced onto a leveled view, carrying
+// traffic the three-stage algorithm is defined for (permutation-class
+// or local). Everything else — including h-relations and many-one
+// traffic on the mesh — routes generically on the graph view.
+func meshRouted(b topology.Built, tr TopoRef, class workload.Class) bool {
+	if tr.Leveled {
+		return false
+	}
+	if _, ok := b.Graph.(*mesh.Grid); !ok {
+		return false
+	}
+	return class == workload.ClassPermutation || class == workload.ClassLocal
+}
+
+// meshAlgorithm resolves the algorithm axis value.
+func meshAlgorithm(name string) (mesh.Algorithm, error) {
+	switch name {
+	case "", "threestage":
+		return mesh.ThreeStage, nil
+	case "vb":
+		return mesh.ValiantBrebner, nil
+	case "greedy":
+		return mesh.Greedy, nil
+	default:
+		return 0, fmt.Errorf("unknown mesh algorithm %q", name)
+	}
+}
+
+// meshDiscipline resolves the discipline axis value.
+func meshDiscipline(name string) (mesh.Discipline, error) {
+	switch name {
+	case "", "furthest":
+		return mesh.FurthestFirst, nil
+	case "fifo":
+		return mesh.FIFODiscipline, nil
+	default:
+		return 0, fmt.Errorf("unknown mesh discipline %q", name)
+	}
+}

@@ -1,0 +1,228 @@
+// The sweep runner's contract: pool-width independence (a parallel
+// sweep's JSONL is line-for-line identical to a sequential one),
+// engine-worker equivalence along the workers axis, capability gating
+// with errors that name the missing capability, and spec parsing.
+// TestSweep* runs under the race detector in CI, so the runner's pool
+// is race-checked over every axis it exercises.
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	_ "pramemu/internal/topology/families"
+)
+
+// testSpec is a small grid crossing the mesh router, the generic
+// direct router, the leveled view and a many-one combining workload.
+func testSpec() Spec {
+	return Spec{
+		Name: "test",
+		Topologies: []TopoRef{
+			{Family: "star", N: 4},
+			{Family: "torus", N: 4, K: 2},
+			{Family: "mesh", N: 4},
+			{Family: "butterfly", N: 3},
+		},
+		Workloads: []WorkRef{
+			{Name: "perm"},
+			{Name: "khot", Hot: 2},
+		},
+		Disciplines: []string{"furthest", "fifo"},
+		Workers:     []int{1, 4},
+		Trials:      2,
+		Seed:        7,
+		Pool:        1,
+	}
+}
+
+func mustRun(t *testing.T, spec Spec) []Result {
+	t.Helper()
+	results, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results
+}
+
+func jsonl(t *testing.T, results []Result) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestSweepPoolWidthIndependence is the acceptance property: the
+// JSONL of a Pool=4 sweep is byte-identical to the sequential Pool=1
+// sweep with the same seed.
+func TestSweepPoolWidthIndependence(t *testing.T) {
+	seq := testSpec()
+	par := testSpec()
+	par.Pool = 4
+	a, b := jsonl(t, mustRun(t, seq)), jsonl(t, mustRun(t, par))
+	if a != b {
+		t.Fatalf("parallel sweep diverged from sequential:\n--- pool=1\n%s--- pool=4\n%s", a, b)
+	}
+	if a != jsonl(t, mustRun(t, seq)) {
+		t.Fatal("repeated sweep not deterministic")
+	}
+}
+
+// TestSweepWorkersAxisEquivalent pins the engine guarantee end to
+// end: cells differing only in round-engine workers report identical
+// routing statistics.
+func TestSweepWorkersAxisEquivalent(t *testing.T) {
+	results := mustRun(t, testSpec())
+	byKey := make(map[string]Result)
+	for _, r := range results {
+		key := strings.TrimSuffix(r.Scenario, "/w=1")
+		key = strings.TrimSuffix(key, "/w=4")
+		prev, seen := byKey[key]
+		if !seen {
+			byKey[key] = r
+			continue
+		}
+		if prev.RoundsMean != r.RoundsMean || prev.RoundsMax != r.RoundsMax || prev.MaxQueue != r.MaxQueue {
+			t.Fatalf("workers axis diverged for %s:\n%+v\n%+v", key, prev, r)
+		}
+	}
+	if len(byKey)*2 != len(results) {
+		t.Fatalf("%d results for %d worker-collapsed keys", len(results), len(byKey))
+	}
+}
+
+// TestSweepGridShape checks the discipline axis expands only on
+// mesh-routed cells and many-one traffic leaves the mesh's
+// specialized router for the generic one.
+func TestSweepGridShape(t *testing.T) {
+	results := mustRun(t, testSpec())
+	// star/torus/butterfly: 2 workloads x 2 workers = 4 cells each;
+	// mesh: perm expands 2 disciplines x 2 workers, khot collapses to
+	// 2 workers = 6 cells.
+	if len(results) != 3*4+6 {
+		t.Fatalf("grid expanded to %d cells, want 18", len(results))
+	}
+	for _, r := range results {
+		switch {
+		case r.Family == "mesh" && r.Workload == "perm":
+			if r.View != "mesh(§3.4)" || r.Discipline == "" || r.Algorithm == "" {
+				t.Fatalf("mesh perm cell missing router metadata: %+v", r)
+			}
+		case r.Family == "mesh":
+			if r.View != "direct(2.2)" || r.Discipline != "" {
+				t.Fatalf("mesh many-one cell should route generically: %+v", r)
+			}
+		case r.Family == "butterfly":
+			if r.View != "leveled(2.1)" {
+				t.Fatalf("butterfly cell should route on its unrolling: %+v", r)
+			}
+		default:
+			if r.View != "direct(2.2)" {
+				t.Fatalf("%s cell should route directly: %+v", r.Family, r)
+			}
+		}
+		if r.RoundsMean <= 0 || r.RoundsMax <= 0 || r.Trials != 2 {
+			t.Fatalf("degenerate result: %+v", r)
+		}
+		if r.ElapsedMS != 0 || r.RoundsPerSec != 0 {
+			t.Fatalf("sweep result carries wall-clock fields: %+v", r)
+		}
+	}
+}
+
+// TestSweepCapabilityGate: incompatible pairs fail the sweep with the
+// missing capability named, unless SkipIncompatible drops them.
+func TestSweepCapabilityGate(t *testing.T) {
+	spec := Spec{
+		Topologies: []TopoRef{{Family: "star", N: 4}},
+		Workloads:  []WorkRef{{Name: "tornado"}},
+		Trials:     1, Seed: 7, Pool: 1,
+	}
+	if _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "coordinates") {
+		t.Fatalf("tornado on star: want a coordinates-capability error, got %v", err)
+	}
+	spec.Workloads = []WorkRef{{Name: "local"}}
+	spec.Topologies = []TopoRef{{Family: "butterfly", N: 3}}
+	if _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "graph") {
+		t.Fatalf("local on butterfly: want a graph-view error, got %v", err)
+	}
+	spec.SkipIncompatible = true
+	spec.Topologies = append(spec.Topologies, TopoRef{Family: "mesh", N: 4})
+	results := mustRun(t, spec)
+	if len(results) != 1 || results[0].Family != "mesh" {
+		t.Fatalf("SkipIncompatible should keep only the mesh cell: %+v", results)
+	}
+}
+
+// TestSweepRejectsBadAxes: unknown names fail before any routing.
+func TestSweepRejectsBadAxes(t *testing.T) {
+	base := testSpec()
+	for _, mutate := range []func(*Spec){
+		func(s *Spec) { s.Topologies = []TopoRef{{Family: "moebius"}} },
+		func(s *Spec) { s.Workloads = []WorkRef{{Name: "nope"}} },
+		func(s *Spec) { s.Workloads = []WorkRef{{Name: "hotspot", Fraction: 1.5}} },
+		func(s *Spec) { s.Disciplines = []string{"magic"} },
+		func(s *Spec) { s.Algorithm = "magic" },
+		func(s *Spec) { s.Topologies = nil },
+		func(s *Spec) { s.Workloads = nil },
+		func(s *Spec) { s.Topologies = []TopoRef{{Family: "torus", N: 4, K: 2, Leveled: true}} },
+	} {
+		spec := base
+		mutate(&spec)
+		if _, err := Run(spec); err == nil {
+			t.Fatalf("invalid spec accepted: %+v", spec)
+		}
+	}
+}
+
+// TestReadSpec: JSON round-trip and unknown-field rejection.
+func TestReadSpec(t *testing.T) {
+	spec, err := ReadSpec(strings.NewReader(`{
+		"name": "smoke",
+		"topologies": [{"family": "star", "n": 4}],
+		"workloads": [{"name": "perm"}, {"name": "khot", "hot": 2}],
+		"workers": [1, 2],
+		"trials": 2,
+		"seed": 99
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "smoke" || len(spec.Topologies) != 1 || len(spec.Workloads) != 2 ||
+		spec.Seed != 99 || len(spec.Workers) != 2 {
+		t.Fatalf("spec mis-parsed: %+v", spec)
+	}
+	if _, err := ReadSpec(strings.NewReader(`{"topologiez": []}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+// TestRunCellMatchesSweepLine: a single RunCell with a cell's exact
+// parameters reproduces the corresponding sweep line (minus the
+// wall-clock fields), so routebench invocations and sweep rows agree.
+func TestRunCellMatchesSweepLine(t *testing.T) {
+	spec := testSpec()
+	results := mustRun(t, spec)
+	probe := results[0]
+	for _, r := range results {
+		if r.Family == "torus" && r.Workload == "perm" && r.Workers == 1 {
+			probe = r
+			break
+		}
+	}
+	res, err := RunCell(Cell{
+		Topo:    TopoRef{Family: "torus", N: 4, K: 2},
+		Work:    WorkRef{Name: "perm"},
+		Workers: 1, Trials: spec.Trials, Seed: spec.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Scenario = probe.Scenario
+	if res != probe {
+		t.Fatalf("single cell diverged from sweep line:\n%+v\n%+v", res, probe)
+	}
+}

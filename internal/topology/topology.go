@@ -82,6 +82,22 @@ type PathBounded interface {
 	MaxPathLen() int
 }
 
+// Coordinated is implemented by graphs whose nodes are the points of
+// an axis-aligned grid: the mesh (two axes of extent n) and the k-ary
+// n-cube (Dims axes of extent k). Coordinate-defined workloads — the
+// tornado half-wrap adversary — require this capability, which the
+// workload registry gates on.
+type Coordinated interface {
+	// Dims returns the number of grid axes.
+	Dims() int
+	// Extent returns the number of coordinate values along axis dim.
+	Extent(dim int) int
+	// Coord returns node's coordinate along axis dim, in [0, Extent(dim)).
+	Coord(node, dim int) int
+	// NodeAt returns the node at the given coordinates (len == Dims()).
+	NodeAt(coords []int) int
+}
+
 // MaxPath returns the longest deterministic path g can produce: the
 // declared MaxPathLen for PathBounded graphs, the diameter otherwise.
 func MaxPath(g Graph) int {

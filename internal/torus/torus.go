@@ -112,6 +112,21 @@ func (g *Graph) NextHop(node, dst, taken int) (slot int, done bool) {
 	return 0, true
 }
 
+// Extent implements topology.Coordinated: every axis has extent k.
+func (g *Graph) Extent(dim int) int { return g.k }
+
+// Coord implements topology.Coordinated: base-k digit dim of node.
+func (g *Graph) Coord(node, dim int) int { return g.digit(node, dim) }
+
+// NodeAt implements topology.Coordinated.
+func (g *Graph) NodeAt(coords []int) int {
+	node := 0
+	for d, v := range coords {
+		node += v * g.pow[d]
+	}
+	return node
+}
+
 // Distance returns the torus (wraparound L1) distance between nodes.
 func (g *Graph) Distance(u, v int) int {
 	total := 0

@@ -1,0 +1,206 @@
+// Registry conformance: one property suite that every registered
+// workload generator must pass on every compatible topology —
+// the sibling of internal/topology/conformance_test.go. A generator
+// registered tomorrow is covered automatically: destinations in
+// range, exact packet counts per traffic class, bijectivity for
+// permutation-class workloads, bit-identical output for the same seed
+// across two calls and across the arena/non-arena allocation paths,
+// and distance bounds for the local class.
+package workload_test
+
+import (
+	"testing"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
+	"pramemu/internal/workload"
+)
+
+// conformanceTopos spans the capability space: square and non-square
+// node counts, powers of two and factorials, coordinate grids,
+// taken-sensitive graphs and a leveled-only family.
+var conformanceTopos = []struct {
+	family string
+	p      topology.Params
+}{
+	{"star", topology.Params{N: 4}},           // 24 nodes: not square, not pow2
+	{"hypercube", topology.Params{N: 4}},      // 16: pow2 and square
+	{"torus", topology.Params{N: 4, K: 2}},    // 16: coordinates, pow2, square
+	{"mesh", topology.Params{N: 5}},           // 25: coordinates, square
+	{"shuffle", topology.Params{N: 3}},        // 27: taken-sensitive
+	{"debruijn", topology.Params{N: 4, K: 2}}, // 16: taken-sensitive, pow2
+	{"butterfly", topology.Params{N: 3}},      // leveled-only: no graph view
+}
+
+// seededGenerators lists the generators whose output must vary with
+// the seed; the rest are fixed patterns of the node count.
+var seededGenerators = map[string]bool{
+	"perm": true, "relation": true, "hotspot": true, "khot": true, "local": true,
+}
+
+func conformanceBuilt(t *testing.T) []topology.Built {
+	t.Helper()
+	out := make([]topology.Built, 0, len(conformanceTopos))
+	for _, c := range conformanceTopos {
+		b, err := topology.Build(c.family, c.p)
+		if err != nil {
+			t.Fatalf("%s%+v: %v", c.family, c.p, err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func TestWorkloadRegistryConformance(t *testing.T) {
+	built := conformanceBuilt(t)
+	for _, name := range workload.Names() {
+		gen, ok := workload.Lookup(name)
+		if !ok {
+			t.Fatalf("Names returned unknown generator %q", name)
+		}
+		compatible := 0
+		for _, b := range built {
+			if err := gen.Check(b); err != nil {
+				// Incompatible pairs must fail through Generate with
+				// the same capability-naming error.
+				if _, gerr := workload.Generate(name, b, workload.Params{}, nil, 7); gerr == nil {
+					t.Errorf("%s on %s: Check rejects (%v) but Generate accepts", name, b.Name(), err)
+				}
+				continue
+			}
+			compatible++
+			t.Run(name+"/"+b.Name(), func(t *testing.T) {
+				checkGenerator(t, name, gen, b)
+			})
+		}
+		if compatible == 0 {
+			t.Errorf("generator %q is compatible with no conformance topology", name)
+		}
+	}
+}
+
+func checkGenerator(t *testing.T, name string, gen workload.Generator, b topology.Built) {
+	const seed = 7
+	p := workload.Params{}
+	first, err := workload.Generate(name, b, p, nil, seed)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	second, err := workload.Generate(name, b, p, nil, seed)
+	if err != nil {
+		t.Fatalf("regenerate: %v", err)
+	}
+	arena := packet.NewArena()
+	third, err := workload.Generate(name, b, p, arena, seed)
+	if err != nil {
+		t.Fatalf("arena generate: %v", err)
+	}
+	if len(first) != len(second) || len(first) != len(third) {
+		t.Fatalf("lengths diverge: %d / %d / %d", len(first), len(second), len(third))
+	}
+	for i := range first {
+		if !samePacket(first[i], second[i]) {
+			t.Fatalf("packet %d differs across same-seed calls: %+v vs %+v", i, first[i], second[i])
+		}
+		if !samePacket(first[i], third[i]) {
+			t.Fatalf("packet %d differs across heap/arena paths: %+v vs %+v", i, first[i], third[i])
+		}
+		if third[i] != arena.At(i) {
+			t.Fatalf("packet %d not arena-allocated", i)
+		}
+	}
+
+	nodes := b.Nodes()
+	want := nodes
+	if gen.Class == workload.ClassRelation {
+		want = nodes * p.Defaulted().H
+	}
+	if len(first) != want {
+		t.Fatalf("%d packets, want %d (class %s)", len(first), want, gen.Class)
+	}
+	seen := make(map[int]int, nodes)
+	ids := make(map[int]bool, len(first))
+	for _, pk := range first {
+		if pk.Src < 0 || pk.Src >= nodes || pk.Dst < 0 || pk.Dst >= nodes {
+			t.Fatalf("packet %d->%d out of range [0,%d)", pk.Src, pk.Dst, nodes)
+		}
+		if ids[pk.ID] {
+			t.Fatalf("duplicate packet ID %d", pk.ID)
+		}
+		ids[pk.ID] = true
+		seen[pk.Dst]++
+	}
+	switch gen.Class {
+	case workload.ClassPermutation:
+		for dst, count := range seen {
+			if count != 1 {
+				t.Fatalf("destination %d hit %d times; permutation class must be bijective", dst, count)
+			}
+		}
+		if len(seen) != nodes {
+			t.Fatalf("permutation covers %d of %d destinations", len(seen), nodes)
+		}
+	case workload.ClassRelation:
+		h := p.Defaulted().H
+		for dst, count := range seen {
+			if count > h {
+				t.Fatalf("destination %d receives %d > h=%d packets", dst, count, h)
+			}
+		}
+	case workload.ClassLocal:
+		checkLocalDistances(t, b.Graph, first, p.Defaulted().D)
+	}
+
+	if seededGenerators[name] {
+		other, err := workload.Generate(name, b, p, nil, seed+1)
+		if err != nil {
+			t.Fatalf("reseed: %v", err)
+		}
+		same := true
+		for i := range first {
+			if first[i].Dst != other[i].Dst || first[i].Addr != other[i].Addr {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("generator %q ignores its seed", name)
+		}
+	}
+}
+
+// checkLocalDistances verifies every local-class packet's destination
+// lies within BFS distance d of its source.
+func checkLocalDistances(t *testing.T, g topology.Graph, pkts []*packet.Packet, d int) {
+	t.Helper()
+	n := g.Nodes()
+	dist := make([]int, n)
+	for _, pk := range pkts {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[pk.Src] = 0
+		frontier := []int{pk.Src}
+		for depth := 0; depth < d && dist[pk.Dst] == -1; depth++ {
+			var next []int
+			for _, u := range frontier {
+				for s := 0; s < g.Degree(u); s++ {
+					if v := g.Neighbor(u, s); dist[v] == -1 {
+						dist[v] = depth + 1
+						next = append(next, v)
+					}
+				}
+			}
+			frontier = next
+		}
+		if dist[pk.Dst] == -1 || dist[pk.Dst] > d {
+			t.Fatalf("packet %d->%d beyond BFS distance %d", pk.Src, pk.Dst, d)
+		}
+	}
+}
+
+func samePacket(a, b *packet.Packet) bool {
+	return a.ID == b.ID && a.Src == b.Src && a.Dst == b.Dst &&
+		a.Kind == b.Kind && a.Addr == b.Addr && a.Value == b.Value && a.Proc == b.Proc
+}

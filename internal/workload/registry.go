@@ -1,0 +1,241 @@
+// The workload registry: the traffic-class twin of the topology
+// registry. Every packet generator in this package registers itself
+// under a name, declares the traffic class it realizes (the paper's
+// theorems are claims over classes — permutations for Thm 2.1/2.2,
+// h-relations for Cor 2.1, many-one request steps for Thm 2.6,
+// distance-d-local requests for Thm 3.3) and the capabilities it
+// needs from the topology, and is then selected by name through
+// Generate — so commands, scenario sweeps and benchmarks pick up a
+// new generator with zero cross-cutting edits.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/topology"
+)
+
+// Class is the traffic class a generator realizes; the conformance
+// suite derives its property checks (packet counts, bijectivity) from
+// it, and routers use it to pick a dispatch path (the mesh's
+// specialized §3.4 router handles permutation-class and local
+// traffic; everything else routes generically).
+type Class uint8
+
+const (
+	// ClassPermutation is one packet per node with bijective
+	// destinations (perm, ident, bitrev, bitcomp, shift, transpose,
+	// tornado).
+	ClassPermutation Class = iota
+	// ClassRelation is a partial h-relation: h packets per node, at
+	// most h to any destination.
+	ClassRelation
+	// ClassManyOne is many-to-one request traffic (hotspot, khot),
+	// the CRCW combining stress of Theorem 2.6.
+	ClassManyOne
+	// ClassLocal is one packet per node with a distance-bounded
+	// destination (Theorem 3.3).
+	ClassLocal
+)
+
+// String implements fmt.Stringer for reports and -list output.
+func (c Class) String() string {
+	switch c {
+	case ClassPermutation:
+		return "permutation"
+	case ClassRelation:
+		return "relation"
+	case ClassManyOne:
+		return "many-one"
+	case ClassLocal:
+		return "local"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Needs is the bitmask of capabilities a generator requires from the
+// topology (or, for NeedsCombining, advertises to the router).
+type Needs uint8
+
+const (
+	// NeedsSquare requires a perfect-square node count (transpose).
+	NeedsSquare Needs = 1 << iota
+	// NeedsPow2 requires a power-of-two node count (bitrev, bitcomp).
+	NeedsPow2
+	// NeedsGraph requires a point-to-point graph view — leveled-only
+	// families (butterfly) cannot realize it (local's BFS ball).
+	NeedsGraph
+	// NeedsCoords requires the topology.Coordinated capability
+	// (tornado's half-wrap).
+	NeedsCoords
+	// NeedsCombining advertises many-one traffic: the router should
+	// enable CRCW combining (Theorem 2.6) when routing it. It is not
+	// a topology requirement — Check ignores it.
+	NeedsCombining
+)
+
+// String renders the capability set for -list output.
+func (n Needs) String() string {
+	var parts []string
+	for _, b := range []struct {
+		bit  Needs
+		name string
+	}{
+		{NeedsSquare, "square"},
+		{NeedsPow2, "pow2"},
+		{NeedsGraph, "graph"},
+		{NeedsCoords, "coords"},
+		{NeedsCombining, "combining"},
+	} {
+		if n&b.bit != 0 {
+			parts = append(parts, b.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Params carries the knobs of a Generate call. Generators map them
+// onto their natural parameters and substitute documented defaults
+// for zero values, so `Generate(name, b, Params{}, ...)` always works.
+type Params struct {
+	// Kind is the packet kind for transit-class generators; the
+	// many-one generators promote it to ReadRequest unless it is
+	// already a request kind.
+	Kind packet.Kind
+	// H is the h-relation height (default 2).
+	H int
+	// D is the locality distance (default 4).
+	D int
+	// Fraction is the hot fraction of the many-one generators, in
+	// [0, 1] (default 0.5; the zero value selects the default, so an
+	// all-cold run is expressed as a tiny positive fraction).
+	Fraction float64
+	// Hot is the hot-destination count of khot (default 4).
+	Hot int
+}
+
+// Defaulted returns p with documented defaults substituted for zero
+// values — the exact parameters a Generate call will run with.
+func (p Params) Defaulted() Params {
+	if p.H < 1 {
+		p.H = 2
+	}
+	if p.D < 1 {
+		p.D = 4
+	}
+	if p.Fraction == 0 {
+		p.Fraction = 0.5
+	}
+	if p.Hot < 1 {
+		p.Hot = 4
+	}
+	return p
+}
+
+// Generator is one registered workload family.
+type Generator struct {
+	// Name keys the registry (the -workload flag value).
+	Name string
+	// Params documents which Params fields the generator reads.
+	Params string
+	// Class is the traffic class the generator realizes.
+	Class Class
+	// Traffic names the paper claim the class exercises (recorded in
+	// DESIGN.md's index).
+	Traffic string
+	// Needs are the capabilities required of the topology.
+	Needs Needs
+	// Generate realizes the workload on the built topology. Packets
+	// are allocated from arena a when non-nil. Parameters arrive
+	// pre-defaulted; the topology has passed Check.
+	Generate func(b topology.Built, p Params, a *packet.Arena, seed uint64) ([]*packet.Packet, error)
+}
+
+// Check reports whether the generator can realize its traffic on b,
+// naming the missing capability otherwise — the error -sweep and
+// routebench surface for incompatible (family, workload) pairs.
+func (g Generator) Check(b topology.Built) error {
+	nodes := b.Nodes()
+	if g.Needs&NeedsSquare != 0 && !IsSquare(nodes) {
+		return fmt.Errorf("workload %s needs a square node count; %s has %d nodes", g.Name, b.Name(), nodes)
+	}
+	if g.Needs&NeedsPow2 != 0 && (nodes < 1 || nodes&(nodes-1) != 0) {
+		return fmt.Errorf("workload %s needs a power-of-two node count; %s has %d nodes", g.Name, b.Name(), nodes)
+	}
+	if g.Needs&(NeedsGraph|NeedsCoords) != 0 && b.Graph == nil {
+		return fmt.Errorf("workload %s needs a point-to-point graph view; %s is leveled-only", g.Name, b.Name())
+	}
+	if g.Needs&NeedsCoords != 0 {
+		if _, ok := b.Graph.(topology.Coordinated); !ok {
+			return fmt.Errorf("workload %s needs grid coordinates; %s does not implement topology.Coordinated", g.Name, b.Name())
+		}
+	}
+	return nil
+}
+
+var (
+	mu         sync.RWMutex
+	generators = map[string]Generator{}
+)
+
+// Register adds a generator to the registry. It panics on a duplicate
+// name: two generators claiming one name is a programming error.
+func Register(g Generator) {
+	mu.Lock()
+	defer mu.Unlock()
+	if g.Name == "" || g.Generate == nil {
+		panic("workload: Register needs a name and a Generate function")
+	}
+	if _, dup := generators[g.Name]; dup {
+		panic(fmt.Sprintf("workload: generator %q registered twice", g.Name))
+	}
+	generators[g.Name] = g
+}
+
+// Lookup returns the named generator.
+func Lookup(name string) (Generator, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	g, ok := generators[name]
+	return g, ok
+}
+
+// Names returns every registered generator name, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(generators))
+	for name := range generators {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generate realizes the named workload on b: it resolves the
+// generator, gates it on the topology's capabilities, applies the
+// parameter defaults and runs it. The error lists the known
+// generators when the name is unknown, so -workload typos come back
+// actionable.
+func Generate(name string, b topology.Built, p Params, a *packet.Arena, seed uint64) ([]*packet.Packet, error) {
+	g, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (known: %v)", name, Names())
+	}
+	if err := g.Check(b); err != nil {
+		return nil, err
+	}
+	p = p.Defaulted()
+	if p.Fraction < 0 || p.Fraction > 1 {
+		return nil, fmt.Errorf("workload %s: fraction %v out of [0,1]", name, p.Fraction)
+	}
+	return g.Generate(b, p, a, seed)
+}

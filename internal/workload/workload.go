@@ -4,16 +4,34 @@
 // stress of Theorem 2.6), and the distance-d local memory requests of
 // Theorem 3.3. Generators produce either routing packets or PRAM
 // memory-request vectors, all deterministically from a seed.
+//
+// Every packet generator is also registered in this package's
+// name-keyed registry (registry.go), the workload twin of the
+// topology registry: commands, scenario sweeps and benchmarks select
+// traffic by name through Generate, which gates each generator on the
+// capabilities the target topology actually has.
 package workload
 
 import (
 	"fmt"
 
-	"pramemu/internal/mesh"
 	"pramemu/internal/packet"
 	"pramemu/internal/pram"
 	"pramemu/internal/prng"
 )
+
+// Grid is the structural surface of the n x n mesh this package
+// needs: the mesh-package adapter through which the grid-specific
+// generators (Transpose, MeshLocal) see the topology without this
+// package importing internal/mesh. *mesh.Grid satisfies it; callers
+// outside the mesh experiments should reach these generators through
+// the registry's capability gates instead of passing grids directly.
+type Grid interface {
+	Side() int
+	Nodes() int
+	RowCol(node int) (row, col int)
+	Node(row, col int) int
+}
 
 // Permutation returns packets realizing a uniformly random permutation:
 // one packet at every node, destinations a random permutation.
@@ -37,9 +55,15 @@ func PermutationInto(a *packet.Arena, nodes int, kind packet.Kind, seed uint64) 
 // Identity returns packets from every node to itself (a degenerate
 // permutation exercising zero-distance handling).
 func Identity(nodes int, kind packet.Kind) []*packet.Packet {
+	return IdentityInto(nil, nodes, kind)
+}
+
+// IdentityInto is Identity with packets allocated from arena a
+// (heap-allocated when a is nil).
+func IdentityInto(a *packet.Arena, nodes int, kind packet.Kind) []*packet.Packet {
 	pkts := make([]*packet.Packet, nodes)
 	for i := range pkts {
-		pkts[i] = packet.New(i, i, i, kind)
+		pkts[i] = packet.NewIn(a, i, i, i, kind)
 	}
 	return pkts
 }
@@ -48,20 +72,70 @@ func Identity(nodes int, kind packet.Kind) []*packet.Packet {
 // the classic adversarial pattern for deterministic oblivious routing.
 // It panics if nodes is not a power of two.
 func BitReversal(nodes int, kind packet.Kind) []*packet.Packet {
-	k := 0
-	for 1<<k < nodes {
-		k++
-	}
-	if 1<<k != nodes {
-		panic("workload: BitReversal needs a power-of-two node count")
-	}
+	return BitReversalInto(nil, nodes, kind)
+}
+
+// BitReversalInto is BitReversal with packets allocated from arena a
+// (heap-allocated when a is nil).
+func BitReversalInto(a *packet.Arena, nodes int, kind packet.Kind) []*packet.Packet {
+	k := log2Exact(nodes, "BitReversal")
 	pkts := make([]*packet.Packet, nodes)
 	for i := 0; i < nodes; i++ {
 		rev := 0
 		for b := 0; b < k; b++ {
 			rev = rev<<1 | (i >> b & 1)
 		}
-		pkts[i] = packet.New(i, i, rev, kind)
+		pkts[i] = packet.NewIn(a, i, i, rev, kind)
+	}
+	return pkts
+}
+
+// BitComplement returns the bit-complement permutation on nodes =
+// 2^k: node i sends to ^i, the all-bits-flipped node. Every packet
+// must cross every dimension, making the pattern the maximal-distance
+// adversary on the binary families (the complement of shift's
+// minimal-distance traffic). It panics if nodes is not a power of two.
+func BitComplement(nodes int, kind packet.Kind) []*packet.Packet {
+	return BitComplementInto(nil, nodes, kind)
+}
+
+// BitComplementInto is BitComplement with packets allocated from
+// arena a (heap-allocated when a is nil).
+func BitComplementInto(a *packet.Arena, nodes int, kind packet.Kind) []*packet.Packet {
+	log2Exact(nodes, "BitComplement")
+	pkts := make([]*packet.Packet, nodes)
+	for i := 0; i < nodes; i++ {
+		pkts[i] = packet.NewIn(a, i, i, nodes-1-i, kind)
+	}
+	return pkts
+}
+
+// log2Exact returns k with 2^k == nodes, panicking when nodes is not
+// a power of two (the shared precondition of the bit permutations).
+func log2Exact(nodes int, generator string) int {
+	k := 0
+	for 1<<k < nodes {
+		k++
+	}
+	if nodes < 1 || 1<<k != nodes {
+		panic(fmt.Sprintf("workload: %s needs a power-of-two node count, got %d", generator, nodes))
+	}
+	return k
+}
+
+// Shift returns the neighbor permutation: node i sends to i+1 mod
+// nodes, the minimal-distance traffic that measures per-hop overhead
+// with no congestion at all.
+func Shift(nodes int, kind packet.Kind) []*packet.Packet {
+	return ShiftInto(nil, nodes, kind)
+}
+
+// ShiftInto is Shift with packets allocated from arena a
+// (heap-allocated when a is nil).
+func ShiftInto(a *packet.Arena, nodes int, kind packet.Kind) []*packet.Packet {
+	pkts := make([]*packet.Packet, nodes)
+	for i := 0; i < nodes; i++ {
+		pkts[i] = packet.NewIn(a, i, i, (i+1)%nodes, kind)
 	}
 	return pkts
 }
@@ -89,18 +163,28 @@ func RelationInto(a *packet.Arena, nodes, h int, kind packet.Kind, seed uint64) 
 	return pkts
 }
 
-// HotSpot returns read-request packets where a `fraction` (in [0,1])
-// of nodes target one shared address and the rest read private
-// addresses — the many-one pattern that CRCW combining collapses.
-func HotSpot(nodes int, fraction float64, hotDst int, seed uint64) []*packet.Packet {
+// HotSpot returns request packets of the given kind where a
+// `fraction` (in [0,1]) of nodes target one shared address and the
+// rest touch private addresses — the many-one pattern that CRCW
+// combining collapses. Non-request kinds are promoted to ReadRequest
+// so the packets always carry a memory operation.
+func HotSpot(nodes int, fraction float64, hotDst int, kind packet.Kind, seed uint64) []*packet.Packet {
+	return HotSpotInto(nil, nodes, fraction, hotDst, kind, seed)
+}
+
+// HotSpotInto is HotSpot with packets allocated from arena a
+// (heap-allocated when a is nil).
+func HotSpotInto(a *packet.Arena, nodes int, fraction float64, hotDst int, kind packet.Kind, seed uint64) []*packet.Packet {
 	if fraction < 0 || fraction > 1 {
 		panic(fmt.Sprintf("workload: hot-spot fraction %v out of [0,1]", fraction))
 	}
+	kind = requestKind(kind)
 	src := prng.New(seed)
 	pkts := make([]*packet.Packet, nodes)
 	const hotAddr = 0
 	for i := 0; i < nodes; i++ {
-		p := packet.New(i, i, hotDst, packet.ReadRequest)
+		p := packet.NewIn(a, i, i, hotDst, kind)
+		p.Proc = i
 		if src.Float64() < fraction {
 			p.Addr = hotAddr
 			p.Dst = hotDst
@@ -111,6 +195,66 @@ func HotSpot(nodes int, fraction float64, hotDst int, seed uint64) []*packet.Pac
 		pkts[i] = p
 	}
 	return pkts
+}
+
+// KHot returns the many-to-one k-hot-spot pattern: `hot` shared
+// destinations are drawn from the seed, and every node sends a
+// request of the given kind to one of them — with probability
+// `fraction` to the hot address shared by that destination (so
+// combining trees form en route, Theorem 2.6), otherwise to a private
+// address at the same destination. A generalization of HotSpot from
+// one hot module to k, runnable on any registered family.
+func KHot(nodes, hot int, fraction float64, kind packet.Kind, seed uint64) []*packet.Packet {
+	return KHotInto(nil, nodes, hot, fraction, kind, seed)
+}
+
+// KHotInto is KHot with packets allocated from arena a
+// (heap-allocated when a is nil).
+func KHotInto(a *packet.Arena, nodes, hot int, fraction float64, kind packet.Kind, seed uint64) []*packet.Packet {
+	if fraction < 0 || fraction > 1 {
+		panic(fmt.Sprintf("workload: k-hot-spot fraction %v out of [0,1]", fraction))
+	}
+	if hot < 1 {
+		panic(fmt.Sprintf("workload: k-hot-spot needs at least one hot destination, got %d", hot))
+	}
+	if hot > nodes {
+		hot = nodes
+	}
+	kind = requestKind(kind)
+	src := prng.New(seed)
+	// Distinct hot destinations, drawn deterministically.
+	hotDsts := make([]int, 0, hot)
+	used := make(map[int]bool, hot)
+	for len(hotDsts) < hot {
+		d := src.Intn(nodes)
+		if !used[d] {
+			used[d] = true
+			hotDsts = append(hotDsts, d)
+		}
+	}
+	pkts := make([]*packet.Packet, nodes)
+	for i := 0; i < nodes; i++ {
+		j := src.Intn(hot)
+		p := packet.NewIn(a, i, i, hotDsts[j], kind)
+		p.Proc = i
+		if src.Float64() < fraction {
+			p.Addr = uint64(j) // address shared by everyone hitting this hot spot
+		} else {
+			p.Addr = uint64(nodes + i) // private address at a hot module
+		}
+		pkts[i] = p
+	}
+	return pkts
+}
+
+// requestKind promotes non-request kinds to ReadRequest: the many-one
+// generators always emit memory operations so combining has an
+// address to merge on.
+func requestKind(kind packet.Kind) packet.Kind {
+	if !kind.IsRequest() {
+		return packet.ReadRequest
+	}
+	return kind
 }
 
 // Requests converts routing packets into a PRAM request vector, one
@@ -174,7 +318,13 @@ func CRCWStep(procs int, addr uint64) []pram.Request {
 // MeshLocal returns packets on grid g whose destinations lie within
 // L1 distance d of their sources (Theorem 3.3's workload), one packet
 // per node, destinations clamped by reflection at the borders.
-func MeshLocal(g *mesh.Grid, d int, seed uint64) []*packet.Packet {
+func MeshLocal(g Grid, d int, seed uint64) []*packet.Packet {
+	return MeshLocalInto(nil, g, d, seed)
+}
+
+// MeshLocalInto is MeshLocal with packets allocated from arena a
+// (heap-allocated when a is nil).
+func MeshLocalInto(a *packet.Arena, g Grid, d int, seed uint64) []*packet.Packet {
 	if d < 1 {
 		panic("workload: locality distance must be >= 1")
 	}
@@ -186,7 +336,7 @@ func MeshLocal(g *mesh.Grid, d int, seed uint64) []*packet.Packet {
 		dr := reflect(r+src.Intn(2*d+1)-d, n)
 		rem := d - abs(dr-r)
 		dc := reflect(c+src.Intn(2*rem+1)-rem, n)
-		pkts[node] = packet.New(node, node, g.Node(dr, dc), packet.Transit)
+		pkts[node] = packet.NewIn(a, node, node, g.Node(dr, dc), packet.Transit)
 	}
 	return pkts
 }
@@ -210,13 +360,19 @@ func abs(x int) int {
 
 // Transpose returns the mesh transpose permutation (r, c) -> (c, r),
 // the adversarial pattern for greedy dimension-ordered mesh routing.
-func Transpose(g *mesh.Grid) []*packet.Packet {
+func Transpose(g Grid) []*packet.Packet {
+	return TransposeInto(nil, g)
+}
+
+// TransposeInto is Transpose with packets allocated from arena a
+// (heap-allocated when a is nil).
+func TransposeInto(a *packet.Arena, g Grid) []*packet.Packet {
 	n := g.Side()
 	pkts := make([]*packet.Packet, 0, g.Nodes())
 	id := 0
 	for r := 0; r < n; r++ {
 		for c := 0; c < n; c++ {
-			pkts = append(pkts, packet.New(id, g.Node(r, c), g.Node(c, r), packet.Transit))
+			pkts = append(pkts, packet.NewIn(a, id, g.Node(r, c), g.Node(c, r), packet.Transit))
 			id++
 		}
 	}
@@ -245,6 +401,12 @@ func side(nodes int) int {
 // complementing the bit-reversal permutation on the binary families).
 // It panics unless nodes is a perfect square.
 func TransposeSquare(nodes int, kind packet.Kind) []*packet.Packet {
+	return TransposeSquareInto(nil, nodes, kind)
+}
+
+// TransposeSquareInto is TransposeSquare with packets allocated from
+// arena a (heap-allocated when a is nil).
+func TransposeSquareInto(a *packet.Arena, nodes int, kind packet.Kind) []*packet.Packet {
 	if !IsSquare(nodes) {
 		panic(fmt.Sprintf("workload: TransposeSquare needs a square node count, got %d", nodes))
 	}
@@ -252,7 +414,7 @@ func TransposeSquare(nodes int, kind packet.Kind) []*packet.Packet {
 	pkts := make([]*packet.Packet, nodes)
 	for node := 0; node < nodes; node++ {
 		r, c := node/s, node%s
-		pkts[node] = packet.New(node, node, c*s+r, kind)
+		pkts[node] = packet.NewIn(a, node, node, c*s+r, kind)
 	}
 	return pkts
 }

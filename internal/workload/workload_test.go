@@ -92,11 +92,11 @@ func TestRelation(t *testing.T) {
 }
 
 func TestHotSpot(t *testing.T) {
-	pkts := HotSpot(200, 0.5, 7, 9)
+	pkts := HotSpot(200, 0.5, 7, packet.Transit, 9)
 	hot := 0
 	for _, p := range pkts {
 		if p.Kind != packet.ReadRequest {
-			t.Fatal("hot spot packets must be reads")
+			t.Fatal("hot spot packets must be promoted to reads")
 		}
 		if p.Addr == 0 && p.Dst == 7 {
 			hot++
@@ -105,12 +105,55 @@ func TestHotSpot(t *testing.T) {
 	if hot < 60 || hot > 140 {
 		t.Fatalf("hot fraction %d/200 far from 0.5", hot)
 	}
+	for _, p := range HotSpot(50, 1, 3, packet.WriteRequest, 9) {
+		if p.Kind != packet.WriteRequest {
+			t.Fatal("request kinds must pass through")
+		}
+	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("bad fraction should panic")
 		}
 	}()
-	HotSpot(10, 1.5, 0, 1)
+	HotSpot(10, 1.5, 0, packet.ReadRequest, 1)
+}
+
+func TestKHotTargetsKDistinctModules(t *testing.T) {
+	pkts := KHot(300, 3, 1, packet.Transit, 11)
+	dsts := make(map[int]bool)
+	addrs := make(map[uint64]bool)
+	for _, p := range pkts {
+		if p.Kind != packet.ReadRequest {
+			t.Fatal("khot packets must be promoted to reads")
+		}
+		dsts[p.Dst] = true
+		addrs[p.Addr] = true
+	}
+	if len(dsts) != 3 {
+		t.Fatalf("khot hit %d destinations, want 3", len(dsts))
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("khot used %d shared addresses at fraction 1, want 3", len(addrs))
+	}
+}
+
+func TestShiftAndBitComplement(t *testing.T) {
+	for i, p := range Shift(10, packet.Transit) {
+		if p.Dst != (i+1)%10 {
+			t.Fatalf("shift(%d) = %d", i, p.Dst)
+		}
+	}
+	for i, p := range BitComplement(8, packet.Transit) {
+		if p.Dst != 7-i {
+			t.Fatalf("bitcomp(%d) = %d, want %d", i, p.Dst, 7-i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two should panic")
+		}
+	}()
+	BitComplement(6, packet.Transit)
 }
 
 func TestRequestsConversion(t *testing.T) {
