@@ -1,5 +1,5 @@
 // Package pramemu's root benchmark harness: one benchmark per
-// experiment in DESIGN.md's index (E1-E12), regenerating the series
+// experiment in DESIGN.md's index (E1-E17), regenerating the series
 // behind every claim of the paper. Custom metrics report the
 // normalized quantities the theorems bound (rounds/ℓ, rounds/n,
 // cost/diameter, ...) so `go test -bench=.` output reads directly
@@ -534,6 +534,58 @@ func BenchmarkE16ScenarioMatrix(b *testing.B) {
 				}
 				b.ReportMetric(float64(rounds)/float64(b.N)/float64(diam), "rounds/diam")
 			})
+		}
+	}
+}
+
+// BenchmarkE17EmulationMatrix — Theorems 2.5/2.6 over the whole grid:
+// one emulated PRAM step priced on every emulation-capable registered
+// family × every single-step access pattern × both emulation modes
+// (erew: exclusive accesses; crcw: combining enabled). The reported
+// cost/diam is the theorems' bound — emulation cost tracks the
+// diameter, whatever the family — and a family or generator
+// registered tomorrow appears as new sub-benchmarks with no edits
+// here. Cells run on the scenario runner's emulation path (the same
+// one `-sweep` specs with a mode axis use), Workers: 1.
+func BenchmarkE17EmulationMatrix(b *testing.B) {
+	sizes := experiments.CrossFamilySizes(true)
+	for _, family := range topology.Names() {
+		p := sizes[family]
+		bt, err := topology.Build(family, p)
+		if err != nil {
+			b.Fatalf("%s: %v", family, err)
+		}
+		for _, wl := range workload.Names() {
+			gen, _ := workload.Lookup(wl)
+			if gen.Check(bt) != nil {
+				continue // capability-gated pair
+			}
+			for _, mode := range []string{scenario.ModeEREW, scenario.ModeCRCW} {
+				if scenario.ModeCheck(mode, gen.Class) != nil {
+					continue // e.g. many-one patterns are crcw-only
+				}
+				cell := scenario.Cell{
+					Topo:    scenario.TopoRef{Family: family, N: p.N, K: p.K, Leveled: bt.Spec != nil},
+					Work:    scenario.WorkRef{Name: wl},
+					Built:   bt,
+					Mode:    mode,
+					Workers: 1,
+					Trials:  1,
+				}
+				b.Run(family+"/"+wl+"/"+mode, func(b *testing.B) {
+					cost, diam := 0, 1
+					for i := 0; i < b.N; i++ {
+						cell.Seed = benchSeed + uint64(i)
+						res, err := scenario.RunCell(cell)
+						if err != nil {
+							b.Fatal(err)
+						}
+						cost += res.RoundsMax
+						diam = res.Diameter
+					}
+					b.ReportMetric(float64(cost)/float64(b.N)/float64(diam), "cost/diam")
+				})
+			}
 		}
 	}
 }

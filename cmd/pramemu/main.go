@@ -6,6 +6,12 @@
 // (including pancake, ttree, torus and debruijn) emulates without
 // command changes.
 //
+// With -step it prices one synthetic emulated PRAM step instead of a
+// whole program: the named workload-registry pattern becomes the
+// step's memory accesses and the cell runs on scenario.RunCell — the
+// exact path a `routebench -sweep` spec with a mode axis takes — so
+// its numbers reproduce the equivalent sweep cell line for line.
+//
 // Examples:
 //
 //	pramemu -alg prefixsum -net star -n 5
@@ -14,6 +20,8 @@
 //	pramemu -alg matmul -net mesh -n 8
 //	pramemu -alg listrank -net torus -n 8 -k 3
 //	pramemu -alg prefixsum -net debruijn -n 9 -workers 8
+//	pramemu -step perm -net star -n 5 -mode erew
+//	pramemu -step khot -net shuffle -n 3 -mode crcw -trials 3
 package main
 
 import (
@@ -27,21 +35,39 @@ import (
 	"pramemu/internal/mesh"
 	"pramemu/internal/pram"
 	"pramemu/internal/prng"
+	"pramemu/internal/scenario"
 	"pramemu/internal/topology"
 	_ "pramemu/internal/topology/families"
 )
 
+// config carries one fully parsed invocation.
+type config struct {
+	alg     string
+	net     string
+	step    string // workload name; non-empty selects single-step mode
+	mode    string // erew | crcw (single-step mode)
+	n, k    int
+	trials  int
+	seed    uint64
+	combine bool
+	workers int
+}
+
 func main() {
-	algName := flag.String("alg", "prefixsum", "algorithm: prefixsum, sort, listrank, maxcrcw, matmul, broadcast")
-	netName := flag.String("net", "star", "network family from the topology registry, or \"ideal\"")
-	n := flag.Int("n", 5, "primary network size parameter")
-	k := flag.Int("k", 0, "secondary network size parameter (0 = family default)")
-	seed := flag.Uint64("seed", 1991, "random seed")
-	combine := flag.Bool("combine", false, "enable CRCW combining in the network")
-	workers := flag.Int("workers", 0, "round-engine workers (0 = GOMAXPROCS, 1 = sequential; identical results either way)")
+	cfg := config{}
+	flag.StringVar(&cfg.alg, "alg", "prefixsum", "algorithm: prefixsum, sort, listrank, maxcrcw, matmul, broadcast")
+	flag.StringVar(&cfg.net, "net", "star", "network family from the topology registry, or \"ideal\" (algorithm mode only)")
+	flag.StringVar(&cfg.step, "step", "", "price one emulated PRAM step of this workload-registry pattern instead of running -alg")
+	flag.StringVar(&cfg.mode, "mode", "erew", "emulation mode for -step: erew (Thm 2.5) or crcw (Thm 2.6, combining)")
+	flag.IntVar(&cfg.n, "n", 5, "primary network size parameter")
+	flag.IntVar(&cfg.k, "k", 0, "secondary network size parameter (0 = family default)")
+	flag.IntVar(&cfg.trials, "trials", 5, "seeded trials for -step")
+	flag.Uint64Var(&cfg.seed, "seed", 1991, "random seed")
+	flag.BoolVar(&cfg.combine, "combine", false, "enable CRCW combining in the network (algorithm mode)")
+	flag.IntVar(&cfg.workers, "workers", 0, "round-engine workers (0 = GOMAXPROCS, 1 = sequential; identical results either way)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *algName, *netName, *n, *k, *seed, *combine, *workers); err != nil {
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "pramemu: %v\n", err)
 		os.Exit(1)
 	}
@@ -49,7 +75,61 @@ func main() {
 
 // run executes one invocation, writing the report to w. It is the
 // testable core of the command.
-func run(w io.Writer, algName, netName string, n, k int, seed uint64, combine bool, workers int) error {
+func run(w io.Writer, cfg config) error {
+	if cfg.step != "" {
+		return runStep(w, cfg)
+	}
+	return runAlgorithm(w, cfg.alg, cfg.net, cfg.n, cfg.k, cfg.seed, cfg.combine, cfg.workers)
+}
+
+// stepCell maps a -step invocation onto the scenario grid cell the
+// equivalent `routebench -sweep` spec would expand to, preferring the
+// leveled view where one exists (the emulator's preference, matching
+// the algorithm path's buildNetwork).
+func stepCell(cfg config) (scenario.Cell, error) {
+	if cfg.net == "ideal" {
+		return scenario.Cell{}, fmt.Errorf("-step prices a network step; the ideal machine has no network (every step costs 1)")
+	}
+	b, err := topology.Build(cfg.net, topology.Params{N: cfg.n, K: cfg.k})
+	if err != nil {
+		return scenario.Cell{}, err
+	}
+	return scenario.Cell{
+		Topo:    scenario.TopoRef{Family: cfg.net, N: cfg.n, K: cfg.k, Leveled: b.Spec != nil && b.Graph != nil},
+		Work:    scenario.WorkRef{Name: cfg.step},
+		Built:   b,
+		Mode:    cfg.mode,
+		Workers: cfg.workers,
+		Trials:  cfg.trials,
+		Seed:    cfg.seed,
+	}, nil
+}
+
+// runStep prices one synthetic emulated step through scenario.RunCell
+// — pramemu and routebench sweeps share this path, so the two reports
+// agree on every number.
+func runStep(w io.Writer, cfg config) error {
+	cell, err := stepCell(cfg)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.RunCell(cell)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "step         : %s (mode=%s, %d trials)\n", res.Workload, res.Mode, res.Trials)
+	fmt.Fprintf(w, "network      : %s (%d processors, diameter %d, view %s)\n",
+		res.Topology, res.Nodes, res.Diameter, res.View)
+	fmt.Fprintf(w, "step cost    : mean=%.1f max=%d (%.2f x diameter)\n",
+		res.RoundsMean, res.RoundsMax, res.RoundsPerDiam)
+	fmt.Fprintf(w, "merges       : %d (total)\n", res.Merges)
+	fmt.Fprintf(w, "rehashes     : %d (total)\n", res.Rehashes)
+	fmt.Fprintf(w, "max queue    : %d\n", res.MaxQueue)
+	return nil
+}
+
+// runAlgorithm executes one algorithm-mode invocation.
+func runAlgorithm(w io.Writer, algName, netName string, n, k int, seed uint64, combine bool, workers int) error {
 	net, err := buildNetwork(netName, n, k)
 	if err != nil {
 		return err

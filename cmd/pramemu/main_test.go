@@ -1,8 +1,11 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"pramemu/internal/scenario"
 )
 
 // The smoke tests run the command's core in-process on tiny networks
@@ -10,7 +13,7 @@ import (
 
 func TestRunPrefixSumOnStar(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "prefixsum", "star", 4, 0, 7, false, 2); err != nil {
+	if err := run(&b, config{alg: "prefixsum", net: "star", n: 4, k: 0, seed: 7, combine: false, workers: 2}); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -23,7 +26,7 @@ func TestRunPrefixSumOnStar(t *testing.T) {
 
 func TestRunIdealMachine(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "broadcast", "ideal", 5, 0, 7, false, 1); err != nil {
+	if err := run(&b, config{alg: "broadcast", net: "ideal", n: 5, k: 0, seed: 7, combine: false, workers: 1}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "ideal PRAM") {
@@ -33,7 +36,7 @@ func TestRunIdealMachine(t *testing.T) {
 
 func TestRunCombiningOnCRCW(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "maxcrcw", "shuffle", 3, 0, 7, true, 2); err != nil {
+	if err := run(&b, config{alg: "maxcrcw", net: "shuffle", n: 3, k: 0, seed: 7, combine: true, workers: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "per step") {
@@ -55,7 +58,7 @@ func TestRunNewFamilies(t *testing.T) {
 		{"debruijn", 4, 2}, // 16 nodes
 	} {
 		var b strings.Builder
-		if err := run(&b, "prefixsum", cfg.net, cfg.n, cfg.k, 7, false, 2); err != nil {
+		if err := run(&b, config{alg: "prefixsum", net: cfg.net, n: cfg.n, k: cfg.k, seed: 7, combine: false, workers: 2}); err != nil {
 			t.Fatalf("%s: %v", cfg.net, err)
 		}
 		if !strings.Contains(b.String(), cfg.net) {
@@ -64,15 +67,69 @@ func TestRunNewFamilies(t *testing.T) {
 	}
 }
 
+// TestRunStepMatchesSweepCell pins the -step refactor: pramemu's
+// single-step pricing runs on scenario.RunCell — the same path a
+// `routebench -sweep` spec with a mode axis takes — so its printed
+// numbers reproduce the equivalent sweep cell exactly.
+func TestRunStepMatchesSweepCell(t *testing.T) {
+	for _, mode := range []string{scenario.ModeEREW, scenario.ModeCRCW} {
+		results, err := scenario.Run(scenario.Spec{
+			Topologies: []scenario.TopoRef{{Family: "star", N: 4, Leveled: true}},
+			Workloads:  []scenario.WorkRef{{Name: "perm"}},
+			Modes:      []string{mode},
+			Workers:    []int{1},
+			Trials:     2,
+			Seed:       9,
+			Pool:       1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 1 {
+			t.Fatalf("sweep expanded to %d cells, want 1", len(results))
+		}
+		r := results[0]
+		var b strings.Builder
+		if err := run(&b, config{step: "perm", net: "star", n: 4, mode: mode, trials: 2, seed: 9, workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		for _, want := range []string{
+			fmt.Sprintf("network      : %s (%d processors, diameter %d, view %s)", r.Topology, r.Nodes, r.Diameter, r.View),
+			fmt.Sprintf("step cost    : mean=%.1f max=%d (%.2f x diameter)", r.RoundsMean, r.RoundsMax, r.RoundsPerDiam),
+			fmt.Sprintf("merges       : %d", r.Merges),
+			fmt.Sprintf("max queue    : %d", r.MaxQueue),
+		} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("mode %s: step report missing %q:\n%s", mode, want, out)
+			}
+		}
+	}
+}
+
+// TestRunStepRejectsBadModes: mode/workload mismatches come back as
+// errors naming the constraint, not as degenerate runs.
+func TestRunStepRejectsBadModes(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, config{step: "khot", net: "star", n: 4, mode: "erew", trials: 1}); err == nil ||
+		!strings.Contains(err.Error(), "crcw") {
+		t.Fatalf("many-one erew step: want a crcw-gating error, got %v", err)
+	}
+	if err := run(&b, config{step: "perm", net: "star", n: 4, mode: "quantum", trials: 1}); err == nil ||
+		!strings.Contains(err.Error(), "unknown mode") {
+		t.Fatalf("unknown mode: want an unknown-mode error, got %v", err)
+	}
+}
+
 func TestRunRejectsUnknowns(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "prefixsum", "moebius", 4, 0, 7, false, 1); err == nil {
+	if err := run(&b, config{alg: "prefixsum", net: "moebius", n: 4, k: 0, seed: 7, combine: false, workers: 1}); err == nil {
 		t.Fatal("unknown network accepted")
 	}
-	if err := run(&b, "quantum", "star", 4, 0, 7, false, 1); err == nil {
+	if err := run(&b, config{alg: "quantum", net: "star", n: 4, k: 0, seed: 7, combine: false, workers: 1}); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if err := run(&b, "prefixsum", "star", 99, 0, 7, false, 1); err == nil {
+	if err := run(&b, config{alg: "prefixsum", net: "star", n: 99, k: 0, seed: 7, combine: false, workers: 1}); err == nil {
 		t.Fatal("out-of-range star size accepted")
 	}
 }

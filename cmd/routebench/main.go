@@ -7,12 +7,17 @@
 // are rejected with an error naming the missing capability.
 //
 // A single invocation prices one (network, workload) cell and prints
-// one report line (or one JSON object with -json). With -sweep it
-// instead executes a declarative scenario spec — the cross-product of
-// topology × workload × discipline × engine-workers axes — in
-// parallel over a worker pool, emitting one JSON line per cell in
-// deterministic scenario-key order (the same Result schema as -json,
-// minus the wall-clock fields, so sweep artifacts diff cleanly).
+// one report line (or one JSON object with -json); -mode erew/crcw
+// prices one emulated PRAM step per trial instead of raw routing
+// (Theorems 2.5/2.6), with the workload as the step's memory-access
+// pattern. With -sweep it instead executes a declarative scenario
+// spec — the cross-product of topology × workload × discipline ×
+// emulation-mode × ablation × engine-workers axes — in parallel over
+// a worker pool, emitting one JSON line per cell in deterministic
+// scenario-key order (the same Result schema as -json, minus the
+// wall-clock fields, so sweep artifacts diff cleanly); -report
+// appends the derived speedup and per-class aggregate rows, which
+// `tables -sweep` renders from a saved artifact.
 //
 // Point-to-point families route directly on the graph (Algorithm
 // 2.2) by default; pass -leveled for the Algorithm 2.1 unrolling
@@ -32,7 +37,10 @@
 //	routebench -net hypercube -n 8 -workload khot -workers 8
 //	routebench -net butterfly -n 12 -workload bitrev -skipphase1
 //	routebench -net star -n 7 -workload relation -json
+//	routebench -net star -n 6 -workload perm -mode erew
+//	routebench -net shuffle -n 4 -workload khot -mode crcw
 //	routebench -sweep sweeps/smoke.json
+//	routebench -sweep sweeps/emul.json -report
 //	routebench -sweep - < my-sweep.json
 //	routebench -list
 package main
@@ -60,6 +68,7 @@ type config struct {
 	workload   string
 	alg        string
 	disc       string
+	mode       string
 	locality   int
 	trials     int
 	seed       uint64
@@ -70,6 +79,7 @@ type config struct {
 	list       bool
 	hashed     bool
 	sweep      string
+	report     bool
 	cpuprofile string
 	memprofile string
 }
@@ -82,6 +92,7 @@ func main() {
 	flag.StringVar(&cfg.workload, "workload", "perm", "workload generator from the workload registry (see -list)")
 	flag.StringVar(&cfg.alg, "alg", "threestage", "mesh algorithm: threestage, vb, greedy")
 	flag.StringVar(&cfg.disc, "disc", "furthest", "mesh discipline: furthest, fifo")
+	flag.StringVar(&cfg.mode, "mode", "route", "cell mode: route (raw routing), erew or crcw (one emulated PRAM step per trial, Thm 2.5/2.6)")
 	flag.IntVar(&cfg.locality, "d", 8, "locality distance for -workload local")
 	flag.IntVar(&cfg.trials, "trials", 5, "number of seeded trials")
 	flag.Uint64Var(&cfg.seed, "seed", 1991, "base seed")
@@ -92,6 +103,7 @@ func main() {
 	flag.BoolVar(&cfg.list, "list", false, "list the registered network families and workload generators, then exit")
 	flag.BoolVar(&cfg.hashed, "hashed", false, "force the engine's hashed-map link state instead of the dense tables (identical results; for A/B profiling)")
 	flag.StringVar(&cfg.sweep, "sweep", "", "run the scenario sweep spec from this JSON file ('-' = stdin) and emit JSONL")
+	flag.BoolVar(&cfg.report, "report", false, "with -sweep: append the derived report rows (workers-axis speedups, per-class aggregates) after the result lines")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the routing trials to this file")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile (taken after the trials) to this file")
 	flag.Parse()
@@ -154,6 +166,7 @@ func cell(cfg config) scenario.Cell {
 		Work:       scenario.WorkRef{Name: cfg.workload, H: max(2, cfg.n), D: cfg.locality},
 		Algorithm:  cfg.alg,
 		Discipline: cfg.disc,
+		Mode:       cfg.mode,
 		Workers:    cfg.workers,
 		Trials:     cfg.trials,
 		Seed:       cfg.seed,
@@ -181,11 +194,32 @@ func runSweep(w io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
+	if cfg.report {
+		// Time the run so the report's speedup column is real, but
+		// strip the wall-clock fields from the result lines: those
+		// stay byte-reproducible, only the trailing report rows carry
+		// run-dependent numbers. Cells run sequentially here — timed
+		// cells sharing cores with a GOMAXPROCS-wide pool would
+		// measure co-scheduling noise, not engine scaling.
+		spec.Timing = true
+		spec.Pool = 1
+	}
 	results, err := scenario.Run(spec)
 	if err != nil {
 		return err
 	}
-	return scenario.WriteJSONL(w, results)
+	if !cfg.report {
+		return scenario.WriteJSONL(w, results)
+	}
+	stripped := make([]scenario.Result, len(results))
+	for i, r := range results {
+		r.ElapsedMS, r.RoundsPerSec = 0, 0
+		stripped[i] = r
+	}
+	if err := scenario.WriteJSONL(w, stripped); err != nil {
+		return err
+	}
+	return scenario.WriteReportJSONL(w, scenario.Report(results))
 }
 
 // list prints both registries: the -net families and the -workload
@@ -208,6 +242,12 @@ func list(w io.Writer) error {
 func report(w io.Writer, cfg config, res result) error {
 	if cfg.jsonOut {
 		return json.NewEncoder(w).Encode(res)
+	}
+	if res.Mode != "" {
+		fmt.Fprintf(w, "%s %s mode=%s: step cost mean=%.1f max=%d (cost/diam=%.2f) merges=%d rehashes=%d maxQ=%d\n",
+			res.Topology, res.Workload, res.Mode, res.RoundsMean, res.RoundsMax,
+			res.RoundsPerDiam, res.Merges, res.Rehashes, res.MaxQueue)
+		return nil
 	}
 	if res.Algorithm != "" {
 		fmt.Fprintf(w, "%s %s alg=%s: rounds mean=%.1f max=%d (rounds/diam=%.2f) maxQ=%d\n",

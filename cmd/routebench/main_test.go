@@ -265,6 +265,123 @@ func TestRunSweep(t *testing.T) {
 	}
 }
 
+// TestRunEmulationMode drives -mode end to end: erew and crcw single
+// runs print the step-cost line (and emit the extended JSON schema),
+// and mode/workload mismatches error with the constraint named.
+func TestRunEmulationMode(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, config{net: "star", n: 4, workload: "perm", mode: "erew", trials: 2, seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mode=erew: step cost mean=") {
+		t.Fatalf("unexpected emulation report %q", b.String())
+	}
+	b.Reset()
+	if err := run(&b, config{net: "star", n: 4, workload: "khot", mode: "crcw", trials: 2, seed: 7, jsonOut: true}); err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal([]byte(b.String()), &res); err != nil {
+		t.Fatalf("emulation JSON malformed: %v\n%s", err, b.String())
+	}
+	if res.Mode != "crcw" || res.RoundsMean <= 0 || res.MaxModuleLoad <= 0 {
+		t.Fatalf("unexpected emulation fields: %+v", res)
+	}
+	if err := run(&b, config{net: "star", n: 4, workload: "khot", mode: "erew", trials: 1}); err == nil ||
+		!strings.Contains(err.Error(), "crcw") {
+		t.Fatalf("many-one erew run: want a crcw-gating error, got %v", err)
+	}
+	if err := run(&b, config{net: "star", n: 4, workload: "relation", mode: "crcw", trials: 1}); err == nil ||
+		!strings.Contains(err.Error(), "single-step") {
+		t.Fatalf("relation crcw run: want a single-step error, got %v", err)
+	}
+	if err := run(&b, config{net: "star", n: 4, workload: "perm", mode: "quantum", trials: 1}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestRunSweepEmulSpec runs the checked-in sweeps/emul.json (the CI
+// perf-smoke artifact): deterministic output, every line parseable,
+// erew and crcw cells present, hashed twins identical.
+func TestRunSweepEmulSpec(t *testing.T) {
+	out := func() string {
+		var b strings.Builder
+		if err := run(&b, config{sweep: filepath.Join("..", "..", "sweeps", "emul.json")}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	first := out()
+	if second := out(); second != first {
+		t.Fatalf("emul sweep output not deterministic:\n%s\nvs\n%s", first, second)
+	}
+	modes := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(first), "\n") {
+		var res result
+		if err := json.Unmarshal([]byte(line), &res); err != nil {
+			t.Fatalf("line is not a Result: %v\n%s", err, line)
+		}
+		if res.Mode == "" || res.RoundsMean <= 0 || res.ElapsedMS != 0 {
+			t.Fatalf("degenerate emul sweep line: %+v", res)
+		}
+		modes[res.Mode]++
+	}
+	if modes["erew"] == 0 || modes["crcw"] == 0 {
+		t.Fatalf("emul sweep missing a mode: %v", modes)
+	}
+}
+
+// TestRunSweepReport drives -sweep -report: the result lines stay
+// wall-clock-free and are followed by speedup and class report rows.
+func TestRunSweepReport(t *testing.T) {
+	spec := `{
+		"topologies": [{"family": "star", "n": 4}],
+		"workloads": [{"name": "perm"}, {"name": "khot", "hot": 2}],
+		"workers": [1, 2],
+		"trials": 2,
+		"seed": 7
+	}`
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(&b, config{sweep: path, report: true}); err != nil {
+		t.Fatal(err)
+	}
+	results, speedups, classes := 0, 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		var row struct {
+			Report    string  `json:"report"`
+			ElapsedMS float64 `json:"elapsed_ms"`
+			Speedup   float64 `json:"speedup"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("line is not JSON: %v\n%s", err, line)
+		}
+		switch row.Report {
+		case "":
+			results++
+			if row.ElapsedMS != 0 {
+				t.Fatalf("-report leaked wall clock into a result line: %s", line)
+			}
+		case "speedup":
+			speedups++
+			if row.Speedup <= 0 {
+				t.Fatalf("timed report row lacks a speedup: %s", line)
+			}
+		case "class":
+			classes++
+		}
+	}
+	// 2 workloads x 2 workers result cells; a speedup row per cell;
+	// one class row per traffic class.
+	if results != 4 || speedups != 4 || classes != 2 {
+		t.Fatalf("unexpected row mix: %d results, %d speedups, %d classes:\n%s",
+			results, speedups, classes, b.String())
+	}
+}
+
 func TestRunRejectsUnknowns(t *testing.T) {
 	var b strings.Builder
 	if err := run(&b, config{net: "moebius"}); err == nil {

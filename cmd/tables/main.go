@@ -1,10 +1,15 @@
 // Command tables regenerates every experiment table of the paper
-// reproduction (the E1-E12 index in DESIGN.md) and prints them to
-// stdout in the format recorded in EXPERIMENTS.md.
+// reproduction (the E1-E17 index in DESIGN.md) and prints them to
+// stdout in the format recorded in EXPERIMENTS.md. With -sweep it
+// instead consumes a `routebench -sweep` JSONL artifact (report rows,
+// if present, are skipped and recomputed) and renders the derived
+// report: the engine-workers speedup table and the per-class
+// aggregate table.
 //
 // Usage:
 //
 //	tables [-quick] [-trials N] [-seed S] [-only E7]
+//	tables -sweep BENCH_sweep_smoke.jsonl
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 
 	"pramemu/internal/experiments"
 	"pramemu/internal/metrics"
+	"pramemu/internal/scenario"
+	_ "pramemu/internal/topology/families"
 )
 
 func main() {
@@ -23,13 +30,46 @@ func main() {
 	trials := flag.Int("trials", 5, "seeded repetitions per configuration")
 	seed := flag.Uint64("seed", 1991, "base random seed")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E7,E8)")
+	sweep := flag.String("sweep", "", "render the derived report of this routebench -sweep JSONL artifact instead of running experiments")
 	flag.Parse()
 
+	if *sweep != "" {
+		if err := runSweepReport(os.Stdout, *sweep); err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	o := experiments.Options{Quick: *quick, Trials: *trials, Seed: *seed}
 	if err := run(os.Stdout, o, *only); err != nil {
 		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runSweepReport reads a sweep JSONL artifact and renders the derived
+// report tables. It is the consumption side of `routebench -sweep
+// -report`: the same scenario.Report pass runs over the parsed result
+// rows, so an untimed artifact still yields the per-class aggregates
+// and the workers-equivalence rows (with the speedup column dashed).
+func runSweepReport(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	defer f.Close()
+	results, err := scenario.ReadResults(f)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("sweep: %s holds no result rows", path)
+	}
+	for _, t := range scenario.ReportTables(scenario.Report(results)) {
+		t.Fprint(w)
+		fmt.Fprintln(w)
+	}
+	return nil
 }
 
 // run renders the selected experiment tables to w. It is the testable
@@ -54,6 +94,7 @@ func run(w io.Writer, o experiments.Options, only string) error {
 		{"E12", experiments.E12SortVsRoute},
 		{"E14", experiments.E14CrossFamily},
 		{"E16", experiments.E16ScenarioMatrix},
+		{"E17", experiments.E17EmulationMatrix},
 	}
 	want := map[string]bool{}
 	if only != "" {

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"pramemu/internal/experiments"
+	"pramemu/internal/scenario"
 )
 
 // The smoke test renders one cheap experiment table in-process with
@@ -20,6 +23,56 @@ func TestRunSingleQuickTable(t *testing.T) {
 	out := b.String()
 	if !strings.Contains(out, "E4") || !strings.Contains(out, "maxload") {
 		t.Fatalf("E4 table malformed:\n%s", out)
+	}
+}
+
+// TestRunSweepReport drives -sweep: a JSONL artifact produced by the
+// scenario runner (report rows interleaved, as `routebench -sweep
+// -report` emits them) renders into the two derived-report tables.
+func TestRunSweepReport(t *testing.T) {
+	results, err := scenario.Run(scenario.Spec{
+		Topologies: []scenario.TopoRef{{Family: "star", N: 4}},
+		Workloads:  []scenario.WorkRef{{Name: "perm"}, {Name: "khot", Hot: 2}},
+		Workers:    []int{1, 2},
+		Trials:     1, Seed: 7, Pool: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.WriteJSONL(f, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := scenario.WriteReportJSONL(f, scenario.Report(results)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := runSweepReport(&b, path); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"speedup across the engine-workers axis", "per-class aggregates", "many-one", "star[n=4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep report missing %q:\n%s", want, out)
+		}
+	}
+	// Missing and empty artifacts error cleanly.
+	if err := runSweepReport(&b, filepath.Join(t.TempDir(), "absent.jsonl")); err == nil {
+		t.Fatal("missing artifact accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSweepReport(&b, empty); err == nil {
+		t.Fatal("empty artifact accepted")
 	}
 }
 

@@ -26,6 +26,15 @@ type TopologyNetwork struct {
 	spec   leveled.Spec   // nil when no unrolling exists
 	diam   int
 	direct bool
+
+	// SkipPhase1 disables the randomizing first traversal of each
+	// routed step (the scenario layer's ablation axis): requests go
+	// straight along their deterministic paths.
+	SkipPhase1 bool
+	// HashedKeys forces the round engine's hashed-map link state
+	// instead of the dense tables on every routed step (identical
+	// results; the A/B knob of the flat-state engine PR).
+	HashedKeys bool
 }
 
 // NewTopologyNetwork adapts a registry-built network, preferring the
@@ -83,10 +92,12 @@ func (n *TopologyNetwork) useLeveled() bool { return n.spec != nil && !n.direct 
 func (n *TopologyNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64, workers int) RouteStats {
 	if n.useLeveled() {
 		s := leveled.Route(n.spec, pkts, leveled.Options{
-			Seed:    seed,
-			Replies: true,
-			Combine: combine,
-			Workers: workers,
+			Seed:       seed,
+			Replies:    true,
+			Combine:    combine,
+			Workers:    workers,
+			SkipPhase1: n.SkipPhase1,
+			HashedKeys: n.HashedKeys,
 		})
 		return RouteStats{
 			Rounds:        s.Rounds,
@@ -98,10 +109,12 @@ func (n *TopologyNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64
 		}
 	}
 	s, err := simnet.Route(n.graph, pkts, simnet.Options{
-		Seed:    seed,
-		Replies: true,
-		Combine: combine,
-		Workers: workers,
+		Seed:       seed,
+		Replies:    true,
+		Combine:    combine,
+		Workers:    workers,
+		SkipPhase1: n.SkipPhase1,
+		HashedKeys: n.HashedKeys,
 	})
 	if err != nil {
 		// The constructor verified the key space; any residual error

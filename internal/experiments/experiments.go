@@ -4,10 +4,12 @@
 // networks and returns a metrics.Table whose rows are what
 // EXPERIMENTS.md records. The benchmark harness (bench_test.go) and
 // the cmd/tables binary both drive these functions; benchmarks use
-// reduced trial counts, cmd/tables the defaults. The routing-grid
-// experiments (E2, E3, E10, E14, E16) are declarative scenario sweeps
-// over the topology and workload registries — their hand-rolled
-// routing loops live in internal/scenario now.
+// reduced trial counts, cmd/tables the defaults. The grid experiments
+// (E2, E3, E10, E14, E16, E17) are declarative scenario sweeps over
+// the topology and workload registries — their hand-rolled routing
+// loops live in internal/scenario now, and E17 additionally sweeps
+// the emulation-mode axis (erew/crcw PRAM steps instead of raw
+// routing).
 package experiments
 
 import (
@@ -776,6 +778,51 @@ func E16ScenarioMatrix(o Options) *metrics.Table {
 	return t
 }
 
+// E17EmulationMatrix prices Theorems 2.5/2.6 over the whole grid: one
+// emulated PRAM step (request routing, read replies, rehash charges)
+// on every registered topology family × every single-step access
+// pattern, in both emulation modes — erew (exclusive accesses, Thm
+// 2.5) and crcw (combining enabled, Thm 2.6). The mode axis gates
+// pairs the way the PRAM does: many-one patterns are concurrent
+// access and only run on crcw cells, h-relations have no single-step
+// form at all. cost/diam is the theorems' bound; it stays a modest
+// constant on every family because emulation cost tracks the
+// diameter, not the family identity. Like E16, sizes are the quick
+// comparable table regardless of o.Quick: the matrix is wide, so each
+// cell stays small.
+func E17EmulationMatrix(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E17 (Thm 2.5/2.6) emulated PRAM step: every family x every access pattern x mode",
+		"family", "workload", "mode", "N", "diam", "view", "cost(mean)", "cost/diam", "merges", "rehashes", "maxQ")
+	topos, _ := registryTopos(true)
+	var works []scenario.WorkRef
+	for _, name := range workload.Names() {
+		works = append(works, scenario.WorkRef{Name: name})
+	}
+	results := mustSweep(scenario.Spec{
+		Topologies:       topos,
+		Workloads:        works,
+		Modes:            []string{scenario.ModeEREW, scenario.ModeCRCW},
+		Trials:           o.Trials,
+		Seed:             o.Seed,
+		SkipIncompatible: true,
+	})
+	for _, r := range results {
+		t.AddRow(r.Family,
+			r.Workload,
+			r.Mode,
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Diameter),
+			r.View,
+			fmtF(r.RoundsMean),
+			fmtF(r.RoundsPerDiam),
+			fmt.Sprintf("%d", r.Merges),
+			fmt.Sprintf("%d", r.Rehashes),
+			fmt.Sprintf("%d", r.MaxQueue))
+	}
+	return t
+}
+
 // maxDegree samples nodes for the graph's characteristic (maximum)
 // degree — node 0 alone would report a mesh corner as degree 2.
 func maxDegree(g topology.Graph) int {
@@ -809,5 +856,6 @@ func All(o Options) []*metrics.Table {
 		E12SortVsRoute(o),
 		E14CrossFamily(o),
 		E16ScenarioMatrix(o),
+		E17EmulationMatrix(o),
 	}
 }

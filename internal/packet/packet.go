@@ -108,7 +108,8 @@ type Packet struct {
 	Rand *prng.Source
 
 	// Children holds packets merged into this one by CRCW combining
-	// (Theorem 2.6); CombinedAt is the index into Path at which the
+	// (Theorem 2.6); CombinedAt is the index into the HOST's Path
+	// (this packet's) at which the
 	// merge happened, so replies can fan back out at that node.
 	Children   []*Packet
 	CombinedAt []int

@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"pramemu/internal/metrics"
+	"pramemu/internal/workload"
+)
+
+// ReportRow is one line of the sweep-level derived report: either a
+// "speedup" row (one cell of the engine-workers axis, with the
+// wall-clock speedup over the group's smallest workers value when the
+// sweep was timed) or a "class" row (one traffic class × emulation
+// mode aggregated across every family in the sweep). The Report field
+// discriminates the two, so report rows can ride in the same JSONL
+// stream as Result rows without ambiguity — Result has no "report"
+// key.
+type ReportRow struct {
+	Report string `json:"report"` // "speedup" | "class"
+
+	// Speedup rows: Scenario is the cell key with the trailing
+	// workers segment stripped (the group identity), Workers the axis
+	// value, and Speedup the wall-clock ratio against the group's
+	// smallest workers value (1.0 for the baseline itself; 0 when the
+	// sweep carried no timing). RoundsMean documents the engine
+	// invariant: it is identical across the group's rows.
+	Scenario     string  `json:"scenario,omitempty"`
+	Workers      int     `json:"workers,omitempty"`
+	RoundsMean   float64 `json:"rounds_mean,omitempty"`
+	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
+	Speedup      float64 `json:"speedup,omitempty"`
+
+	// Class rows: aggregates across families for one (traffic class,
+	// mode) pair — Cells grid cells over Families distinct families.
+	Class             string  `json:"class,omitempty"`
+	Mode              string  `json:"mode,omitempty"`
+	Cells             int     `json:"cells,omitempty"`
+	Families          int     `json:"families,omitempty"`
+	RoundsPerDiamMean float64 `json:"rounds_per_diam_mean,omitempty"`
+	RoundsPerDiamMax  float64 `json:"rounds_per_diam_max,omitempty"`
+	MaxQueue          int     `json:"max_queue,omitempty"`
+}
+
+// Report derives the sweep-level summary rows from a sweep's results:
+// speedup rows across the engine-workers axis (for every group of
+// cells identical up to Workers, when the axis has more than one
+// value) followed by per-class aggregate rows across families. Both
+// orderings are canonical — by scenario key and workers, then by
+// class and mode — so the report is as deterministic as its inputs
+// (wall-clock speedups, when present, are inherently run-dependent).
+func Report(results []Result) []ReportRow {
+	return append(speedupRows(results), classRows(results)...)
+}
+
+// speedupRows groups results by their workers-stripped scenario key
+// and emits one row per (group, workers) cell for groups that sweep
+// more than one workers value. Speedup is computed from RoundsPerSec
+// when the results carry timing (routebench -sweep -report times its
+// run); untimed results still get their rows — documenting that
+// RoundsMean is identical along the axis — with Speedup zero.
+func speedupRows(results []Result) []ReportRow {
+	groups := make(map[string][]Result)
+	var keys []string
+	for _, r := range results {
+		base := workersStrippedKey(r)
+		if _, seen := groups[base]; !seen {
+			keys = append(keys, base)
+		}
+		groups[base] = append(groups[base], r)
+	}
+	sort.Strings(keys)
+	var rows []ReportRow
+	for _, base := range keys {
+		group := groups[base]
+		if len(group) < 2 {
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool { return group[i].Workers < group[j].Workers })
+		baseline := group[0]
+		for _, r := range group {
+			row := ReportRow{
+				Report:       "speedup",
+				Scenario:     base,
+				Workers:      r.Workers,
+				RoundsMean:   r.RoundsMean,
+				RoundsPerSec: r.RoundsPerSec,
+			}
+			if baseline.RoundsPerSec > 0 && r.RoundsPerSec > 0 {
+				row.Speedup = r.RoundsPerSec / baseline.RoundsPerSec
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// workersStrippedKey removes the trailing workers segment from the
+// result's scenario key (reconstructing the key when the result came
+// from a single run and has none).
+func workersStrippedKey(r Result) string {
+	key := r.Scenario
+	if key == "" {
+		key = fmt.Sprintf("%s/%s", r.Family, r.Workload)
+	}
+	suffix := "/w=" + strconv.Itoa(r.Workers)
+	if len(key) >= len(suffix) && key[len(key)-len(suffix):] == suffix {
+		return key[:len(key)-len(suffix)]
+	}
+	return key
+}
+
+// classRows aggregates the sweep across the family axis: one row per
+// (traffic class, emulation mode) pair present in the results.
+func classRows(results []Result) []ReportRow {
+	type agg struct {
+		cells    int
+		families map[string]bool
+		sum, max float64
+		maxQ     int
+	}
+	aggs := make(map[[2]string]*agg)
+	var keys [][2]string
+	for _, r := range results {
+		class := r.Workload
+		if gen, ok := workload.Lookup(r.Workload); ok {
+			class = gen.Class.String()
+		}
+		k := [2]string{class, r.Mode}
+		a := aggs[k]
+		if a == nil {
+			a = &agg{families: make(map[string]bool)}
+			aggs[k] = a
+			keys = append(keys, k)
+		}
+		a.cells++
+		a.families[r.Family] = true
+		a.sum += r.RoundsPerDiam
+		if r.RoundsPerDiam > a.max {
+			a.max = r.RoundsPerDiam
+		}
+		if r.MaxQueue > a.maxQ {
+			a.maxQ = r.MaxQueue
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var rows []ReportRow
+	for _, k := range keys {
+		a := aggs[k]
+		rows = append(rows, ReportRow{
+			Report:            "class",
+			Class:             k[0],
+			Mode:              k[1],
+			Cells:             a.cells,
+			Families:          len(a.families),
+			RoundsPerDiamMean: a.sum / float64(a.cells),
+			RoundsPerDiamMax:  a.max,
+			MaxQueue:          a.maxQ,
+		})
+	}
+	return rows
+}
+
+// WriteReportJSONL appends one JSON object per report row — the rows
+// `routebench -sweep -report` emits after the result lines.
+func WriteReportJSONL(w io.Writer, rows []ReportRow) error {
+	enc := json.NewEncoder(w)
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadResults parses a sweep JSONL artifact back into results,
+// skipping any interleaved report rows — the consumption path of
+// `cmd/tables -sweep`.
+func ReadResults(r io.Reader) ([]Result, error) {
+	dec := json.NewDecoder(r)
+	var results []Result
+	for lineNo := 1; dec.More(); lineNo++ {
+		var raw map[string]json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("scenario: parsing sweep line %d: %w", lineNo, err)
+		}
+		if _, isReport := raw["report"]; isReport {
+			continue
+		}
+		line, err := json.Marshal(raw)
+		if err != nil {
+			return nil, err
+		}
+		var res Result
+		if err := json.Unmarshal(line, &res); err != nil {
+			return nil, fmt.Errorf("scenario: parsing sweep line %d: %w", lineNo, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// ReportTables renders the derived report as the two tables
+// `cmd/tables -sweep` prints: the engine-workers speedup table and
+// the per-class aggregate table.
+func ReportTables(rows []ReportRow) []*metrics.Table {
+	speed := metrics.NewTable("sweep report: speedup across the engine-workers axis",
+		"scenario", "workers", "rounds(mean)", "rounds/sec", "speedup")
+	classes := metrics.NewTable("sweep report: per-class aggregates across families",
+		"class", "mode", "cells", "families", "rounds/diam(mean)", "rounds/diam(max)", "maxQ")
+	for _, r := range rows {
+		switch r.Report {
+		case "speedup":
+			rps, speedup := "-", "-"
+			if r.RoundsPerSec > 0 {
+				rps = fmt.Sprintf("%.0f", r.RoundsPerSec)
+			}
+			if r.Speedup > 0 {
+				speedup = fmt.Sprintf("%.2f", r.Speedup)
+			}
+			speed.AddRow(r.Scenario,
+				fmt.Sprintf("%d", r.Workers),
+				fmt.Sprintf("%.1f", r.RoundsMean),
+				rps, speedup)
+		case "class":
+			mode := r.Mode
+			if mode == "" {
+				mode = ModeRoute
+			}
+			classes.AddRow(r.Class, mode,
+				fmt.Sprintf("%d", r.Cells),
+				fmt.Sprintf("%d", r.Families),
+				fmt.Sprintf("%.2f", r.RoundsPerDiamMean),
+				fmt.Sprintf("%.2f", r.RoundsPerDiamMax),
+				fmt.Sprintf("%d", r.MaxQueue))
+		}
+	}
+	return []*metrics.Table{speed, classes}
+}

@@ -1,0 +1,120 @@
+// The derived-report pass: speedup rows group the engine-workers axis
+// (with identical rounds along it — the engine invariant), class rows
+// aggregate across families, timing fills the speedup column, and a
+// JSONL artifact with report rows interleaved parses back into its
+// result rows.
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReportRows(t *testing.T) {
+	results := mustRun(t, testSpec())
+	rows := Report(results)
+	speedups, classes := 0, 0
+	groupRounds := make(map[string]float64)
+	for _, r := range rows {
+		switch r.Report {
+		case "speedup":
+			speedups++
+			if r.Workers != 1 && r.Workers != 4 {
+				t.Fatalf("unexpected workers value: %+v", r)
+			}
+			if r.Speedup != 0 {
+				t.Fatalf("untimed sweep produced a speedup: %+v", r)
+			}
+			if prev, seen := groupRounds[r.Scenario]; seen && prev != r.RoundsMean {
+				t.Fatalf("rounds diverged along the workers axis for %s: %v vs %v",
+					r.Scenario, prev, r.RoundsMean)
+			}
+			groupRounds[r.Scenario] = r.RoundsMean
+			if strings.Contains(r.Scenario, "/w=") {
+				t.Fatalf("speedup group key retains a workers segment: %+v", r)
+			}
+		case "class":
+			classes++
+			if r.Cells == 0 || r.Families == 0 || r.RoundsPerDiamMean <= 0 {
+				t.Fatalf("degenerate class row: %+v", r)
+			}
+		default:
+			t.Fatalf("unknown report kind: %+v", r)
+		}
+	}
+	// testSpec crosses workers {1, 4} everywhere: every one of the 18
+	// cells lands in a speedup group of two.
+	if speedups != len(results) {
+		t.Fatalf("%d speedup rows for %d results", speedups, len(results))
+	}
+	// Two workload classes (permutation, many-one), route mode only.
+	if classes != 2 {
+		t.Fatalf("%d class rows, want 2", classes)
+	}
+}
+
+func TestReportTimedSpeedup(t *testing.T) {
+	spec := testSpec()
+	spec.Timing = true
+	rows := Report(mustRun(t, spec))
+	sawBaseline, sawRatio := false, false
+	for _, r := range rows {
+		if r.Report != "speedup" {
+			continue
+		}
+		if r.RoundsPerSec <= 0 {
+			t.Fatalf("timed sweep left rounds/sec empty: %+v", r)
+		}
+		if r.Workers == 1 && r.Speedup == 1 {
+			sawBaseline = true
+		}
+		if r.Workers == 4 && r.Speedup > 0 {
+			sawRatio = true
+		}
+	}
+	if !sawBaseline || !sawRatio {
+		t.Fatalf("timed report missing baselines or ratios: baseline=%v ratio=%v", sawBaseline, sawRatio)
+	}
+}
+
+func TestReadResultsSkipsReportRows(t *testing.T) {
+	results := mustRun(t, testSpec())
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReportJSONL(&b, Report(results)); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadResults(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(results) {
+		t.Fatalf("round-tripped %d results, want %d", len(parsed), len(results))
+	}
+	for i := range parsed {
+		if parsed[i] != results[i] {
+			t.Fatalf("result %d mutated in the round trip:\n%+v\n%+v", i, parsed[i], results[i])
+		}
+	}
+	if _, err := ReadResults(strings.NewReader("{broken")); err == nil {
+		t.Fatal("malformed JSONL accepted")
+	}
+}
+
+func TestReportTables(t *testing.T) {
+	tables := ReportTables(Report(mustRun(t, testSpec())))
+	if len(tables) != 2 {
+		t.Fatalf("%d report tables, want 2", len(tables))
+	}
+	for _, tb := range tables {
+		if tb.Rows() == 0 {
+			t.Fatalf("empty report table:\n%s", tb)
+		}
+	}
+	if !strings.Contains(tables[1].String(), "many-one") {
+		t.Fatalf("class table lacks the many-one row:\n%s", tables[1])
+	}
+}

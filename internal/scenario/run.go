@@ -2,6 +2,7 @@
 // grid out over a worker pool. Result is the one JSON schema shared
 // by `routebench -json` (one object per invocation) and `routebench
 // -sweep` (one object per line of JSONL).
+
 package scenario
 
 import (
@@ -13,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"pramemu/internal/emul"
 	"pramemu/internal/leveled"
 	"pramemu/internal/mathx"
 	"pramemu/internal/mesh"
@@ -35,7 +37,10 @@ type Result struct {
 	Workload      string  `json:"workload"`
 	Algorithm     string  `json:"algorithm,omitempty"`
 	Discipline    string  `json:"discipline,omitempty"`
-	View          string  `json:"view,omitempty"` // direct(2.2) | leveled(2.1) | mesh(§3.4)
+	View          string  `json:"view,omitempty"` // direct(2.2) | leveled(2.1) | mesh(§3.4) | mesh(§3.3)
+	Mode          string  `json:"mode,omitempty"` // erew | crcw; empty = raw routing
+	SkipPhase1    bool    `json:"skip_phase1,omitempty"`
+	Hashed        bool    `json:"hashed,omitempty"`
 	Workers       int     `json:"workers"`
 	Trials        int     `json:"trials"`
 	Seed          uint64  `json:"seed"`
@@ -43,6 +48,15 @@ type Result struct {
 	RoundsMax     int     `json:"rounds_max"`
 	RoundsPerDiam float64 `json:"rounds_per_diam"`
 	MaxQueue      int     `json:"max_queue"`
+	// The emulation-mode extras (Theorems 2.5/2.6): on erew/crcw
+	// cells RoundsMean/RoundsMax carry the emulated step cost
+	// (routing rounds plus any rehash penalty), Merges the total CRCW
+	// combining events and Rehashes the total rehash events across
+	// trials, and MaxModuleLoad the largest per-module request load
+	// observed.
+	Merges        int     `json:"merges,omitempty"`
+	Rehashes      int     `json:"rehashes,omitempty"`
+	MaxModuleLoad int     `json:"max_module_load,omitempty"`
 	ElapsedMS     float64 `json:"elapsed_ms,omitempty"`
 	RoundsPerSec  float64 `json:"rounds_per_sec,omitempty"`
 }
@@ -84,10 +98,138 @@ func RunCell(c Cell) (Result, error) {
 	if c.Trials < 1 {
 		c.Trials = 1
 	}
-	if meshRouted(b, c.Topo, gen.Class) {
+	if c.Mode == ModeRoute {
+		c.Mode = ""
+	}
+	if err := ModeCheck(c.Mode, gen.Class); err != nil {
+		return Result{}, fmt.Errorf("workload %s: %w", c.Work.Name, err)
+	}
+	if c.Mode != "" {
+		return runEmulCell(b, gen, p, c)
+	}
+	if meshRouted(b, c.Topo, gen.Class, c.Mode) {
 		return runMeshCell(b, b.Graph.(*mesh.Grid), gen, p, c)
 	}
 	return runGenericCell(b, gen, p, c)
+}
+
+// emulMemory is the PRAM address-space size M of emulation-mode
+// cells, matching cmd/pramemu's default: comfortably larger than the
+// simulator's 24-bit node-count cap, so every registered family has
+// at least one address per memory module.
+const emulMemory = 1 << 24
+
+// emulNetwork adapts the cell's topology for the emulator, mirroring
+// the route-mode dispatch: the specialized §3.3 two-phase scheme
+// serves erew cells on the mesh, and everything else goes through the
+// generic topology adapter — on the Algorithm 2.1 unrolling when the
+// cell (or a leveled-only family) selects it, on the Algorithm
+// 2.2-style point-to-point view otherwise. The returned view string
+// names the router for reports.
+func emulNetwork(b topology.Built, gen workload.Generator, c Cell) (emul.Network, string, error) {
+	if meshRouted(b, c.Topo, gen.Class, c.Mode) {
+		alg, err := meshAlgorithm(c.Algorithm)
+		if err != nil {
+			return nil, "", err
+		}
+		disc, err := meshDiscipline(c.Discipline)
+		if err != nil {
+			return nil, "", err
+		}
+		net := &emul.MeshNetwork{
+			G:    b.Graph.(*mesh.Grid),
+			Opts: mesh.Options{Algorithm: alg, Discipline: disc, HashedKeys: c.Hashed},
+		}
+		return net, "mesh(§3.3)", nil
+	}
+	var (
+		net  *emul.TopologyNetwork
+		view string
+		err  error
+	)
+	if b.Graph != nil && !c.Topo.Leveled {
+		net, err = emul.NewDirectTopologyNetwork(b)
+		view = "direct(2.2)"
+	} else {
+		net, err = emul.NewTopologyNetwork(b)
+		view = "leveled(2.1)"
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	net.SkipPhase1 = c.SkipPhase1
+	net.HashedKeys = c.Hashed
+	return net, view, nil
+}
+
+// runEmulCell prices one emulated PRAM step per trial instead of raw
+// routing (Theorems 2.5/2.6): the workload's packets become the
+// step's memory-access pattern via workload.StepRequests, the
+// emulator hashes each address to its module and routes requests with
+// read replies — combining enabled on crcw cells — and the recorded
+// rounds are the step's total cost including any rehash penalty. Each
+// trial draws a fresh hash function from the trial seed, so results
+// derive from the spec alone. p arrives pre-defaulted and validated
+// by RunCell.
+func runEmulCell(b topology.Built, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
+	net, view, err := emulNetwork(b, gen, c)
+	if err != nil {
+		return Result{}, err
+	}
+	rounds := make([]int, 0, c.Trials)
+	maxQ, merges, rehashes, maxLoad := 0, 0, 0, 0
+	arena := packet.NewArena()
+	start := time.Now()
+	for trial := 0; trial < c.Trials; trial++ {
+		s := c.Seed + uint64(trial)
+		arena.Reset()
+		pkts, err := gen.Generate(b, p, arena, s)
+		if err != nil {
+			return Result{}, err
+		}
+		reqs := workload.StepRequests(gen.Class, net.Nodes(), pkts)
+		e, err := emul.New(net, emul.Config{
+			Memory:  emulMemory,
+			Seed:    s * 31,
+			Combine: c.Mode == ModeCRCW,
+			Workers: c.Workers,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		stats, cost := e.RouteRequests(reqs)
+		rounds = append(rounds, cost)
+		if stats.MaxQueue > maxQ {
+			maxQ = stats.MaxQueue
+		}
+		if stats.MaxModuleLoad > maxLoad {
+			maxLoad = stats.MaxModuleLoad
+		}
+		merges += stats.Merges
+		rehashes += e.Rehashes()
+	}
+	res := Result{
+		Family:        c.Topo.Family,
+		Topology:      net.Name(),
+		Nodes:         net.Nodes(),
+		Diameter:      net.Diameter(),
+		View:          view,
+		Mode:          c.Mode,
+		MaxQueue:      maxQ,
+		Merges:        merges,
+		Rehashes:      rehashes,
+		MaxModuleLoad: maxLoad,
+	}
+	if view == "mesh(§3.3)" {
+		res.Algorithm = algName(c.Algorithm)
+		res.Discipline = discName(c.Discipline)
+	} else {
+		// Only the generic adapters honor the ablation; the §3.3 mesh
+		// scheme has no phase-1 switch, so the flag must not be
+		// recorded as applied there.
+		res.SkipPhase1 = c.SkipPhase1
+	}
+	return finish(res, c, rounds, time.Since(start)), nil
 }
 
 // runMeshCell routes on the paper's specialized three-stage router.
@@ -187,12 +329,13 @@ func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params,
 		name, view = b.Spec.Name(), "leveled(2.1)"
 	}
 	res := Result{
-		Family:   c.Topo.Family,
-		Topology: name,
-		Nodes:    b.Nodes(),
-		Diameter: b.Diameter(),
-		View:     view,
-		MaxQueue: maxQ,
+		Family:     c.Topo.Family,
+		Topology:   name,
+		Nodes:      b.Nodes(),
+		Diameter:   b.Diameter(),
+		View:       view,
+		MaxQueue:   maxQ,
+		SkipPhase1: c.SkipPhase1,
 	}
 	return finish(res, c, rounds, time.Since(start)), nil
 }
@@ -204,6 +347,7 @@ func finish(res Result, c Cell, rounds []int, elapsed time.Duration) Result {
 	res.Workers = c.Workers
 	res.Trials = c.Trials
 	res.Seed = c.Seed
+	res.Hashed = c.Hashed
 	res.RoundsMean = mathx.MeanInts(rounds)
 	res.RoundsMax = mathx.MaxInts(rounds)
 	if res.Diameter > 0 {
@@ -240,9 +384,10 @@ func discName(name string) string {
 
 // Run expands the spec into its grid and executes every cell over a
 // pool of Spec.Pool workers. Results come back sorted by scenario key
-// with the wall-clock fields zeroed, so the output is identical for
-// any pool width — each cell's seeds derive from the spec alone,
-// never from execution order. Axis values, workload parameters and
+// with the wall-clock fields zeroed (unless Spec.Timing asks for
+// them), so the output is identical for any pool width — each cell's
+// seeds derive from the spec alone, never from execution order. Axis
+// values, workload parameters, emulation modes and
 // capability pairings are validated during expansion, before any cell
 // routes; should a cell still fail at run time, the grid drains and
 // the first failing cell's error (in key order) is returned.

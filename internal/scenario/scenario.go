@@ -1,14 +1,21 @@
-// Package scenario turns (topology × workload × discipline × engine
-// workers × trials) grids into routing results: the declarative sweep
-// layer the ROADMAP's "as many scenarios as you can imagine" north
-// star calls for. A Spec names axes by registry key — the topology
-// registry supplies the networks, the workload registry the traffic —
-// so a family or generator registered tomorrow is sweepable with zero
-// edits here. Run executes the cross-product in parallel over a
-// worker pool and returns seed-deterministic, order-independent
-// results: the JSONL a parallel sweep emits is line-for-line
-// identical (after the built-in sort by scenario key) to a sequential
-// run with the same seed.
+// Package scenario turns (topology × workload × discipline ×
+// emulation mode × ablations × engine workers × trials) grids into
+// results: the declarative sweep layer the ROADMAP's "as many
+// scenarios as you can imagine" north star calls for. A Spec names
+// axes by registry key — the topology registry supplies the networks,
+// the workload registry the traffic — so a family or generator
+// registered tomorrow is sweepable with zero edits here. The mode
+// axis decides what a cell prices: raw routing ("route"), or one
+// emulated PRAM step per trial ("erew"/"crcw", Theorems 2.5/2.6)
+// dispatched through internal/emul with the workload's packets as the
+// step's memory accesses; the skip_phase1 and hashed axes are
+// ablations, so A/B pairs land in one artifact. Run executes the
+// cross-product in parallel over a worker pool and returns
+// seed-deterministic, order-independent results: the JSONL a parallel
+// sweep emits is line-for-line identical (after the built-in sort by
+// scenario key) to a sequential run with the same seed. Report
+// derives sweep-level summaries (workers-axis speedups, per-class
+// aggregates across families) from the results.
 package scenario
 
 import (
@@ -61,6 +68,31 @@ type Spec struct {
 	// router serves and collapses to a single cell elsewhere.
 	// Default: ["furthest"].
 	Disciplines []string `json:"disciplines,omitempty"`
+	// Modes is the emulation-mode axis. "route" prices raw routing
+	// (the default); "erew" and "crcw" price one emulated PRAM step
+	// per trial instead (Theorems 2.5 and 2.6): the workload's
+	// packets become the step's memory-access pattern, requests are
+	// hashed to modules and routed with read replies, and the cell's
+	// rounds are the step's cost including any rehash penalty. CRCW
+	// cells route with combining enabled; EREW cells carry only
+	// exclusive (permutation-class) patterns — the registry's
+	// NeedsCombining workloads are gated to crcw cells.
+	// Default: ["route"].
+	Modes []string `json:"modes,omitempty"`
+	// Mode is the single-value shorthand for Modes (a spec with
+	// `"mode": "crcw"` is the one-mode sweep).
+	Mode string `json:"mode,omitempty"`
+	// SkipPhase1 is the randomizing-phase ablation axis: true cells
+	// route deterministically with no phase-1 detour. It expands on
+	// every cell the generic routers or the emulator serve and
+	// collapses on the specialized mesh router (whose three-stage
+	// structure has no such switch). Default: [false].
+	SkipPhase1 []bool `json:"skip_phase1,omitempty"`
+	// Hashed is the engine link-state ablation axis: true cells force
+	// the hashed-map fallback instead of the dense tables (identical
+	// results, different cost — the A/B pair lands in one artifact).
+	// Default: [false].
+	Hashed []bool `json:"hashed,omitempty"`
 	// Workers is the round-engine worker axis (1 = sequential; any
 	// value yields identical results, which a sweep over {1, n}
 	// verifies end to end). Default: [1].
@@ -78,16 +110,35 @@ type Spec struct {
 	// concurrently (0 = GOMAXPROCS, 1 = sequential). Results are
 	// identical for any value.
 	Pool int `json:"pool,omitempty"`
-	// SkipIncompatible drops (family, workload) pairs whose
-	// capability check fails instead of failing the sweep — the knob
-	// the full-matrix E16 pricing uses.
+	// SkipIncompatible drops (family, workload) and (mode, workload)
+	// pairs whose capability check fails instead of failing the sweep
+	// — the knob the full-matrix E16/E17 pricings use.
 	SkipIncompatible bool `json:"skip_incompatible,omitempty"`
+	// Timing fills each cell's wall-clock fields (elapsed_ms,
+	// rounds_per_sec). Timed JSONL is NOT byte-reproducible — leave
+	// it off for artifacts; `routebench -sweep -report` turns it on
+	// internally to compute speedups, then strips the wall-clock
+	// fields from the result lines it emits.
+	Timing bool `json:"timing,omitempty"`
 }
 
 // withDefaults substitutes the documented axis defaults.
 func (s Spec) withDefaults() Spec {
 	if len(s.Disciplines) == 0 {
 		s.Disciplines = []string{"furthest"}
+	}
+	if s.Mode != "" {
+		s.Modes = append(s.Modes, s.Mode)
+		s.Mode = ""
+	}
+	if len(s.Modes) == 0 {
+		s.Modes = []string{ModeRoute}
+	}
+	if len(s.SkipPhase1) == 0 {
+		s.SkipPhase1 = []bool{false}
+	}
+	if len(s.Hashed) == 0 {
+		s.Hashed = []bool{false}
 	}
 	if len(s.Workers) == 0 {
 		s.Workers = []int{1}
@@ -117,6 +168,7 @@ type Cell struct {
 	Built      topology.Built
 	Discipline string // mesh queue discipline; "" = furthest
 	Algorithm  string // mesh routing algorithm; "" = threestage
+	Mode       string // route | erew | crcw; "" = route
 	Workers    int    // round-engine workers (0 = GOMAXPROCS)
 	Trials     int
 	Seed       uint64
@@ -145,8 +197,58 @@ func (c Cell) Key() string {
 	if c.Discipline != "" {
 		fmt.Fprintf(&b, "/disc=%s", c.Discipline)
 	}
+	if c.Mode != "" && c.Mode != ModeRoute {
+		fmt.Fprintf(&b, "/mode=%s", c.Mode)
+	}
+	if c.SkipPhase1 {
+		b.WriteString("/nophase1")
+	}
+	if c.Hashed {
+		b.WriteString("/hashedkeys")
+	}
 	fmt.Fprintf(&b, "/w=%d", c.Workers)
 	return b.String()
+}
+
+// The emulation-mode axis values.
+const (
+	// ModeRoute prices raw routing of the workload's packets.
+	ModeRoute = "route"
+	// ModeEREW prices one emulated EREW PRAM step per trial
+	// (Theorem 2.5): exclusive accesses, no combining.
+	ModeEREW = "erew"
+	// ModeCRCW prices one emulated CRCW PRAM step per trial with
+	// en-route combining (Theorem 2.6).
+	ModeCRCW = "crcw"
+)
+
+// ModeCheck reports whether the named emulation mode can carry the
+// given traffic class, naming the mismatch otherwise — the mode twin
+// of workload.Generator.Check. Relations have no single-step PRAM
+// form (a PRAM processor issues at most one request per step), and
+// many-one or collision-prone traffic is concurrent access, which
+// only the crcw mode's combining may carry.
+func ModeCheck(mode string, class workload.Class) error {
+	switch mode {
+	case "", ModeRoute:
+		return nil
+	case ModeEREW:
+		switch class {
+		case workload.ClassPermutation:
+			return nil
+		case workload.ClassRelation:
+			return fmt.Errorf("%s traffic has no single-step PRAM form (one request per processor per step)", class)
+		default:
+			return fmt.Errorf("%s traffic may touch one address concurrently; erew cells carry only permutation-class patterns (use crcw)", class)
+		}
+	case ModeCRCW:
+		if class == workload.ClassRelation {
+			return fmt.Errorf("%s traffic has no single-step PRAM form (one request per processor per step)", class)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q (known: %s, %s, %s)", mode, ModeRoute, ModeEREW, ModeCRCW)
+	}
 }
 
 // cells expands the spec into its grid, validating every axis value
@@ -165,6 +267,14 @@ func (s Spec) cells() ([]Cell, error) {
 	}
 	for _, d := range s.Disciplines {
 		if _, err := meshDiscipline(d); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range s.Modes {
+		// Unknown mode names are spec errors regardless of
+		// SkipIncompatible; ModeCheck against the always-legal
+		// permutation class isolates the name validation.
+		if err := ModeCheck(m, workload.ClassPermutation); err != nil {
 			return nil, err
 		}
 	}
@@ -194,27 +304,53 @@ func (s Spec) cells() ([]Cell, error) {
 				}
 				return nil, err
 			}
-			// The discipline axis only distinguishes cells the
-			// specialized mesh router serves; elsewhere it collapses
-			// so the grid has no duplicate rows.
-			disciplines := s.Disciplines
-			algorithm := s.Algorithm
-			if !meshRouted(b, tr, gen.Class) {
-				disciplines = []string{""}
-				algorithm = ""
-			}
-			for _, disc := range disciplines {
-				for _, w := range s.Workers {
-					cells = append(cells, Cell{
-						Topo:       tr,
-						Work:       wr,
-						Built:      b,
-						Discipline: disc,
-						Algorithm:  algorithm,
-						Workers:    w,
-						Trials:     s.Trials,
-						Seed:       s.Seed,
-					})
+			for _, mode := range s.Modes {
+				if mode == ModeRoute {
+					mode = ""
+				}
+				if err := ModeCheck(mode, gen.Class); err != nil {
+					if s.SkipIncompatible {
+						continue
+					}
+					return nil, fmt.Errorf("workload %s: %w", wr.Name, err)
+				}
+				// Axes that only some routers honor collapse on the
+				// rest so the grid has no duplicate rows: the
+				// discipline/algorithm axis distinguishes cells the
+				// specialized mesh router serves, the skip-phase-1
+				// ablation every cell except those (the three-stage
+				// mesh router has no such switch).
+				meshSpecial := meshRouted(b, tr, gen.Class, mode)
+				disciplines := s.Disciplines
+				algorithm := s.Algorithm
+				skips := s.SkipPhase1
+				if !meshSpecial {
+					disciplines = []string{""}
+					algorithm = ""
+				} else {
+					skips = []bool{false}
+				}
+				for _, disc := range disciplines {
+					for _, skip := range skips {
+						for _, hashed := range s.Hashed {
+							for _, w := range s.Workers {
+								cells = append(cells, Cell{
+									Topo:       tr,
+									Work:       wr,
+									Built:      b,
+									Discipline: disc,
+									Algorithm:  algorithm,
+									Mode:       mode,
+									Workers:    w,
+									Trials:     s.Trials,
+									Seed:       s.Seed,
+									SkipPhase1: skip,
+									Hashed:     hashed,
+									Timing:     s.Timing,
+								})
+							}
+						}
+					}
 				}
 			}
 		}
@@ -223,19 +359,31 @@ func (s Spec) cells() ([]Cell, error) {
 	return cells, nil
 }
 
-// meshRouted reports whether the cell runs on the specialized §3.4
-// mesh router: a mesh grid, not forced onto a leveled view, carrying
-// traffic the three-stage algorithm is defined for (permutation-class
-// or local). Everything else — including h-relations and many-one
-// traffic on the mesh — routes generically on the graph view.
-func meshRouted(b topology.Built, tr TopoRef, class workload.Class) bool {
+// meshRouted reports whether the cell runs on the paper's specialized
+// mesh machinery: a mesh grid, not forced onto a leveled view,
+// carrying traffic it is defined for. In route mode that is the §3.4
+// three-stage router on permutation-class and local traffic; in erew
+// mode the §3.3 two-phase step scheme (request leg, reply leg, both
+// on the three-stage router). Everything else — h-relations and
+// many-one route-mode traffic on the mesh, and crcw-mode cells, whose
+// combining is a leveled/direct-view mechanism (Thm 2.6) the EREW
+// mesh scheme of Thm 3.2 does not have — routes generically on the
+// graph view.
+func meshRouted(b topology.Built, tr TopoRef, class workload.Class, mode string) bool {
 	if tr.Leveled {
 		return false
 	}
 	if _, ok := b.Graph.(*mesh.Grid); !ok {
 		return false
 	}
-	return class == workload.ClassPermutation || class == workload.ClassLocal
+	switch mode {
+	case "", ModeRoute:
+		return class == workload.ClassPermutation || class == workload.ClassLocal
+	case ModeEREW:
+		return true
+	default: // crcw
+		return false
+	}
 }
 
 // meshAlgorithm resolves the algorithm axis value.

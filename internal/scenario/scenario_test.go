@@ -37,6 +37,33 @@ func testSpec() Spec {
 	}
 }
 
+// emulSpec crosses the emulation-mode axis (route, erew, crcw) with
+// both ablation axes over the three router kinds (generic direct,
+// specialized mesh, leveled-only), so the pool-width property covers
+// every dispatch path the mode axis can take.
+func emulSpec() Spec {
+	return Spec{
+		Name: "emul-test",
+		Topologies: []TopoRef{
+			{Family: "star", N: 4},
+			{Family: "mesh", N: 4},
+			{Family: "butterfly", N: 3},
+		},
+		Workloads: []WorkRef{
+			{Name: "perm"},
+			{Name: "khot", Hot: 2},
+		},
+		Modes:            []string{"route", "erew", "crcw"},
+		SkipPhase1:       []bool{false, true},
+		Hashed:           []bool{false, true},
+		Workers:          []int{1, 4},
+		Trials:           1,
+		Seed:             7,
+		Pool:             1,
+		SkipIncompatible: true,
+	}
+}
+
 func mustRun(t *testing.T, spec Spec) []Result {
 	t.Helper()
 	results, err := Run(spec)
@@ -57,17 +84,20 @@ func jsonl(t *testing.T, results []Result) string {
 
 // TestSweepPoolWidthIndependence is the acceptance property: the
 // JSONL of a Pool=4 sweep is byte-identical to the sequential Pool=1
-// sweep with the same seed.
+// sweep with the same seed — over the routing grid and over the
+// emulation-mode and ablation axes alike.
 func TestSweepPoolWidthIndependence(t *testing.T) {
-	seq := testSpec()
-	par := testSpec()
-	par.Pool = 4
-	a, b := jsonl(t, mustRun(t, seq)), jsonl(t, mustRun(t, par))
-	if a != b {
-		t.Fatalf("parallel sweep diverged from sequential:\n--- pool=1\n%s--- pool=4\n%s", a, b)
-	}
-	if a != jsonl(t, mustRun(t, seq)) {
-		t.Fatal("repeated sweep not deterministic")
+	for name, spec := range map[string]Spec{"route": testSpec(), "emul": emulSpec()} {
+		seq := spec
+		par := spec
+		par.Pool = 4
+		a, b := jsonl(t, mustRun(t, seq)), jsonl(t, mustRun(t, par))
+		if a != b {
+			t.Fatalf("%s: parallel sweep diverged from sequential:\n--- pool=1\n%s--- pool=4\n%s", name, a, b)
+		}
+		if a != jsonl(t, mustRun(t, seq)) {
+			t.Fatalf("%s: repeated sweep not deterministic", name)
+		}
 	}
 }
 
@@ -133,6 +163,113 @@ func TestSweepGridShape(t *testing.T) {
 	}
 }
 
+// TestSweepEmulGridShape pins the emulation axis's dispatch and axis
+// collapsing: erew cells carry only permutation-class traffic, the
+// specialized §3.3 scheme serves erew on the mesh while crcw routes
+// generically there, the skip-phase-1 axis collapses on the
+// specialized mesh router, and cells differing only in the hashed
+// link-state ablation report bit-identical routing statistics.
+func TestSweepEmulGridShape(t *testing.T) {
+	results := mustRun(t, emulSpec())
+	byKey := make(map[string]Result, len(results))
+	emulCells := 0
+	for _, r := range results {
+		byKey[r.Scenario] = r
+		switch r.Mode {
+		case "":
+			if r.Merges != 0 || r.Rehashes != 0 || r.MaxModuleLoad != 0 {
+				t.Fatalf("route cell carries emulation fields: %+v", r)
+			}
+			continue
+		case "erew", "crcw":
+			emulCells++
+		default:
+			t.Fatalf("unexpected mode: %+v", r)
+		}
+		if r.Mode == "erew" && r.Workload != "perm" {
+			t.Fatalf("erew cell carries non-permutation traffic: %+v", r)
+		}
+		switch {
+		case r.Family == "mesh" && r.Mode == "erew":
+			if r.View != "mesh(§3.3)" || r.Discipline == "" {
+				t.Fatalf("mesh erew cell should use the §3.3 scheme: %+v", r)
+			}
+			if r.SkipPhase1 {
+				t.Fatalf("skip-phase-1 axis should collapse on the §3.3 scheme: %+v", r)
+			}
+		case r.Family == "mesh":
+			if r.View != "direct(2.2)" {
+				t.Fatalf("mesh crcw cell should route generically: %+v", r)
+			}
+		case r.Family == "butterfly":
+			if r.View != "leveled(2.1)" {
+				t.Fatalf("butterfly emulation should use the unrolling: %+v", r)
+			}
+		default:
+			if r.View != "direct(2.2)" {
+				t.Fatalf("%s emulation should route directly: %+v", r.Family, r)
+			}
+		}
+		if r.RoundsMean <= 0 || r.RoundsPerDiam <= 0 {
+			t.Fatalf("degenerate emulation cell: %+v", r)
+		}
+	}
+	if emulCells == 0 {
+		t.Fatal("spec expanded no emulation cells")
+	}
+	// khot only survives on crcw cells; combining must fire somewhere.
+	merges := 0
+	hashedPairs := 0
+	for key, r := range byKey {
+		if r.Workload == "khot" && r.Mode == "crcw" {
+			merges += r.Merges
+		}
+		if !r.Hashed {
+			continue
+		}
+		dense, ok := byKey[strings.Replace(key, "/hashedkeys", "", 1)]
+		if !ok {
+			t.Fatalf("hashed cell %s has no dense twin", key)
+		}
+		hashedPairs++
+		if dense.RoundsMean != r.RoundsMean || dense.RoundsMax != r.RoundsMax ||
+			dense.MaxQueue != r.MaxQueue || dense.Merges != r.Merges {
+			t.Fatalf("hashed link state diverged:\n%+v\n%+v", dense, r)
+		}
+	}
+	if merges == 0 {
+		t.Fatal("no crcw cell recorded a combining merge")
+	}
+	if hashedPairs == 0 {
+		t.Fatal("hashed ablation axis did not expand")
+	}
+}
+
+// TestSweepModeGating: mode/workload mismatches fail the sweep with
+// the constraint named, unless SkipIncompatible drops them.
+func TestSweepModeGating(t *testing.T) {
+	spec := Spec{
+		Topologies: []TopoRef{{Family: "star", N: 4}},
+		Workloads:  []WorkRef{{Name: "khot"}},
+		Modes:      []string{"erew"},
+		Trials:     1, Seed: 7, Pool: 1,
+	}
+	if _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "crcw") {
+		t.Fatalf("many-one erew cell: want a crcw-gating error, got %v", err)
+	}
+	spec.Workloads = []WorkRef{{Name: "relation"}}
+	spec.Modes = []string{"crcw"}
+	if _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "single-step") {
+		t.Fatalf("relation crcw cell: want a single-step error, got %v", err)
+	}
+	spec.Workloads = []WorkRef{{Name: "relation"}, {Name: "perm"}}
+	spec.SkipIncompatible = true
+	results := mustRun(t, spec)
+	if len(results) != 1 || results[0].Workload != "perm" || results[0].Mode != "crcw" {
+		t.Fatalf("SkipIncompatible should keep only the perm crcw cell: %+v", results)
+	}
+}
+
 // TestSweepCapabilityGate: incompatible pairs fail the sweep with the
 // missing capability named, unless SkipIncompatible drops them.
 func TestSweepCapabilityGate(t *testing.T) {
@@ -166,6 +303,8 @@ func TestSweepRejectsBadAxes(t *testing.T) {
 		func(s *Spec) { s.Workloads = []WorkRef{{Name: "hotspot", Fraction: 1.5}} },
 		func(s *Spec) { s.Disciplines = []string{"magic"} },
 		func(s *Spec) { s.Algorithm = "magic" },
+		func(s *Spec) { s.Modes = []string{"quantum"} },
+		func(s *Spec) { s.Mode = "quantum"; s.SkipIncompatible = true },
 		func(s *Spec) { s.Topologies = nil },
 		func(s *Spec) { s.Workloads = nil },
 		func(s *Spec) { s.Topologies = []TopoRef{{Family: "torus", N: 4, K: 2, Leveled: true}} },
@@ -197,6 +336,22 @@ func TestReadSpec(t *testing.T) {
 	}
 	if _, err := ReadSpec(strings.NewReader(`{"topologiez": []}`)); err == nil {
 		t.Fatal("unknown field accepted")
+	}
+	// The singular "mode" shorthand folds into the Modes axis.
+	spec, err = ReadSpec(strings.NewReader(`{
+		"topologies": [{"family": "star", "n": 4}],
+		"workloads": [{"name": "perm"}],
+		"mode": "crcw"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Mode != "crcw" {
+		t.Fatalf(`"mode": "crcw" should expand one crcw cell: %+v`, results)
 	}
 }
 

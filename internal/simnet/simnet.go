@@ -301,8 +301,11 @@ func (r *router) handleReplyArrival(ctx *engine.Ctx, p *packet.Packet, round int
 		if child.Kind == packet.ReadReply {
 			child.Value = p.Value
 		}
-		child.Stage = idx
-		if idx == 0 {
+		// The merge node is the last entry of the child's own frozen
+		// path; its index there can differ from idx when the two
+		// requests reached the node over different-length routes.
+		child.Stage = len(child.Path) - 1
+		if child.Stage == 0 {
 			r.finishReply(ctx, child, round)
 		} else {
 			a := r.replyArrival(child)
@@ -359,7 +362,12 @@ func (r *router) combine(ctx *engine.Ctx, q queue.Discipline, a engine.Arrival) 
 	if host == nil {
 		return false
 	}
-	host.Combine(p, len(p.Path)-1)
+	// Both packets stand at the same node, but unlike on a leveled
+	// network their recorded routes there may have different lengths
+	// (phase-1 detours vary per packet), so the merge is recorded at
+	// the HOST's path index — the trigger the host's reply counts
+	// down — while the child's own path simply ends at the merge node.
+	host.Combine(p, len(host.Path)-1)
 	ctx.Stats().Merges++
 	return true
 }

@@ -193,6 +193,42 @@ func TestCombiningOnRing(t *testing.T) {
 	}
 }
 
+// TestCombiningRepliesWithUnequalPaths is the regression test for the
+// merge-index bug the emulation axis exposed: with phase 1 enabled,
+// two same-address requests meeting in a queue have generally taken
+// different-length routes there (each detoured via its own random
+// intermediate node), so the merge must be recorded at the host's
+// path index while the child's own path simply ends at the merge
+// node. Before the fix a combined child's reply could be dropped
+// (host path shorter than the recorded index) or released at the
+// wrong node; every read must get its reply, across many seeds.
+func TestCombiningRepliesWithUnequalPaths(t *testing.T) {
+	topo := ring{16}
+	merges := 0
+	for seed := uint64(0); seed < 30; seed++ {
+		pkts := make([]*packet.Packet, 16)
+		for i := range pkts {
+			pkts[i] = packet.New(i, i, 5, packet.ReadRequest)
+			pkts[i].Addr = 7
+		}
+		stats := mustRoute(t, topo, pkts, Options{Seed: seed, Replies: true, Combine: true})
+		if stats.DeliveredReplies != len(pkts) {
+			t.Fatalf("seed %d: replies %d/%d", seed, stats.DeliveredReplies, len(pkts))
+		}
+		for _, p := range pkts {
+			if p.Arrived < 0 {
+				t.Fatalf("seed %d: packet %d never completed", seed, p.ID)
+			}
+		}
+		merges += stats.Merges
+	}
+	// Phase-1 scattering means individual seeds may see no queue
+	// meetings; across 30 seeds the all-same-address reads must merge.
+	if merges == 0 {
+		t.Fatal("no merges across any seed")
+	}
+}
+
 func TestMaxModuleLoadCountsConstituents(t *testing.T) {
 	topo := ring{8}
 	pkts := make([]*packet.Packet, 8)

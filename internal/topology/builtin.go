@@ -6,6 +6,7 @@
 // pattern that makes a new family a local change — and
 // internal/topology/families aggregates those imports for callers
 // that want the full registry.
+
 package topology
 
 import (

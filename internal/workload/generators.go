@@ -2,6 +2,7 @@
 // patterns (tornado, local) live here next to the init that registers
 // every generator of the package, each mapped to the traffic class —
 // and through it the theorem — it exercises.
+
 package workload
 
 import (

@@ -7,6 +7,7 @@
 // needs from the topology, and is then selected by name through
 // Generate — so commands, scenario sweeps and benchmarks pick up a
 // new generator with zero cross-cutting edits.
+
 package workload
 
 import (

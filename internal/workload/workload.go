@@ -275,6 +275,41 @@ func Requests(nodes int, pkts []*packet.Packet) []pram.Request {
 	return reqs
 }
 
+// StepRequests converts one registered workload's packets into the
+// request vector of the equivalent emulated PRAM step, one request
+// per source node (idle processors issue OpNone). The traffic class
+// decides where the step's addresses come from:
+//
+//   - many-one generators (hotspot, khot) carry explicit shared and
+//     private addresses on their packets, so those are used verbatim —
+//     the combining pattern of Theorem 2.6;
+//   - every other class reads the packet's destination as the address
+//     (processor i touches address Dst(i)), so a permutation-class
+//     pattern becomes an EREW-legal step (bijective destinations →
+//     distinct addresses) and a local pattern a distance-bounded one.
+//
+// Note the emulator then hashes each address to its memory module, so
+// an adversarial destination pattern (bitrev, tornado) loses its
+// geometric structure — which is exactly the point of Theorems 2.5
+// and 2.6: hashing makes the step cost pattern-independent.
+func StepRequests(class Class, nodes int, pkts []*packet.Packet) []pram.Request {
+	if class == ClassManyOne {
+		return Requests(nodes, pkts)
+	}
+	reqs := make([]pram.Request, nodes)
+	for i := range reqs {
+		reqs[i] = pram.Request{Proc: i, Op: pram.OpNone}
+	}
+	for _, p := range pkts {
+		op := pram.OpRead
+		if p.Kind == packet.WriteRequest {
+			op = pram.OpWrite
+		}
+		reqs[p.Src] = pram.Request{Proc: p.Src, Op: op, Addr: uint64(p.Dst), Value: p.Value}
+	}
+	return reqs
+}
+
 // RandomStep returns a PRAM request vector in which every processor
 // touches a distinct random address (an EREW-legal step): the
 // workload of Theorems 2.5 and 3.2. Addresses are drawn from
