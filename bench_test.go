@@ -590,6 +590,65 @@ func BenchmarkE17EmulationMatrix(b *testing.B) {
 	}
 }
 
+// BenchmarkE18AsynchronyMatrix — routing under asynchrony: every
+// registered family × a permutation and a many-one workload, priced
+// on the synchronous round engine and on the asynchronous event
+// engine at each fault level of the E18 ladder (none / moderate /
+// harsh). ticks/diam is the asynchronous counterpart of rounds/diam —
+// the last delivery tick over the diameter — and retransmits/op
+// prices the loss recovery of the drop axis explicitly. Cells run on
+// the scenario runner (the same path `-sweep` specs with an engine
+// axis use) at the quick comparable sizes, Workers: 1.
+func BenchmarkE18AsynchronyMatrix(b *testing.B) {
+	sizes := experiments.CrossFamilySizes(true)
+	latency := experiments.E18Latency()
+	for _, family := range topology.Names() {
+		p := sizes[family]
+		bt, err := topology.Build(family, p)
+		if err != nil {
+			b.Fatalf("%s: %v", family, err)
+		}
+		for _, wl := range []string{"perm", "khot"} {
+			gen, _ := workload.Lookup(wl)
+			if gen.Check(bt) != nil {
+				continue // capability-gated pair
+			}
+			run := func(name string, cell scenario.Cell) {
+				b.Run(family+"/"+wl+"/"+name, func(b *testing.B) {
+					ticks, retransmits, diam := 0, 0, 1
+					for i := 0; i < b.N; i++ {
+						cell.Seed = benchSeed + uint64(i)
+						res, err := scenario.RunCell(cell)
+						if err != nil {
+							b.Fatal(err)
+						}
+						ticks += res.RoundsMax
+						retransmits += res.Retransmits
+						diam = res.Diameter
+					}
+					b.ReportMetric(float64(ticks)/float64(b.N)/float64(diam), "ticks/diam")
+					b.ReportMetric(float64(retransmits)/float64(b.N), "retransmits/op")
+				})
+			}
+			base := scenario.Cell{
+				Topo:    scenario.TopoRef{Family: family, N: p.N, K: p.K, Leveled: bt.Spec != nil},
+				Work:    scenario.WorkRef{Name: wl},
+				Built:   bt, // reuse the built graph so ns/op prices routing, not construction
+				Workers: 1,
+				Trials:  1,
+			}
+			run("round", base)
+			for _, fault := range experiments.E18FaultLevels() {
+				cell := base
+				cell.Engine = scenario.EngineEvent
+				cell.Latency = *latency
+				cell.Fault = fault
+				run("event/"+fault.Name, cell)
+			}
+		}
+	}
+}
+
 // BenchmarkE14CrossFamily — the topology-registry payoff: permutation
 // routing priced on every registered family at comparable sizes, with
 // rounds/diam as the reported metric. The paper's framework predicts

@@ -10,14 +10,21 @@
 // one report line (or one JSON object with -json); -mode erew/crcw
 // prices one emulated PRAM step per trial instead of raw routing
 // (Theorems 2.5/2.6), with the workload as the step's memory-access
-// pattern. With -sweep it instead executes a declarative scenario
-// spec — the cross-product of topology × workload × discipline ×
-// emulation-mode × ablation × engine-workers axes — in parallel over
-// a worker pool, emitting one JSON line per cell in deterministic
-// scenario-key order (the same Result schema as -json, minus the
-// wall-clock fields, so sweep artifacts diff cleanly); -report
-// appends the derived speedup and per-class aggregate rows, which
-// `tables -sweep` renders from a saved artifact.
+// pattern; -engine event prices the same routing on the asynchronous
+// discrete-event engine instead of synchronous rounds, with the link
+// latency model (-latency/-base/-jitter/-lscale/-gap) and fault axes
+// (-linkfail/-repair, -straggler/-stragglerx, -drop/-rto) dialed in
+// from the command line. With -sweep it instead executes a
+// declarative scenario spec — the cross-product of topology ×
+// workload × discipline × emulation-mode × engine × fault × ablation
+// × engine-workers axes — in parallel over a worker pool, emitting
+// one JSON line per cell in deterministic scenario-key order (the
+// same Result schema as -json, minus the wall-clock fields, so sweep
+// artifacts diff cleanly); -report appends the derived speedup and
+// per-class aggregate rows, which `tables -sweep` renders from a
+// saved artifact. `-reportdiff a.jsonl b.jsonl` compares two saved
+// sweep artifacts byte-exactly and exits nonzero on drift — the CI
+// regression gate over checked-in smoke artifacts.
 //
 // Point-to-point families route directly on the graph (Algorithm
 // 2.2) by default; pass -leveled for the Algorithm 2.1 unrolling
@@ -39,13 +46,18 @@
 //	routebench -net star -n 7 -workload relation -json
 //	routebench -net star -n 6 -workload perm -mode erew
 //	routebench -net shuffle -n 4 -workload khot -mode crcw
+//	routebench -net star -n 6 -workload perm -engine event -latency jitter -jitter 3
+//	routebench -net torus -n 8 -k 2 -workload perm -engine event -drop 0.1 -straggler 0.2
 //	routebench -sweep sweeps/smoke.json
 //	routebench -sweep sweeps/emul.json -report
+//	routebench -sweep sweeps/event.json
 //	routebench -sweep - < my-sweep.json
+//	routebench -reportdiff sweeps/expected/event.jsonl BENCH_sweep_event.jsonl
 //	routebench -list
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -53,6 +65,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"pramemu/internal/scenario"
 	"pramemu/internal/topology"
@@ -82,6 +95,25 @@ type config struct {
 	report     bool
 	cpuprofile string
 	memprofile string
+
+	// Event-engine knobs (-engine event): the link latency model and
+	// the fault level of the asynchronous run.
+	engine     string
+	latency    string
+	base       int
+	jitter     int
+	lscale     int
+	gap        int
+	linkFail   float64
+	repair     int
+	straggler  float64
+	stragglerX int
+	drop       float64
+	rto        int
+
+	// reportdiff compares two sweep artifacts byte-exactly.
+	reportdiff bool
+	diffArgs   []string
 }
 
 func main() {
@@ -106,7 +138,21 @@ func main() {
 	flag.BoolVar(&cfg.report, "report", false, "with -sweep: append the derived report rows (workers-axis speedups, per-class aggregates) after the result lines")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the routing trials to this file")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile (taken after the trials) to this file")
+	flag.StringVar(&cfg.engine, "engine", "round", "pricing engine: round (synchronous rounds) or event (asynchronous discrete-event simulation in ticks)")
+	flag.StringVar(&cfg.latency, "latency", "fixed", "event link-latency model: fixed, jitter or matrix")
+	flag.IntVar(&cfg.base, "base", 1, "event base link latency in ticks")
+	flag.IntVar(&cfg.jitter, "jitter", 0, "event uniform extra-latency span (jitter model)")
+	flag.IntVar(&cfg.lscale, "lscale", 0, "event coordinate-grid side of the matrix model (0 = default 8)")
+	flag.IntVar(&cfg.gap, "gap", 1, "event sender-side bandwidth cap: min ticks between transmission starts per link")
+	flag.Float64Var(&cfg.linkFail, "linkfail", 0, "event probability a link starts in a transient outage")
+	flag.IntVar(&cfg.repair, "repair", 0, "event outage-duration bound in ticks (0 = default 8*base)")
+	flag.Float64Var(&cfg.straggler, "straggler", 0, "event per-node slowdown probability")
+	flag.IntVar(&cfg.stragglerX, "stragglerx", 0, "event straggler slowdown multiple (0 = default 4)")
+	flag.Float64Var(&cfg.drop, "drop", 0, "event per-transmission loss probability (< 1; sender retransmits)")
+	flag.IntVar(&cfg.rto, "rto", 0, "event retransmit timeout in ticks (0 = default 4*(base+jitter))")
+	flag.BoolVar(&cfg.reportdiff, "reportdiff", false, "compare the two JSONL artifacts named as arguments byte-exactly; nonzero exit on drift")
 	flag.Parse()
+	cfg.diffArgs = flag.Args()
 
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "routebench: %v\n", err)
@@ -124,6 +170,9 @@ type result = scenario.Result
 func run(w io.Writer, cfg config) (err error) {
 	if cfg.list {
 		return list(w)
+	}
+	if cfg.reportdiff {
+		return runReportDiff(w, cfg.diffArgs)
 	}
 	if cfg.cpuprofile != "" {
 		f, ferr := os.Create(cfg.cpuprofile)
@@ -161,7 +210,7 @@ func run(w io.Writer, cfg config) (err error) {
 // cell maps the single-run flags onto one scenario grid cell. The
 // h-relation height keeps its historical default of max(2, n).
 func cell(cfg config) scenario.Cell {
-	return scenario.Cell{
+	c := scenario.Cell{
 		Topo:       scenario.TopoRef{Family: cfg.net, N: cfg.n, K: cfg.k, Leveled: cfg.useLeveled},
 		Work:       scenario.WorkRef{Name: cfg.workload, H: max(2, cfg.n), D: cfg.locality},
 		Algorithm:  cfg.alg,
@@ -174,6 +223,63 @@ func cell(cfg config) scenario.Cell {
 		Hashed:     cfg.hashed,
 		Timing:     true,
 	}
+	if cfg.engine != "" && cfg.engine != scenario.EngineRound {
+		c.Engine = cfg.engine
+		c.Latency = scenario.LatencySpec{
+			Model:  cfg.latency,
+			Base:   cfg.base,
+			Jitter: cfg.jitter,
+			Scale:  cfg.lscale,
+			Gap:    cfg.gap,
+		}
+		c.Fault = scenario.FaultSpec{
+			LinkFailure:     cfg.linkFail,
+			RepairTime:      cfg.repair,
+			Straggler:       cfg.straggler,
+			StragglerFactor: cfg.stragglerX,
+			Drop:            cfg.drop,
+			RetransmitAfter: cfg.rto,
+		}
+	}
+	return c
+}
+
+// runReportDiff is the CI regression gate over sweep artifacts: the
+// two JSONL files must match byte for byte. On drift it names the
+// first differing line of each and errors (nonzero exit from main).
+func runReportDiff(w io.Writer, paths []string) error {
+	if len(paths) != 2 {
+		return fmt.Errorf("reportdiff: want exactly two artifact paths, got %d", len(paths))
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		return fmt.Errorf("reportdiff: %w", err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		return fmt.Errorf("reportdiff: %w", err)
+	}
+	if bytes.Equal(a, b) {
+		fmt.Fprintf(w, "reportdiff: %s and %s are identical (%d bytes)\n", paths[0], paths[1], len(a))
+		return nil
+	}
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		la, lb := "<absent>", "<absent>"
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if la != lb {
+			return fmt.Errorf("reportdiff: artifacts drift at line %d:\n%s: %s\n%s: %s",
+				i+1, paths[0], la, paths[1], lb)
+		}
+	}
+	// Same lines but unequal bytes: a trailing-newline mismatch.
+	return fmt.Errorf("reportdiff: artifacts differ only in trailing bytes (%d vs %d)", len(a), len(b))
 }
 
 // runSweep reads the spec from the file (or stdin with "-"), runs the
@@ -242,6 +348,12 @@ func list(w io.Writer) error {
 func report(w io.Writer, cfg config, res result) error {
 	if cfg.jsonOut {
 		return json.NewEncoder(w).Encode(res)
+	}
+	if res.Engine != "" {
+		fmt.Fprintf(w, "%s %s engine=%s fault=%s: delivered mean=%.1f max=%d ticks (ticks/diam=%.2f) retransmits=%d maxQ=%d\n",
+			res.Topology, res.Workload, res.Engine, res.Fault, res.RoundsMean, res.RoundsMax,
+			res.RoundsPerDiam, res.Retransmits, res.MaxQueue)
+		return nil
 	}
 	if res.Mode != "" {
 		fmt.Fprintf(w, "%s %s mode=%s: step cost mean=%.1f max=%d (cost/diam=%.2f) merges=%d rehashes=%d maxQ=%d\n",

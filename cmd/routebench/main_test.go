@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"pramemu/internal/scenario"
 )
 
 // The smoke tests run each main path in-process on a tiny
@@ -379,6 +381,188 @@ func TestRunSweepReport(t *testing.T) {
 	if results != 4 || speedups != 4 || classes != 2 {
 		t.Fatalf("unexpected row mix: %d results, %d speedups, %d classes:\n%s",
 			results, speedups, classes, b.String())
+	}
+}
+
+// TestRunEventEngine drives -engine event end to end: the single-run
+// report line prices delivered ticks and retransmits, the JSON object
+// carries the engine/fault fields, and bad knobs error cleanly.
+func TestRunEventEngine(t *testing.T) {
+	var b strings.Builder
+	cfg := config{
+		net: "star", n: 4, workload: "perm", trials: 2, seed: 7,
+		engine: "event", latency: "jitter", base: 1, jitter: 2, gap: 1,
+		drop: 0.2, rto: 4,
+	}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "engine=event") || !strings.Contains(b.String(), "retransmits=") {
+		t.Fatalf("unexpected event report %q", b.String())
+	}
+	b.Reset()
+	cfg.jsonOut = true
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal([]byte(b.String()), &res); err != nil {
+		t.Fatalf("event JSON malformed: %v\n%s", err, b.String())
+	}
+	if res.Engine != "event" || res.Fault != "dp0.2t4" || res.RoundsMean <= 0 {
+		t.Fatalf("unexpected event fields: %+v", res)
+	}
+	// Unknown engines and invalid fault knobs error with the knob named.
+	if err := run(&b, config{net: "star", n: 4, workload: "perm", trials: 1, engine: "quantum"}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if err := run(&b, config{
+		net: "star", n: 4, workload: "perm", trials: 1,
+		engine: "event", latency: "fixed", base: 1, gap: 1, drop: 1,
+	}); err == nil || !strings.Contains(err.Error(), "drop") {
+		t.Fatalf("drop=1 run: want a drop-probability error, got %v", err)
+	}
+	// The event engine prices raw routing only; combining it with a
+	// PRAM emulation mode is rejected, not silently ignored.
+	if err := run(&b, config{
+		net: "star", n: 4, workload: "perm", trials: 1, mode: "erew",
+		engine: "event", latency: "fixed", base: 1, gap: 1,
+	}); err == nil || !strings.Contains(err.Error(), "synchronous rounds") {
+		t.Fatalf("event+erew run: want the engine/mode conflict error, got %v", err)
+	}
+}
+
+// TestRunReportDiff pins the -reportdiff gate: identical artifacts
+// pass, a one-byte drift errors naming the differing line, and wrong
+// usage errors.
+func TestRunReportDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.jsonl")
+	b := filepath.Join(dir, "b.jsonl")
+	c := filepath.Join(dir, "c.jsonl")
+	body := "{\"scenario\":\"x/w=1\",\"rounds_mean\":4}\n{\"scenario\":\"x/w=2\",\"rounds_mean\":4}\n"
+	for path, content := range map[string]string{a: body, b: body, c: strings.Replace(body, "mean\":4}\n{", "mean\":5}\n{", 1)} {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out strings.Builder
+	if err := run(&out, config{reportdiff: true, diffArgs: []string{a, b}}); err != nil {
+		t.Fatalf("identical artifacts flagged: %v", err)
+	}
+	if !strings.Contains(out.String(), "identical") {
+		t.Fatalf("unexpected reportdiff output %q", out.String())
+	}
+	err := run(&out, config{reportdiff: true, diffArgs: []string{a, c}})
+	if err == nil {
+		t.Fatal("drifting artifacts accepted")
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("drift error does not locate the line: %v", err)
+	}
+	if err := run(&out, config{reportdiff: true, diffArgs: []string{a}}); err == nil {
+		t.Fatal("single-artifact reportdiff accepted")
+	}
+	if err := run(&out, config{reportdiff: true, diffArgs: []string{a, filepath.Join(dir, "absent.jsonl")}}); err == nil {
+		t.Fatal("missing artifact accepted")
+	}
+}
+
+// TestRunSweepReportRoundTrip feeds a -sweep -report artifact back
+// through the consumption path: ReadResults must skip the trailing
+// report rows and Report over the parsed results must regenerate the
+// same derived rows (modulo the wall-clock columns the artifact
+// strips from its result lines).
+func TestRunSweepReportRoundTrip(t *testing.T) {
+	spec := `{
+		"topologies": [{"family": "star", "n": 4}, {"family": "torus", "n": 4, "k": 2}],
+		"workloads": [{"name": "perm"}, {"name": "khot", "hot": 2}],
+		"engines": ["round", "event"],
+		"workers": [1, 2],
+		"trials": 2,
+		"seed": 7
+	}`
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run(&b, config{sweep: path, report: true}); err != nil {
+		t.Fatal(err)
+	}
+	artifact := b.String()
+	parsed, err := scenario.ReadResults(strings.NewReader(artifact))
+	if err != nil {
+		t.Fatalf("artifact does not round-trip through ReadResults: %v", err)
+	}
+	resultLines := 0
+	for _, line := range strings.Split(strings.TrimSpace(artifact), "\n") {
+		if !strings.Contains(line, `"report":`) {
+			resultLines++
+		}
+	}
+	if len(parsed) != resultLines || resultLines == 0 {
+		t.Fatalf("ReadResults kept %d of %d result lines", len(parsed), resultLines)
+	}
+	sawEvent := false
+	for _, r := range parsed {
+		if r.Engine == "event" {
+			sawEvent = true
+		}
+	}
+	if !sawEvent {
+		t.Fatal("round-tripped sweep lost its event cells")
+	}
+	// Rebuilding the report from the parsed results must produce the
+	// artifact's derived rows: same groups, workers and rounds. The
+	// speedup column is wall-clock-derived and the artifact's result
+	// lines are stripped of timing, so it regenerates as zero — blank
+	// it on both sides before comparing.
+	rebuilt := scenario.Report(parsed)
+	var fromArtifact []scenario.ReportRow
+	for _, line := range strings.Split(strings.TrimSpace(artifact), "\n") {
+		if !strings.Contains(line, `"report":`) {
+			continue
+		}
+		var row scenario.ReportRow
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("report row malformed: %v\n%s", err, line)
+		}
+		row.Speedup, row.RoundsPerSec = 0, 0
+		fromArtifact = append(fromArtifact, row)
+	}
+	if len(rebuilt) != len(fromArtifact) {
+		t.Fatalf("rebuilt %d report rows, artifact has %d", len(rebuilt), len(fromArtifact))
+	}
+	for i := range rebuilt {
+		row := rebuilt[i]
+		row.Speedup, row.RoundsPerSec = 0, 0
+		if row != fromArtifact[i] {
+			t.Fatalf("report row %d drifted in the round trip:\n%+v\n%+v", i, row, fromArtifact[i])
+		}
+	}
+}
+
+// TestRunSweepsMatchExpectedArtifacts is the in-process twin of the
+// CI reportdiff gate: every checked-in sweep spec must reproduce its
+// checked-in expected artifact byte for byte, whatever this machine's
+// pool width. Drift means a behavior change — regenerate the
+// expectation (see sweeps/README.md) when it is intentional.
+func TestRunSweepsMatchExpectedArtifacts(t *testing.T) {
+	for _, name := range []string{"smoke", "emul", "event"} {
+		var b strings.Builder
+		spec := filepath.Join("..", "..", "sweeps", name+".json")
+		if err := run(&b, config{sweep: spec}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		expected := filepath.Join("..", "..", "sweeps", "expected", name+".jsonl")
+		want, err := os.ReadFile(expected)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b.String() != string(want) {
+			t.Fatalf("%s sweep drifted from %s — regenerate it if the change is intentional", name, expected)
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"testing"
 
+	"pramemu/internal/engine"
 	"pramemu/internal/leveled"
 	"pramemu/internal/mesh"
 	"pramemu/internal/packet"
@@ -305,6 +306,96 @@ func TestWorkerEquivalenceDenseHashed(t *testing.T) {
 						if gotTraces[i] != wantTraces[i] {
 							t.Fatalf("seed %d: workers=%d hashed=%v packet %d trace diverged:\nwant: %+v\ngot:  %+v",
 								seed, v.workers, v.hashed, i, wantTraces[i], gotTraces[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// eventFaulty is a kitchen-sink asynchronous configuration — jittered
+// latency, transient outages, stragglers and packet loss all at once.
+func eventFaulty() *engine.EventOptions {
+	return &engine.EventOptions{
+		Model:           engine.LatencyJitter,
+		Base:            1,
+		Jitter:          2,
+		LinkFailure:     0.1,
+		Straggler:       0.2,
+		Drop:            0.1,
+		RetransmitAfter: 4,
+	}
+}
+
+// eventCases routes on the asynchronous event engine through both
+// simulator layers, faults dialed in.
+func eventCases() []simCase {
+	return []simCase{
+		{"star5-event", func(seed uint64, workers int) (any, []ptrace) {
+			g := star.New(5)
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			st := mustSimRoute(g, pkts, simnet.Options{
+				Seed: seed * 31, Workers: workers, Event: eventFaulty(),
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"torus8x3-event", func(seed uint64, workers int) (any, []ptrace) {
+			g := torus.New(8, 3)
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			st := mustSimRoute(g, pkts, simnet.Options{
+				Seed: seed * 31, Workers: workers, Event: eventFaulty(),
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"star5-event-replies", func(seed uint64, workers int) (any, []ptrace) {
+			// Replies + combining: the event loop carries the request
+			// pass, the reply fan-out and the merge hooks alike.
+			g := star.New(5)
+			pkts := readHotSpots(g.Nodes(), seed)
+			st := mustSimRoute(g, pkts, simnet.Options{
+				Seed: seed * 31, Replies: true, Combine: true, Workers: workers, Event: eventFaulty(),
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"butterfly7-event-combine", func(seed uint64, workers int) (any, []ptrace) {
+			spec := leveled.NewButterfly(7)
+			pkts := readHotSpots(spec.Width(), seed)
+			st := leveled.Route(spec, pkts, leveled.Options{
+				Seed: seed * 31, Combine: true, Workers: workers, Event: eventFaulty(),
+			})
+			return st, tracesOf(pkts)
+		}},
+	}
+}
+
+// TestWorkerEquivalenceEventEngine extends the invariant to the
+// asynchronous event engine: the Workers knob must be a no-op there —
+// the loop is strictly sequential and every random link property keys
+// to stable entities (link key, node, packet ID), never to shard
+// streams — so a fully faulty configuration produces identical stats
+// and per-packet traces at any worker count, and reruns replay byte
+// for byte. (The name keeps it inside the CI race job's TestWorker
+// filter.)
+func TestWorkerEquivalenceEventEngine(t *testing.T) {
+	seeds := []uint64{7, 1991}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, c := range eventCases() {
+		t.Run(c.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				wantStats, wantTraces := c.run(seed, 1)
+				for _, workers := range []int{4, 0} {
+					gotStats, gotTraces := c.run(seed, workers)
+					if gotStats != wantStats {
+						t.Fatalf("seed %d: event stats diverged between Workers=1 and Workers=%d:\nseq: %+v\npar: %+v",
+							seed, workers, wantStats, gotStats)
+					}
+					for i := range wantTraces {
+						if gotTraces[i] != wantTraces[i] {
+							t.Fatalf("seed %d: packet %d event trace diverged between Workers=1 and Workers=%d:\nseq: %+v\npar: %+v",
+								seed, i, workers, wantTraces[i], gotTraces[i])
 						}
 					}
 				}

@@ -60,6 +60,14 @@ type Options struct {
 	// keys. The two paths produce bit-identical results: insertion
 	// order is canonical either way, and per-round effects commute.
 	MaxKey uint64
+	// Event, when non-nil, selects the asynchronous discrete-event
+	// loop instead of the synchronous round loop: the same injection,
+	// handler and combiner callbacks run over a timestamped min-heap
+	// with per-link latency, bandwidth caps and fault injection (see
+	// EventOptions). The event loop is strictly sequential — its heap
+	// order is the schedule — so Workers and MaxKey are ignored and
+	// results are identical for any setting of either.
+	Event *EventOptions
 }
 
 // Ctx is the per-shard execution context handed to Handler, Combiner
@@ -143,6 +151,8 @@ type Engine struct {
 	mask     uint64
 	newQueue func() queue.Discipline
 	dense    bool
+	seed     uint64
+	event    *EventOptions // nil = synchronous round loop
 
 	// Per-run state referenced by the preallocated phase closures, so
 	// a steady-state round performs no closure or interface
@@ -162,6 +172,19 @@ const parallelThreshold = 256
 // New builds an engine. The shard count is the smallest power of two
 // covering the worker count, so each worker owns about one shard.
 func New(opts Options) *Engine {
+	var eventOpts *EventOptions
+	if opts.Event != nil {
+		ev := opts.Event.withDefaults()
+		if err := ev.Validate(); err != nil {
+			panic("engine: " + err.Error())
+		}
+		eventOpts = &ev
+		// The event loop is a single global timestamped order: one
+		// shard, no parallel phases, no dense tables — its link map is
+		// keyed by event time, not shard layout.
+		opts.Workers = 1
+		opts.MaxKey = 0
+	}
 	pool := NewPool(opts.Workers)
 	nshards := 1
 	for nshards < pool.Workers() && nshards < 64 {
@@ -177,6 +200,8 @@ func New(opts Options) *Engine {
 		mask:     uint64(nshards - 1),
 		newQueue: newQueue,
 		dense:    opts.MaxKey > 0 && opts.MaxKey <= denseKeyLimit,
+		seed:     opts.Seed,
+		event:    eventOpts,
 	}
 	shift := uint(bits.TrailingZeros(uint(nshards)))
 	tableSize := 0
@@ -240,6 +265,9 @@ func shardOf(key, mask uint64) int {
 // thereafter (the zero-allocation invariant asserted by
 // TestSteadyStateRoundIsAllocationFree).
 func (e *Engine) Run(inject func(ctx *Ctx), handle Handler, combine Combiner) Stats {
+	if e.event != nil {
+		return e.runEvent(inject, handle, combine)
+	}
 	e.handle, e.combine = handle, combine
 	if inject != nil {
 		inject(&e.shards[0].ctx)

@@ -1,0 +1,521 @@
+package engine
+
+import (
+	"fmt"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/queue"
+)
+
+// The latency-model axis values of EventOptions.Model.
+const (
+	// LatencyFixed gives every link the same crossing time Base.
+	LatencyFixed = "fixed"
+	// LatencyJitter draws each link's crossing time uniformly from
+	// [Base, Base+Jitter] once per run.
+	LatencyJitter = "jitter"
+	// LatencyMatrix places every node at a seeded coordinate on a
+	// Scale×Scale grid and prices each link Base plus the Manhattan
+	// distance between its endpoints — a per-node-pair delay matrix
+	// without materializing n² entries. Links whose endpoints the
+	// simulator cannot name (NodeOf/PeerOf nil) fall back to a uniform
+	// draw over the same range.
+	LatencyMatrix = "matrix"
+)
+
+// EventOptions selects the asynchronous discrete-event loop instead of
+// the synchronous round loop and configures its link model. The event
+// loop serves the same injection/handler/combiner callbacks over a
+// timestamped min-heap of packet events: each link carries a per-run
+// latency drawn from the configured distribution, a sender-side
+// bandwidth cap (one transmission start per Gap ticks), and the three
+// fault axes — transient link outages, straggler nodes, and packet
+// drop with retransmit-after-timeout.
+//
+// Every random property derives from the run seed and a stable entity
+// (link key, node index, packet ID, attempt number) — never from
+// worker or shard streams — so event runs are byte-reproducible for
+// any Workers value and any sweep pool width.
+type EventOptions struct {
+	// Model is the latency distribution: LatencyFixed (default),
+	// LatencyJitter or LatencyMatrix.
+	Model string
+	// Base is the minimum link crossing time in ticks (default 1).
+	// With Base 1, Gap 1 and no faults the event loop reproduces the
+	// synchronous round engine tick for tick.
+	Base int
+	// Jitter is the uniform extra-latency span of LatencyJitter.
+	Jitter int
+	// Scale is the coordinate-grid side of LatencyMatrix (default 8),
+	// bounding the matrix extra latency at 2*(Scale-1).
+	Scale int
+	// Gap is the sender-side bandwidth cap: the minimum number of
+	// ticks between consecutive transmission starts on one link
+	// (default 1 = the round model's one packet per link per tick).
+	Gap int
+
+	// LinkFailure is the probability that a link starts the run in a
+	// transient outage; a failed link carries nothing until its seeded
+	// repair tick (uniform in [1, RepairTime]), so routing always
+	// terminates.
+	LinkFailure float64
+	// RepairTime bounds the outage duration in ticks (default 8*Base).
+	RepairTime int
+	// Straggler is the probability that a node is a straggler; every
+	// link it sends on has latency and gap multiplied by
+	// StragglerFactor. Without a NodeOf hook the draw is per link.
+	Straggler float64
+	// StragglerFactor is the straggler slowdown multiple (default 4).
+	StragglerFactor int
+	// Drop is the per-transmission loss probability; the sender holds
+	// the link and retransmits RetransmitAfter ticks later, counting
+	// one Stats.Retransmits per loss. Must be < 1.
+	Drop float64
+	// RetransmitAfter is the loss-detection timeout in ticks (default
+	// 4*(Base+Jitter)).
+	RetransmitAfter int
+
+	// NodeOf and PeerOf, when set by the simulator, decode a link key
+	// into its sender and receiver node — the entities the straggler
+	// and matrix axes are keyed to. Nodes bounds the node index space.
+	NodeOf func(key uint64) int
+	PeerOf func(key uint64) int
+	Nodes  int
+}
+
+// withDefaults substitutes the documented defaults.
+func (o EventOptions) withDefaults() EventOptions {
+	if o.Model == "" {
+		o.Model = LatencyFixed
+	}
+	if o.Base <= 0 {
+		o.Base = 1
+	}
+	if o.Scale <= 0 {
+		o.Scale = 8
+	}
+	if o.Gap <= 0 {
+		o.Gap = 1
+	}
+	if o.RepairTime <= 0 {
+		o.RepairTime = 8 * o.Base
+	}
+	if o.StragglerFactor <= 1 {
+		o.StragglerFactor = 4
+	}
+	if o.RetransmitAfter <= 0 {
+		o.RetransmitAfter = 4 * (o.Base + o.Jitter)
+	}
+	return o
+}
+
+// Validate rejects impossible knob values; callers converting user
+// input should validate before handing the options to New, which
+// panics on them (an invalid model is a programming error there).
+func (o EventOptions) Validate() error {
+	switch o.Model {
+	case "", LatencyFixed, LatencyJitter, LatencyMatrix:
+	default:
+		return fmt.Errorf("unknown latency model %q (known: %s, %s, %s)",
+			o.Model, LatencyFixed, LatencyJitter, LatencyMatrix)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"link failure", o.LinkFailure}, {"straggler", o.Straggler}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("%s probability %v out of [0,1]", p.name, p.v)
+		}
+	}
+	if o.Drop < 0 || o.Drop >= 1 {
+		return fmt.Errorf("drop probability %v out of [0,1) (1 would never deliver)", o.Drop)
+	}
+	if o.Base < 0 || o.Jitter < 0 || o.Scale < 0 || o.Gap < 0 ||
+		o.RepairTime < 0 || o.StragglerFactor < 0 || o.RetransmitAfter < 0 {
+		return fmt.Errorf("negative event-engine knob")
+	}
+	return nil
+}
+
+// maxDropAttempts bounds the retransmission count per (link, packet)
+// pair: past it the transmission is forced through. The hash draws are
+// independent per attempt, so even at Drop 0.9 the bound triggers with
+// probability ~1e-64; it exists so termination is unconditional.
+const maxDropAttempts = 1 << 6
+
+// The event kinds, in their processing order at equal timestamps. The
+// order reconstructs the round engine's phase structure within a tick:
+// deliveries (the drain) run first, then arrivals enqueue in canonical
+// (key, packet ID) order with the combiner consulted against settled
+// queues (the push), and only then do links start new transmissions —
+// so an arrival can still combine with a packet departing next tick,
+// exactly as it can in the synchronous push phase.
+const (
+	evDeliver = iota // a packet finished crossing its link
+	evArrive         // a packet is ready to enqueue on a link
+	evRetry          // a lost transmission's timeout expired
+	evFree           // a link may be able to start transmitting
+)
+
+// event is one heap entry. The heap orders by (time, kind, key,
+// packet ID) — a total order over distinct events, so the execution
+// sequence is a pure function of the injected traffic and the seed.
+type event struct {
+	at      int64
+	kind    uint8
+	key     uint64
+	p       *packet.Packet // nil on evFree
+	attempt int32          // evRetry: upcoming attempt number
+}
+
+// eventLess is the heap order.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	pa, pb := -1, -1
+	if a.p != nil {
+		pa = a.p.ID
+	}
+	if b.p != nil {
+		pb = b.p.ID
+	}
+	return pa < pb
+}
+
+// eventLink is one link's asynchronous state: its queue, its sampled
+// latency and gap, its transient-outage window and the in-flight
+// packet a retransmission timeout is holding.
+type eventLink struct {
+	q        queue.Discipline
+	inflight *packet.Packet
+	freeAt   int64 // earliest next transmission start (bandwidth cap)
+	downTil  int64 // transient outage: no starts before this tick
+	wakeAt   int64 // pending evFree tick, -1 when none (dedup guard)
+	lat      int64
+	gap      int64
+}
+
+// eventLoop is the per-run state of the asynchronous engine.
+type eventLoop struct {
+	e     *Engine
+	o     EventOptions
+	seed  uint64
+	heap  []event
+	links map[uint64]*eventLink
+	// linkRoot seeds the per-link property streams (latency draw,
+	// outage draw, per-link straggler fallback); nodeRoot the per-node
+	// straggler and coordinate streams. Both split by stable entity
+	// index, so sampled properties are independent of touch order.
+	linkRoot *prng.Source
+	nodeRoot *prng.Source
+	slow     map[int]bool   // straggler verdict per node
+	coord    map[int][2]int // matrix coordinate per node
+}
+
+// mix64 is the splitmix64 finalizer, the stateless hash behind
+// per-attempt drop draws.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// unitDraw maps (seed, link, packet, attempt) to a uniform [0,1)
+// value. Stateless, so a transmission's fate never depends on how
+// work was scheduled — only on what is being transmitted.
+func unitDraw(seed, key, pid, attempt uint64) float64 {
+	h := mix64(seed ^ mix64(key^mix64(pid^mix64(attempt^0x6576656e74)))) // "event"
+	return float64(h>>11) * (1.0 / (1 << 53))
+}
+
+// runEvent executes the asynchronous discrete-event loop: the Event
+// counterpart of the synchronous loop in Run. It is strictly
+// sequential — the heap order is the only schedule — which is what
+// makes the Workers knob a no-op on results rather than a hazard.
+func (e *Engine) runEvent(inject func(ctx *Ctx), handle Handler, combine Combiner) Stats {
+	ev := &eventLoop{
+		e:        e,
+		o:        *e.event,
+		seed:     e.seed,
+		links:    make(map[uint64]*eventLink),
+		linkRoot: prng.New(e.seed ^ 0x5ca1ab1e0ddba11),
+		nodeRoot: prng.New(e.seed ^ 0x0fabacadaba0beef),
+	}
+	ctx := &e.shards[0].ctx
+	if inject != nil {
+		inject(ctx)
+	}
+	ev.harvest(ctx, 0)
+	for len(ev.heap) > 0 {
+		x := ev.pop()
+		switch x.kind {
+		case evDeliver:
+			handle(ctx, Arrival{x.key, x.p}, int(x.at))
+			ev.harvest(ctx, x.at)
+		case evArrive:
+			ev.arrive(ctx, x, combine)
+		case evRetry:
+			l := ev.link(x.key)
+			ev.transmit(ctx, l, x.key, x.p, x.at, x.attempt)
+		case evFree:
+			l := ev.link(x.key)
+			if l.wakeAt == x.at {
+				l.wakeAt = -1
+			}
+			ev.tryStart(ctx, l, x.key, x.at)
+		}
+	}
+	e.clearScratch()
+	var out Stats
+	out.fold(&ctx.stats)
+	for _, v := range ctx.loads {
+		maxInto(&out.MaxModuleLoad, v)
+	}
+	return out
+}
+
+// harvest converts the context's emitted arrivals into evArrive events
+// at tick t. The heap's (key, packet ID) tie-break gives them the same
+// canonical insertion order the round engine's radix sort does.
+func (ev *eventLoop) harvest(ctx *Ctx, t int64) {
+	for s, bucket := range ctx.out {
+		for _, a := range bucket {
+			ev.push(event{at: t, kind: evArrive, key: a.Key, p: a.P})
+		}
+		clear(bucket)
+		ctx.out[s] = bucket[:0]
+	}
+}
+
+// arrive enqueues a packet on its link (or combines it away) and
+// wakes the link. Service never starts here: all of a tick's arrivals
+// settle before any of its transmission starts, mirroring the round
+// engine's push-then-drain phase barrier.
+func (ev *eventLoop) arrive(ctx *Ctx, x event, combine Combiner) {
+	l := ev.link(x.key)
+	if combine != nil && l.q != nil && l.q.Len() > 0 &&
+		combine(ctx, l.q, Arrival{x.key, x.p}) {
+		return
+	}
+	if l.q == nil {
+		l.q = ev.e.shards[0].takeQueue(ev.e)
+	}
+	x.p.EnqueuedAt = int(x.at)
+	l.q.Push(x.p)
+	if n := l.q.Len(); n > ctx.stats.MaxQueue {
+		ctx.stats.MaxQueue = n
+	}
+	ev.wake(l, x.key, x.at)
+}
+
+// wake schedules an evFree at the earliest tick the link could start
+// a transmission, deduplicating against an already-pending wake.
+func (ev *eventLoop) wake(l *eventLink, key uint64, t int64) {
+	if l.inflight != nil || l.q == nil || l.q.Len() == 0 {
+		return
+	}
+	at := t
+	if l.freeAt > at {
+		at = l.freeAt
+	}
+	if l.downTil > at {
+		at = l.downTil
+	}
+	if l.wakeAt == at {
+		return
+	}
+	l.wakeAt = at
+	ev.push(event{at: at, kind: evFree, key: key})
+}
+
+// tryStart pops the link's head packet and begins transmitting it,
+// unless the link is held by a pending retransmission, still inside
+// its bandwidth gap, or down — in which case the wake is re-armed for
+// the blocking tick.
+func (ev *eventLoop) tryStart(ctx *Ctx, l *eventLink, key uint64, t int64) {
+	if l.inflight != nil || l.q == nil || l.q.Len() == 0 {
+		return
+	}
+	start := t
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	if l.downTil > start {
+		start = l.downTil
+	}
+	if start > t {
+		if l.wakeAt != start {
+			l.wakeAt = start
+			ev.push(event{at: start, kind: evFree, key: key})
+		}
+		return
+	}
+	p := l.q.Pop()
+	p.Delay += int(t) - p.EnqueuedAt
+	if l.q.Len() == 0 {
+		sh := &ev.e.shards[0]
+		sh.free = append(sh.free, l.q)
+		l.q = nil
+	}
+	ev.transmit(ctx, l, key, p, t, 0)
+}
+
+// transmit attempts to push p across the link at tick t. A dropped
+// attempt holds the link (head-of-line, as a FIFO sender would) and
+// schedules the retransmission at the timeout; a successful one
+// schedules the delivery at t+latency, advances the bandwidth window
+// and wakes the link for its next queued packet.
+func (ev *eventLoop) transmit(ctx *Ctx, l *eventLink, key uint64, p *packet.Packet, t int64, attempt int32) {
+	if ev.o.Drop > 0 && attempt < maxDropAttempts &&
+		unitDraw(ev.seed, key, uint64(p.ID), uint64(attempt)) < ev.o.Drop {
+		ctx.stats.Retransmits++
+		l.inflight = p
+		ev.push(event{at: t + int64(ev.o.RetransmitAfter), kind: evRetry, key: key, p: p, attempt: attempt + 1})
+		return
+	}
+	l.inflight = nil
+	l.freeAt = t + l.gap
+	ev.push(event{at: t + l.lat, kind: evDeliver, key: key, p: p})
+	ev.wake(l, key, t)
+}
+
+// link returns the link's state, sampling its per-run properties on
+// first touch. Every draw comes from a stream split by the link key
+// (or node index), so the sampled latency, outage and straggler
+// verdicts depend only on the seed and the entity — not on when, or
+// whether, other links were touched first.
+func (ev *eventLoop) link(key uint64) *eventLink {
+	l := ev.links[key]
+	if l != nil {
+		return l
+	}
+	l = &eventLink{wakeAt: -1}
+	src := ev.linkRoot.Split(key)
+	lat := int64(ev.o.Base)
+	switch ev.o.Model {
+	case LatencyJitter:
+		if ev.o.Jitter > 0 {
+			lat += int64(src.Intn(ev.o.Jitter + 1))
+		}
+	case LatencyMatrix:
+		if ev.o.NodeOf != nil && ev.o.PeerOf != nil {
+			lat += ev.pairDelay(ev.o.NodeOf(key), ev.o.PeerOf(key))
+		} else if span := 2 * (ev.o.Scale - 1); span > 0 {
+			lat += int64(src.Intn(span + 1))
+		}
+	}
+	gap := int64(ev.o.Gap)
+	if ev.o.LinkFailure > 0 && src.Float64() < ev.o.LinkFailure {
+		l.downTil = 1 + int64(src.Intn(ev.o.RepairTime))
+	}
+	if ev.o.Straggler > 0 {
+		slow := false
+		if ev.o.NodeOf != nil {
+			slow = ev.nodeSlow(ev.o.NodeOf(key))
+		} else {
+			slow = src.Float64() < ev.o.Straggler
+		}
+		if slow {
+			lat *= int64(ev.o.StragglerFactor)
+			gap *= int64(ev.o.StragglerFactor)
+		}
+	}
+	l.lat, l.gap = lat, gap
+	ev.links[key] = l
+	return l
+}
+
+// nodeSlow memoizes the per-node straggler draw.
+func (ev *eventLoop) nodeSlow(node int) bool {
+	if v, ok := ev.slow[node]; ok {
+		return v
+	}
+	if ev.slow == nil {
+		ev.slow = make(map[int]bool)
+	}
+	v := ev.nodeRoot.Split(uint64(node)).Float64() < ev.o.Straggler
+	ev.slow[node] = v
+	return v
+}
+
+// pairDelay is the LatencyMatrix extra latency: the Manhattan
+// distance between the endpoints' seeded grid coordinates.
+func (ev *eventLoop) pairDelay(a, b int) int64 {
+	ca, cb := ev.nodeCoord(a), ev.nodeCoord(b)
+	dx, dy := ca[0]-cb[0], ca[1]-cb[1]
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return int64(dx + dy)
+}
+
+// nodeCoord memoizes the per-node matrix coordinate.
+func (ev *eventLoop) nodeCoord(node int) [2]int {
+	if c, ok := ev.coord[node]; ok {
+		return c
+	}
+	if ev.coord == nil {
+		ev.coord = make(map[int][2]int)
+	}
+	src := ev.nodeRoot.Split(uint64(node) | 1<<32)
+	c := [2]int{src.Intn(ev.o.Scale), src.Intn(ev.o.Scale)}
+	ev.coord[node] = c
+	return c
+}
+
+// push inserts an event into the min-heap.
+func (ev *eventLoop) push(x event) {
+	h := append(ev.heap, x)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	ev.heap = h
+}
+
+// pop removes and returns the minimum event.
+func (ev *eventLoop) pop() event {
+	h := ev.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{} // drop the packet reference
+	h = h[:last]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		small := i
+		if left < len(h) && eventLess(h[left], h[small]) {
+			small = left
+		}
+		if right < len(h) && eventLess(h[right], h[small]) {
+			small = right
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	ev.heap = h
+	return top
+}

@@ -1,0 +1,256 @@
+// The asynchronous event loop's contract: with unit latency, unit gap
+// and no faults it reproduces the synchronous round engine tick for
+// tick; with latency or faults dialed in it stays seed-deterministic
+// for any Workers value, every packet still arrives, and each fault
+// axis moves the measures it should.
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/queue"
+)
+
+// TestEventUnitLatencyMatchesRoundEngine is the bridge between the
+// two loops: the event engine at its defaults (Base 1, Gap 1, no
+// faults) must reproduce the round engine's statistics and per-packet
+// traces exactly — the heap's (time, kind, key, ID) order replays the
+// drain/push/start phase structure of a synchronous round within each
+// tick.
+func TestEventUnitLatencyMatchesRoundEngine(t *testing.T) {
+	const npkts, starts, length = 600, 40, 60
+	roundSt, roundTr := lineRunOpts(t, Options{Workers: 1, Seed: 42}, npkts, starts, length)
+	eventSt, eventTr := lineRunOpts(t, Options{Workers: 1, Seed: 42, Event: &EventOptions{}}, npkts, starts, length)
+	if eventSt != roundSt {
+		t.Fatalf("unit-latency event stats diverged from round engine:\nevent: %+v\nround: %+v", eventSt, roundSt)
+	}
+	for i := range eventTr {
+		if eventTr[i] != roundTr[i] {
+			t.Fatalf("packet %d trace %v != round engine %v", i, eventTr[i], roundTr[i])
+		}
+	}
+}
+
+// faultyOpts is a kitchen-sink event configuration exercising every
+// axis at once.
+func faultyOpts(workers int) Options {
+	return Options{Workers: workers, Seed: 42, Event: &EventOptions{
+		Model:           LatencyJitter,
+		Base:            2,
+		Jitter:          3,
+		Gap:             2,
+		LinkFailure:     0.2,
+		RepairTime:      10,
+		Straggler:       0.2,
+		StragglerFactor: 3,
+		Drop:            0.15,
+		RetransmitAfter: 5,
+	}}
+}
+
+// TestEventDeterministicAcrossWorkers: the Workers knob must be a
+// no-op on event results — the loop is sequential by construction and
+// every random property keys to stable entities, never shard streams.
+func TestEventDeterministicAcrossWorkers(t *testing.T) {
+	const npkts, starts, length = 400, 30, 40
+	baseSt, baseTr := lineRunOpts(t, faultyOpts(1), npkts, starts, length)
+	if baseSt.DeliveredRequests != npkts {
+		t.Fatalf("delivered %d/%d", baseSt.DeliveredRequests, npkts)
+	}
+	if baseSt.Retransmits == 0 {
+		t.Fatal("a 15% drop run recorded no retransmits")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		st, tr := lineRunOpts(t, faultyOpts(workers), npkts, starts, length)
+		if st != baseSt {
+			t.Fatalf("workers=%d event stats diverged:\n%+v\n%+v", workers, st, baseSt)
+		}
+		for i := range tr {
+			if tr[i] != baseTr[i] {
+				t.Fatalf("workers=%d packet %d trace %v != %v", workers, i, tr[i], baseTr[i])
+			}
+		}
+	}
+	// Two identical invocations replay byte for byte.
+	again, _ := lineRunOpts(t, faultyOpts(1), npkts, starts, length)
+	if again != baseSt {
+		t.Fatalf("same-seed rerun diverged:\n%+v\n%+v", again, baseSt)
+	}
+}
+
+// TestEventLatencyStretchesDeliveredTime: fixed latency b multiplies
+// an uncongested pipeline's delivered time by about b, and a
+// bandwidth gap g throttles a contended link the same way.
+func TestEventLatencyStretchesDeliveredTime(t *testing.T) {
+	// 20 packets on 20 distinct start nodes of a 40-link line: they
+	// follow each other and never queue, so delivered time is pure
+	// latency and scales exactly with Base.
+	const npkts, starts, length = 20, 20, 40
+	base, _ := lineRunOpts(t, Options{Workers: 1, Seed: 7, Event: &EventOptions{}}, npkts, starts, length)
+	slow, _ := lineRunOpts(t, Options{Workers: 1, Seed: 7, Event: &EventOptions{Base: 4}}, npkts, starts, length)
+	if slow.Rounds != 4*base.Rounds {
+		t.Fatalf("4x latency delivered at tick %d, want exactly 4*%d (uncontended pipeline)", slow.Rounds, base.Rounds)
+	}
+	// 100 packets funneled through one source node: the sender-side
+	// gap throttles the bottleneck link.
+	contended, _ := lineRunOpts(t, Options{Workers: 1, Seed: 7, Event: &EventOptions{Gap: 3}}, 100, 1, length)
+	serial, _ := lineRunOpts(t, Options{Workers: 1, Seed: 7, Event: &EventOptions{}}, 100, 1, length)
+	if contended.Rounds <= 2*serial.Rounds {
+		t.Fatalf("gap 3 on a single-source line delivered at tick %d, not ~3x the gap-1 %d", contended.Rounds, serial.Rounds)
+	}
+}
+
+// TestEventDropRetransmits: every loss is counted, every packet still
+// arrives, and the delivered time can only grow.
+func TestEventDropRetransmits(t *testing.T) {
+	const npkts, starts, length = 200, 20, 30
+	base, _ := lineRunOpts(t, Options{Workers: 1, Seed: 9, Event: &EventOptions{}}, npkts, starts, length)
+	opts := Options{Workers: 1, Seed: 9, Event: &EventOptions{Drop: 0.3, RetransmitAfter: 4}}
+	st, _ := lineRunOpts(t, opts, npkts, starts, length)
+	if st.DeliveredRequests != npkts {
+		t.Fatalf("delivered %d/%d under 30%% drop", st.DeliveredRequests, npkts)
+	}
+	if st.Retransmits == 0 {
+		t.Fatal("30% drop recorded no retransmits")
+	}
+	if st.Rounds <= base.Rounds {
+		t.Fatalf("lossy run delivered at tick %d, no later than lossless %d", st.Rounds, base.Rounds)
+	}
+}
+
+// TestEventLinkFailureDelivers: transient outages delay traffic but
+// repair by their seeded tick, so everything still arrives.
+func TestEventLinkFailureDelivers(t *testing.T) {
+	opts := Options{Workers: 1, Seed: 11, Event: &EventOptions{LinkFailure: 0.5, RepairTime: 20}}
+	st, _ := lineRunOpts(t, opts, 200, 20, 30)
+	if st.DeliveredRequests != 200 {
+		t.Fatalf("delivered %d/200 under 50%% link outages", st.DeliveredRequests)
+	}
+	base, _ := lineRunOpts(t, Options{Workers: 1, Seed: 11, Event: &EventOptions{}}, 200, 20, 30)
+	if st.Rounds <= base.Rounds {
+		t.Fatalf("outage run delivered at tick %d, no later than healthy %d", st.Rounds, base.Rounds)
+	}
+}
+
+// TestEventStragglerKeysToNodes: with a NodeOf hook, the straggler
+// verdict is a property of the sending node — every link it sends on
+// slows by the same factor — and the delivered time stretches.
+func TestEventStragglerKeysToNodes(t *testing.T) {
+	mk := func(straggler float64) Options {
+		return Options{Workers: 1, Seed: 13, Event: &EventOptions{
+			Straggler:       straggler,
+			StragglerFactor: 5,
+			NodeOf:          func(key uint64) int { return int(key) },
+			PeerOf:          func(key uint64) int { return int(key) + 1 },
+		}}
+	}
+	base, _ := lineRunOpts(t, mk(0), 200, 20, 30)
+	st, _ := lineRunOpts(t, mk(0.5), 200, 20, 30)
+	if st.DeliveredRequests != 200 {
+		t.Fatalf("delivered %d/200 with stragglers", st.DeliveredRequests)
+	}
+	if st.Rounds <= base.Rounds {
+		t.Fatalf("straggler run delivered at tick %d, no later than %d", st.Rounds, base.Rounds)
+	}
+}
+
+// TestEventMatrixLatency: the per-node-pair delay matrix is seeded —
+// two runs agree — and produces longer delivered times than Base
+// alone on a multi-hop line.
+func TestEventMatrixLatency(t *testing.T) {
+	mk := func() Options {
+		return Options{Workers: 1, Seed: 17, Event: &EventOptions{
+			Model:  LatencyMatrix,
+			Scale:  6,
+			NodeOf: func(key uint64) int { return int(key) },
+			PeerOf: func(key uint64) int { return int(key) + 1 },
+		}}
+	}
+	st1, tr1 := lineRunOpts(t, mk(), 100, 10, 20)
+	st2, tr2 := lineRunOpts(t, mk(), 100, 10, 20)
+	if st1 != st2 {
+		t.Fatalf("matrix runs diverged:\n%+v\n%+v", st1, st2)
+	}
+	for i := range tr1 {
+		if tr1[i] != tr2[i] {
+			t.Fatalf("matrix packet %d trace %v != %v", i, tr1[i], tr2[i])
+		}
+	}
+	base, _ := lineRunOpts(t, Options{Workers: 1, Seed: 17, Event: &EventOptions{}}, 100, 10, 20)
+	if st1.Rounds <= base.Rounds {
+		t.Fatalf("matrix run delivered at tick %d, no later than unit-latency %d", st1.Rounds, base.Rounds)
+	}
+}
+
+// TestEventOptionsValidate pins the knob validation and the New panic
+// on invalid options.
+func TestEventOptionsValidate(t *testing.T) {
+	bad := []EventOptions{
+		{Model: "gaussian"},
+		{Drop: 1},
+		{Drop: -0.1},
+		{LinkFailure: 1.5},
+		{Straggler: -1},
+		{Base: -2},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("options %+v validated", o)
+		}
+	}
+	if err := (EventOptions{Model: LatencyJitter, Jitter: 3, Drop: 0.5}).Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("New accepted an invalid event model")
+		}
+		if !strings.Contains(r.(string), "latency model") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	New(Options{Event: &EventOptions{Model: "gaussian"}})
+}
+
+// TestEventCombinerRuns: combining still applies on the event path —
+// the arrival phase consults the combiner against settled queues just
+// as the synchronous push phase does.
+func TestEventCombinerRuns(t *testing.T) {
+	a := packet.New(0, 0, 1, packet.ReadRequest)
+	b := packet.New(1, 0, 1, packet.ReadRequest)
+	a.Addr, b.Addr = 7, 7
+	eng := New(Options{Event: &EventOptions{}})
+	st := eng.Run(func(ctx *Ctx) {
+		ctx.Emit(0, a)
+		ctx.Emit(0, b)
+	}, func(ctx *Ctx, ar Arrival, round int) {
+		ctx.Stats().DeliveredRequests += ar.P.TotalCombined()
+	}, func(ctx *Ctx, q queue.Discipline, ar Arrival) bool {
+		var host *packet.Packet
+		q.Each(func(c *packet.Packet) bool {
+			if c.Addr == ar.P.Addr {
+				host = c
+				return false
+			}
+			return true
+		})
+		if host == nil {
+			return false
+		}
+		host.Combine(ar.P, 0)
+		ctx.Stats().Merges++
+		return true
+	})
+	if st.Merges != 1 {
+		t.Fatalf("merges %d, want 1", st.Merges)
+	}
+	if st.DeliveredRequests != 2 {
+		t.Fatalf("delivered %d constituents, want 2", st.DeliveredRequests)
+	}
+	if st.MaxQueue != 1 {
+		t.Fatalf("max queue %d, want 1 (second packet combined, not queued)", st.MaxQueue)
+	}
+}

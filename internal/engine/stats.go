@@ -23,6 +23,9 @@ type Stats struct {
 	DeliveredReplies  int
 	// Merges counts combining events (Theorem 2.6).
 	Merges int
+	// Retransmits counts dropped transmissions the event engine's
+	// senders retried (always zero on synchronous round runs).
+	Retransmits int
 	// MaxModuleLoad is the largest per-node load accumulated through
 	// Ctx.AddLoad, computed at fold time from the merged per-node sums.
 	MaxModuleLoad int
@@ -41,6 +44,7 @@ func (s *Stats) fold(o *Stats) {
 	s.DeliveredRequests += o.DeliveredRequests
 	s.DeliveredReplies += o.DeliveredReplies
 	s.Merges += o.Merges
+	s.Retransmits += o.Retransmits
 	maxInto(&s.MaxModuleLoad, o.MaxModuleLoad)
 	for i := range s.Aux {
 		maxInto(&s.Aux[i], o.Aux[i])

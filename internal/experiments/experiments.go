@@ -5,11 +5,13 @@
 // EXPERIMENTS.md records. The benchmark harness (bench_test.go) and
 // the cmd/tables binary both drive these functions; benchmarks use
 // reduced trial counts, cmd/tables the defaults. The grid experiments
-// (E2, E3, E10, E14, E16, E17) are declarative scenario sweeps over
-// the topology and workload registries — their hand-rolled routing
-// loops live in internal/scenario now, and E17 additionally sweeps
-// the emulation-mode axis (erew/crcw PRAM steps instead of raw
-// routing).
+// (E2, E3, E10, E14, E16, E17, E18) are declarative scenario sweeps
+// over the topology and workload registries — their hand-rolled
+// routing loops live in internal/scenario now, E17 additionally
+// sweeps the emulation-mode axis (erew/crcw PRAM steps instead of raw
+// routing), and E18 sweeps the engine and fault axes (asynchronous
+// event-driven delivery under link latency, outages, stragglers and
+// packet loss, against the synchronous round baseline).
 package experiments
 
 import (
@@ -823,6 +825,73 @@ func E17EmulationMatrix(o Options) *metrics.Table {
 	return t
 }
 
+// E18Latency is the link model E18 dials into its event cells: unit
+// base latency with two ticks of uniform jitter — enough asynchrony
+// to break the synchronous-round lockstep without dominating the
+// routing time itself.
+func E18Latency() *scenario.LatencySpec {
+	return &scenario.LatencySpec{Model: "jitter", Jitter: 2}
+}
+
+// E18FaultLevels is the canonical fault ladder of E18: a fault-free
+// level (isolating pure asynchrony against the synchronous baseline),
+// a moderate level and a harsh one combining transient link outages,
+// straggler nodes and packet loss with retransmission.
+func E18FaultLevels() []scenario.FaultSpec {
+	return []scenario.FaultSpec{
+		{Name: "none"},
+		{Name: "moderate", LinkFailure: 0.05, Straggler: 0.1, Drop: 0.05},
+		{Name: "harsh", LinkFailure: 0.2, Straggler: 0.25, StragglerFactor: 4, Drop: 0.15},
+	}
+}
+
+// E18AsynchronyMatrix prices routing under asynchrony: every
+// registered family × a permutation and a many-one workload, on the
+// synchronous round engine (the baseline every other experiment
+// reports) and on the asynchronous event engine at each fault level
+// of the E18 ladder. delivered/diam is the asynchronous counterpart
+// of rounds/diam — the last delivery tick over the diameter — and the
+// paper's Õ(diameter) bound degrades gracefully along the ladder:
+// jitter alone costs a small constant factor, and even the harsh
+// level (outages + stragglers + 15% loss) stays diameter-tracking,
+// with the retransmit column pricing the loss recovery explicitly.
+// Like E16/E17, sizes are the quick comparable table: the matrix is
+// wide, so each cell stays small.
+func E18AsynchronyMatrix(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E18 (asynchrony) event engine vs synchronous rounds: every family x workload x fault level",
+		"family", "workload", "engine", "fault", "N", "diam", "delivered(mean)", "delivered/diam", "retransmits", "maxQ")
+	topos, _ := registryTopos(true)
+	results := mustSweep(scenario.Spec{
+		Topologies:       topos,
+		Workloads:        []scenario.WorkRef{{Name: "perm"}, {Name: "khot"}},
+		Engines:          []string{scenario.EngineRound, scenario.EngineEvent},
+		Latency:          E18Latency(),
+		Faults:           E18FaultLevels(),
+		Trials:           o.Trials,
+		Seed:             o.Seed,
+		SkipIncompatible: true,
+	})
+	for _, r := range results {
+		eng, fault := r.Engine, r.Fault
+		if eng == "" {
+			eng = scenario.EngineRound
+			fault = "-"
+		}
+		t.AddRow(r.Family,
+			r.Workload,
+			eng,
+			fault,
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Diameter),
+			fmtF(r.RoundsMean),
+			fmtF(r.RoundsPerDiam),
+			fmt.Sprintf("%d", r.Retransmits),
+			fmt.Sprintf("%d", r.MaxQueue))
+	}
+	return t
+}
+
 // maxDegree samples nodes for the graph's characteristic (maximum)
 // degree — node 0 alone would report a mesh corner as degree 2.
 func maxDegree(g topology.Graph) int {
@@ -857,5 +926,6 @@ func All(o Options) []*metrics.Table {
 		E14CrossFamily(o),
 		E16ScenarioMatrix(o),
 		E17EmulationMatrix(o),
+		E18AsynchronyMatrix(o),
 	}
 }

@@ -13,8 +13,8 @@ func TestAllExperimentsProduceRows(t *testing.T) {
 		t.Skip("experiment sweep in -short mode")
 	}
 	tables := All(quick())
-	if len(tables) != 15 {
-		t.Fatalf("expected 15 experiment tables, got %d", len(tables))
+	if len(tables) != 16 {
+		t.Fatalf("expected 16 experiment tables, got %d", len(tables))
 	}
 	for i, tb := range tables {
 		if tb.Rows() == 0 {
@@ -108,6 +108,53 @@ func TestE12SortingMuchSlower(t *testing.T) {
 		if ratio < 2 {
 			t.Fatalf("sorting/routing ratio %.2f below 2\n%s", ratio, tb)
 		}
+	}
+}
+
+// TestE18EventRowsCoverEveryFamily pins E18's shape: every family in
+// the registry appears with both a synchronous baseline row and
+// event-mode rows at each fault level, the fault-free event rows stay
+// retransmit-free, and the harsh rows record retransmits somewhere.
+func TestE18EventRowsCoverEveryFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tb := E18AsynchronyMatrix(quick())
+	lines := dataLines(tb.String())
+	families := map[string]map[string]bool{}
+	harshRetransmits := 0
+	for _, line := range lines {
+		f := strings.Fields(line)
+		// columns: family workload engine fault N diam delivered(mean)
+		// delivered/diam retransmits maxQ
+		family, eng, fault := f[0], f[2], f[3]
+		if families[family] == nil {
+			families[family] = map[string]bool{}
+		}
+		families[family][eng+"/"+fault] = true
+		retr, err := strconv.Atoi(f[len(f)-2])
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		if eng == "event" && fault == "none" && retr != 0 {
+			t.Fatalf("fault-free event row records retransmits:\n%s", line)
+		}
+		if eng == "round" && retr != 0 {
+			t.Fatalf("synchronous row records retransmits:\n%s", line)
+		}
+		if fault == "harsh" {
+			harshRetransmits += retr
+		}
+	}
+	for family, cells := range families {
+		for _, want := range []string{"round/-", "event/none", "event/moderate", "event/harsh"} {
+			if !cells[want] {
+				t.Fatalf("family %s lacks the %s cell: %v", family, want, cells)
+			}
+		}
+	}
+	if harshRetransmits == 0 {
+		t.Fatal("harsh fault level (15% drop) recorded no retransmits anywhere")
 	}
 }
 

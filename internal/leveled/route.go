@@ -39,6 +39,13 @@ type Options struct {
 	// are bit-identical either way; the knob exists for benchmarking
 	// the fallback and for path-coverage tests.
 	HashedKeys bool
+	// Event, when non-nil, routes on the asynchronous discrete-event
+	// engine instead of synchronous rounds (see engine.EventOptions).
+	// The router fills the node-decoding hooks so the straggler and
+	// delay-matrix axes key to width-space nodes (a straggler node is
+	// slow in every column). Stats.Rounds then reports the last
+	// delivery tick (the delivered time).
+	Event *engine.EventOptions
 }
 
 // Stats reports the outcome of one routing run.
@@ -63,6 +70,9 @@ type Stats struct {
 	DeliveredReplies int
 	// Merges counts combining events (Theorem 2.6).
 	Merges int
+	// Retransmits counts dropped transmissions the event engine's
+	// senders retried (zero on synchronous runs).
+	Retransmits int
 	// MaxModuleLoad is the largest number of (un-combined) requests
 	// delivered to a single last-column node.
 	MaxModuleLoad int
@@ -131,7 +141,26 @@ func Route(spec Spec, pkts []*packet.Packet, opts Options) Stats {
 	if !opts.Replies && !opts.HashedKeys {
 		maxKey = uint64(r.logical-1) * r.width * r.degree
 	}
-	eng := engine.New(engine.Options{Workers: opts.Workers, Seed: opts.Seed, MaxKey: maxKey})
+	engOpts := engine.Options{Workers: opts.Workers, Seed: opts.Seed, MaxKey: maxKey}
+	if opts.Event != nil {
+		ev := *opts.Event
+		ev.Nodes = spec.Width()
+		ev.NodeOf = func(key uint64) int {
+			if key&reverseBit != 0 {
+				return int((key >> 24) & 0xffffff)
+			}
+			return int((key / r.degree) % r.width)
+		}
+		ev.PeerOf = func(key uint64) int {
+			if key&reverseBit != 0 {
+				return int(key & 0xffffff)
+			}
+			cell := key / r.degree
+			return r.spec.Out(r.physLevel(int(cell/r.width)), int(cell%r.width), int(key%r.degree))
+		}
+		engOpts.Event = &ev
+	}
+	eng := engine.New(engOpts)
 	var combiner engine.Combiner
 	if opts.Combine {
 		combiner = r.combine
@@ -167,6 +196,7 @@ func Route(spec Spec, pkts []*packet.Packet, opts Options) Stats {
 		DeliveredRequests: st.DeliveredRequests,
 		DeliveredReplies:  st.DeliveredReplies,
 		Merges:            st.Merges,
+		Retransmits:       st.Retransmits,
 		MaxModuleLoad:     st.MaxModuleLoad,
 	}
 }

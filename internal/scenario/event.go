@@ -1,0 +1,173 @@
+// The event-engine axis of the sweep layer: the engine axis values,
+// the latency-model and fault-level knobs of the Spec, and their
+// mapping onto engine.EventOptions.
+
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"pramemu/internal/engine"
+)
+
+// The engine axis values.
+const (
+	// EngineRound prices idealized synchronous rounds (the default).
+	EngineRound = "round"
+	// EngineEvent prices the asynchronous discrete-event engine: per-
+	// link latency from the sweep's Latency model, sender-side
+	// bandwidth caps and the fault axes of its FaultSpec level.
+	EngineEvent = "event"
+)
+
+// EngineCheck validates an engine axis value.
+func EngineCheck(name string) error {
+	switch name {
+	case "", EngineRound, EngineEvent:
+		return nil
+	default:
+		return fmt.Errorf("unknown engine %q (known: %s, %s)", name, EngineRound, EngineEvent)
+	}
+}
+
+// LatencySpec configures the event cells' link model. The zero value
+// is fixed unit latency with a unit bandwidth gap — the synchronous
+// round geometry under asynchronous scheduling.
+type LatencySpec struct {
+	// Model is the per-link latency distribution: "fixed" (default),
+	// "jitter" (uniform in [base, base+jitter]) or "matrix" (base plus
+	// the Manhattan distance between the endpoints' seeded coordinates
+	// on a scale×scale grid — a per-node-pair delay matrix).
+	Model string `json:"model,omitempty"`
+	// Base is the minimum link crossing time in ticks (default 1).
+	Base int `json:"base,omitempty"`
+	// Jitter is the uniform extra-latency span of the jitter model.
+	Jitter int `json:"jitter,omitempty"`
+	// Scale is the coordinate-grid side of the matrix model (default 8).
+	Scale int `json:"scale,omitempty"`
+	// Gap is the sender-side bandwidth cap: minimum ticks between
+	// transmission starts on one link (default 1).
+	Gap int `json:"gap,omitempty"`
+}
+
+// withDefaults substitutes the documented defaults (mirroring
+// engine.EventOptions) so key segments show the values a cell runs with.
+func (l LatencySpec) withDefaults() LatencySpec {
+	if l.Model == "" {
+		l.Model = engine.LatencyFixed
+	}
+	if l.Base <= 0 {
+		l.Base = 1
+	}
+	if l.Scale <= 0 {
+		l.Scale = 8
+	}
+	if l.Gap <= 0 {
+		l.Gap = 1
+	}
+	return l
+}
+
+// segment renders the canonical key segment, defaults substituted.
+// Knobs the model does not read are omitted, so explicitly writing an
+// unused default and leaving it zero produce one key (and one cell).
+func (l LatencySpec) segment() string {
+	l = l.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s,b%d", l.Model, l.Base)
+	switch l.Model {
+	case engine.LatencyJitter:
+		fmt.Fprintf(&b, ",j%d", l.Jitter)
+	case engine.LatencyMatrix:
+		fmt.Fprintf(&b, ",s%d", l.Scale)
+	}
+	fmt.Fprintf(&b, ",g%d", l.Gap)
+	return b.String()
+}
+
+// FaultSpec is one fault level of the Faults axis. The zero value is
+// fault-free.
+type FaultSpec struct {
+	// Name labels the level in scenario keys and reports; when empty
+	// the label is derived from the active knobs.
+	Name string `json:"name,omitempty"`
+	// LinkFailure is the probability a link starts the run in a
+	// transient outage, repaired by a seeded tick in [1, RepairTime].
+	LinkFailure float64 `json:"link_failure,omitempty"`
+	// RepairTime bounds the outage duration in ticks (default 8*base).
+	RepairTime int `json:"repair_time,omitempty"`
+	// Straggler is the per-node slowdown probability; a straggler's
+	// outgoing links have latency and gap multiplied by StragglerFactor.
+	Straggler float64 `json:"straggler,omitempty"`
+	// StragglerFactor is the slowdown multiple (default 4).
+	StragglerFactor int `json:"straggler_factor,omitempty"`
+	// Drop is the per-transmission loss probability (< 1); the sender
+	// retransmits after RetransmitAfter ticks, counting retransmits.
+	Drop float64 `json:"drop,omitempty"`
+	// RetransmitAfter is the loss-detection timeout in ticks (default
+	// 4*(base+jitter)).
+	RetransmitAfter int `json:"retransmit_after,omitempty"`
+}
+
+// zero reports whether the level injects no faults.
+func (f FaultSpec) zero() bool {
+	return f.LinkFailure == 0 && f.Straggler == 0 && f.Drop == 0
+}
+
+// Label is the fault level's report label: its Name, a compact knob
+// encoding, or "none".
+func (f FaultSpec) Label() string {
+	if f.Name != "" {
+		return f.Name
+	}
+	if f.zero() {
+		return "none"
+	}
+	var parts []string
+	if f.LinkFailure > 0 {
+		s := fmt.Sprintf("lf%g", f.LinkFailure)
+		if f.RepairTime > 0 {
+			s += fmt.Sprintf("r%d", f.RepairTime)
+		}
+		parts = append(parts, s)
+	}
+	if f.Straggler > 0 {
+		s := fmt.Sprintf("st%g", f.Straggler)
+		if f.StragglerFactor > 0 {
+			s += fmt.Sprintf("x%d", f.StragglerFactor)
+		}
+		parts = append(parts, s)
+	}
+	if f.Drop > 0 {
+		s := fmt.Sprintf("dp%g", f.Drop)
+		if f.RetransmitAfter > 0 {
+			s += fmt.Sprintf("t%d", f.RetransmitAfter)
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, "+")
+}
+
+// eventOptions maps the cell's latency and fault knobs onto the
+// engine's event configuration, validating user input so bad knob
+// values fail with an error before the engine's panic-level check.
+func eventOptions(l LatencySpec, f FaultSpec) (*engine.EventOptions, error) {
+	o := &engine.EventOptions{
+		Model:           l.Model,
+		Base:            l.Base,
+		Jitter:          l.Jitter,
+		Scale:           l.Scale,
+		Gap:             l.Gap,
+		LinkFailure:     f.LinkFailure,
+		RepairTime:      f.RepairTime,
+		Straggler:       f.Straggler,
+		StragglerFactor: f.StragglerFactor,
+		Drop:            f.Drop,
+		RetransmitAfter: f.RetransmitAfter,
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("event engine: %w", err)
+	}
+	return o, nil
+}

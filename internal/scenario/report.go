@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 
 	"pramemu/internal/metrics"
 	"pramemu/internal/workload"
@@ -79,7 +81,18 @@ func speedupRows(results []Result) []ReportRow {
 		if len(group) < 2 {
 			continue
 		}
-		sort.Slice(group, func(i, j int) bool { return group[i].Workers < group[j].Workers })
+		// Order by the EFFECTIVE worker count: the axis value 0 means
+		// GOMAXPROCS (fully parallel), so sorting it first by raw value
+		// would crown the widest run as the "baseline" and invert every
+		// speedup. Ties (0 vs an explicit GOMAXPROCS) break on the raw
+		// value, keeping the order deterministic.
+		sort.Slice(group, func(i, j int) bool {
+			ei, ej := effectiveWorkers(group[i].Workers), effectiveWorkers(group[j].Workers)
+			if ei != ej {
+				return ei < ej
+			}
+			return group[i].Workers < group[j].Workers
+		})
 		baseline := group[0]
 		for _, r := range group {
 			row := ReportRow{
@@ -98,13 +111,52 @@ func speedupRows(results []Result) []ReportRow {
 	return rows
 }
 
+// effectiveWorkers resolves the workers axis value 0 (= GOMAXPROCS)
+// to the width it actually ran with, for baseline ordering.
+func effectiveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
 // workersStrippedKey removes the trailing workers segment from the
 // result's scenario key (reconstructing the key when the result came
-// from a single run and has none).
+// from a single run and has none). The reconstructed fallback carries
+// every axis the sweep key does — topology instance, mode, engine,
+// fault level, discipline, algorithm and the ablations — so two
+// single runs differing only in, say, mode can never collapse into
+// one bogus speedup group.
 func workersStrippedKey(r Result) string {
 	key := r.Scenario
 	if key == "" {
-		key = fmt.Sprintf("%s/%s", r.Family, r.Workload)
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s/%s", r.Topology, r.Workload)
+		if r.Algorithm != "" {
+			fmt.Fprintf(&b, "/alg=%s", r.Algorithm)
+		}
+		if r.Discipline != "" {
+			fmt.Fprintf(&b, "/disc=%s", r.Discipline)
+		}
+		if r.View != "" {
+			fmt.Fprintf(&b, "/view=%s", r.View)
+		}
+		if r.Mode != "" {
+			fmt.Fprintf(&b, "/mode=%s", r.Mode)
+		}
+		if r.Engine != "" {
+			fmt.Fprintf(&b, "/eng=%s", r.Engine)
+			if r.Fault != "" {
+				fmt.Fprintf(&b, "/fault=%s", r.Fault)
+			}
+		}
+		if r.SkipPhase1 {
+			b.WriteString("/nophase1")
+		}
+		if r.Hashed {
+			b.WriteString("/hashedkeys")
+		}
+		return b.String()
 	}
 	suffix := "/w=" + strconv.Itoa(r.Workers)
 	if len(key) >= len(suffix) && key[len(key)-len(suffix):] == suffix {

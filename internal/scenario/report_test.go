@@ -7,6 +7,8 @@ package scenario
 
 import (
 	"bytes"
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -75,6 +77,107 @@ func TestReportTimedSpeedup(t *testing.T) {
 	}
 	if !sawBaseline || !sawRatio {
 		t.Fatalf("timed report missing baselines or ratios: baseline=%v ratio=%v", sawBaseline, sawRatio)
+	}
+}
+
+// TestSpeedupBaselineResolvesAutoWorkers pins the baseline choice on
+// a workers axis containing 0 (= GOMAXPROCS): the widest run must not
+// sort first and become the "baseline" — that inverted every speedup.
+// The baseline is the smallest EFFECTIVE worker count, and every ratio
+// is taken against its throughput.
+func TestSpeedupBaselineResolvesAutoWorkers(t *testing.T) {
+	mk := func(workers int, rps float64) Result {
+		return Result{
+			Family:       "line",
+			Topology:     "line[n=16,k=1]",
+			Workload:     "perm",
+			Workers:      workers,
+			Scenario:     "line[n=16,k=1]/perm[h=1,d=1,f=1,hot=0]/w=" + strconv.Itoa(workers),
+			RoundsMean:   10,
+			RoundsPerSec: rps,
+		}
+	}
+	axis := []Result{mk(0, 400), mk(1, 100), mk(4, 300)}
+	rows := Report(axis)
+	var speedups []ReportRow
+	for _, r := range rows {
+		if r.Report == "speedup" {
+			speedups = append(speedups, r)
+		}
+	}
+	if len(speedups) != 3 {
+		t.Fatalf("%d speedup rows, want 3", len(speedups))
+	}
+	// The expected baseline under the fixed comparator: smallest
+	// effective workers, raw value breaking ties (GOMAXPROCS-dependent,
+	// so compute it the same way rather than hard-coding 1).
+	base := axis[0]
+	for _, r := range axis[1:] {
+		if e, eb := effectiveWorkers(r.Workers), effectiveWorkers(base.Workers); e < eb ||
+			(e == eb && r.Workers < base.Workers) {
+			base = r
+		}
+	}
+	if runtime.GOMAXPROCS(0) > 1 && base.Workers != 1 {
+		t.Fatalf("expected the workers=1 run as baseline on a multi-core box, got %d", base.Workers)
+	}
+	for _, r := range speedups {
+		var src Result
+		for _, a := range axis {
+			if a.Workers == r.Workers {
+				src = a
+			}
+		}
+		want := src.RoundsPerSec / base.RoundsPerSec
+		if r.Speedup != want {
+			t.Fatalf("workers=%d speedup %v, want %v (baseline workers=%d)",
+				r.Workers, r.Speedup, want, base.Workers)
+		}
+	}
+}
+
+// TestWorkersStrippedKeyFallbackSeparatesModes pins the single-run
+// grouping fallback: results without a sweep scenario key but
+// differing in mode, engine/fault or the ablations must land in
+// distinct speedup groups — collapsing them to family/workload mixed
+// an EREW emulation with raw routing in one bogus ratio.
+func TestWorkersStrippedKeyFallbackSeparatesModes(t *testing.T) {
+	variants := []Result{
+		{},
+		{Mode: ModeEREW},
+		{Mode: ModeCRCW, Hashed: true},
+		{Engine: EngineEvent, Fault: "dp0.2t4"},
+		{Discipline: "lifo", SkipPhase1: true},
+	}
+	var results []Result
+	for _, v := range variants {
+		for _, w := range []int{1, 4} {
+			r := v
+			r.Family = "line"
+			r.Topology = "line[n=16,k=1]"
+			r.Workload = "perm"
+			r.Workers = w
+			r.RoundsMean = 10
+			r.RoundsPerSec = float64(100 * w)
+			results = append(results, r)
+		}
+	}
+	rows := speedupRows(results)
+	if len(rows) != len(results) {
+		t.Fatalf("%d speedup rows for %d results", len(rows), len(results))
+	}
+	groups := make(map[string]int)
+	for _, r := range rows {
+		groups[r.Scenario]++
+	}
+	if len(groups) != len(variants) {
+		t.Fatalf("fallback keys collapsed %d variants into %d groups: %v",
+			len(variants), len(groups), groups)
+	}
+	for key, n := range groups {
+		if n != 2 {
+			t.Fatalf("group %q has %d rows, want 2", key, n)
+		}
 	}
 }
 

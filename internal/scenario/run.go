@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pramemu/internal/emul"
+	"pramemu/internal/engine"
 	"pramemu/internal/leveled"
 	"pramemu/internal/mathx"
 	"pramemu/internal/mesh"
@@ -37,8 +38,10 @@ type Result struct {
 	Workload      string  `json:"workload"`
 	Algorithm     string  `json:"algorithm,omitempty"`
 	Discipline    string  `json:"discipline,omitempty"`
-	View          string  `json:"view,omitempty"` // direct(2.2) | leveled(2.1) | mesh(§3.4) | mesh(§3.3)
-	Mode          string  `json:"mode,omitempty"` // erew | crcw; empty = raw routing
+	View          string  `json:"view,omitempty"`   // direct(2.2) | leveled(2.1) | mesh(§3.4) | mesh(§3.3)
+	Mode          string  `json:"mode,omitempty"`   // erew | crcw; empty = raw routing
+	Engine        string  `json:"engine,omitempty"` // "event"; empty = synchronous rounds
+	Fault         string  `json:"fault,omitempty"`  // fault-level label of event cells
 	SkipPhase1    bool    `json:"skip_phase1,omitempty"`
 	Hashed        bool    `json:"hashed,omitempty"`
 	Workers       int     `json:"workers"`
@@ -54,11 +57,16 @@ type Result struct {
 	// combining events and Rehashes the total rehash events across
 	// trials, and MaxModuleLoad the largest per-module request load
 	// observed.
-	Merges        int     `json:"merges,omitempty"`
-	Rehashes      int     `json:"rehashes,omitempty"`
-	MaxModuleLoad int     `json:"max_module_load,omitempty"`
-	ElapsedMS     float64 `json:"elapsed_ms,omitempty"`
-	RoundsPerSec  float64 `json:"rounds_per_sec,omitempty"`
+	Merges        int `json:"merges,omitempty"`
+	Rehashes      int `json:"rehashes,omitempty"`
+	MaxModuleLoad int `json:"max_module_load,omitempty"`
+	// Retransmits totals the event engine's dropped-and-retried
+	// transmissions across trials (zero on round cells). On event
+	// cells RoundsMean/RoundsMax/RoundsPerDiam price delivered time in
+	// ticks rather than synchronous rounds.
+	Retransmits  int     `json:"retransmits,omitempty"`
+	ElapsedMS    float64 `json:"elapsed_ms,omitempty"`
+	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
 }
 
 // RunCell builds the cell's topology, gates its workload through the
@@ -104,10 +112,21 @@ func RunCell(c Cell) (Result, error) {
 	if err := ModeCheck(c.Mode, gen.Class); err != nil {
 		return Result{}, fmt.Errorf("workload %s: %w", c.Work.Name, err)
 	}
+	if c.Engine == EngineRound {
+		c.Engine = ""
+	}
+	if err := EngineCheck(c.Engine); err != nil {
+		return Result{}, err
+	}
+	if c.Engine != "" && c.Mode != "" {
+		return Result{}, fmt.Errorf("the event engine prices raw routing only; %s cells use synchronous rounds", c.Mode)
+	}
 	if c.Mode != "" {
 		return runEmulCell(b, gen, p, c)
 	}
-	if meshRouted(b, c.Topo, gen.Class, c.Mode) {
+	// Event cells route generically even on the mesh: the §3.4
+	// three-stage router is a synchronous construction.
+	if c.Engine == "" && meshRouted(b, c.Topo, gen.Class, c.Mode) {
 		return runMeshCell(b, b.Graph.(*mesh.Grid), gen, p, c)
 	}
 	return runGenericCell(b, gen, p, c)
@@ -291,8 +310,15 @@ func runMeshCell(b topology.Built, g *mesh.Grid, gen workload.Generator, p workl
 func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
 	useSpec := b.Graph == nil || (c.Topo.Leveled && b.Spec != nil)
 	combine := gen.Needs&workload.NeedsCombining != 0
+	var evOpts *engine.EventOptions
+	if c.Engine == EngineEvent {
+		var err error
+		if evOpts, err = eventOptions(c.Latency, c.Fault); err != nil {
+			return Result{}, err
+		}
+	}
 	rounds := make([]int, 0, c.Trials)
-	maxQ := 0
+	maxQ, retransmits := 0, 0
 	arena := packet.NewArena()
 	start := time.Now()
 	for trial := 0; trial < c.Trials; trial++ {
@@ -306,18 +332,20 @@ func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params,
 		if useSpec {
 			st := leveled.Route(b.Spec, pkts, leveled.Options{
 				Seed: s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
-				HashedKeys: c.Hashed, Combine: combine,
+				HashedKeys: c.Hashed, Combine: combine, Event: evOpts,
 			})
 			r, q = st.Rounds, st.MaxQueue
+			retransmits += st.Retransmits
 		} else {
 			st, err := simnet.Route(b.Graph, pkts, simnet.Options{
 				Seed: s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
-				HashedKeys: c.Hashed, Combine: combine,
+				HashedKeys: c.Hashed, Combine: combine, Event: evOpts,
 			})
 			if err != nil {
 				return Result{}, err
 			}
 			r, q = st.Rounds, st.MaxQueue
+			retransmits += st.Retransmits
 		}
 		rounds = append(rounds, r)
 		if q > maxQ {
@@ -336,6 +364,11 @@ func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params,
 		View:       view,
 		MaxQueue:   maxQ,
 		SkipPhase1: c.SkipPhase1,
+	}
+	if c.Engine == EngineEvent {
+		res.Engine = EngineEvent
+		res.Fault = c.Fault.Label()
+		res.Retransmits = retransmits
 	}
 	return finish(res, c, rounds, time.Since(start)), nil
 }

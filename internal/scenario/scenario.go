@@ -93,9 +93,31 @@ type Spec struct {
 	// results, different cost — the A/B pair lands in one artifact).
 	// Default: [false].
 	Hashed []bool `json:"hashed,omitempty"`
+	// Engines is the engine axis: "round" prices idealized synchronous
+	// rounds (the default), "event" the asynchronous discrete-event
+	// engine with the sweep's Latency model and Faults levels. Event
+	// cells route on the generic simulators (the specialized mesh
+	// router is a synchronous construction), so the discipline/
+	// algorithm axis collapses on them, as do the emulation modes
+	// (erew/crcw price the synchronous PRAM step model) and the hashed
+	// ablation (the event loop keeps its own link map).
+	// Default: ["round"].
+	Engines []string `json:"engines,omitempty"`
+	// Engine is the single-value shorthand for Engines.
+	Engine string `json:"engine,omitempty"`
+	// Latency configures the event cells' link model (nil = fixed
+	// unit latency, the synchronous round geometry with asynchronous
+	// scheduling). Round cells ignore it.
+	Latency *LatencySpec `json:"latency,omitempty"`
+	// Faults is the fault-level axis: each entry expands every event
+	// cell into one cell per level (round cells collapse the axis).
+	// Default: one fault-free level.
+	Faults []FaultSpec `json:"faults,omitempty"`
 	// Workers is the round-engine worker axis (1 = sequential; any
 	// value yields identical results, which a sweep over {1, n}
-	// verifies end to end). Default: [1].
+	// verifies end to end). The event engine is sequential by
+	// construction, so on event cells the axis is verified vacuously.
+	// Default: [1].
 	Workers []int `json:"workers,omitempty"`
 	// Trials is the seeded repetition count per cell (default 3).
 	Trials int `json:"trials,omitempty"`
@@ -126,6 +148,16 @@ type Spec struct {
 func (s Spec) withDefaults() Spec {
 	if len(s.Disciplines) == 0 {
 		s.Disciplines = []string{"furthest"}
+	}
+	if s.Engine != "" {
+		s.Engines = append(s.Engines, s.Engine)
+		s.Engine = ""
+	}
+	if len(s.Engines) == 0 {
+		s.Engines = []string{EngineRound}
+	}
+	if len(s.Faults) == 0 {
+		s.Faults = []FaultSpec{{}}
 	}
 	if s.Mode != "" {
 		s.Modes = append(s.Modes, s.Mode)
@@ -169,7 +201,13 @@ type Cell struct {
 	Discipline string // mesh queue discipline; "" = furthest
 	Algorithm  string // mesh routing algorithm; "" = threestage
 	Mode       string // route | erew | crcw; "" = route
-	Workers    int    // round-engine workers (0 = GOMAXPROCS)
+	// Engine selects the pricing engine: "" or "round" the synchronous
+	// round loop, "event" the asynchronous discrete-event loop with
+	// the cell's Latency model and Fault level.
+	Engine     string
+	Latency    LatencySpec // event cells: link latency/bandwidth model
+	Fault      FaultSpec   // event cells: fault level
+	Workers    int         // round-engine workers (0 = GOMAXPROCS)
 	Trials     int
 	Seed       uint64
 	SkipPhase1 bool // ablation: no randomizing phase
@@ -199,6 +237,12 @@ func (c Cell) Key() string {
 	}
 	if c.Mode != "" && c.Mode != ModeRoute {
 		fmt.Fprintf(&b, "/mode=%s", c.Mode)
+	}
+	if c.Engine != "" && c.Engine != EngineRound {
+		fmt.Fprintf(&b, "/eng=%s/lat=%s", c.Engine, c.Latency.segment())
+		if !c.Fault.zero() || c.Fault.Name != "" {
+			fmt.Fprintf(&b, "/fault=%s", c.Fault.Label())
+		}
 	}
 	if c.SkipPhase1 {
 		b.WriteString("/nophase1")
@@ -278,6 +322,28 @@ func (s Spec) cells() ([]Cell, error) {
 			return nil, err
 		}
 	}
+	for _, e := range s.Engines {
+		if err := EngineCheck(e); err != nil {
+			return nil, err
+		}
+	}
+	var specLatency LatencySpec
+	if s.Latency != nil {
+		specLatency = *s.Latency
+	}
+	seenFaults := make(map[string]bool)
+	for _, f := range s.Faults {
+		// Knob validation is engine-independent; the label check keeps
+		// scenario keys unique across the fault axis.
+		if _, err := eventOptions(specLatency, f); err != nil {
+			return nil, err
+		}
+		if label := f.Label(); seenFaults[label] {
+			return nil, fmt.Errorf("scenario: duplicate fault level %q", label)
+		} else {
+			seenFaults[label] = true
+		}
+	}
 	var cells []Cell
 	for _, tr := range s.Topologies {
 		b, err := topology.Build(tr.Family, topology.Params{N: tr.N, K: tr.K})
@@ -314,40 +380,69 @@ func (s Spec) cells() ([]Cell, error) {
 					}
 					return nil, fmt.Errorf("workload %s: %w", wr.Name, err)
 				}
-				// Axes that only some routers honor collapse on the
-				// rest so the grid has no duplicate rows: the
-				// discipline/algorithm axis distinguishes cells the
-				// specialized mesh router serves, the skip-phase-1
-				// ablation every cell except those (the three-stage
-				// mesh router has no such switch).
-				meshSpecial := meshRouted(b, tr, gen.Class, mode)
-				disciplines := s.Disciplines
-				algorithm := s.Algorithm
-				skips := s.SkipPhase1
-				if !meshSpecial {
-					disciplines = []string{""}
-					algorithm = ""
-				} else {
-					skips = []bool{false}
+				// The engine axis collapses on emulation-mode cells:
+				// erew/crcw price the synchronous PRAM step model.
+				engines := s.Engines
+				if mode != "" {
+					engines = []string{EngineRound}
 				}
-				for _, disc := range disciplines {
-					for _, skip := range skips {
-						for _, hashed := range s.Hashed {
-							for _, w := range s.Workers {
-								cells = append(cells, Cell{
-									Topo:       tr,
-									Work:       wr,
-									Built:      b,
-									Discipline: disc,
-									Algorithm:  algorithm,
-									Mode:       mode,
-									Workers:    w,
-									Trials:     s.Trials,
-									Seed:       s.Seed,
-									SkipPhase1: skip,
-									Hashed:     hashed,
-									Timing:     s.Timing,
-								})
+				for _, eng := range engines {
+					if eng == EngineRound {
+						eng = ""
+					}
+					// Axes that only some routers honor collapse on the
+					// rest so the grid has no duplicate rows: the
+					// discipline/algorithm axis distinguishes cells the
+					// specialized mesh router serves, the skip-phase-1
+					// ablation every cell except those (the three-stage
+					// mesh router has no such switch). Event cells route
+					// generically — the §3.4 router is a synchronous
+					// construction — and ignore the hashed ablation (the
+					// event loop keeps its own link map), so both
+					// collapse there; the fault axis expands only on
+					// event cells.
+					meshSpecial := eng == "" && meshRouted(b, tr, gen.Class, mode)
+					disciplines := s.Disciplines
+					algorithm := s.Algorithm
+					skips := s.SkipPhase1
+					if !meshSpecial {
+						disciplines = []string{""}
+						algorithm = ""
+					} else {
+						skips = []bool{false}
+					}
+					hashes := s.Hashed
+					faults := []FaultSpec{{}}
+					var latency LatencySpec
+					if eng != "" {
+						hashes = []bool{false}
+						faults = s.Faults
+						latency = specLatency
+					}
+					for _, disc := range disciplines {
+						for _, skip := range skips {
+							for _, hashed := range hashes {
+								for _, fault := range faults {
+									for _, w := range s.Workers {
+										cells = append(cells, Cell{
+											Topo:       tr,
+											Work:       wr,
+											Built:      b,
+											Discipline: disc,
+											Algorithm:  algorithm,
+											Mode:       mode,
+											Engine:     eng,
+											Latency:    latency,
+											Fault:      fault,
+											Workers:    w,
+											Trials:     s.Trials,
+											Seed:       s.Seed,
+											SkipPhase1: skip,
+											Hashed:     hashed,
+											Timing:     s.Timing,
+										})
+									}
+								}
 							}
 						}
 					}

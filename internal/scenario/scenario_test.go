@@ -64,6 +64,35 @@ func emulSpec() Spec {
 	}
 }
 
+// eventSpec crosses the engine axis (round, event) with a jittered
+// latency model and a two-level fault axis over the three router
+// kinds, so the pool-width property covers the event engine's
+// dispatch paths too.
+func eventSpec() Spec {
+	return Spec{
+		Name: "event-test",
+		Topologies: []TopoRef{
+			{Family: "star", N: 4},
+			{Family: "mesh", N: 4},
+			{Family: "butterfly", N: 3},
+		},
+		Workloads: []WorkRef{
+			{Name: "perm"},
+			{Name: "khot", Hot: 2},
+		},
+		Engines: []string{EngineRound, EngineEvent},
+		Latency: &LatencySpec{Model: "jitter", Jitter: 2},
+		Faults: []FaultSpec{
+			{},
+			{Name: "faulty", LinkFailure: 0.1, Straggler: 0.2, Drop: 0.1},
+		},
+		Workers: []int{1, 4},
+		Trials:  1,
+		Seed:    7,
+		Pool:    1,
+	}
+}
+
 func mustRun(t *testing.T, spec Spec) []Result {
 	t.Helper()
 	results, err := Run(spec)
@@ -87,7 +116,7 @@ func jsonl(t *testing.T, results []Result) string {
 // sweep with the same seed — over the routing grid and over the
 // emulation-mode and ablation axes alike.
 func TestSweepPoolWidthIndependence(t *testing.T) {
-	for name, spec := range map[string]Spec{"route": testSpec(), "emul": emulSpec()} {
+	for name, spec := range map[string]Spec{"route": testSpec(), "emul": emulSpec(), "event": eventSpec()} {
 		seq := spec
 		par := spec
 		par.Pool = 4
@@ -98,6 +127,57 @@ func TestSweepPoolWidthIndependence(t *testing.T) {
 		if a != jsonl(t, mustRun(t, seq)) {
 			t.Fatalf("%s: repeated sweep not deterministic", name)
 		}
+	}
+}
+
+// TestSweepEventGrid pins the engine axis's expansion and results:
+// round cells ride fault-free exactly once, event cells expand the
+// fault axis, the workers axis is vacuously identical on event cells
+// (the loop is sequential whatever the knob says), and the faulty
+// level's drop probability records retransmits somewhere.
+func TestSweepEventGrid(t *testing.T) {
+	results := mustRun(t, eventSpec())
+	byKey := make(map[string]Result)
+	faults := map[string]int{}
+	faultyRetransmits := 0
+	for _, r := range results {
+		if r.Engine == "" {
+			if r.Fault != "" || r.Retransmits != 0 {
+				t.Fatalf("round cell carries event fields: %+v", r)
+			}
+		} else {
+			faults[r.Fault]++
+			if !strings.Contains(r.Scenario, "/eng=event/lat=jitter,b1,j2,g1") {
+				t.Fatalf("event key lacks the latency segment: %q", r.Scenario)
+			}
+			if r.Fault == "faulty" {
+				faultyRetransmits += r.Retransmits
+			}
+			if r.RoundsMean <= 0 {
+				t.Fatalf("degenerate event cell: %+v", r)
+			}
+		}
+		key := strings.TrimSuffix(strings.TrimSuffix(r.Scenario, "/w=1"), "/w=4")
+		if prev, seen := byKey[key]; seen {
+			prevCmp, cmp := prev, r
+			prevCmp.Workers, cmp.Workers, prevCmp.Scenario, cmp.Scenario = 0, 0, "", ""
+			if prevCmp != cmp {
+				t.Fatalf("workers axis diverged for %s:\n%+v\n%+v", key, prev, r)
+			}
+			continue
+		}
+		byKey[key] = r
+	}
+	// Two fault levels expand on event cells only, and each carries the
+	// same number of cells; "none" is the zero level's label.
+	if len(faults) != 2 || faults["none"] == 0 || faults["none"] != faults["faulty"] {
+		t.Fatalf("unexpected fault-level mix: %v", faults)
+	}
+	if faultyRetransmits == 0 {
+		t.Fatal("the faulty level (10% drop) recorded no retransmits anywhere")
+	}
+	if len(byKey)*2 != len(results) {
+		t.Fatalf("%d results for %d worker-collapsed keys", len(results), len(byKey))
 	}
 }
 

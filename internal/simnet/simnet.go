@@ -64,6 +64,14 @@ type Options struct {
 	// Results are bit-identical either way; the knob exists for
 	// benchmarking the fallback and for path-coverage tests.
 	HashedKeys bool
+	// Event, when non-nil, routes on the asynchronous discrete-event
+	// engine instead of synchronous rounds: per-link latency from the
+	// configured distribution, sender-side bandwidth caps and fault
+	// injection (see engine.EventOptions). The simulator fills the
+	// node-decoding hooks so the straggler and delay-matrix axes key
+	// to topology nodes. Stats.Rounds then reports the last delivery
+	// tick (the delivered time).
+	Event *engine.EventOptions
 }
 
 // Stats aggregates one routing run; the fields mirror the measures of
@@ -77,6 +85,7 @@ type Stats struct {
 	DeliveredRequests int
 	DeliveredReplies  int
 	Merges            int
+	Retransmits       int
 	MaxModuleLoad     int
 }
 
@@ -140,7 +149,23 @@ func Route(topo Topology, pkts []*packet.Packet, opts Options) (Stats, error) {
 			}
 		}
 	}
-	eng := engine.New(engine.Options{Workers: opts.Workers, Seed: opts.Seed, MaxKey: maxKey})
+	engOpts := engine.Options{Workers: opts.Workers, Seed: opts.Seed, MaxKey: maxKey}
+	if opts.Event != nil {
+		ev := *opts.Event
+		ev.Nodes = topo.Nodes()
+		if r.slotKeys {
+			stride := r.stride
+			ev.NodeOf = func(key uint64) int { return int(key / stride) }
+			ev.PeerOf = func(key uint64) int { return topo.Neighbor(int(key/stride), int(key%stride)) }
+		} else {
+			// Reply-bearing runs use the packed (from, to) pair encoding
+			// for forward and reverse traffic alike.
+			ev.NodeOf = func(key uint64) int { return int(key >> 24) }
+			ev.PeerOf = func(key uint64) int { return int(key & 0xffffff) }
+		}
+		engOpts.Event = &ev
+	}
+	eng := engine.New(engOpts)
 	var combiner engine.Combiner
 	if opts.Combine {
 		combiner = r.combine
@@ -185,6 +210,7 @@ func Route(topo Topology, pkts []*packet.Packet, opts Options) (Stats, error) {
 		DeliveredRequests: st.DeliveredRequests,
 		DeliveredReplies:  st.DeliveredReplies,
 		Merges:            st.Merges,
+		Retransmits:       st.Retransmits,
 		MaxModuleLoad:     st.MaxModuleLoad,
 	}, nil
 }
