@@ -1,5 +1,5 @@
 // Package pramemu's root benchmark harness: one benchmark per
-// experiment in DESIGN.md's index (E1-E17), regenerating the series
+// experiment in DESIGN.md's index (E1-E19), regenerating the series
 // behind every claim of the paper. Custom metrics report the
 // normalized quantities the theorems bound (rounds/ℓ, rounds/n,
 // cost/diameter, ...) so `go test -bench=.` output reads directly
@@ -676,5 +676,52 @@ func BenchmarkE14CrossFamily(b *testing.B) {
 			b.ReportMetric(float64(rounds)/float64(b.N)/float64(bt.Diameter()), "rounds/diam")
 			b.ReportMetric(float64(bt.Diameter()), "diam")
 		})
+	}
+}
+
+// BenchmarkE19ScaleCeiling — the paged-tables/64-bit-key PR: the E19
+// A/B rungs (quick sizes; the full 16.7M-node ladder lives in the
+// table, not a benchmark loop), each priced once on the flat dense
+// tables and once on the forced paged path. Identical rounds by
+// construction — the engine guarantees bit-identical routing across
+// table states — so the comparison isolates the paged directory's
+// cost: tableB and B/node price the footprint, ns/op the indirection.
+func BenchmarkE19ScaleCeiling(b *testing.B) {
+	ab, _ := experiments.E19Sizes(true)
+	for _, ref := range ab {
+		bt, err := topology.Build(ref.Family, topology.Params{N: ref.N, K: ref.K})
+		if err != nil {
+			b.Fatalf("%s: %v", ref.Family, err)
+		}
+		for _, paged := range []struct {
+			name  string
+			force bool
+		}{{"dense", false}, {"paged", true}} {
+			cell := scenario.Cell{
+				Topo:    ref,
+				Work:    scenario.WorkRef{Name: "perm"},
+				Built:   bt, // reuse the built graph so ns/op prices routing, not construction
+				Workers: 1,
+				Trials:  1,
+				Paged:   paged.force,
+			}
+			b.Run(fmt.Sprintf("%s%d/%s", ref.Family, bt.Nodes(), paged.name), func(b *testing.B) {
+				rounds, diam := 0, 1
+				var last scenario.Result
+				for i := 0; i < b.N; i++ {
+					cell.Seed = benchSeed + uint64(i)
+					res, err := scenario.RunCell(cell)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds += res.RoundsMax
+					diam = res.Diameter
+					last = res
+				}
+				b.ReportMetric(float64(rounds)/float64(b.N)/float64(diam), "rounds/diam")
+				b.ReportMetric(float64(last.TableBytes), "tableB")
+				b.ReportMetric(last.BPerNode, "B/node")
+			})
+		}
 	}
 }

@@ -14,7 +14,14 @@
 // discrete-event engine instead of synchronous rounds, with the link
 // latency model (-latency/-base/-jitter/-lscale/-gap) and fault axes
 // (-linkfail/-repair, -straggler/-stragglerx, -drop/-rto) dialed in
-// from the command line. With -sweep it instead executes a
+// from the command line. The engine's link-table layout has its own
+// knobs: -paged forces the paged dense tables (the layout key spaces
+// beyond 2^24 get automatically — million-node graphs route in one
+// invocation), -membudget caps the fixed table footprint in bytes
+// (over-budget layouts degrade to the hashed fallback instead of
+// erroring), and -memstats prints the resolved state and
+// table/arena/B-per-node footprint after the report line (-json
+// always carries the same fields). With -sweep it instead executes a
 // declarative scenario spec — the cross-product of topology ×
 // workload × discipline × emulation-mode × engine × fault × ablation
 // × engine-workers axes — in parallel over a worker pool, emitting
@@ -48,7 +55,11 @@
 //	routebench -net shuffle -n 4 -workload khot -mode crcw
 //	routebench -net star -n 6 -workload perm -engine event -latency jitter -jitter 3
 //	routebench -net torus -n 8 -k 2 -workload perm -engine event -drop 0.1 -straggler 0.2
+//	routebench -net debruijn -n 24 -k 2 -workload perm -trials 1 -memstats
+//	routebench -net debruijn -n 20 -k 2 -workload perm -trials 1 -paged -memstats
+//	routebench -net debruijn -n 20 -k 2 -workload perm -trials 1 -membudget 1048576 -memstats
 //	routebench -sweep sweeps/smoke.json
+//	routebench -sweep sweeps/scale.json
 //	routebench -sweep sweeps/emul.json -report
 //	routebench -sweep sweeps/event.json
 //	routebench -sweep - < my-sweep.json
@@ -91,6 +102,9 @@ type config struct {
 	workers    int
 	list       bool
 	hashed     bool
+	paged      bool
+	memBudget  int64
+	memStats   bool
 	sweep      string
 	report     bool
 	cpuprofile string
@@ -134,6 +148,9 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "round-engine workers (0 = GOMAXPROCS, 1 = sequential; identical results either way)")
 	flag.BoolVar(&cfg.list, "list", false, "list the registered network families and workload generators, then exit")
 	flag.BoolVar(&cfg.hashed, "hashed", false, "force the engine's hashed-map link state instead of the dense tables (identical results; for A/B profiling)")
+	flag.BoolVar(&cfg.paged, "paged", false, "force the engine's paged dense tables even on small key spaces (identical results; for A/B profiling)")
+	flag.Int64Var(&cfg.memBudget, "membudget", 0, "cap the engine's fixed link-table footprint in bytes; over-budget dense/paged runs degrade to the hashed fallback (0 = no budget)")
+	flag.BoolVar(&cfg.memStats, "memstats", false, "append the memory line (resolved state, table/arena bytes, B/node) to the report")
 	flag.StringVar(&cfg.sweep, "sweep", "", "run the scenario sweep spec from this JSON file ('-' = stdin) and emit JSONL")
 	flag.BoolVar(&cfg.report, "report", false, "with -sweep: append the derived report rows (workers-axis speedups, per-class aggregates) after the result lines")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the routing trials to this file")
@@ -221,6 +238,8 @@ func cell(cfg config) scenario.Cell {
 		Seed:       cfg.seed,
 		SkipPhase1: cfg.skipPhase1,
 		Hashed:     cfg.hashed,
+		Paged:      cfg.paged,
+		MemBudget:  cfg.memBudget,
 		Timing:     true,
 	}
 	if cfg.engine != "" && cfg.engine != scenario.EngineRound {
@@ -344,10 +363,25 @@ func list(w io.Writer) error {
 	return nil
 }
 
-// report renders res as the human line or the JSON object.
+// report renders res as the human line or the JSON object, with the
+// memory-pricing line appended when -memstats asks for it.
 func report(w io.Writer, cfg config, res result) error {
 	if cfg.jsonOut {
 		return json.NewEncoder(w).Encode(res)
+	}
+	if cfg.memStats {
+		defer func() {
+			if res.State == "" {
+				fmt.Fprintln(w, "memory: not priced (event cells track time, not table memory)")
+				return
+			}
+			degraded := ""
+			if res.Degraded {
+				degraded = " degraded(over budget)"
+			}
+			fmt.Fprintf(w, "memory: state=%s%s table=%dB arena=%dB b/node=%.1f\n",
+				res.State, degraded, res.TableBytes, res.ArenaBytes, res.BPerNode)
+		}()
 	}
 	if res.Engine != "" {
 		fmt.Fprintf(w, "%s %s engine=%s fault=%s: delivered mean=%.1f max=%d ticks (ticks/diam=%.2f) retransmits=%d maxQ=%d\n",

@@ -59,19 +59,23 @@ func TestRunLeveledViewSmoke(t *testing.T) {
 }
 
 func TestRunRejectsOversizedGraphsBeforeAllocating(t *testing.T) {
-	// A 2^25-node de Bruijn graph builds in O(1); the command must
-	// refuse it with an error before materializing any per-node
-	// workload, on both the direct and the leveled path.
+	// A 2^32-node de Bruijn graph exceeds the simulator's node-id
+	// limit (topology.MaxNodes); the command must refuse it with an
+	// error naming the bound before materializing any per-node
+	// workload, on both the direct and the leveled path. (2^25-node
+	// graphs, which the old 24-bit packed keys refused, now route on
+	// the paged tables — the debruijn package's huge-construction test
+	// covers that cheaply.)
 	for _, cfg := range []config{
-		{net: "debruijn", n: 25, k: 2, workload: "perm", trials: 1},
-		{net: "debruijn", n: 25, k: 2, workload: "perm", trials: 1, useLeveled: true},
+		{net: "debruijn", n: 32, k: 2, workload: "perm", trials: 1},
+		{net: "debruijn", n: 32, k: 2, workload: "perm", trials: 1, useLeveled: true},
 	} {
 		var b strings.Builder
 		err := run(&b, cfg)
 		if err == nil {
 			t.Fatalf("%+v accepted", cfg)
 		}
-		if !strings.Contains(err.Error(), "key space") {
+		if !strings.Contains(err.Error(), "bound") {
 			t.Fatalf("unexpected error: %v", err)
 		}
 	}
@@ -615,18 +619,80 @@ func TestRunWritesProfiles(t *testing.T) {
 	}
 }
 
-// TestRunHashedMatchesDense pins the -hashed A/B knob: both link-state
-// paths must report identical rounds on a fixed seed.
+// TestRunHashedMatchesDense pins the -hashed and -paged A/B knobs:
+// all three link-state paths must report identical rounds on a fixed
+// seed.
 func TestRunHashedMatchesDense(t *testing.T) {
-	out := func(hashed bool) string {
+	out := func(hashed, paged bool) string {
 		var b strings.Builder
-		cfg := config{net: "star", n: 4, workload: "perm", trials: 2, seed: 7, hashed: hashed}
+		cfg := config{net: "star", n: 4, workload: "perm", trials: 2, seed: 7, hashed: hashed, paged: paged}
 		if err := run(&b, cfg); err != nil {
 			t.Fatal(err)
 		}
 		return b.String()
 	}
-	if dense, hashed := out(false), out(true); dense != hashed {
+	dense := out(false, false)
+	if hashed := out(true, false); dense != hashed {
 		t.Fatalf("dense and hashed reports differ:\n%s%s", dense, hashed)
+	}
+	if paged := out(false, true); dense != paged {
+		t.Fatalf("dense and paged reports differ:\n%s%s", dense, paged)
+	}
+}
+
+// TestRunMemStatsFlags drives the -memstats/-paged/-membudget trio
+// through the testable core: the memory line names the resolved state,
+// the JSON object carries the pricing fields, and an impossible budget
+// degrades to the hashed fallback instead of erroring.
+func TestRunMemStatsFlags(t *testing.T) {
+	var b strings.Builder
+	cfg := config{net: "star", n: 4, workload: "perm", trials: 1, seed: 7, memStats: true}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "memory: state=dense table=") {
+		t.Fatalf("missing dense memory line in %q", b.String())
+	}
+	b.Reset()
+	cfg.paged = true
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "memory: state=paged") {
+		t.Fatalf("missing paged memory line in %q", b.String())
+	}
+	b.Reset()
+	cfg.paged = false
+	cfg.memBudget = 1 // no table fits one byte: degrade, don't error
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "state=hashed degraded(over budget)") {
+		t.Fatalf("missing degraded memory line in %q", b.String())
+	}
+	b.Reset()
+	jcfg := config{net: "star", n: 4, workload: "perm", trials: 1, seed: 7, paged: true, jsonOut: true}
+	if err := run(&b, jcfg); err != nil {
+		t.Fatal(err)
+	}
+	var res result
+	if err := json.Unmarshal([]byte(b.String()), &res); err != nil {
+		t.Fatalf("memstats JSON malformed: %v\n%s", err, b.String())
+	}
+	if res.State != "paged" || !res.Paged || res.TableBytes <= 0 || res.ArenaBytes <= 0 || res.BPerNode <= 0 {
+		t.Fatalf("unexpected memory fields: %+v", res)
+	}
+	// Event cells price time, not table memory: the line says so
+	// instead of reporting zeroes as a footprint.
+	b.Reset()
+	ecfg := config{
+		net: "star", n: 4, workload: "perm", trials: 1, seed: 7, memStats: true,
+		engine: "event", latency: "fixed", base: 1, gap: 1,
+	}
+	if err := run(&b, ecfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "memory: not priced") {
+		t.Fatalf("missing event memory note in %q", b.String())
 	}
 }

@@ -314,6 +314,84 @@ func TestWorkerEquivalenceDenseHashed(t *testing.T) {
 	}
 }
 
+// pagedCase routes one reply-free workload with the full three-way
+// storage selector: flat dense tables (the small-key default), the
+// paged directory (the million-node path) and the hashed-map
+// fallback.
+type pagedCase struct {
+	name string
+	run  func(seed uint64, workers int, paged, hashed bool) (any, []ptrace)
+}
+
+func pagedCases() []pagedCase {
+	return []pagedCase{
+		{"star5-direct", func(seed uint64, workers int, paged, hashed bool) (any, []ptrace) {
+			g := star.New(5)
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			st := mustSimRoute(g, pkts, simnet.Options{
+				Seed: seed * 31, Workers: workers, PagedKeys: paged, HashedKeys: hashed,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"butterfly7-leveled", func(seed uint64, workers int, paged, hashed bool) (any, []ptrace) {
+			spec := leveled.NewButterfly(7)
+			pkts := workload.Permutation(spec.Width(), packet.Transit, seed)
+			st := leveled.Route(spec, pkts, leveled.Options{
+				Seed: seed * 31, Workers: workers, PagedKeys: paged, HashedKeys: hashed,
+			})
+			return st, tracesOf(pkts)
+		}},
+		{"mesh16", func(seed uint64, workers int, paged, hashed bool) (any, []ptrace) {
+			g := mesh.New(16)
+			pkts := workload.Permutation(g.Nodes(), packet.Transit, seed)
+			st := mesh.Route(g, pkts, mesh.Options{
+				Seed: seed * 31, Workers: workers, PagedKeys: paged, HashedKeys: hashed,
+			})
+			return st, tracesOf(pkts)
+		}},
+	}
+}
+
+// TestWorkerEquivalencePagedDenseHashed closes the storage-path
+// invariant over all three link-table states: on every configuration
+// the paged directory must reproduce the flat dense result bit for
+// bit — same stats, same per-packet traces — at Workers 1, 4 and 0
+// (GOMAXPROCS), exactly as the hashed fallback does. Routing decisions
+// never depend on how the link state is stored, which is what lets
+// the engine degrade dense→paged→hashed purely on footprint grounds.
+// (The name keeps it inside the CI race job's TestWorker filter, so
+// the paged path's first-touch page allocation is race-checked across
+// shards.)
+func TestWorkerEquivalencePagedDenseHashed(t *testing.T) {
+	seeds := []uint64{3, 1991}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, c := range pagedCases() {
+		t.Run(c.name, func(t *testing.T) {
+			for _, seed := range seeds {
+				wantStats, wantTraces := c.run(seed, 1, false, false)
+				for _, v := range []struct {
+					workers       int
+					paged, hashed bool
+				}{{1, true, false}, {4, true, false}, {0, true, false}, {4, false, true}} {
+					gotStats, gotTraces := c.run(seed, v.workers, v.paged, v.hashed)
+					if gotStats != wantStats {
+						t.Fatalf("seed %d: workers=%d paged=%v hashed=%v stats diverged from dense workers=1:\nwant: %+v\ngot:  %+v",
+							seed, v.workers, v.paged, v.hashed, wantStats, gotStats)
+					}
+					for i := range wantTraces {
+						if gotTraces[i] != wantTraces[i] {
+							t.Fatalf("seed %d: workers=%d paged=%v hashed=%v packet %d trace diverged:\nwant: %+v\ngot:  %+v",
+								seed, v.workers, v.paged, v.hashed, i, wantTraces[i], gotTraces[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // eventFaulty is a kitchen-sink asynchronous configuration — jittered
 // latency, transient outages, stragglers and packet loss all at once.
 func eventFaulty() *engine.EventOptions {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"pramemu/internal/leveled"
+	"pramemu/internal/topology"
 )
 
 // Graph is a d-ary de Bruijn graph on d^n nodes.
@@ -26,9 +27,10 @@ type Graph struct {
 }
 
 // New constructs B(d, n). It panics if d < 2, n < 1, or d^n exceeds
-// 2^30 (construction itself is O(1); the practical routing bound is
-// enforced by the simulator, which rejects oversized graphs with an
-// error).
+// the simulator's node-id limit (topology.MaxNodes, 2^31;
+// construction itself is O(1), and the same bound is what the
+// simulator enforces — with an error rather than a panic — on
+// oversized graphs).
 func New(d, n int) *Graph {
 	if d < 2 {
 		panic("debruijn: d must be >= 2")
@@ -38,8 +40,8 @@ func New(d, n int) *Graph {
 	}
 	nodes := 1
 	for i := 0; i < n; i++ {
-		if nodes > (1<<30)/d {
-			panic("debruijn: d^n exceeds 2^30")
+		if nodes > topology.MaxNodes/d {
+			panic("debruijn: d^n exceeds the simulator's node-id limit")
 		}
 		nodes *= d
 	}

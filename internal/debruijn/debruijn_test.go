@@ -99,14 +99,22 @@ func TestValiantPermutationRouting(t *testing.T) {
 	}
 }
 
-func TestHugeConstructionIsCheapAndRejectedDownstream(t *testing.T) {
-	// Building B(2,25) is O(1); routing on it must fail with an error
-	// (the simulator's 24-bit key space), not a panic.
+func TestHugeConstructionIsCheapAndRoutable(t *testing.T) {
+	// Building B(2,25) is O(1), and with the engine's paged link
+	// tables a 2^25-node graph routes (an empty run prices only the
+	// page directory, not the 2^26-key table the flat path would
+	// allocate). Only past topology.MaxNodes does construction panic.
 	g := New(2, 25)
 	if g.Nodes() != 1<<25 {
 		t.Fatalf("nodes %d", g.Nodes())
 	}
-	if _, err := simnet.Route(g, nil, simnet.Options{Seed: 1}); err == nil {
-		t.Fatal("simnet accepted a 2^25-node graph")
+	if _, err := simnet.Route(g, nil, simnet.Options{Seed: 1}); err != nil {
+		t.Fatalf("simnet rejected a 2^25-node graph: %v", err)
 	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(2, 32) should panic: 2^32 exceeds the node-id limit")
+		}
+	}()
+	New(2, 32)
 }

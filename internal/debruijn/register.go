@@ -10,7 +10,7 @@ func init() {
 		Build: func(p topology.Params) (topology.Built, error) {
 			n := topology.DefaultInt(p.N, 10)
 			d := topology.DefaultInt(p.K, 2)
-			if err := topology.CheckPow("debruijn", d, n, 1<<30); err != nil {
+			if err := topology.CheckPow("debruijn", d, n, topology.MaxNodes); err != nil {
 				return topology.Built{}, err
 			}
 			return topology.Built{Graph: New(d, n)}, nil

@@ -105,8 +105,8 @@ func New(net Network, cfg Config) (*Emulator, error) {
 			net.Name(), net.Nodes(), cfg.Memory)
 	}
 	if net.Nodes() > topology.MaxNodes {
-		return nil, fmt.Errorf("emul: %s has %d nodes, exceeding the simulator's 24-bit key space",
-			net.Name(), net.Nodes())
+		return nil, fmt.Errorf("emul: %s has %d nodes, exceeding the simulator's node-id limit (%d)",
+			net.Name(), net.Nodes(), topology.MaxNodes)
 	}
 	degree := cfg.HashDegree
 	if degree == 0 {

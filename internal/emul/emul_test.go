@@ -68,19 +68,39 @@ func TestNewRejectsDegenerateConfigs(t *testing.T) {
 	}
 }
 
+// oversizedGraph is a fake point-to-point graph claiming more nodes
+// than the simulator's node-id limit (topology.MaxNodes).
+type oversizedGraph struct{ topology.Graph }
+
+func (oversizedGraph) Name() string  { return "oversized" }
+func (oversizedGraph) Nodes() int    { return 1<<31 + 1 }
+func (oversizedGraph) Diameter() int { return 1 }
+
 func TestOversizedNetworkFailsCleanly(t *testing.T) {
-	// A 2^25-node de Bruijn graph costs O(1) to build but exceeds the
-	// simulator's 24-bit key space; the adapter must reject it with an
-	// error instead of crashing the process mid-run.
+	// A 2^25-node de Bruijn graph costs O(1) to build and — now that
+	// the engine pages its link tables — adapts cleanly; only a
+	// network past topology.MaxNodes must be rejected with an error
+	// instead of crashing the process mid-run.
 	b, err := topology.Build("debruijn", topology.Params{N: 25, K: 2})
 	if err != nil {
 		t.Fatalf("building the graph itself should be cheap and legal: %v", err)
 	}
-	if _, err := NewTopologyNetwork(b); err == nil {
-		t.Fatal("leveled adapter accepted a 2^25-node network")
+	if _, err := NewTopologyNetwork(b); err != nil {
+		t.Fatalf("leveled adapter rejected a 2^25-node network: %v", err)
 	}
-	if _, err := NewDirectTopologyNetwork(b); err == nil {
-		t.Fatal("direct adapter accepted a 2^25-node network")
+	if _, err := NewDirectTopologyNetwork(b); err != nil {
+		t.Fatalf("direct adapter rejected a 2^25-node network: %v", err)
+	}
+	huge := topology.Built{Graph: oversizedGraph{}}
+	if _, err := NewTopologyNetwork(huge); err == nil {
+		t.Fatal("adapter accepted a network beyond the node-id limit")
+	}
+	net, err := NewTopologyNetwork(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(net, Config{Memory: 1 << 25, Seed: 1}); err != nil {
+		t.Fatalf("emulator rejected a 2^25-node network: %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package emul
 import (
 	"fmt"
 
+	"pramemu/internal/engine"
 	"pramemu/internal/leveled"
 	"pramemu/internal/mesh"
 	"pramemu/internal/packet"
@@ -35,13 +36,23 @@ type TopologyNetwork struct {
 	// instead of the dense tables on every routed step (identical
 	// results; the A/B knob of the flat-state engine PR).
 	HashedKeys bool
+	// PagedKeys forces the engine's paged dense tables even on key
+	// spaces small enough for flat tables (identical results; the
+	// paged A/B knob).
+	PagedKeys bool
+	// MemBudget caps the engine's fixed link-table footprint in bytes
+	// on every routed step; over-budget dense/paged resolutions
+	// degrade to the hashed fallback. Zero means no budget.
+	MemBudget int64
+	// MemStats, when non-nil, receives the resolved state and memory
+	// footprint of each routed step (the last step's values persist).
+	MemStats *engine.MemStats
 }
 
 // NewTopologyNetwork adapts a registry-built network, preferring the
-// leveled view when one exists. It returns an error when the
-// point-to-point view would be used but exceeds the simulator's
-// 24-bit key space, so oversized graphs fail at construction rather
-// than mid-run.
+// leveled view when one exists. It returns an error when the network
+// exceeds the simulator's node-id limit (topology.MaxNodes), so
+// oversized graphs fail at construction rather than mid-run.
 func NewTopologyNetwork(t topology.Built) (*TopologyNetwork, error) {
 	return newTopologyNetwork(t, false)
 }
@@ -59,8 +70,8 @@ func newTopologyNetwork(t topology.Built, direct bool) (*TopologyNetwork, error)
 		return nil, fmt.Errorf("emul: %s has no point-to-point view to route directly", t.Name())
 	}
 	if n.Nodes() > topology.MaxNodes {
-		return nil, fmt.Errorf("emul: %s has %d nodes, exceeding the simulator's 24-bit key space",
-			t.Name(), n.Nodes())
+		return nil, fmt.Errorf("emul: %s has %d nodes, exceeding the simulator's node-id limit (%d)",
+			t.Name(), n.Nodes(), topology.MaxNodes)
 	}
 	return n, nil
 }
@@ -98,6 +109,9 @@ func (n *TopologyNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64
 			Workers:    workers,
 			SkipPhase1: n.SkipPhase1,
 			HashedKeys: n.HashedKeys,
+			PagedKeys:  n.PagedKeys,
+			MemBudget:  n.MemBudget,
+			MemStats:   n.MemStats,
 		})
 		return RouteStats{
 			Rounds:        s.Rounds,
@@ -115,6 +129,9 @@ func (n *TopologyNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64
 		Workers:    workers,
 		SkipPhase1: n.SkipPhase1,
 		HashedKeys: n.HashedKeys,
+		PagedKeys:  n.PagedKeys,
+		MemBudget:  n.MemBudget,
+		MemStats:   n.MemStats,
 	})
 	if err != nil {
 		// The constructor verified the key space; any residual error

@@ -30,13 +30,34 @@ type Handler func(ctx *Ctx, a Arrival, round int)
 // freely mutate queued packets.
 type Combiner func(ctx *Ctx, q queue.Discipline, a Arrival) bool
 
-// denseKeyLimit caps the declared key space the engine will back with
-// slice-indexed tables: one table slot is one queue.Discipline
-// interface value (two words), so the cap bounds table memory at
-// 256 MiB worst case. Beyond it the hashed-map fallback — which only
-// pays for live keys — is the better trade, and the engine selects it
-// silently.
-const denseKeyLimit = 1 << 24
+// flatKeyLimit caps the declared key space the engine will back with
+// flat slice-indexed tables: one table slot is one queue.Discipline
+// interface value (two words), so the cap bounds flat-table memory at
+// 256 MiB worst case. Beyond it the engine switches to paged tables
+// (StatePaged), which price the full declaration at 8 bytes per
+// pageSize keys of directory and allocate slot pages only on first
+// touch — so any addressable key space stays on the dense fast path,
+// bounded by touched keys instead of declared keys.
+const flatKeyLimit = 1 << 24
+
+// pageBits sizes the paged-table pages: 1<<pageBits slots per page.
+// 4096 slots is 64 KiB of queue slots per page — big enough that the
+// directory stays tiny, small enough that a sparse run only pays for
+// the neighborhoods it touches.
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// pagedKeyLimit caps the declared key space the paged tables will
+// cover: the page directory costs 8 bytes per pageSize keys, so 2^34
+// declared keys price a 32 MiB directory — negligible against the
+// queues a run that size actually touches. Beyond it (which no
+// node×degree slot encoding reaches — that is >16 billion directed
+// links) the hashed fallback takes over; sparse pair-packed encodings
+// that exceed it belong there anyway.
+const pagedKeyLimit = 1 << 34
 
 // Options configures an engine run.
 type Options struct {
@@ -59,7 +80,25 @@ type Options struct {
 	// cap, selects the hashed fallback, which accepts arbitrary 64-bit
 	// keys. The two paths produce bit-identical results: insertion
 	// order is canonical either way, and per-round effects commute.
+	//
+	// Dense declarations up to flatKeyLimit get flat tables
+	// (StateDense); larger ones get paged tables (StatePaged), whose
+	// memory is bounded by touched keys. Zero selects the hashed
+	// fallback (StateHashed).
 	MaxKey uint64
+	// MemBudget, when positive, caps the fixed (up-front) link-table
+	// footprint in bytes: flat slots for StateDense, the page
+	// directory for StatePaged. A dense or paged resolution whose
+	// fixed footprint exceeds the budget degrades to StateHashed —
+	// which only pays for live keys — instead of erroring, and the
+	// demotion is recorded in MemStats.Degraded. Zero means no budget.
+	MemBudget int64
+	// ForcePaged forces the paged table representation for any dense
+	// declaration, including ones small enough for flat tables. It
+	// exists so tests and benchmarks can exercise the paged path
+	// against flat-dense results on the same key space; simulators
+	// never need it.
+	ForcePaged bool
 	// Event, when non-nil, selects the asynchronous discrete-event
 	// loop instead of the synchronous round loop: the same injection,
 	// handler and combiner callbacks run over a timestamped min-heap
@@ -126,11 +165,23 @@ func (c *Ctx) Rand() *prng.Source { return c.rand }
 // plus active-key list on the dense path, a hash map on the fallback.
 type shard struct {
 	ctx Ctx
-	// edges is the hashed-path link state (nil on the dense path).
+	// edges is the hashed-path link state (nil on the dense paths).
 	edges map[uint64]queue.Discipline
-	// table is the dense-path link state: the queue of key k lives at
-	// table[k>>shift], since the low shift bits select the shard.
+	// table is the flat dense-path link state: the queue of key k
+	// lives at table[k>>shift], since the low shift bits select the
+	// shard.
 	table []queue.Discipline
+	// pages is the paged dense-path link state: the queue of key k
+	// lives at pages[(k>>shift)>>pageBits][(k>>shift)&pageMask], with
+	// pages allocated on first touch so memory tracks touched keys,
+	// not the declared key space. pageCount counts allocated pages
+	// (pages are retained once touched, keeping the warm loop
+	// allocation-free).
+	pages     []*[pageSize]queue.Discipline
+	pageCount int
+	// peakLive is the high-water live-queue count, the basis of the
+	// hashed path's TableBytes estimate.
+	peakLive int
 	// active lists the keys with non-empty queues, maintained
 	// incrementally (append on first insert, swap-remove on drain), so
 	// the drain phase iterates a compact slice instead of re-scanning.
@@ -151,6 +202,8 @@ type Engine struct {
 	mask     uint64
 	newQueue func() queue.Discipline
 	dense    bool
+	state    State
+	degraded bool
 	seed     uint64
 	event    *EventOptions // nil = synchronous round loop
 
@@ -194,29 +247,58 @@ func New(opts Options) *Engine {
 	if newQueue == nil {
 		newQueue = func() queue.Discipline { return queue.NewFIFO(4) }
 	}
+	shift := uint(bits.TrailingZeros(uint(nshards)))
+	state, degraded := StateHashed, false
+	tableSize, numPages := 0, 0
+	if opts.MaxKey > 0 && opts.MaxKey <= pagedKeyLimit {
+		tableSize = int((opts.MaxKey-1)>>shift) + 1
+		numPages = (tableSize-1)>>pageBits + 1
+		if opts.MaxKey <= flatKeyLimit && !opts.ForcePaged {
+			state = StateDense
+		} else {
+			state = StatePaged
+		}
+		// The budget gates the fixed footprint — everything the dense
+		// states allocate before a single key is touched: flat slots
+		// for StateDense, the page directory for StatePaged. Over
+		// budget degrades to hashed (pay-per-live-key) rather than
+		// erroring; MemStats records the demotion.
+		if opts.MemBudget > 0 {
+			var fixed int64
+			if state == StateDense {
+				fixed = int64(nshards) * int64(tableSize) * queueSlotBytes
+			} else {
+				fixed = int64(nshards) * int64(numPages) * 8
+			}
+			if fixed > opts.MemBudget {
+				state, degraded = StateHashed, true
+			}
+		}
+	}
 	e := &Engine{
 		pool:     pool,
 		shards:   make([]shard, nshards),
 		mask:     uint64(nshards - 1),
 		newQueue: newQueue,
-		dense:    opts.MaxKey > 0 && opts.MaxKey <= denseKeyLimit,
+		dense:    state != StateHashed,
+		state:    state,
+		degraded: degraded,
 		seed:     opts.Seed,
 		event:    eventOpts,
-	}
-	shift := uint(bits.TrailingZeros(uint(nshards)))
-	tableSize := 0
-	if e.dense {
-		tableSize = int((opts.MaxKey-1)>>shift) + 1
 	}
 	// The shard streams come off a tweaked root so they never collide
 	// with the per-packet streams Split off prng.New(seed) directly.
 	root := prng.New(opts.Seed ^ 0xa5a5a5a5a5a5a5a5)
 	for i := range e.shards {
 		sh := &e.shards[i]
-		if e.dense {
+		switch state {
+		case StateDense:
 			sh.table = make([]queue.Discipline, tableSize)
 			sh.shift = shift
-		} else {
+		case StatePaged:
+			sh.pages = make([]*[pageSize]queue.Discipline, numPages)
+			sh.shift = shift
+		default:
 			sh.edges = make(map[uint64]queue.Discipline)
 		}
 		sh.ctx = Ctx{
@@ -243,6 +325,9 @@ func New(opts Options) *Engine {
 // Workers returns the effective worker count (after the GOMAXPROCS
 // default is applied).
 func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// State returns the resolved link-state representation.
+func (e *Engine) State() State { return e.state }
 
 // shardOf hashes a link key to a shard with a splitmix64-style
 // finalizer, so structured key encodings still spread evenly.
@@ -353,6 +438,29 @@ func (sh *shard) drain(round int, handle Handler) {
 		}
 		return
 	}
+	if sh.pages != nil {
+		for i := 0; i < len(sh.active); {
+			key := sh.active[i]
+			idx := key >> sh.shift
+			pg := sh.pages[idx>>pageBits]
+			slot := idx & pageMask
+			q := pg[slot]
+			p := q.Pop()
+			p.Delay += round - p.EnqueuedAt - 1
+			if q.Len() == 0 {
+				pg[slot] = nil
+				sh.free = append(sh.free, q)
+				sh.live--
+				last := len(sh.active) - 1
+				sh.active[i] = sh.active[last]
+				sh.active = sh.active[:last]
+			} else {
+				i++
+			}
+			handle(&sh.ctx, Arrival{key, p}, round)
+		}
+		return
+	}
 	for key, q := range sh.edges {
 		p := q.Pop()
 		p.Delay += round - p.EnqueuedAt - 1
@@ -400,6 +508,38 @@ func (e *Engine) pushShard(s, round int, combine Combiner) {
 				sh.ctx.stats.MaxQueue = l
 			}
 		}
+	} else if sh.pages != nil {
+		for _, a := range sorted {
+			idx := a.Key >> sh.shift
+			pg := sh.pages[idx>>pageBits]
+			var q queue.Discipline
+			if pg != nil {
+				q = pg[idx&pageMask]
+			}
+			if combine != nil && q != nil && combine(&sh.ctx, q, a) {
+				continue
+			}
+			if q == nil {
+				// First touch of this page allocates it; combined-away
+				// arrivals above never reach here, so absorption alone
+				// costs no page. Pages are retained once allocated, so
+				// a warm steady-state round stays allocation-free.
+				if pg == nil {
+					pg = new([pageSize]queue.Discipline)
+					sh.pages[idx>>pageBits] = pg
+					sh.pageCount++
+				}
+				q = sh.takeQueue(e)
+				pg[idx&pageMask] = q
+				sh.active = append(sh.active, a.Key)
+				sh.live++
+			}
+			a.P.EnqueuedAt = round
+			q.Push(a.P)
+			if l := q.Len(); l > sh.ctx.stats.MaxQueue {
+				sh.ctx.stats.MaxQueue = l
+			}
+		}
 	} else {
 		for _, a := range sorted {
 			q := sh.edges[a.Key]
@@ -410,6 +550,9 @@ func (e *Engine) pushShard(s, round int, combine Combiner) {
 				q = sh.takeQueue(e)
 				sh.edges[a.Key] = q
 				sh.live++
+				if sh.live > sh.peakLive {
+					sh.peakLive = sh.live
+				}
 			}
 			a.P.EnqueuedAt = round
 			q.Push(a.P)

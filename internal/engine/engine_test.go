@@ -147,16 +147,97 @@ func TestDenseMatchesHashed(t *testing.T) {
 	}
 }
 
-// TestDenseFallsBackBeyondLimit pins the silent fallback: a declared
-// key space too large to back with tables must select the hashed path
-// rather than allocating gigabytes.
-func TestDenseFallsBackBeyondLimit(t *testing.T) {
-	eng := New(Options{Workers: 1, MaxKey: denseKeyLimit + 1})
-	if eng.dense {
-		t.Fatalf("MaxKey %d built a dense engine", uint64(denseKeyLimit)+1)
+// TestStateResolution pins the representation choice: small dense
+// declarations get flat tables, declarations beyond the flat cap get
+// paged tables (not the silent hashed fallback they once did), an
+// undeclared key space stays hashed, and a memory budget too small
+// for the fixed footprint degrades to hashed with the demotion
+// recorded in MemStats.
+func TestStateResolution(t *testing.T) {
+	cases := []struct {
+		name     string
+		opts     Options
+		state    State
+		degraded bool
+	}{
+		{"hashed by default", Options{Workers: 1}, StateHashed, false},
+		{"flat dense", Options{Workers: 1, MaxKey: 1024}, StateDense, false},
+		{"paged beyond flat cap", Options{Workers: 1, MaxKey: flatKeyLimit + 1}, StatePaged, false},
+		{"paged forced", Options{Workers: 1, MaxKey: 1024, ForcePaged: true}, StatePaged, false},
+		{"hashed beyond paged cap", Options{Workers: 1, MaxKey: pagedKeyLimit + 1}, StateHashed, false},
+		{"dense within budget", Options{Workers: 1, MaxKey: 1024, MemBudget: 1 << 20}, StateDense, false},
+		{"dense degraded by budget", Options{Workers: 1, MaxKey: 1 << 20, MemBudget: 1 << 10}, StateHashed, true},
+		{"paged within budget", Options{Workers: 1, MaxKey: flatKeyLimit + 1, MemBudget: 1 << 20}, StatePaged, false},
+		{"paged degraded by budget", Options{Workers: 1, MaxKey: pagedKeyLimit, MemBudget: 1 << 10}, StateHashed, true},
 	}
-	if New(Options{Workers: 1, MaxKey: 1024}).dense == false {
-		t.Fatal("MaxKey 1024 did not build a dense engine")
+	for _, c := range cases {
+		eng := New(c.opts)
+		if eng.State() != c.state || eng.degraded != c.degraded {
+			t.Errorf("%s: state=%v degraded=%v, want %v degraded=%v",
+				c.name, eng.State(), eng.degraded, c.state, c.degraded)
+		}
+		if m := eng.MemStats(); m.State != c.state || m.Degraded != c.degraded {
+			t.Errorf("%s: MemStats reports state=%v degraded=%v", c.name, m.State, m.Degraded)
+		}
+	}
+}
+
+// TestPagedMatchesFlatAndHashed extends the storage-path equivalence
+// property to the paged tables: the same trace run paged (both forced
+// on a small key space and resolved naturally on a past-the-flat-cap
+// declaration) is bit-identical to the flat-dense and hashed results
+// at every worker count.
+func TestPagedMatchesFlatAndHashed(t *testing.T) {
+	const npkts, starts, length = 600, 40, 60
+	baseSt, baseTr := lineRunOpts(t, Options{Workers: 1, Seed: 42}, npkts, starts, length)
+	check := func(label string, opts Options, wantState State) {
+		eng := New(opts)
+		if eng.State() != wantState {
+			t.Fatalf("%s workers=%d: state %v, want %v", label, opts.Workers, eng.State(), wantState)
+		}
+		st, tr := lineRunOpts(t, opts, npkts, starts, length)
+		if st != baseSt {
+			t.Fatalf("%s workers=%d stats diverged:\n%+v\n%+v", label, opts.Workers, st, baseSt)
+		}
+		for i := range tr {
+			if tr[i] != baseTr[i] {
+				t.Fatalf("%s workers=%d packet %d trace %v != %v", label, opts.Workers, i, tr[i], baseTr[i])
+			}
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		check("forced-paged", Options{Workers: workers, Seed: 42, MaxKey: length, ForcePaged: true}, StatePaged)
+		check("wide-paged", Options{Workers: workers, Seed: 42, MaxKey: flatKeyLimit + 1}, StatePaged)
+		check("degraded-hashed", Options{Workers: workers, Seed: 42, MaxKey: length, MemBudget: 1}, StateHashed)
+	}
+}
+
+// TestPagedAllocatesOnlyTouchedPages is the pay-for-what-you-touch
+// property: a run over a >2^24-key declaration that touches two
+// distant neighborhoods allocates exactly the two pages they land on,
+// and MemStats prices the directory plus those pages.
+func TestPagedAllocatesOnlyTouchedPages(t *testing.T) {
+	eng := New(Options{Workers: 1, MaxKey: flatKeyLimit + pageSize})
+	if eng.State() != StatePaged {
+		t.Fatalf("state %v, want paged", eng.State())
+	}
+	p1 := packet.New(0, 0, 0, packet.Transit)
+	p2 := packet.New(1, 0, 0, packet.Transit)
+	eng.Run(func(ctx *Ctx) {
+		ctx.Emit(3, p1)
+		ctx.Emit(uint64(flatKeyLimit)+7, p2)
+	}, func(ctx *Ctx, a Arrival, round int) {}, nil)
+	pages := 0
+	for i := range eng.shards {
+		pages += eng.shards[i].pageCount
+	}
+	if pages != 2 {
+		t.Fatalf("touched 2 keys in distant pages, allocated %d pages", pages)
+	}
+	m := eng.MemStats()
+	want := int64(len(eng.shards[0].pages))*8 + int64(pages)*pageSize*queueSlotBytes
+	if m.TableBytes != want {
+		t.Fatalf("TableBytes %d, want directory+2 pages = %d", m.TableBytes, want)
 	}
 }
 
@@ -178,40 +259,51 @@ func TestDenseRejectsOutOfRangeKey(t *testing.T) {
 // TestSteadyStateRoundIsAllocationFree asserts the PR's headline
 // invariant: once the dense engine's tables, buffers and recycled
 // queues are warm, an entire sequential Run — injection, every drain
-// and every radix push phase — performs zero heap allocations.
+// and every radix push phase — performs zero heap allocations. The
+// paged tables preserve it: pages allocate on first touch and are
+// retained, so a warm run touches no allocator either.
 func TestSteadyStateRoundIsAllocationFree(t *testing.T) {
 	const npkts, length = 64, 512
 	pkts := make([]*packet.Packet, npkts)
 	for i := range pkts {
 		pkts[i] = packet.New(i, 0, 0, packet.Transit)
 	}
-	eng := New(Options{Workers: 1, Seed: 7, MaxKey: length})
-	inject := func(ctx *Ctx) {
-		for i, p := range pkts {
-			p.Delay = 0
-			p.EnqueuedAt = 0
-			ctx.Emit(uint64(i%8), p) // pile onto few links: real contention
+	for _, c := range []struct {
+		name string
+		opts Options
+		want State
+	}{
+		{"flat", Options{Workers: 1, Seed: 7, MaxKey: length}, StateDense},
+		{"paged", Options{Workers: 1, Seed: 7, MaxKey: length, ForcePaged: true}, StatePaged},
+	} {
+		eng := New(c.opts)
+		inject := func(ctx *Ctx) {
+			for i, p := range pkts {
+				p.Delay = 0
+				p.EnqueuedAt = 0
+				ctx.Emit(uint64(i%8), p) // pile onto few links: real contention
+			}
 		}
-	}
-	handle := func(ctx *Ctx, a Arrival, round int) {
-		if next := a.Key + 1; next < length {
-			ctx.Emit(next, a.P)
+		handle := func(ctx *Ctx, a Arrival, round int) {
+			if next := a.Key + 1; next < length {
+				ctx.Emit(next, a.P)
+			}
 		}
-	}
-	// Warm-up: tables, gather buffers and the queue free list reach
-	// their high-water capacity. Several runs are needed because
-	// recycled queues rotate through links and only grow their rings
-	// lazily on the first burst each one serves.
-	for i := 0; i < 50; i++ {
-		eng.Run(inject, handle, nil)
-	}
-	if !eng.dense {
-		t.Fatal("expected a dense engine")
-	}
-	if allocs := testing.AllocsPerRun(10, func() {
-		eng.Run(inject, handle, nil)
-	}); allocs != 0 {
-		t.Fatalf("steady-state Run allocated %.1f objects, want 0", allocs)
+		// Warm-up: tables, gather buffers and the queue free list reach
+		// their high-water capacity. Several runs are needed because
+		// recycled queues rotate through links and only grow their rings
+		// lazily on the first burst each one serves.
+		for i := 0; i < 50; i++ {
+			eng.Run(inject, handle, nil)
+		}
+		if eng.State() != c.want {
+			t.Fatalf("%s: state %v, want %v", c.name, eng.State(), c.want)
+		}
+		if allocs := testing.AllocsPerRun(10, func() {
+			eng.Run(inject, handle, nil)
+		}); allocs != 0 {
+			t.Fatalf("%s: steady-state Run allocated %.1f objects, want 0", c.name, allocs)
+		}
 	}
 }
 

@@ -1,0 +1,92 @@
+package engine
+
+// State names the link-state representation an engine resolved to.
+// Simulators request a dense key space by declaring MaxKey; the engine
+// picks the cheapest backing store for that declaration (or the hashed
+// fallback when a memory budget rules the dense stores out), and the
+// resolved state is observable here so results can record which path
+// priced a run.
+type State uint8
+
+const (
+	// StateHashed backs link queues with a per-shard hash map. It
+	// accepts arbitrary 64-bit keys and pays only for live keys, at the
+	// cost of map overhead on every queue access.
+	StateHashed State = iota
+	// StateDense backs link queues with flat per-shard slices sized to
+	// the declared key space up front — the fastest path, selected when
+	// MaxKey is small enough that the full table is cheap.
+	StateDense
+	// StatePaged backs link queues with fixed-size pages allocated on
+	// first touch: the declared key space only prices a page directory
+	// (8 bytes per 4096 keys) up front, and table memory grows with
+	// *touched* keys. Selected for dense declarations beyond the flat
+	// table cap, raising the dense path to anything addressable.
+	StatePaged
+)
+
+// String returns the lower-case state name used in scenario keys and
+// JSON artifacts.
+func (s State) String() string {
+	switch s {
+	case StateDense:
+		return "dense"
+	case StatePaged:
+		return "paged"
+	default:
+		return "hashed"
+	}
+}
+
+// MemStats reports the memory footprint of a run's link state. The
+// engine fills State, Degraded and TableBytes; ArenaBytes is filled by
+// the simulator that owns the packet arena, since arenas live outside
+// the engine.
+type MemStats struct {
+	// State is the resolved link-state representation.
+	State State
+	// Degraded reports that a dense or paged request was demoted to
+	// hashed because its fixed footprint exceeded Options.MemBudget.
+	Degraded bool
+	// TableBytes is the link-table footprint: exact slot bytes for the
+	// dense and paged states (flat slots, or directory plus touched
+	// pages), and an estimate from the peak live-key count for the
+	// hashed state (map internals are not directly measurable).
+	TableBytes int64
+	// ArenaBytes is the packet-arena footprint, when the caller
+	// supplied one (zero otherwise).
+	ArenaBytes int64
+}
+
+// queueSlotBytes is the memory cost of one link-table slot: a
+// queue.Discipline interface value, two words.
+const queueSlotBytes = 16
+
+// hashedEntryBytes is the assumed per-live-key cost of the hashed
+// path's map entries (key + interface value + bucket overhead), used
+// only to estimate TableBytes for StateHashed.
+const hashedEntryBytes = 48
+
+// MemStats reports the engine's resolved state and link-table
+// footprint. Call it after Run: the paged page count and the hashed
+// peak-live estimate both reflect what the run actually touched.
+func (e *Engine) MemStats() MemStats {
+	m := MemStats{State: e.state, Degraded: e.degraded}
+	switch e.state {
+	case StateDense:
+		for i := range e.shards {
+			m.TableBytes += int64(len(e.shards[i].table)) * queueSlotBytes
+		}
+	case StatePaged:
+		for i := range e.shards {
+			sh := &e.shards[i]
+			m.TableBytes += int64(len(sh.pages)) * 8
+			m.TableBytes += int64(sh.pageCount) * pageSize * queueSlotBytes
+		}
+	default:
+		for i := range e.shards {
+			m.TableBytes += int64(e.shards[i].peakLive) * hashedEntryBytes
+		}
+	}
+	return m
+}

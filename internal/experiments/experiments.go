@@ -892,6 +892,92 @@ func E18AsynchronyMatrix(o Options) *metrics.Table {
 	return t
 }
 
+// E19Sizes is the scale ladder E19 climbs, split at the engine's
+// flat-table bound. The ab rungs still fit the flat dense tables
+// (every link key below 2^24), so they price the dense-vs-paged A/B
+// directly via the sweep's paged axis; the ceiling rungs grow until
+// the de Bruijn key space crosses the flat bound and the engine pages
+// on its own. Every rung routes the point-to-point graph view: the
+// leveled de Bruijn unrolling multiplies the key space by its level
+// count, which would page the A/B rungs too and leave nothing dense
+// to compare against. Quick sizes shrink every rung to unit-test
+// scale (where nothing pages naturally and only the forced axis
+// exercises the paged path). The E19 benchmark (bench_test.go) uses
+// the same ladder, so the table and the benchmark price identical
+// configurations.
+func E19Sizes(quick bool) (ab, ceiling []scenario.TopoRef) {
+	if quick {
+		return []scenario.TopoRef{
+				{Family: "debruijn", N: 14, K: 2}, // 16384
+				{Family: "torus", N: 128, K: 2},   // 16384
+			}, []scenario.TopoRef{
+				{Family: "debruijn", N: 16, K: 2}, // 65536
+				{Family: "torus", N: 256, K: 2},   // 65536
+			}
+	}
+	return []scenario.TopoRef{
+			{Family: "debruijn", N: 20, K: 2}, // 1048576
+			{Family: "torus", N: 512, K: 2},   // 262144
+		}, []scenario.TopoRef{
+			{Family: "debruijn", N: 22, K: 2}, // 4194304, dense at the flat bound
+			{Family: "debruijn", N: 24, K: 2}, // 16777216, pages naturally
+			{Family: "torus", N: 1024, K: 2},  // 1048576
+		}
+}
+
+// E19ScaleCeiling prices million-node-and-beyond routing — the scale
+// the engine's paged tables and 64-bit link keys exist for. Two
+// sweeps: an A/B at sizes where the flat dense tables still fit,
+// routing each configuration once dense and once on the forced paged
+// path (identical rounds by construction; the B/node column prices
+// what paging costs), and a ceiling ladder that grows de Bruijn to
+// 16.7M nodes — past the flat 2^24-key bound, where the engine pages
+// on its own — alongside a 2^20-node torus. rounds/diam staying flat
+// up the ladder is the paper's Õ(diameter) claim surviving three
+// orders of magnitude of scale; B/node staying flat is the engine's
+// footprint claim (memory linear in the network, not the key space).
+// Trials are forced to 1 and Workers to [1]: the top rung routes 16.7M
+// packets in one trial (~19 minutes of wall clock on one core; the
+// full ladder is ~30), and variance is not what this table measures.
+func E19ScaleCeiling(o Options) *metrics.Table {
+	o = o.withDefaults()
+	t := metrics.NewTable("E19 (scale) million-node ceiling: dense vs paged tables up the ladder",
+		"family", "network", "N", "tables", "state", "diam", "rounds(mean)", "rounds/diam", "table(B)", "arena(B)", "B/node", "maxQ")
+	ab, ceiling := E19Sizes(o.Quick)
+	results := mustSweep(scenario.Spec{
+		Topologies: ab,
+		Workloads:  []scenario.WorkRef{{Name: "perm"}},
+		Paged:      []bool{false, true},
+		Workers:    []int{1},
+		Trials:     1, Seed: o.Seed,
+	})
+	results = append(results, mustSweep(scenario.Spec{
+		Topologies: ceiling,
+		Workloads:  []scenario.WorkRef{{Name: "perm"}},
+		Workers:    []int{1},
+		Trials:     1, Seed: o.Seed,
+	})...)
+	for _, r := range results {
+		tables := "auto"
+		if r.Paged {
+			tables = "forced-paged"
+		}
+		t.AddRow(r.Family,
+			r.Topology,
+			fmt.Sprintf("%d", r.Nodes),
+			tables,
+			r.State,
+			fmt.Sprintf("%d", r.Diameter),
+			fmtF(r.RoundsMean),
+			fmtF(r.RoundsPerDiam),
+			fmt.Sprintf("%d", r.TableBytes),
+			fmt.Sprintf("%d", r.ArenaBytes),
+			fmtF(r.BPerNode),
+			fmt.Sprintf("%d", r.MaxQueue))
+	}
+	return t
+}
+
 // maxDegree samples nodes for the graph's characteristic (maximum)
 // degree — node 0 alone would report a mesh corner as degree 2.
 func maxDegree(g topology.Graph) int {
@@ -927,5 +1013,6 @@ func All(o Options) []*metrics.Table {
 		E16ScenarioMatrix(o),
 		E17EmulationMatrix(o),
 		E18AsynchronyMatrix(o),
+		E19ScaleCeiling(o),
 	}
 }

@@ -13,8 +13,8 @@ func TestAllExperimentsProduceRows(t *testing.T) {
 		t.Skip("experiment sweep in -short mode")
 	}
 	tables := All(quick())
-	if len(tables) != 16 {
-		t.Fatalf("expected 16 experiment tables, got %d", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("expected 17 experiment tables, got %d", len(tables))
 	}
 	for i, tb := range tables {
 		if tb.Rows() == 0 {
@@ -155,6 +155,62 @@ func TestE18EventRowsCoverEveryFamily(t *testing.T) {
 	}
 	if harshRetransmits == 0 {
 		t.Fatal("harsh fault level (15% drop) recorded no retransmits anywhere")
+	}
+}
+
+// TestE19PagedMatchesDense pins E19's defining property: on every A/B
+// rung the forced-paged row reproduces the dense row's routing columns
+// exactly (rounds, rounds/diam, maxQ — the engine's bit-identity
+// invariant surfacing in the table), every row reports a resolved
+// state with a positive footprint, and both rungs of both families
+// appear.
+func TestE19PagedMatchesDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tb := E19ScaleCeiling(quick())
+	lines := dataLines(tb.String())
+	// columns: family network N tables state diam rounds(mean)
+	// rounds/diam table(B) arena(B) B/node maxQ
+	type rowKey struct{ network, tables string }
+	rows := map[rowKey][]string{}
+	for _, line := range lines {
+		f := strings.Fields(line)
+		if len(f) != 12 {
+			t.Fatalf("row has %d fields, want 12: %q", len(f), line)
+		}
+		if f[4] != "dense" && f[4] != "paged" && f[4] != "hashed" {
+			t.Fatalf("unresolved state %q in row %q", f[4], line)
+		}
+		for _, col := range []int{8, 9, 10} { // table(B), arena(B), B/node
+			if v := cellFloat(t, line, col); v <= 0 {
+				t.Fatalf("non-positive footprint column %d in row %q", col, line)
+			}
+		}
+		rows[rowKey{f[1], f[3]}] = f
+	}
+	abPairs := 0
+	for key, forced := range rows {
+		if key.tables != "forced-paged" {
+			continue
+		}
+		abPairs++
+		if forced[4] != "paged" {
+			t.Fatalf("forced-paged row resolved to %q: %v", forced[4], forced)
+		}
+		auto, ok := rows[rowKey{key.network, "auto"}]
+		if !ok {
+			t.Fatalf("forced-paged row %s has no auto twin", key.network)
+		}
+		for _, col := range []int{6, 7, 11} { // rounds(mean), rounds/diam, maxQ
+			if forced[col] != auto[col] {
+				t.Fatalf("%s: paged column %d diverged from dense: %q vs %q",
+					key.network, col, forced[col], auto[col])
+			}
+		}
+	}
+	if abPairs != 2 {
+		t.Fatalf("expected 2 A/B rungs (debruijn, torus), got %d:\n%s", abPairs, tb)
 	}
 }
 

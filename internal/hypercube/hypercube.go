@@ -19,10 +19,11 @@ type Graph struct {
 }
 
 // New constructs a k-dimensional hypercube. It panics unless
-// 1 <= k <= 24 (the simulator's node-id key space).
+// 1 <= k <= 31 (2^31 is the simulator's node-id limit,
+// topology.MaxNodes).
 func New(k int) *Graph {
-	if k < 1 || k > 24 {
-		panic("hypercube: dimension must be in [1, 24]")
+	if k < 1 || k > 31 {
+		panic("hypercube: dimension must be in [1, 31]")
 	}
 	return &Graph{k: k, nodes: 1 << k}
 }

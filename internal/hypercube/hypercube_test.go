@@ -16,7 +16,7 @@ func TestDimensions(t *testing.T) {
 }
 
 func TestNewPanics(t *testing.T) {
-	for _, k := range []int{0, 25} {
+	for _, k := range []int{0, 32} {
 		func() {
 			defer func() {
 				if recover() == nil {

@@ -9,12 +9,12 @@ import (
 func init() {
 	topology.Register(topology.Family{
 		Name:    "hypercube",
-		Params:  "N = dimension k in [1,24] (default 10); 2^k nodes",
+		Params:  "N = dimension k in [1,31] (default 10); 2^k nodes",
 		Theorem: "the logarithmic-diameter baseline of the introduction",
 		Build: func(p topology.Params) (topology.Built, error) {
 			k := topology.DefaultInt(p.N, 10)
-			if k < 1 || k > 24 {
-				return topology.Built{}, fmt.Errorf("hypercube dimension must be in [1, 24], got %d", k)
+			if k < 1 || k > 31 {
+				return topology.Built{}, fmt.Errorf("hypercube dimension must be in [1, 31], got %d", k)
 			}
 			return topology.Built{Graph: New(k)}, nil
 		},

@@ -39,6 +39,19 @@ type Options struct {
 	// are bit-identical either way; the knob exists for benchmarking
 	// the fallback and for path-coverage tests.
 	HashedKeys bool
+	// PagedKeys forces the engine's paged dense tables even when the
+	// declared key space fits flat ones (the engine pages
+	// automatically beyond 2^24 keys). Results are bit-identical
+	// either way; the knob exists for equivalence tests and
+	// benchmarks.
+	PagedKeys bool
+	// MemBudget caps the engine's fixed link-table footprint in bytes;
+	// over budget the run degrades to hashed state instead of
+	// erroring. Zero means no budget. See engine.Options.MemBudget.
+	MemBudget int64
+	// MemStats, when non-nil, receives the engine's resolved state and
+	// table footprint after the run.
+	MemStats *engine.MemStats
 	// Event, when non-nil, routes on the asynchronous discrete-event
 	// engine instead of synchronous rounds (see engine.EventOptions).
 	// The router fills the node-decoding hooks so the straggler and
@@ -80,6 +93,18 @@ type Stats struct {
 
 const reverseBit = uint64(1) << 63
 
+// keySpaceOverflows reports whether the product a*b*c wraps uint64 or
+// reaches 2^63, where it would collide with the reverse-bit namespace.
+func keySpaceOverflows(a, b, c uint64) bool {
+	if a == 0 || b == 0 || c == 0 {
+		return false
+	}
+	if a > (reverseBit-1)/b {
+		return true
+	}
+	return a*b > (reverseBit-1)/c
+}
+
 // forwardKey encodes the directed forward link (logical column, node,
 // out-slot) densely as (level*width + node)*degree + slot, so the
 // whole forward key space is [0, (logical-1)*width*degree) and the
@@ -90,12 +115,16 @@ func (r *router) forwardKey(level, node, slot int) uint64 {
 	return (uint64(level)*r.width+uint64(node))*r.degree + uint64(slot)
 }
 
-// reverseKey encodes a reply link by its endpoint node pair; reply
-// traffic is sparse in this space, exists only when Options.Replies
-// is set, and always sorts after the forward keys (the reverse bit),
-// exactly as the packed encodings did.
-func reverseKey(level, from, to int) uint64 {
-	return reverseBit | uint64(level)<<48 | uint64(from)<<24 | uint64(to)
+// reverseKey encodes a reply link by its endpoint node pair, packed
+// as the width-based product (level*width + from)*width + to under the
+// reverse bit. Reply traffic is sparse in this space, exists only when
+// Options.Replies is set, and always sorts after the forward keys (the
+// reverse bit). The product is strictly monotone in (level, from, to),
+// the same order as the old 48/24-bit fields, so insertion order — and
+// therefore every result — is unchanged; unlike fixed bit fields it
+// keeps working up to topology-scale widths (2^31 nodes).
+func (r *router) reverseKey(level, from, to int) uint64 {
+	return reverseBit | ((uint64(level)*r.width+uint64(from))*r.width + uint64(to))
 }
 
 // router holds the immutable per-run configuration; all mutable state
@@ -119,8 +148,15 @@ func Route(spec Spec, pkts []*packet.Packet, opts Options) Stats {
 	if spec.Levels() < 2 {
 		panic("leveled: network needs at least 2 levels")
 	}
-	if spec.Width() > 1<<24 || spec.Degree() > 1<<24 {
-		panic("leveled: width or degree exceeds the 24-bit key space")
+	// Guard the product key encodings against 64-bit wrap: forward keys
+	// reach (logical-1)*width*degree and reverse keys logical*width^2,
+	// and either crossing 2^63 would collide with the reverse-bit
+	// namespace. Every spec the old 24-bit bit-field guard admitted
+	// passes this one; it newly admits topology-scale widths.
+	logical := uint64(2*spec.Levels() - 1)
+	w, d := uint64(spec.Width()), uint64(spec.Degree())
+	if keySpaceOverflows(logical, w, w) || keySpaceOverflows(logical, w, d) {
+		panic("leveled: width x degree key space overflows 63 bits")
 	}
 	r := &router{
 		spec:    spec,
@@ -141,19 +177,25 @@ func Route(spec Spec, pkts []*packet.Packet, opts Options) Stats {
 	if !opts.Replies && !opts.HashedKeys {
 		maxKey = uint64(r.logical-1) * r.width * r.degree
 	}
-	engOpts := engine.Options{Workers: opts.Workers, Seed: opts.Seed, MaxKey: maxKey}
+	engOpts := engine.Options{
+		Workers:    opts.Workers,
+		Seed:       opts.Seed,
+		MaxKey:     maxKey,
+		MemBudget:  opts.MemBudget,
+		ForcePaged: opts.PagedKeys,
+	}
 	if opts.Event != nil {
 		ev := *opts.Event
 		ev.Nodes = spec.Width()
 		ev.NodeOf = func(key uint64) int {
 			if key&reverseBit != 0 {
-				return int((key >> 24) & 0xffffff)
+				return int((key &^ reverseBit) / r.width % r.width)
 			}
 			return int((key / r.degree) % r.width)
 		}
 		ev.PeerOf = func(key uint64) int {
 			if key&reverseBit != 0 {
-				return int(key & 0xffffff)
+				return int((key &^ reverseBit) % r.width)
 			}
 			cell := key / r.degree
 			return r.spec.Out(r.physLevel(int(cell/r.width)), int(cell%r.width), int(key%r.degree))
@@ -187,6 +229,9 @@ func Route(spec Spec, pkts []*packet.Packet, opts Options) Stats {
 			ctx.Emit(r.forwardKey(0, p.Src, slot), p)
 		}
 	}, r.handle, combiner)
+	if opts.MemStats != nil {
+		*opts.MemStats = eng.MemStats()
+	}
 	return Stats{
 		Rounds:            st.Rounds,
 		RequestRounds:     st.RequestRounds,
@@ -298,7 +343,7 @@ func (r *router) makeReply(p *packet.Packet) {
 func (r *router) replyArrival(p *packet.Packet) engine.Arrival {
 	from := int(p.Path[p.Stage])
 	to := int(p.Path[p.Stage-1])
-	return engine.Arrival{Key: reverseKey(p.Stage-1, from, to), P: p}
+	return engine.Arrival{Key: r.reverseKey(p.Stage-1, from, to), P: p}
 }
 
 // handleReplyArrival advances a retracing reply one column toward its

@@ -126,6 +126,18 @@ type Options struct {
 	// the knob exists for benchmarking the fallback and for
 	// path-coverage tests.
 	HashedKeys bool
+	// PagedKeys forces the engine's paged dense tables even when the
+	// declared key space fits flat ones (the engine pages
+	// automatically beyond 2^24 keys). Results are bit-identical
+	// either way.
+	PagedKeys bool
+	// MemBudget caps the engine's fixed link-table footprint in bytes;
+	// over budget the run degrades to hashed state instead of
+	// erroring. Zero means no budget. See engine.Options.MemBudget.
+	MemBudget int64
+	// MemStats, when non-nil, receives the engine's resolved state and
+	// table footprint after the run.
+	MemStats *engine.MemStats
 }
 
 // Stats aggregates one routing run.
@@ -175,10 +187,12 @@ func Route(g *Grid, pkts []*packet.Packet, opts Options) Stats {
 		maxKey = uint64(g.Nodes()) * numDirs
 	}
 	eng := engine.New(engine.Options{
-		Workers:  opts.Workers,
-		Seed:     opts.Seed,
-		NewQueue: r.newQueue,
-		MaxKey:   maxKey,
+		Workers:    opts.Workers,
+		Seed:       opts.Seed,
+		NewQueue:   r.newQueue,
+		MaxKey:     maxKey,
+		MemBudget:  opts.MemBudget,
+		ForcePaged: opts.PagedKeys,
 	})
 	st := eng.Run(func(ctx *engine.Ctx) {
 		root := prng.New(opts.Seed)
@@ -204,6 +218,9 @@ func Route(g *Grid, pkts []*packet.Packet, opts Options) Stats {
 			}
 		}
 	}, r.handle, nil)
+	if opts.MemStats != nil {
+		*opts.MemStats = eng.MemStats()
+	}
 	return Stats{
 		Rounds:            st.Rounds,
 		MaxQueue:          st.MaxQueue,

@@ -1,5 +1,7 @@
 package packet
 
+import "unsafe"
+
 // arenaSlabSize is the number of packets per slab: large enough that
 // slab bookkeeping vanishes, small enough that a run of a few hundred
 // packets does not overshoot badly.
@@ -60,6 +62,15 @@ func (a *Arena) At(i int) *Packet {
 // reuses them from the start. Every packet handed out before the
 // Reset is invalidated (its memory will be reused).
 func (a *Arena) Reset() { a.n = 0 }
+
+// Bytes returns the slab footprint: the memory held by every slab ever
+// allocated (slabs survive Reset), not counting the backing arrays of
+// per-packet Path/Children/CombinedAt slices. It is the packet-side
+// half of a run's memory pricing (engine.MemStats holds the
+// link-table half).
+func (a *Arena) Bytes() int64 {
+	return int64(len(a.slabs)) * arenaSlabSize * int64(unsafe.Sizeof(Packet{}))
+}
 
 // NewIn allocates from a when non-nil and from the heap otherwise,
 // letting workload generators take an optional arena without

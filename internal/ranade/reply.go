@@ -14,12 +14,14 @@ import (
 //
 // Reverse links are keyed densely: a butterfly node has exactly two
 // upstream neighbours, so the link from flat node id f back toward
-// the row whose distinguishing bit is b is key f*2 + b. On all but
-// the largest instances the keys index a slice-backed table with an
-// incrementally maintained active-key list (the same flat-state
-// layout as the round engine's dense path); a hash map serves as the
-// fallback beyond the table-memory cap. The key order equals the old
-// packed (from, to) order, so round counts are unchanged.
+// the row whose distinguishing bit is b is key f*2 + b. The keys
+// index a slice-backed table with an incrementally maintained
+// active-key list (the same flat-state layout as the round engine's
+// dense path) — flat up to denseReplyLimit keys, fixed-size pages
+// allocated on first touch beyond it, so even the largest instances
+// pay only for touched reverse links; a hash map remains as the
+// forced-hashed ablation. The key order equals the old packed
+// (from, to) order, so round counts are unchanged.
 //
 // Insertions are staged per round and committed in sorted (link,
 // packet ID) order — the engine's radix sort over its canonical
@@ -28,8 +30,12 @@ import (
 type replyPass struct {
 	n  *Network
 	st *Stats
-	// table is the dense reverse-link state; nil selects links.
+	// table is the flat dense reverse-link state; pages is the paged
+	// variant serving key spaces beyond the flat cap (fixed-size
+	// pages of slice headers, allocated on first touch); nil both
+	// selects links.
 	table  [][]*packet.Packet
+	pages  []*[replyPageSize][]*packet.Packet
 	active []uint64
 	// links is the hashed fallback, keyed identically.
 	links map[uint64][]*packet.Packet
@@ -41,19 +47,37 @@ type replyPass struct {
 	maxQueue int
 }
 
-// denseReplyLimit caps the reverse-link table at 2M slice headers
-// (~48 MiB); the k=20 worst case would need 44M.
+// denseReplyLimit caps the flat reverse-link table at 2M slice
+// headers (~48 MiB up front). Beyond it the table is paged: the k=20
+// worst case, 44M keys, then prices a ~86K-entry page directory plus
+// only the pages reply traffic actually touches.
 const denseReplyLimit = 1 << 21
+
+// replyPageBits sizes the paged reverse-link pages, mirroring the
+// round engine's paged tables.
+const (
+	replyPageBits = 12
+	replyPageSize = 1 << replyPageBits
+	replyPageMask = replyPageSize - 1
+)
 
 func newReplyPass(n *Network, st *Stats, hashed bool) *replyPass {
 	rp := &replyPass{n: n, st: st}
-	if keys := 2 * (n.k + 1) * n.rows; !hashed && keys <= denseReplyLimit {
-		rp.table = make([][]*packet.Packet, keys)
-	} else {
+	keys := 2 * (n.k + 1) * n.rows
+	switch {
+	case hashed:
 		rp.links = make(map[uint64][]*packet.Packet)
+	case keys <= denseReplyLimit:
+		rp.table = make([][]*packet.Packet, keys)
+	default:
+		rp.pages = make([]*[replyPageSize][]*packet.Packet, (keys-1)>>replyPageBits+1)
 	}
 	return rp
 }
+
+// dense reports whether the pass keeps an active-key list (flat or
+// paged tables) rather than the hashed map.
+func (rp *replyPass) dense() bool { return rp.table != nil || rp.pages != nil }
 
 // linkKey encodes the reverse link from flat node id `from` to flat
 // node id `to` one level up the return path. The two candidate target
@@ -112,7 +136,7 @@ func (rp *replyPass) commit() {
 	sorted, spare := engine.SortArrivals(rp.staged, rp.spare)
 	for _, s := range sorted {
 		q := rp.queueAt(s.Key)
-		if rp.table != nil && len(q) == 0 {
+		if rp.dense() && len(q) == 0 {
 			rp.active = append(rp.active, s.Key)
 		}
 		q = append(q, s.P)
@@ -130,12 +154,27 @@ func (rp *replyPass) queueAt(key uint64) []*packet.Packet {
 	if rp.table != nil {
 		return rp.table[key]
 	}
+	if rp.pages != nil {
+		if pg := rp.pages[key>>replyPageBits]; pg != nil {
+			return pg[key&replyPageMask]
+		}
+		return nil
+	}
 	return rp.links[key]
 }
 
 func (rp *replyPass) setQueue(key uint64, q []*packet.Packet) {
 	if rp.table != nil {
 		rp.table[key] = q
+		return
+	}
+	if rp.pages != nil {
+		pg := rp.pages[key>>replyPageBits]
+		if pg == nil {
+			pg = new([replyPageSize][]*packet.Packet)
+			rp.pages[key>>replyPageBits] = pg
+		}
+		pg[key&replyPageMask] = q
 		return
 	}
 	rp.links[key] = q
@@ -152,19 +191,19 @@ func (rp *replyPass) pending() bool { return rp.inFlight > 0 }
 // live links is free to be a map walk or the active list.
 func (rp *replyPass) step(round int) {
 	rp.commit()
-	if rp.table != nil {
+	if rp.dense() {
 		for i := 0; i < len(rp.active); {
 			key := rp.active[i]
-			q := rp.table[key]
+			q := rp.queueAt(key)
 			p := q[0]
 			q[0] = nil
 			if len(q) == 1 {
-				rp.table[key] = q[:0]
+				rp.setQueue(key, q[:0])
 				last := len(rp.active) - 1
 				rp.active[i] = rp.active[last]
 				rp.active = rp.active[:last]
 			} else {
-				rp.table[key] = q[1:]
+				rp.setQueue(key, q[1:])
 				i++
 			}
 			rp.inFlight--

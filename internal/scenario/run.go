@@ -44,6 +44,7 @@ type Result struct {
 	Fault         string  `json:"fault,omitempty"`  // fault-level label of event cells
 	SkipPhase1    bool    `json:"skip_phase1,omitempty"`
 	Hashed        bool    `json:"hashed,omitempty"`
+	Paged         bool    `json:"paged,omitempty"`
 	Workers       int     `json:"workers"`
 	Trials        int     `json:"trials"`
 	Seed          uint64  `json:"seed"`
@@ -64,7 +65,20 @@ type Result struct {
 	// transmissions across trials (zero on round cells). On event
 	// cells RoundsMean/RoundsMax/RoundsPerDiam price delivered time in
 	// ticks rather than synchronous rounds.
-	Retransmits  int     `json:"retransmits,omitempty"`
+	Retransmits int `json:"retransmits,omitempty"`
+	// The memory-pricing fields (E19), filled on round-engine cells:
+	// State names the link-state representation that actually priced
+	// the cell ("dense", "paged" or "hashed"), Degraded that a
+	// MemBudget demoted a dense/paged request to the hashed fallback,
+	// TableBytes the engine's link-table footprint, ArenaBytes the
+	// packet-arena slab footprint, and BPerNode their sum per network
+	// node — the scaling figure E19 sweeps. Event cells leave them
+	// empty (the event loop prices time, not table memory).
+	State        string  `json:"state,omitempty"`
+	Degraded     bool    `json:"degraded,omitempty"`
+	TableBytes   int64   `json:"table_bytes,omitempty"`
+	ArenaBytes   int64   `json:"arena_bytes,omitempty"`
+	BPerNode     float64 `json:"b_per_node,omitempty"`
 	ElapsedMS    float64 `json:"elapsed_ms,omitempty"`
 	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
 }
@@ -101,7 +115,7 @@ func RunCell(c Cell) (Result, error) {
 		return Result{}, fmt.Errorf("%s has no leveled unrolling", b.Name())
 	}
 	if b.Nodes() > topology.MaxNodes {
-		return Result{}, fmt.Errorf("%s has %d nodes, exceeding the simulator's 24-bit key space", b.Name(), b.Nodes())
+		return Result{}, fmt.Errorf("%s has %d nodes, exceeding the simulator's node-id limit (%d)", b.Name(), b.Nodes(), topology.MaxNodes)
 	}
 	if c.Trials < 1 {
 		c.Trials = 1
@@ -132,11 +146,37 @@ func RunCell(c Cell) (Result, error) {
 	return runGenericCell(b, gen, p, c)
 }
 
-// emulMemory is the PRAM address-space size M of emulation-mode
-// cells, matching cmd/pramemu's default: comfortably larger than the
-// simulator's 24-bit node-count cap, so every registered family has
-// at least one address per memory module.
+// emulMemory is the minimum PRAM address-space size M of
+// emulation-mode cells, matching cmd/pramemu's default. Networks up
+// to 2^24 nodes use it as-is (keeping historical artifacts
+// byte-identical); emulMemorySize doubles it for larger networks so
+// every memory module still owns at least one address.
 const emulMemory = 1 << 24
+
+// emulMemorySize returns the PRAM address-space size for a network:
+// the emulMemory default, doubled until it covers the node count.
+func emulMemorySize(nodes int) uint64 {
+	m := uint64(emulMemory)
+	for m < uint64(nodes) {
+		m <<= 1
+	}
+	return m
+}
+
+// memStats fills the Result's memory-pricing fields from the engine's
+// resolved state and the cell arena's slab footprint. Event cells
+// never reach it: the event loop prices time in ticks, not table
+// memory, so their Results leave the fields empty.
+func memStats(res Result, ms engine.MemStats, arena *packet.Arena) Result {
+	res.State = ms.State.String()
+	res.Degraded = ms.Degraded
+	res.TableBytes = ms.TableBytes
+	res.ArenaBytes = arena.Bytes()
+	if res.Nodes > 0 {
+		res.BPerNode = float64(res.TableBytes+res.ArenaBytes) / float64(res.Nodes)
+	}
+	return res
+}
 
 // emulNetwork adapts the cell's topology for the emulator, mirroring
 // the route-mode dispatch: the specialized §3.3 two-phase scheme
@@ -145,7 +185,7 @@ const emulMemory = 1 << 24
 // cell (or a leveled-only family) selects it, on the Algorithm
 // 2.2-style point-to-point view otherwise. The returned view string
 // names the router for reports.
-func emulNetwork(b topology.Built, gen workload.Generator, c Cell) (emul.Network, string, error) {
+func emulNetwork(b topology.Built, gen workload.Generator, c Cell, ms *engine.MemStats) (emul.Network, string, error) {
 	if meshRouted(b, c.Topo, gen.Class, c.Mode) {
 		alg, err := meshAlgorithm(c.Algorithm)
 		if err != nil {
@@ -156,8 +196,11 @@ func emulNetwork(b topology.Built, gen workload.Generator, c Cell) (emul.Network
 			return nil, "", err
 		}
 		net := &emul.MeshNetwork{
-			G:    b.Graph.(*mesh.Grid),
-			Opts: mesh.Options{Algorithm: alg, Discipline: disc, HashedKeys: c.Hashed},
+			G: b.Graph.(*mesh.Grid),
+			Opts: mesh.Options{
+				Algorithm: alg, Discipline: disc, HashedKeys: c.Hashed,
+				PagedKeys: c.Paged, MemBudget: c.MemBudget, MemStats: ms,
+			},
 		}
 		return net, "mesh(§3.3)", nil
 	}
@@ -178,6 +221,9 @@ func emulNetwork(b topology.Built, gen workload.Generator, c Cell) (emul.Network
 	}
 	net.SkipPhase1 = c.SkipPhase1
 	net.HashedKeys = c.Hashed
+	net.PagedKeys = c.Paged
+	net.MemBudget = c.MemBudget
+	net.MemStats = ms
 	return net, view, nil
 }
 
@@ -191,7 +237,8 @@ func emulNetwork(b topology.Built, gen workload.Generator, c Cell) (emul.Network
 // derive from the spec alone. p arrives pre-defaulted and validated
 // by RunCell.
 func runEmulCell(b topology.Built, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
-	net, view, err := emulNetwork(b, gen, c)
+	var ms engine.MemStats
+	net, view, err := emulNetwork(b, gen, c, &ms)
 	if err != nil {
 		return Result{}, err
 	}
@@ -208,7 +255,7 @@ func runEmulCell(b topology.Built, gen workload.Generator, p workload.Params, c 
 		}
 		reqs := workload.StepRequests(gen.Class, net.Nodes(), pkts)
 		e, err := emul.New(net, emul.Config{
-			Memory:  emulMemory,
+			Memory:  emulMemorySize(net.Nodes()),
 			Seed:    s * 31,
 			Combine: c.Mode == ModeCRCW,
 			Workers: c.Workers,
@@ -248,6 +295,7 @@ func runEmulCell(b topology.Built, gen workload.Generator, p workload.Params, c 
 		// recorded as applied there.
 		res.SkipPhase1 = c.SkipPhase1
 	}
+	res = memStats(res, ms, arena)
 	return finish(res, c, rounds, time.Since(start)), nil
 }
 
@@ -262,11 +310,15 @@ func runMeshCell(b topology.Built, g *mesh.Grid, gen workload.Generator, p workl
 	if err != nil {
 		return Result{}, err
 	}
+	var ms engine.MemStats
 	opts := mesh.Options{
 		Algorithm:  alg,
 		Discipline: disc,
 		Workers:    c.Workers,
 		HashedKeys: c.Hashed,
+		PagedKeys:  c.Paged,
+		MemBudget:  c.MemBudget,
+		MemStats:   &ms,
 	}
 	if gen.Class == workload.ClassLocal {
 		opts.LocalityBound = p.D
@@ -300,6 +352,7 @@ func runMeshCell(b topology.Built, g *mesh.Grid, gen workload.Generator, p workl
 		View:       "mesh(§3.4)",
 		MaxQueue:   maxQ,
 	}
+	res = memStats(res, ms, arena)
 	return finish(res, c, rounds, time.Since(start)), nil
 }
 
@@ -319,6 +372,7 @@ func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params,
 	}
 	rounds := make([]int, 0, c.Trials)
 	maxQ, retransmits := 0, 0
+	var ms engine.MemStats
 	arena := packet.NewArena()
 	start := time.Now()
 	for trial := 0; trial < c.Trials; trial++ {
@@ -332,14 +386,16 @@ func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params,
 		if useSpec {
 			st := leveled.Route(b.Spec, pkts, leveled.Options{
 				Seed: s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
-				HashedKeys: c.Hashed, Combine: combine, Event: evOpts,
+				HashedKeys: c.Hashed, PagedKeys: c.Paged, MemBudget: c.MemBudget,
+				MemStats: &ms, Combine: combine, Event: evOpts,
 			})
 			r, q = st.Rounds, st.MaxQueue
 			retransmits += st.Retransmits
 		} else {
 			st, err := simnet.Route(b.Graph, pkts, simnet.Options{
 				Seed: s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
-				HashedKeys: c.Hashed, Combine: combine, Event: evOpts,
+				HashedKeys: c.Hashed, PagedKeys: c.Paged, MemBudget: c.MemBudget,
+				MemStats: &ms, Combine: combine, Event: evOpts,
 			})
 			if err != nil {
 				return Result{}, err
@@ -369,6 +425,8 @@ func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params,
 		res.Engine = EngineEvent
 		res.Fault = c.Fault.Label()
 		res.Retransmits = retransmits
+	} else {
+		res = memStats(res, ms, arena)
 	}
 	return finish(res, c, rounds, time.Since(start)), nil
 }
@@ -381,6 +439,7 @@ func finish(res Result, c Cell, rounds []int, elapsed time.Duration) Result {
 	res.Trials = c.Trials
 	res.Seed = c.Seed
 	res.Hashed = c.Hashed
+	res.Paged = c.Paged
 	res.RoundsMean = mathx.MeanInts(rounds)
 	res.RoundsMax = mathx.MaxInts(rounds)
 	if res.Diameter > 0 {
@@ -451,6 +510,13 @@ func Run(spec Spec) ([]Result, error) {
 			for i := range work {
 				results[i], errs[i] = RunCell(cells[i])
 				results[i].Scenario = cells[i].Key()
+				// A budget demotion means the cell ran on a different
+				// link state than its axes requested; the key records
+				// the resolved state so the A/B pair cannot be read as
+				// two runs of one configuration.
+				if results[i].Degraded {
+					results[i].Scenario += "/state=" + results[i].State
+				}
 			}
 		}()
 	}

@@ -93,6 +93,21 @@ type Spec struct {
 	// results, different cost — the A/B pair lands in one artifact).
 	// Default: [false].
 	Hashed []bool `json:"hashed,omitempty"`
+	// Paged is the paged-table ablation axis: true cells force the
+	// engine's paged dense tables even on key spaces small enough for
+	// flat tables (identical results — the flat/paged A/B pair lands
+	// in one artifact). Networks past the flat-table cap route paged
+	// regardless; the per-cell resolved state lands in Result.State.
+	// Cells where both Hashed and Paged are true are dropped (the two
+	// forces contradict). Collapses on event cells, like Hashed.
+	// Default: [false].
+	Paged []bool `json:"paged,omitempty"`
+	// MemBudget caps the engine's fixed link-table footprint in bytes
+	// on every cell of the sweep; a dense or paged resolution over
+	// budget degrades to the hashed fallback and the cell records
+	// Degraded plus a "/state=hashed" key suffix. Zero means no
+	// budget.
+	MemBudget int64 `json:"mem_budget,omitempty"`
 	// Engines is the engine axis: "round" prices idealized synchronous
 	// rounds (the default), "event" the asynchronous discrete-event
 	// engine with the sweep's Latency model and Faults levels. Event
@@ -172,6 +187,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Hashed) == 0 {
 		s.Hashed = []bool{false}
 	}
+	if len(s.Paged) == 0 {
+		s.Paged = []bool{false}
+	}
 	if len(s.Workers) == 0 {
 		s.Workers = []int{1}
 	}
@@ -212,7 +230,12 @@ type Cell struct {
 	Seed       uint64
 	SkipPhase1 bool // ablation: no randomizing phase
 	Hashed     bool // force the engine's hashed-map link state
-	Timing     bool // fill ElapsedMS/RoundsPerSec (wall-clock, so
+	Paged      bool // force the engine's paged dense tables
+	// MemBudget caps the engine's fixed link-table footprint in bytes
+	// (0 = no budget); over-budget dense/paged resolutions degrade to
+	// the hashed fallback and the Result records Degraded.
+	MemBudget int64
+	Timing    bool // fill ElapsedMS/RoundsPerSec (wall-clock, so
 	// sweeps leave it off to keep JSONL deterministic)
 }
 
@@ -249,6 +272,12 @@ func (c Cell) Key() string {
 	}
 	if c.Hashed {
 		b.WriteString("/hashedkeys")
+	}
+	if c.Paged {
+		b.WriteString("/pagedkeys")
+	}
+	if c.MemBudget > 0 {
+		fmt.Fprintf(&b, "/mem=%d", c.MemBudget)
 	}
 	fmt.Fprintf(&b, "/w=%d", c.Workers)
 	return b.String()
@@ -354,7 +383,7 @@ func (s Spec) cells() ([]Cell, error) {
 			return nil, fmt.Errorf("%s has no leveled unrolling", b.Name())
 		}
 		if b.Nodes() > topology.MaxNodes {
-			return nil, fmt.Errorf("%s has %d nodes, exceeding the simulator's 24-bit key space", b.Name(), b.Nodes())
+			return nil, fmt.Errorf("%s has %d nodes, exceeding the simulator's node-id limit (%d)", b.Name(), b.Nodes(), topology.MaxNodes)
 		}
 		for _, wr := range s.Workloads {
 			gen, ok := workload.Lookup(wr.Name)
@@ -412,35 +441,47 @@ func (s Spec) cells() ([]Cell, error) {
 						skips = []bool{false}
 					}
 					hashes := s.Hashed
+					pages := s.Paged
 					faults := []FaultSpec{{}}
 					var latency LatencySpec
 					if eng != "" {
 						hashes = []bool{false}
+						pages = []bool{false}
 						faults = s.Faults
 						latency = specLatency
 					}
 					for _, disc := range disciplines {
 						for _, skip := range skips {
 							for _, hashed := range hashes {
-								for _, fault := range faults {
-									for _, w := range s.Workers {
-										cells = append(cells, Cell{
-											Topo:       tr,
-											Work:       wr,
-											Built:      b,
-											Discipline: disc,
-											Algorithm:  algorithm,
-											Mode:       mode,
-											Engine:     eng,
-											Latency:    latency,
-											Fault:      fault,
-											Workers:    w,
-											Trials:     s.Trials,
-											Seed:       s.Seed,
-											SkipPhase1: skip,
-											Hashed:     hashed,
-											Timing:     s.Timing,
-										})
+								for _, paged := range pages {
+									// Forcing the hashed map and the paged
+									// tables at once contradicts; the grid
+									// keeps only the coherent combinations.
+									if hashed && paged {
+										continue
+									}
+									for _, fault := range faults {
+										for _, w := range s.Workers {
+											cells = append(cells, Cell{
+												Topo:       tr,
+												Work:       wr,
+												Built:      b,
+												Discipline: disc,
+												Algorithm:  algorithm,
+												Mode:       mode,
+												Engine:     eng,
+												Latency:    latency,
+												Fault:      fault,
+												Workers:    w,
+												Trials:     s.Trials,
+												Seed:       s.Seed,
+												SkipPhase1: skip,
+												Hashed:     hashed,
+												Paged:      paged,
+												MemBudget:  s.MemBudget,
+												Timing:     s.Timing,
+											})
+										}
 									}
 								}
 							}

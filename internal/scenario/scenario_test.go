@@ -204,6 +204,100 @@ func TestSweepWorkersAxisEquivalent(t *testing.T) {
 	}
 }
 
+// TestSweepPagedAxisAndBudget pins the paged-table axis and the
+// memory-budget path end to end: paged twins reproduce the flat-dense
+// rounds bit-identically under "/pagedkeys" keys and record
+// state=paged, the contradictory hashed∧paged combination is dropped
+// from the grid, and an impossible budget degrades every cell to the
+// hashed fallback — same rounds, Degraded recorded, and the
+// "/state=hashed" key suffix marking the demotion in the artifact.
+func TestSweepPagedAxisAndBudget(t *testing.T) {
+	spec := Spec{
+		Name: "paged-test",
+		// The three router kinds: generic direct, specialized mesh,
+		// leveled-only.
+		Topologies: []TopoRef{
+			{Family: "star", N: 4},
+			{Family: "mesh", N: 4},
+			{Family: "butterfly", N: 3},
+		},
+		Workloads: []WorkRef{{Name: "perm"}},
+		Hashed:    []bool{false, true},
+		Paged:     []bool{false, true},
+		Workers:   []int{1, 4},
+		Trials:    1,
+		Seed:      7,
+	}
+	results := mustRun(t, spec)
+	// 3 surviving (hashed, paged) combinations x 3 topologies x 2
+	// workers: the hashed∧paged cell contradicts and is dropped.
+	if len(results) != 18 {
+		t.Fatalf("grid expanded to %d cells, want 18", len(results))
+	}
+	byKey := make(map[string]Result, len(results))
+	for _, r := range results {
+		byKey[r.Scenario] = r
+		if r.TableBytes <= 0 || r.ArenaBytes <= 0 || r.BPerNode <= 0 {
+			t.Fatalf("cell missing memory pricing: %+v", r)
+		}
+		if r.Degraded {
+			t.Fatalf("unbudgeted cell reports degradation: %+v", r)
+		}
+	}
+	pagedCells := 0
+	for key, r := range byKey {
+		if !strings.Contains(key, "/pagedkeys") {
+			continue
+		}
+		pagedCells++
+		if r.State != "paged" || !r.Paged {
+			t.Fatalf("%s resolved state %q", key, r.State)
+		}
+		flat := byKey[strings.Replace(key, "/pagedkeys", "", 1)]
+		if flat.State != "dense" {
+			t.Fatalf("flat twin of %s resolved %q", key, flat.State)
+		}
+		if r.RoundsMean != flat.RoundsMean || r.RoundsMax != flat.RoundsMax || r.MaxQueue != flat.MaxQueue {
+			t.Fatalf("paged twin diverged from flat for %s:\n%+v\n%+v", key, r, flat)
+		}
+		hashed := byKey[strings.Replace(key, "/pagedkeys", "/hashedkeys", 1)]
+		if hashed.State != "hashed" {
+			t.Fatalf("hashed twin of %s resolved %q", key, hashed.State)
+		}
+		if r.RoundsMean != hashed.RoundsMean || r.MaxQueue != hashed.MaxQueue {
+			t.Fatalf("paged twin diverged from hashed for %s:\n%+v\n%+v", key, r, hashed)
+		}
+	}
+	if pagedCells != 6 {
+		t.Fatalf("%d paged cells, want 6", pagedCells)
+	}
+	// One byte of budget fits no table: every cell degrades to the
+	// hashed fallback with identical rounds and a marked key.
+	spec.Hashed = nil
+	spec.Paged = nil
+	spec.MemBudget = 1
+	for _, r := range mustRun(t, spec) {
+		if r.State != "hashed" || !r.Degraded {
+			t.Fatalf("budgeted cell did not degrade: %+v", r)
+		}
+		if !strings.HasSuffix(r.Scenario, "/state=hashed") {
+			t.Fatalf("degraded cell key lacks the state suffix: %q", r.Scenario)
+		}
+		if !strings.Contains(r.Scenario, "/mem=1/") {
+			t.Fatalf("budgeted cell key lacks the budget segment: %q", r.Scenario)
+		}
+		base := strings.TrimSuffix(r.Scenario, "/state=hashed")
+		base = strings.Replace(base, "/mem=1", "", 1)
+		flat, ok := byKey[base]
+		if !ok {
+			t.Fatalf("no unbudgeted twin for %q", r.Scenario)
+		}
+		if r.RoundsMean != flat.RoundsMean || r.RoundsMax != flat.RoundsMax || r.MaxQueue != flat.MaxQueue {
+			t.Fatalf("degraded cell diverged from its dense twin:\n%+v\n%+v", r, flat)
+		}
+	}
+}
+
 // TestSweepGridShape checks the discipline axis expands only on
 // mesh-routed cells and many-one traffic leaves the mesh's
 // specialized router for the generic one.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"pramemu/internal/leveled"
+	"pramemu/internal/topology"
 )
 
 // Graph is a d-way shuffle network on d^n nodes.
@@ -25,7 +26,8 @@ type Graph struct {
 }
 
 // New constructs the d-way shuffle with n digit positions. It panics
-// if d < 2, n < 1, or d^n exceeds the practical simulation bound 2^24.
+// if d < 2, n < 1, or d^n exceeds the simulator's node-id limit
+// (topology.MaxNodes, 2^31).
 func New(d, n int) *Graph {
 	if d < 2 {
 		panic("shuffle: d must be >= 2")
@@ -35,8 +37,8 @@ func New(d, n int) *Graph {
 	}
 	nodes := 1
 	for i := 0; i < n; i++ {
-		if nodes > (1<<24)/d {
-			panic("shuffle: d^n exceeds the practical simulation bound")
+		if nodes > topology.MaxNodes/d {
+			panic("shuffle: d^n exceeds the simulator's node-id limit")
 		}
 		nodes *= d
 	}

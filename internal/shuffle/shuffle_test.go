@@ -23,7 +23,7 @@ func TestNewPanics(t *testing.T) {
 	for name, f := range map[string]func(){
 		"d too small": func() { New(1, 3) },
 		"n too small": func() { New(2, 0) },
-		"too large":   func() { New(2, 30) },
+		"too large":   func() { New(2, 32) },
 	} {
 		func() {
 			defer func() {

@@ -64,6 +64,21 @@ type Options struct {
 	// Results are bit-identical either way; the knob exists for
 	// benchmarking the fallback and for path-coverage tests.
 	HashedKeys bool
+	// PagedKeys forces the engine's paged dense tables even when the
+	// declared key space is small enough for flat ones. The engine
+	// selects paged tables automatically beyond 2^24 keys; the knob
+	// exists so equivalence tests and benchmarks can price the paged
+	// path at small scale. Results are bit-identical either way.
+	PagedKeys bool
+	// MemBudget caps the engine's fixed link-table footprint in bytes;
+	// over budget the run degrades to hashed state (pay-per-live-key)
+	// instead of erroring. Zero means no budget. See
+	// engine.Options.MemBudget.
+	MemBudget int64
+	// MemStats, when non-nil, receives the engine's resolved state and
+	// table footprint after the run (ArenaBytes is left to the caller,
+	// which owns the packet arena).
+	MemStats *engine.MemStats
 	// Event, when non-nil, routes on the asynchronous discrete-event
 	// engine instead of synchronous rounds: per-link latency from the
 	// configured distribution, sender-side bandwidth caps and fault
@@ -108,7 +123,10 @@ type router struct {
 	stride   uint64 // maximum out-degree, the slot-key stride
 }
 
-func edgeKey(from, to int) uint64 { return uint64(from)<<24 | uint64(to) }
+// edgeKey packs a directed (from, to) node pair into one 64-bit link
+// key, 32 bits per endpoint. topology.MaxNodes (2^31) keeps both
+// halves in range, so the encoding cannot collide.
+func edgeKey(from, to int) uint64 { return uint64(from)<<32 | uint64(to) }
 
 // maxDegree scans the topology for the widest node, the stride of the
 // dense link encoding.
@@ -124,11 +142,14 @@ func maxDegree(topo Topology) int {
 
 // Route routes pkts through topo. Packets need unique IDs and
 // endpoints within range. It mutates the packets and returns Stats.
-// A topology larger than the simulator's 24-bit link-key space is
-// rejected with an error before any routing state is built.
+// A topology larger than topology.MaxNodes (2^31 nodes — the bound at
+// which recorded path entries and packed 32-bit link-key halves would
+// overflow) is rejected with an error before any routing state is
+// built; everything below it routes, with table memory bounded by
+// touched links via the engine's paged tables.
 func Route(topo Topology, pkts []*packet.Packet, opts Options) (Stats, error) {
 	if topo.Nodes() > topology.MaxNodes {
-		return Stats{}, fmt.Errorf("simnet: %s has %d nodes, exceeding the 24-bit key space (%d)",
+		return Stats{}, fmt.Errorf("simnet: %s has %d nodes, exceeding the node-id limit (%d)",
 			topo.Name(), topo.Nodes(), topology.MaxNodes)
 	}
 	r := &router{
@@ -149,7 +170,13 @@ func Route(topo Topology, pkts []*packet.Packet, opts Options) (Stats, error) {
 			}
 		}
 	}
-	engOpts := engine.Options{Workers: opts.Workers, Seed: opts.Seed, MaxKey: maxKey}
+	engOpts := engine.Options{
+		Workers:    opts.Workers,
+		Seed:       opts.Seed,
+		MaxKey:     maxKey,
+		MemBudget:  opts.MemBudget,
+		ForcePaged: opts.PagedKeys,
+	}
 	if opts.Event != nil {
 		ev := *opts.Event
 		ev.Nodes = topo.Nodes()
@@ -160,8 +187,8 @@ func Route(topo Topology, pkts []*packet.Packet, opts Options) (Stats, error) {
 		} else {
 			// Reply-bearing runs use the packed (from, to) pair encoding
 			// for forward and reverse traffic alike.
-			ev.NodeOf = func(key uint64) int { return int(key >> 24) }
-			ev.PeerOf = func(key uint64) int { return int(key & 0xffffff) }
+			ev.NodeOf = func(key uint64) int { return int(key >> 32) }
+			ev.PeerOf = func(key uint64) int { return int(key & 0xffffffff) }
 		}
 		engOpts.Event = &ev
 	}
@@ -201,6 +228,9 @@ func Route(topo Topology, pkts []*packet.Packet, opts Options) (Stats, error) {
 			// src == intermediate == dst: the packet never moves.
 		}
 	}, r.handle, combiner)
+	if opts.MemStats != nil {
+		*opts.MemStats = eng.MemStats()
+	}
 	return Stats{
 		Rounds:            st.Rounds,
 		RequestRounds:     st.RequestRounds,
@@ -255,7 +285,7 @@ func (r *router) handle(ctx *engine.Ctx, a engine.Arrival, round int) {
 	if r.slotKeys {
 		to = r.topo.Neighbor(int(a.Key/r.stride), int(a.Key%r.stride))
 	} else {
-		to = int(a.Key & 0xffffff)
+		to = int(a.Key & 0xffffffff)
 	}
 	p.Stage++
 	if r.record {

@@ -253,16 +253,17 @@ func mustRoute(t *testing.T, topo Topology, pkts []*packet.Packet, opts Options)
 	return s
 }
 
-// hugeTopo is a fake topology claiming more nodes than the 24-bit
-// link-key space holds; Route must reject it with an error before
-// building any routing state (it was a panic before).
+// hugeTopo is a fake topology claiming more nodes than the node-id
+// limit (topology.MaxNodes, 2^31 — where recorded int32 path entries
+// and 32-bit packed link-key halves overflow); Route must reject it
+// with an error before building any routing state.
 type hugeTopo struct{ ring }
 
-func (hugeTopo) Nodes() int { return 1<<24 + 1 }
+func (hugeTopo) Nodes() int { return 1<<31 + 1 }
 
 func TestOversizedTopologyReturnsError(t *testing.T) {
 	_, err := Route(hugeTopo{ring{4}}, nil, Options{Seed: 1})
 	if err == nil {
-		t.Fatal("Route accepted a topology beyond the 24-bit key space")
+		t.Fatal("Route accepted a topology beyond the node-id limit")
 	}
 }

@@ -19,12 +19,16 @@ import (
 )
 
 // MaxNodes is the largest node count the point-to-point simulator can
-// route: its link keys pack source and destination ids into 24 bits
-// each. Registry builders, the emulator adapters and the commands all
-// enforce this one bound (the leveled router packs node ids the same
-// way and keeps its own equivalent guard, since it sits below this
-// package in the import graph).
-const MaxNodes = 1 << 24
+// route: recorded packet paths store node ids as int32, and the
+// simulator's packed pair link keys give each endpoint 32 bits, so
+// 2^31 is where node ids would genuinely overflow. Everything below
+// it routes — the engine's paged link tables bound memory by touched
+// links, not declared key space — and registry builders, the emulator
+// adapters and the commands all enforce this one bound. (The leveled
+// router packs node ids into width-based products and keeps its own
+// overflow guard, since it sits below this package in the import
+// graph.)
+const MaxNodes = 1 << 31
 
 // Graph describes a static point-to-point network. Implementations
 // must be stateless and safe for concurrent use: NextHop is called

@@ -11,7 +11,11 @@
 // break toward +1), the torus analogue of e-cube routing.
 package torus
 
-import "fmt"
+import (
+	"fmt"
+
+	"pramemu/internal/topology"
+)
 
 // Graph is a k-ary n-cube on k^n nodes.
 type Graph struct {
@@ -22,7 +26,7 @@ type Graph struct {
 
 // New constructs the k-ary n-cube with the given radix and dimension
 // count. It panics if k < 2, dims < 1, or k^dims exceeds the
-// practical simulation bound 2^24.
+// simulator's node-id limit (topology.MaxNodes, 2^31).
 func New(k, dims int) *Graph {
 	if k < 2 {
 		panic("torus: radix must be >= 2")
@@ -34,8 +38,8 @@ func New(k, dims int) *Graph {
 	pow := make([]int, dims)
 	for d := 0; d < dims; d++ {
 		pow[d] = nodes
-		if nodes > (1<<24)/k {
-			panic("torus: k^n exceeds the practical simulation bound")
+		if nodes > topology.MaxNodes/k {
+			panic("torus: k^n exceeds the simulator's node-id limit")
 		}
 		nodes *= k
 	}

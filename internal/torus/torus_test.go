@@ -117,7 +117,7 @@ func TestNewPanicsOutOfRange(t *testing.T) {
 	for name, build := range map[string]func(){
 		"radix 1":   func() { New(1, 2) },
 		"zero dims": func() { New(4, 0) },
-		"too big":   func() { New(2, 30) },
+		"too big":   func() { New(2, 32) },
 	} {
 		func() {
 			defer func() {
