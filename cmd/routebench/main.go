@@ -31,7 +31,16 @@
 // per-class aggregate rows, which `tables -sweep` renders from a
 // saved artifact. `-reportdiff a.jsonl b.jsonl` compares two saved
 // sweep artifacts byte-exactly and exits nonzero on drift — the CI
-// regression gate over checked-in smoke artifacts.
+// regression gate over checked-in smoke artifacts; both sides must
+// end in the trailer line every sweep writes, so truncated artifacts
+// fail loudly. Sweeps are fault-tolerant: a panicking cell becomes a
+// structured error line and the rest of the grid still runs
+// (-failfast cancels instead), -timeout deadlines each cell
+// individually, -out <file> runs crash-safely through the cell
+// journal with an atomic final rename (an interrupted run resumed
+// over the same path is byte-identical), and -server <url> submits
+// the spec to a cmd/sweepd daemon and streams the artifact back
+// instead of running locally.
 //
 // Point-to-point families route directly on the graph (Algorithm
 // 2.2) by default; pass -leveled for the Algorithm 2.1 unrolling
@@ -69,14 +78,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"pramemu/internal/scenario"
 	"pramemu/internal/topology"
@@ -107,6 +120,10 @@ type config struct {
 	memStats   bool
 	sweep      string
 	report     bool
+	out        string
+	timeout    time.Duration
+	failFast   bool
+	server     string
 	cpuprofile string
 	memprofile string
 
@@ -153,6 +170,10 @@ func main() {
 	flag.BoolVar(&cfg.memStats, "memstats", false, "append the memory line (resolved state, table/arena bytes, B/node) to the report")
 	flag.StringVar(&cfg.sweep, "sweep", "", "run the scenario sweep spec from this JSON file ('-' = stdin) and emit JSONL")
 	flag.BoolVar(&cfg.report, "report", false, "with -sweep: append the derived report rows (workers-axis speedups, per-class aggregates) after the result lines")
+	flag.StringVar(&cfg.out, "out", "", "with -sweep: write the artifact crash-safely to this path (journaled; atomic rename after the trailer; an interrupted run resumes)")
+	flag.DurationVar(&cfg.timeout, "timeout", 0, "with -sweep: per-cell deadline; an expired cell becomes an error line instead of killing the sweep (0 = none)")
+	flag.BoolVar(&cfg.failFast, "failfast", false, "with -sweep: cancel remaining cells when one fails hard instead of draining the grid")
+	flag.StringVar(&cfg.server, "server", "", "with -sweep: submit the spec to this sweepd base URL (e.g. http://localhost:8080) and stream the artifact back instead of running locally")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile of the routing trials to this file")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a heap profile (taken after the trials) to this file")
 	flag.StringVar(&cfg.engine, "engine", "round", "pricing engine: round (synchronous rounds) or event (asynchronous discrete-event simulation in ticks)")
@@ -264,7 +285,9 @@ func cell(cfg config) scenario.Cell {
 }
 
 // runReportDiff is the CI regression gate over sweep artifacts: the
-// two JSONL files must match byte for byte. On drift it names the
+// two JSONL files must match byte for byte. Both must carry the
+// end-of-sweep trailer — a truncated artifact fails loudly here
+// instead of silently gating on partial data. On drift it names the
 // first differing line of each and errors (nonzero exit from main).
 func runReportDiff(w io.Writer, paths []string) error {
 	if len(paths) != 2 {
@@ -277,6 +300,11 @@ func runReportDiff(w io.Writer, paths []string) error {
 	b, err := os.ReadFile(paths[1])
 	if err != nil {
 		return fmt.Errorf("reportdiff: %w", err)
+	}
+	for i, data := range [][]byte{a, b} {
+		if _, err := scenario.VerifyTrailer(bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("reportdiff: %s: %w", paths[i], err)
+		}
 	}
 	if bytes.Equal(a, b) {
 		fmt.Fprintf(w, "reportdiff: %s and %s are identical (%d bytes)\n", paths[0], paths[1], len(a))
@@ -301,25 +329,43 @@ func runReportDiff(w io.Writer, paths []string) error {
 	return fmt.Errorf("reportdiff: artifacts differ only in trailing bytes (%d vs %d)", len(a), len(b))
 }
 
-// runSweep reads the spec from the file (or stdin with "-"), runs the
-// grid and streams the JSONL artifact to w.
+// runSweep reads the spec from the file (or stdin with "-") and
+// executes it: locally — streaming the JSONL artifact to w, or
+// journaled to -out with an atomic rename after the trailer — or
+// remotely via a sweepd instance with -server. A cell failure costs
+// one error line, the rest of the grid still prices, and the
+// aggregate failure comes back as the (nonzero-exit) error after the
+// artifact is written in full.
 func runSweep(w io.Writer, cfg config) error {
-	var in io.Reader
+	var (
+		raw []byte
+		err error
+	)
 	if cfg.sweep == "-" {
-		in = os.Stdin
+		raw, err = io.ReadAll(os.Stdin)
 	} else {
-		f, err := os.Open(cfg.sweep)
-		if err != nil {
-			return fmt.Errorf("sweep: %w", err)
-		}
-		defer f.Close()
-		in = f
+		raw, err = os.ReadFile(cfg.sweep)
 	}
-	spec, err := scenario.ReadSpec(in)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	spec, err := scenario.ReadSpec(bytes.NewReader(raw))
 	if err != nil {
 		return err
 	}
+	if cfg.timeout > 0 {
+		spec.TimeoutMS = cfg.timeout.Milliseconds()
+	}
+	if cfg.failFast {
+		spec.FailFast = true
+	}
+	if cfg.server != "" {
+		return runSweepClient(w, cfg, spec)
+	}
 	if cfg.report {
+		if cfg.out != "" {
+			return fmt.Errorf("sweep: -out and -report do not compose (the journaled artifact holds result lines only); redirect stdout instead")
+		}
 		// Time the run so the report's speedup column is real, but
 		// strip the wall-clock fields from the result lines: those
 		// stay byte-reproducible, only the trailing report rows carry
@@ -329,12 +375,28 @@ func runSweep(w io.Writer, cfg config) error {
 		spec.Timing = true
 		spec.Pool = 1
 	}
-	results, err := scenario.Run(spec)
+	hash, err := scenario.SpecHash(spec)
 	if err != nil {
 		return err
 	}
+	if cfg.out != "" {
+		_, err := scenario.RunJournaled(context.Background(), spec, cfg.out, scenario.JournalOptions{})
+		return err
+	}
+	results, runErr := scenario.Run(spec)
+	if runErr != nil {
+		var agg *scenario.AggregateError
+		if !errors.As(runErr, &agg) {
+			return runErr
+		}
+		// Cell failures: the full artifact (error lines included)
+		// still streams; the aggregate error exits nonzero after.
+	}
 	if !cfg.report {
-		return scenario.WriteJSONL(w, results)
+		if err := scenario.WriteArtifact(w, hash, results); err != nil {
+			return err
+		}
+		return runErr
 	}
 	stripped := make([]scenario.Result, len(results))
 	for i, r := range results {
@@ -344,7 +406,116 @@ func runSweep(w io.Writer, cfg config) error {
 	if err := scenario.WriteJSONL(w, stripped); err != nil {
 		return err
 	}
-	return scenario.WriteReportJSONL(w, scenario.Report(results))
+	if err := scenario.WriteReportJSONL(w, scenario.Report(results)); err != nil {
+		return err
+	}
+	// The trailer closes the stream after the report rows; its cell
+	// count covers the result lines above them.
+	if err := scenario.WriteTrailer(w, hash, stripped); err != nil {
+		return err
+	}
+	return runErr
+}
+
+// runSweepClient submits the spec to a sweepd instance, polls the job
+// until it settles, and streams the artifact to w (and -out, when
+// set). Identical specs are served from the daemon's content-
+// addressed cache without re-running.
+func runSweepClient(w io.Writer, cfg config, spec scenario.Spec) error {
+	base := strings.TrimRight(cfg.server, "/")
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	st, code, err := postJSON(base+"/sweeps", body)
+	if err != nil {
+		return fmt.Errorf("sweep: submitting to %s: %w", base, err)
+	}
+	switch code {
+	case http.StatusOK, http.StatusAccepted:
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("sweep: %s is shedding load (queue full); retry later", base)
+	default:
+		return fmt.Errorf("sweep: %s rejected the spec: %s", base, st.Error)
+	}
+	for st.State != "done" {
+		switch st.State {
+		case "failed", "canceled":
+			return fmt.Errorf("sweep: job %s %s: %s", st.ID, st.State, st.Error)
+		}
+		time.Sleep(200 * time.Millisecond)
+		if st, err = getStatus(base + "/sweeps/" + st.ID); err != nil {
+			return fmt.Errorf("sweep: polling job: %w", err)
+		}
+	}
+	resp, err := http.Get(base + "/sweeps/" + st.ID + "/artifact")
+	if err != nil {
+		return fmt.Errorf("sweep: fetching artifact: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("sweep: fetching artifact: %s", resp.Status)
+	}
+	if cfg.out == "" {
+		_, err := io.Copy(w, resp.Body)
+		return err
+	}
+	tmp := cfg.out + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if _, err := io.Copy(f, resp.Body); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: %w", err)
+	}
+	if err := os.Rename(tmp, cfg.out); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: %w", err)
+	}
+	return nil
+}
+
+// sweepdStatus mirrors sweepd's job-status JSON (decoded loosely so
+// the client has no package dependency on the daemon).
+type sweepdStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+func postJSON(url string, body []byte) (sweepdStatus, int, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sweepdStatus{}, 0, err
+	}
+	defer resp.Body.Close()
+	var st sweepdStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return sweepdStatus{}, resp.StatusCode, err
+	}
+	return st, resp.StatusCode, nil
+}
+
+func getStatus(url string) (sweepdStatus, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return sweepdStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sweepdStatus{}, fmt.Errorf("%s", resp.Status)
+	}
+	var st sweepdStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return sweepdStatus{}, err
+	}
+	return st, nil
 }
 
 // list prints both registries: the -net families and the -workload

@@ -241,11 +241,18 @@ func TestRunSweep(t *testing.T) {
 	}
 	first := out()
 	lines := strings.Split(strings.TrimSpace(first), "\n")
-	if len(lines) != 18 { // 3 families x 3 workloads x 2 workers
-		t.Fatalf("sweep emitted %d lines, want 18:\n%s", len(lines), first)
+	if len(lines) != 19 { // 3 families x 3 workloads x 2 workers + trailer
+		t.Fatalf("sweep emitted %d lines, want 19:\n%s", len(lines), first)
+	}
+	var trailer scenario.Trailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil || trailer.Report != scenario.TrailerReport {
+		t.Fatalf("last line is not the trailer: %v\n%s", err, lines[len(lines)-1])
+	}
+	if trailer.Cells != 18 || trailer.Errors != 0 {
+		t.Fatalf("trailer counts wrong: %+v", trailer)
 	}
 	prevKey := ""
-	for _, line := range lines {
+	for _, line := range lines[:len(lines)-1] {
 		var res result
 		if err := json.Unmarshal([]byte(line), &res); err != nil {
 			t.Fatalf("line is not a Result: %v\n%s", err, line)
@@ -268,6 +275,31 @@ func TestRunSweep(t *testing.T) {
 	var b strings.Builder
 	if err := run(&b, config{sweep: filepath.Join(t.TempDir(), "absent.json")}); err == nil {
 		t.Fatal("missing sweep spec accepted")
+	}
+
+	// -out runs the same sweep through the journaled writer: the
+	// published artifact is byte-identical to the streamed one, and no
+	// .tmp or .journal intermediate survives the atomic finalize.
+	outPath := filepath.Join(t.TempDir(), "artifact.jsonl")
+	b.Reset()
+	if err := run(&b, config{sweep: path, out: outPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != first {
+		t.Fatalf("-out artifact drifted from the streamed sweep:\n%s\nvs\n%s", data, first)
+	}
+	for _, leftover := range []string{outPath + ".tmp", outPath + ".journal"} {
+		if _, err := os.Stat(leftover); !os.IsNotExist(err) {
+			t.Fatalf("journaled sweep left %s behind", leftover)
+		}
+	}
+	// -out and -report do not compose.
+	if err := run(&b, config{sweep: path, out: outPath, report: true}); err == nil {
+		t.Fatal("-out -report accepted")
 	}
 }
 
@@ -323,6 +355,9 @@ func TestRunSweepEmulSpec(t *testing.T) {
 	}
 	modes := map[string]int{}
 	for _, line := range strings.Split(strings.TrimSpace(first), "\n") {
+		if strings.Contains(line, `"report":`) {
+			continue // the trailer line
+		}
 		var res result
 		if err := json.Unmarshal([]byte(line), &res); err != nil {
 			t.Fatalf("line is not a Result: %v\n%s", err, line)
@@ -437,15 +472,22 @@ func TestRunEventEngine(t *testing.T) {
 }
 
 // TestRunReportDiff pins the -reportdiff gate: identical artifacts
-// pass, a one-byte drift errors naming the differing line, and wrong
-// usage errors.
+// pass, a one-byte drift errors naming the differing line, a
+// truncated (trailer-less) artifact fails loudly, and wrong usage
+// errors.
 func TestRunReportDiff(t *testing.T) {
 	dir := t.TempDir()
 	a := filepath.Join(dir, "a.jsonl")
 	b := filepath.Join(dir, "b.jsonl")
 	c := filepath.Join(dir, "c.jsonl")
-	body := "{\"scenario\":\"x/w=1\",\"rounds_mean\":4}\n{\"scenario\":\"x/w=2\",\"rounds_mean\":4}\n"
-	for path, content := range map[string]string{a: body, b: body, c: strings.Replace(body, "mean\":4}\n{", "mean\":5}\n{", 1)} {
+	truncated := filepath.Join(dir, "truncated.jsonl")
+	body := "{\"scenario\":\"x/w=1\",\"rounds_mean\":4}\n{\"scenario\":\"x/w=2\",\"rounds_mean\":4}\n" +
+		"{\"report\":\"trailer\",\"cells\":2}\n"
+	for path, content := range map[string]string{
+		a: body, b: body,
+		c:         strings.Replace(body, "mean\":4}\n{", "mean\":5}\n{", 1),
+		truncated: strings.Replace(body, "{\"report\":\"trailer\",\"cells\":2}\n", "", 1),
+	} {
 		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -463,6 +505,10 @@ func TestRunReportDiff(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "line 1") {
 		t.Fatalf("drift error does not locate the line: %v", err)
+	}
+	if err := run(&out, config{reportdiff: true, diffArgs: []string{a, truncated}}); err == nil ||
+		!strings.Contains(err.Error(), "trailer") {
+		t.Fatalf("trailer-less artifact: want a loud truncation error, got %v", err)
 	}
 	if err := run(&out, config{reportdiff: true, diffArgs: []string{a}}); err == nil {
 		t.Fatal("single-artifact reportdiff accepted")
@@ -525,7 +571,7 @@ func TestRunSweepReportRoundTrip(t *testing.T) {
 	rebuilt := scenario.Report(parsed)
 	var fromArtifact []scenario.ReportRow
 	for _, line := range strings.Split(strings.TrimSpace(artifact), "\n") {
-		if !strings.Contains(line, `"report":`) {
+		if !strings.Contains(line, `"report":`) || strings.Contains(line, `"report":"trailer"`) {
 			continue
 		}
 		var row scenario.ReportRow

@@ -1,0 +1,88 @@
+// Command sweepd serves the sweep pipeline over HTTP: POST a scenario
+// spec, poll the job, fetch the byte-reproducible JSONL artifact.
+// Jobs are content-addressed by spec hash (duplicate submissions are
+// served from the artifact cache), the queue is bounded (full = 429 +
+// Retry-After), and every job runs through the journaled runner — a
+// SIGTERM checkpoints running jobs and a restarted daemon resumes
+// them to byte-identical artifacts.
+//
+// Examples:
+//
+//	sweepd -addr :8080 -data /var/lib/sweepd
+//	curl -s -XPOST --data-binary @sweeps/smoke.json localhost:8080/sweeps
+//	curl -s localhost:8080/sweeps/<id>
+//	curl -s localhost:8080/sweeps/<id>/artifact
+//	curl -s -XPOST localhost:8080/sweeps/<id>/cancel
+//	curl -s localhost:8080/healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pramemu/internal/sweepd"
+	_ "pramemu/internal/topology/families"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		data    = flag.String("data", "sweepd-data", "data directory: specs, journals and artifacts (the daemon's durable state)")
+		queue   = flag.Int("queue", 16, "bounded job-queue depth; submissions beyond it get 429 + Retry-After")
+		jobs    = flag.Int("jobs", 1, "jobs priced concurrently (each sweep parallelizes internally over its spec's pool)")
+		timeout = flag.Duration("timeout", 0, "per-job wall-clock cap; 0 = none (expired jobs checkpoint completed cells)")
+		retries = flag.Int("retries", 2, "extra passes re-running transiently failed (timed-out) cells before an artifact finalizes")
+		backoff = flag.Duration("backoff", 100*time.Millisecond, "first cell-retry delay, doubling per pass")
+	)
+	flag.Parse()
+	if err := run(*addr, sweepd.Config{
+		DataDir:      *data,
+		QueueDepth:   *queue,
+		Workers:      *jobs,
+		JobTimeout:   *timeout,
+		Retries:      *retries,
+		RetryBackoff: *backoff,
+	}); err != nil {
+		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg sweepd.Config) error {
+	srv, err := sweepd.New(cfg)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sweepd: listening on %s, data in %s\n", addr, cfg.DataDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, checkpoint running jobs (the
+	// journals keep every completed cell), then exit. A restart over
+	// the same data directory resumes them.
+	fmt.Fprintln(os.Stderr, "sweepd: shutting down, checkpointing running jobs")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		srv.Close()
+		return err
+	}
+	srv.Close()
+	return nil
+}

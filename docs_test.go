@@ -110,6 +110,7 @@ func TestREADMEExamplesUseRealFlags(t *testing.T) {
 		"routebench": commandFlags(t, "routebench"),
 		"pramemu":    commandFlags(t, "pramemu"),
 		"tables":     commandFlags(t, "tables"),
+		"sweepd":     commandFlags(t, "sweepd"),
 	}
 	flagRe := regexp.MustCompile(`(^| )-([a-z0-9]+)`)
 	pathRe := regexp.MustCompile(`(^| )((?:\./)?(?:cmd|sweeps|internal|examples)/[\w./-]+)`)

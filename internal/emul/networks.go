@@ -1,6 +1,7 @@
 package emul
 
 import (
+	"context"
 	"fmt"
 
 	"pramemu/internal/engine"
@@ -28,6 +29,10 @@ type TopologyNetwork struct {
 	diam   int
 	direct bool
 
+	// Context, when non-nil, cancels or deadlines every routed step:
+	// the round engine polls it cheaply and unwinds with an
+	// engine.Abort panic on expiry (recovered by the scenario layer).
+	Context context.Context
 	// SkipPhase1 disables the randomizing first traversal of each
 	// routed step (the scenario layer's ablation axis): requests go
 	// straight along their deterministic paths.
@@ -103,6 +108,7 @@ func (n *TopologyNetwork) useLeveled() bool { return n.spec != nil && !n.direct 
 func (n *TopologyNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64, workers int) RouteStats {
 	if n.useLeveled() {
 		s := leveled.Route(n.spec, pkts, leveled.Options{
+			Context:    n.Context,
 			Seed:       seed,
 			Replies:    true,
 			Combine:    combine,
@@ -123,6 +129,7 @@ func (n *TopologyNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64
 		}
 	}
 	s, err := simnet.Route(n.graph, pkts, simnet.Options{
+		Context:    n.Context,
 		Seed:       seed,
 		Replies:    true,
 		Combine:    combine,

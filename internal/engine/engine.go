@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -8,6 +9,17 @@ import (
 	"pramemu/internal/prng"
 	"pramemu/internal/queue"
 )
+
+// Abort is the panic value the engine unwinds with when its
+// Options.Context is done mid-run. Simulators never recover it — the
+// whole point is to tear down their routing state mid-flight — so it
+// surfaces at the layer that owns the run (scenario.RunCellSafe),
+// which converts it into a structured timeout/canceled error result
+// instead of a crash. Err is the context's error, preserving the
+// deadline-exceeded vs canceled distinction.
+type Abort struct{ Err error }
+
+func (a Abort) Error() string { return "engine: run aborted: " + a.Err.Error() }
 
 // Arrival is a packet about to enter the queue of the directed link
 // identified by Key. Key encoding is simulator-defined; the engine
@@ -107,6 +119,14 @@ type Options struct {
 	// order is the schedule — so Workers and MaxKey are ignored and
 	// results are identical for any setting of either.
 	Event *EventOptions
+	// Context, when non-nil, bounds the run: the round loop polls it
+	// between rounds (a non-blocking channel read, nanoseconds against
+	// a round's link work) and the event loop every few thousand heap
+	// events, and unwinds with an Abort panic carrying ctx.Err() when
+	// it is done. A run that was never canceled is bit-identical to
+	// one with no Context at all — the poll reads no randomness and
+	// touches no simulation state.
+	Context context.Context
 }
 
 // Ctx is the per-shard execution context handed to Handler, Combiner
@@ -119,6 +139,8 @@ type Ctx struct {
 	mask   uint64
 	dense  bool
 	maxKey uint64
+	shard  int         // owning shard index, for diagnostics
+	round  int         // round currently executing on this shard
 	out    [][]Arrival // next-round buffer, bucketed by destination shard
 }
 
@@ -132,7 +154,12 @@ func (c *Ctx) Emit(key uint64, p *packet.Packet) {
 	var s int
 	if c.dense {
 		if key >= c.maxKey {
-			panic(fmt.Sprintf("engine: emitted key %d outside the declared dense key space [0, %d)", key, c.maxKey))
+			pid := -1
+			if p != nil {
+				pid = p.ID
+			}
+			panic(fmt.Sprintf("engine: shard %d round %d packet %d: emitted key %d outside the declared dense key space [0, %d)",
+				c.shard, c.round, pid, key, c.maxKey))
 		}
 		s = int(key & c.mask)
 	} else {
@@ -205,7 +232,8 @@ type Engine struct {
 	state    State
 	degraded bool
 	seed     uint64
-	event    *EventOptions // nil = synchronous round loop
+	event    *EventOptions   // nil = synchronous round loop
+	ctx      context.Context // nil = unbounded run
 
 	// Per-run state referenced by the preallocated phase closures, so
 	// a steady-state round performs no closure or interface
@@ -285,6 +313,7 @@ func New(opts Options) *Engine {
 		degraded: degraded,
 		seed:     opts.Seed,
 		event:    eventOpts,
+		ctx:      opts.Context,
 	}
 	// The shard streams come off a tweaked root so they never collide
 	// with the per-packet streams Split off prng.New(seed) directly.
@@ -306,6 +335,7 @@ func New(opts Options) *Engine {
 			mask:   e.mask,
 			dense:  e.dense,
 			maxKey: opts.MaxKey,
+			shard:  i,
 			out:    make([][]Arrival, nshards),
 		}
 	}
@@ -360,6 +390,7 @@ func (e *Engine) Run(inject func(ctx *Ctx), handle Handler, combine Combiner) St
 	e.round = 0
 	e.pool.RunIf(false, len(e.shards), e.pushFn)
 	for round := 1; ; round++ {
+		e.checkContext()
 		live := 0
 		for i := range e.shards {
 			live += e.shards[i].live
@@ -390,6 +421,22 @@ func (e *Engine) Run(inject func(ctx *Ctx), handle Handler, combine Combiner) St
 	return out
 }
 
+// checkContext polls Options.Context and unwinds the run with an
+// Abort panic when it is done — the cancellation/deadline path of both
+// loops. The poll is a non-blocking channel read: it reads no
+// randomness and touches no simulation state, so a run that is never
+// canceled is bit-identical to one without a Context.
+func (e *Engine) checkContext() {
+	if e.ctx == nil {
+		return
+	}
+	select {
+	case <-e.ctx.Done():
+		panic(Abort{e.ctx.Err()})
+	default:
+	}
+}
+
 // clearScratch zeroes the full capacity of every retained gather,
 // sort and emit buffer once the round loop has drained. During a run
 // the slack beyond each round's length holds arrivals from earlier,
@@ -417,6 +464,7 @@ func (e *Engine) clearScratch() {
 // every key present at entry is visited exactly once, because the
 // handler can only append to next-round buffers, never to this list.
 func (sh *shard) drain(round int, handle Handler) {
+	sh.ctx.round = round
 	if sh.table != nil {
 		for i := 0; i < len(sh.active); {
 			key := sh.active[i]
@@ -482,6 +530,7 @@ func (sh *shard) drain(round int, handle Handler) {
 // (clearScratch), so their slack never pins packets past the run.
 func (e *Engine) pushShard(s, round int, combine Combiner) {
 	sh := &e.shards[s]
+	sh.ctx.round = round
 	buf := sh.inbox[:0]
 	for i := range e.shards {
 		src := &e.shards[i].ctx

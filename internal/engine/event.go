@@ -257,7 +257,14 @@ func (e *Engine) runEvent(inject func(ctx *Ctx), handle Handler, combine Combine
 		inject(ctx)
 	}
 	ev.harvest(ctx, 0)
-	for len(ev.heap) > 0 {
+	// ctxPollMask paces the cancellation poll: one non-blocking channel
+	// read per 4096 heap events, the event-loop analogue of the round
+	// loop's per-round check.
+	const ctxPollMask = 1<<12 - 1
+	for n := 0; len(ev.heap) > 0; n++ {
+		if n&ctxPollMask == 0 {
+			e.checkContext()
+		}
 		x := ev.pop()
 		switch x.kind {
 		case evDeliver:

@@ -1,6 +1,7 @@
 package leveled
 
 import (
+	"context"
 	"fmt"
 
 	"pramemu/internal/engine"
@@ -11,6 +12,11 @@ import (
 
 // Options configures a routing run.
 type Options struct {
+	// Context, when non-nil, lets callers cancel or deadline a run;
+	// the engine polls it cheaply (per round / every few thousand
+	// events) and unwinds with an engine.Abort panic on expiry. A
+	// never-canceled run is bit-identical to one without a context.
+	Context context.Context
 	// Seed drives every random choice; equal seeds give identical runs.
 	Seed uint64
 	// SkipPhase1 disables the randomizing first traversal and routes
@@ -178,6 +184,7 @@ func Route(spec Spec, pkts []*packet.Packet, opts Options) Stats {
 		maxKey = uint64(r.logical-1) * r.width * r.degree
 	}
 	engOpts := engine.Options{
+		Context:    opts.Context,
 		Workers:    opts.Workers,
 		Seed:       opts.Seed,
 		MaxKey:     maxKey,

@@ -23,6 +23,7 @@
 package mesh
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -107,6 +108,11 @@ const (
 
 // Options configures one routing run.
 type Options struct {
+	// Context, when non-nil, lets callers cancel or deadline a run;
+	// the engine polls it cheaply (per round) and unwinds with an
+	// engine.Abort panic on expiry. A never-canceled run is
+	// bit-identical to one without a context.
+	Context    context.Context
 	Seed       uint64
 	Algorithm  Algorithm
 	Discipline Discipline
@@ -187,6 +193,7 @@ func Route(g *Grid, pkts []*packet.Packet, opts Options) Stats {
 		maxKey = uint64(g.Nodes()) * numDirs
 	}
 	eng := engine.New(engine.Options{
+		Context:    opts.Context,
 		Workers:    opts.Workers,
 		Seed:       opts.Seed,
 		NewQueue:   r.newQueue,

@@ -6,6 +6,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -81,7 +82,17 @@ type Result struct {
 	BPerNode     float64 `json:"b_per_node,omitempty"`
 	ElapsedMS    float64 `json:"elapsed_ms,omitempty"`
 	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
+	// The failure-isolation fields: a cell that panics, times out, is
+	// canceled or cannot run lands in the sweep as an error line —
+	// Error the message, ErrorKind the taxonomy value (panic |
+	// timeout | canceled | invalid_spec) — with the metric fields
+	// zero. Successful cells leave both empty.
+	Error     string `json:"error,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
 }
+
+// Failed reports whether the result is an error line.
+func (r Result) Failed() bool { return r.ErrorKind != "" }
 
 // RunCell builds the cell's topology, gates its workload through the
 // registry's capability check, routes Trials seeded repetitions on
@@ -92,6 +103,30 @@ type Result struct {
 // arena recycled across trials, so repeated cells stay on the
 // engine's zero-allocation steady-state path.
 func RunCell(c Cell) (Result, error) {
+	return RunCellContext(context.Background(), c)
+}
+
+// RunCellContext is RunCell under a context: the deadline or
+// cancellation is checked between trials and polled inside the
+// engines' round and event loops (the engine's Abort unwind is caught
+// here), so an expired context stops the cell within a round or a few
+// thousand events and returns ctx.Err(). A context that never expires
+// leaves results bit-identical to RunCell. Cell.Timeout is NOT
+// applied here — it is RunCellSafe's job, so callers composing their
+// own deadlines are not second-guessed.
+func RunCellContext(ctx context.Context, c Cell) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			a, ok := r.(engine.Abort)
+			if !ok {
+				panic(r)
+			}
+			res, err = Result{}, a.Err
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	b := c.Built
 	if b.Graph == nil && b.Spec == nil {
 		var err error
@@ -136,14 +171,61 @@ func RunCell(c Cell) (Result, error) {
 		return Result{}, fmt.Errorf("the event engine prices raw routing only; %s cells use synchronous rounds", c.Mode)
 	}
 	if c.Mode != "" {
-		return runEmulCell(b, gen, p, c)
+		return runEmulCell(ctx, b, gen, p, c)
 	}
 	// Event cells route generically even on the mesh: the §3.4
 	// three-stage router is a synchronous construction.
 	if c.Engine == "" && meshRouted(b, c.Topo, gen.Class, c.Mode) {
-		return runMeshCell(b, b.Graph.(*mesh.Grid), gen, p, c)
+		return runMeshCell(ctx, b, b.Graph.(*mesh.Grid), gen, p, c)
 	}
-	return runGenericCell(b, gen, p, c)
+	return runGenericCell(ctx, b, gen, p, c)
+}
+
+// RunCellSafe prices the cell like RunCellContext but never panics
+// and never fails the caller: Cell.Timeout is applied as a derived
+// deadline, recovered panics and errors come back as a structured
+// error Result carrying the cell's scenario key and the error
+// taxonomy (see ErrKind*), so one poisoned cell costs one line.
+func RunCellSafe(ctx context.Context, c Cell) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = errorResult(c, fmt.Errorf("panic: %v", r), ErrKindPanic)
+		}
+	}()
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	r, err := RunCellContext(ctx, c)
+	if err != nil {
+		return errorResult(c, err, classifyErr(err))
+	}
+	r.Scenario = c.Key()
+	// A budget demotion means the cell ran on a different link state
+	// than its axes requested; the key records the resolved state so
+	// the A/B pair cannot be read as two runs of one configuration.
+	if r.Degraded {
+		r.Scenario += "/state=" + r.State
+	}
+	return r
+}
+
+// errorResult is the structured error line of a failed cell: the
+// identifying axes survive, the metrics stay zero, and the taxonomy
+// fields say what happened. Error messages are deterministic (no
+// wall-clock, no addresses), so journaled error lines reproduce.
+func errorResult(c Cell, err error, kind string) Result {
+	return Result{
+		Scenario:  c.Key(),
+		Family:    c.Topo.Family,
+		Workload:  c.Work.Name,
+		Workers:   c.Workers,
+		Trials:    c.Trials,
+		Seed:      c.Seed,
+		Error:     err.Error(),
+		ErrorKind: kind,
+	}
 }
 
 // emulMemory is the minimum PRAM address-space size M of
@@ -185,7 +267,7 @@ func memStats(res Result, ms engine.MemStats, arena *packet.Arena) Result {
 // cell (or a leveled-only family) selects it, on the Algorithm
 // 2.2-style point-to-point view otherwise. The returned view string
 // names the router for reports.
-func emulNetwork(b topology.Built, gen workload.Generator, c Cell, ms *engine.MemStats) (emul.Network, string, error) {
+func emulNetwork(ctx context.Context, b topology.Built, gen workload.Generator, c Cell, ms *engine.MemStats) (emul.Network, string, error) {
 	if meshRouted(b, c.Topo, gen.Class, c.Mode) {
 		alg, err := meshAlgorithm(c.Algorithm)
 		if err != nil {
@@ -198,8 +280,9 @@ func emulNetwork(b topology.Built, gen workload.Generator, c Cell, ms *engine.Me
 		net := &emul.MeshNetwork{
 			G: b.Graph.(*mesh.Grid),
 			Opts: mesh.Options{
-				Algorithm: alg, Discipline: disc, HashedKeys: c.Hashed,
-				PagedKeys: c.Paged, MemBudget: c.MemBudget, MemStats: ms,
+				Context: ctx, Algorithm: alg, Discipline: disc,
+				HashedKeys: c.Hashed, PagedKeys: c.Paged,
+				MemBudget: c.MemBudget, MemStats: ms,
 			},
 		}
 		return net, "mesh(§3.3)", nil
@@ -219,6 +302,7 @@ func emulNetwork(b topology.Built, gen workload.Generator, c Cell, ms *engine.Me
 	if err != nil {
 		return nil, "", err
 	}
+	net.Context = ctx
 	net.SkipPhase1 = c.SkipPhase1
 	net.HashedKeys = c.Hashed
 	net.PagedKeys = c.Paged
@@ -236,9 +320,9 @@ func emulNetwork(b topology.Built, gen workload.Generator, c Cell, ms *engine.Me
 // trial draws a fresh hash function from the trial seed, so results
 // derive from the spec alone. p arrives pre-defaulted and validated
 // by RunCell.
-func runEmulCell(b topology.Built, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
+func runEmulCell(ctx context.Context, b topology.Built, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
 	var ms engine.MemStats
-	net, view, err := emulNetwork(b, gen, c, &ms)
+	net, view, err := emulNetwork(ctx, b, gen, c, &ms)
 	if err != nil {
 		return Result{}, err
 	}
@@ -247,6 +331,9 @@ func runEmulCell(b topology.Built, gen workload.Generator, p workload.Params, c 
 	arena := packet.NewArena()
 	start := time.Now()
 	for trial := 0; trial < c.Trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		s := c.Seed + uint64(trial)
 		arena.Reset()
 		pkts, err := gen.Generate(b, p, arena, s)
@@ -301,7 +388,7 @@ func runEmulCell(b topology.Built, gen workload.Generator, p workload.Params, c 
 
 // runMeshCell routes on the paper's specialized three-stage router.
 // p arrives pre-defaulted and validated by RunCell.
-func runMeshCell(b topology.Built, g *mesh.Grid, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
+func runMeshCell(ctx context.Context, b topology.Built, g *mesh.Grid, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
 	alg, err := meshAlgorithm(c.Algorithm)
 	if err != nil {
 		return Result{}, err
@@ -312,6 +399,7 @@ func runMeshCell(b topology.Built, g *mesh.Grid, gen workload.Generator, p workl
 	}
 	var ms engine.MemStats
 	opts := mesh.Options{
+		Context:    ctx,
 		Algorithm:  alg,
 		Discipline: disc,
 		Workers:    c.Workers,
@@ -329,6 +417,9 @@ func runMeshCell(b topology.Built, g *mesh.Grid, gen workload.Generator, p workl
 	arena := packet.NewArena()
 	start := time.Now()
 	for trial := 0; trial < c.Trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		s := c.Seed + uint64(trial)
 		arena.Reset()
 		pkts, err := gen.Generate(b, p, arena, s)
@@ -360,7 +451,7 @@ func runMeshCell(b topology.Built, g *mesh.Grid, gen workload.Generator, p workl
 // the leveled unrolling when the cell (or a leveled-only family)
 // selects it, Algorithm 2.2 on the graph otherwise. p arrives
 // pre-defaulted and validated by RunCell.
-func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
+func runGenericCell(ctx context.Context, b topology.Built, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
 	useSpec := b.Graph == nil || (c.Topo.Leveled && b.Spec != nil)
 	combine := gen.Needs&workload.NeedsCombining != 0
 	var evOpts *engine.EventOptions
@@ -376,6 +467,9 @@ func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params,
 	arena := packet.NewArena()
 	start := time.Now()
 	for trial := 0; trial < c.Trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		s := c.Seed + uint64(trial)
 		arena.Reset()
 		pkts, err := gen.Generate(b, p, arena, s)
@@ -385,7 +479,8 @@ func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params,
 		var r, q int
 		if useSpec {
 			st := leveled.Route(b.Spec, pkts, leveled.Options{
-				Seed: s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
+				Context: ctx,
+				Seed:    s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
 				HashedKeys: c.Hashed, PagedKeys: c.Paged, MemBudget: c.MemBudget,
 				MemStats: &ms, Combine: combine, Event: evOpts,
 			})
@@ -393,7 +488,8 @@ func runGenericCell(b topology.Built, gen workload.Generator, p workload.Params,
 			retransmits += st.Retransmits
 		} else {
 			st, err := simnet.Route(b.Graph, pkts, simnet.Options{
-				Seed: s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
+				Context: ctx,
+				Seed:    s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
 				HashedKeys: c.Hashed, PagedKeys: c.Paged, MemBudget: c.MemBudget,
 				MemStats: &ms, Combine: combine, Event: evOpts,
 			})
@@ -479,11 +575,22 @@ func discName(name string) string {
 // with the wall-clock fields zeroed (unless Spec.Timing asks for
 // them), so the output is identical for any pool width — each cell's
 // seeds derive from the spec alone, never from execution order. Axis
-// values, workload parameters, emulation modes and
-// capability pairings are validated during expansion, before any cell
-// routes; should a cell still fail at run time, the grid drains and
-// the first failing cell's error (in key order) is returned.
+// values, workload parameters, emulation modes and capability
+// pairings are validated during expansion, before any cell routes. A
+// cell that still fails at run time (panic, timeout, invalid
+// configuration) costs one structured error line, the grid keeps
+// draining (unless Spec.FailFast), and the failures come back in
+// aggregate as an *AggregateError alongside the full result set.
 func Run(spec Spec) ([]Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run under a context: cancellation stops queued cells,
+// aborts running ones within a round, and returns the completed
+// results with ctx.Err(). Cells a sweep-level cancellation cut short
+// produce no lines (they carry no verdict — a resumed sweep runs them
+// again), unlike per-cell timeouts, which do.
+func RunContext(ctx context.Context, spec Spec) ([]Result, error) {
 	spec = spec.withDefaults()
 	cells, err := spec.cells()
 	if err != nil {
@@ -492,6 +599,16 @@ func Run(spec Spec) ([]Result, error) {
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("scenario: spec %q expands to no runnable cells", spec.Name)
 	}
+	return runCells(ctx, spec, cells, nil, nil)
+}
+
+// runCells executes the expanded grid over the spec's pool — the core
+// Run, RunContext and RunJournaled share. Cells whose base key
+// appears in skip return the cached Result without running (journal
+// resume and retry passes); onDone, when non-nil, observes each
+// freshly computed, non-dropped result serially (the journal's
+// append hook). See RunContext for the cancellation contract.
+func runCells(ctx context.Context, spec Spec, cells []Cell, skip map[string]Result, onDone func(Result)) ([]Result, error) {
 	pool := spec.Pool
 	if pool <= 0 {
 		pool = runtime.GOMAXPROCS(0)
@@ -499,8 +616,18 @@ func Run(spec Spec) ([]Result, error) {
 	if pool > len(cells) {
 		pool = len(cells)
 	}
+	// FailFast cancels the grid's own context on the first failure;
+	// the parent stays distinguishable so a user cancellation is not
+	// misread as a failed sweep.
+	runCtx := ctx
+	cancel := context.CancelFunc(func() {})
+	if spec.FailFast {
+		runCtx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
 	results := make([]Result, len(cells))
-	errs := make([]error, len(cells))
+	include := make([]bool, len(cells))
+	var mu sync.Mutex // serializes onDone and guards nothing else
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < pool; w++ {
@@ -508,14 +635,29 @@ func Run(spec Spec) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				results[i], errs[i] = RunCell(cells[i])
-				results[i].Scenario = cells[i].Key()
-				// A budget demotion means the cell ran on a different
-				// link state than its axes requested; the key records
-				// the resolved state so the A/B pair cannot be read as
-				// two runs of one configuration.
-				if results[i].Degraded {
-					results[i].Scenario += "/state=" + results[i].State
+				if cached, ok := skip[cells[i].Key()]; ok {
+					results[i], include[i] = cached, true
+					continue
+				}
+				if runCtx.Err() != nil {
+					// Canceled before starting: drop the cell entirely
+					// so a resumed sweep runs it fresh.
+					continue
+				}
+				r := RunCellSafe(runCtx, cells[i])
+				if r.ErrorKind == ErrKindCanceled && runCtx.Err() != nil {
+					// Aborted mid-run by sweep-level cancellation, not
+					// a per-cell verdict: drop it too.
+					continue
+				}
+				results[i], include[i] = r, true
+				if r.Failed() && spec.FailFast {
+					cancel()
+				}
+				if onDone != nil {
+					mu.Lock()
+					onDone(r)
+					mu.Unlock()
 				}
 			}
 		}()
@@ -525,13 +667,30 @@ func Run(spec Spec) ([]Result, error) {
 	}
 	close(work)
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cell %s: %w", cells[i].Key(), err)
+	out := make([]Result, 0, len(cells))
+	for i, ok := range include {
+		if ok {
+			out = append(out, results[i])
 		}
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Scenario < results[j].Scenario })
-	return results, nil
+	sort.Slice(out, func(i, j int) bool { return out[i].Scenario < out[j].Scenario })
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	failed := 0
+	var first Result
+	for _, r := range out {
+		if r.Failed() {
+			if failed == 0 {
+				first = r
+			}
+			failed++
+		}
+	}
+	if failed > 0 {
+		return out, &AggregateError{Failed: failed, Total: len(cells), First: first}
+	}
+	return out, nil
 }
 
 // ReadSpec parses a sweep spec from JSON, rejecting unknown fields so

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"pramemu/internal/mesh"
 	"pramemu/internal/topology"
@@ -157,6 +158,17 @@ type Spec struct {
 	// internally to compute speedups, then strips the wall-clock
 	// fields from the result lines it emits.
 	Timing bool `json:"timing,omitempty"`
+	// TimeoutMS deadlines each cell individually: a cell exceeding it
+	// is cut off (the engines poll cancellation cheaply) and lands in
+	// the output as a structured error line with error_kind "timeout"
+	// instead of killing the sweep. Zero means no per-cell deadline.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// FailFast cancels the remaining cells when one cell fails hard
+	// (panic, timeout, or an invalid cell) instead of draining the
+	// grid: the failing cell's error line is emitted, queued cells are
+	// dropped. Default off — a poisoned cell then costs exactly one
+	// error line and every other cell still prices.
+	FailFast bool `json:"fail_fast,omitempty"`
 }
 
 // withDefaults substitutes the documented axis defaults.
@@ -237,6 +249,10 @@ type Cell struct {
 	MemBudget int64
 	Timing    bool // fill ElapsedMS/RoundsPerSec (wall-clock, so
 	// sweeps leave it off to keep JSONL deterministic)
+	// Timeout deadlines the cell: RunCellSafe derives a per-cell
+	// context from it and converts expiry into a "timeout" error
+	// Result. Zero means no deadline.
+	Timeout time.Duration
 }
 
 // Key is the cell's canonical scenario key: the JSONL sort key and
@@ -330,17 +346,29 @@ func ModeCheck(mode string, class workload.Class) error {
 // naming the missing capability — before any routing runs.
 func (s Spec) cells() ([]Cell, error) {
 	if len(s.Topologies) == 0 {
-		return nil, fmt.Errorf("scenario: spec needs at least one topology")
+		return nil, &SpecError{Field: "topologies", Err: fmt.Errorf("spec needs at least one topology")}
 	}
 	if len(s.Workloads) == 0 {
-		return nil, fmt.Errorf("scenario: spec needs at least one workload")
+		return nil, &SpecError{Field: "workloads", Err: fmt.Errorf("spec needs at least one workload")}
+	}
+	if s.Trials < 0 {
+		return nil, &SpecError{Field: "trials", Err: fmt.Errorf("negative trial count %d", s.Trials)}
+	}
+	if s.TimeoutMS < 0 {
+		return nil, &SpecError{Field: "timeout_ms", Err: fmt.Errorf("negative per-cell timeout %d", s.TimeoutMS)}
+	}
+	// Forcing the hashed map and the paged tables on every cell at once
+	// contradicts (the expansion drops hashed∧paged combinations), so a
+	// spec whose axes admit nothing else is malformed, not empty.
+	if allBool(s.Hashed, true) && allBool(s.Paged, true) {
+		return nil, &SpecError{Field: "paged", Err: fmt.Errorf("hashed [true] and paged [true] contradict: a cell cannot force both link states")}
 	}
 	if _, err := meshAlgorithm(s.Algorithm); err != nil {
-		return nil, err
+		return nil, &SpecError{Field: "algorithm", Err: err}
 	}
 	for _, d := range s.Disciplines {
 		if _, err := meshDiscipline(d); err != nil {
-			return nil, err
+			return nil, &SpecError{Field: "disciplines", Err: err}
 		}
 	}
 	for _, m := range s.Modes {
@@ -348,27 +376,33 @@ func (s Spec) cells() ([]Cell, error) {
 		// SkipIncompatible; ModeCheck against the always-legal
 		// permutation class isolates the name validation.
 		if err := ModeCheck(m, workload.ClassPermutation); err != nil {
-			return nil, err
+			return nil, &SpecError{Field: "modes", Err: err}
 		}
 	}
 	for _, e := range s.Engines {
 		if err := EngineCheck(e); err != nil {
-			return nil, err
+			return nil, &SpecError{Field: "engines", Err: err}
 		}
 	}
 	var specLatency LatencySpec
 	if s.Latency != nil {
 		specLatency = *s.Latency
 	}
+	// The latency model validates alone first (against a fault-free
+	// level), so a bad model name reports under its own field rather
+	// than whichever fault level trips over it.
+	if _, err := eventOptions(specLatency, FaultSpec{}); err != nil {
+		return nil, &SpecError{Field: "latency", Err: err}
+	}
 	seenFaults := make(map[string]bool)
 	for _, f := range s.Faults {
 		// Knob validation is engine-independent; the label check keeps
 		// scenario keys unique across the fault axis.
 		if _, err := eventOptions(specLatency, f); err != nil {
-			return nil, err
+			return nil, &SpecError{Field: "faults", Err: err}
 		}
 		if label := f.Label(); seenFaults[label] {
-			return nil, fmt.Errorf("scenario: duplicate fault level %q", label)
+			return nil, &SpecError{Field: "faults", Err: fmt.Errorf("duplicate fault level %q", label)}
 		} else {
 			seenFaults[label] = true
 		}
@@ -377,27 +411,27 @@ func (s Spec) cells() ([]Cell, error) {
 	for _, tr := range s.Topologies {
 		b, err := topology.Build(tr.Family, topology.Params{N: tr.N, K: tr.K})
 		if err != nil {
-			return nil, err
+			return nil, &SpecError{Field: "topologies", Err: err}
 		}
 		if tr.Leveled && b.Spec == nil {
-			return nil, fmt.Errorf("%s has no leveled unrolling", b.Name())
+			return nil, &SpecError{Field: "topologies", Err: fmt.Errorf("%s has no leveled unrolling", b.Name())}
 		}
 		if b.Nodes() > topology.MaxNodes {
-			return nil, fmt.Errorf("%s has %d nodes, exceeding the simulator's node-id limit (%d)", b.Name(), b.Nodes(), topology.MaxNodes)
+			return nil, &SpecError{Field: "topologies", Err: fmt.Errorf("%s has %d nodes, exceeding the simulator's node-id limit (%d)", b.Name(), b.Nodes(), topology.MaxNodes)}
 		}
 		for _, wr := range s.Workloads {
 			gen, ok := workload.Lookup(wr.Name)
 			if !ok {
-				return nil, fmt.Errorf("unknown workload %q (known: %v)", wr.Name, workload.Names())
+				return nil, &SpecError{Field: "workloads", Err: fmt.Errorf("unknown workload %q (known: %v)", wr.Name, workload.Names())}
 			}
 			if f := wr.Fraction; f < 0 || f > 1 {
-				return nil, fmt.Errorf("workload %s: fraction %v out of [0,1]", wr.Name, f)
+				return nil, &SpecError{Field: "workloads", Err: fmt.Errorf("workload %s: fraction %v out of [0,1]", wr.Name, f)}
 			}
 			if err := gen.Check(b); err != nil {
 				if s.SkipIncompatible {
 					continue
 				}
-				return nil, err
+				return nil, &SpecError{Field: "workloads", Err: err}
 			}
 			for _, mode := range s.Modes {
 				if mode == ModeRoute {
@@ -407,7 +441,7 @@ func (s Spec) cells() ([]Cell, error) {
 					if s.SkipIncompatible {
 						continue
 					}
-					return nil, fmt.Errorf("workload %s: %w", wr.Name, err)
+					return nil, &SpecError{Field: "modes", Err: fmt.Errorf("workload %s: %w", wr.Name, err)}
 				}
 				// The engine axis collapses on emulation-mode cells:
 				// erew/crcw price the synchronous PRAM step model.
@@ -480,6 +514,7 @@ func (s Spec) cells() ([]Cell, error) {
 												Paged:      paged,
 												MemBudget:  s.MemBudget,
 												Timing:     s.Timing,
+												Timeout:    time.Duration(s.TimeoutMS) * time.Millisecond,
 											})
 										}
 									}
@@ -534,6 +569,19 @@ func meshAlgorithm(name string) (mesh.Algorithm, error) {
 	default:
 		return 0, fmt.Errorf("unknown mesh algorithm %q", name)
 	}
+}
+
+// allBool reports whether vs is non-empty and every value equals want.
+func allBool(vs []bool, want bool) bool {
+	if len(vs) == 0 {
+		return false
+	}
+	for _, v := range vs {
+		if v != want {
+			return false
+		}
+	}
+	return true
 }
 
 // meshDiscipline resolves the discipline axis value.

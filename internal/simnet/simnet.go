@@ -20,6 +20,7 @@
 package simnet
 
 import (
+	"context"
 	"fmt"
 
 	"pramemu/internal/engine"
@@ -44,6 +45,11 @@ type TakenSensitive = topology.TakenSensitive
 
 // Options configures a routing run.
 type Options struct {
+	// Context, when non-nil, lets callers cancel or deadline a run;
+	// the engine polls it cheaply (per round / every few thousand
+	// events) and unwinds with an engine.Abort panic on expiry. A
+	// never-canceled run is bit-identical to one without a context.
+	Context context.Context
 	// Seed drives the random intermediate destinations.
 	Seed uint64
 	// SkipPhase1 routes packets directly along deterministic paths
@@ -171,6 +177,7 @@ func Route(topo Topology, pkts []*packet.Packet, opts Options) (Stats, error) {
 		}
 	}
 	engOpts := engine.Options{
+		Context:    opts.Context,
 		Workers:    opts.Workers,
 		Seed:       opts.Seed,
 		MaxKey:     maxKey,

@@ -1,0 +1,449 @@
+// The daemon's fault-tolerance contract, end to end over its HTTP
+// surface: duplicate submissions answer from the content-addressed
+// cache, a full queue sheds load with 429 + Retry-After, cancellation
+// stops a running job within a round, a poisoned cell costs one error
+// line (the job still finishes), and a daemon killed mid-sweep resumes
+// over the same data directory to a byte-identical artifact.
+// TestSweepd* names ride CI's TestSweep race pattern.
+package sweepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/scenario"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
+	"pramemu/internal/workload"
+)
+
+// Test-only generators: boom panics inside its cell, test-sleepy
+// stalls before handing over a real permutation — so running jobs can
+// be canceled or checkpointed mid-sweep deterministically.
+func init() {
+	perm, ok := workload.Lookup("perm")
+	if !ok {
+		panic("sweepd_test: perm workload missing")
+	}
+	workload.Register(workload.Generator{
+		Name:  "boom",
+		Class: workload.ClassPermutation,
+		Generate: func(b topology.Built, p workload.Params, a *packet.Arena, seed uint64) ([]*packet.Packet, error) {
+			panic("poisoned cell")
+		},
+	})
+	workload.Register(workload.Generator{
+		Name:  "test-sleepy",
+		Class: workload.ClassPermutation,
+		Generate: func(b topology.Built, p workload.Params, a *packet.Arena, seed uint64) ([]*packet.Packet, error) {
+			time.Sleep(100 * time.Millisecond)
+			return perm.Generate(b, p, a, seed)
+		},
+	})
+}
+
+// fastSpec is a one-cell sweep that completes in milliseconds.
+func fastSpec(seed uint64) scenario.Spec {
+	return scenario.Spec{
+		Name:       "fast",
+		Topologies: []scenario.TopoRef{{Family: "star", N: 4}},
+		Workloads:  []scenario.WorkRef{{Name: "perm"}},
+		Trials:     1,
+		Seed:       seed,
+		Pool:       1,
+	}
+}
+
+// slowSpec stalls ~100ms per cell, long enough to observe and
+// interrupt a running job.
+func slowSpec(seed uint64, cells int) scenario.Spec {
+	topos := []scenario.TopoRef{{Family: "star", N: 4}, {Family: "mesh", N: 4}, {Family: "torus", N: 4, K: 2}}
+	return scenario.Spec{
+		Name:       "slow",
+		Topologies: topos[:cells],
+		Workloads:  []scenario.WorkRef{{Name: "test-sleepy"}},
+		Trials:     1,
+		Seed:       seed,
+		Pool:       1,
+	}
+}
+
+func newServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func do(t *testing.T, s *Server, method, path string, body []byte) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func submit(t *testing.T, s *Server, spec scenario.Spec, wantCode int) Status {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, http.MethodPost, "/sweeps", b)
+	if w.Code != wantCode {
+		t.Fatalf("POST /sweeps: want %d, got %d: %s", wantCode, w.Code, w.Body)
+	}
+	var st Status
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("POST /sweeps: bad status JSON: %v\n%s", err, w.Body)
+	}
+	return st
+}
+
+// waitState polls GET /sweeps/{id} until the job reaches the wanted
+// state.
+func waitState(t *testing.T, s *Server, id, want string) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		w := do(t, s, http.MethodGet, "/sweeps/"+id, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("GET /sweeps/%s: %d: %s", id, w.Code, w.Body)
+		}
+		var st Status
+		if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q, want %q", id, st.State, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func artifact(t *testing.T, s *Server, id string) []byte {
+	t.Helper()
+	w := do(t, s, http.MethodGet, "/sweeps/"+id+"/artifact", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET artifact: %d: %s", w.Code, w.Body)
+	}
+	return w.Body.Bytes()
+}
+
+// TestSweepdSubmitPollFetch is the happy path: submit, poll to done,
+// fetch a trailer-closed artifact; unknown jobs 404, an unfinished
+// artifact 409s, and healthz reports the queue.
+func TestSweepdSubmitPollFetch(t *testing.T) {
+	s := newServer(t, Config{})
+	st := submit(t, s, fastSpec(7), http.StatusAccepted)
+	if st.ID == "" || st.Cached {
+		t.Fatalf("fresh submission: %+v", st)
+	}
+	done := waitState(t, s, st.ID, StateDone)
+	if done.Cells != 1 || done.Errors != 0 {
+		t.Fatalf("want 1 clean cell, got %+v", done)
+	}
+	data := artifact(t, s, st.ID)
+	tr, err := scenario.VerifyTrailer(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("served artifact fails the trailer check: %v", err)
+	}
+	if tr.Cells != 1 {
+		t.Fatalf("trailer: %+v", tr)
+	}
+	if w := do(t, s, http.MethodGet, "/sweeps/nope", nil); w.Code != http.StatusNotFound {
+		t.Fatalf("unknown job: want 404, got %d", w.Code)
+	}
+	if w := do(t, s, http.MethodGet, "/healthz", nil); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, s, http.MethodPost, "/sweeps", []byte("not json")); w.Code != http.StatusBadRequest {
+		t.Fatalf("garbage spec: want 400, got %d", w.Code)
+	}
+}
+
+// TestSweepdDuplicateServedFromCache pins content addressing: the
+// same spec POSTed again answers 200 from the cache with the same job
+// ID and no re-run; a different seed is a different job.
+func TestSweepdDuplicateServedFromCache(t *testing.T) {
+	s := newServer(t, Config{})
+	st := submit(t, s, fastSpec(7), http.StatusAccepted)
+	waitState(t, s, st.ID, StateDone)
+	first := artifact(t, s, st.ID)
+
+	dup := submit(t, s, fastSpec(7), http.StatusOK)
+	if dup.ID != st.ID || !dup.Cached || dup.State != StateDone {
+		t.Fatalf("duplicate submission not served from cache: %+v", dup)
+	}
+	if !bytes.Equal(artifact(t, s, st.ID), first) {
+		t.Fatal("cached artifact drifted")
+	}
+	other := submit(t, s, fastSpec(8), http.StatusAccepted)
+	if other.ID == st.ID {
+		t.Fatal("different seed hashed to the same job")
+	}
+}
+
+// TestSweepdQueueFullSheds pins load shedding: with a depth-1 queue
+// and the only worker busy, the third submission gets 429 with a
+// Retry-After hint — and succeeds once the queue drains.
+func TestSweepdQueueFullSheds(t *testing.T) {
+	s := newServer(t, Config{QueueDepth: 1, Workers: 1})
+	running := submit(t, s, slowSpec(1, 2), http.StatusAccepted)
+	waitState(t, s, running.ID, StateRunning)
+	queued := submit(t, s, slowSpec(2, 2), http.StatusAccepted)
+
+	b, err := json.Marshal(slowSpec(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, http.MethodPost, "/sweeps", b)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("full queue: want 429, got %d: %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After hint")
+	}
+	// A shed submission leaves no durable state: once the queue
+	// drains, the same spec is accepted.
+	waitState(t, s, queued.ID, StateDone)
+	shed := submit(t, s, slowSpec(3, 2), http.StatusAccepted)
+	waitState(t, s, shed.ID, StateDone)
+}
+
+// TestSweepdCancelMidRun pins cancellation: a running job stops
+// within a round, settles as canceled, serves no artifact — and a
+// resubmission revives it.
+func TestSweepdCancelMidRun(t *testing.T) {
+	s := newServer(t, Config{})
+	st := submit(t, s, slowSpec(4, 2), http.StatusAccepted)
+	waitState(t, s, st.ID, StateRunning)
+	if w := do(t, s, http.MethodPost, "/sweeps/"+st.ID+"/cancel", nil); w.Code != http.StatusOK {
+		t.Fatalf("cancel: %d: %s", w.Code, w.Body)
+	}
+	got := waitState(t, s, st.ID, StateCanceled)
+	if got.Error == "" {
+		t.Fatalf("canceled job carries no reason: %+v", got)
+	}
+	if w := do(t, s, http.MethodGet, "/sweeps/"+st.ID+"/artifact", nil); w.Code != http.StatusConflict {
+		t.Fatalf("canceled artifact: want 409, got %d", w.Code)
+	}
+	revived := submit(t, s, slowSpec(4, 2), http.StatusAccepted)
+	if revived.ID != st.ID {
+		t.Fatalf("revival changed the job ID: %s vs %s", revived.ID, st.ID)
+	}
+	waitState(t, s, st.ID, StateDone)
+}
+
+// TestSweepdPoisonedCellIsolated pins panic isolation through the
+// daemon: a job with a panicking cell still finishes done, the error
+// count lands in the status and the trailer, and every healthy cell's
+// line is in the artifact.
+func TestSweepdPoisonedCellIsolated(t *testing.T) {
+	s := newServer(t, Config{})
+	spec := fastSpec(7)
+	spec.Workloads = []scenario.WorkRef{{Name: "boom"}, {Name: "perm"}}
+	st := submit(t, s, spec, http.StatusAccepted)
+	done := waitState(t, s, st.ID, StateDone)
+	if done.Cells != 2 || done.Errors != 1 {
+		t.Fatalf("want 2 cells with 1 error, got %+v", done)
+	}
+	data := artifact(t, s, st.ID)
+	tr, err := scenario.VerifyTrailer(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cells != 2 || tr.Errors != 1 {
+		t.Fatalf("trailer: %+v", tr)
+	}
+	if !strings.Contains(string(data), `"error_kind":"panic"`) || !strings.Contains(string(data), `"rounds_mean"`) {
+		t.Fatalf("artifact missing the error line or the healthy line:\n%s", data)
+	}
+}
+
+// TestSweepdInvalidSpecFails pins the failed path: a spec that
+// expands to no runnable grid settles as failed with the field named,
+// and a resubmission is accepted (failed jobs do not poison their
+// hash).
+func TestSweepdInvalidSpecFails(t *testing.T) {
+	s := newServer(t, Config{})
+	spec := fastSpec(7)
+	spec.Workloads = []scenario.WorkRef{{Name: "nope"}}
+	st := submit(t, s, spec, http.StatusAccepted)
+	failed := waitState(t, s, st.ID, StateFailed)
+	if !strings.Contains(failed.Error, "workloads") {
+		t.Fatalf("failure does not name the spec field: %+v", failed)
+	}
+	resub := submit(t, s, spec, http.StatusAccepted)
+	if resub.ID != st.ID {
+		t.Fatal("resubmission changed the job ID")
+	}
+	waitState(t, s, st.ID, StateFailed)
+}
+
+// TestSweepdCheckpointResume is the kill-and-restart acceptance
+// property: a daemon closed mid-sweep leaves its checkpoint (spec
+// file + journal) in DataDir, and a new daemon over the same
+// directory resumes the job to an artifact byte-identical to an
+// uninterrupted run's.
+func TestSweepdCheckpointResume(t *testing.T) {
+	// The reference: the same spec run to completion uninterrupted.
+	ref := newServer(t, Config{})
+	spec := slowSpec(5, 3)
+	st := submit(t, ref, spec, http.StatusAccepted)
+	waitState(t, ref, st.ID, StateDone)
+	want := artifact(t, ref, st.ID)
+
+	// The interrupted run: close the daemon while the job is mid-cell.
+	dir := t.TempDir()
+	first, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := submit(t, first, spec, http.StatusAccepted)
+	if got.ID != st.ID {
+		t.Fatalf("spec hashed differently across daemons: %s vs %s", got.ID, st.ID)
+	}
+	waitState(t, first, st.ID, StateRunning)
+	time.Sleep(120 * time.Millisecond) // let at least one cell land in the journal
+	first.Close()
+
+	// The restarted daemon finds the spec file without an artifact and
+	// resumes it.
+	second, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	done := waitState(t, second, st.ID, StateDone)
+	if done.Cells != 3 || done.Errors != 0 {
+		t.Fatalf("resumed job: %+v", done)
+	}
+	if resumed := artifact(t, second, st.ID); !bytes.Equal(resumed, want) {
+		t.Fatalf("resumed artifact drifted from the uninterrupted run:\n--- want\n%s--- got\n%s", want, resumed)
+	}
+
+	// A third daemon over the same directory serves the finished job
+	// from its artifact without re-running anything.
+	third, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer third.Close()
+	cached := submit(t, third, spec, http.StatusOK)
+	if !cached.Cached || cached.State != StateDone {
+		t.Fatalf("restarted daemon lost the artifact cache: %+v", cached)
+	}
+}
+
+// TestSweepdConcurrentSubmissions hammers the daemon from many
+// goroutines under the race detector: distinct specs all complete,
+// duplicates collapse onto one job each, and every response is one of
+// the documented codes.
+func TestSweepdConcurrentSubmissions(t *testing.T) {
+	s := newServer(t, Config{Workers: 2, QueueDepth: 32})
+	const clients = 8
+	var wg sync.WaitGroup
+	ids := make([]string, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Four distinct specs, each submitted twice.
+			spec := fastSpec(uint64(100 + i%4))
+			b, err := json.Marshal(spec)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			w := do(t, s, http.MethodPost, "/sweeps", b)
+			if w.Code != http.StatusAccepted && w.Code != http.StatusOK {
+				t.Errorf("POST: unexpected %d: %s", w.Code, w.Body)
+				return
+			}
+			var st Status
+			if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	unique := make(map[string]bool)
+	for i, id := range ids {
+		unique[id] = true
+		if id != ids[i%4] {
+			t.Fatalf("duplicate spec %d mapped to a different job", i)
+		}
+	}
+	if len(unique) != 4 {
+		t.Fatalf("want 4 distinct jobs, got %d", len(unique))
+	}
+	for id := range unique {
+		waitState(t, s, id, StateDone)
+		if _, err := scenario.VerifyTrailer(bytes.NewReader(artifact(t, s, id))); err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+	}
+	w := do(t, s, http.MethodGet, "/healthz", nil)
+	var h struct {
+		Jobs int `json:"jobs"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Jobs != 4 {
+		t.Fatalf("healthz: want 4 jobs, got %s", w.Body)
+	}
+}
+
+// TestSweepdConfigValidation pins the constructor contract.
+func TestSweepdConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil || !strings.Contains(err.Error(), "DataDir") {
+		t.Fatalf("want a DataDir error, got %v", err)
+	}
+	cfg := Config{}.withDefaults()
+	if cfg.QueueDepth != 16 || cfg.Workers != 1 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+// TestSweepdCancelQueued pins cancellation of a job that never
+// started: it settles immediately and its spec file is gone, so a
+// restart does not resurrect it.
+func TestSweepdCancelQueued(t *testing.T) {
+	dir := t.TempDir()
+	s := newServer(t, Config{DataDir: dir, Workers: 1, QueueDepth: 4})
+	running := submit(t, s, slowSpec(6, 2), http.StatusAccepted)
+	waitState(t, s, running.ID, StateRunning)
+	queued := submit(t, s, fastSpec(42), http.StatusAccepted)
+	if w := do(t, s, http.MethodPost, fmt.Sprintf("/sweeps/%s/cancel", queued.ID), nil); w.Code != http.StatusOK {
+		t.Fatalf("cancel queued: %d", w.Code)
+	}
+	got := waitState(t, s, queued.ID, StateCanceled)
+	if got.State != StateCanceled {
+		t.Fatalf("queued job not canceled: %+v", got)
+	}
+	waitState(t, s, running.ID, StateDone)
+}
