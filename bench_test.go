@@ -1,5 +1,5 @@
 // Package pramemu's root benchmark harness: one benchmark per
-// experiment in DESIGN.md's index (E1-E19), regenerating the series
+// experiment in DESIGN.md's index (E1-E20), regenerating the series
 // behind every claim of the paper. Custom metrics report the
 // normalized quantities the theorems bound (rounds/ℓ, rounds/n,
 // cost/diameter, ...) so `go test -bench=.` output reads directly
@@ -8,11 +8,13 @@
 package pramemu
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
 	"time"
 
+	"pramemu/internal/buildcache"
 	"pramemu/internal/emul"
 	"pramemu/internal/experiments"
 	"pramemu/internal/hashing"
@@ -724,4 +726,67 @@ func BenchmarkE19ScaleCeiling(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkE20BuildCache — the cross-cell build-cache PR: the same
+// cross-family sweep priced cold (a fresh cache per iteration, so
+// every topology is constructed) and warm (one cache primed before
+// the loop, so every build is adopted and only routing is paid). The
+// ns/op gap is the construction cost the cache removes from a warm
+// sweep farm; build-ms/sweep isolates it, and KB/cell shows the
+// allocation the cache and the pooled arenas/tables avoid. Routing is
+// bit-identical across the two modes by construction — the E20 table
+// asserts it — so the comparison prices reuse, nothing else.
+func BenchmarkE20BuildCache(b *testing.B) {
+	sizes := experiments.CrossFamilySizes(true)
+	var topos []scenario.TopoRef
+	for _, family := range topology.Names() {
+		p := sizes[family]
+		bt, err := topology.Build(family, p)
+		if err != nil {
+			b.Fatalf("%s: %v", family, err)
+		}
+		topos = append(topos, scenario.TopoRef{Family: family, N: p.N, K: p.K, Leveled: bt.Spec != nil})
+	}
+	spec := scenario.Spec{
+		Name:             "bench-e20",
+		Topologies:       topos,
+		Workloads:        []scenario.WorkRef{{Name: "perm"}},
+		Workers:          []int{1},
+		Trials:           1,
+		Seed:             benchSeed,
+		SkipIncompatible: true,
+	}
+	priceSweep := func(b *testing.B, nextCache func() *buildcache.Cache) {
+		var m0, m1 runtime.MemStats
+		var buildNS int64
+		cells := 1
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache := nextCache()
+			before := cache.Stats()
+			results, err := scenario.RunContextOptions(context.Background(), spec, scenario.RunOptions{Cache: cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			buildNS += cache.Stats().Delta(before).BuildNS
+			cells = len(results)
+		}
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		b.ReportMetric(float64(buildNS)/float64(b.N)/1e6, "build-ms/sweep")
+		b.ReportMetric(float64(m1.TotalAlloc-m0.TotalAlloc)/float64(b.N)/float64(cells)/1024, "KB/cell")
+	}
+	b.Run("cold", func(b *testing.B) {
+		priceSweep(b, func() *buildcache.Cache { return buildcache.New(buildcache.DefaultBudget) })
+	})
+	b.Run("warm", func(b *testing.B) {
+		cache := buildcache.New(buildcache.DefaultBudget)
+		if _, err := scenario.RunContextOptions(context.Background(), spec, scenario.RunOptions{Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		priceSweep(b, func() *buildcache.Cache { return cache })
+	})
 }

@@ -91,6 +91,7 @@ import (
 	"strings"
 	"time"
 
+	"pramemu/internal/buildcache"
 	"pramemu/internal/scenario"
 	"pramemu/internal/topology"
 	_ "pramemu/internal/topology/families"
@@ -121,6 +122,7 @@ type config struct {
 	sweep      string
 	report     bool
 	out        string
+	buildCache int64
 	timeout    time.Duration
 	failFast   bool
 	server     string
@@ -171,6 +173,7 @@ func main() {
 	flag.StringVar(&cfg.sweep, "sweep", "", "run the scenario sweep spec from this JSON file ('-' = stdin) and emit JSONL")
 	flag.BoolVar(&cfg.report, "report", false, "with -sweep: append the derived report rows (workers-axis speedups, per-class aggregates) after the result lines")
 	flag.StringVar(&cfg.out, "out", "", "with -sweep: write the artifact crash-safely to this path (journaled; atomic rename after the trailer; an interrupted run resumes)")
+	flag.Int64Var(&cfg.buildCache, "buildcache", 0, "topology build-cache budget in bytes: cells and successive sweeps sharing a topology reuse one build (0 = default 256 MiB; negative disables caching)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "with -sweep: per-cell deadline; an expired cell becomes an error line instead of killing the sweep (0 = none)")
 	flag.BoolVar(&cfg.failFast, "failfast", false, "with -sweep: cancel remaining cells when one fails hard instead of draining the grid")
 	flag.StringVar(&cfg.server, "server", "", "with -sweep: submit the spec to this sweepd base URL (e.g. http://localhost:8080) and stream the artifact back instead of running locally")
@@ -210,7 +213,13 @@ func run(w io.Writer, cfg config) (err error) {
 		return list(w)
 	}
 	if cfg.reportdiff {
+		if cfg.server != "" {
+			return runServerDiff(w, cfg)
+		}
 		return runReportDiff(w, cfg.diffArgs)
+	}
+	if cfg.buildCache != 0 {
+		buildcache.SetDefaultBudget(cfg.buildCache)
 	}
 	if cfg.cpuprofile != "" {
 		f, ferr := os.Create(cfg.cpuprofile)
@@ -301,32 +310,49 @@ func runReportDiff(w io.Writer, paths []string) error {
 	if err != nil {
 		return fmt.Errorf("reportdiff: %w", err)
 	}
-	for i, data := range [][]byte{a, b} {
-		if _, err := scenario.VerifyTrailer(bytes.NewReader(data)); err != nil {
-			return fmt.Errorf("reportdiff: %s: %w", paths[i], err)
-		}
+	detail, same, err := scenario.DiffArtifacts(paths[0], a, paths[1], b)
+	if err != nil {
+		return fmt.Errorf("reportdiff: %w", err)
 	}
-	if bytes.Equal(a, b) {
+	if same {
 		fmt.Fprintf(w, "reportdiff: %s and %s are identical (%d bytes)\n", paths[0], paths[1], len(a))
 		return nil
 	}
-	al := strings.Split(string(a), "\n")
-	bl := strings.Split(string(b), "\n")
-	for i := 0; i < len(al) || i < len(bl); i++ {
-		la, lb := "<absent>", "<absent>"
-		if i < len(al) {
-			la = al[i]
-		}
-		if i < len(bl) {
-			lb = bl[i]
-		}
-		if la != lb {
-			return fmt.Errorf("reportdiff: artifacts drift at line %d:\n%s: %s\n%s: %s",
-				i+1, paths[0], la, paths[1], lb)
-		}
+	return fmt.Errorf("reportdiff: %s", detail)
+}
+
+// runServerDiff is -reportdiff against a sweepd instance: the two
+// arguments are job IDs, and the daemon compares its stored,
+// trailer-verified artifacts server-side via GET
+// /sweeps/{a}/diff?against={b} — no artifact bytes cross the wire.
+func runServerDiff(w io.Writer, cfg config) error {
+	if len(cfg.diffArgs) != 2 {
+		return fmt.Errorf("reportdiff: want exactly two job IDs with -server, got %d", len(cfg.diffArgs))
 	}
-	// Same lines but unequal bytes: a trailing-newline mismatch.
-	return fmt.Errorf("reportdiff: artifacts differ only in trailing bytes (%d vs %d)", len(a), len(b))
+	base := strings.TrimRight(cfg.server, "/")
+	resp, err := http.Get(base + "/sweeps/" + cfg.diffArgs[0] + "/diff?against=" + cfg.diffArgs[1])
+	if err != nil {
+		return fmt.Errorf("reportdiff: %w", err)
+	}
+	defer resp.Body.Close()
+	var d struct {
+		A         string `json:"a"`
+		B         string `json:"b"`
+		Identical bool   `json:"identical"`
+		Detail    string `json:"detail,omitempty"`
+		Error     string `json:"error,omitempty"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return fmt.Errorf("reportdiff: %s: %w", resp.Status, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("reportdiff: %s: %s", resp.Status, d.Error)
+	}
+	if d.Identical {
+		fmt.Fprintf(w, "reportdiff: jobs %s and %s are identical\n", d.A, d.B)
+		return nil
+	}
+	return fmt.Errorf("reportdiff: %s", d.Detail)
 }
 
 // runSweep reads the spec from the file (or stdin with "-") and
@@ -379,11 +405,13 @@ func runSweep(w io.Writer, cfg config) error {
 	if err != nil {
 		return err
 	}
+	cache := buildcache.Default()
 	if cfg.out != "" {
-		_, err := scenario.RunJournaled(context.Background(), spec, cfg.out, scenario.JournalOptions{})
+		_, err := scenario.RunJournaled(context.Background(), spec, cfg.out, scenario.JournalOptions{Cache: cache})
 		return err
 	}
-	results, runErr := scenario.Run(spec)
+	before := cache.Stats()
+	results, runErr := scenario.RunContextOptions(context.Background(), spec, scenario.RunOptions{Cache: cache})
 	if runErr != nil {
 		var agg *scenario.AggregateError
 		if !errors.As(runErr, &agg) {
@@ -410,8 +438,18 @@ func runSweep(w io.Writer, cfg config) error {
 		return err
 	}
 	// The trailer closes the stream after the report rows; its cell
-	// count covers the result lines above them.
-	if err := scenario.WriteTrailer(w, hash, stripped); err != nil {
+	// count covers the result lines above them. Only this report-mode
+	// trailer carries the cache and build-vs-route accounting — the
+	// result lines (and plain/journaled artifacts) stay byte-
+	// reproducible from the spec alone.
+	t := scenario.NewTrailer(hash, stripped)
+	d := cache.Stats().Delta(before)
+	t.CacheHits, t.CacheMisses, t.CacheEvictions = d.Hits, d.Misses, d.Evictions
+	t.BuildMS = float64(d.BuildNS) / 1e6
+	for _, r := range results {
+		t.RouteMS += r.ElapsedMS
+	}
+	if err := scenario.WriteTrailerLine(w, t); err != nil {
 		return err
 	}
 	return runErr

@@ -2,12 +2,17 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"pramemu/internal/scenario"
+	"pramemu/internal/sweepd"
 )
 
 // The smoke tests run each main path in-process on a tiny
@@ -740,5 +745,74 @@ func TestRunMemStatsFlags(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "memory: not priced") {
 		t.Fatalf("missing event memory note in %q", b.String())
+	}
+}
+
+// TestRunServerDiff pins the server-side diff client: -reportdiff
+// with -server sends job IDs to the daemon's diff endpoint instead of
+// reading local files. A job against itself is identical, different
+// seeds error with the server's drift detail, and bad usage (wrong
+// arity, unknown jobs) errors loudly.
+func TestRunServerDiff(t *testing.T) {
+	srv, err := sweepd.New(sweepd.Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	submit := func(seed int) string {
+		t.Helper()
+		spec := fmt.Sprintf(`{"name":"diff","topologies":[{"family":"star","n":4}],"workloads":[{"name":"perm"}],"trials":1,"seed":%d}`, seed)
+		resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for st.State != "done" {
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in %q", st.ID, st.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+			r, err := http.Get(ts.URL + "/sweeps/" + st.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = json.NewDecoder(r.Body).Decode(&st)
+			r.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st.ID
+	}
+	a := submit(7)
+	b := submit(8)
+
+	var out strings.Builder
+	if err := run(&out, config{reportdiff: true, server: ts.URL, diffArgs: []string{a, a}}); err != nil {
+		t.Fatalf("self-diff flagged: %v", err)
+	}
+	if !strings.Contains(out.String(), "identical") {
+		t.Fatalf("unexpected server diff output %q", out.String())
+	}
+	if err := run(&out, config{reportdiff: true, server: ts.URL, diffArgs: []string{a, b}}); err == nil ||
+		!strings.Contains(err.Error(), "line") {
+		t.Fatalf("cross-seed server diff: want a drift error locating the line, got %v", err)
+	}
+	if err := run(&out, config{reportdiff: true, server: ts.URL, diffArgs: []string{a}}); err == nil {
+		t.Fatal("single-ID server diff accepted")
+	}
+	if err := run(&out, config{reportdiff: true, server: ts.URL, diffArgs: []string{a, "nope"}}); err == nil {
+		t.Fatal("diff against an unknown job accepted")
 	}
 }

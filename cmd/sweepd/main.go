@@ -40,15 +40,17 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "per-job wall-clock cap; 0 = none (expired jobs checkpoint completed cells)")
 		retries = flag.Int("retries", 2, "extra passes re-running transiently failed (timed-out) cells before an artifact finalizes")
 		backoff = flag.Duration("backoff", 100*time.Millisecond, "first cell-retry delay, doubling per pass")
+		bcache  = flag.Int64("buildcache", 0, "topology build-cache budget in bytes, shared by all jobs (0 = default 256 MiB; negative disables)")
 	)
 	flag.Parse()
 	if err := run(*addr, sweepd.Config{
-		DataDir:      *data,
-		QueueDepth:   *queue,
-		Workers:      *jobs,
-		JobTimeout:   *timeout,
-		Retries:      *retries,
-		RetryBackoff: *backoff,
+		DataDir:          *data,
+		QueueDepth:       *queue,
+		Workers:          *jobs,
+		JobTimeout:       *timeout,
+		Retries:          *retries,
+		RetryBackoff:     *backoff,
+		BuildCacheBudget: *bcache,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "sweepd: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,288 @@
+// Package buildcache is the process-wide topology build cache: a
+// content-keyed (family, N, K, leveled), size-budgeted, ref-counted
+// LRU of topology.Built values with singleflight deduplication.
+// Graphs are stateless and safe for concurrent use by contract
+// (topology.Graph), so every cell, experiment row and sweepd job that
+// names the same network can route on one immutable build instead of
+// reconstructing it — spec expansion, the scenario fallback path, the
+// experiment table drivers and the sweep daemon all resolve builds
+// here. Concurrent requests for the same key are deduplicated: one
+// caller builds while the rest wait on the entry, so a sweep pool
+// fanning out over one topology constructs it exactly once.
+//
+// Entries are reference-counted: a Ref pins its build against
+// eviction for as long as a grid (or a single cell) is routing on it,
+// and Release hands the pin back. The budget bounds resident bytes of
+// *unpinned* entries — eviction is LRU over ready entries with no
+// outstanding refs, so a cache whose live working set exceeds the
+// budget degrades to build-per-use for the overflow instead of
+// failing. Failed builds are never cached; the error is returned to
+// every waiter and the key is retried on the next Get.
+package buildcache
+
+import (
+	"sync"
+	"time"
+
+	"pramemu/internal/topology"
+)
+
+// DefaultBudget is the Default cache's byte budget: generous against
+// the registry families' real footprints (a 16.7M-node de Bruijn
+// graph prices around 1 GiB of table-free adjacency arithmetic, the
+// Cayley families far less), small against the engine tables the
+// builds feed.
+const DefaultBudget int64 = 256 << 20
+
+// Key identifies one build: the registry family plus its size
+// parameters, and whether the cell routes the leveled unrolling —
+// part of the key so per-view accounting in stats matches cell
+// identity, even though Build returns both views in one value.
+type Key struct {
+	Family  string
+	N, K    int
+	Leveled bool
+}
+
+// Stats is a point-in-time snapshot of the cache counters. Hits,
+// Misses, Evictions and BuildNS are cumulative; Entries and Bytes are
+// current residency. The JSON shape is what sweepd's /healthz and the
+// -report trailer embed.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	BuildNS   int64 `json:"build_ns"`
+}
+
+// Delta returns the cumulative counters relative to an earlier
+// snapshot, keeping the residency fields at their current values —
+// the per-run accounting the -report trailer wants.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Evictions: s.Evictions - prev.Evictions,
+		Entries:   s.Entries,
+		Bytes:     s.Bytes,
+		BuildNS:   s.BuildNS - prev.BuildNS,
+	}
+}
+
+type entry struct {
+	key   Key
+	built topology.Built
+	bytes int64
+	refs  int
+	seq   uint64        // last-use stamp; smallest = LRU victim
+	ready chan struct{} // closed when built or err is final
+	err   error
+}
+
+// Cache is one build cache. The zero value is not usable; construct
+// with New. All methods are safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64
+	seq     uint64
+	entries map[Key]*entry
+	bytes   int64
+
+	hits, misses, evictions, buildNS int64
+}
+
+// New returns a cache bounding unpinned entries to budget bytes. A
+// budget <= 0 disables caching entirely: Get builds fresh every call
+// (still counting misses and build time), returns no Ref, and retains
+// nothing.
+func New(budget int64) *Cache {
+	return &Cache{budget: budget, entries: map[Key]*entry{}}
+}
+
+// Ref pins one cache entry against eviction. Release is idempotent
+// and nil-safe, so callers on error paths can release unconditionally.
+type Ref struct {
+	c    *Cache
+	e    *entry
+	once sync.Once
+}
+
+// Release returns the pin. Once every Ref on an entry is released the
+// entry becomes evictable (it stays resident until the budget needs
+// the space).
+func (r *Ref) Release() {
+	if r == nil || r.c == nil {
+		return
+	}
+	r.once.Do(func() {
+		r.c.mu.Lock()
+		r.e.refs--
+		r.c.evict()
+		r.c.mu.Unlock()
+	})
+}
+
+// Get resolves a build through the cache: a resident entry is a hit,
+// an in-flight build is joined (singleflight), and a miss builds
+// under the requesting goroutine and publishes the result. The
+// returned Ref (nil only when caching is disabled or on error) pins
+// the entry; callers release it when they stop routing on the build.
+func (c *Cache) Get(family string, p topology.Params, leveled bool) (topology.Built, *Ref, error) {
+	key := Key{Family: family, N: p.N, K: p.K, Leveled: leveled}
+	c.mu.Lock()
+	if c.budget <= 0 {
+		c.misses++
+		c.mu.Unlock()
+		start := time.Now()
+		b, err := topology.Build(family, p)
+		elapsed := time.Since(start).Nanoseconds()
+		c.mu.Lock()
+		c.buildNS += elapsed
+		c.mu.Unlock()
+		if err != nil {
+			return topology.Built{}, nil, err
+		}
+		return b, nil, nil
+	}
+	for {
+		e, ok := c.entries[key]
+		if !ok {
+			break
+		}
+		if ready(e) {
+			c.hits++
+			e.refs++
+			c.seq++
+			e.seq = c.seq
+			c.mu.Unlock()
+			return e.built, &Ref{c: c, e: e}, nil
+		}
+		// In flight: wait off the lock, then re-check — the builder
+		// removes the entry on failure, and a tight budget may have
+		// evicted it between the close and our wakeup.
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return topology.Built{}, nil, e.err
+		}
+		c.mu.Lock()
+	}
+	// Miss: publish the in-flight entry, build outside the lock.
+	e := &entry{key: key, ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+	start := time.Now()
+	b, err := topology.Build(family, p)
+	elapsed := time.Since(start).Nanoseconds()
+	c.mu.Lock()
+	c.buildNS += elapsed
+	if err != nil {
+		delete(c.entries, key)
+		e.err = err
+		close(e.ready)
+		c.mu.Unlock()
+		return topology.Built{}, nil, err
+	}
+	e.built = b
+	e.bytes = sizeOf(b)
+	e.refs = 1
+	c.seq++
+	e.seq = c.seq
+	c.bytes += e.bytes
+	close(e.ready)
+	c.evict()
+	c.mu.Unlock()
+	return b, &Ref{c: c, e: e}, nil
+}
+
+// SetBudget rebudgets the cache in place (existing Refs stay valid).
+// Shrinking evicts idle entries immediately; <= 0 disables caching
+// and drains idle entries now, with pinned ones falling out as their
+// refs release.
+func (c *Cache) SetBudget(budget int64) {
+	c.mu.Lock()
+	c.budget = budget
+	c.evict()
+	c.mu.Unlock()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		BuildNS:   c.buildNS,
+	}
+}
+
+// evict drops least-recently-used idle entries until resident bytes
+// fit the budget. Pinned (refs > 0) and in-flight entries are never
+// victims, so a working set larger than the budget simply stays — the
+// budget bounds what the cache holds speculatively, not what callers
+// are actively routing on. Callers hold c.mu.
+func (c *Cache) evict() {
+	for c.bytes > c.budget {
+		var victim *entry
+		for _, e := range c.entries {
+			if e.refs > 0 || !ready(e) || e.err != nil {
+				continue
+			}
+			if victim == nil || e.seq < victim.seq {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.entries, victim.key)
+		c.bytes -= victim.bytes
+		c.evictions++
+	}
+}
+
+// ready reports whether e's build has finished (the channel is closed
+// by the builder under the happens-before edge waiters rely on).
+func ready(e *entry) bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// sizeOf estimates a build's resident footprint for budgeting. Exact
+// sizes would need reflection over nine family layouts; the estimate
+// charges a fixed base plus per-node adjacency arithmetic and a
+// per-level term for the unrolling, which tracks the real footprints
+// within a small factor — good enough for an LRU watermark.
+func sizeOf(b topology.Built) int64 {
+	s := int64(512)
+	if b.Graph != nil {
+		s += int64(b.Graph.Nodes()) * 64
+	}
+	if b.Spec != nil {
+		s += int64(b.Spec.Levels()) * 64
+	}
+	return s
+}
+
+var defaultCache = New(DefaultBudget)
+
+// Default is the process-wide cache every layer shares unless handed
+// an explicit one: scenario expansion, the single-cell fallback path,
+// the experiment drivers and routebench all resolve builds through
+// it, so a warm process amortizes construction across them.
+func Default() *Cache { return defaultCache }
+
+// SetDefaultBudget rebudgets the Default cache (the routebench
+// -buildcache flag); <= 0 disables process-wide caching.
+func SetDefaultBudget(budget int64) { defaultCache.SetBudget(budget) }

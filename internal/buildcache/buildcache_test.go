@@ -1,0 +1,251 @@
+package buildcache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
+)
+
+// The bctest family counts constructions (the observable singleflight
+// and error-retry behavior) and delegates to the star family for a
+// real Built value. A negative N is the registry's error path.
+var (
+	buildCount   atomic.Int64
+	registerOnce sync.Once
+)
+
+func registerTestFamily() {
+	registerOnce.Do(func() {
+		topology.Register(topology.Family{
+			Name:    "bctest",
+			Params:  "N: star dimension (test-only counting family)",
+			Theorem: "test",
+			Build: func(p topology.Params) (topology.Built, error) {
+				buildCount.Add(1)
+				if p.N < 0 {
+					return topology.Built{}, errors.New("bctest: negative n")
+				}
+				time.Sleep(2 * time.Millisecond) // widen the singleflight window
+				return topology.Build("star", p)
+			},
+		})
+	})
+}
+
+func TestBuildCacheSingleflight(t *testing.T) {
+	registerTestFamily()
+	c := New(DefaultBudget)
+	before := buildCount.Load()
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, ref, err := c.Get("bctest", topology.Params{N: 4}, false)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+				return
+			}
+			if b.Nodes() != 24 {
+				t.Errorf("Nodes() = %d, want 24", b.Nodes())
+			}
+			ref.Release()
+		}()
+	}
+	wg.Wait()
+	if got := buildCount.Load() - before; got != 1 {
+		t.Errorf("%d concurrent Gets ran %d builds, want 1", callers, got)
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("Misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Misses != callers {
+		t.Errorf("Hits+Misses = %d, want %d", st.Hits+st.Misses, callers)
+	}
+	if st.Entries != 1 {
+		t.Errorf("Entries = %d, want 1", st.Entries)
+	}
+	if st.BuildNS <= 0 {
+		t.Errorf("BuildNS = %d, want > 0", st.BuildNS)
+	}
+}
+
+func TestBuildCacheHitReturnsSameBuild(t *testing.T) {
+	registerTestFamily()
+	c := New(DefaultBudget)
+	a, ra, err := c.Get("bctest", topology.Params{N: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, rb, err := c.Get("bctest", topology.Params{N: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph != b.Graph {
+		t.Error("hit returned a different Graph than the miss built")
+	}
+	ra.Release()
+	rb.Release()
+}
+
+func TestBuildCacheEvictionAndRefcount(t *testing.T) {
+	registerTestFamily()
+	c := New(DefaultBudget)
+	// Two keys of identical footprint: same build, leveled flag split.
+	_, r1, err := c.Get("bctest", topology.Params{N: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Release()
+	oneEntry := c.Stats().Bytes
+	if oneEntry <= 0 {
+		t.Fatalf("Bytes = %d after one insert, want > 0", oneEntry)
+	}
+	// Budget one entry: the cache can hold either key, not both.
+	c.SetBudget(oneEntry)
+
+	_, r2, err := c.Get("bctest", topology.Params{N: 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Release()
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 1 {
+		t.Errorf("after over-budget insert: Evictions = %d, Entries = %d, want 1, 1",
+			st.Evictions, st.Entries)
+	}
+	if st.Bytes > oneEntry {
+		t.Errorf("Bytes = %d exceeds budget %d with an idle victim available", st.Bytes, oneEntry)
+	}
+	// The unleveled key was the LRU victim; re-getting it is a miss
+	// and evicts the leveled key in turn.
+	misses := st.Misses
+	_, r3, err := c.Get("bctest", topology.Params{N: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Misses != misses+1 {
+		t.Errorf("re-Get of evicted key: Misses = %d, want %d", st.Misses, misses+1)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("Evictions = %d, want 2 (leveled key was idle LRU)", st.Evictions)
+	}
+	// Pinned entries are never victims: while r3 is held, a second
+	// over-budget insert leaves both entries resident.
+	_, r4, err := c.Get("bctest", topology.Params{N: 4}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Entries != 2 {
+		t.Errorf("Entries = %d with both keys pinned, want 2 (pins block eviction)", st.Entries)
+	}
+	// Releases are idempotent and nil-safe; the second Release and the
+	// nil Release must be no-ops.
+	r3.Release()
+	r3.Release()
+	var rnil *Ref
+	rnil.Release()
+	r4.Release()
+	st = c.Stats()
+	if st.Bytes > oneEntry {
+		t.Errorf("Bytes = %d after releases, want <= budget %d", st.Bytes, oneEntry)
+	}
+}
+
+func TestBuildCacheDisabled(t *testing.T) {
+	registerTestFamily()
+	c := New(-1)
+	before := buildCount.Load()
+	for i := 0; i < 3; i++ {
+		b, ref, err := c.Get("bctest", topology.Params{N: 4}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref != nil {
+			t.Error("disabled cache returned a non-nil Ref")
+		}
+		if b.Nodes() != 24 {
+			t.Errorf("Nodes() = %d, want 24", b.Nodes())
+		}
+	}
+	st := c.Stats()
+	if got := buildCount.Load() - before; got != 3 {
+		t.Errorf("disabled cache ran %d builds for 3 Gets, want 3", got)
+	}
+	if st.Misses != 3 || st.Hits != 0 || st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("disabled cache stats = %+v, want 3 misses and nothing resident", st)
+	}
+	if st.BuildNS <= 0 {
+		t.Errorf("BuildNS = %d, want > 0 (disabled path still prices builds)", st.BuildNS)
+	}
+}
+
+func TestBuildCacheErrorNotCached(t *testing.T) {
+	registerTestFamily()
+	c := New(DefaultBudget)
+	before := buildCount.Load()
+	for i := 0; i < 2; i++ {
+		_, ref, err := c.Get("bctest", topology.Params{N: -1}, false)
+		if err == nil {
+			t.Fatal("Get with negative n succeeded, want error")
+		}
+		if ref != nil {
+			t.Error("failed Get returned a non-nil Ref")
+		}
+	}
+	if got := buildCount.Load() - before; got != 2 {
+		t.Errorf("failed key retried %d builds, want 2 (errors are not cached)", got)
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("failed builds left residency: %+v", st)
+	}
+}
+
+func TestBuildCacheStatsDelta(t *testing.T) {
+	registerTestFamily()
+	c := New(DefaultBudget)
+	_, r, err := c.Get("bctest", topology.Params{N: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+	before := c.Stats()
+	_, r, err = c.Get("bctest", topology.Params{N: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+	d := c.Stats().Delta(before)
+	if d.Hits != 1 || d.Misses != 0 || d.BuildNS != 0 {
+		t.Errorf("Delta = %+v, want exactly one hit and no build time", d)
+	}
+	if d.Entries != 1 || d.Bytes != before.Bytes {
+		t.Errorf("Delta residency = %d entries / %d bytes, want current values (1 / %d)",
+			d.Entries, d.Bytes, before.Bytes)
+	}
+}
+
+func TestBuildCacheDefaultBudgetSwap(t *testing.T) {
+	registerTestFamily()
+	c := New(DefaultBudget)
+	_, r, err := c.Get("bctest", topology.Params{N: 4}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+	// Shrinking below residency drains idle entries immediately.
+	c.SetBudget(1)
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("SetBudget(1) left residency: %+v", st)
+	}
+}

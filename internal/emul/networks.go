@@ -52,6 +52,12 @@ type TopologyNetwork struct {
 	// MemStats, when non-nil, receives the resolved state and memory
 	// footprint of each routed step (the last step's values persist).
 	MemStats *engine.MemStats
+	// Lease, when non-nil, recycles engine table and scratch
+	// allocations across the adapter's routed steps (emulated steps
+	// route with replies and therefore resolve to the hashed state,
+	// where the lease is a no-op today — the field keeps the adapter
+	// uniform with the routers it wraps).
+	Lease *engine.Lease
 }
 
 // NewTopologyNetwork adapts a registry-built network, preferring the
@@ -118,6 +124,7 @@ func (n *TopologyNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64
 			PagedKeys:  n.PagedKeys,
 			MemBudget:  n.MemBudget,
 			MemStats:   n.MemStats,
+			Lease:      n.Lease,
 		})
 		return RouteStats{
 			Rounds:        s.Rounds,
@@ -139,6 +146,7 @@ func (n *TopologyNetwork) Route(pkts []*packet.Packet, combine bool, seed uint64
 		PagedKeys:  n.PagedKeys,
 		MemBudget:  n.MemBudget,
 		MemStats:   n.MemStats,
+		Lease:      n.Lease,
 	})
 	if err != nil {
 		// The constructor verified the key space; any residual error

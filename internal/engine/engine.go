@@ -127,6 +127,16 @@ type Options struct {
 	// one with no Context at all — the poll reads no randomness and
 	// touches no simulation state.
 	Context context.Context
+	// Lease, when non-nil, recycles the engine's per-shard table,
+	// page, active-list and scratch allocations across runs of the
+	// same shape (see Lease). A stocked lease whose shape matches is
+	// adopted in New; a completed Run hands the buffers back. Reuse is
+	// bit-invisible: adopted buffers are empty by the drain/clear
+	// invariants, so results and MemStats are identical with or
+	// without a lease. An engine given a Lease is single-run — Run
+	// donates its buffers when it returns. Dense and paged states
+	// only; hashed and event engines ignore the lease.
+	Lease *Lease
 }
 
 // Ctx is the per-shard execution context handed to Handler, Combiner
@@ -206,6 +216,10 @@ type shard struct {
 	// allocation-free).
 	pages     []*[pageSize]queue.Discipline
 	pageCount int
+	// pageFree holds drained pages harvested by an adopted Lease;
+	// first touch draws from it before the heap. Recycled pages are
+	// all-nil by the drain invariant, so reuse is bit-invisible.
+	pageFree []*[pageSize]queue.Discipline
 	// peakLive is the high-water live-queue count, the basis of the
 	// hashed path's TableBytes estimate.
 	peakLive int
@@ -224,16 +238,19 @@ type shard struct {
 
 // Engine runs the synchronous round loop over sharded link state.
 type Engine struct {
-	pool     *Pool
-	shards   []shard
-	mask     uint64
-	newQueue func() queue.Discipline
-	dense    bool
-	state    State
-	degraded bool
-	seed     uint64
-	event    *EventOptions   // nil = synchronous round loop
-	ctx      context.Context // nil = unbounded run
+	pool      *Pool
+	shards    []shard
+	mask      uint64
+	newQueue  func() queue.Discipline
+	dense     bool
+	state     State
+	degraded  bool
+	seed      uint64
+	event     *EventOptions   // nil = synchronous round loop
+	ctx       context.Context // nil = unbounded run
+	lease     *Lease          // nil = no cross-run buffer reuse
+	tableSize int             // per-shard dense/paged slots (the lease shape key)
+	mem       *MemStats       // pricing snapshot taken when a lease detaches the tables
 
 	// Per-run state referenced by the preallocated phase closures, so
 	// a steady-state round performs no closure or interface
@@ -304,16 +321,28 @@ func New(opts Options) *Engine {
 		}
 	}
 	e := &Engine{
-		pool:     pool,
-		shards:   make([]shard, nshards),
-		mask:     uint64(nshards - 1),
-		newQueue: newQueue,
-		dense:    state != StateHashed,
-		state:    state,
-		degraded: degraded,
-		seed:     opts.Seed,
-		event:    eventOpts,
-		ctx:      opts.Context,
+		pool:      pool,
+		shards:    make([]shard, nshards),
+		mask:      uint64(nshards - 1),
+		newQueue:  newQueue,
+		dense:     state != StateHashed,
+		state:     state,
+		degraded:  degraded,
+		seed:      opts.Seed,
+		event:     eventOpts,
+		ctx:       opts.Context,
+		tableSize: tableSize,
+	}
+	// A lease attaches only on the dense states it can stock; its
+	// buffers are adopted when the stocked shape matches, otherwise
+	// the run allocates fresh and restocks the lease at release.
+	var adopt []leaseShard
+	if l := opts.Lease; l != nil && (state == StateDense || state == StatePaged) {
+		e.lease = l
+		if l.matches(state, nshards, tableSize) {
+			adopt = l.shards
+			l.shards = nil
+		}
 	}
 	// The shard streams come off a tweaked root so they never collide
 	// with the per-packet streams Split off prng.New(seed) directly.
@@ -322,10 +351,19 @@ func New(opts Options) *Engine {
 		sh := &e.shards[i]
 		switch state {
 		case StateDense:
-			sh.table = make([]queue.Discipline, tableSize)
+			if adopt != nil {
+				sh.table = adopt[i].table
+			} else {
+				sh.table = make([]queue.Discipline, tableSize)
+			}
 			sh.shift = shift
 		case StatePaged:
-			sh.pages = make([]*[pageSize]queue.Discipline, numPages)
+			if adopt != nil {
+				sh.pages = adopt[i].pages
+				sh.pageFree = adopt[i].pageFree
+			} else {
+				sh.pages = make([]*[pageSize]queue.Discipline, numPages)
+			}
 			sh.shift = shift
 		default:
 			sh.edges = make(map[uint64]queue.Discipline)
@@ -337,6 +375,14 @@ func New(opts Options) *Engine {
 			maxKey: opts.MaxKey,
 			shard:  i,
 			out:    make([][]Arrival, nshards),
+		}
+		if adopt != nil {
+			sh.active = adopt[i].active
+			sh.inbox = adopt[i].inbox
+			sh.scratch = adopt[i].scratch
+			if len(adopt[i].out) == nshards {
+				sh.ctx.out = adopt[i].out
+			}
 		}
 	}
 	e.drainFn = func(_, lo, hi int) {
@@ -404,6 +450,7 @@ func (e *Engine) Run(inject func(ctx *Ctx), handle Handler, combine Combiner) St
 		e.pool.RunIf(par, len(e.shards), e.pushFn)
 	}
 	e.clearScratch()
+	e.releaseLease()
 	var out Stats
 	var loads map[int]int
 	for i := range e.shards {
@@ -569,12 +616,13 @@ func (e *Engine) pushShard(s, round int, combine Combiner) {
 				continue
 			}
 			if q == nil {
-				// First touch of this page allocates it; combined-away
+				// First touch of this page allocates it (recycling a
+				// leased page when one is free); combined-away
 				// arrivals above never reach here, so absorption alone
 				// costs no page. Pages are retained once allocated, so
 				// a warm steady-state round stays allocation-free.
 				if pg == nil {
-					pg = new([pageSize]queue.Discipline)
+					pg = sh.takePage()
 					sh.pages[idx>>pageBits] = pg
 					sh.pageCount++
 				}
@@ -611,6 +659,19 @@ func (e *Engine) pushShard(s, round int, combine Combiner) {
 		}
 	}
 	sh.inbox, sh.scratch = sorted[:0], spare[:0]
+}
+
+// takePage recycles a lease-harvested page or constructs a fresh one.
+// Recycled pages are all-nil by the drain invariant, so first-touch
+// behavior is identical either way.
+func (sh *shard) takePage() *[pageSize]queue.Discipline {
+	if n := len(sh.pageFree); n > 0 {
+		pg := sh.pageFree[n-1]
+		sh.pageFree[n-1] = nil
+		sh.pageFree = sh.pageFree[:n-1]
+		return pg
+	}
+	return new([pageSize]queue.Discipline)
 }
 
 // takeQueue recycles a drained queue or constructs a fresh one.

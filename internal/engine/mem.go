@@ -71,6 +71,11 @@ const hashedEntryBytes = 48
 // footprint. Call it after Run: the paged page count and the hashed
 // peak-live estimate both reflect what the run actually touched.
 func (e *Engine) MemStats() MemStats {
+	// A leased engine donated its tables when Run completed; the
+	// snapshot taken at release preserves what the run actually used.
+	if e.mem != nil {
+		return *e.mem
+	}
 	m := MemStats{State: e.state, Degraded: e.degraded}
 	switch e.state {
 	case StateDense:

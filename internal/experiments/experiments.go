@@ -11,12 +11,18 @@
 // sweeps the emulation-mode axis (erew/crcw PRAM steps instead of raw
 // routing), and E18 sweeps the engine and fault axes (asynchronous
 // event-driven delivery under link latency, outages, stragglers and
-// packet loss, against the synchronous round baseline).
+// packet loss, against the synchronous round baseline). E20 prices
+// the build cache and buffer pools: the same cross-family sweep cold
+// and warm, with the warm results asserted identical to the cold.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"time"
 
+	"pramemu/internal/buildcache"
 	"pramemu/internal/emul"
 	"pramemu/internal/hashing"
 	"pramemu/internal/hypercube"
@@ -70,6 +76,21 @@ func mustSweep(spec scenario.Spec) []scenario.Result {
 	return results
 }
 
+// mustBuild resolves a registry topology through the process-wide
+// build cache: the experiment drivers price the same comparable-size
+// networks over and over, so every driver after the first adopts a
+// cached build instead of re-constructing it. The pin is released
+// immediately — the entry stays resident (unpinned) for the next
+// driver until the cache budget evicts it.
+func mustBuild(name string, p topology.Params) topology.Built {
+	b, ref, err := buildcache.Default().Get(name, p, false)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", name, err))
+	}
+	ref.Release()
+	return b
+}
+
 // mustEmul builds an emulator for a statically sized configuration.
 func mustEmul(net emul.Network, cfg emul.Config) *emul.Emulator {
 	e, err := emul.New(net, cfg)
@@ -83,10 +104,7 @@ func mustEmul(net emul.Network, cfg emul.Config) *emul.Emulator {
 // and adapts it for the emulator (preferring the leveled view, as the
 // paper's leveled-network theorems do).
 func registryNet(name string, p topology.Params) emul.Network {
-	b, err := topology.Build(name, p)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
+	b := mustBuild(name, p)
 	net, err := emul.NewTopologyNetwork(b)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
@@ -490,10 +508,7 @@ func E9MeshLocality(o Options) *metrics.Table {
 	if o.Quick {
 		n = 64
 	}
-	b, err := topology.Build("mesh", topology.Params{N: n})
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
-	}
+	b := mustBuild("mesh", topology.Params{N: n})
 	g := b.Graph.(*mesh.Grid)
 	t := metrics.NewTable(
 		fmt.Sprintf("E9 (Thm 3.3) locality on the %dx%d mesh", n, n),
@@ -696,10 +711,7 @@ func registryTopos(quick bool) ([]scenario.TopoRef, map[string]string) {
 	degrees := make(map[string]string)
 	for _, name := range topology.Names() {
 		p := sizes[name]
-		b, err := topology.Build(name, p)
-		if err != nil {
-			panic(fmt.Sprintf("experiments: %s: %v", name, err))
-		}
+		b := mustBuild(name, p)
 		topos = append(topos, scenario.TopoRef{Family: name, N: p.N, K: p.K, Leveled: b.Spec != nil})
 		if b.Graph != nil {
 			degrees[name] = fmt.Sprintf("%d", maxDegree(b.Graph))
@@ -978,6 +990,69 @@ func E19ScaleCeiling(o Options) *metrics.Table {
 	return t
 }
 
+// E20BuildCache prices the cross-cell build cache and buffer pools:
+// one fresh cache serves the same cross-family sweep twice — the cold
+// pass constructs every topology, the warm pass adopts the cached
+// builds plus the pooled arenas and engine tables — and each row
+// records one pass's cache traffic, build time, end-to-end time and
+// heap allocation per cell. The warm row's misses column must read 0,
+// and the warm result lines are asserted field-identical to the cold
+// pass's (the bit-identity the cache and pools guarantee). The cells/
+// hits/misses/evict columns are deterministic; the time and KB
+// columns are wall-clock and heap measurements that vary run to run.
+func E20BuildCache(o Options) *metrics.Table {
+	o = o.withDefaults()
+	topos, _ := registryTopos(o.Quick)
+	spec := scenario.Spec{
+		Name:             "e20-cache",
+		Topologies:       topos,
+		Workloads:        []scenario.WorkRef{{Name: "perm"}, {Name: "khot", Hot: 4}},
+		Workers:          []int{1},
+		Trials:           o.Trials,
+		Seed:             o.Seed,
+		SkipIncompatible: true,
+	}
+	cache := buildcache.New(buildcache.DefaultBudget)
+	t := metrics.NewTable("E20 (cache) cold vs warm sweep through the build cache and buffer pools",
+		"pass", "cells", "hits", "misses", "evict", "build(ms)", "sweep(ms)", "KB/cell")
+	var cold []scenario.Result
+	for _, pass := range []string{"cold", "warm"} {
+		before := cache.Stats()
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		results, err := scenario.RunContextOptions(context.Background(), spec, scenario.RunOptions{Cache: cache})
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		switch {
+		case pass == "cold":
+			cold = results
+		case len(results) != len(cold):
+			panic(fmt.Sprintf("experiments: warm pass priced %d cells, cold %d", len(results), len(cold)))
+		default:
+			for i := range results {
+				if results[i] != cold[i] {
+					panic(fmt.Sprintf("experiments: warm result drifted at %s", results[i].Scenario))
+				}
+			}
+		}
+		d := cache.Stats().Delta(before)
+		t.AddRow(pass,
+			fmt.Sprintf("%d", len(results)),
+			fmt.Sprintf("%d", d.Hits),
+			fmt.Sprintf("%d", d.Misses),
+			fmt.Sprintf("%d", d.Evictions),
+			fmtF(float64(d.BuildNS)/1e6),
+			fmtF(float64(elapsed.Nanoseconds())/1e6),
+			fmtF(float64(m1.TotalAlloc-m0.TotalAlloc)/float64(len(results))/1024))
+	}
+	return t
+}
+
 // maxDegree samples nodes for the graph's characteristic (maximum)
 // degree — node 0 alone would report a mesh corner as degree 2.
 func maxDegree(g topology.Graph) int {
@@ -1014,5 +1089,6 @@ func All(o Options) []*metrics.Table {
 		E17EmulationMatrix(o),
 		E18AsynchronyMatrix(o),
 		E19ScaleCeiling(o),
+		E20BuildCache(o),
 	}
 }

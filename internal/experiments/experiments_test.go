@@ -13,8 +13,8 @@ func TestAllExperimentsProduceRows(t *testing.T) {
 		t.Skip("experiment sweep in -short mode")
 	}
 	tables := All(quick())
-	if len(tables) != 17 {
-		t.Fatalf("expected 17 experiment tables, got %d", len(tables))
+	if len(tables) != 18 {
+		t.Fatalf("expected 18 experiment tables, got %d", len(tables))
 	}
 	for i, tb := range tables {
 		if tb.Rows() == 0 {

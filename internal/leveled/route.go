@@ -58,6 +58,10 @@ type Options struct {
 	// MemStats, when non-nil, receives the engine's resolved state and
 	// table footprint after the run.
 	MemStats *engine.MemStats
+	// Lease, when non-nil, recycles the engine's table and scratch
+	// allocations across same-shape runs (see engine.Options.Lease);
+	// results are bit-identical with or without it.
+	Lease *engine.Lease
 	// Event, when non-nil, routes on the asynchronous discrete-event
 	// engine instead of synchronous rounds (see engine.EventOptions).
 	// The router fills the node-decoding hooks so the straggler and
@@ -190,6 +194,7 @@ func Route(spec Spec, pkts []*packet.Packet, opts Options) Stats {
 		MaxKey:     maxKey,
 		MemBudget:  opts.MemBudget,
 		ForcePaged: opts.PagedKeys,
+		Lease:      opts.Lease,
 	}
 	if opts.Event != nil {
 		ev := *opts.Event

@@ -144,6 +144,11 @@ type Options struct {
 	// MemStats, when non-nil, receives the engine's resolved state and
 	// table footprint after the run.
 	MemStats *engine.MemStats
+	// Lease, when non-nil, recycles the engine's table and scratch
+	// allocations across same-shape runs (see engine.Options.Lease);
+	// results are bit-identical with or without it. Queue free lists
+	// are never leased, so the discipline closure stays per-run.
+	Lease *engine.Lease
 }
 
 // Stats aggregates one routing run.
@@ -200,6 +205,7 @@ func Route(g *Grid, pkts []*packet.Packet, opts Options) Stats {
 		MaxKey:     maxKey,
 		MemBudget:  opts.MemBudget,
 		ForcePaged: opts.PagedKeys,
+		Lease:      opts.Lease,
 	})
 	st := eng.Run(func(ctx *engine.Ctx) {
 		root := prng.New(opts.Seed)

@@ -1,6 +1,9 @@
 package packet
 
-import "unsafe"
+import (
+	"sync"
+	"unsafe"
+)
 
 // arenaSlabSize is the number of packets per slab: large enough that
 // slab bookkeeping vanishes, small enough that a run of a few hundred
@@ -24,6 +27,11 @@ const arenaSlabSize = 1024
 type Arena struct {
 	slabs [][]Packet
 	n     int
+	// hw is the high-water allocation count since the arena left the
+	// pool (or was constructed): Bytes prices this run's peak, not
+	// whatever larger shape a pooled arena served before, so pooled
+	// reuse cannot leak into byte-reproducible sweep artifacts.
+	hw int
 }
 
 // NewArena returns an empty arena.
@@ -40,6 +48,9 @@ func (a *Arena) New(id, src, dst int, kind Kind) *Packet {
 		a.slabs = append(a.slabs, make([]Packet, arenaSlabSize))
 	}
 	a.n++
+	if a.n > a.hw {
+		a.hw = a.n
+	}
 	p := &a.slabs[slab][slot]
 	path, children, combinedAt := p.Path[:0], p.Children[:0], p.CombinedAt[:0]
 	*p = Packet{ID: id, Src: src, Dst: dst, Kind: kind, Arrived: -1}
@@ -63,13 +74,44 @@ func (a *Arena) At(i int) *Packet {
 // Reset is invalidated (its memory will be reused).
 func (a *Arena) Reset() { a.n = 0 }
 
-// Bytes returns the slab footprint: the memory held by every slab ever
-// allocated (slabs survive Reset), not counting the backing arrays of
-// per-packet Path/Children/CombinedAt slices. It is the packet-side
-// half of a run's memory pricing (engine.MemStats holds the
-// link-table half).
+// Bytes returns the slab footprint of this arena's use: the slabs
+// covering its high-water allocation count since it was constructed
+// or checked out of the pool (Reset preserves the high-water mark, so
+// a multi-trial run reports its peak). It deliberately excludes any
+// larger slab set a pooled arena retains from earlier runs, as well
+// as the backing arrays of per-packet Path/Children/CombinedAt
+// slices. It is the packet-side half of a run's memory pricing
+// (engine.MemStats holds the link-table half).
 func (a *Arena) Bytes() int64 {
-	return int64(len(a.slabs)) * arenaSlabSize * int64(unsafe.Sizeof(Packet{}))
+	slabs := (a.hw + arenaSlabSize - 1) / arenaSlabSize
+	return int64(slabs) * arenaSlabSize * int64(unsafe.Sizeof(Packet{}))
+}
+
+// arenaPool recycles arenas across sweep cells and daemon jobs: a
+// warm cell reuses the slabs (and per-packet scratch capacity) its
+// predecessors grew instead of re-allocating them.
+var arenaPool = sync.Pool{New: func() any { return NewArena() }}
+
+// GetArena checks an arena out of the process-wide pool, reset to an
+// empty state: zero length and a zero high-water mark, so Bytes
+// prices only the checkout's own use. Slab memory and recycled
+// per-packet scratch capacity carry over — that reuse is the point —
+// but every slot is fully re-initialized by New before it is handed
+// out, so results cannot depend on what ran before.
+func GetArena() *Arena {
+	a := arenaPool.Get().(*Arena)
+	a.n, a.hw = 0, 0
+	return a
+}
+
+// PutArena returns an arena to the pool. The caller must no longer
+// hold any packet allocated from it.
+func PutArena(a *Arena) {
+	if a == nil {
+		return
+	}
+	a.Reset()
+	arenaPool.Put(a)
 }
 
 // NewIn allocates from a when non-nil and from the heap otherwise,

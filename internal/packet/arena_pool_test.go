@@ -1,0 +1,84 @@
+package packet
+
+import (
+	"testing"
+	"unsafe"
+)
+
+const slabBytes = arenaSlabSize * int64(unsafe.Sizeof(Packet{}))
+
+// TestArenaBytesIsHighWater pins the pricing contract: Bytes covers
+// the peak allocation count since construction (Reset preserves it,
+// so a multi-trial run reports its largest trial), rounded up to
+// whole slabs.
+func TestArenaBytesIsHighWater(t *testing.T) {
+	a := NewArena()
+	if a.Bytes() != 0 {
+		t.Fatalf("empty arena Bytes = %d, want 0", a.Bytes())
+	}
+	for i := 0; i < arenaSlabSize+1; i++ {
+		a.New(i, 0, 1, Transit)
+	}
+	if a.Bytes() != 2*slabBytes {
+		t.Fatalf("Bytes = %d after slab+1 allocations, want 2 slabs = %d", a.Bytes(), 2*slabBytes)
+	}
+	// A smaller follow-up run must not shrink the report: the peak is
+	// what the arena cost this checkout.
+	a.Reset()
+	a.New(0, 0, 1, Transit)
+	if a.Bytes() != 2*slabBytes {
+		t.Fatalf("Bytes = %d after Reset + 1 allocation, want retained peak %d", a.Bytes(), 2*slabBytes)
+	}
+}
+
+// TestArenaPoolZeroesHighWater is the byte-reproducibility half of
+// pooling: an arena that served a large run must price a small
+// checkout as if freshly constructed, or pooled reuse would leak
+// wall-clock history into sweep artifacts' arena_bytes fields.
+func TestArenaPoolZeroesHighWater(t *testing.T) {
+	a := GetArena()
+	for i := 0; i < 3*arenaSlabSize; i++ {
+		a.New(i, 0, 1, Transit)
+	}
+	grown := a.Bytes()
+	if grown != 3*slabBytes {
+		t.Fatalf("Bytes = %d, want 3 slabs = %d", grown, 3*slabBytes)
+	}
+	PutArena(a)
+	b := GetArena()
+	// The pool is process-wide, so b may or may not be a (another test
+	// may have stocked it); either way the contract holds: zero length,
+	// zero high-water, fresh pricing.
+	if b.Len() != 0 || b.Bytes() != 0 {
+		t.Fatalf("pooled checkout: Len = %d, Bytes = %d, want 0, 0", b.Len(), b.Bytes())
+	}
+	b.New(0, 0, 1, Transit)
+	if b.Bytes() != slabBytes {
+		t.Fatalf("Bytes = %d after 1 allocation on pooled arena, want 1 slab = %d", b.Bytes(), slabBytes)
+	}
+	PutArena(b)
+}
+
+// TestArenaPoolReinitializesSlots: recycled slots must be field-reset
+// by New (scratch capacity may carry over, contents must not).
+func TestArenaPoolReinitializesSlots(t *testing.T) {
+	a := GetArena()
+	p := a.New(7, 1, 2, ReadRequest)
+	p.Hops, p.Delay = 9, 9
+	p.Path = append(p.Path, 1, 2, 3)
+	PutArena(a)
+	b := GetArena()
+	q := b.New(0, 3, 4, Transit)
+	if q.Hops != 0 || q.Delay != 0 || len(q.Path) != 0 || q.Arrived != -1 {
+		t.Fatalf("pooled slot not reinitialized: %+v", q)
+	}
+	if q.ID != 0 || q.Src != 3 || q.Dst != 4 || q.Kind != Transit {
+		t.Fatalf("pooled slot wrong identity: %+v", q)
+	}
+	PutArena(b)
+}
+
+// TestPutArenaNilSafe: error paths release unconditionally.
+func TestPutArenaNilSafe(t *testing.T) {
+	PutArena(nil)
+}

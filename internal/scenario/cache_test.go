@@ -1,0 +1,129 @@
+// The build-cache contract at the sweep layer: routing on cached
+// topologies (and the pooled arenas and leased engine tables that
+// ride along) is bit-invisible — a warm sweep's JSONL is byte-
+// identical to a cold one — and one immutable Built value is safe to
+// share across concurrent routing cells. TestSweep* runs under the
+// race detector in CI, so the sharing is race-checked over all nine
+// registered families.
+package scenario
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"pramemu/internal/buildcache"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
+)
+
+// crossFamilyRefs names every registered family at the E14 quick
+// comparable sizes.
+func crossFamilyRefs() []TopoRef {
+	return []TopoRef{
+		{Family: "star", N: 5},
+		{Family: "pancake", N: 5},
+		{Family: "ttree", N: 5},
+		{Family: "shuffle", N: 4},
+		{Family: "debruijn", N: 8, K: 2},
+		{Family: "hypercube", N: 8},
+		{Family: "torus", N: 4, K: 4},
+		{Family: "mesh", N: 16},
+		{Family: "butterfly", N: 8},
+	}
+}
+
+// TestSweepWarmCacheByteIdentity is the acceptance property of the
+// build cache: a sweep run through a warm cache (every topology
+// adopted, arenas and engine tables pooled) serializes byte-identical
+// to a cold cache-less run — twice, so the second pass also proves
+// released builds stay clean — and a disabled cache matches too. The
+// Pool=4 runs route cells sharing one cached Built concurrently.
+func TestSweepWarmCacheByteIdentity(t *testing.T) {
+	spec := Spec{
+		Name:             "cache-identity",
+		Topologies:       crossFamilyRefs(),
+		Workloads:        []WorkRef{{Name: "perm"}, {Name: "khot", Hot: 2}},
+		Workers:          []int{1, 2},
+		Trials:           2,
+		Seed:             1991,
+		Pool:             4,
+		SkipIncompatible: true,
+	}
+	coldRes, err := RunContextOptions(context.Background(), spec, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := jsonl(t, coldRes)
+
+	cache := buildcache.New(buildcache.DefaultBudget)
+	for pass := 0; pass < 2; pass++ {
+		res, err := RunContextOptions(context.Background(), spec, RunOptions{Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := jsonl(t, res); got != cold {
+			t.Fatalf("cached pass %d drifted from the cold artifact:\n%s\nvs\n%s", pass, got, cold)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses != int64(len(spec.Topologies)) {
+		t.Errorf("Misses = %d over two passes, want %d (one build per family)", st.Misses, len(spec.Topologies))
+	}
+	if st.Hits != int64(len(spec.Topologies)) {
+		t.Errorf("Hits = %d, want %d (second pass adopts every build)", st.Hits, len(spec.Topologies))
+	}
+
+	disabled := buildcache.New(-1)
+	res, err := RunContextOptions(context.Background(), spec, RunOptions{Cache: disabled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := jsonl(t, res); got != cold {
+		t.Fatalf("disabled-cache run drifted from the cold artifact")
+	}
+}
+
+// TestSweepSharedBuiltConcurrentCells pins the contract the cache
+// rests on: topology.Built is immutable and safe for concurrent use,
+// so one cached build can serve many routing cells at once. Every
+// registered family routes the same Built from four goroutines, each
+// result compared against a sequential baseline.
+func TestSweepSharedBuiltConcurrentCells(t *testing.T) {
+	cache := buildcache.New(buildcache.DefaultBudget)
+	for _, tr := range crossFamilyRefs() {
+		b, ref, err := cache.Get(tr.Family, topology.Params{N: tr.N, K: tr.K}, tr.Leveled)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Family, err)
+		}
+		cell := Cell{
+			Topo:    tr,
+			Work:    WorkRef{Name: "perm"},
+			Built:   b,
+			Workers: 2,
+			Trials:  1,
+			Seed:    1991,
+		}
+		base, err := RunCell(cell)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Family, err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res, err := RunCell(cell)
+				if err != nil {
+					t.Errorf("%s: concurrent cell: %v", tr.Family, err)
+					return
+				}
+				if res != base {
+					t.Errorf("%s: concurrent cell on shared Built diverged:\n%+v\nvs\n%+v", tr.Family, res, base)
+				}
+			}()
+		}
+		wg.Wait()
+		ref.Release()
+	}
+}

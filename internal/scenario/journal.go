@@ -10,6 +10,7 @@ package scenario
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -20,6 +21,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"pramemu/internal/buildcache"
 )
 
 // SpecHash is the canonical content hash of a sweep spec: the sha256
@@ -53,6 +56,18 @@ type Trailer struct {
 	// many of them are error lines.
 	Cells  int `json:"cells"`
 	Errors int `json:"errors,omitempty"`
+	// The build-cache observability fields, filled only on report-mode
+	// runs (routebench -report stamps them from the cache's stat delta
+	// over the sweep). Plain and journaled artifacts leave them empty —
+	// cache activity depends on process history, and artifact bytes
+	// must depend on the spec alone. BuildMS prices the topology builds
+	// the sweep actually ran (cache misses), RouteMS the wall-clock of
+	// the routing itself.
+	CacheHits      int64   `json:"cache_hits,omitempty"`
+	CacheMisses    int64   `json:"cache_misses,omitempty"`
+	CacheEvictions int64   `json:"cache_evictions,omitempty"`
+	BuildMS        float64 `json:"build_ms,omitempty"`
+	RouteMS        float64 `json:"route_ms,omitempty"`
 }
 
 // TrailerReport is the Trailer's report-discriminator value.
@@ -79,22 +94,35 @@ func WriteArtifact(w io.Writer, hash string, results []Result) error {
 	return WriteTrailer(w, hash, results)
 }
 
-// WriteTrailer writes just the trailer line for the given results —
-// for callers interleaving report rows between the result lines and
-// the close.
-func WriteTrailer(w io.Writer, hash string, results []Result) error {
+// NewTrailer derives the trailer line for a result set. Callers that
+// want the observability extras (cache stats, build/route time) fill
+// them on the returned value before WriteTrailerLine — artifact
+// writers use the zero extras so bytes stay spec-deterministic.
+func NewTrailer(hash string, results []Result) Trailer {
 	failed := 0
 	for _, r := range results {
 		if r.Failed() {
 			failed++
 		}
 	}
-	return json.NewEncoder(w).Encode(Trailer{
+	return Trailer{
 		Report:   TrailerReport,
 		SpecHash: hash,
 		Cells:    len(results),
 		Errors:   failed,
-	})
+	}
+}
+
+// WriteTrailerLine encodes one trailer as a JSONL line.
+func WriteTrailerLine(w io.Writer, t Trailer) error {
+	return json.NewEncoder(w).Encode(t)
+}
+
+// WriteTrailer writes just the trailer line for the given results —
+// for callers interleaving report rows between the result lines and
+// the close.
+func WriteTrailer(w io.Writer, hash string, results []Result) error {
+	return WriteTrailerLine(w, NewTrailer(hash, results))
 }
 
 // VerifyTrailer scans an artifact for its closing trailer line and
@@ -135,6 +163,41 @@ func VerifyTrailer(r io.Reader) (Trailer, error) {
 	return last, nil
 }
 
+// DiffArtifacts compares two trailer-closed sweep artifacts byte for
+// byte — the shared core of routebench -reportdiff and sweepd's
+// /sweeps/{id}/diff endpoint. Both sides must carry the end-of-sweep
+// trailer (a truncated side errors, named by its label). Identical
+// artifacts return ("", true, nil); drifting ones return (detail,
+// false, nil) with the detail naming the first line that differs.
+func DiffArtifacts(aName string, a []byte, bName string, b []byte) (string, bool, error) {
+	if _, err := VerifyTrailer(bytes.NewReader(a)); err != nil {
+		return "", false, fmt.Errorf("%s: %w", aName, err)
+	}
+	if _, err := VerifyTrailer(bytes.NewReader(b)); err != nil {
+		return "", false, fmt.Errorf("%s: %w", bName, err)
+	}
+	if bytes.Equal(a, b) {
+		return "", true, nil
+	}
+	al := strings.Split(string(a), "\n")
+	bl := strings.Split(string(b), "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		la, lb := "<absent>", "<absent>"
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if la != lb {
+			return fmt.Sprintf("artifacts drift at line %d:\n%s: %s\n%s: %s",
+				i+1, aName, la, bName, lb), false, nil
+		}
+	}
+	// Same lines but unequal bytes: a trailing-newline mismatch.
+	return fmt.Sprintf("artifacts differ only in trailing bytes (%d vs %d)", len(a), len(b)), false, nil
+}
+
 // JournalOptions tunes RunJournaled beyond the spec itself.
 type JournalOptions struct {
 	// Retries re-runs transiently failed cells (timeout kind) up to
@@ -147,6 +210,11 @@ type JournalOptions struct {
 	Backoff time.Duration
 	// Sleep replaces time.Sleep in tests; nil uses time.Sleep.
 	Sleep func(time.Duration)
+	// Cache, when non-nil, resolves the spec's topology axis through
+	// the shared build cache (see RunOptions.Cache) — sweepd passes
+	// its per-server cache here so successive jobs over the same
+	// families rebuild nothing. Artifact bytes are unaffected.
+	Cache *buildcache.Cache
 }
 
 // RunJournaled runs the spec crash-safely: every completed cell is
@@ -168,10 +236,11 @@ func RunJournaled(ctx context.Context, spec Spec, out string, opts JournalOption
 	if err != nil {
 		return nil, err
 	}
-	cells, err := spec.cells()
+	cells, release, err := spec.cells(opts.Cache)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("scenario: spec %q expands to no runnable cells", spec.Name)
 	}

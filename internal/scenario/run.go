@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"pramemu/internal/buildcache"
 	"pramemu/internal/emul"
 	"pramemu/internal/engine"
 	"pramemu/internal/leveled"
@@ -129,11 +130,15 @@ func RunCellContext(ctx context.Context, c Cell) (res Result, err error) {
 	}
 	b := c.Built
 	if b.Graph == nil && b.Spec == nil {
-		var err error
-		b, err = topology.Build(c.Topo.Family, topology.Params{N: c.Topo.N, K: c.Topo.K})
+		// Fallback builds go through the process-wide build cache, so
+		// benchmarks and servers rerunning one cell share a topology
+		// even without Run's expansion filling Built.
+		built, ref, err := buildcache.Default().Get(c.Topo.Family, topology.Params{N: c.Topo.N, K: c.Topo.K}, c.Topo.Leveled)
 		if err != nil {
 			return Result{}, err
 		}
+		defer ref.Release()
+		b = built
 	}
 	gen, ok := workload.Lookup(c.Work.Name)
 	if !ok {
@@ -245,6 +250,24 @@ func emulMemorySize(nodes int) uint64 {
 	return m
 }
 
+// leases recycles engine table and scratch allocations across cells:
+// a cell checks a Lease out for its trials (the engine adopts it when
+// the shape matches, reallocates otherwise) and returns it when done.
+// Reuse is bit-invisible — the engine's drain/clearScratch invariants
+// leave returned buffers logically empty — so pooled and fresh cells
+// produce identical artifacts.
+var leases = engine.NewLeasePool(0)
+
+// leaseKey buckets cells whose engines resolve to identically-shaped
+// state, so a pooled lease usually matches on adoption. The key is a
+// heuristic only: the engine re-checks the actual shape and
+// reallocates on mismatch, so a coarse bucket costs a miss, never
+// correctness.
+func leaseKey(c Cell) string {
+	return fmt.Sprintf("%s/n=%d/k=%d/lv=%t/m=%s/w=%d/h=%t/p=%t/mb=%d",
+		c.Topo.Family, c.Topo.N, c.Topo.K, c.Topo.Leveled, c.Mode, c.Workers, c.Hashed, c.Paged, c.MemBudget)
+}
+
 // memStats fills the Result's memory-pricing fields from the engine's
 // resolved state and the cell arena's slab footprint. Event cells
 // never reach it: the event loop prices time in ticks, not table
@@ -267,7 +290,7 @@ func memStats(res Result, ms engine.MemStats, arena *packet.Arena) Result {
 // cell (or a leveled-only family) selects it, on the Algorithm
 // 2.2-style point-to-point view otherwise. The returned view string
 // names the router for reports.
-func emulNetwork(ctx context.Context, b topology.Built, gen workload.Generator, c Cell, ms *engine.MemStats) (emul.Network, string, error) {
+func emulNetwork(ctx context.Context, b topology.Built, gen workload.Generator, c Cell, ms *engine.MemStats, lease *engine.Lease) (emul.Network, string, error) {
 	if meshRouted(b, c.Topo, gen.Class, c.Mode) {
 		alg, err := meshAlgorithm(c.Algorithm)
 		if err != nil {
@@ -282,7 +305,7 @@ func emulNetwork(ctx context.Context, b topology.Built, gen workload.Generator, 
 			Opts: mesh.Options{
 				Context: ctx, Algorithm: alg, Discipline: disc,
 				HashedKeys: c.Hashed, PagedKeys: c.Paged,
-				MemBudget: c.MemBudget, MemStats: ms,
+				MemBudget: c.MemBudget, MemStats: ms, Lease: lease,
 			},
 		}
 		return net, "mesh(§3.3)", nil
@@ -308,6 +331,7 @@ func emulNetwork(ctx context.Context, b topology.Built, gen workload.Generator, 
 	net.PagedKeys = c.Paged
 	net.MemBudget = c.MemBudget
 	net.MemStats = ms
+	net.Lease = lease
 	return net, view, nil
 }
 
@@ -322,13 +346,17 @@ func emulNetwork(ctx context.Context, b topology.Built, gen workload.Generator, 
 // by RunCell.
 func runEmulCell(ctx context.Context, b topology.Built, gen workload.Generator, p workload.Params, c Cell) (Result, error) {
 	var ms engine.MemStats
-	net, view, err := emulNetwork(ctx, b, gen, c, &ms)
+	lk := leaseKey(c)
+	lease := leases.Get(lk)
+	defer leases.Put(lk, lease)
+	net, view, err := emulNetwork(ctx, b, gen, c, &ms, lease)
 	if err != nil {
 		return Result{}, err
 	}
 	rounds := make([]int, 0, c.Trials)
 	maxQ, merges, rehashes, maxLoad := 0, 0, 0, 0
-	arena := packet.NewArena()
+	arena := packet.GetArena()
+	defer packet.PutArena(arena)
 	start := time.Now()
 	for trial := 0; trial < c.Trials; trial++ {
 		if err := ctx.Err(); err != nil {
@@ -398,6 +426,9 @@ func runMeshCell(ctx context.Context, b topology.Built, g *mesh.Grid, gen worklo
 		return Result{}, err
 	}
 	var ms engine.MemStats
+	lk := leaseKey(c)
+	lease := leases.Get(lk)
+	defer leases.Put(lk, lease)
 	opts := mesh.Options{
 		Context:    ctx,
 		Algorithm:  alg,
@@ -407,6 +438,7 @@ func runMeshCell(ctx context.Context, b topology.Built, g *mesh.Grid, gen worklo
 		PagedKeys:  c.Paged,
 		MemBudget:  c.MemBudget,
 		MemStats:   &ms,
+		Lease:      lease,
 	}
 	if gen.Class == workload.ClassLocal {
 		opts.LocalityBound = p.D
@@ -414,7 +446,8 @@ func runMeshCell(ctx context.Context, b topology.Built, g *mesh.Grid, gen worklo
 	}
 	rounds := make([]int, 0, c.Trials)
 	maxQ := 0
-	arena := packet.NewArena()
+	arena := packet.GetArena()
+	defer packet.PutArena(arena)
 	start := time.Now()
 	for trial := 0; trial < c.Trials; trial++ {
 		if err := ctx.Err(); err != nil {
@@ -464,7 +497,16 @@ func runGenericCell(ctx context.Context, b topology.Built, gen workload.Generato
 	rounds := make([]int, 0, c.Trials)
 	maxQ, retransmits := 0, 0
 	var ms engine.MemStats
-	arena := packet.NewArena()
+	var lease *engine.Lease
+	if c.Engine == "" {
+		// Event cells keep their own link map; only round cells carry
+		// engine tables worth recycling.
+		lk := leaseKey(c)
+		lease = leases.Get(lk)
+		defer leases.Put(lk, lease)
+	}
+	arena := packet.GetArena()
+	defer packet.PutArena(arena)
 	start := time.Now()
 	for trial := 0; trial < c.Trials; trial++ {
 		if err := ctx.Err(); err != nil {
@@ -482,7 +524,7 @@ func runGenericCell(ctx context.Context, b topology.Built, gen workload.Generato
 				Context: ctx,
 				Seed:    s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
 				HashedKeys: c.Hashed, PagedKeys: c.Paged, MemBudget: c.MemBudget,
-				MemStats: &ms, Combine: combine, Event: evOpts,
+				MemStats: &ms, Lease: lease, Combine: combine, Event: evOpts,
 			})
 			r, q = st.Rounds, st.MaxQueue
 			retransmits += st.Retransmits
@@ -491,7 +533,7 @@ func runGenericCell(ctx context.Context, b topology.Built, gen workload.Generato
 				Context: ctx,
 				Seed:    s * 31, SkipPhase1: c.SkipPhase1, Workers: c.Workers,
 				HashedKeys: c.Hashed, PagedKeys: c.Paged, MemBudget: c.MemBudget,
-				MemStats: &ms, Combine: combine, Event: evOpts,
+				MemStats: &ms, Lease: lease, Combine: combine, Event: evOpts,
 			})
 			if err != nil {
 				return Result{}, err
@@ -591,11 +633,29 @@ func Run(spec Spec) ([]Result, error) {
 // produce no lines (they carry no verdict — a resumed sweep runs them
 // again), unlike per-cell timeouts, which do.
 func RunContext(ctx context.Context, spec Spec) ([]Result, error) {
+	return RunContextOptions(ctx, spec, RunOptions{})
+}
+
+// RunOptions tunes Run beyond the spec itself.
+type RunOptions struct {
+	// Cache, when non-nil, resolves the spec's topology axis through
+	// the shared build cache: every cell of one topology reference
+	// pins a single cached Built for the duration of the sweep, and
+	// successive sweeps reuse it. Results are identical with or
+	// without a cache — builds are deterministic and Built is
+	// immutable — only the build work is saved.
+	Cache *buildcache.Cache
+}
+
+// RunContextOptions is RunContext with explicit options; see
+// RunOptions for the knobs.
+func RunContextOptions(ctx context.Context, spec Spec, opts RunOptions) ([]Result, error) {
 	spec = spec.withDefaults()
-	cells, err := spec.cells()
+	cells, release, err := spec.cells(opts.Cache)
 	if err != nil {
 		return nil, err
 	}
+	defer release()
 	if len(cells) == 0 {
 		return nil, fmt.Errorf("scenario: spec %q expands to no runnable cells", spec.Name)
 	}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"pramemu/internal/buildcache"
 	"pramemu/internal/mesh"
 	"pramemu/internal/topology"
 	"pramemu/internal/workload"
@@ -340,35 +341,66 @@ func ModeCheck(mode string, class workload.Class) error {
 	}
 }
 
+// buildTopo resolves one topology reference: through the build cache
+// when one is supplied (the returned Ref pins the entry until
+// released; nil when the cache is disabled), by a direct registry
+// build otherwise.
+func buildTopo(cache *buildcache.Cache, tr TopoRef) (topology.Built, *buildcache.Ref, error) {
+	if cache == nil {
+		b, err := topology.Build(tr.Family, topology.Params{N: tr.N, K: tr.K})
+		return b, nil, err
+	}
+	return cache.Get(tr.Family, topology.Params{N: tr.N, K: tr.K}, tr.Leveled)
+}
+
 // cells expands the spec into its grid, validating every axis value
 // up front: unknown families, workloads or disciplines and
 // incompatible (family, workload) pairs fail here — with the error
-// naming the missing capability — before any routing runs.
-func (s Spec) cells() ([]Cell, error) {
+// naming the missing capability — before any routing runs. A non-nil
+// cache resolves the topology axis through it: every cell of one
+// topology reference shares a single cached Built. The returned
+// release function drops the cache references pinning those builds —
+// call it once routing is done (it is non-nil exactly when err is
+// nil, and safe to call with no cache).
+func (s Spec) cells(cache *buildcache.Cache) (cells []Cell, release func(), err error) {
+	var refs []*buildcache.Ref
+	releaseRefs := func() {
+		for _, r := range refs {
+			r.Release()
+		}
+	}
+	release = releaseRefs
+	// Error returns null the named release, so drop the refs here —
+	// callers only see a usable release on success.
+	defer func() {
+		if err != nil {
+			releaseRefs()
+		}
+	}()
 	if len(s.Topologies) == 0 {
-		return nil, &SpecError{Field: "topologies", Err: fmt.Errorf("spec needs at least one topology")}
+		return nil, nil, &SpecError{Field: "topologies", Err: fmt.Errorf("spec needs at least one topology")}
 	}
 	if len(s.Workloads) == 0 {
-		return nil, &SpecError{Field: "workloads", Err: fmt.Errorf("spec needs at least one workload")}
+		return nil, nil, &SpecError{Field: "workloads", Err: fmt.Errorf("spec needs at least one workload")}
 	}
 	if s.Trials < 0 {
-		return nil, &SpecError{Field: "trials", Err: fmt.Errorf("negative trial count %d", s.Trials)}
+		return nil, nil, &SpecError{Field: "trials", Err: fmt.Errorf("negative trial count %d", s.Trials)}
 	}
 	if s.TimeoutMS < 0 {
-		return nil, &SpecError{Field: "timeout_ms", Err: fmt.Errorf("negative per-cell timeout %d", s.TimeoutMS)}
+		return nil, nil, &SpecError{Field: "timeout_ms", Err: fmt.Errorf("negative per-cell timeout %d", s.TimeoutMS)}
 	}
 	// Forcing the hashed map and the paged tables on every cell at once
 	// contradicts (the expansion drops hashed∧paged combinations), so a
 	// spec whose axes admit nothing else is malformed, not empty.
 	if allBool(s.Hashed, true) && allBool(s.Paged, true) {
-		return nil, &SpecError{Field: "paged", Err: fmt.Errorf("hashed [true] and paged [true] contradict: a cell cannot force both link states")}
+		return nil, nil, &SpecError{Field: "paged", Err: fmt.Errorf("hashed [true] and paged [true] contradict: a cell cannot force both link states")}
 	}
 	if _, err := meshAlgorithm(s.Algorithm); err != nil {
-		return nil, &SpecError{Field: "algorithm", Err: err}
+		return nil, nil, &SpecError{Field: "algorithm", Err: err}
 	}
 	for _, d := range s.Disciplines {
 		if _, err := meshDiscipline(d); err != nil {
-			return nil, &SpecError{Field: "disciplines", Err: err}
+			return nil, nil, &SpecError{Field: "disciplines", Err: err}
 		}
 	}
 	for _, m := range s.Modes {
@@ -376,12 +408,12 @@ func (s Spec) cells() ([]Cell, error) {
 		// SkipIncompatible; ModeCheck against the always-legal
 		// permutation class isolates the name validation.
 		if err := ModeCheck(m, workload.ClassPermutation); err != nil {
-			return nil, &SpecError{Field: "modes", Err: err}
+			return nil, nil, &SpecError{Field: "modes", Err: err}
 		}
 	}
 	for _, e := range s.Engines {
 		if err := EngineCheck(e); err != nil {
-			return nil, &SpecError{Field: "engines", Err: err}
+			return nil, nil, &SpecError{Field: "engines", Err: err}
 		}
 	}
 	var specLatency LatencySpec
@@ -392,46 +424,48 @@ func (s Spec) cells() ([]Cell, error) {
 	// level), so a bad model name reports under its own field rather
 	// than whichever fault level trips over it.
 	if _, err := eventOptions(specLatency, FaultSpec{}); err != nil {
-		return nil, &SpecError{Field: "latency", Err: err}
+		return nil, nil, &SpecError{Field: "latency", Err: err}
 	}
 	seenFaults := make(map[string]bool)
 	for _, f := range s.Faults {
 		// Knob validation is engine-independent; the label check keeps
 		// scenario keys unique across the fault axis.
 		if _, err := eventOptions(specLatency, f); err != nil {
-			return nil, &SpecError{Field: "faults", Err: err}
+			return nil, nil, &SpecError{Field: "faults", Err: err}
 		}
 		if label := f.Label(); seenFaults[label] {
-			return nil, &SpecError{Field: "faults", Err: fmt.Errorf("duplicate fault level %q", label)}
+			return nil, nil, &SpecError{Field: "faults", Err: fmt.Errorf("duplicate fault level %q", label)}
 		} else {
 			seenFaults[label] = true
 		}
 	}
-	var cells []Cell
 	for _, tr := range s.Topologies {
-		b, err := topology.Build(tr.Family, topology.Params{N: tr.N, K: tr.K})
+		b, ref, err := buildTopo(cache, tr)
 		if err != nil {
-			return nil, &SpecError{Field: "topologies", Err: err}
+			return nil, nil, &SpecError{Field: "topologies", Err: err}
+		}
+		if ref != nil {
+			refs = append(refs, ref)
 		}
 		if tr.Leveled && b.Spec == nil {
-			return nil, &SpecError{Field: "topologies", Err: fmt.Errorf("%s has no leveled unrolling", b.Name())}
+			return nil, nil, &SpecError{Field: "topologies", Err: fmt.Errorf("%s has no leveled unrolling", b.Name())}
 		}
 		if b.Nodes() > topology.MaxNodes {
-			return nil, &SpecError{Field: "topologies", Err: fmt.Errorf("%s has %d nodes, exceeding the simulator's node-id limit (%d)", b.Name(), b.Nodes(), topology.MaxNodes)}
+			return nil, nil, &SpecError{Field: "topologies", Err: fmt.Errorf("%s has %d nodes, exceeding the simulator's node-id limit (%d)", b.Name(), b.Nodes(), topology.MaxNodes)}
 		}
 		for _, wr := range s.Workloads {
 			gen, ok := workload.Lookup(wr.Name)
 			if !ok {
-				return nil, &SpecError{Field: "workloads", Err: fmt.Errorf("unknown workload %q (known: %v)", wr.Name, workload.Names())}
+				return nil, nil, &SpecError{Field: "workloads", Err: fmt.Errorf("unknown workload %q (known: %v)", wr.Name, workload.Names())}
 			}
 			if f := wr.Fraction; f < 0 || f > 1 {
-				return nil, &SpecError{Field: "workloads", Err: fmt.Errorf("workload %s: fraction %v out of [0,1]", wr.Name, f)}
+				return nil, nil, &SpecError{Field: "workloads", Err: fmt.Errorf("workload %s: fraction %v out of [0,1]", wr.Name, f)}
 			}
 			if err := gen.Check(b); err != nil {
 				if s.SkipIncompatible {
 					continue
 				}
-				return nil, &SpecError{Field: "workloads", Err: err}
+				return nil, nil, &SpecError{Field: "workloads", Err: err}
 			}
 			for _, mode := range s.Modes {
 				if mode == ModeRoute {
@@ -441,7 +475,7 @@ func (s Spec) cells() ([]Cell, error) {
 					if s.SkipIncompatible {
 						continue
 					}
-					return nil, &SpecError{Field: "modes", Err: fmt.Errorf("workload %s: %w", wr.Name, err)}
+					return nil, nil, &SpecError{Field: "modes", Err: fmt.Errorf("workload %s: %w", wr.Name, err)}
 				}
 				// The engine axis collapses on emulation-mode cells:
 				// erew/crcw price the synchronous PRAM step model.
@@ -527,7 +561,7 @@ func (s Spec) cells() ([]Cell, error) {
 		}
 	}
 	sort.Slice(cells, func(i, j int) bool { return cells[i].Key() < cells[j].Key() })
-	return cells, nil
+	return cells, release, nil
 }
 
 // meshRouted reports whether the cell runs on the paper's specialized

@@ -85,6 +85,10 @@ type Options struct {
 	// table footprint after the run (ArenaBytes is left to the caller,
 	// which owns the packet arena).
 	MemStats *engine.MemStats
+	// Lease, when non-nil, recycles the engine's table and scratch
+	// allocations across same-shape runs (see engine.Options.Lease);
+	// results are bit-identical with or without it.
+	Lease *engine.Lease
 	// Event, when non-nil, routes on the asynchronous discrete-event
 	// engine instead of synchronous rounds: per-link latency from the
 	// configured distribution, sender-side bandwidth caps and fault
@@ -183,6 +187,7 @@ func Route(topo Topology, pkts []*packet.Packet, opts Options) (Stats, error) {
 		MaxKey:     maxKey,
 		MemBudget:  opts.MemBudget,
 		ForcePaged: opts.PagedKeys,
+		Lease:      opts.Lease,
 	}
 	if opts.Event != nil {
 		ev := *opts.Event

@@ -15,8 +15,9 @@
 //	POST /sweeps              submit a spec (JSON body) → job status
 //	GET  /sweeps/{id}         job status
 //	GET  /sweeps/{id}/artifact  the finished JSONL artifact
+//	GET  /sweeps/{id}/diff?against={id}  byte-compare two finished artifacts
 //	POST /sweeps/{id}/cancel  cancel a queued or running job
-//	GET  /healthz             liveness + queue occupancy
+//	GET  /healthz             liveness + queue occupancy + build-cache stats
 package sweepd
 
 import (
@@ -32,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"pramemu/internal/buildcache"
 	"pramemu/internal/scenario"
 )
 
@@ -55,6 +57,12 @@ type Config struct {
 	// RetryBackoff is the first retry delay, doubling per pass
 	// (default 100ms).
 	RetryBackoff time.Duration
+	// BuildCacheBudget sizes the server's topology build cache in
+	// bytes: successive jobs over the same families adopt one cached
+	// build instead of re-constructing it (artifact bytes are
+	// unaffected). 0 selects the buildcache default (256 MiB);
+	// negative disables caching.
+	BuildCacheBudget int64
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +71,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 1
+	}
+	if c.BuildCacheBudget == 0 {
+		c.BuildCacheBudget = buildcache.DefaultBudget
 	}
 	return c
 }
@@ -109,6 +120,10 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	queue chan *job
+	// cache is the server-wide topology build cache: one per Server,
+	// shared by every worker, so a farm of repeated sweeps over the
+	// same families builds each topology once.
+	cache *buildcache.Cache
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -140,6 +155,7 @@ func New(cfg Config) (*Server, error) {
 		// The queue is sized for the configured depth plus every job
 		// recovered from disk: recovered work must never be shed.
 		queue:   make(chan *job, cfg.QueueDepth+len(pending)),
+		cache:   buildcache.New(cfg.BuildCacheBudget),
 		baseCtx: ctx,
 		stop:    stop,
 		jobs:    make(map[string]*job),
@@ -155,6 +171,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /sweeps", s.handleSubmit)
 	s.mux.HandleFunc("GET /sweeps/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /sweeps/{id}/artifact", s.handleArtifact)
+	s.mux.HandleFunc("GET /sweeps/{id}/diff", s.handleDiff)
 	s.mux.HandleFunc("POST /sweeps/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	for w := 0; w < cfg.Workers; w++ {
@@ -259,6 +276,7 @@ func (s *Server) runJob(j *job) {
 	results, err := scenario.RunJournaled(runCtx, j.spec, artifactPath(s.cfg.DataDir, j.id), scenario.JournalOptions{
 		Retries: s.cfg.Retries,
 		Backoff: s.cfg.RetryBackoff,
+		Cache:   s.cache,
 	})
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -414,6 +432,68 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	http.ServeFile(w, r, artifactPath(s.cfg.DataDir, j.id))
 }
 
+// diffStatus is the JSON answer of GET /sweeps/{id}/diff.
+type diffStatus struct {
+	A         string `json:"a"`
+	B         string `json:"b"`
+	Identical bool   `json:"identical"`
+	// Detail names the first drifting line when the artifacts differ.
+	Detail string `json:"detail,omitempty"`
+}
+
+// handleDiff is GET /sweeps/{id}/diff?against={id}: compare two
+// finished, trailer-verified artifacts byte for byte server-side —
+// the warm-farm reproducibility check without shipping either
+// artifact over the wire. Unknown jobs 404, unfinished ones 409, and
+// a drift answers 200 with identical=false plus the first differing
+// line (drift is a finding, not a transport error).
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	against := r.URL.Query().Get("against")
+	if against == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{"missing ?against=<job id>"})
+		return
+	}
+	s.mu.Lock()
+	k := s.jobs[against]
+	var states [2]string
+	if k != nil {
+		states = [2]string{j.state, k.state}
+	}
+	s.mu.Unlock()
+	if k == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"no such job"})
+		return
+	}
+	for i, id := range []string{j.id, k.id} {
+		if states[i] != StateDone {
+			writeJSON(w, http.StatusConflict, apiError{fmt.Sprintf("job %s is %s; diff available when done", id, states[i])})
+			return
+		}
+	}
+	a, err := os.ReadFile(artifactPath(s.cfg.DataDir, j.id))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+		return
+	}
+	b, err := os.ReadFile(artifactPath(s.cfg.DataDir, k.id))
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+		return
+	}
+	detail, same, err := scenario.DiffArtifacts(j.id, a, k.id, b)
+	if err != nil {
+		// A stored artifact failing trailer verification is server-side
+		// corruption, not a client mistake.
+		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, diffStatus{A: j.id, B: k.id, Identical: same, Detail: detail})
+}
+
 // handleCancel is POST /sweeps/{id}/cancel: a queued job is dropped,
 // a running one aborted within a round.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -444,6 +524,10 @@ type healthz struct {
 	Queued     int    `json:"queued"`
 	QueueDepth int    `json:"queue_depth"`
 	Jobs       int    `json:"jobs"`
+	// BuildCache reports the server's topology build cache: hit/miss/
+	// eviction counters, resident entries and bytes, and cumulative
+	// build time — how much construction work the warm farm is saving.
+	BuildCache buildcache.Stats `json:"build_cache"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -455,5 +539,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Queued:     len(s.queue),
 		QueueDepth: cap(s.queue),
 		Jobs:       n,
+		BuildCache: s.cache.Stats(),
 	})
 }

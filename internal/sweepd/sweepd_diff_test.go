@@ -1,0 +1,100 @@
+package sweepd
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pramemu/internal/buildcache"
+)
+
+func diffReq(t *testing.T, s *Server, id, against string, wantCode int) diffStatus {
+	t.Helper()
+	w := do(t, s, http.MethodGet, "/sweeps/"+id+"/diff?against="+against, nil)
+	if w.Code != wantCode {
+		t.Fatalf("GET diff: want %d, got %d: %s", wantCode, w.Code, w.Body)
+	}
+	var d diffStatus
+	if wantCode == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), &d); err != nil {
+			t.Fatalf("diff JSON: %v\n%s", err, w.Body)
+		}
+	}
+	return d
+}
+
+// TestSweepdDiffEndpoint covers the artifact-diff API: a job diffed
+// against itself is identical, two jobs from different seeds report
+// the drifting line (drift is a finding — 200, not an error), and the
+// error statuses are 400 for a missing ?against, 404 for unknown jobs
+// on either side, 409 while either job is still running.
+func TestSweepdDiffEndpoint(t *testing.T) {
+	s := newServer(t, Config{})
+	a := submit(t, s, fastSpec(7), http.StatusAccepted)
+	waitState(t, s, a.ID, StateDone)
+	b := submit(t, s, fastSpec(8), http.StatusAccepted)
+	waitState(t, s, b.ID, StateDone)
+
+	same := diffReq(t, s, a.ID, a.ID, http.StatusOK)
+	if !same.Identical {
+		t.Errorf("job diffed against itself: identical = false, detail %q", same.Detail)
+	}
+
+	drift := diffReq(t, s, a.ID, b.ID, http.StatusOK)
+	if drift.Identical {
+		t.Error("different seeds reported identical artifacts")
+	}
+	if !strings.Contains(drift.Detail, "line") {
+		t.Errorf("drift detail %q does not locate the drifting line", drift.Detail)
+	}
+	if drift.A != a.ID || drift.B != b.ID {
+		t.Errorf("diff names jobs %q/%q, want %q/%q", drift.A, drift.B, a.ID, b.ID)
+	}
+
+	if w := do(t, s, http.MethodGet, "/sweeps/"+a.ID+"/diff", nil); w.Code != http.StatusBadRequest {
+		t.Errorf("diff without ?against: %d, want 400", w.Code)
+	}
+	if w := do(t, s, http.MethodGet, "/sweeps/nope/diff?against="+a.ID, nil); w.Code != http.StatusNotFound {
+		t.Errorf("diff of unknown job: %d, want 404", w.Code)
+	}
+	if w := do(t, s, http.MethodGet, "/sweeps/"+a.ID+"/diff?against=nope", nil); w.Code != http.StatusNotFound {
+		t.Errorf("diff against unknown job: %d, want 404", w.Code)
+	}
+
+	running := submit(t, s, slowSpec(9, 3), http.StatusAccepted)
+	waitState(t, s, running.ID, StateRunning)
+	w := do(t, s, http.MethodGet, "/sweeps/"+a.ID+"/diff?against="+running.ID, nil)
+	if w.Code != http.StatusConflict {
+		t.Errorf("diff against a running job: %d, want 409: %s", w.Code, w.Body)
+	}
+	do(t, s, http.MethodPost, "/sweeps/"+running.ID+"/cancel", nil)
+}
+
+// TestSweepdBuildCacheAcrossJobs: the server's cache is shared by all
+// jobs, so a second job naming the same topology adopts the first
+// job's build — observable as hits on /healthz's build_cache block.
+func TestSweepdBuildCacheAcrossJobs(t *testing.T) {
+	s := newServer(t, Config{})
+	a := submit(t, s, fastSpec(7), http.StatusAccepted)
+	waitState(t, s, a.ID, StateDone)
+	b := submit(t, s, fastSpec(8), http.StatusAccepted)
+	waitState(t, s, b.ID, StateDone)
+
+	w := do(t, s, http.MethodGet, "/healthz", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", w.Code)
+	}
+	var h struct {
+		BuildCache buildcache.Stats `json:"build_cache"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &h); err != nil {
+		t.Fatalf("healthz JSON: %v\n%s", err, w.Body)
+	}
+	if h.BuildCache.Misses < 1 {
+		t.Errorf("build_cache.misses = %d, want >= 1", h.BuildCache.Misses)
+	}
+	if h.BuildCache.Hits < 1 {
+		t.Errorf("build_cache.hits = %d, want >= 1 (second job shares the first's build)", h.BuildCache.Hits)
+	}
+}
