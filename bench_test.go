@@ -1,5 +1,5 @@
 // Package pramemu's root benchmark harness: one benchmark per
-// experiment in DESIGN.md's index (E1-E20), regenerating the series
+// experiment in DESIGN.md's index (E1-E21), regenerating the series
 // behind every claim of the paper. Custom metrics report the
 // normalized quantities the theorems bound (rounds/ℓ, rounds/n,
 // cost/diameter, ...) so `go test -bench=.` output reads directly
@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"pramemu/internal/advsearch"
 	"pramemu/internal/buildcache"
 	"pramemu/internal/emul"
 	"pramemu/internal/experiments"
@@ -789,4 +790,43 @@ func BenchmarkE20BuildCache(b *testing.B) {
 		}
 		priceSweep(b, func() *buildcache.Cache { return cache })
 	})
+}
+
+// BenchmarkE21AdversarialBounds prices the adversarial search per
+// strategy on a three-family slice of the registry and reports the
+// worst observed rounds/diam each strategy reaches — the tail the
+// whp bounds hide, as a benchmark series. The budgets are small: the
+// benchmark tracks the searchers' cost and their findings' severity
+// across commits, not the full nightly hunt.
+func BenchmarkE21AdversarialBounds(b *testing.B) {
+	families := []scenario.TopoRef{
+		{Family: "hypercube", N: 8},
+		{Family: "torus", N: 4, K: 4},
+		{Family: "mesh", N: 16},
+	}
+	for _, strategy := range advsearch.Strategies() {
+		b.Run(strategy, func(b *testing.B) {
+			worst := 0.0
+			for i := 0; i < b.N; i++ {
+				rep, err := advsearch.Run(context.Background(), advsearch.Spec{
+					Name:       "bench-e21",
+					Families:   families,
+					Strategies: []string{strategy},
+					Seeds:      8,
+					Iters:      8,
+					Trials:     1,
+					Seed:       benchSeed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, f := range rep.Findings {
+					if f.RoundsPerDiam > worst {
+						worst = f.RoundsPerDiam
+					}
+				}
+			}
+			b.ReportMetric(worst, "worst-rounds/diam")
+		})
+	}
 }

@@ -42,6 +42,18 @@
 // the spec to a cmd/sweepd daemon and streams the artifact back
 // instead of running locally.
 //
+// `-advsearch spec.json` runs the adversarial search instead: per
+// named family, the seeds / structured / greedy strategies from
+// internal/advsearch hunt inputs maximizing observed rounds and maxQ,
+// and each (family, strategy) worst prints as one line with its
+// theorem-bound comparison (-json emits the full finding report).
+// With -out the seed-sweep stage journals to <out>.cells and resumes
+// like a sweep; -freeze <dir> writes each family's best searched
+// permutation as a frozen workload file that -frozen <dir> loads back
+// into the registry as `adv:<family>:<name>` — runnable by -workload
+// and -sweep like any generator, and regression-gated by
+// TestAdvSearchFrozenRegression.
+//
 // Point-to-point families route directly on the graph (Algorithm
 // 2.2) by default; pass -leveled for the Algorithm 2.1 unrolling
 // where one exists. Leveled-only families (butterfly) always route on
@@ -73,6 +85,9 @@
 //	routebench -sweep sweeps/event.json
 //	routebench -sweep - < my-sweep.json
 //	routebench -reportdiff sweeps/expected/event.jsonl BENCH_sweep_event.jsonl
+//	routebench -advsearch sweeps/advsearch.json -out BENCH_advsearch.json
+//	routebench -advsearch sweeps/advsearch.json -freeze sweeps/adversarial
+//	routebench -frozen sweeps/adversarial -sweep sweeps/adv.json
 //	routebench -list
 package main
 
@@ -91,6 +106,7 @@ import (
 	"strings"
 	"time"
 
+	"pramemu/internal/advsearch"
 	"pramemu/internal/buildcache"
 	"pramemu/internal/scenario"
 	"pramemu/internal/topology"
@@ -122,6 +138,9 @@ type config struct {
 	sweep      string
 	report     bool
 	out        string
+	advsearch  string
+	frozen     string
+	freeze     string
 	buildCache int64
 	timeout    time.Duration
 	failFast   bool
@@ -173,6 +192,9 @@ func main() {
 	flag.StringVar(&cfg.sweep, "sweep", "", "run the scenario sweep spec from this JSON file ('-' = stdin) and emit JSONL")
 	flag.BoolVar(&cfg.report, "report", false, "with -sweep: append the derived report rows (workers-axis speedups, per-class aggregates) after the result lines")
 	flag.StringVar(&cfg.out, "out", "", "with -sweep: write the artifact crash-safely to this path (journaled; atomic rename after the trailer; an interrupted run resumes)")
+	flag.StringVar(&cfg.advsearch, "advsearch", "", "run the adversarial-search spec from this JSON file ('-' = stdin): hunt worst-case inputs per family; with -out the seed sweep journals to <out>.cells and the report lands at -out via atomic rename (an interrupted search resumes)")
+	flag.StringVar(&cfg.frozen, "frozen", "", "load frozen adversarial workloads (*"+workload.FrozenExt+") from this directory into the registry before running (composes with -list, -workload adv:..., -sweep)")
+	flag.StringVar(&cfg.freeze, "freeze", "", "with -advsearch: write each family's best searched permutation into this directory as a frozen regression workload")
 	flag.Int64Var(&cfg.buildCache, "buildcache", 0, "topology build-cache budget in bytes: cells and successive sweeps sharing a topology reuse one build (0 = default 256 MiB; negative disables caching)")
 	flag.DurationVar(&cfg.timeout, "timeout", 0, "with -sweep: per-cell deadline; an expired cell becomes an error line instead of killing the sweep (0 = none)")
 	flag.BoolVar(&cfg.failFast, "failfast", false, "with -sweep: cancel remaining cells when one fails hard instead of draining the grid")
@@ -209,6 +231,11 @@ type result = scenario.Result
 // testable core of the command; the profile flags are honored here so
 // tests can exercise them without a child process.
 func run(w io.Writer, cfg config) (err error) {
+	if cfg.frozen != "" {
+		if _, err := workload.LoadFrozenDir(cfg.frozen); err != nil {
+			return err
+		}
+	}
 	if cfg.list {
 		return list(w)
 	}
@@ -243,6 +270,9 @@ func run(w io.Writer, cfg config) (err error) {
 				err = writeHeapProfile(cfg.memprofile)
 			}
 		}()
+	}
+	if cfg.advsearch != "" {
+		return runAdvSearch(w, cfg)
 	}
 	if cfg.sweep != "" {
 		return runSweep(w, cfg)
@@ -291,6 +321,67 @@ func cell(cfg config) scenario.Cell {
 		}
 	}
 	return c
+}
+
+// runAdvSearch executes an adversarial-search spec: every requested
+// strategy hunts worst-case inputs on every named family, the worst
+// finding per (family, strategy) prints as one report line (or the
+// full report as JSON with -json), -out makes the seed-sweep stage
+// journaled and resumable, and -freeze writes each family's best
+// searched permutation into a directory of frozen regression
+// workloads.
+func runAdvSearch(w io.Writer, cfg config) error {
+	var (
+		raw []byte
+		err error
+	)
+	if cfg.advsearch == "-" {
+		raw, err = io.ReadAll(os.Stdin)
+	} else {
+		raw, err = os.ReadFile(cfg.advsearch)
+	}
+	if err != nil {
+		return fmt.Errorf("advsearch: %w", err)
+	}
+	spec, err := advsearch.ReadSpec(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	var rep advsearch.Report
+	if cfg.out != "" {
+		rep, err = advsearch.RunJournaled(context.Background(), spec, cfg.out)
+	} else {
+		rep, err = advsearch.Run(context.Background(), spec)
+	}
+	if err != nil {
+		return err
+	}
+	if cfg.freeze != "" {
+		for _, f := range rep.Worst() {
+			if len(f.Perm) == 0 {
+				continue // only searched permutations freeze
+			}
+			fr, err := advsearch.Freeze(fmt.Sprintf("g%d", f.Nodes), f)
+			if err != nil {
+				return err
+			}
+			path, err := workload.WriteFrozenFile(cfg.freeze, fr)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "froze %s (rounds=%d maxQ=%d) -> %s\n", fr.WorkloadName(), fr.Rounds, fr.MaxQ, path)
+		}
+	}
+	if cfg.jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	for _, f := range rep.Worst() {
+		fmt.Fprintf(w, "advsearch %s strategy=%s workload=%s seed=%d: rounds=%d (%.2f/diam) maxQ=%d bound=%.0f within=%v\n",
+			f.Topology, f.Strategy, f.Workload, f.Seed, f.Rounds, f.RoundsPerDiam, f.MaxQ, f.Bound, f.WithinBound)
+	}
+	return nil
 }
 
 // runReportDiff is the CI regression gate over sweep artifacts: the

@@ -816,3 +816,128 @@ func TestRunServerDiff(t *testing.T) {
 		t.Fatal("diff against an unknown job accepted")
 	}
 }
+
+// TestRunAdvSearch drives the adversarial-search mode end to end in
+// process: spec from disk, worst-per-(family,strategy) report lines,
+// -freeze writing a loadable frozen workload, and -json carrying the
+// full finding report.
+func TestRunAdvSearch(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "adv.json")
+	const body = `{"name":"t","families":[{"family":"hypercube","n":3}],"seeds":3,"iters":2,"trials":1,"seed":7}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	freeze := filepath.Join(dir, "frozen")
+	var b strings.Builder
+	if err := run(&b, config{advsearch: spec, freeze: freeze}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"advsearch hypercube(k=3)", "strategy=greedy", "strategy=seeds", "strategy=structured", "within=true", "froze adv:hypercube:g8"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report %q lacks %q", out, want)
+		}
+	}
+	// The frozen file loads back and prices as a workload.
+	b.Reset()
+	if err := run(&b, config{frozen: freeze, net: "hypercube", n: 3, workload: "adv:hypercube:g8", trials: 1, seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "adv:hypercube:g8: rounds mean=") {
+		t.Fatalf("frozen workload report %q", b.String())
+	}
+	// ...but refuses every other node count.
+	if err := run(&b, config{frozen: freeze, net: "star", n: 4, workload: "adv:hypercube:g8", trials: 1}); err == nil ||
+		!strings.Contains(err.Error(), "pinned to 8 nodes") {
+		t.Fatalf("frozen workload on the wrong instance: %v", err)
+	}
+	b.Reset()
+	if err := run(&b, config{advsearch: spec, jsonOut: true}); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Findings []map[string]any `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("-json output unparseable: %v\n%s", err, b.String())
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("-json report carries no findings")
+	}
+	// Bad inputs fail loudly.
+	if err := run(&b, config{advsearch: filepath.Join(dir, "absent.json")}); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+	if err := run(&b, config{frozen: filepath.Join(dir, "nope", "deeper")}); err == nil {
+		// A missing -frozen directory is tolerated (zero files); only a
+		// corrupt file errors. Write one and retry.
+		bad := filepath.Join(dir, "badfrozen")
+		if err := os.MkdirAll(bad, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(bad, "x.advperm"), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(&b, config{frozen: bad, list: true}); err == nil {
+			t.Fatal("corrupt frozen directory accepted")
+		}
+	}
+}
+
+// TestRunAdvSearchJournaled pins the -out contract: the report and
+// its .cells seed-sweep artifact land on disk, and a re-run resumes
+// over the journal to the byte-identical report.
+func TestRunAdvSearchJournaled(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "adv.json")
+	const body = `{"name":"t","families":[{"family":"star","n":4}],"strategies":["seeds"],"seeds":3,"seed":7}`
+	if err := os.WriteFile(spec, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "report.json")
+	var b strings.Builder
+	if err := run(&b, config{advsearch: spec, out: out}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out + ".cells"); err != nil {
+		t.Fatalf("seed-sweep artifact missing: %v", err)
+	}
+	if err := run(&b, config{advsearch: spec, out: out}); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("resumed advsearch report drifted")
+	}
+}
+
+// TestRunAdvSweepMatchesExpectedArtifact is the adversarial
+// regression gate's local twin: the checked-in frozen adversaries
+// swept over sweeps/adv.json must reproduce the expected artifact
+// byte for byte.
+func TestRunAdvSweepMatchesExpectedArtifact(t *testing.T) {
+	var b strings.Builder
+	cfg := config{
+		frozen: filepath.Join("..", "..", "sweeps", "adversarial"),
+		sweep:  filepath.Join("..", "..", "sweeps", "adv.json"),
+	}
+	if err := run(&b, cfg); err != nil {
+		t.Fatal(err)
+	}
+	expected := filepath.Join("..", "..", "sweeps", "expected", "adv.jsonl")
+	want, err := os.ReadFile(expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Fatalf("adversarial sweep drifted from %s — a router change moved a frozen worst case; regenerate only if intentional", expected)
+	}
+}

@@ -1,5 +1,5 @@
 // Command tables regenerates every experiment table of the paper
-// reproduction (the E1-E20 index in DESIGN.md) and prints them to
+// reproduction (the E1-E21 index in DESIGN.md) and prints them to
 // stdout in the format recorded in EXPERIMENTS.md. With -sweep it
 // instead consumes a `routebench -sweep` JSONL artifact (report rows,
 // if present, are skipped and recomputed) and renders the derived
@@ -98,6 +98,7 @@ func run(w io.Writer, o experiments.Options, only string) error {
 		{"E18", experiments.E18AsynchronyMatrix},
 		{"E19", experiments.E19ScaleCeiling},
 		{"E20", experiments.E20BuildCache},
+		{"E21", experiments.E21AdversarialBounds},
 	}
 	want := map[string]bool{}
 	if only != "" {

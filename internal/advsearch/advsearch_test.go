@@ -1,0 +1,271 @@
+// The search subsystem's contract: findings are byte-identical for
+// any pool width, the journaled path resumes to the same report, the
+// seed strategy's winning seed actually reproduces its metrics, and
+// checked-in frozen adversaries still achieve their recorded worst.
+
+package advsearch
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pramemu/internal/scenario"
+	_ "pramemu/internal/topology/families"
+	"pramemu/internal/workload"
+)
+
+// testSpec is the small-but-real search every test runs: three
+// families covering pow2, square and neither, all three strategies,
+// budgets small enough for the race detector.
+func testSpec() Spec {
+	return Spec{
+		Name: "advsearch-test",
+		Families: []scenario.TopoRef{
+			{Family: "hypercube", N: 3},
+			{Family: "mesh", N: 4},
+			{Family: "star", N: 4},
+		},
+		Seeds:  4,
+		Iters:  3,
+		Trials: 1,
+		Seed:   7,
+	}
+}
+
+func TestAdvSearchPoolWidthIndependence(t *testing.T) {
+	spec := testSpec()
+	var reports []Report
+	for _, pool := range []int{1, 4} {
+		s := spec
+		s.Pool = pool
+		rep, err := Run(context.Background(), s)
+		if err != nil {
+			t.Fatalf("pool %d: %v", pool, err)
+		}
+		reports = append(reports, rep)
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Fatalf("findings depend on pool width:\npool=1: %+v\npool=4: %+v", reports[0], reports[1])
+	}
+}
+
+func TestAdvSearchFindings(t *testing.T) {
+	rep, err := Run(context.Background(), testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("search returned no findings")
+	}
+	perStrategy := map[string]int{}
+	for _, f := range rep.Findings {
+		perStrategy[f.Strategy]++
+		if f.Nodes == 0 || f.Diameter == 0 {
+			t.Errorf("%s/%s: missing instance fields: %+v", f.Family, f.Strategy, f)
+		}
+		if f.Rounds <= 0 {
+			t.Errorf("%s/%s/%s: nonpositive rounds %d", f.Family, f.Strategy, f.Workload, f.Rounds)
+		}
+		if f.Bound != rep.BoundC*float64(f.Diameter) {
+			t.Errorf("%s/%s: bound %v != %v×%d", f.Family, f.Strategy, f.Bound, rep.BoundC, f.Diameter)
+		}
+		if !f.WithinBound {
+			t.Errorf("%s/%s/%s: rounds %d beat the theorem bound %v — a real finding, but on these instances it means a regression",
+				f.Family, f.Strategy, f.Workload, f.Rounds, f.Bound)
+		}
+	}
+	// Every strategy found something on every family (structured finds
+	// several per family; star admits neither pow2 nor square patterns
+	// but still prices tornado and the khot ramp).
+	for _, s := range Strategies() {
+		if perStrategy[s] < len(testSpec().Families) {
+			t.Errorf("strategy %s produced %d findings, want >= %d", s, perStrategy[s], len(testSpec().Families))
+		}
+	}
+	// The seed strategy's distributions cover its sweep.
+	for _, f := range rep.Findings {
+		if f.Strategy != "seeds" {
+			continue
+		}
+		if f.RoundsDist == nil || f.RoundsDist.N != testSpec().Seeds {
+			t.Errorf("%s/seeds: rounds distribution over %+v trials, want %d", f.Family, f.RoundsDist, testSpec().Seeds)
+		}
+		if f.RoundsDist.Max != f.Rounds {
+			t.Errorf("%s/seeds: dist max %d != finding rounds %d", f.Family, f.RoundsDist.Max, f.Rounds)
+		}
+	}
+	// Worst: one row per (family, strategy), dominating its group.
+	worst := rep.Worst()
+	if len(worst) != len(testSpec().Families)*len(Strategies()) {
+		t.Fatalf("Worst returned %d rows, want %d", len(worst), len(testSpec().Families)*len(Strategies()))
+	}
+	for _, w := range worst {
+		for _, f := range rep.Findings {
+			if f.Family == w.Family && f.Strategy == w.Strategy &&
+				(f.Rounds > w.Rounds || (f.Rounds == w.Rounds && f.MaxQ > w.MaxQ)) {
+				t.Errorf("Worst row %s/%s (%d rounds) dominated by %s (%d rounds)", w.Family, w.Strategy, w.Rounds, f.Workload, f.Rounds)
+			}
+		}
+	}
+}
+
+// TestAdvSearchSeedReproduces pins the seed strategy's core promise:
+// re-running the named workload at the finding's seed with one trial
+// observes exactly the reported worst.
+func TestAdvSearchSeedReproduces(t *testing.T) {
+	spec := testSpec()
+	spec.Strategies = []string{"seeds"}
+	rep, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		res, err := evalCell(context.Background(),
+			scenario.TopoRef{Family: f.Family, N: f.N, K: f.K}, f.Workload, 1, f.Seed, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RoundsMax != f.Rounds || res.MaxQueue != f.MaxQ {
+			t.Errorf("%s: replaying seed %d observed %d rounds / maxQ %d, finding recorded %d / %d",
+				f.Family, f.Seed, res.RoundsMax, res.MaxQueue, f.Rounds, f.MaxQ)
+		}
+	}
+}
+
+func TestAdvSearchGreedyFreezes(t *testing.T) {
+	spec := testSpec()
+	spec.Strategies = []string{"greedy"}
+	spec.Families = spec.Families[:1]
+	rep, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 1 || len(rep.Findings[0].Perm) == 0 {
+		t.Fatalf("greedy finding carries no permutation: %+v", rep.Findings)
+	}
+	f := rep.Findings[0]
+	fr, err := Freeze("worst", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.WorkloadName() != "adv:hypercube:worst" || fr.Nodes != f.Nodes || fr.Rounds != f.Rounds {
+		t.Fatalf("frozen workload does not match the finding: %+v", fr)
+	}
+	// The frozen workload replays to at least the recorded metrics.
+	if err := workload.RegisterFrozen(fr); err != nil {
+		t.Fatal(err)
+	}
+	defer workload.Deregister(fr.WorkloadName())
+	res, err := evalCell(context.Background(),
+		scenario.TopoRef{Family: f.Family, N: f.N, K: f.K}, fr.WorkloadName(), f.Trials, f.Seed, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoundsMax < fr.Rounds || res.MaxQueue < fr.MaxQ {
+		t.Fatalf("frozen replay observed %d rounds / maxQ %d, below recorded %d / %d",
+			res.RoundsMax, res.MaxQueue, fr.Rounds, fr.MaxQ)
+	}
+	// Findings without a permutation refuse to freeze.
+	if _, err := Freeze("x", Finding{Family: "mesh", Strategy: "seeds"}); err == nil {
+		t.Fatal("Freeze accepted a finding without a permutation")
+	}
+}
+
+func TestAdvSearchJournaledResume(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "adv.json")
+	spec := testSpec()
+	first, err := RunJournaled(context.Background(), spec, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{out, out + ".cells"} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("missing artifact %s: %v", p, err)
+		}
+	}
+	// A second run resumes the journaled seed sweep (completed cells
+	// replay from the artifact) and lands on the identical report.
+	second, err := RunJournaled(context.Background(), spec, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("resumed report differs:\n%+v\n%+v", first, second)
+	}
+	// And matches the live path finding-for-finding.
+	live, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, live) {
+		t.Fatalf("journaled report differs from live run:\n%+v\n%+v", first, live)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"findings"`) {
+		t.Fatalf("artifact %s lacks findings", out)
+	}
+}
+
+func TestAdvSearchSpec(t *testing.T) {
+	spec, err := ReadSpec(strings.NewReader(
+		`{"name":"x","families":[{"family":"mesh","n":4}],"strategies":["seeds"],"seeds":8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "x" || len(spec.Families) != 1 || spec.Seeds != 8 {
+		t.Fatalf("spec parsed wrong: %+v", spec)
+	}
+	if _, err := ReadSpec(strings.NewReader(`{"familys":[]}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Run(context.Background(), Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := Run(context.Background(), Spec{
+		Families:   []scenario.TopoRef{{Family: "mesh", N: 4}},
+		Strategies: []string{"anneal"},
+	}); err == nil || !strings.Contains(err.Error(), "anneal") {
+		t.Fatalf("unknown strategy error %v does not name it", err)
+	}
+}
+
+// TestAdvSearchFrozenRegression is the repo's permanent regression
+// gate: every adversary checked in under sweeps/adversarial/ must
+// still achieve at least its recorded rounds and maxQ when replayed
+// on its pinned instance. A drop means a router change weakened a
+// known worst case — investigate before re-freezing.
+func TestAdvSearchFrozenRegression(t *testing.T) {
+	dir := filepath.Join("..", "..", "sweeps", "adversarial")
+	n, err := workload.LoadFrozenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatalf("no frozen adversaries under %s — the repo must carry at least one", dir)
+	}
+	for _, name := range workload.FrozenNames() {
+		fr, ok := workload.LookupFrozen(name)
+		if !ok {
+			t.Fatalf("frozen name %s not registered", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			res, err := evalCell(context.Background(),
+				scenario.TopoRef{Family: fr.Family, N: fr.N, K: fr.K}, name, fr.Trials, fr.Seed, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.RoundsMax < fr.Rounds || res.MaxQueue < fr.MaxQ {
+				t.Errorf("replay observed %d rounds / maxQ %d, below the recorded %d / %d",
+					res.RoundsMax, res.MaxQueue, fr.Rounds, fr.MaxQ)
+			}
+		})
+	}
+}

@@ -1,0 +1,122 @@
+// The structured adversaries this package contributes to the workload
+// registry: deliberately bad inputs composed from the classic worst
+// cases, registered under adv:* names through the same capability
+// system as every other generator — so the conformance suite, the
+// sweep layer and the structured scan pick them up with zero edits.
+
+package advsearch
+
+import (
+	"pramemu/internal/packet"
+	"pramemu/internal/prng"
+	"pramemu/internal/topology"
+	"pramemu/internal/workload"
+)
+
+// log2 returns k with 2^k == nodes; callers gate on NeedsPow2.
+func log2(nodes int) int {
+	k := 0
+	for 1<<k < nodes {
+		k++
+	}
+	return k
+}
+
+// side returns s with s*s == nodes; callers gate on NeedsSquare.
+func side(nodes int) int {
+	s := 0
+	for s*s < nodes {
+		s++
+	}
+	return s
+}
+
+func init() {
+	workload.Register(workload.Generator{
+		Name: "adv:revcomp", Params: "Kind",
+		Class:   workload.ClassPermutation,
+		Traffic: "bit-reversal composed with bit-complement: reversal's congestion plus complement's maximal distance",
+		Needs:   workload.NeedsPow2,
+		Generate: func(b topology.Built, p workload.Params, a *packet.Arena, seed uint64) ([]*packet.Packet, error) {
+			nodes := b.Nodes()
+			k := log2(nodes)
+			pkts := make([]*packet.Packet, nodes)
+			for i := 0; i < nodes; i++ {
+				rev := 0
+				for bit := 0; bit < k; bit++ {
+					rev = rev<<1 | (i >> bit & 1)
+				}
+				pkts[i] = packet.NewIn(a, i, i, nodes-1-rev, p.Kind)
+			}
+			return pkts, nil
+		},
+	})
+	workload.Register(workload.Generator{
+		Name: "adv:transtack", Params: "Kind",
+		Class:   workload.ClassPermutation,
+		Traffic: "transpose-of-shifted-transpose stack: transpose congestion that a transpose-aware router cannot cancel",
+		Needs:   workload.NeedsSquare,
+		Generate: func(b topology.Built, p workload.Params, a *packet.Arena, seed uint64) ([]*packet.Packet, error) {
+			nodes := b.Nodes()
+			s := side(nodes)
+			t := func(i int) int { return (i%s)*s + i/s }
+			pkts := make([]*packet.Packet, nodes)
+			for i := 0; i < nodes; i++ {
+				pkts[i] = packet.NewIn(a, i, i, t((t(i)+1)%nodes), p.Kind)
+			}
+			return pkts, nil
+		},
+	})
+	workload.Register(workload.Generator{
+		Name: "adv:khotramp", Params: "Kind, Hot",
+		Class:   workload.ClassManyOne,
+		Traffic: "hotspot ramp: node i goes hot with probability i/(n-1), so combining trees skew toward the high half",
+		Needs:   workload.NeedsCombining,
+		Generate: func(b topology.Built, p workload.Params, a *packet.Arena, seed uint64) ([]*packet.Packet, error) {
+			nodes := b.Nodes()
+			hot := p.Hot
+			if hot < 1 {
+				hot = 4
+			}
+			if hot > nodes {
+				hot = nodes
+			}
+			kind := p.Kind
+			if !kind.IsRequest() {
+				kind = packet.ReadRequest
+			}
+			src := prng.New(seed)
+			// Distinct hot destinations, drawn deterministically (the
+			// khot idiom).
+			hotDsts := make([]int, 0, hot)
+			used := make(map[int]bool, hot)
+			for len(hotDsts) < hot {
+				d := src.Intn(nodes)
+				if !used[d] {
+					used[d] = true
+					hotDsts = append(hotDsts, d)
+				}
+			}
+			pkts := make([]*packet.Packet, nodes)
+			for i := 0; i < nodes; i++ {
+				j := src.Intn(hot)
+				pk := packet.NewIn(a, i, i, hotDsts[j], kind)
+				pk.Proc = i
+				// The ramp: node i's hot probability climbs linearly
+				// from 0 to 1 across the node range, concentrating the
+				// shared addresses on the high half's combining trees.
+				ramp := 0.0
+				if nodes > 1 {
+					ramp = float64(i) / float64(nodes-1)
+				}
+				if src.Float64() < ramp {
+					pk.Addr = uint64(j) // shared hot address
+				} else {
+					pk.Addr = uint64(nodes + i) // private address
+				}
+				pkts[i] = pk
+			}
+			return pkts, nil
+		},
+	})
+}

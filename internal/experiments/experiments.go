@@ -19,9 +19,11 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"runtime"
 	"time"
 
+	"pramemu/internal/advsearch"
 	"pramemu/internal/buildcache"
 	"pramemu/internal/emul"
 	"pramemu/internal/hashing"
@@ -1035,7 +1037,7 @@ func E20BuildCache(o Options) *metrics.Table {
 			panic(fmt.Sprintf("experiments: warm pass priced %d cells, cold %d", len(results), len(cold)))
 		default:
 			for i := range results {
-				if results[i] != cold[i] {
+				if !reflect.DeepEqual(results[i], cold[i]) {
 					panic(fmt.Sprintf("experiments: warm result drifted at %s", results[i].Scenario))
 				}
 			}
@@ -1049,6 +1051,50 @@ func E20BuildCache(o Options) *metrics.Table {
 			fmtF(float64(d.BuildNS)/1e6),
 			fmtF(float64(elapsed.Nanoseconds())/1e6),
 			fmtF(float64(m1.TotalAlloc-m0.TotalAlloc)/float64(len(results))/1024))
+	}
+	return t
+}
+
+// E21AdversarialBounds hunts worst-case inputs on every registered
+// family and reports the observed worst against the theorem bound —
+// the tail the paper's with-high-probability statements hide. Per
+// family, the three internal/advsearch strategies (seed sweeps with
+// full distributions, structured adversaries like adv:revcomp, greedy
+// permutation search) each contribute their worst finding; the bound
+// column is C×diameter with the search default C, and a "no" in the
+// within column is an input beating the theorem constant. A family
+// registered tomorrow is hunted with no edits here.
+func E21AdversarialBounds(o Options) *metrics.Table {
+	o = o.withDefaults()
+	topos, _ := registryTopos(true)
+	spec := advsearch.Spec{
+		Name:     "e21",
+		Families: topos,
+		Seeds:    32,
+		Iters:    40,
+		Trials:   2,
+		Seed:     o.Seed,
+	}
+	if o.Quick {
+		spec.Seeds, spec.Iters = 8, 6
+	}
+	rep, err := advsearch.Run(context.Background(), spec)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	t := metrics.NewTable("E21 (adversarial) observed-worst inputs vs the theorem bound per family",
+		"family", "N", "diam", "strategy", "input", "rounds(worst)", "rounds/diam", "bound", "within", "maxQ")
+	for _, f := range rep.Worst() {
+		t.AddRow(f.Family,
+			fmt.Sprintf("%d", f.Nodes),
+			fmt.Sprintf("%d", f.Diameter),
+			f.Strategy,
+			fmt.Sprintf("%s@%d", f.Workload, f.Seed),
+			fmt.Sprintf("%d", f.Rounds),
+			fmtF(f.RoundsPerDiam),
+			fmtF(f.Bound),
+			fmt.Sprintf("%t", f.WithinBound),
+			fmt.Sprintf("%d", f.MaxQ))
 	}
 	return t
 }
@@ -1090,5 +1136,6 @@ func All(o Options) []*metrics.Table {
 		E18AsynchronyMatrix(o),
 		E19ScaleCeiling(o),
 		E20BuildCache(o),
+		E21AdversarialBounds(o),
 	}
 }

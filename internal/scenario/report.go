@@ -9,9 +9,77 @@ import (
 	"strconv"
 	"strings"
 
+	"pramemu/internal/mathx"
 	"pramemu/internal/metrics"
 	"pramemu/internal/workload"
 )
+
+// DistStats summarizes one metric's per-trial sample — the tail the
+// mean-only columns hide. Hist is a fixed-width histogram over
+// [HistLo, HistLo+len(Hist)*HistW): bucket i counts samples in
+// [HistLo+i*HistW, HistLo+(i+1)*HistW), with the top bucket absorbing
+// the maximum. Everything derives deterministically from the sample.
+type DistStats struct {
+	N      int     `json:"n"`
+	Max    int     `json:"max"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	P99    float64 `json:"p99"`
+	P999   float64 `json:"p999"`
+	HistLo int     `json:"hist_lo"`
+	HistW  int     `json:"hist_w"`
+	Hist   []int   `json:"hist"`
+}
+
+// distHistBuckets caps the histogram width so distribution rows stay
+// one readable line even for thousand-seed sweeps.
+const distHistBuckets = 16
+
+// NewDistStats summarizes an integer sample into distribution
+// statistics. It returns the zero value for an empty sample (a cell
+// group that carried no per-trial arrays contributes nothing).
+func NewDistStats(samples []int) DistStats {
+	if len(samples) == 0 {
+		return DistStats{}
+	}
+	s := mathx.SummarizeInts(samples)
+	lo, hi := samples[0], samples[0]
+	for _, x := range samples {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	buckets := hi - lo + 1
+	if buckets > distHistBuckets {
+		buckets = distHistBuckets
+	}
+	w := (hi - lo + buckets) / buckets // ceil((hi-lo+1)/buckets)
+	if w < 1 {
+		w = 1
+	}
+	hist := make([]int, buckets)
+	for _, x := range samples {
+		i := (x - lo) / w
+		if i >= buckets {
+			i = buckets - 1
+		}
+		hist[i]++
+	}
+	return DistStats{
+		N:      s.N,
+		Max:    hi,
+		Mean:   s.Mean,
+		StdDev: s.StdDev,
+		P99:    s.P99,
+		P999:   s.P999,
+		HistLo: lo,
+		HistW:  w,
+		Hist:   hist,
+	}
+}
 
 // ReportRow is one line of the sweep-level derived report: either a
 // "speedup" row (one cell of the engine-workers axis, with the
@@ -22,7 +90,7 @@ import (
 // stream as Result rows without ambiguity — Result has no "report"
 // key.
 type ReportRow struct {
-	Report string `json:"report"` // "speedup" | "class"
+	Report string `json:"report"` // "speedup" | "class" | "dist"
 
 	// Speedup rows: Scenario is the cell key with the trailing
 	// workers segment stripped (the group identity), Workers the axis
@@ -45,6 +113,14 @@ type ReportRow struct {
 	RoundsPerDiamMean float64 `json:"rounds_per_diam_mean,omitempty"`
 	RoundsPerDiamMax  float64 `json:"rounds_per_diam_max,omitempty"`
 	MaxQueue          int     `json:"max_queue,omitempty"`
+
+	// Dist rows: tail statistics over the per-trial samples of every
+	// Distribution cell sharing one workers-stripped scenario key (the
+	// engine invariant makes the rounds identical along the workers
+	// axis, so pooling the group costs nothing). Present only when the
+	// sweep ran with "distribution": true.
+	RoundsDist *DistStats `json:"rounds_dist,omitempty"`
+	MaxQDist   *DistStats `json:"max_q_dist,omitempty"`
 }
 
 // Report derives the sweep-level summary rows from a sweep's results:
@@ -55,7 +131,50 @@ type ReportRow struct {
 // class and mode — so the report is as deterministic as its inputs
 // (wall-clock speedups, when present, are inherently run-dependent).
 func Report(results []Result) []ReportRow {
-	return append(speedupRows(results), classRows(results)...)
+	rows := append(speedupRows(results), classRows(results)...)
+	return append(rows, distRows(results)...)
+}
+
+// distRows derives the tail-statistics rows from Distribution cells:
+// results carrying per-trial arrays are grouped by their
+// workers-stripped scenario key and each group's pooled samples are
+// summarized. Sweeps without the distribution axis produce none.
+func distRows(results []Result) []ReportRow {
+	type samples struct {
+		rounds, maxQ []int
+	}
+	groups := make(map[string]*samples)
+	var keys []string
+	for _, r := range results {
+		if len(r.TrialRounds) == 0 && len(r.TrialMaxQ) == 0 {
+			continue
+		}
+		base := workersStrippedKey(r)
+		g := groups[base]
+		if g == nil {
+			g = &samples{}
+			groups[base] = g
+			keys = append(keys, base)
+		}
+		g.rounds = append(g.rounds, r.TrialRounds...)
+		g.maxQ = append(g.maxQ, r.TrialMaxQ...)
+	}
+	sort.Strings(keys)
+	var rows []ReportRow
+	for _, base := range keys {
+		g := groups[base]
+		row := ReportRow{Report: "dist", Scenario: base}
+		if len(g.rounds) > 0 {
+			d := NewDistStats(g.rounds)
+			row.RoundsDist = &d
+		}
+		if len(g.maxQ) > 0 {
+			d := NewDistStats(g.maxQ)
+			row.MaxQDist = &d
+		}
+		rows = append(rows, row)
+	}
+	return rows
 }
 
 // speedupRows groups results by their workers-stripped scenario key
@@ -260,16 +379,37 @@ func ReadResults(r io.Reader) ([]Result, error) {
 	return results, nil
 }
 
-// ReportTables renders the derived report as the two tables
-// `cmd/tables -sweep` prints: the engine-workers speedup table and
-// the per-class aggregate table.
+// ReportTables renders the derived report as the tables `cmd/tables
+// -sweep` prints: the engine-workers speedup table, the per-class
+// aggregate table, and — when the sweep carried the distribution axis
+// — the per-group tail-statistics table.
 func ReportTables(rows []ReportRow) []*metrics.Table {
 	speed := metrics.NewTable("sweep report: speedup across the engine-workers axis",
 		"scenario", "workers", "rounds(mean)", "rounds/sec", "speedup")
 	classes := metrics.NewTable("sweep report: per-class aggregates across families",
 		"class", "mode", "cells", "families", "rounds/diam(mean)", "rounds/diam(max)", "maxQ")
+	dists := metrics.NewTable("sweep report: per-group distribution tails over trials",
+		"scenario", "n", "rounds(max)", "rounds(p99)", "rounds(p999)", "rounds(stddev)", "maxQ(max)", "maxQ(p99)")
 	for _, r := range rows {
 		switch r.Report {
+		case "dist":
+			n, rMax, rP99, rP999, rStd := "-", "-", "-", "-", "-"
+			if d := r.RoundsDist; d != nil {
+				n = fmt.Sprintf("%d", d.N)
+				rMax = fmt.Sprintf("%d", d.Max)
+				rP99 = fmt.Sprintf("%.1f", d.P99)
+				rP999 = fmt.Sprintf("%.1f", d.P999)
+				rStd = fmt.Sprintf("%.2f", d.StdDev)
+			}
+			qMax, qP99 := "-", "-"
+			if d := r.MaxQDist; d != nil {
+				if n == "-" {
+					n = fmt.Sprintf("%d", d.N)
+				}
+				qMax = fmt.Sprintf("%d", d.Max)
+				qP99 = fmt.Sprintf("%.1f", d.P99)
+			}
+			dists.AddRow(r.Scenario, n, rMax, rP99, rP999, rStd, qMax, qP99)
 		case "speedup":
 			rps, speedup := "-", "-"
 			if r.RoundsPerSec > 0 {
@@ -295,5 +435,9 @@ func ReportTables(rows []ReportRow) []*metrics.Table {
 				fmt.Sprintf("%d", r.MaxQueue))
 		}
 	}
-	return []*metrics.Table{speed, classes}
+	tables := []*metrics.Table{speed, classes}
+	if dists.Rows() > 0 {
+		tables = append(tables, dists)
+	}
+	return tables
 }

@@ -7,6 +7,7 @@ package scenario
 
 import (
 	"bytes"
+	"reflect"
 	"runtime"
 	"strconv"
 	"strings"
@@ -181,6 +182,87 @@ func TestWorkersStrippedKeyFallbackSeparatesModes(t *testing.T) {
 	}
 }
 
+// TestReportDistRows pins the distribution layer: a sweep with
+// "distribution": true carries the per-trial samples on every result,
+// the derived report grows one "dist" row per workers-stripped group
+// with tail statistics consistent with the raw samples, and the JSONL
+// round trip preserves the arrays bit-exactly.
+func TestReportDistRows(t *testing.T) {
+	spec := testSpec()
+	spec.Trials = 5
+	spec.Distribution = true
+	results := mustRun(t, spec)
+	for _, r := range results {
+		if len(r.TrialRounds) != spec.Trials || len(r.TrialMaxQ) != spec.Trials {
+			t.Fatalf("distribution cell %s carries %d/%d samples, want %d",
+				r.Scenario, len(r.TrialRounds), len(r.TrialMaxQ), spec.Trials)
+		}
+		rMax, qMax := r.TrialRounds[0], r.TrialMaxQ[0]
+		for i := 1; i < spec.Trials; i++ {
+			rMax = max(rMax, r.TrialRounds[i])
+			qMax = max(qMax, r.TrialMaxQ[i])
+		}
+		if rMax != r.RoundsMax || qMax != r.MaxQueue {
+			t.Fatalf("%s: trial arrays (max %d/%d) disagree with scalars (%d/%d)",
+				r.Scenario, rMax, qMax, r.RoundsMax, r.MaxQueue)
+		}
+		if !strings.Contains(r.Scenario, "/dist") {
+			t.Fatalf("distribution cell key lacks the /dist segment: %s", r.Scenario)
+		}
+	}
+	rows := Report(results)
+	dists := 0
+	for _, row := range rows {
+		if row.Report != "dist" {
+			continue
+		}
+		dists++
+		d := row.RoundsDist
+		if d == nil || row.MaxQDist == nil {
+			t.Fatalf("dist row without stats: %+v", row)
+		}
+		// The group pools both workers values: 2 cells × 5 trials.
+		if d.N != 2*spec.Trials {
+			t.Fatalf("dist row %s pooled %d samples, want %d", row.Scenario, d.N, 2*spec.Trials)
+		}
+		if d.P999 < d.P99 || float64(d.Max) < d.P999 || d.Mean > float64(d.Max) {
+			t.Fatalf("inconsistent tail stats: %+v", *d)
+		}
+		total := 0
+		for _, c := range d.Hist {
+			total += c
+		}
+		if total != d.N || d.HistW < 1 {
+			t.Fatalf("histogram does not partition the sample: %+v", *d)
+		}
+	}
+	// One dist row per workers-stripped group: half the result count,
+	// since the only crossed axis besides workers is the grid itself.
+	if dists == 0 || dists != len(results)/2 {
+		t.Fatalf("%d dist rows for %d results", dists, len(results))
+	}
+	var b bytes.Buffer
+	if err := WriteJSONL(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadResults(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parsed {
+		if !reflect.DeepEqual(parsed[i], results[i]) {
+			t.Fatalf("distribution arrays mutated in the round trip:\n%+v\n%+v", parsed[i], results[i])
+		}
+	}
+	tables := ReportTables(rows)
+	if len(tables) != 3 {
+		t.Fatalf("%d report tables for a distribution sweep, want 3", len(tables))
+	}
+	if tables[2].Rows() != dists {
+		t.Fatalf("dist table has %d rows, want %d", tables[2].Rows(), dists)
+	}
+}
+
 func TestReadResultsSkipsReportRows(t *testing.T) {
 	results := mustRun(t, testSpec())
 	var b bytes.Buffer
@@ -198,7 +280,7 @@ func TestReadResultsSkipsReportRows(t *testing.T) {
 		t.Fatalf("round-tripped %d results, want %d", len(parsed), len(results))
 	}
 	for i := range parsed {
-		if parsed[i] != results[i] {
+		if !reflect.DeepEqual(parsed[i], results[i]) {
 			t.Fatalf("result %d mutated in the round trip:\n%+v\n%+v", i, parsed[i], results[i])
 		}
 	}

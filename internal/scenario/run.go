@@ -83,6 +83,14 @@ type Result struct {
 	BPerNode     float64 `json:"b_per_node,omitempty"`
 	ElapsedMS    float64 `json:"elapsed_ms,omitempty"`
 	RoundsPerSec float64 `json:"rounds_per_sec,omitempty"`
+	// The distribution fields, filled only on Distribution cells: the
+	// per-trial round counts and per-trial max queue lengths in trial
+	// order (trial t runs seed Seed+t), the raw samples behind the
+	// report layer's tail statistics and the adversarial search's
+	// worst-seed identification. Off-by-default so historical artifacts
+	// keep their exact bytes.
+	TrialRounds []int `json:"trial_rounds,omitempty"`
+	TrialMaxQ   []int `json:"trial_max_q,omitempty"`
 	// The failure-isolation fields: a cell that panics, times out, is
 	// canceled or cannot run lands in the sweep as an error line —
 	// Error the message, ErrorKind the taxonomy value (panic |
@@ -354,7 +362,8 @@ func runEmulCell(ctx context.Context, b topology.Built, gen workload.Generator, 
 		return Result{}, err
 	}
 	rounds := make([]int, 0, c.Trials)
-	maxQ, merges, rehashes, maxLoad := 0, 0, 0, 0
+	maxQs := make([]int, 0, c.Trials)
+	merges, rehashes, maxLoad := 0, 0, 0
 	arena := packet.GetArena()
 	defer packet.PutArena(arena)
 	start := time.Now()
@@ -380,9 +389,7 @@ func runEmulCell(ctx context.Context, b topology.Built, gen workload.Generator, 
 		}
 		stats, cost := e.RouteRequests(reqs)
 		rounds = append(rounds, cost)
-		if stats.MaxQueue > maxQ {
-			maxQ = stats.MaxQueue
-		}
+		maxQs = append(maxQs, stats.MaxQueue)
 		if stats.MaxModuleLoad > maxLoad {
 			maxLoad = stats.MaxModuleLoad
 		}
@@ -396,7 +403,6 @@ func runEmulCell(ctx context.Context, b topology.Built, gen workload.Generator, 
 		Diameter:      net.Diameter(),
 		View:          view,
 		Mode:          c.Mode,
-		MaxQueue:      maxQ,
 		Merges:        merges,
 		Rehashes:      rehashes,
 		MaxModuleLoad: maxLoad,
@@ -411,7 +417,7 @@ func runEmulCell(ctx context.Context, b topology.Built, gen workload.Generator, 
 		res.SkipPhase1 = c.SkipPhase1
 	}
 	res = memStats(res, ms, arena)
-	return finish(res, c, rounds, time.Since(start)), nil
+	return finish(res, c, rounds, maxQs, time.Since(start)), nil
 }
 
 // runMeshCell routes on the paper's specialized three-stage router.
@@ -445,7 +451,7 @@ func runMeshCell(ctx context.Context, b topology.Built, g *mesh.Grid, gen worklo
 		opts.SliceRows = max(1, p.D/4)
 	}
 	rounds := make([]int, 0, c.Trials)
-	maxQ := 0
+	maxQs := make([]int, 0, c.Trials)
 	arena := packet.GetArena()
 	defer packet.PutArena(arena)
 	start := time.Now()
@@ -462,9 +468,7 @@ func runMeshCell(ctx context.Context, b topology.Built, g *mesh.Grid, gen worklo
 		opts.Seed = s * 31
 		st := mesh.Route(g, pkts, opts)
 		rounds = append(rounds, st.Rounds)
-		if st.MaxQueue > maxQ {
-			maxQ = st.MaxQueue
-		}
+		maxQs = append(maxQs, st.MaxQueue)
 	}
 	res := Result{
 		Family:     c.Topo.Family,
@@ -474,10 +478,9 @@ func runMeshCell(ctx context.Context, b topology.Built, g *mesh.Grid, gen worklo
 		Algorithm:  algName(c.Algorithm),
 		Discipline: discName(c.Discipline),
 		View:       "mesh(§3.4)",
-		MaxQueue:   maxQ,
 	}
 	res = memStats(res, ms, arena)
-	return finish(res, c, rounds, time.Since(start)), nil
+	return finish(res, c, rounds, maxQs, time.Since(start)), nil
 }
 
 // runGenericCell routes on the generic simulators: Algorithm 2.1 on
@@ -495,7 +498,8 @@ func runGenericCell(ctx context.Context, b topology.Built, gen workload.Generato
 		}
 	}
 	rounds := make([]int, 0, c.Trials)
-	maxQ, retransmits := 0, 0
+	maxQs := make([]int, 0, c.Trials)
+	retransmits := 0
 	var ms engine.MemStats
 	var lease *engine.Lease
 	if c.Engine == "" {
@@ -542,9 +546,7 @@ func runGenericCell(ctx context.Context, b topology.Built, gen workload.Generato
 			retransmits += st.Retransmits
 		}
 		rounds = append(rounds, r)
-		if q > maxQ {
-			maxQ = q
-		}
+		maxQs = append(maxQs, q)
 	}
 	name, view := b.Name(), "direct(2.2)"
 	if useSpec {
@@ -556,7 +558,6 @@ func runGenericCell(ctx context.Context, b topology.Built, gen workload.Generato
 		Nodes:      b.Nodes(),
 		Diameter:   b.Diameter(),
 		View:       view,
-		MaxQueue:   maxQ,
 		SkipPhase1: c.SkipPhase1,
 	}
 	if c.Engine == EngineEvent {
@@ -566,12 +567,14 @@ func runGenericCell(ctx context.Context, b topology.Built, gen workload.Generato
 	} else {
 		res = memStats(res, ms, arena)
 	}
-	return finish(res, c, rounds, time.Since(start)), nil
+	return finish(res, c, rounds, maxQs, time.Since(start)), nil
 }
 
 // finish fills the cell metadata and derived metrics shared by both
-// routers.
-func finish(res Result, c Cell, rounds []int, elapsed time.Duration) Result {
+// routers. maxQs holds the per-trial max queue lengths in trial order,
+// collapsed into MaxQueue here and kept raw (with the per-trial round
+// counts) on Distribution cells.
+func finish(res Result, c Cell, rounds, maxQs []int, elapsed time.Duration) Result {
 	res.Workload = c.Work.Name
 	res.Workers = c.Workers
 	res.Trials = c.Trials
@@ -580,6 +583,11 @@ func finish(res Result, c Cell, rounds []int, elapsed time.Duration) Result {
 	res.Paged = c.Paged
 	res.RoundsMean = mathx.MeanInts(rounds)
 	res.RoundsMax = mathx.MaxInts(rounds)
+	res.MaxQueue = mathx.MaxInts(maxQs)
+	if c.Distribution {
+		res.TrialRounds = rounds
+		res.TrialMaxQ = maxQs
+	}
 	if res.Diameter > 0 {
 		res.RoundsPerDiam = res.RoundsMean / float64(res.Diameter)
 	}

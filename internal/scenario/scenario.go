@@ -138,6 +138,12 @@ type Spec struct {
 	Workers []int `json:"workers,omitempty"`
 	// Trials is the seeded repetition count per cell (default 3).
 	Trials int `json:"trials,omitempty"`
+	// Distribution records the per-trial rounds and max-queue samples
+	// on every result line (trial_rounds / trial_max_q), feeding the
+	// report layer's distribution rows (max/p99/p999/stddev/histogram
+	// over trials) and the adversarial seed sweeps. Off by default so
+	// historical artifacts keep their exact bytes.
+	Distribution bool `json:"distribution,omitempty"`
 	// Seed is the base seed shared by every cell (default 1991), so a
 	// sweep cell reproduces the routebench invocation with the same
 	// parameters exactly.
@@ -235,15 +241,20 @@ type Cell struct {
 	// Engine selects the pricing engine: "" or "round" the synchronous
 	// round loop, "event" the asynchronous discrete-event loop with
 	// the cell's Latency model and Fault level.
-	Engine     string
-	Latency    LatencySpec // event cells: link latency/bandwidth model
-	Fault      FaultSpec   // event cells: fault level
-	Workers    int         // round-engine workers (0 = GOMAXPROCS)
-	Trials     int
-	Seed       uint64
-	SkipPhase1 bool // ablation: no randomizing phase
-	Hashed     bool // force the engine's hashed-map link state
-	Paged      bool // force the engine's paged dense tables
+	Engine  string
+	Latency LatencySpec // event cells: link latency/bandwidth model
+	Fault   FaultSpec   // event cells: fault level
+	Workers int         // round-engine workers (0 = GOMAXPROCS)
+	Trials  int
+	Seed    uint64
+	// Distribution keeps the per-trial rounds and max-queue samples on
+	// the Result (TrialRounds/TrialMaxQ) instead of collapsing them
+	// into mean/max only — the raw material of the report layer's
+	// distribution rows and the adversarial search's seed sweeps.
+	Distribution bool
+	SkipPhase1   bool // ablation: no randomizing phase
+	Hashed       bool // force the engine's hashed-map link state
+	Paged        bool // force the engine's paged dense tables
 	// MemBudget caps the engine's fixed link-table footprint in bytes
 	// (0 = no budget); over-budget dense/paged resolutions degrade to
 	// the hashed fallback and the Result records Degraded.
@@ -295,6 +306,11 @@ func (c Cell) Key() string {
 	}
 	if c.MemBudget > 0 {
 		fmt.Fprintf(&b, "/mem=%d", c.MemBudget)
+	}
+	if c.Distribution {
+		// Distribution cells carry extra fields on their lines, so a
+		// journaled non-distribution line must not satisfy one on resume.
+		b.WriteString("/dist")
 	}
 	fmt.Fprintf(&b, "/w=%d", c.Workers)
 	return b.String()
@@ -531,24 +547,25 @@ func (s Spec) cells(cache *buildcache.Cache) (cells []Cell, release func(), err 
 									for _, fault := range faults {
 										for _, w := range s.Workers {
 											cells = append(cells, Cell{
-												Topo:       tr,
-												Work:       wr,
-												Built:      b,
-												Discipline: disc,
-												Algorithm:  algorithm,
-												Mode:       mode,
-												Engine:     eng,
-												Latency:    latency,
-												Fault:      fault,
-												Workers:    w,
-												Trials:     s.Trials,
-												Seed:       s.Seed,
-												SkipPhase1: skip,
-												Hashed:     hashed,
-												Paged:      paged,
-												MemBudget:  s.MemBudget,
-												Timing:     s.Timing,
-												Timeout:    time.Duration(s.TimeoutMS) * time.Millisecond,
+												Topo:         tr,
+												Work:         wr,
+												Built:        b,
+												Discipline:   disc,
+												Algorithm:    algorithm,
+												Mode:         mode,
+												Engine:       eng,
+												Latency:      latency,
+												Fault:        fault,
+												Workers:      w,
+												Trials:       s.Trials,
+												Seed:         s.Seed,
+												Distribution: s.Distribution,
+												SkipPhase1:   skip,
+												Hashed:       hashed,
+												Paged:        paged,
+												MemBudget:    s.MemBudget,
+												Timing:       s.Timing,
+												Timeout:      time.Duration(s.TimeoutMS) * time.Millisecond,
 											})
 										}
 									}

@@ -8,6 +8,7 @@ package scenario
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -161,7 +162,7 @@ func TestSweepEventGrid(t *testing.T) {
 		if prev, seen := byKey[key]; seen {
 			prevCmp, cmp := prev, r
 			prevCmp.Workers, cmp.Workers, prevCmp.Scenario, cmp.Scenario = 0, 0, "", ""
-			if prevCmp != cmp {
+			if !reflect.DeepEqual(prevCmp, cmp) {
 				t.Fatalf("workers axis diverged for %s:\n%+v\n%+v", key, prev, r)
 			}
 			continue
@@ -551,7 +552,7 @@ func TestRunCellMatchesSweepLine(t *testing.T) {
 		t.Fatal(err)
 	}
 	res.Scenario = probe.Scenario
-	if res != probe {
+	if !reflect.DeepEqual(res, probe) {
 		t.Fatalf("single cell diverged from sweep line:\n%+v\n%+v", res, probe)
 	}
 }

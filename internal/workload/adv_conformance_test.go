@@ -1,0 +1,63 @@
+// The adversarial workloads ride the existing conformance suite with
+// zero per-workload edits: importing internal/advsearch registers the
+// structured adv:* patterns, loading sweeps/adversarial/ registers
+// every checked-in frozen permutation, and TestWorkloadRegistry-
+// Conformance then covers them all through workload.Names(). The
+// explicit test below makes the property loud — it fails if the adv:*
+// population is empty or if any member dodges the suite.
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	_ "pramemu/internal/advsearch"
+	"pramemu/internal/workload"
+)
+
+func init() {
+	// Register the checked-in frozen adversaries so the registry-wide
+	// conformance sweep covers them like any other generator.
+	if _, err := workload.LoadFrozenDir("../../sweeps/adversarial"); err != nil {
+		panic(err)
+	}
+}
+
+func TestAdvSearchWorkloadConformance(t *testing.T) {
+	built := conformanceBuilt(t)
+	var adv []string
+	for _, name := range workload.Names() {
+		if strings.HasPrefix(name, "adv:") {
+			adv = append(adv, name)
+		}
+	}
+	if len(adv) < 4 {
+		t.Fatalf("adv:* population %v too small: want the structured patterns plus at least one frozen permutation", adv)
+	}
+	frozen := 0
+	for _, name := range adv {
+		gen, ok := workload.Lookup(name)
+		if !ok {
+			t.Fatalf("registry lost %q", name)
+		}
+		if _, isFrozen := workload.LookupFrozen(name); isFrozen {
+			frozen++
+		}
+		compatible := 0
+		for _, b := range built {
+			if gen.Check(b) != nil {
+				continue
+			}
+			compatible++
+			t.Run(name+"/"+b.Name(), func(t *testing.T) {
+				checkGenerator(t, name, gen, b)
+			})
+		}
+		if compatible == 0 {
+			t.Errorf("adversarial workload %q is compatible with no conformance topology", name)
+		}
+	}
+	if frozen == 0 {
+		t.Error("no frozen adversary under sweeps/adversarial/ reached the registry")
+	}
+}

@@ -1,0 +1,343 @@
+// Frozen adversarial workloads: permutations the adversarial search
+// (internal/advsearch) found to be worst cases, checked in under
+// sweeps/adversarial/ as compact encoded files and registered here as
+// named generators ("adv:<family>:<name>"). A frozen workload is a
+// literal destination table pinned to the node count it was found on,
+// so the registry's capability gate (Generator.Nodes) refuses every
+// other instance. Registration is idempotent — loading one directory
+// from several tests in one binary is a no-op after the first — and
+// the decode path never panics on hostile bytes (FuzzFrozenWorkload).
+
+package workload
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pramemu/internal/packet"
+	"pramemu/internal/topology"
+)
+
+// Frozen is one checked-in adversarial permutation: the identifying
+// topology instance, the provenance of the search that found it, the
+// worst metrics it achieved (the floor its regression test enforces),
+// and the destination table itself. The JSON-visible fields form the
+// file header; Perm is stored as varints after it.
+type Frozen struct {
+	// Name distinguishes adversaries of one family ("g16", "seed774").
+	Name string `json:"name"`
+	// Family/N/K name the topology instance the permutation was found
+	// on; Nodes is its node count (= len(Perm)).
+	Family string `json:"family"`
+	N      int    `json:"n"`
+	K      int    `json:"k,omitempty"`
+	Nodes  int    `json:"nodes"`
+	// Seed and Trials reproduce the evaluation that recorded the
+	// metrics below (scenario.Cell{Seed: Seed, Trials: Trials}).
+	Seed   uint64 `json:"seed"`
+	Trials int    `json:"trials"`
+	// Rounds and MaxQ are the worst observed metrics at freeze time —
+	// the regression floor: the engine must still achieve at least
+	// these on the recorded instance, or it has silently "fixed" the
+	// adversary.
+	Rounds int `json:"rounds"`
+	MaxQ   int `json:"max_q"`
+	// Note records how the search found the permutation.
+	Note string `json:"note,omitempty"`
+	// Perm is the destination table: node i sends to Perm[i].
+	Perm []int `json:"-"`
+}
+
+// WorkloadName is the registry name the frozen permutation routes
+// under: "adv:<family>:<name>".
+func (f Frozen) WorkloadName() string {
+	return "adv:" + f.Family + ":" + f.Name
+}
+
+// FrozenExt is the file extension of encoded frozen workloads.
+const FrozenExt = ".advperm"
+
+// FileName is the canonical file name of the frozen workload inside a
+// frozen directory.
+func (f Frozen) FileName() string {
+	return f.Family + "-" + f.Name + FrozenExt
+}
+
+// frozenMagic leads every encoded frozen workload.
+const frozenMagic = "ADVPERM1"
+
+// maxFrozenHeader bounds the JSON header of an encoded frozen
+// workload, so a hostile length prefix cannot demand an absurd
+// allocation before any real validation runs.
+const maxFrozenHeader = 1 << 20
+
+// validate checks the Frozen's internal consistency: identifying
+// fields present, Perm a bijection on exactly Nodes elements.
+func (f Frozen) validate() error {
+	if f.Name == "" || f.Family == "" {
+		return fmt.Errorf("workload: frozen permutation needs a name and family, got %q/%q", f.Family, f.Name)
+	}
+	if strings.ContainsAny(f.Name, ":/") || strings.ContainsAny(f.Family, ":/") {
+		return fmt.Errorf("workload: frozen name %q/%q may not contain ':' or '/'", f.Family, f.Name)
+	}
+	if f.Nodes != len(f.Perm) || f.Nodes == 0 {
+		return fmt.Errorf("workload: frozen %s declares %d nodes but carries %d entries", f.WorkloadName(), f.Nodes, len(f.Perm))
+	}
+	seen := make([]bool, len(f.Perm))
+	for i, dst := range f.Perm {
+		if dst < 0 || dst >= len(f.Perm) {
+			return fmt.Errorf("workload: frozen %s entry %d -> %d out of range [0,%d)", f.WorkloadName(), i, dst, len(f.Perm))
+		}
+		if seen[dst] {
+			return fmt.Errorf("workload: frozen %s is not a permutation: destination %d repeats", f.WorkloadName(), dst)
+		}
+		seen[dst] = true
+	}
+	return nil
+}
+
+// EncodeFrozen serializes the frozen workload: the magic, a
+// varint-length JSON header, and the destination table as varints.
+func EncodeFrozen(f Frozen) ([]byte, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	hdr, err := json.Marshal(f)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(frozenMagic)+len(hdr)+2*binary.MaxVarintLen64+2*len(f.Perm))
+	buf = append(buf, frozenMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(hdr)))
+	buf = append(buf, hdr...)
+	buf = binary.AppendUvarint(buf, uint64(len(f.Perm)))
+	for _, dst := range f.Perm {
+		buf = binary.AppendUvarint(buf, uint64(dst))
+	}
+	return buf, nil
+}
+
+// DecodeFrozen parses an encoded frozen workload, rejecting truncated,
+// trailing-garbage, out-of-range and non-bijective inputs with an
+// error — never a panic — so a corrupted checked-in file fails loudly
+// and safely.
+func DecodeFrozen(data []byte) (Frozen, error) {
+	if len(data) < len(frozenMagic) || string(data[:len(frozenMagic)]) != frozenMagic {
+		return Frozen{}, fmt.Errorf("workload: not a frozen workload (missing %q magic)", frozenMagic)
+	}
+	rest := data[len(frozenMagic):]
+	hlen, n := binary.Uvarint(rest)
+	if n <= 0 || hlen > maxFrozenHeader {
+		return Frozen{}, fmt.Errorf("workload: frozen header length invalid")
+	}
+	rest = rest[n:]
+	if uint64(len(rest)) < hlen {
+		return Frozen{}, fmt.Errorf("workload: frozen header truncated (%d of %d bytes)", len(rest), hlen)
+	}
+	var f Frozen
+	if err := json.Unmarshal(rest[:hlen], &f); err != nil {
+		return Frozen{}, fmt.Errorf("workload: frozen header: %w", err)
+	}
+	rest = rest[hlen:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return Frozen{}, fmt.Errorf("workload: frozen permutation count invalid")
+	}
+	rest = rest[n:]
+	// Every entry costs at least one byte, so the remaining length
+	// bounds any honest count — a hostile one fails before allocating.
+	if count > uint64(len(rest)) {
+		return Frozen{}, fmt.Errorf("workload: frozen declares %d entries in %d bytes", count, len(rest))
+	}
+	f.Perm = make([]int, count)
+	for i := range f.Perm {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return Frozen{}, fmt.Errorf("workload: frozen permutation truncated at entry %d of %d", i, count)
+		}
+		if v >= count {
+			return Frozen{}, fmt.Errorf("workload: frozen entry %d -> %d out of range [0,%d)", i, v, count)
+		}
+		f.Perm[i] = int(v)
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return Frozen{}, fmt.Errorf("workload: %d trailing bytes after frozen permutation", len(rest))
+	}
+	if err := f.validate(); err != nil {
+		return Frozen{}, err
+	}
+	return f, nil
+}
+
+// frozen indexes the registered frozen workloads by registry name, for
+// idempotent re-registration and the regression suite's enumeration.
+var frozen = map[string]Frozen{}
+
+// permEqual reports whether two destination tables are identical.
+func permEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// permGenerator wraps a literal destination table as a registered
+// generator: one packet per node, node i to perm[i], pinned to
+// exactly len(perm) nodes by the registry's capability gate.
+func permGenerator(name, traffic string, perm []int) Generator {
+	return Generator{
+		Name: name, Params: "Kind",
+		Class: ClassPermutation, Traffic: traffic,
+		Nodes: len(perm),
+		Generate: func(b topology.Built, p Params, a *packet.Arena, seed uint64) ([]*packet.Packet, error) {
+			pkts := make([]*packet.Packet, len(perm))
+			for i, dst := range perm {
+				pkts[i] = packet.NewIn(a, i, i, dst, p.Kind)
+			}
+			return pkts, nil
+		},
+	}
+}
+
+// RegisterFrozen adds the frozen permutation to the registry under
+// its "adv:<family>:<name>" workload name. Re-registering an
+// identical frozen workload is a no-op (several tests in one binary
+// load the same directory); a name collision with different contents,
+// or with a non-frozen generator, is an error.
+func RegisterFrozen(f Frozen) error {
+	if err := f.validate(); err != nil {
+		return err
+	}
+	name := f.WorkloadName()
+	mu.Lock()
+	defer mu.Unlock()
+	if prev, ok := frozen[name]; ok {
+		if permEqual(prev.Perm, f.Perm) {
+			return nil
+		}
+		return fmt.Errorf("workload: frozen %s already registered with a different permutation", name)
+	}
+	if _, dup := generators[name]; dup {
+		return fmt.Errorf("workload: generator %q already registered and is not this frozen workload", name)
+	}
+	traffic := fmt.Sprintf("frozen adversary on %s (rounds >= %d, maxQ >= %d at seed %d)", f.Family, f.Rounds, f.MaxQ, f.Seed)
+	generators[name] = permGenerator(name, traffic, f.Perm)
+	frozen[name] = f
+	return nil
+}
+
+// LookupFrozen returns the frozen workload registered under the given
+// workload name ("adv:<family>:<name>").
+func LookupFrozen(name string) (Frozen, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	f, ok := frozen[name]
+	return f, ok
+}
+
+// FrozenNames returns the workload names of every registered frozen
+// adversary, sorted — the regression suite's enumeration.
+func FrozenNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(frozen))
+	for name := range frozen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadFrozenDir decodes and registers every *.advperm file under dir
+// (sorted, so registration order is deterministic) and returns how
+// many registered. A missing directory is zero frozen workloads, not
+// an error — a repo without checked-in adversaries stays runnable.
+func LoadFrozenDir(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), FrozenExt) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return loaded, err
+		}
+		f, err := DecodeFrozen(data)
+		if err != nil {
+			return loaded, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := RegisterFrozen(f); err != nil {
+			return loaded, fmt.Errorf("%s: %w", path, err)
+		}
+		loaded++
+	}
+	return loaded, nil
+}
+
+// WriteFrozenFile encodes the frozen workload into dir (created if
+// missing) under its canonical file name and returns the path.
+func WriteFrozenFile(dir string, f Frozen) (string, error) {
+	data, err := EncodeFrozen(f)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, f.FileName())
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// RegisterPerm installs (or replaces) a raw destination table as a
+// transient named workload — the adversarial search's candidate slot:
+// the greedy mutator re-registers one name per evaluation, so unlike
+// Register this overwrite is legal. Candidates never appear in the
+// frozen index; remove them with Deregister when the search is done.
+func RegisterPerm(name string, perm []int) error {
+	perm = append([]int(nil), perm...) // the caller keeps mutating its slice
+	f := Frozen{Name: "cand", Family: "cand", Nodes: len(perm), Perm: perm}
+	if err := f.validate(); err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, isFrozen := frozen[name]; isFrozen {
+		return fmt.Errorf("workload: %q is a frozen workload; candidates may not shadow it", name)
+	}
+	generators[name] = permGenerator(name, "transient adversarial-search candidate", perm)
+	return nil
+}
+
+// Deregister removes a registered generator (and any frozen index
+// entry) by name, reporting whether it existed — the cleanup hook of
+// the adversarial search's candidate slots.
+func Deregister(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := generators[name]
+	delete(generators, name)
+	delete(frozen, name)
+	return ok
+}

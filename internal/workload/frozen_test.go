@@ -1,0 +1,241 @@
+// The frozen-adversary mechanism: encode/decode round-trips exactly,
+// hostile bytes never panic (the fuzz target), registration is
+// idempotent and node-count-gated, and candidate slots overwrite and
+// deregister cleanly.
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pramemu/internal/prng"
+	"pramemu/internal/topology"
+	_ "pramemu/internal/topology/families"
+)
+
+// sameFrozen compares two frozen workloads field by field (the
+// package itself defines a function named reflect, so DeepEqual is
+// off the table here).
+func sameFrozen(a, b Frozen) bool {
+	return a.Name == b.Name && a.Family == b.Family && a.N == b.N &&
+		a.K == b.K && a.Nodes == b.Nodes && a.Seed == b.Seed &&
+		a.Trials == b.Trials && a.Rounds == b.Rounds && a.MaxQ == b.MaxQ &&
+		a.Note == b.Note && permEqual(a.Perm, b.Perm)
+}
+
+func testFrozen(name string, nodes int) Frozen {
+	return Frozen{
+		Name: name, Family: "hypercube", N: 4, Nodes: nodes,
+		Seed: 1991, Trials: 2, Rounds: 9, MaxQ: 5, Note: "test fixture",
+		Perm: prng.New(42).Perm(nodes),
+	}
+}
+
+func TestFrozenRoundTrip(t *testing.T) {
+	f := testFrozen("rt", 16)
+	data, err := EncodeFrozen(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrozen(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameFrozen(got, f) {
+		t.Fatalf("round trip mutated the frozen workload:\n%+v\n%+v", got, f)
+	}
+	if got.WorkloadName() != "adv:hypercube:rt" {
+		t.Fatalf("workload name %q", got.WorkloadName())
+	}
+}
+
+func TestFrozenDecodeRejects(t *testing.T) {
+	good, err := EncodeFrozen(testFrozen("bad", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   []byte("NOTAPERM" + string(good[8:])),
+		"truncated":   good[:len(good)-3],
+		"trailing":    append(append([]byte{}, good...), 0x01),
+		"header only": good[:12],
+	}
+	// Out-of-range and repeated destinations, patched into the varint
+	// tail (entries of an 8-node permutation encode in one byte each).
+	oor := append([]byte{}, good...)
+	oor[len(oor)-1] = 200
+	cases["out of range"] = oor
+	dup := append([]byte{}, good...)
+	dup[len(dup)-1] = dup[len(dup)-2]
+	cases["not bijective"] = dup
+	for name, data := range cases {
+		if _, err := DecodeFrozen(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestFrozenEncodeValidates(t *testing.T) {
+	for name, f := range map[string]Frozen{
+		"no name":       {Family: "mesh", Nodes: 2, Perm: []int{1, 0}},
+		"colon in name": {Name: "a:b", Family: "mesh", Nodes: 2, Perm: []int{1, 0}},
+		"node mismatch": {Name: "x", Family: "mesh", Nodes: 3, Perm: []int{1, 0}},
+		"not a perm":    {Name: "x", Family: "mesh", Nodes: 2, Perm: []int{1, 1}},
+		"out of range":  {Name: "x", Family: "mesh", Nodes: 2, Perm: []int{1, 5}},
+	} {
+		if _, err := EncodeFrozen(f); err == nil {
+			t.Errorf("%s: encode accepted an invalid frozen workload", name)
+		}
+	}
+}
+
+func TestRegisterFrozenIdempotentAndGated(t *testing.T) {
+	f := testFrozen("gate", 16)
+	if err := RegisterFrozen(f); err != nil {
+		t.Fatal(err)
+	}
+	defer Deregister(f.WorkloadName())
+	// Same contents again: a no-op, not a duplicate-registration panic.
+	if err := RegisterFrozen(f); err != nil {
+		t.Fatalf("idempotent re-registration failed: %v", err)
+	}
+	// Same name, different permutation: refused.
+	g := f
+	g.Perm = append([]int{}, f.Perm...)
+	g.Perm[0], g.Perm[1] = g.Perm[1], g.Perm[0]
+	if err := RegisterFrozen(g); err == nil {
+		t.Fatal("conflicting re-registration accepted")
+	}
+	gen, ok := Lookup(f.WorkloadName())
+	if !ok {
+		t.Fatalf("frozen workload not in the registry")
+	}
+	cube, err := topology.Build("hypercube", topology.Params{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.Check(cube); err != nil {
+		t.Fatalf("frozen workload refused its own instance: %v", err)
+	}
+	star, err := topology.Build("star", topology.Params{N: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.Check(star); err == nil || !strings.Contains(err.Error(), "pinned to 16 nodes") {
+		t.Fatalf("frozen workload accepted a 24-node topology: %v", err)
+	}
+	// The generator realizes exactly the frozen table.
+	pkts, err := Generate(f.WorkloadName(), cube, Params{}, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pk := range pkts {
+		if pk.Src != i || pk.Dst != f.Perm[i] {
+			t.Fatalf("packet %d routes %d->%d, want %d->%d", i, pk.Src, pk.Dst, i, f.Perm[i])
+		}
+	}
+	if got, ok := LookupFrozen(f.WorkloadName()); !ok || !sameFrozen(got, f) {
+		t.Fatalf("LookupFrozen lost the metadata: %+v", got)
+	}
+}
+
+func TestRegisterPermOverwritesAndDeregisters(t *testing.T) {
+	const name = "adv:cand:test"
+	if err := RegisterPerm(name, []int{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite is the point of the candidate slot.
+	if err := RegisterPerm(name, []int{0, 1}); err != nil {
+		t.Fatalf("candidate overwrite failed: %v", err)
+	}
+	if err := RegisterPerm(name, []int{0, 0}); err == nil {
+		t.Fatal("non-bijective candidate accepted")
+	}
+	if !Deregister(name) {
+		t.Fatal("Deregister missed the candidate")
+	}
+	if Deregister(name) {
+		t.Fatal("Deregister found a removed candidate")
+	}
+	if _, ok := Lookup(name); ok {
+		t.Fatal("candidate survived Deregister")
+	}
+}
+
+func TestLoadFrozenDir(t *testing.T) {
+	dir := t.TempDir()
+	f := testFrozen("dirload", 16)
+	path, err := WriteFrozenFile(dir, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "hypercube-dirload.advperm" {
+		t.Fatalf("unexpected frozen file name %q", path)
+	}
+	// A stray non-frozen file is skipped, not an error.
+	if err := os.WriteFile(filepath.Join(dir, "README.md"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer Deregister(f.WorkloadName())
+	for pass := 0; pass < 2; pass++ { // idempotent across repeated loads
+		n, err := LoadFrozenDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("pass %d loaded %d frozen workloads, want 1", pass, n)
+		}
+	}
+	if _, ok := LookupFrozen(f.WorkloadName()); !ok {
+		t.Fatal("loaded frozen workload not registered")
+	}
+	if n, err := LoadFrozenDir(filepath.Join(dir, "missing")); n != 0 || err != nil {
+		t.Fatalf("missing directory: %d, %v", n, err)
+	}
+	// A corrupt file names its path in the error.
+	if err := os.WriteFile(filepath.Join(dir, "bad.advperm"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFrozenDir(dir); err == nil || !strings.Contains(err.Error(), "bad.advperm") {
+		t.Fatalf("corrupt file error %v does not name the file", err)
+	}
+}
+
+// FuzzFrozenWorkload drives hostile bytes through the decode path —
+// it must reject or accept but never panic — and, via the seed
+// corpus, keeps the encode→decode round trip honest.
+func FuzzFrozenWorkload(f *testing.F) {
+	for _, nodes := range []int{1, 2, 8, 16} {
+		data, err := EncodeFrozen(testFrozen("fuzz", nodes))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(frozenMagic))
+	f.Add([]byte(frozenMagic + "\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeFrozen(data)
+		if err != nil {
+			return
+		}
+		// Anything decode accepts must re-encode to the same frozen
+		// workload (not necessarily the same bytes — varint lengths
+		// canonicalize) and pass validation.
+		out, err := EncodeFrozen(fr)
+		if err != nil {
+			t.Fatalf("decoded frozen workload fails to re-encode: %v", err)
+		}
+		back, err := DecodeFrozen(out)
+		if err != nil {
+			t.Fatalf("re-encoded frozen workload fails to decode: %v", err)
+		}
+		if !sameFrozen(back, fr) {
+			t.Fatalf("round trip mutated the frozen workload:\n%+v\n%+v", back, fr)
+		}
+	})
+}

@@ -154,6 +154,11 @@ type Generator struct {
 	Traffic string
 	// Needs are the capabilities required of the topology.
 	Needs Needs
+	// Nodes, when non-zero, pins the generator to topologies with
+	// exactly that node count — the gate of frozen adversarial
+	// permutations, whose destination table is meaningful only on the
+	// instance the search found it on.
+	Nodes int
 	// Generate realizes the workload on the built topology. Packets
 	// are allocated from arena a when non-nil. Parameters arrive
 	// pre-defaulted; the topology has passed Check.
@@ -165,6 +170,9 @@ type Generator struct {
 // routebench surface for incompatible (family, workload) pairs.
 func (g Generator) Check(b topology.Built) error {
 	nodes := b.Nodes()
+	if g.Nodes != 0 && nodes != g.Nodes {
+		return fmt.Errorf("workload %s is pinned to %d nodes; %s has %d", g.Name, g.Nodes, b.Name(), nodes)
+	}
 	if g.Needs&NeedsSquare != 0 && !IsSquare(nodes) {
 		return fmt.Errorf("workload %s needs a square node count; %s has %d nodes", g.Name, b.Name(), nodes)
 	}
